@@ -1,0 +1,288 @@
+// Command imba analyzes a measurement cube with the load-imbalance
+// methodology: it prints the paper's Tables 1-4, the Section 4 style
+// summary, the region clustering and the processor view.
+//
+// Usage:
+//
+//	imba -paper -table all           # analyze the embedded case study
+//	imba -in run.limb -summary       # analyze a binary tracefile
+//	imba -in run.json -table 4 -index mad
+//	imba -in run.limb -csv > out.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"loadimb/internal/core"
+	"loadimb/internal/report"
+	"loadimb/internal/stats"
+	"loadimb/internal/trace"
+	"loadimb/internal/tracefmt"
+	"loadimb/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("imba: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("imba", flag.ContinueOnError)
+	var (
+		in        = fs.String("in", "", "input tracefile (.limb binary, .json or .csv)")
+		usePaper  = fs.Bool("paper", false, "analyze the embedded paper case study instead of a file")
+		table     = fs.String("table", "", "print table 1, 2, 3, 4 or all")
+		summary   = fs.Bool("summary", false, "print the findings summary")
+		cluster   = fs.Bool("cluster", false, "print the region clustering")
+		view      = fs.String("view", "", "print a view: processor")
+		csvOut    = fs.Bool("csv", false, "print the full analysis as CSV")
+		mdOut     = fs.Bool("markdown", false, "print Tables 1-4 as Markdown")
+		heat      = fs.Bool("heatmap", false, "print the dispersion heat map")
+		drill     = fs.String("drill", "", "drill into one region by name")
+		criterion = fs.String("candidates", "", "rank tuning candidates: max, top<K>, p<Q>, zscore or threshold:<T>")
+		indexName = fs.String("index", "euclidean", "index of dispersion (euclidean, variance, stddev, cov, mad, max, range, gini)")
+		clusterK  = fs.Int("k", 2, "number of region clusters")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cube, err := loadCube(*in, *usePaper)
+	if err != nil {
+		return err
+	}
+	idx, ok := stats.IndexByName(*indexName)
+	if !ok {
+		return fmt.Errorf("unknown index %q", *indexName)
+	}
+	analysis, err := core.Analyze(cube, core.AnalyzeOptions{
+		Options:  core.Options{Index: idx},
+		ClusterK: *clusterK,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *csvOut {
+		fmt.Fprint(stdout, report.CSV(analysis))
+		return nil
+	}
+	if *mdOut {
+		fmt.Fprint(stdout, report.Markdown(analysis))
+		return nil
+	}
+	printed := false
+	if *table != "" {
+		if err := printTables(stdout, analysis, *table); err != nil {
+			return err
+		}
+		printed = true
+	}
+	if *cluster {
+		printClusters(stdout, analysis)
+		printed = true
+	}
+	if *view != "" {
+		if err := printView(stdout, analysis, *view); err != nil {
+			return err
+		}
+		printed = true
+	}
+	if *heat {
+		fmt.Fprint(stdout, report.Heatmap(analysis))
+		printed = true
+	}
+	if *drill != "" {
+		if err := printDrill(stdout, analysis, cube, *drill); err != nil {
+			return err
+		}
+		printed = true
+	}
+	if *criterion != "" {
+		if err := printCandidates(stdout, analysis, *criterion); err != nil {
+			return err
+		}
+		printed = true
+	}
+	if *summary || !printed {
+		fmt.Fprint(stdout, report.Summary(analysis))
+	}
+	return nil
+}
+
+func loadCube(path string, usePaper bool) (*trace.Cube, error) {
+	switch {
+	case usePaper && path != "":
+		return nil, fmt.Errorf("use either -in or -paper, not both")
+	case usePaper:
+		return workload.ReconstructCube()
+	case path == "":
+		return nil, fmt.Errorf("no input: pass -in <tracefile> or -paper")
+	}
+	return tracefmt.OpenCube(path)
+}
+
+func printTables(w io.Writer, a *core.Analysis, which string) error {
+	tables := map[string]func() string{
+		"1": func() string { return report.Table1(a.Profile) },
+		"2": func() string { return report.Table2(a) },
+		"3": func() string { return report.Table3(a) },
+		"4": func() string { return report.Table4(a) },
+	}
+	if which == "all" {
+		for _, k := range []string{"1", "2", "3", "4"} {
+			fmt.Fprintln(w, tables[k]())
+		}
+		return nil
+	}
+	f, ok := tables[which]
+	if !ok {
+		return fmt.Errorf("unknown table %q (want 1, 2, 3, 4 or all)", which)
+	}
+	fmt.Fprintln(w, f())
+	return nil
+}
+
+func printClusters(w io.Writer, a *core.Analysis) {
+	if len(a.Clusters) == 0 {
+		fmt.Fprintln(w, "clustering skipped (too few regions)")
+		return
+	}
+	fmt.Fprintln(w, "region clusters (k-means on activity-time vectors):")
+	for c, group := range a.Clusters {
+		names := make([]string, len(group))
+		for i, g := range group {
+			names[i] = a.Profile.Regions[g].Region
+		}
+		fmt.Fprintf(w, "  cluster %d: %s\n", c+1, strings.Join(names, ", "))
+	}
+}
+
+func parseCriterion(spec string) (core.Criterion, error) {
+	switch {
+	case spec == "max":
+		return core.MaxCriterion{}, nil
+	case spec == "zscore":
+		return core.ZScoreCriterion{}, nil
+	case strings.HasPrefix(spec, "top"):
+		k, err := strconv.Atoi(strings.TrimPrefix(spec, "top"))
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("bad top-K criterion %q", spec)
+		}
+		return core.TopKCriterion{K: k}, nil
+	case strings.HasPrefix(spec, "p"):
+		q, err := strconv.ParseFloat(strings.TrimPrefix(spec, "p"), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad percentile criterion %q", spec)
+		}
+		return core.PercentileCriterion{Q: q}, nil
+	case strings.HasPrefix(spec, "threshold:"):
+		v, err := strconv.ParseFloat(strings.TrimPrefix(spec, "threshold:"), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad threshold criterion %q", spec)
+		}
+		return core.ThresholdCriterion{T: v}, nil
+	}
+	return nil, fmt.Errorf("unknown criterion %q (want max, top<K>, p<Q>, zscore or threshold:<T>)", spec)
+}
+
+func printCandidates(w io.Writer, a *core.Analysis, spec string) error {
+	c, err := parseCriterion(spec)
+	if err != nil {
+		return err
+	}
+	cands := a.TuningCandidates(c)
+	if len(cands) == 0 {
+		fmt.Fprintf(w, "criterion %s flags no region\n", c.Name())
+		return nil
+	}
+	fmt.Fprintf(w, "tuning candidates by SID_C (criterion %s):\n", c.Name())
+	for rank, cand := range cands {
+		fmt.Fprintf(w, "  %d. %-10s SID_C %.5f\n", rank+1, a.Regions[cand.Pos].Name, cand.Value)
+	}
+	return nil
+}
+
+func printDrill(w io.Writer, a *core.Analysis, cube *trace.Cube, region string) error {
+	i := cube.RegionIndex(region)
+	if i < 0 {
+		return fmt.Errorf("unknown region %q (have %v)", region, cube.Regions())
+	}
+	d, err := a.DrillDown(cube, i)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s: %.3f s (%.1f%% of the program)\n", d.Name, d.Time, d.Share*100)
+	fmt.Fprintf(w, "  activities by contribution to ID_C (ID with 95%% bootstrap interval):\n")
+	for _, ad := range d.Activities {
+		if !ad.Defined {
+			fmt.Fprintf(w, "    %-16s -\n", ad.Name)
+			continue
+		}
+		times, err := cube.ProcTimes(i, ad.Activity)
+		if err != nil {
+			return err
+		}
+		ci, err := stats.BootstrapCI(stats.Euclidean, times, 400, 0.95, 11)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "    %-16s t=%8.3f s  weight=%5.3f  ID=%8.5f [%7.5f, %7.5f]  contribution=%8.5f\n",
+			ad.Name, ad.Time, ad.Weight, ad.ID, ci.Low, ci.High, ad.Contribution)
+	}
+	fmt.Fprintf(w, "  most dissimilar processors (top 5 by ID_P):\n")
+	for k, pd := range d.Processors {
+		if k >= 5 {
+			break
+		}
+		mark := ""
+		if pd.Slowest {
+			mark = "  <- slowest"
+		}
+		fmt.Fprintf(w, "    proc %2d: ID_P=%8.5f  time=%8.3f s%s\n", pd.Proc, pd.ID, pd.Time, mark)
+	}
+	return nil
+}
+
+func printView(w io.Writer, a *core.Analysis, name string) error {
+	if name != "processor" {
+		return fmt.Errorf("unknown view %q (tables 3 and 4 are the activity and region views)", name)
+	}
+	v := a.Processors
+	fmt.Fprintln(w, "processor view (ID_P per region; most imbalanced processor per region marked *):")
+	for i := range v.ByRegion {
+		best, bestVal := -1, 0.0
+		for p, d := range v.ByRegion[i] {
+			if d.Defined && (best == -1 || d.ID > bestVal) {
+				best, bestVal = p, d.ID
+			}
+		}
+		fmt.Fprintf(w, "  %-10s", a.Profile.Regions[i].Region)
+		for p, d := range v.ByRegion[i] {
+			if !d.Defined {
+				fmt.Fprintf(w, "      -  ")
+				continue
+			}
+			mark := " "
+			if p == best {
+				mark = "*"
+			}
+			fmt.Fprintf(w, " %7.5f%s", d.ID, mark)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "most frequently imbalanced: processor %d (on %d regions)\n",
+		v.MostFrequentlyImbalanced, len(v.Summaries[v.MostFrequentlyImbalanced].MostImbalancedOn))
+	fmt.Fprintf(w, "imbalanced for the longest time: processor %d (%.3f s)\n",
+		v.LongestImbalanced, v.Summaries[v.LongestImbalanced].ImbalancedTime)
+	return nil
+}

@@ -1,0 +1,239 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"loadimb/internal/core"
+	"loadimb/internal/trace"
+	"loadimb/internal/tracefmt"
+	"loadimb/internal/workload"
+)
+
+func paperAnalysis(t *testing.T) *core.Analysis {
+	t.Helper()
+	cube, err := workload.ReconstructCube()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(cube, core.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestLoadCube(t *testing.T) {
+	if _, err := loadCube("x.limb", true); err == nil {
+		t.Error("both -in and -paper should fail")
+	}
+	if _, err := loadCube("", false); err == nil {
+		t.Error("neither -in nor -paper should fail")
+	}
+	cube, err := loadCube("", true)
+	if err != nil || cube.NumProcs() != 16 {
+		t.Fatalf("paper cube: %v, %v", cube, err)
+	}
+	path := filepath.Join(t.TempDir(), "c.limb")
+	if err := tracefmt.SaveCube(path, cube); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := loadCube(path, false)
+	if err != nil || !cube.EqualWithin(loaded, 0) {
+		t.Errorf("file cube: %v", err)
+	}
+	if _, err := loadCube(filepath.Join(t.TempDir(), "missing.limb"), false); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestPrintTables(t *testing.T) {
+	a := paperAnalysis(t)
+	var sb strings.Builder
+	if err := printTables(&sb, a, "all"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table 1", "Table 2", "Table 3", "Table 4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("all-tables output missing %q", want)
+		}
+	}
+	sb.Reset()
+	if err := printTables(&sb, a, "2"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "0.30571") {
+		t.Error("table 2 missing the loop 5 sync index")
+	}
+	if err := printTables(&sb, a, "9"); err == nil {
+		t.Error("unknown table should fail")
+	}
+}
+
+func TestPrintClusters(t *testing.T) {
+	a := paperAnalysis(t)
+	var sb strings.Builder
+	printClusters(&sb, a)
+	out := sb.String()
+	if !strings.Contains(out, "loop 1, loop 2") {
+		t.Errorf("clusters output wrong:\n%s", out)
+	}
+	// No clusters case.
+	a.Clusters = nil
+	sb.Reset()
+	printClusters(&sb, a)
+	if !strings.Contains(sb.String(), "skipped") {
+		t.Errorf("empty clusters output: %q", sb.String())
+	}
+}
+
+func TestPrintView(t *testing.T) {
+	a := paperAnalysis(t)
+	var sb strings.Builder
+	if err := printView(&sb, a, "processor"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "most frequently imbalanced") || !strings.Contains(out, "*") {
+		t.Errorf("processor view output wrong:\n%s", out)
+	}
+	// Loop 1 performs no point-to-point, but every processor has some
+	// time in it, so all 7 rows render with 16 columns each.
+	if strings.Count(out, "\n") < 8 {
+		t.Errorf("too few rows:\n%s", out)
+	}
+	if err := printView(&sb, a, "bogus"); err == nil {
+		t.Error("unknown view should fail")
+	}
+}
+
+func TestLoadCubeErrorTypes(t *testing.T) {
+	// A corrupt file surfaces a tracefmt error, not a panic.
+	path := filepath.Join(t.TempDir(), "bad.limb")
+	if err := tracefmt.SaveCube(path, mustPaperCube(t)); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate it.
+	if err := truncate(path, 10); err != nil {
+		t.Fatal(err)
+	}
+	_, err := loadCube(path, false)
+	if err == nil || !errors.Is(err, tracefmt.ErrCorrupt) {
+		t.Errorf("corrupt err = %v", err)
+	}
+}
+
+func mustPaperCube(t *testing.T) *trace.Cube {
+	t.Helper()
+	cube, err := workload.ReconstructCube()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cube
+}
+
+func truncate(path string, n int64) error {
+	return os.Truncate(path, n)
+}
+
+func TestParseCriterion(t *testing.T) {
+	good := map[string]string{
+		"max":           "max",
+		"top3":          "top3",
+		"p90":           "p90",
+		"zscore":        "zscore(2)",
+		"threshold:0.1": "threshold(0.1)",
+	}
+	for spec, wantName := range good {
+		c, err := parseCriterion(spec)
+		if err != nil {
+			t.Errorf("%q: %v", spec, err)
+			continue
+		}
+		if c.Name() != wantName {
+			t.Errorf("%q: name = %q, want %q", spec, c.Name(), wantName)
+		}
+	}
+	for _, bad := range []string{"", "topx", "top0", "pxx", "threshold:abc", "bogus"} {
+		if _, err := parseCriterion(bad); err == nil {
+			t.Errorf("%q should fail", bad)
+		}
+	}
+}
+
+func TestPrintCandidates(t *testing.T) {
+	a := paperAnalysis(t)
+	var sb strings.Builder
+	if err := printCandidates(&sb, a, "top2"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "1. loop 1") || !strings.Contains(out, "2. loop 4") {
+		t.Errorf("candidates output wrong:\n%s", out)
+	}
+	sb.Reset()
+	if err := printCandidates(&sb, a, "threshold:99"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "flags no region") {
+		t.Errorf("empty candidates output: %q", sb.String())
+	}
+	if err := printCandidates(&sb, a, "bogus"); err == nil {
+		t.Error("bad criterion should fail")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-paper", "-table", "all", "-cluster", "-heatmap", "-candidates", "top2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table 1", "Table 4", "cluster 1", "heat map", "1. loop 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("run output missing %q", want)
+		}
+	}
+	sb.Reset()
+	if err := run([]string{"-paper", "-csv"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "section,region,activity,value") {
+		t.Error("csv mode wrong")
+	}
+	sb.Reset()
+	if err := run([]string{"-paper"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "tuning candidate") {
+		t.Error("default summary missing")
+	}
+	if err := run([]string{"-paper", "-index", "bogus"}, &sb); err == nil {
+		t.Error("unknown index should fail")
+	}
+	if err := run([]string{"-nosuchflag"}, &sb); err == nil {
+		t.Error("bad flag should fail")
+	}
+	// Alternative index end to end.
+	sb.Reset()
+	if err := run([]string{"-paper", "-table", "2", "-index", "gini"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Table 2") {
+		t.Error("gini table missing")
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-paper", "-markdown"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "### Table 4") {
+		t.Errorf("markdown output missing:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"loadimb/internal/testbed"
+	"loadimb/internal/tracefmt"
+	"loadimb/internal/workload"
+)
+
+func tempRepo(t *testing.T) *testbed.Repository {
+	t.Helper()
+	r, err := testbed.Open(filepath.Join(t.TempDir(), "repo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestCmdAddAndList(t *testing.T) {
+	r := tempRepo(t)
+	err := cmdAdd(r, []string{"-name", "paper", "-paper", "-system", "sp2", "-program", "cfd", "-tags", "a,b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("repo has %d entries", r.Len())
+	}
+	e, _, err := r.Get("paper")
+	if err != nil || len(e.Meta.Tags) != 2 || e.Meta.System != "sp2" {
+		t.Errorf("entry = %+v, %v", e, err)
+	}
+	if err := cmdList(r); err != nil {
+		t.Errorf("list: %v", err)
+	}
+}
+
+func TestCmdAddValidation(t *testing.T) {
+	r := tempRepo(t)
+	if err := cmdAdd(r, []string{"-paper"}); err == nil {
+		t.Error("missing -name should fail")
+	}
+	if err := cmdAdd(r, []string{"-name", "x"}); err == nil {
+		t.Error("missing -in/-paper should fail")
+	}
+	if err := cmdAdd(r, []string{"-name", "x", "-paper", "-in", "y.limb"}); err == nil {
+		t.Error("both -in and -paper should fail")
+	}
+}
+
+func TestCmdAddFromFile(t *testing.T) {
+	r := tempRepo(t)
+	cube, err := workload.ReconstructCube()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "c.json")
+	if err := tracefmt.SaveCube(path, cube); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAdd(r, []string{"-name", "fromfile", "-in", path}); err != nil {
+		t.Fatal(err)
+	}
+	_, loaded, err := r.Get("fromfile")
+	if err != nil || !cube.EqualWithin(loaded, 0) {
+		t.Errorf("round trip failed: %v", err)
+	}
+}
+
+func TestCmdQueryShowExportRemove(t *testing.T) {
+	r := tempRepo(t)
+	if err := cmdAdd(r, []string{"-name", "paper", "-paper", "-system", "sp2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdQuery(r, []string{"-system", "sp2", "-minsid", "0.01"}); err != nil {
+		t.Errorf("query: %v", err)
+	}
+	if err := cmdQuery(r, []string{"-system", "nowhere"}); err != nil {
+		t.Errorf("empty query should not error: %v", err)
+	}
+	if err := cmdShow(r, []string{"-name", "paper"}); err != nil {
+		t.Errorf("show: %v", err)
+	}
+	if err := cmdShow(r, []string{}); err == nil {
+		t.Error("show without -name should fail")
+	}
+	out := filepath.Join(t.TempDir(), "exported.limb")
+	if err := cmdExport(r, []string{"-name", "paper", "-out", out}); err != nil {
+		t.Errorf("export: %v", err)
+	}
+	if _, err := tracefmt.OpenCube(out); err != nil {
+		t.Errorf("exported cube unreadable: %v", err)
+	}
+	if err := cmdExport(r, []string{"-name", "paper"}); err == nil {
+		t.Error("export without -out should fail")
+	}
+	if err := cmdRemove(r, []string{"-name", "paper"}); err != nil {
+		t.Errorf("remove: %v", err)
+	}
+	if err := cmdRemove(r, []string{"-name", "paper"}); err == nil {
+		t.Error("removing twice should fail")
+	}
+	if err := cmdRemove(r, []string{}); err == nil {
+		t.Error("remove without -name should fail")
+	}
+}

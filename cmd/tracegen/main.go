@@ -1,0 +1,91 @@
+// Command tracegen generates synthetic measurement cubes: either the exact
+// reconstruction of the paper's case study or a parametric workload with
+// injectable imbalance, for testing analysis pipelines and tools.
+//
+// Usage:
+//
+//	tracegen -paper -out paper.limb
+//	tracegen -regions 10 -activities 4 -procs 64 -profile linear -severity 0.5 -out synth.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"loadimb/internal/trace"
+	"loadimb/internal/tracefmt"
+	"loadimb/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		out        = fs.String("out", "", "output cube file (.limb, .json or .csv); stdout JSON when empty")
+		usePaper   = fs.Bool("paper", false, "emit the reconstructed paper case-study cube")
+		regions    = fs.Int("regions", 8, "number of code regions")
+		activities = fs.Int("activities", 4, "number of activities")
+		procs      = fs.Int("procs", 16, "number of processors")
+		profile    = fs.String("profile", "one-hot", "imbalance profile: balanced, one-hot, linear, block, random")
+		severity   = fs.Float64("severity", 0.5, "imbalance severity in [0, 1]")
+		seed       = fs.Uint64("seed", 1, "seed for the random profile")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cube, err := build(*usePaper, *regions, *activities, *procs, *profile, *severity, *seed)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		return tracefmt.WriteCubeJSON(stdout, cube)
+	}
+	if err := tracefmt.SaveCube(*out, cube); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %dx%dx%d cube to %s\n", cube.NumRegions(), cube.NumActivities(), cube.NumProcs(), *out)
+	return nil
+}
+
+func build(usePaper bool, regions, activities, procs int, profile string, severity float64, seed uint64) (*trace.Cube, error) {
+	if usePaper {
+		return workload.ReconstructCube()
+	}
+	var prof workload.Profile
+	switch profile {
+	case "balanced":
+		prof = workload.BalancedProfile{}
+	case "one-hot":
+		prof = workload.OneHotProfile{}
+	case "linear":
+		prof = workload.LinearProfile{}
+	case "block":
+		prof = workload.BlockProfile{High: max(1, procs/4)}
+	case "random":
+		prof = workload.RandomProfile{Seed: seed}
+	default:
+		return nil, fmt.Errorf("unknown profile %q", profile)
+	}
+	spec := workload.Uniform(regions, activities, procs)
+	spec.Profile = prof
+	spec.Severity = severity
+	return workload.Synthesize(spec)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

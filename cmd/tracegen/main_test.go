@@ -1,0 +1,104 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"loadimb/internal/stats"
+	"loadimb/internal/tracefmt"
+)
+
+func TestBuildPaper(t *testing.T) {
+	cube, err := build(true, 0, 0, 0, "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cube.NumRegions() != 7 || cube.NumProcs() != 16 {
+		t.Errorf("paper cube dims = %d, %d", cube.NumRegions(), cube.NumProcs())
+	}
+}
+
+func TestBuildProfiles(t *testing.T) {
+	for _, profile := range []string{"balanced", "one-hot", "linear", "block", "random"} {
+		cube, err := build(false, 4, 2, 16, profile, 0.5, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", profile, err)
+		}
+		if cube.NumRegions() != 4 || cube.NumActivities() != 2 || cube.NumProcs() != 16 {
+			t.Errorf("%s: dims = %d, %d, %d", profile, cube.NumRegions(), cube.NumActivities(), cube.NumProcs())
+		}
+		// Dispersion matches the profile intent: balanced is flat,
+		// others are spread.
+		times, err := cube.ProcTimes(0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := stats.EuclideanFromBalance(times)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if profile == "balanced" && id > 1e-12 {
+			t.Errorf("balanced profile has dispersion %g", id)
+		}
+		if profile != "balanced" && id == 0 {
+			t.Errorf("%s profile has zero dispersion", profile)
+		}
+	}
+}
+
+func TestBuildUnknownProfile(t *testing.T) {
+	if _, err := build(false, 4, 2, 16, "bogus", 0.5, 0); err == nil {
+		t.Error("unknown profile should fail")
+	}
+}
+
+func TestBuildBadDimensions(t *testing.T) {
+	if _, err := build(false, 0, 2, 16, "balanced", 0.5, 0); err == nil {
+		t.Error("zero regions should fail")
+	}
+	if _, err := build(false, 4, 2, 0, "balanced", 0.5, 0); err == nil {
+		t.Error("zero procs should fail")
+	}
+}
+
+func TestMaxHelper(t *testing.T) {
+	if max(3, 5) != 5 || max(5, 3) != 5 {
+		t.Error("max helper wrong")
+	}
+}
+
+func TestRunStdoutJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-regions", "2", "-activities", "1", "-procs", "4"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "\"procs\": 4") {
+		t.Errorf("stdout JSON wrong:\n%s", sb.String())
+	}
+}
+
+func TestRunToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.csv")
+	var sb strings.Builder
+	if err := run([]string{"-paper", "-out", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "wrote 7x4x16 cube") {
+		t.Errorf("confirmation wrong: %q", sb.String())
+	}
+	cube, err := tracefmt.OpenCube(path)
+	if err != nil || cube.NumRegions() != 7 {
+		t.Errorf("written cube unreadable: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-profile", "bogus"}, &sb); err == nil {
+		t.Error("bad profile should fail")
+	}
+	if err := run([]string{"-nosuchflag"}, &sb); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

@@ -1,0 +1,112 @@
+// Command traceview renders the qualitative processor-behavior diagrams of
+// the paper's Figures 1 and 2 (per-activity banded patterns) and
+// Jumpshot-style per-rank timelines from event traces.
+//
+// Usage:
+//
+//	traceview -paper -activity computation          # Figure 1
+//	traceview -paper -activity point-to-point       # Figure 2
+//	traceview -in run.limb -activity all
+//	traceview -paper -activity computation -format svg > fig1.svg
+//	traceview -paper -activity computation -format counts
+//	traceview -events run.jsonl -timeline -width 100   # Jumpshot-style lanes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"loadimb/internal/pattern"
+	"loadimb/internal/timeline"
+	"loadimb/internal/trace"
+	"loadimb/internal/tracefmt"
+	"loadimb/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("traceview: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("traceview", flag.ContinueOnError)
+	var (
+		in         = fs.String("in", "", "input tracefile (.limb binary, .json or .csv)")
+		usePaper   = fs.Bool("paper", false, "render the embedded paper case study")
+		activity   = fs.String("activity", "all", "activity to render, or all")
+		format     = fs.String("format", "ascii", "output format: ascii, svg or counts")
+		band       = fs.Float64("band", 0.15, "band fraction of the range (the paper uses 0.15)")
+		eventsIn   = fs.String("events", "", "event trace (JSON Lines) for the timeline view")
+		doTimeline = fs.Bool("timeline", false, "render a Jumpshot-style per-rank timeline from -events")
+		width      = fs.Int("width", 100, "timeline width in columns")
+		from       = fs.Float64("from", 0, "timeline window start, seconds")
+		to         = fs.Float64("to", 0, "timeline window end, seconds (0 = full span)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *doTimeline {
+		if *eventsIn == "" {
+			return fmt.Errorf("-timeline needs -events <file.jsonl>")
+		}
+		evs, err := tracefmt.OpenEvents(*eventsIn)
+		if err != nil {
+			return err
+		}
+		opts := timeline.Options{Width: *width, From: *from, To: *to}
+		if *activity != "all" {
+			opts.Activities = []string{*activity}
+		}
+		tl, err := timeline.New(evs, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, tl.ASCII())
+		return nil
+	}
+
+	cube, err := loadCube(*in, *usePaper)
+	if err != nil {
+		return err
+	}
+	activities := cube.Activities()
+	if *activity != "all" {
+		activities = []string{*activity}
+	}
+	for _, act := range activities {
+		d, err := pattern.New(cube, act, pattern.Options{BandFraction: *band})
+		if err != nil {
+			return err
+		}
+		switch *format {
+		case "ascii":
+			fmt.Fprintln(stdout, d.ASCII())
+		case "svg":
+			fmt.Fprintln(stdout, d.SVG())
+		case "counts":
+			fmt.Fprintln(stdout, d.CountsTable())
+		default:
+			return fmt.Errorf("unknown format %q (want ascii, svg or counts)", *format)
+		}
+	}
+	return nil
+}
+
+func loadCube(path string, usePaper bool) (*trace.Cube, error) {
+	switch {
+	case usePaper && path != "":
+		return nil, fmt.Errorf("use either -in or -paper, not both")
+	case usePaper:
+		return workload.ReconstructCube()
+	case path == "":
+		return nil, fmt.Errorf("no input: pass -in <tracefile> or -paper")
+	}
+	return tracefmt.OpenCube(path)
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"loadimb/internal/trace"
+	"loadimb/internal/tracefmt"
+	"loadimb/internal/workload"
+)
+
+func TestLoadCube(t *testing.T) {
+	if _, err := loadCube("x.limb", true); err == nil {
+		t.Error("both -in and -paper should fail")
+	}
+	if _, err := loadCube("", false); err == nil {
+		t.Error("no input should fail")
+	}
+	cube, err := loadCube("", true)
+	if err != nil || cube.NumRegions() != 7 {
+		t.Fatalf("paper cube: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "c.json")
+	if err := tracefmt.SaveCube(path, cube); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := loadCube(path, false)
+	if err != nil || !cube.EqualWithin(loaded, 0) {
+		t.Errorf("file load failed: %v", err)
+	}
+}
+
+func TestPaperCubeActivities(t *testing.T) {
+	cube, err := workload.ReconstructCube()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cube.Activities(); len(got) != 4 || got[0] != "computation" {
+		t.Errorf("activities = %v", got)
+	}
+}
+
+func TestRunFigures(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-paper", "-activity", "computation"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "legend: M max") {
+		t.Errorf("figure output wrong:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := run([]string{"-paper", "-format", "svg"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "<svg") {
+		t.Error("svg output missing")
+	}
+	sb.Reset()
+	if err := run([]string{"-paper", "-format", "counts", "-activity", "computation"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "upper  5") {
+		t.Errorf("counts output wrong:\n%s", sb.String())
+	}
+	if err := run([]string{"-paper", "-format", "bogus"}, &sb); err == nil {
+		t.Error("unknown format should fail")
+	}
+	if err := run([]string{"-paper", "-activity", "nope"}, &sb); err == nil {
+		t.Error("unknown activity should fail")
+	}
+}
+
+func TestRunTimeline(t *testing.T) {
+	var l trace.Log
+	for _, e := range []trace.Event{
+		{Rank: 0, Region: "r", Activity: "comp", Start: 0, End: 2},
+		{Rank: 1, Region: "r", Activity: "comp", Start: 0, End: 1},
+	} {
+		if err := l.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "ev.jsonl")
+	if err := tracefmt.SaveEvents(path, &l); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-timeline", "-events", path, "-width", "10"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "rank   0 |CCCCCCCCCC|") {
+		t.Errorf("timeline output wrong:\n%s", sb.String())
+	}
+	if err := run([]string{"-timeline"}, &sb); err == nil {
+		t.Error("timeline without events should fail")
+	}
+	if err := run([]string{"-timeline", "-events", filepath.Join(t.TempDir(), "missing.jsonl")}, &sb); err == nil {
+		t.Error("missing events file should fail")
+	}
+}

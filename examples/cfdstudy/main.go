@@ -1,0 +1,108 @@
+// cfdstudy replays the paper's full case study end-to-end, twice:
+//
+//  1. On the reconstructed measurement cube (exact reproduction of
+//     Tables 1-4 and Figures 1-2 from the published marginals).
+//  2. On a fresh run of the simulated CFD program (experiment S2:
+//     simulator fidelity) — the whole pipeline from instrumented
+//     execution through tracefile to analysis, checking that the
+//     qualitative findings agree with the paper's.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"loadimb/internal/cfd"
+	"loadimb/internal/core"
+	"loadimb/internal/mpi"
+	"loadimb/internal/pattern"
+	"loadimb/internal/report"
+	"loadimb/internal/tracefmt"
+	"loadimb/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("=== Part 1: the published case study (reconstructed cube) ===")
+	fmt.Println()
+	cube, err := workload.ReconstructCube()
+	if err != nil {
+		log.Fatal(err)
+	}
+	published, err := core.Analyze(cube, core.AnalyzeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report.Table1(published.Profile))
+	fmt.Println(report.Table2(published))
+	fmt.Println(report.Table3(published))
+	fmt.Println(report.Table4(published))
+	for _, act := range []string{"computation", "point-to-point"} {
+		d, err := pattern.New(cube, act, pattern.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(d.ASCII())
+	}
+	fmt.Print(report.Summary(published))
+
+	fmt.Println()
+	fmt.Println("=== Part 2: fresh run of the simulated CFD program ===")
+	fmt.Println()
+	res, err := cfd.Run(cfd.Defaults())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("residual: %.4g -> %.4g over %d iterations\n",
+		res.Residuals[0], res.Residuals[len(res.Residuals)-1], len(res.Residuals))
+
+	// Round-trip the run through the tracefile format, as a real tool
+	// chain would.
+	var buf bytes.Buffer
+	if err := tracefmt.WriteCube(&buf, res.Cube); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := tracefmt.ReadCube(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	simulated, err := core.Analyze(loaded, core.AnalyzeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report.Table1(simulated.Profile))
+	fmt.Print(report.Summary(simulated))
+
+	fmt.Println()
+	fmt.Println("=== Fidelity check: simulated run vs published study ===")
+	check := func(name string, pub, sim string) {
+		status := "AGREE"
+		if pub != sim {
+			status = "DIFFER"
+		}
+		fmt.Printf("  %-28s published %-16q simulated %-16q %s\n", name, pub, sim, status)
+	}
+	pp, sp := published.Profile, simulated.Profile
+	check("heaviest region",
+		pp.Regions[pp.HeaviestRegion].Region, sp.Regions[sp.HeaviestRegion].Region)
+	check("dominant activity",
+		pp.Activities[pp.DominantActivity].Activity, sp.Activities[sp.DominantActivity].Activity)
+	check("p2p-heaviest region",
+		pp.Regions[pp.WorstRegion[idx(cube.Activities(), mpi.ActPointToPoint)].Region].Region,
+		sp.Regions[sp.WorstRegion[idx(loaded.Activities(), mpi.ActPointToPoint)].Region].Region)
+	check("top tuning candidate",
+		published.Regions[published.TuningCandidates(core.MaxCriterion{})[0].Pos].Name,
+		simulated.Regions[simulated.TuningCandidates(core.MaxCriterion{})[0].Pos].Name)
+}
+
+func idx(names []string, want string) int {
+	for i, n := range names {
+		if n == want {
+			return i
+		}
+	}
+	log.Fatalf("activity %q not found in %v", want, names)
+	return -1
+}

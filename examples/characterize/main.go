@@ -1,0 +1,118 @@
+// characterize applies the Medea-style workload characterization
+// (internal/fit) to the event traces of the simulated programs: for each
+// activity it fits standard distribution families to the measured burst
+// durations and reports the best fit, the step that precedes building a
+// workload model of a traced program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"loadimb/internal/apps"
+	"loadimb/internal/cfd"
+	"loadimb/internal/fit"
+	"loadimb/internal/mpi"
+	"loadimb/internal/stats"
+	"loadimb/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("=== CFD run: activity burst-length characterization ===")
+	res, err := cfd.Run(cfd.Defaults())
+	if err != nil {
+		log.Fatal(err)
+	}
+	characterize(res.Log)
+
+	fmt.Println("\n=== Master-worker run (triangular tasks) ===")
+	cfg := apps.DefaultMasterWorker()
+	cfg.Shape = apps.TriangularTasks
+	mw, err := apps.MasterWorker(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	characterize(mw.Log)
+
+	fmt.Println("\nReading: the KS statistic is the max distance between the empirical")
+	fmt.Println("and fitted CDFs — the smaller, the better the family describes the bursts.")
+
+	fmt.Println("\n=== Phase structure: autocorrelation of the loop-1 burst series ===")
+	detectPhases(res.Log)
+}
+
+// detectPhases recovers the CFD run's iterative structure from the trace
+// alone: the rank-0 computation bursts repeat with the loop period, which
+// the autocorrelation of the burst-length series exposes; windowing the
+// log at that period then isolates one iteration for analysis.
+func detectPhases(logData *trace.Log) {
+	// Rank-0 computation bursts in time order.
+	var bursts []float64
+	for _, e := range logData.Events() {
+		if e.Rank == 0 && e.Activity == mpi.ActComputation {
+			bursts = append(bursts, e.Duration())
+		}
+	}
+	if len(bursts) < 16 {
+		fmt.Println("too few bursts for phase detection")
+		return
+	}
+	acf, err := stats.Autocorrelation(bursts, len(bursts)/2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	period := stats.DominantPeriod(acf, 2)
+	fmt.Printf("%d computation bursts on rank 0; dominant period = %d bursts (the %d-loop iteration)\n",
+		len(bursts), period, period)
+
+	// Window the first iteration of the run and aggregate it alone. The
+	// instrumented part starts after the warmup, at the first event.
+	first := logData.Span()
+	for _, e := range logData.Events() {
+		if e.Start < first {
+			first = e.Start
+		}
+	}
+	iterSpan := (logData.Span() - first) / 30 // Defaults() runs 30 iterations
+	window, err := logData.Window(first, first+iterSpan*1.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cube, err := window.Aggregate(nil, mpi.Activities())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first-iteration window [%.3f s, %.3f s]: %d events, %d regions visible\n",
+		first, first+iterSpan*1.5, window.Len(), cube.NumRegions())
+}
+
+func characterize(logData *trace.Log) {
+	fmt.Printf("%-16s %7s %12s   %-34s %8s\n", "activity", "bursts", "mean (s)", "best fit", "KS")
+	for _, activity := range mpi.Activities() {
+		durations := logData.Durations(activity)
+		if len(durations) < 8 {
+			continue
+		}
+		// Zero-length bursts (instantaneous waits) carry no shape
+		// information; characterize the positive ones.
+		positive := durations[:0:0]
+		total := 0.0
+		for _, d := range durations {
+			if d > 1e-12 {
+				positive = append(positive, d)
+				total += d
+			}
+		}
+		if len(positive) < 8 {
+			continue
+		}
+		best, err := fit.BestFit(positive)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %7d %12.5f   %-34s %8.4f\n",
+			activity, len(positive), total/float64(len(positive)), best.Model.String(), best.KS)
+	}
+}

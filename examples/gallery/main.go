@@ -1,0 +1,120 @@
+// gallery runs the methodology across a variety of simulated parallel
+// programs beyond the CFD study — the paper's future-work direction of
+// analyzing "a large variety of scientific programs" — and on counting
+// parameters (communication bytes) as well as timings:
+//
+//  1. a master-worker task farm, static vs dynamic scheduling (the
+//     methodology quantifies how much dynamic scheduling repairs),
+//  2. a pipelined wavefront sweep (structural imbalance at the pipeline
+//     boundaries),
+//  3. the CFD program's byte counters (is the communication *volume*
+//     imbalanced, or only the time?).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"loadimb/internal/apps"
+	"loadimb/internal/cfd"
+	"loadimb/internal/core"
+	"loadimb/internal/mpi"
+	"loadimb/internal/report"
+	"loadimb/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("=== 1. Master-worker task farm: static vs dynamic scheduling ===")
+	for _, schedule := range []apps.Schedule{apps.StaticSchedule, apps.DynamicSchedule} {
+		cfg := apps.DefaultMasterWorker()
+		cfg.Shape = apps.TriangularTasks // triangular-solve costs: worst case for static blocks
+		cfg.Schedule = schedule
+		res, err := apps.MasterWorker(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		id := workDispersion(res.Cube)
+		fmt.Printf("\n%s scheduling: makespan %.3f s, checksum %.4f\n", schedule, res.Makespan, res.Checksum)
+		fmt.Printf("  computation dispersion in the work region: ID = %.5f\n", id)
+	}
+	fmt.Println("\nthe dispersion index quantifies exactly what dynamic scheduling buys.")
+
+	fmt.Println("\n=== 2. Wavefront sweep: structural pipeline imbalance ===")
+	wf, err := apps.Wavefront(apps.DefaultWavefront())
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := core.Analyze(wf.Cube, core.AnalyzeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println(report.Table3(a))
+	fmt.Print(report.Summary(a))
+	fmt.Println("\nthe p2p imbalance here is pipeline fill/drain — structural, not a work-distribution bug;")
+	fmt.Println("the processor view shows the boundary ranks as the dissimilar ones.")
+
+	fmt.Println("\n=== 3. AMR: time-varying imbalance, localized per phase ===")
+	amr, err := apps.AMR(apps.DefaultAMR())
+	if err != nil {
+		log.Fatal(err)
+	}
+	amrAnalysis, err := core.Analyze(amr.Cube, core.AnalyzeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Printf("%-10s %10s %10s  %s\n", "phase", "ID_C", "SID_C", "most dissimilar processor")
+	for i, r := range amrAnalysis.Regions {
+		best, bestVal := -1, 0.0
+		for p, d := range amrAnalysis.Processors.ByRegion[i] {
+			if d.Defined && (best == -1 || d.ID > bestVal) {
+				best, bestVal = p, d.ID
+			}
+		}
+		fmt.Printf("%-10s %10.5f %10.5f  %d\n", r.Name, r.ID, r.SID, best)
+	}
+	fmt.Println("\nthe refined feature moves across the machine; per-phase regions let the")
+	fmt.Println("methodology follow it — a whole-run average would blur it away.")
+
+	fmt.Println("\n=== 4. CFD counting parameters: bytes instead of seconds ===")
+	res, err := cfd.Run(cfd.Defaults())
+	if err != nil {
+		log.Fatal(err)
+	}
+	timesView, err := core.CodeRegionView(res.Cube, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bytesView, err := core.CodeRegionView(res.BytesCube, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%-10s %14s %14s\n", "region", "ID_C (time)", "ID_C (bytes)")
+	for i := range timesView {
+		tv, bv := timesView[i], bytesView[i]
+		b := "-"
+		if bv.Defined {
+			b = fmt.Sprintf("%.5f", bv.ID)
+		}
+		fmt.Printf("%-10s %14.5f %14s\n", tv.Name, tv.ID, b)
+	}
+	fmt.Println("\ntime imbalance without byte imbalance means waiting, not data volume —")
+	fmt.Println("the halo exchanges move (almost) the same bytes everywhere while the")
+	fmt.Println("skewed computation makes some ranks wait.")
+}
+
+func workDispersion(cube *trace.Cube) float64 {
+	cells, err := core.Dispersions(cube, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	i := cube.RegionIndex("work")
+	j := cube.ActivityIndex(mpi.ActComputation)
+	if i < 0 || j < 0 || !cells[i][j].Defined {
+		log.Fatal("work computation cell missing")
+	}
+	return cells[i][j].ID
+}

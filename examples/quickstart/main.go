@@ -1,0 +1,69 @@
+// Quickstart: build a measurement cube by hand, run the load-imbalance
+// methodology on it and print what it finds.
+//
+// The scenario is the smallest interesting one: a program with two code
+// regions and two activities on four processors, where one region hides a
+// skewed computation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"loadimb/internal/core"
+	"loadimb/internal/report"
+	"loadimb/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Describe the measurements: t[region][activity][processor] wall
+	// clock times, as an instrumented run would record them.
+	cube, err := trace.NewCube(
+		[]string{"assemble", "solve"},
+		[]string{"computation", "communication"},
+		4,
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// "assemble" is balanced.
+	for p, t := range []float64{2.0, 2.1, 1.9, 2.0} {
+		must(cube.Set(0, 0, p, t))
+	}
+	for p, t := range []float64{0.5, 0.5, 0.5, 0.5} {
+		must(cube.Set(0, 1, p, t))
+	}
+	// "solve" computation is skewed: processor 3 does twice the work.
+	for p, t := range []float64{3.0, 3.0, 3.0, 6.0} {
+		must(cube.Set(1, 0, p, t))
+	}
+	// The other processors wait for it in communication.
+	for p, t := range []float64{3.1, 3.0, 2.9, 0.2} {
+		must(cube.Set(1, 1, p, t))
+	}
+
+	// 2. Run the methodology: coarse-grain profile, dispersion indices,
+	// the three views and the clustering, all in one call.
+	analysis, err := core.Analyze(cube, core.AnalyzeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Read the findings.
+	fmt.Print(report.Summary(analysis))
+	fmt.Println()
+	fmt.Println(report.Table4(analysis))
+
+	// 4. Ask directly: which region should we tune first?
+	candidates := analysis.TuningCandidates(core.MaxCriterion{})
+	winner := analysis.Regions[candidates[0].Pos]
+	fmt.Printf("tune %q first: scaled index of dispersion %.5f\n", winner.Name, winner.SID)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

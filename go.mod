@@ -1,0 +1,3 @@
+module loadimb
+
+go 1.22

@@ -1,0 +1,162 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"loadimb/internal/mpi"
+)
+
+// AMRConfig parameterizes the adaptive-mesh-refinement-style application:
+// a moving refined feature concentrates extra work on a shifting subset
+// of ranks, so each phase has a different imbalance pattern — the
+// time-varying case static decompositions handle worst. Each phase is
+// instrumented as its own code region, so the methodology localizes the
+// imbalance phase by phase.
+type AMRConfig struct {
+	// Procs is the number of ranks.
+	Procs int
+	// Phases is the number of refinement phases (each one region).
+	Phases int
+	// BaseWork is the per-rank computation per phase outside the
+	// feature, in virtual seconds.
+	BaseWork float64
+	// RefineFactor multiplies the work of ranks inside the feature.
+	RefineFactor float64
+	// FeatureWidth is how many ranks the feature covers.
+	FeatureWidth int
+	// FaceBytes is the halo size exchanged each phase.
+	FaceBytes int
+	// Cost is the communication cost model; zero selects the default.
+	Cost mpi.CostModel
+}
+
+// DefaultAMR returns a 16-rank run with 6 phases and a 3-rank feature
+// refined 8x.
+func DefaultAMR() AMRConfig {
+	return AMRConfig{
+		Procs:        16,
+		Phases:       6,
+		BaseWork:     0.05,
+		RefineFactor: 8,
+		FeatureWidth: 3,
+		FaceBytes:    1 << 15,
+		Cost:         mpi.DefaultCostModel(),
+	}
+}
+
+// AMRRegionName returns the region name of phase i (0-based).
+func AMRRegionName(i int) string { return fmt.Sprintf("phase %d", i+1) }
+
+// featureCenter returns the rank at the feature's center during phase i:
+// the feature sweeps across the ranks over the run.
+func featureCenter(phase, phases, procs int) int {
+	if phases <= 1 {
+		return 0
+	}
+	return phase * (procs - 1) / (phases - 1)
+}
+
+// amrWork returns rank's computation for the phase.
+func amrWork(cfg AMRConfig, phase, rank int) float64 {
+	center := featureCenter(phase, cfg.Phases, cfg.Procs)
+	dist := int(math.Abs(float64(rank - center)))
+	if dist <= cfg.FeatureWidth/2 {
+		return cfg.BaseWork * cfg.RefineFactor
+	}
+	return cfg.BaseWork
+}
+
+// AMR runs the application and returns its measurements. The checksum is
+// the total computation performed, verified against the analytic value.
+func AMR(cfg AMRConfig) (*Result, error) {
+	if cfg.Procs < 2 {
+		return nil, fmt.Errorf("apps: need at least 2 processors, got %d", cfg.Procs)
+	}
+	if cfg.Phases < 1 {
+		return nil, fmt.Errorf("apps: need at least 1 phase, got %d", cfg.Phases)
+	}
+	if cfg.BaseWork <= 0 || cfg.RefineFactor < 1 {
+		return nil, fmt.Errorf("apps: bad work parameters base %g refine %g", cfg.BaseWork, cfg.RefineFactor)
+	}
+	if cfg.FeatureWidth < 1 || cfg.FeatureWidth > cfg.Procs {
+		return nil, fmt.Errorf("apps: feature width %d out of [1, %d]", cfg.FeatureWidth, cfg.Procs)
+	}
+	if cfg.FaceBytes < 0 {
+		return nil, fmt.Errorf("apps: negative face bytes %d", cfg.FaceBytes)
+	}
+	if cfg.Cost == (mpi.CostModel{}) {
+		cfg.Cost = mpi.DefaultCostModel()
+	}
+	world, err := mpi.NewWorld(cfg.Procs, cfg.Cost)
+	if err != nil {
+		return nil, err
+	}
+	regions := make([]string, cfg.Phases)
+	for i := range regions {
+		regions[i] = AMRRegionName(i)
+	}
+	var checksum float64
+	runErr := world.Run(func(c *mpi.Comm) error {
+		for phase := 0; phase < cfg.Phases; phase++ {
+			if err := c.EnterRegion(regions[phase]); err != nil {
+				return err
+			}
+			work := amrWork(cfg, phase, c.Rank())
+			if err := c.Compute(work); err != nil {
+				return err
+			}
+			// Neighbor halo exchange, as in the CFD solver.
+			if c.Rank()+1 < c.Size() {
+				if err := c.Send(c.Rank()+1, phase*2, cfg.FaceBytes); err != nil {
+					return err
+				}
+			}
+			if c.Rank() > 0 {
+				if err := c.Send(c.Rank()-1, phase*2+1, cfg.FaceBytes); err != nil {
+					return err
+				}
+				if _, err := c.Recv(c.Rank()-1, phase*2); err != nil {
+					return err
+				}
+			}
+			if c.Rank()+1 < c.Size() {
+				if _, err := c.Recv(c.Rank()+1, phase*2+1); err != nil {
+					return err
+				}
+			}
+			// Regrid: exchange load information and synchronize before
+			// the next phase (where the feature moves).
+			sum, err := c.AllreduceSum(work, 8)
+			if err != nil {
+				return err
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			if err := c.ExitRegion(); err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				checksum += sum // every rank sees the global phase work
+			}
+		}
+		return nil
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	return finish(world, regions, checksum)
+}
+
+// ExpectedAMRWork returns the analytic total computation of a run: the
+// sum over phases and ranks of the per-rank work.
+func ExpectedAMRWork(cfg AMRConfig) float64 {
+	total := 0.0
+	for phase := 0; phase < cfg.Phases; phase++ {
+		for rank := 0; rank < cfg.Procs; rank++ {
+			total += amrWork(cfg, phase, rank)
+		}
+	}
+	return total
+}

@@ -1,0 +1,142 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"loadimb/internal/core"
+	"loadimb/internal/mpi"
+)
+
+func fastAMR() AMRConfig {
+	cfg := DefaultAMR()
+	cfg.Procs = 8
+	cfg.Phases = 4
+	return cfg
+}
+
+func TestAMRValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*AMRConfig)
+	}{
+		{"procs", func(c *AMRConfig) { c.Procs = 1 }},
+		{"phases", func(c *AMRConfig) { c.Phases = 0 }},
+		{"base", func(c *AMRConfig) { c.BaseWork = 0 }},
+		{"refine", func(c *AMRConfig) { c.RefineFactor = 0.5 }},
+		{"width zero", func(c *AMRConfig) { c.FeatureWidth = 0 }},
+		{"width huge", func(c *AMRConfig) { c.FeatureWidth = 99 }},
+		{"bytes", func(c *AMRConfig) { c.FaceBytes = -1 }},
+	}
+	for _, c := range cases {
+		cfg := fastAMR()
+		c.mut(&cfg)
+		if _, err := AMR(cfg); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestAMRChecksum(t *testing.T) {
+	cfg := fastAMR()
+	res, err := AMR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ExpectedAMRWork(cfg)
+	if math.Abs(res.Checksum-want) > 1e-9 {
+		t.Errorf("checksum = %g, want %g", res.Checksum, want)
+	}
+}
+
+func TestAMRFeatureMoves(t *testing.T) {
+	cfg := fastAMR()
+	// First phase centered at rank 0, last at the final rank.
+	if featureCenter(0, cfg.Phases, cfg.Procs) != 0 {
+		t.Error("first phase center wrong")
+	}
+	if featureCenter(cfg.Phases-1, cfg.Phases, cfg.Procs) != cfg.Procs-1 {
+		t.Error("last phase center wrong")
+	}
+	// Single-phase degenerate case centers at 0.
+	if featureCenter(0, 1, 8) != 0 {
+		t.Error("single-phase center wrong")
+	}
+	res, err := AMR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc := res.Cube.ActivityIndex(mpi.ActComputation)
+	// In phase 1 rank 0 is refined; in the last phase the last rank is.
+	early0, err := res.Cube.At(0, jc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	earlyLast, err := res.Cube.At(0, jc, cfg.Procs-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if early0 <= earlyLast {
+		t.Errorf("phase 1: rank 0 work %g should exceed last rank's %g", early0, earlyLast)
+	}
+	late0, err := res.Cube.At(cfg.Phases-1, jc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lateLast, err := res.Cube.At(cfg.Phases-1, jc, cfg.Procs-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lateLast <= late0 {
+		t.Errorf("last phase: last rank work %g should exceed rank 0's %g", lateLast, late0)
+	}
+}
+
+func TestAMRProcessorViewTracksFeature(t *testing.T) {
+	cfg := fastAMR()
+	res, err := AMR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(res.Cube, core.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every phase has positive computation dispersion (the feature is
+	// always narrower than the machine).
+	for i := range a.Cells {
+		cell := a.Cells[i][res.Cube.ActivityIndex(mpi.ActComputation)]
+		if !cell.Defined || cell.ID <= 0 {
+			t.Errorf("phase %d: computation dispersion = %+v", i+1, cell)
+		}
+	}
+	// The per-phase most-imbalanced processors differ across phases —
+	// the signature of a moving feature that a whole-run average hides.
+	winners := map[int]bool{}
+	for i := range a.Processors.ByRegion {
+		best, bestVal := -1, 0.0
+		for p, d := range a.Processors.ByRegion[i] {
+			if d.Defined && (best == -1 || d.ID > bestVal) {
+				best, bestVal = p, d.ID
+			}
+		}
+		winners[best] = true
+	}
+	if len(winners) < 2 {
+		t.Errorf("moving feature should shift the most-imbalanced processor; winners = %v", winners)
+	}
+}
+
+func TestAMRDeterministic(t *testing.T) {
+	a, err := AMR(fastAMR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AMR(fastAMR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Cube.EqualWithin(b.Cube, 0) {
+		t.Error("AMR runs should be deterministic")
+	}
+}

@@ -1,0 +1,81 @@
+// Package apps provides additional simulated message-passing applications
+// beyond the CFD study, in the spirit of the paper's future-work plan to
+// "analyze measurements collected ... for a large variety of scientific
+// programs". Each application runs on the internal/mpi virtual machine and
+// produces a measurement cube with a characteristic imbalance signature:
+//
+//   - MasterWorker: a task farm with heterogeneous task costs, runnable
+//     with static (contiguous blocks) or dynamic (greedy list scheduling)
+//     assignment — the textbook case where dynamic scheduling repairs load
+//     imbalance.
+//   - Wavefront: a pipelined sweep (Sweep3D-like) where the pipeline fill
+//     and drain concentrate point-to-point waiting on the boundary ranks.
+package apps
+
+import (
+	"errors"
+	"fmt"
+
+	"loadimb/internal/mpi"
+	"loadimb/internal/trace"
+)
+
+// Result is a run's measurements.
+type Result struct {
+	// Cube is the aggregated measurement cube.
+	Cube *trace.Cube
+	// Log is the raw event trace.
+	Log *trace.Log
+	// Makespan is the longest rank timeline, in virtual seconds.
+	Makespan float64
+	// Checksum is an application-defined result (sum of task outputs,
+	// final wavefront value) evidencing real computation.
+	Checksum float64
+}
+
+func finish(world *mpi.World, regionOrder []string, checksum float64) (*Result, error) {
+	log, err := world.Log()
+	if err != nil {
+		return nil, err
+	}
+	cube, err := log.Aggregate(regionOrder, mpi.Activities())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Cube: cube, Log: log, Makespan: log.Span(), Checksum: checksum}, nil
+}
+
+// splitMix64 is the deterministic PRNG used for task costs.
+type splitMix64 struct{ state uint64 }
+
+func (s *splitMix64) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitMix64) float64() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}
+
+// taskCosts generates n task costs in [base, base*(1+spread)] from seed.
+func taskCosts(n int, base, spread float64, seed uint64) []float64 {
+	rng := splitMix64{state: seed}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = base * (1 + spread*rng.float64())
+	}
+	return out
+}
+
+func validateCommon(procs, tasks int) error {
+	if procs < 2 {
+		return errors.New("apps: need at least 2 processors")
+	}
+	if tasks < procs {
+		return fmt.Errorf("apps: %d tasks for %d processors", tasks, procs)
+	}
+	return nil
+}

@@ -1,0 +1,325 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"loadimb/internal/baseline"
+	"loadimb/internal/core"
+	"loadimb/internal/mpi"
+)
+
+func fastMW(schedule Schedule) MasterWorkerConfig {
+	cfg := DefaultMasterWorker()
+	cfg.Procs = 8
+	cfg.Tasks = 40
+	cfg.Schedule = schedule
+	return cfg
+}
+
+func TestMasterWorkerValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*MasterWorkerConfig)
+	}{
+		{"procs", func(c *MasterWorkerConfig) { c.Procs = 1 }},
+		{"tasks", func(c *MasterWorkerConfig) { c.Tasks = 2 }},
+		{"base", func(c *MasterWorkerConfig) { c.TaskBase = 0 }},
+		{"spread", func(c *MasterWorkerConfig) { c.TaskSpread = -1 }},
+		{"bytes", func(c *MasterWorkerConfig) { c.TaskBytes = -1 }},
+	}
+	for _, c := range cases {
+		cfg := fastMW(StaticSchedule)
+		c.mut(&cfg)
+		if _, err := MasterWorker(cfg); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestMasterWorkerChecksum(t *testing.T) {
+	cfg := fastMW(StaticSchedule)
+	res, err := MasterWorker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The checksum is 2x the sum of the task costs.
+	want := 0.0
+	for _, c := range taskCosts(cfg.Tasks, cfg.TaskBase, cfg.TaskSpread, cfg.Seed) {
+		want += 2 * c
+	}
+	if math.Abs(res.Checksum-want) > 1e-9 {
+		t.Errorf("checksum = %g, want %g", res.Checksum, want)
+	}
+}
+
+func TestMasterWorkerRegions(t *testing.T) {
+	res, err := MasterWorker(fastMW(StaticSchedule))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube := res.Cube
+	if cube.NumRegions() != 3 {
+		t.Fatalf("regions = %v", cube.Regions())
+	}
+	// The master computes nothing; workers compute in "work".
+	jc := cube.ActivityIndex(mpi.ActComputation)
+	v, err := cube.At(cube.RegionIndex("work"), jc, 0)
+	if err != nil || v != 0 {
+		t.Errorf("master compute = %g, %v", v, err)
+	}
+	w1, err := cube.At(cube.RegionIndex("work"), jc, 1)
+	if err != nil || w1 <= 0 {
+		t.Errorf("worker 1 compute = %g, %v", w1, err)
+	}
+}
+
+func TestDynamicBeatsStatic(t *testing.T) {
+	static, err := MasterWorker(fastMW(StaticSchedule))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dynamic, err := MasterWorker(fastMW(DynamicSchedule))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same work, same results.
+	if math.Abs(static.Checksum-dynamic.Checksum) > 1e-9 {
+		t.Fatalf("checksums differ: %g vs %g", static.Checksum, dynamic.Checksum)
+	}
+	// Dynamic scheduling finishes sooner...
+	if dynamic.Makespan >= static.Makespan {
+		t.Errorf("dynamic makespan %g should beat static %g", dynamic.Makespan, static.Makespan)
+	}
+	// ...and its computation is less imbalanced across the workers.
+	imbalance := func(r *Result) float64 {
+		cells, err := core.Dispersions(r.Cube, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j := r.Cube.ActivityIndex(mpi.ActComputation)
+		i := r.Cube.RegionIndex("work")
+		if !cells[i][j].Defined {
+			t.Fatal("work computation undefined")
+		}
+		return cells[i][j].ID
+	}
+	si, di := imbalance(static), imbalance(dynamic)
+	if di >= si {
+		t.Errorf("dynamic dispersion %g should beat static %g", di, si)
+	}
+}
+
+func TestMasterWorkerDeterministic(t *testing.T) {
+	a, err := MasterWorker(fastMW(DynamicSchedule))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MasterWorker(fastMW(DynamicSchedule))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Cube.EqualWithin(b.Cube, 0) || a.Makespan != b.Makespan {
+		t.Error("master-worker runs should be deterministic")
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	for _, s := range []Schedule{StaticSchedule, DynamicSchedule, Schedule(9)} {
+		if s.String() == "" {
+			t.Errorf("empty String for %d", int(s))
+		}
+	}
+}
+
+func TestAssign(t *testing.T) {
+	costs := []float64{5, 1, 1, 1, 1, 1}
+	static := assign(costs, 2, StaticSchedule)
+	if len(static[0]) != 3 || len(static[1]) != 3 {
+		t.Errorf("static plan = %v", static)
+	}
+	dynamic := assign(costs, 2, DynamicSchedule)
+	// Task 0 (cost 5) goes to worker 0; the five unit tasks to worker 1.
+	if len(dynamic[0]) != 1 || dynamic[0][0] != 0 {
+		t.Errorf("dynamic plan = %v", dynamic)
+	}
+	// Every task assigned exactly once.
+	seen := map[int]bool{}
+	for _, tasks := range dynamic {
+		for _, task := range tasks {
+			if seen[task] {
+				t.Fatalf("task %d assigned twice", task)
+			}
+			seen[task] = true
+		}
+	}
+	if len(seen) != len(costs) {
+		t.Errorf("assigned %d of %d tasks", len(seen), len(costs))
+	}
+}
+
+func fastWF() WavefrontConfig {
+	cfg := DefaultWavefront()
+	cfg.Procs = 6
+	cfg.Sweeps = 5
+	return cfg
+}
+
+func TestWavefrontValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*WavefrontConfig)
+	}{
+		{"procs", func(c *WavefrontConfig) { c.Procs = 1 }},
+		{"sweeps", func(c *WavefrontConfig) { c.Sweeps = 0 }},
+		{"cost", func(c *WavefrontConfig) { c.CellCost = 0 }},
+		{"bytes", func(c *WavefrontConfig) { c.FaceBytes = -1 }},
+	}
+	for _, c := range cases {
+		cfg := fastWF()
+		c.mut(&cfg)
+		if _, err := Wavefront(cfg); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestWavefrontChecksum(t *testing.T) {
+	cfg := fastWF()
+	res, err := Wavefront(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ExpectedWavefrontChecksum(cfg.Procs, cfg.Sweeps)
+	if math.Abs(res.Checksum-want) > 1e-9 {
+		t.Errorf("checksum = %g, want %g", res.Checksum, want)
+	}
+}
+
+func TestWavefrontBoundaryRanksWaitMost(t *testing.T) {
+	cfg := fastWF()
+	res, err := Wavefront(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube := res.Cube
+	jp2p := cube.ActivityIndex(mpi.ActPointToPoint)
+	// In the east sweep, rank 0 never waits to receive (it starts the
+	// wave) while the last rank waits through the whole pipeline fill.
+	east := cube.RegionIndex("sweep east")
+	first, err := cube.At(east, jp2p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := cube.At(east, jp2p, cfg.Procs-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last <= first {
+		t.Errorf("pipeline fill: last rank p2p %g should exceed first rank's %g", last, first)
+	}
+	// The methodology flags the sweep regions' p2p as imbalanced.
+	cells, err := core.Dispersions(cube, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cells[east][jp2p].Defined || cells[east][jp2p].ID < 0.05 {
+		t.Errorf("east sweep p2p dispersion = %+v, want clearly imbalanced", cells[east][jp2p])
+	}
+}
+
+func TestWavefrontDeterministic(t *testing.T) {
+	a, err := Wavefront(fastWF())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Wavefront(fastWF())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Cube.EqualWithin(b.Cube, 0) {
+		t.Error("wavefront runs should be deterministic")
+	}
+}
+
+func TestAppsBaselineComparison(t *testing.T) {
+	// The baseline imbalance-time metric agrees with the dispersion
+	// index that static scheduling is worse.
+	static, err := MasterWorker(fastMW(StaticSchedule))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dynamic, err := MasterWorker(fastMW(DynamicSchedule))
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := func(r *Result) float64 {
+		ranked, err := baseline.RankRegions(r.Cube, baseline.ImbalanceTime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rs := range ranked {
+			if rs.Name == "work" {
+				return rs.Score
+			}
+		}
+		t.Fatal("work region not ranked")
+		return 0
+	}
+	if score(dynamic) >= score(static) {
+		t.Errorf("dynamic imbalance time %g should beat static %g", score(dynamic), score(static))
+	}
+}
+
+func TestTriangularTasks(t *testing.T) {
+	cfg := fastMW(StaticSchedule)
+	cfg.Shape = TriangularTasks
+	costs := cfg.costs()
+	if len(costs) != cfg.Tasks {
+		t.Fatalf("%d costs", len(costs))
+	}
+	// Strictly decreasing, from base*(1+spread) to base.
+	for i := 1; i < len(costs); i++ {
+		if costs[i] >= costs[i-1] {
+			t.Fatalf("costs not decreasing at %d: %g >= %g", i, costs[i], costs[i-1])
+		}
+	}
+	if math.Abs(costs[0]-cfg.TaskBase*(1+cfg.TaskSpread)) > 1e-12 {
+		t.Errorf("first cost = %g", costs[0])
+	}
+	if math.Abs(costs[len(costs)-1]-cfg.TaskBase) > 1e-12 {
+		t.Errorf("last cost = %g", costs[len(costs)-1])
+	}
+}
+
+func TestTriangularStaticIsWorseThanRandom(t *testing.T) {
+	random := fastMW(StaticSchedule)
+	triangular := fastMW(StaticSchedule)
+	triangular.Shape = TriangularTasks
+	resR, err := MasterWorker(random)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resT, err := MasterWorker(triangular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imb := func(r *Result) float64 {
+		cells, err := core.Dispersions(r.Cube, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cells[r.Cube.RegionIndex("work")][r.Cube.ActivityIndex(mpi.ActComputation)].ID
+	}
+	if imb(resT) <= imb(resR) {
+		t.Errorf("triangular static dispersion %g should exceed random %g", imb(resT), imb(resR))
+	}
+}
+
+func TestTaskShapeString(t *testing.T) {
+	for _, s := range []TaskShape{RandomTasks, TriangularTasks, TaskShape(9)} {
+		if s.String() == "" {
+			t.Errorf("empty String for %d", int(s))
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package apps
+
+import (
+	"fmt"
+
+	"loadimb/internal/mpi"
+)
+
+// Master-worker region names.
+var mwRegions = []string{"dispatch", "work", "collect"}
+
+// Schedule selects the master-worker assignment policy.
+type Schedule int
+
+// Assignment policies.
+const (
+	// StaticSchedule pre-partitions tasks into contiguous blocks, one
+	// per worker: with heterogeneous costs, some workers finish early
+	// and the imbalance shows in the collect phase.
+	StaticSchedule Schedule = iota
+	// DynamicSchedule assigns each task to the worker that would finish
+	// it earliest (greedy list scheduling over the known costs), the
+	// classic repair for heterogeneous tasks.
+	DynamicSchedule
+)
+
+// String returns the schedule name.
+func (s Schedule) String() string {
+	switch s {
+	case StaticSchedule:
+		return "static"
+	case DynamicSchedule:
+		return "dynamic"
+	}
+	return fmt.Sprintf("Schedule(%d)", int(s))
+}
+
+// TaskShape selects how task costs vary.
+type TaskShape int
+
+// Task cost shapes.
+const (
+	// RandomTasks draws costs uniformly in [base, base*(1+spread)].
+	RandomTasks TaskShape = iota
+	// TriangularTasks makes cost decrease linearly with task index, as
+	// in a triangular solve: task 0 costs base*(1+spread), the last
+	// task costs base. Contiguous static blocks are then maximally
+	// imbalanced.
+	TriangularTasks
+)
+
+// String returns the shape name.
+func (s TaskShape) String() string {
+	switch s {
+	case RandomTasks:
+		return "random"
+	case TriangularTasks:
+		return "triangular"
+	}
+	return fmt.Sprintf("TaskShape(%d)", int(s))
+}
+
+// MasterWorkerConfig parameterizes a task-farm run.
+type MasterWorkerConfig struct {
+	// Procs is the total number of ranks; rank 0 is the master, the
+	// rest are workers.
+	Procs int
+	// Tasks is the number of tasks.
+	Tasks int
+	// TaskBase is the minimum task cost in virtual seconds; TaskSpread
+	// scales the heterogeneity (cost in [base, base*(1+spread)]).
+	TaskBase, TaskSpread float64
+	// TaskBytes is the size of a task and of a result message.
+	TaskBytes int
+	// Shape selects the task-cost distribution.
+	Shape TaskShape
+	// Schedule is the assignment policy.
+	Schedule Schedule
+	// Seed selects the task-cost stream.
+	Seed uint64
+	// Cost is the communication cost model; zero selects the default.
+	Cost mpi.CostModel
+}
+
+// DefaultMasterWorker returns a 16-rank farm with 120 heterogeneous
+// tasks.
+func DefaultMasterWorker() MasterWorkerConfig {
+	return MasterWorkerConfig{
+		Procs:      16,
+		Tasks:      120,
+		TaskBase:   0.05,
+		TaskSpread: 4,
+		TaskBytes:  1 << 16,
+		Seed:       42,
+		Cost:       mpi.DefaultCostModel(),
+	}
+}
+
+// costs generates the task cost vector of the configuration.
+func (cfg MasterWorkerConfig) costs() []float64 {
+	if cfg.Shape == TriangularTasks {
+		out := make([]float64, cfg.Tasks)
+		for i := range out {
+			frac := 1 - float64(i)/float64(cfg.Tasks-1)
+			out[i] = cfg.TaskBase * (1 + cfg.TaskSpread*frac)
+		}
+		return out
+	}
+	return taskCosts(cfg.Tasks, cfg.TaskBase, cfg.TaskSpread, cfg.Seed)
+}
+
+// assign plans which worker executes each task. Workers are numbered
+// 0..workers-1 (rank = worker + 1).
+func assign(costs []float64, workers int, schedule Schedule) [][]int {
+	plan := make([][]int, workers)
+	switch schedule {
+	case DynamicSchedule:
+		// Greedy list scheduling: each task goes to the worker with the
+		// smallest accumulated load.
+		load := make([]float64, workers)
+		for t, cost := range costs {
+			best := 0
+			for w := 1; w < workers; w++ {
+				if load[w] < load[best] {
+					best = w
+				}
+			}
+			plan[best] = append(plan[best], t)
+			load[best] += cost
+		}
+	default: // StaticSchedule
+		per := (len(costs) + workers - 1) / workers
+		for t := range costs {
+			w := t / per
+			if w >= workers {
+				w = workers - 1
+			}
+			plan[w] = append(plan[w], t)
+		}
+	}
+	return plan
+}
+
+// MasterWorker runs the task farm and returns its measurements. The
+// master dispatches task descriptors (cost as payload), workers compute
+// for the task's cost and return a result; a final barrier and reduce
+// close the run.
+func MasterWorker(cfg MasterWorkerConfig) (*Result, error) {
+	if err := validateCommon(cfg.Procs, cfg.Tasks); err != nil {
+		return nil, err
+	}
+	if cfg.TaskBase <= 0 || cfg.TaskSpread < 0 {
+		return nil, fmt.Errorf("apps: bad task costs base %g spread %g", cfg.TaskBase, cfg.TaskSpread)
+	}
+	if cfg.TaskBytes < 0 {
+		return nil, fmt.Errorf("apps: negative task bytes %d", cfg.TaskBytes)
+	}
+	if cfg.Cost == (mpi.CostModel{}) {
+		cfg.Cost = mpi.DefaultCostModel()
+	}
+	world, err := mpi.NewWorld(cfg.Procs, cfg.Cost)
+	if err != nil {
+		return nil, err
+	}
+	costs := cfg.costs()
+	workers := cfg.Procs - 1
+	plan := assign(costs, workers, cfg.Schedule)
+
+	var checksum float64
+	runErr := world.Run(func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			return master(c, costs, plan, cfg.TaskBytes, &checksum)
+		}
+		return worker(c, cfg.TaskBytes)
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	return finish(world, mwRegions, checksum)
+}
+
+// master dispatches each worker's task list, collects the results, and
+// verifies the checksum.
+func master(c *mpi.Comm, costs []float64, plan [][]int, bytes int, checksum *float64) error {
+	// Dispatch: one message per task, in plan order interleaved across
+	// workers so early tasks reach every worker quickly.
+	if err := c.EnterRegion(mwRegions[0]); err != nil {
+		return err
+	}
+	maxTasks := 0
+	for _, tasks := range plan {
+		if len(tasks) > maxTasks {
+			maxTasks = len(tasks)
+		}
+	}
+	for round := 0; round < maxTasks; round++ {
+		for w, tasks := range plan {
+			if round >= len(tasks) {
+				continue
+			}
+			t := tasks[round]
+			if err := c.SendData(w+1, tagFor(w, round), bytes, costs[t]); err != nil {
+				return err
+			}
+		}
+	}
+	// Termination: an end-of-tasks marker per worker, on the tag the
+	// worker will poll right after its last task.
+	for w, tasks := range plan {
+		if err := c.SendData(w+1, tagFor(w, len(tasks)), 0, nil); err != nil {
+			return err
+		}
+	}
+	if err := c.ExitRegion(); err != nil {
+		return err
+	}
+	// Collect: one result per task, in the same order.
+	if err := c.EnterRegion(mwRegions[2]); err != nil {
+		return err
+	}
+	total := 0.0
+	for round := 0; round < maxTasks; round++ {
+		for w, tasks := range plan {
+			if round >= len(tasks) {
+				continue
+			}
+			_, payload, err := c.RecvData(w+1, resultTag(w, round))
+			if err != nil {
+				return err
+			}
+			v, ok := payload.(float64)
+			if !ok {
+				return fmt.Errorf("apps: bad result payload %T", payload)
+			}
+			total += v
+		}
+	}
+	*checksum = total
+	// Close the run together with the workers.
+	if err := c.Barrier(); err != nil {
+		return err
+	}
+	if _, err := c.ReduceSum(0, total, 8); err != nil {
+		return err
+	}
+	return c.ExitRegion()
+}
+
+// worker receives tasks until the termination marker, computing each and
+// returning a result.
+func worker(c *mpi.Comm, bytes int) error {
+	w := c.Rank() - 1
+	if err := c.EnterRegion(mwRegions[1]); err != nil {
+		return err
+	}
+	for round := 0; ; round++ {
+		_, payload, err := c.RecvData(0, tagFor(w, round))
+		if err != nil {
+			return err
+		}
+		cost, ok := payload.(float64)
+		if !ok { // termination marker
+			break
+		}
+		if err := c.Compute(cost); err != nil {
+			return err
+		}
+		// The "result" is a deterministic function of the cost.
+		if err := c.SendData(0, resultTag(w, round), bytes, cost*2); err != nil {
+			return err
+		}
+	}
+	if err := c.ExitRegion(); err != nil {
+		return err
+	}
+	if err := c.EnterRegion(mwRegions[2]); err != nil {
+		return err
+	}
+	if err := c.Barrier(); err != nil {
+		return err
+	}
+	if _, err := c.ReduceSum(0, 0, 8); err != nil {
+		return err
+	}
+	return c.ExitRegion()
+}
+
+func tagFor(worker, round int) int    { return worker*100000 + round*2 }
+func resultTag(worker, round int) int { return worker*100000 + round*2 + 1 }

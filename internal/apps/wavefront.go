@@ -1,0 +1,180 @@
+package apps
+
+import (
+	"fmt"
+
+	"loadimb/internal/mpi"
+)
+
+// Wavefront region names.
+var wfRegions = []string{"sweep east", "sweep west", "convergence"}
+
+// WavefrontConfig parameterizes a pipelined sweep run (the communication
+// structure of Sweep3D-style transport codes): each rank owns a column
+// block; a sweep propagates a dependency from rank 0 to the last rank
+// (east) and back (west), so the pipeline fill and drain make the
+// boundary ranks wait — an imbalance that is structural, not a work
+// distribution defect.
+type WavefrontConfig struct {
+	// Procs is the number of ranks in the pipeline.
+	Procs int
+	// Sweeps is the number of east+west sweep pairs.
+	Sweeps int
+	// CellCost is the per-rank computation per sweep step, in virtual
+	// seconds.
+	CellCost float64
+	// FaceBytes is the size of the face exchanged between neighbors.
+	FaceBytes int
+	// Cost is the communication cost model; zero selects the default.
+	Cost mpi.CostModel
+}
+
+// DefaultWavefront returns a 16-rank pipeline with 20 sweep pairs.
+func DefaultWavefront() WavefrontConfig {
+	return WavefrontConfig{
+		Procs:     16,
+		Sweeps:    20,
+		CellCost:  0.02,
+		FaceBytes: 1 << 15,
+		Cost:      mpi.DefaultCostModel(),
+	}
+}
+
+// Wavefront runs the pipelined sweep and returns its measurements. The
+// wave carries a running value through the pipeline (each rank adds its
+// rank+1), so the checksum proves the dependency chain really executed in
+// order.
+func Wavefront(cfg WavefrontConfig) (*Result, error) {
+	if cfg.Procs < 2 {
+		return nil, fmt.Errorf("apps: need at least 2 processors, got %d", cfg.Procs)
+	}
+	if cfg.Sweeps < 1 {
+		return nil, fmt.Errorf("apps: need at least 1 sweep, got %d", cfg.Sweeps)
+	}
+	if cfg.CellCost <= 0 {
+		return nil, fmt.Errorf("apps: cell cost %g must be positive", cfg.CellCost)
+	}
+	if cfg.FaceBytes < 0 {
+		return nil, fmt.Errorf("apps: negative face bytes %d", cfg.FaceBytes)
+	}
+	if cfg.Cost == (mpi.CostModel{}) {
+		cfg.Cost = mpi.DefaultCostModel()
+	}
+	world, err := mpi.NewWorld(cfg.Procs, cfg.Cost)
+	if err != nil {
+		return nil, err
+	}
+	var checksum float64
+	runErr := world.Run(func(c *mpi.Comm) error {
+		rank, size := c.Rank(), c.Size()
+		wave := 0.0
+		for sweep := 0; sweep < cfg.Sweeps; sweep++ {
+			// East sweep: 0 -> size-1.
+			if err := c.EnterRegion(wfRegions[0]); err != nil {
+				return err
+			}
+			if rank > 0 {
+				_, payload, err := c.RecvData(rank-1, sweep*4)
+				if err != nil {
+					return err
+				}
+				v, ok := payload.(float64)
+				if !ok {
+					return fmt.Errorf("apps: bad east wave payload %T", payload)
+				}
+				wave = v
+			}
+			if err := c.Compute(cfg.CellCost); err != nil {
+				return err
+			}
+			wave += float64(rank + 1)
+			if rank+1 < size {
+				if err := c.SendData(rank+1, sweep*4, cfg.FaceBytes, wave); err != nil {
+					return err
+				}
+			}
+			if err := c.ExitRegion(); err != nil {
+				return err
+			}
+			// West sweep: size-1 -> 0.
+			if err := c.EnterRegion(wfRegions[1]); err != nil {
+				return err
+			}
+			if rank+1 < size {
+				_, payload, err := c.RecvData(rank+1, sweep*4+1)
+				if err != nil {
+					return err
+				}
+				v, ok := payload.(float64)
+				if !ok {
+					return fmt.Errorf("apps: bad west wave payload %T", payload)
+				}
+				wave = v
+			}
+			if err := c.Compute(cfg.CellCost); err != nil {
+				return err
+			}
+			wave += float64(rank + 1)
+			if rank > 0 {
+				if err := c.SendData(rank-1, sweep*4+1, cfg.FaceBytes, wave); err != nil {
+					return err
+				}
+			}
+			if err := c.ExitRegion(); err != nil {
+				return err
+			}
+		}
+		// Convergence check: a global reduction of the wave values.
+		if err := c.EnterRegion(wfRegions[2]); err != nil {
+			return err
+		}
+		sum, err := c.AllreduceSum(wave, 8)
+		if err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if rank == 0 {
+			checksum = sum
+		}
+		return c.ExitRegion()
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	return finish(world, wfRegions, checksum)
+}
+
+// ExpectedWavefrontChecksum returns the analytically expected checksum of
+// a run: the wave value accumulated through every sweep, summed over
+// ranks at the end. Tests compare it with the measured checksum to prove
+// the dependency chain executed.
+func ExpectedWavefrontChecksum(procs, sweeps int) float64 {
+	waves := make([]float64, procs)
+	for s := 0; s < sweeps; s++ {
+		// East: rank r receives rank r-1's wave, adds r+1.
+		carry := 0.0
+		for r := 0; r < procs; r++ {
+			if r > 0 {
+				waves[r] = carry
+			}
+			waves[r] += float64(r + 1)
+			carry = waves[r]
+		}
+		// West: rank r receives rank r+1's wave, adds r+1.
+		carry = 0.0
+		for r := procs - 1; r >= 0; r-- {
+			if r < procs-1 {
+				waves[r] = carry
+			}
+			waves[r] += float64(r + 1)
+			carry = waves[r]
+		}
+	}
+	total := 0.0
+	for _, w := range waves {
+		total += w
+	}
+	return total
+}

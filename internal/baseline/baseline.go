@@ -1,0 +1,285 @@
+// Package baseline implements the load-imbalance metrics used by
+// contemporaneous performance tools (Cray MPP Apprentice, Paradyn-style
+// threshold metrics, and the later Scalasca/TAU conventions), as
+// comparators for the paper's dispersion-index methodology:
+//
+//   - percent imbalance: (max/mean - 1) * 100
+//   - imbalance time: max - mean (absolute cost of the imbalance)
+//   - imbalance percentage: (max-mean)/max * P/(P-1) * 100, normalized so
+//     one processor doing everything scores 100%
+//   - CoV ranking: coefficient of variation of the raw times
+//
+// These metrics operate on the raw per-processor times of one (region,
+// activity) cell, unlike the paper's standardized Euclidean index, and are
+// absolute (imbalance time) or relative (the percentages). RankRegions
+// applies any of them cube-wide for side-by-side comparison with the
+// paper's SID ranking.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"loadimb/internal/stats"
+	"loadimb/internal/trace"
+)
+
+// ErrEmpty is returned when a metric is applied to an empty data set.
+var ErrEmpty = errors.New("baseline: empty data set")
+
+// A Metric measures the load imbalance of the raw per-processor times of
+// one cell.
+type Metric interface {
+	// Name identifies the metric.
+	Name() string
+	// Of computes the metric over raw (not standardized) times. It
+	// returns 0 for a cell with zero total time.
+	Of(times []float64) float64
+}
+
+// metricFunc adapts a function to Metric.
+type metricFunc struct {
+	name string
+	f    func([]float64) float64
+}
+
+func (m metricFunc) Name() string            { return m.name }
+func (m metricFunc) Of(ts []float64) float64 { return m.f(ts) }
+
+// PercentImbalance is (max/mean - 1) * 100, the classic "percent
+// imbalance" metric: 0 for balanced, (P-1)*100 when one processor does
+// all the work.
+var PercentImbalance Metric = metricFunc{"percent-imbalance", func(ts []float64) float64 {
+	s := stats.Summarize(ts)
+	if s.Mean == 0 {
+		return 0
+	}
+	return (s.Max/s.Mean - 1) * 100
+}}
+
+// ImbalanceTime is max - mean: the wall clock time attributable to the
+// imbalance (the time the slowest processor spends beyond the ideal
+// balanced share). Unlike the relative indices it is an absolute cost, so
+// it needs no extra scaling step to reflect significance.
+var ImbalanceTime Metric = metricFunc{"imbalance-time", func(ts []float64) float64 {
+	s := stats.Summarize(ts)
+	return s.Max - s.Mean
+}}
+
+// ImbalancePercentage is (max-mean)/max * P/(P-1) * 100: the fraction of
+// the critical path wasted by imbalance, normalized to score 100 when a
+// single processor does everything.
+var ImbalancePercentage Metric = metricFunc{"imbalance-percentage", func(ts []float64) float64 {
+	s := stats.Summarize(ts)
+	if s.Max == 0 || s.N < 2 {
+		return 0
+	}
+	return (s.Max - s.Mean) / s.Max * float64(s.N) / float64(s.N-1) * 100
+}}
+
+// CoVMetric ranks by the coefficient of variation of the raw times.
+var CoVMetric Metric = metricFunc{"cov", func(ts []float64) float64 {
+	return stats.Summarize(ts).CoV()
+}}
+
+// Metrics returns the built-in baseline metrics in a stable order.
+func Metrics() []Metric {
+	return []Metric{PercentImbalance, ImbalanceTime, ImbalancePercentage, CoVMetric}
+}
+
+// MetricByName returns the named metric, or false.
+func MetricByName(name string) (Metric, bool) {
+	for _, m := range Metrics() {
+		if m.Name() == name {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// RegionScore is a region's aggregate score under a baseline metric.
+type RegionScore struct {
+	// Region is the cube region index.
+	Region int
+	// Name is the region name.
+	Name string
+	// Score is the aggregate metric value.
+	Score float64
+}
+
+// RankRegions scores every region of the cube with the metric applied to
+// the region's total per-processor times (summed over activities) and
+// returns the regions sorted by decreasing score. This is how
+// threshold-based tools point at "the most imbalanced code region".
+func RankRegions(cube *trace.Cube, m Metric) ([]RegionScore, error) {
+	if cube == nil {
+		return nil, errors.New("baseline: nil cube")
+	}
+	names := cube.Regions()
+	out := make([]RegionScore, cube.NumRegions())
+	for i := range out {
+		times := make([]float64, cube.NumProcs())
+		for p := range times {
+			v, err := cube.ProcRegionTime(i, p)
+			if err != nil {
+				return nil, err
+			}
+			times[p] = v
+		}
+		out[i] = RegionScore{Region: i, Name: names[i], Score: m.Of(times)}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Score > out[b].Score })
+	return out, nil
+}
+
+// CellScore is one cell's value under a baseline metric.
+type CellScore struct {
+	// Region and Activity are cube indices.
+	Region, Activity int
+	// Defined is false when the activity is absent from the region.
+	Defined bool
+	// Score is the metric value.
+	Score float64
+}
+
+// ScoreCells applies the metric to every (region, activity) cell,
+// mirroring the paper's Table 2 with a baseline metric.
+func ScoreCells(cube *trace.Cube, m Metric) ([][]CellScore, error) {
+	if cube == nil {
+		return nil, errors.New("baseline: nil cube")
+	}
+	out := make([][]CellScore, cube.NumRegions())
+	for i := range out {
+		out[i] = make([]CellScore, cube.NumActivities())
+		for j := range out[i] {
+			out[i][j] = CellScore{Region: i, Activity: j}
+			times, err := cube.ProcTimes(i, j)
+			if err != nil {
+				return nil, err
+			}
+			if stats.Sum(times) == 0 {
+				continue
+			}
+			out[i][j].Defined = true
+			out[i][j].Score = m.Of(times)
+		}
+	}
+	return out, nil
+}
+
+// Agreement quantifies how similarly two rankings order the same items:
+// the Kendall tau-a rank correlation in [-1, 1] of the two score slices
+// (1 = identical order, -1 = reversed). Rankings of different lengths are
+// an error.
+func Agreement(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("baseline: rankings have %d and %d items", len(a), len(b))
+	}
+	n := len(a)
+	if n < 2 {
+		return 0, fmt.Errorf("%w: need at least 2 items", ErrEmpty)
+	}
+	concordant := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			da, db := a[i]-a[j], b[i]-b[j]
+			switch {
+			case da*db > 0:
+				concordant++
+			case da*db < 0:
+				concordant--
+			}
+		}
+	}
+	pairs := n * (n - 1) / 2
+	return float64(concordant) / float64(pairs), nil
+}
+
+// CriticalPathLoss estimates the fraction of the program's aggregate
+// processor-seconds lost to imbalance: sum over regions of (max - mean)
+// divided by the program wall clock time. It is the absolute-damage
+// summary that the paper's relative indices deliberately do not provide.
+func CriticalPathLoss(cube *trace.Cube) (float64, error) {
+	if cube == nil {
+		return 0, errors.New("baseline: nil cube")
+	}
+	loss := 0.0
+	for i := 0; i < cube.NumRegions(); i++ {
+		times := make([]float64, cube.NumProcs())
+		for p := range times {
+			v, err := cube.ProcRegionTime(i, p)
+			if err != nil {
+				return 0, err
+			}
+			times[p] = v
+		}
+		s := stats.Summarize(times)
+		loss += s.Max - s.Mean
+	}
+	t := cube.ProgramTime()
+	if t <= 0 {
+		return 0, errors.New("baseline: zero program time")
+	}
+	if math.IsNaN(loss) {
+		return 0, errors.New("baseline: NaN loss")
+	}
+	return loss / t, nil
+}
+
+// Spearman returns the Spearman rank correlation of two score slices in
+// [-1, 1]: the Pearson correlation of the rank vectors (average ranks for
+// ties). Where Kendall's tau counts pairwise inversions, Spearman weights
+// by rank distance; reporting both is conventional in metric-agreement
+// studies.
+func Spearman(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("baseline: rankings have %d and %d items", len(a), len(b))
+	}
+	n := len(a)
+	if n < 2 {
+		return 0, fmt.Errorf("%w: need at least 2 items", ErrEmpty)
+	}
+	ra, rb := ranks(a), ranks(b)
+	meanA, meanB := 0.0, 0.0
+	for i := range ra {
+		meanA += ra[i]
+		meanB += rb[i]
+	}
+	meanA /= float64(n)
+	meanB /= float64(n)
+	num, da, db := 0.0, 0.0, 0.0
+	for i := range ra {
+		x, y := ra[i]-meanA, rb[i]-meanB
+		num += x * y
+		da += x * x
+		db += y * y
+	}
+	if da == 0 || db == 0 {
+		return 0, nil // a constant ranking correlates with nothing
+	}
+	return num / math.Sqrt(da*db), nil
+}
+
+// ranks returns the 1-based average ranks of xs.
+func ranks(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, len(xs))
+	for i := 0; i < len(idx); {
+		j := i
+		for j+1 < len(idx) && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"loadimb/internal/trace"
+	"loadimb/internal/workload"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPercentImbalance(t *testing.T) {
+	if got := PercentImbalance.Of([]float64{1, 1, 1, 1}); got != 0 {
+		t.Errorf("balanced = %g", got)
+	}
+	// One of four does everything: max 4, mean 1 -> 300%.
+	if got := PercentImbalance.Of([]float64{4, 0, 0, 0}); !almost(got, 300, 1e-9) {
+		t.Errorf("one-hot = %g, want 300", got)
+	}
+	if got := PercentImbalance.Of([]float64{0, 0}); got != 0 {
+		t.Errorf("zero total = %g", got)
+	}
+}
+
+func TestImbalanceTime(t *testing.T) {
+	if got := ImbalanceTime.Of([]float64{3, 1}); !almost(got, 1, 1e-9) {
+		t.Errorf("= %g, want 1 (max 3, mean 2)", got)
+	}
+	if got := ImbalanceTime.Of([]float64{5, 5}); got != 0 {
+		t.Errorf("balanced = %g", got)
+	}
+}
+
+func TestImbalancePercentage(t *testing.T) {
+	// One of four doing everything scores exactly 100.
+	if got := ImbalancePercentage.Of([]float64{4, 0, 0, 0}); !almost(got, 100, 1e-9) {
+		t.Errorf("one-hot = %g, want 100", got)
+	}
+	if got := ImbalancePercentage.Of([]float64{1, 1}); got != 0 {
+		t.Errorf("balanced = %g", got)
+	}
+	if got := ImbalancePercentage.Of([]float64{0, 0}); got != 0 {
+		t.Errorf("zero = %g", got)
+	}
+	if got := ImbalancePercentage.Of([]float64{5}); got != 0 {
+		t.Errorf("singleton = %g", got)
+	}
+}
+
+func TestCoVMetric(t *testing.T) {
+	if got := CoVMetric.Of([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !almost(got, 0.4, 1e-9) {
+		t.Errorf("CoV = %g, want 0.4", got)
+	}
+}
+
+func TestMetricByName(t *testing.T) {
+	for _, m := range Metrics() {
+		got, ok := MetricByName(m.Name())
+		if !ok || got.Name() != m.Name() {
+			t.Errorf("MetricByName(%q) failed", m.Name())
+		}
+	}
+	if _, ok := MetricByName("nope"); ok {
+		t.Error("unknown metric should fail")
+	}
+}
+
+func TestRankRegions(t *testing.T) {
+	cube, err := trace.NewCube([]string{"balanced", "skewed"}, []string{"a"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 2; p++ {
+		if err := cube.Set(0, 0, p, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cube.Set(1, 0, 0, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := cube.Set(1, 0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := RankRegions(cube, PercentImbalance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[0].Name != "skewed" || scores[1].Name != "balanced" {
+		t.Errorf("ranking = %v", scores)
+	}
+	if scores[1].Score != 0 {
+		t.Errorf("balanced score = %g", scores[1].Score)
+	}
+	if _, err := RankRegions(nil, PercentImbalance); err == nil {
+		t.Error("nil cube should fail")
+	}
+}
+
+func TestScoreCells(t *testing.T) {
+	cube, err := trace.NewCube([]string{"r"}, []string{"used", "unused"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cube.Set(0, 0, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := cube.Set(0, 0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	cells, err := ScoreCells(cube, ImbalanceTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cells[0][0].Defined || !almost(cells[0][0].Score, 1, 1e-9) {
+		t.Errorf("cell (0,0) = %+v", cells[0][0])
+	}
+	if cells[0][1].Defined {
+		t.Errorf("absent cell = %+v", cells[0][1])
+	}
+	if _, err := ScoreCells(nil, ImbalanceTime); err == nil {
+		t.Error("nil cube should fail")
+	}
+}
+
+func TestAgreement(t *testing.T) {
+	identical, err := Agreement([]float64{3, 2, 1}, []float64{30, 20, 10})
+	if err != nil || identical != 1 {
+		t.Errorf("identical order = %g, %v", identical, err)
+	}
+	reversed, err := Agreement([]float64{3, 2, 1}, []float64{1, 2, 3})
+	if err != nil || reversed != -1 {
+		t.Errorf("reversed order = %g, %v", reversed, err)
+	}
+	if _, err := Agreement([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := Agreement([]float64{1}, []float64{1}); err == nil {
+		t.Error("single item should fail")
+	}
+	ties, err := Agreement([]float64{1, 1}, []float64{1, 2})
+	if err != nil || ties != 0 {
+		t.Errorf("tied pair = %g, %v", ties, err)
+	}
+}
+
+func TestCriticalPathLoss(t *testing.T) {
+	cube, err := workload.ReconstructCube()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss, err := CriticalPathLoss(cube)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss <= 0 || loss >= 1 {
+		t.Errorf("loss = %g, want a small positive fraction", loss)
+	}
+	if _, err := CriticalPathLoss(nil); err == nil {
+		t.Error("nil cube should fail")
+	}
+}
+
+// TestBaselineAgreesOnObviousCase: on a cube where one region is clearly
+// the most imbalanced, every baseline metric and the paper's SID agree on
+// the winner.
+func TestBaselineAgreesOnObviousCase(t *testing.T) {
+	spec := workload.Uniform(3, 1, 8)
+	spec.CellTime = func(i, j int) float64 { return 10 }
+	cube, err := workload.Synthesize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite region 2 with a heavily imbalanced distribution.
+	shares, err := workload.OneHotProfile{}.Shares(8, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, s := range shares {
+		if err := cube.Set(2, 0, p, 80*s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, m := range Metrics() {
+		scores, err := RankRegions(cube, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if scores[0].Region != 2 {
+			t.Errorf("%s picked region %d, want 2", m.Name(), scores[0].Region)
+		}
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	same, err := Spearman([]float64{1, 2, 3}, []float64{10, 20, 30})
+	if err != nil || !almost(same, 1, 1e-12) {
+		t.Errorf("identical order = %g, %v", same, err)
+	}
+	rev, err := Spearman([]float64{1, 2, 3}, []float64{3, 2, 1})
+	if err != nil || !almost(rev, -1, 1e-12) {
+		t.Errorf("reversed = %g, %v", rev, err)
+	}
+	if _, err := Spearman([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := Spearman([]float64{1}, []float64{2}); err == nil {
+		t.Error("single item should fail")
+	}
+	constant, err := Spearman([]float64{5, 5, 5}, []float64{1, 2, 3})
+	if err != nil || constant != 0 {
+		t.Errorf("constant ranking = %g, %v", constant, err)
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	got := ranks([]float64{10, 20, 10, 30})
+	want := []float64{1.5, 3, 1.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSpearmanVsKendallOnPaperTables(t *testing.T) {
+	// Both rank correlations agree on the direction when comparing the
+	// SID ranking with the imbalance-time ranking on the paper cube.
+	cube, err := workload.ReconstructCube()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, err := RankRegions(cube, ImbalanceTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baselineScores := make([]float64, cube.NumRegions())
+	for _, r := range ranked {
+		baselineScores[r.Region] = r.Score
+	}
+	// SID_C from Table 4.
+	sid := []float64{0.01310, 0.00152, 0.00280, 0.00571, 0.00214, 0.00136, 0.00003}
+	tau, err := Agreement(sid, baselineScores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho, err := Spearman(sid, baselineScores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau <= 0 || rho <= 0 {
+		t.Errorf("correlations should be positive: tau %g, rho %g", tau, rho)
+	}
+	if (tau > 0) != (rho > 0) {
+		t.Errorf("tau %g and rho %g disagree on direction", tau, rho)
+	}
+}

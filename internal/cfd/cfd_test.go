@@ -1,0 +1,304 @@
+package cfd
+
+import (
+	"math"
+	"testing"
+
+	"loadimb/internal/core"
+	"loadimb/internal/mpi"
+)
+
+// fastConfig returns a reduced-size configuration for quick tests.
+func fastConfig() Config {
+	cfg := Defaults()
+	cfg.GridX = 64
+	cfg.GridY = 64
+	cfg.Iterations = 6
+	return cfg
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"procs", func(c *Config) { c.Procs = 1 }},
+		{"grid", func(c *Config) { c.GridY = 8 }},
+		{"iterations", func(c *Config) { c.Iterations = 0 }},
+		{"imbalance low", func(c *Config) { c.Imbalance = -0.1 }},
+		{"imbalance high", func(c *Config) { c.Imbalance = 1.5 }},
+		{"warmup", func(c *Config) { c.InitWarmup = -1 }},
+		{"loops", func(c *Config) { c.Loops = []LoopSpec{} }},
+	}
+	for _, c := range cases {
+		cfg := fastConfig()
+		c.mut(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestRowDecomposition(t *testing.T) {
+	rows, err := rowDecomposition(100, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, r := range rows {
+		if r != 25 {
+			t.Errorf("balanced rows = %v", rows)
+		}
+		total += r
+	}
+	if total != 100 {
+		t.Errorf("total = %d", total)
+	}
+	skewed, err := rowDecomposition(100, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total = 0
+	for p, r := range skewed {
+		if r < 1 {
+			t.Errorf("rank %d has %d rows", p, r)
+		}
+		total += r
+	}
+	if total != 100 {
+		t.Errorf("skewed total = %d", total)
+	}
+	if skewed[3] <= skewed[0] {
+		t.Errorf("skew should load later ranks: %v", skewed)
+	}
+}
+
+func TestRunProducesConvergingResiduals(t *testing.T) {
+	res, err := Run(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Residuals) != 6 {
+		t.Fatalf("residuals = %v", res.Residuals)
+	}
+	for i, r := range res.Residuals {
+		if r <= 0 || math.IsNaN(r) {
+			t.Fatalf("residual %d = %g", i, r)
+		}
+	}
+	if res.Residuals[len(res.Residuals)-1] >= res.Residuals[0] {
+		t.Errorf("Jacobi residual should decrease: %v", res.Residuals)
+	}
+}
+
+func TestRunActivityShape(t *testing.T) {
+	res, err := Run(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube := res.Cube
+	if cube.NumRegions() != 7 || cube.NumProcs() != 16 {
+		t.Fatalf("cube dims: %d regions, %d procs", cube.NumRegions(), cube.NumProcs())
+	}
+	p, err := core.NewProfile(cube)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loop 1 is the heaviest region and computation the dominant
+	// activity, as in Table 1.
+	if got := p.Regions[p.HeaviestRegion].Region; got != "loop 1" {
+		t.Errorf("heaviest region = %s", got)
+	}
+	if got := p.Activities[p.DominantActivity].Activity; got != mpi.ActComputation {
+		t.Errorf("dominant activity = %s", got)
+	}
+	// Point-to-point is absent from loops 1, 2 and 7, present in 3-6;
+	// loop 3 spends the longest time in it.
+	jp2p := cube.ActivityIndex(mpi.ActPointToPoint)
+	for i, want := range []bool{false, false, true, true, true, true, false} {
+		has, err := cube.HasActivity(i, jp2p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if has != want {
+			t.Errorf("loop %d p2p present = %v, want %v", i+1, has, want)
+		}
+	}
+	if got := p.WorstRegion[jp2p].Region; got != 2 {
+		t.Errorf("p2p-heaviest loop = %d, want 2 (loop 3)", got)
+	}
+	// Synchronization only in loops 1, 5, 6.
+	jsync := cube.ActivityIndex(mpi.ActSynchronization)
+	for i, want := range []bool{true, false, false, false, true, true, false} {
+		has, err := cube.HasActivity(i, jsync)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if has != want {
+			t.Errorf("loop %d sync present = %v, want %v", i+1, has, want)
+		}
+	}
+	// Collectives in loops 1, 2, 5, 7.
+	jcoll := cube.ActivityIndex(mpi.ActCollective)
+	for i, want := range []bool{true, true, false, false, true, false, true} {
+		has, err := cube.HasActivity(i, jcoll)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if has != want {
+			t.Errorf("loop %d collective present = %v, want %v", i+1, has, want)
+		}
+	}
+	// The warmup keeps the program time above the instrumented total.
+	if cube.ProgramTime() <= cube.RegionsTotal() {
+		t.Errorf("program %g should exceed instrumented %g", cube.ProgramTime(), cube.RegionsTotal())
+	}
+}
+
+func TestRunImbalanceShowsInDispersion(t *testing.T) {
+	balanced := fastConfig()
+	balanced.Imbalance = 0
+	skewed := fastConfig()
+	skewed.Imbalance = 0.6
+
+	resB, err := Run(balanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resS, err := Run(skewed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cellsB, err := core.Dispersions(resB.Cube, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cellsS, err := core.Dispersions(resS.Cube, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loop 1 computation: balanced run nearly zero, skewed clearly
+	// positive and larger.
+	b, s := cellsB[0][0], cellsS[0][0]
+	if !b.Defined || !s.Defined {
+		t.Fatal("computation cells undefined")
+	}
+	if b.ID > 0.01 {
+		t.Errorf("balanced dispersion = %g, want ~0", b.ID)
+	}
+	if s.ID < 5*b.ID || s.ID < 0.05 {
+		t.Errorf("skewed dispersion = %g (balanced %g), want clearly larger", s.ID, b.ID)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Cube.EqualWithin(b.Cube, 0) {
+		t.Error("two runs of the same config should produce identical cubes")
+	}
+	for i := range a.Residuals {
+		if a.Residuals[i] != b.Residuals[i] {
+			t.Fatalf("residual %d differs: %g vs %g", i, a.Residuals[i], b.Residuals[i])
+		}
+	}
+}
+
+func TestRunFullAnalysisPipeline(t *testing.T) {
+	res, err := Run(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(res.Cube, core.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Regions) != 7 || len(a.Activities) != 4 {
+		t.Fatalf("analysis shapes: %d regions, %d activities", len(a.Regions), len(a.Activities))
+	}
+	if cands := a.TuningCandidates(core.MaxCriterion{}); len(cands) != 1 {
+		t.Errorf("tuning candidates = %v", cands)
+	}
+}
+
+func TestDefaultLoopsCoverPaperStructure(t *testing.T) {
+	loops := DefaultLoops()
+	if len(loops) != 7 {
+		t.Fatalf("%d loops", len(loops))
+	}
+	for i, l := range loops {
+		if l.Name != LoopNames[i] {
+			t.Errorf("loop %d name = %q", i, l.Name)
+		}
+		if l.ComputePerIter <= 0 {
+			t.Errorf("loop %d has no computation", i)
+		}
+	}
+	if loops[0].Collective != CollAllreduce || !loops[0].Barrier || loops[0].P2PBytes != 0 {
+		t.Error("loop 1 spec does not match the paper's structure")
+	}
+	if loops[1].Collective != CollAlltoall || loops[1].Barrier {
+		t.Error("loop 2 spec does not match")
+	}
+	if loops[2].P2PBytes == 0 || loops[2].Collective != CollNone {
+		t.Error("loop 3 spec does not match")
+	}
+}
+
+func TestRunBytesCube(t *testing.T) {
+	res, err := Run(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := res.BytesCube
+	if bc == nil || bc.NumRegions() != 7 {
+		t.Fatalf("bytes cube = %v", bc)
+	}
+	// Loop 3 moves the most point-to-point bytes (the big halo).
+	jp2p := bc.ActivityIndex(mpi.ActPointToPoint)
+	heaviest, heaviestBytes := -1, 0.0
+	for i := 0; i < bc.NumRegions(); i++ {
+		v, err := bc.CellTime(i, jp2p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v > heaviestBytes {
+			heaviest, heaviestBytes = i, v
+		}
+	}
+	if heaviest != 2 {
+		t.Errorf("p2p byte-heaviest loop = %d, want 2 (loop 3)", heaviest)
+	}
+	// Interior ranks move twice the boundary ranks' halo bytes.
+	top, err := bc.At(2, jp2p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := bc.At(2, jp2p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid <= top {
+		t.Errorf("interior rank bytes %g should exceed boundary rank's %g", mid, top)
+	}
+}
+
+func TestRunNoWarmup(t *testing.T) {
+	cfg := fastConfig()
+	cfg.InitWarmup = 0
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without warmup the program time tracks the instrumented span
+	// closely (collective exits keep the ranks aligned).
+	if res.Cube.ProgramTime() < res.Cube.RegionsTotal() {
+		t.Errorf("program %g below instrumented %g", res.Cube.ProgramTime(), res.Cube.RegionsTotal())
+	}
+}

@@ -1,0 +1,210 @@
+package cfd
+
+import (
+	"fmt"
+	"math"
+
+	"loadimb/internal/mpi"
+)
+
+// solver holds one rank's share of the distributed grid: rows interior
+// rows of cols points each, plus one halo row above and below. The field
+// u is relaxed toward the solution of a Laplace problem with fixed hot
+// boundaries, so the residual gives the program a real numerical result.
+type solver struct {
+	comm *mpi.Comm
+	spec []LoopSpec
+	// rows is this rank's interior row count; cols the row width.
+	rows, cols int
+	// u[r][x] with r in [0, rows+1]: r = 0 and r = rows+1 are halos.
+	u [][]float64
+	// scratch holds the next sweep's values.
+	scratch [][]float64
+	// shares[p] is processor p's row fraction times P: the factor by
+	// which its calibrated compute time deviates from the balanced
+	// share. Each loop rotates the assignment (loop l charges this rank
+	// shares[(rank+l) mod P]) — different kernels stress different
+	// processors, and the partial cancellation keeps straggler waits
+	// from piling up across loops, as the paper's measurements show.
+	shares []float64
+}
+
+func newSolver(c *mpi.Comm, spec []LoopSpec, allRows []int, cols, totalRows int) *solver {
+	rows := allRows[c.Rank()]
+	shares := make([]float64, len(allRows))
+	for p, r := range allRows {
+		shares[p] = float64(r) / float64(totalRows) * float64(len(allRows))
+	}
+	s := &solver{
+		comm: c,
+		spec: spec,
+		rows: rows,
+		cols: cols,
+		u:    makeGrid(rows+2, cols),
+		// The top and bottom global boundaries are hot (1.0); interior
+		// starts cold. Rank 0's upper halo and the last rank's lower
+		// halo act as the fixed boundary.
+		scratch: makeGrid(rows+2, cols),
+		shares:  shares,
+	}
+	if c.Rank() == 0 {
+		for x := 0; x < cols; x++ {
+			s.u[0][x] = 1
+			s.scratch[0][x] = 1
+		}
+	}
+	if c.Rank() == c.Size()-1 {
+		for x := 0; x < cols; x++ {
+			s.u[rows+1][x] = 1
+			s.scratch[rows+1][x] = 1
+		}
+	}
+	return s
+}
+
+func makeGrid(rows, cols int) [][]float64 {
+	g := make([][]float64, rows)
+	flat := make([]float64, rows*cols)
+	for r := range g {
+		g[r], flat = flat[:cols:cols], flat[cols:]
+	}
+	return g
+}
+
+// compute charges the rank's calibrated computation time for loop li: the
+// balanced per-iteration time scaled by the rank's (loop-rotated) share.
+func (s *solver) compute(li int, spec LoopSpec) error {
+	share := s.shares[(s.comm.Rank()+li*7)%len(s.shares)]
+	return s.comm.Compute(spec.ComputePerIter * share)
+}
+
+// sweep performs one Jacobi relaxation over the interior rows and returns
+// the local residual (sum of squared updates). It is real arithmetic; the
+// virtual time it takes is charged by compute.
+func (s *solver) sweep() float64 {
+	res := 0.0
+	for r := 1; r <= s.rows; r++ {
+		for x := 0; x < s.cols; x++ {
+			left, right := x-1, x+1
+			if left < 0 {
+				left = 0
+			}
+			if right >= s.cols {
+				right = s.cols - 1
+			}
+			next := 0.25 * (s.u[r-1][x] + s.u[r+1][x] + s.u[r][left] + s.u[r][right])
+			d := next - s.u[r][x]
+			res += d * d
+			s.scratch[r][x] = next
+		}
+	}
+	for r := 1; r <= s.rows; r++ {
+		copy(s.u[r], s.scratch[r])
+	}
+	return res
+}
+
+// exchangeHalo swaps boundary rows with the neighbor ranks, carrying the
+// actual row data, and installs the received rows as halos. Messages
+// traveling down the rank order use tag base; messages traveling up use
+// base+1, so both partners of an exchange agree on the channel.
+func (s *solver) exchangeHalo(bytes, base int) error {
+	c := s.comm
+	rank, size := c.Rank(), c.Size()
+	tagDown, tagUp := base, base+1
+	// Exchange with the lower neighbor: my last interior row goes down,
+	// its first interior row comes up and becomes my lower halo.
+	if rank+1 < size {
+		if err := c.SendData(rank+1, tagDown, bytes, rowCopy(s.u[s.rows])); err != nil {
+			return err
+		}
+	}
+	// Exchange with the upper neighbor: my first interior row goes up,
+	// its last interior row comes down and becomes my upper halo.
+	if rank > 0 {
+		if err := c.SendData(rank-1, tagUp, bytes, rowCopy(s.u[1])); err != nil {
+			return err
+		}
+		_, payload, err := c.RecvData(rank-1, tagDown)
+		if err != nil {
+			return err
+		}
+		row, ok := payload.([]float64)
+		if !ok || len(row) != s.cols {
+			return fmt.Errorf("cfd: rank %d: bad upper halo payload %T", rank, payload)
+		}
+		copy(s.u[0], row)
+	}
+	if rank+1 < size {
+		_, payload, err := c.RecvData(rank+1, tagUp)
+		if err != nil {
+			return err
+		}
+		row, ok := payload.([]float64)
+		if !ok || len(row) != s.cols {
+			return fmt.Errorf("cfd: rank %d: bad lower halo payload %T", rank, payload)
+		}
+		copy(s.u[s.rows+1], row)
+	}
+	return nil
+}
+
+func rowCopy(row []float64) []float64 {
+	return append([]float64(nil), row...)
+}
+
+// iteration runs the seven loops once and returns the global residual of
+// the pressure solve.
+func (s *solver) iteration(iter int) (float64, error) {
+	c := s.comm
+	var globalResidual float64
+	for li, spec := range s.spec {
+		if err := c.EnterRegion(spec.Name); err != nil {
+			return 0, err
+		}
+		if err := s.compute(li, spec); err != nil {
+			return 0, err
+		}
+		// The pressure loop (first loop) performs the real sweep; its
+		// residual is reduced globally below.
+		var localRes float64
+		if li == 0 {
+			localRes = s.sweep()
+		}
+		if spec.P2PBytes > 0 {
+			if err := s.exchangeHalo(spec.P2PBytes, iter*100+li*2); err != nil {
+				return 0, err
+			}
+		}
+		switch spec.Collective {
+		case CollAllreduce:
+			sum, err := c.AllreduceSum(localRes, spec.CollectiveBytes)
+			if err != nil {
+				return 0, err
+			}
+			if li == 0 {
+				globalResidual = sum
+			}
+		case CollAlltoall:
+			if err := c.Alltoall(spec.CollectiveBytes); err != nil {
+				return 0, err
+			}
+		case CollReduce:
+			if _, err := c.ReduceSum(0, localRes, spec.CollectiveBytes); err != nil {
+				return 0, err
+			}
+		}
+		if spec.Barrier {
+			if err := c.Barrier(); err != nil {
+				return 0, err
+			}
+		}
+		if err := c.ExitRegion(); err != nil {
+			return 0, err
+		}
+	}
+	if math.IsNaN(globalResidual) {
+		return 0, fmt.Errorf("cfd: residual diverged at iteration %d", iter)
+	}
+	return globalResidual, nil
+}

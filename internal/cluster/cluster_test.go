@@ -1,0 +1,299 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// twoBlobs returns two well-separated groups of points.
+func twoBlobs() ([][]float64, []int) {
+	points := [][]float64{
+		{0, 0}, {0.1, 0.2}, {0.2, 0.1}, // blob A
+		{10, 10}, {10.1, 9.9}, {9.8, 10.2}, {10.2, 10.1}, // blob B
+	}
+	want := []int{0, 0, 0, 1, 1, 1, 1}
+	return points, want
+}
+
+func sameClustering(assign, want []int) bool {
+	// Compare up to relabeling via pairwise co-membership.
+	for i := range assign {
+		for j := i + 1; j < len(assign); j++ {
+			if (assign[i] == assign[j]) != (want[i] == want[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestKMeansTwoBlobs(t *testing.T) {
+	points, want := twoBlobs()
+	for _, init := range []Init{InitFarthest, InitFirstK} {
+		res, err := KMeans(points, 2, Options{Init: init})
+		if err != nil {
+			t.Fatalf("init %d: %v", init, err)
+		}
+		if !sameClustering(res.Assign, want) {
+			t.Errorf("init %d: assign = %v", init, res.Assign)
+		}
+		if res.Inertia < 0 {
+			t.Errorf("init %d: negative inertia %g", init, res.Inertia)
+		}
+		if res.K() != 2 {
+			t.Errorf("init %d: K = %d", init, res.K())
+		}
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	if _, err := KMeans(nil, 2, Options{}); !errors.Is(err, ErrNoPoints) {
+		t.Errorf("empty err = %v", err)
+	}
+	pts := [][]float64{{1}, {2}}
+	if _, err := KMeans(pts, 0, Options{}); !errors.Is(err, ErrBadK) {
+		t.Errorf("k=0 err = %v", err)
+	}
+	if _, err := KMeans(pts, 3, Options{}); !errors.Is(err, ErrBadK) {
+		t.Errorf("k>n err = %v", err)
+	}
+	if _, err := KMeans([][]float64{{1}, {1, 2}}, 1, Options{}); !errors.Is(err, ErrRagged) {
+		t.Errorf("ragged err = %v", err)
+	}
+}
+
+func TestKMeansK1(t *testing.T) {
+	points, _ := twoBlobs()
+	res, err := KMeans(points, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Assign {
+		if c != 0 {
+			t.Fatalf("k=1 assign = %v", res.Assign)
+		}
+	}
+}
+
+func TestKMeansKEqualsN(t *testing.T) {
+	points := [][]float64{{0}, {5}, {10}}
+	res, err := KMeans(points, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, c := range res.Assign {
+		seen[c] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("k=n should give singleton clusters: %v", res.Assign)
+	}
+	if res.Inertia > 1e-12 {
+		t.Errorf("k=n inertia = %g, want 0", res.Inertia)
+	}
+}
+
+func TestKMeansIdenticalPoints(t *testing.T) {
+	points := [][]float64{{1, 1}, {1, 1}, {1, 1}}
+	res, err := KMeans(points, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No crash; all clusters nonempty after the empty-cluster fix.
+	groups := res.Groups()
+	for c, g := range groups {
+		if len(g) == 0 {
+			t.Errorf("cluster %d empty: %v", c, groups)
+		}
+	}
+}
+
+func TestKMeansGroups(t *testing.T) {
+	points, _ := twoBlobs()
+	res, err := KMeans(points, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, g := range res.Groups() {
+		total += len(g)
+	}
+	if total != len(points) {
+		t.Errorf("groups cover %d of %d points", total, len(points))
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	points := make([][]float64, 40)
+	for i := range points {
+		points[i] = []float64{rng.Float64() * 10, rng.Float64() * 10}
+	}
+	a, err := KMeans(points, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(points, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("k-means is not deterministic")
+		}
+	}
+}
+
+func TestKMeansInertiaImprovesWithK(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	points := make([][]float64, 30)
+	for i := range points {
+		points[i] = []float64{rng.Float64() * 10}
+	}
+	prev := math.Inf(1)
+	for k := 1; k <= 5; k++ {
+		res, err := KMeans(points, k, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Inertia > prev+1e-9 {
+			t.Errorf("k=%d inertia %g worse than k-1's %g", k, res.Inertia, prev)
+		}
+		prev = res.Inertia
+	}
+}
+
+func TestSilhouette(t *testing.T) {
+	points, want := twoBlobs()
+	good, err := Silhouette(points, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good < 0.8 {
+		t.Errorf("good clustering silhouette = %g, want > 0.8", good)
+	}
+	// A deliberately bad split scores lower.
+	bad := []int{0, 1, 0, 1, 0, 1, 0}
+	worse, err := Silhouette(points, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worse >= good {
+		t.Errorf("bad clustering silhouette %g >= good %g", worse, good)
+	}
+	if _, err := Silhouette(nil, nil); !errors.Is(err, ErrNoPoints) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := Silhouette(points, []int{0}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	// Single cluster: silhouette undefined, returns 0.
+	one, err := Silhouette(points, make([]int, len(points)))
+	if err != nil || one != 0 {
+		t.Errorf("single-cluster silhouette = %g, %v", one, err)
+	}
+}
+
+func TestBestK(t *testing.T) {
+	points, want := twoBlobs()
+	res, k, err := BestK(points, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 2 {
+		t.Errorf("BestK chose k=%d, want 2", k)
+	}
+	if !sameClustering(res.Assign, want) {
+		t.Errorf("BestK assign = %v", res.Assign)
+	}
+	if _, _, err := BestK(nil, 3, Options{}); !errors.Is(err, ErrNoPoints) {
+		t.Errorf("empty err = %v", err)
+	}
+	// maxK < 2 degenerates to one cluster.
+	res, k, err = BestK(points, 1, Options{})
+	if err != nil || k != 1 || res.K() != 1 {
+		t.Errorf("BestK(1) = k %d, %v", k, err)
+	}
+}
+
+func TestAgglomerate(t *testing.T) {
+	points, want := twoBlobs()
+	for _, linkage := range []Linkage{SingleLinkage, CompleteLinkage, AverageLinkage} {
+		den, err := Agglomerate(points, linkage)
+		if err != nil {
+			t.Fatalf("%v: %v", linkage, err)
+		}
+		if got := len(den.Merges()); got != len(points)-1 {
+			t.Fatalf("%v: %d merges, want %d", linkage, got, len(points)-1)
+		}
+		groups, err := den.Cut(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assign := make([]int, len(points))
+		for c, g := range groups {
+			for _, i := range g {
+				assign[i] = c
+			}
+		}
+		if !sameClustering(assign, want) {
+			t.Errorf("%v: cut(2) = %v", linkage, groups)
+		}
+	}
+}
+
+func TestAgglomerateCutBounds(t *testing.T) {
+	points, _ := twoBlobs()
+	den, err := Agglomerate(points, SingleLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := den.Cut(0); !errors.Is(err, ErrBadK) {
+		t.Errorf("cut(0) err = %v", err)
+	}
+	if _, err := den.Cut(len(points) + 1); !errors.Is(err, ErrBadK) {
+		t.Errorf("cut(n+1) err = %v", err)
+	}
+	groups, err := den.Cut(len(points))
+	if err != nil || len(groups) != len(points) {
+		t.Errorf("cut(n) = %v, %v", groups, err)
+	}
+	groups, err = den.Cut(1)
+	if err != nil || len(groups) != 1 || len(groups[0]) != len(points) {
+		t.Errorf("cut(1) = %v, %v", groups, err)
+	}
+}
+
+func TestAgglomerateErrors(t *testing.T) {
+	if _, err := Agglomerate(nil, SingleLinkage); !errors.Is(err, ErrNoPoints) {
+		t.Errorf("empty err = %v", err)
+	}
+}
+
+func TestLinkageString(t *testing.T) {
+	for _, l := range []Linkage{SingleLinkage, CompleteLinkage, AverageLinkage, Linkage(9)} {
+		if l.String() == "" {
+			t.Errorf("empty String for %d", int(l))
+		}
+	}
+}
+
+func TestSameParts(t *testing.T) {
+	a := [][]int{{0, 1}, {2, 3}}
+	b := [][]int{{3, 2}, {1, 0}}
+	if !SameParts(a, b) {
+		t.Error("relabeled partitions should match")
+	}
+	c := [][]int{{0, 2}, {1, 3}}
+	if SameParts(a, c) {
+		t.Error("different partitions should not match")
+	}
+	if SameParts(a, [][]int{{0, 1, 2, 3}}) {
+		t.Error("different group counts should not match")
+	}
+	if SameParts([][]int{{0, 1}}, [][]int{{0, 1, 2}}) {
+		t.Error("different group sizes should not match")
+	}
+}

@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Linkage selects the inter-cluster distance used by agglomerative
+// clustering.
+type Linkage int
+
+// Supported linkages.
+const (
+	// SingleLinkage merges by minimum pairwise distance.
+	SingleLinkage Linkage = iota
+	// CompleteLinkage merges by maximum pairwise distance.
+	CompleteLinkage
+	// AverageLinkage merges by mean pairwise distance (UPGMA).
+	AverageLinkage
+)
+
+// String returns the linkage name.
+func (l Linkage) String() string {
+	switch l {
+	case SingleLinkage:
+		return "single"
+	case CompleteLinkage:
+		return "complete"
+	case AverageLinkage:
+		return "average"
+	}
+	return fmt.Sprintf("Linkage(%d)", int(l))
+}
+
+// Merge records one agglomeration step of the dendrogram.
+type Merge struct {
+	// A and B are the merged cluster ids: ids < n are singleton points;
+	// id n+s is the cluster created by step s.
+	A, B int
+	// Distance is the linkage distance at which the merge happened.
+	Distance float64
+}
+
+// Dendrogram is the full agglomeration history of n points: n-1 merges in
+// nondecreasing distance order (for single linkage; other linkages may
+// produce inversions, which are retained as computed).
+type Dendrogram struct {
+	n      int
+	merges []Merge
+}
+
+// Merges returns a copy of the merge steps.
+func (d *Dendrogram) Merges() []Merge { return append([]Merge(nil), d.merges...) }
+
+// Agglomerate builds a hierarchical clustering of points with the given
+// linkage, using the Lance-Williams update. It is O(n^3) — fine for the
+// handfuls of code regions the methodology deals with.
+func Agglomerate(points [][]float64, linkage Linkage) (*Dendrogram, error) {
+	if _, err := validate(points, 1); err != nil {
+		return nil, err
+	}
+	n := len(points)
+	// dist[a][b] for active cluster ids; start with singletons.
+	active := make(map[int][]int, n) // cluster id -> member points
+	for i := range points {
+		active[i] = []int{i}
+	}
+	dist := make(map[[2]int]float64)
+	key := func(a, b int) [2]int {
+		if a > b {
+			a, b = b, a
+		}
+		return [2]int{a, b}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dist[key(i, j)] = math.Sqrt(sqDist(points[i], points[j]))
+		}
+	}
+	d := &Dendrogram{n: n}
+	nextID := n
+	for len(active) > 1 {
+		// Find the closest active pair.
+		bestA, bestB, bestD := -1, -1, math.Inf(1)
+		for a := range active {
+			for b := range active {
+				if a >= b {
+					continue
+				}
+				if dd := dist[key(a, b)]; dd < bestD {
+					bestA, bestB, bestD = a, b, dd
+				}
+			}
+		}
+		merged := append(append([]int(nil), active[bestA]...), active[bestB]...)
+		// Linkage distance from the new cluster to every other.
+		for c := range active {
+			if c == bestA || c == bestB {
+				continue
+			}
+			da, db := dist[key(bestA, c)], dist[key(bestB, c)]
+			var nd float64
+			switch linkage {
+			case SingleLinkage:
+				nd = math.Min(da, db)
+			case CompleteLinkage:
+				nd = math.Max(da, db)
+			default: // AverageLinkage
+				na, nb := float64(len(active[bestA])), float64(len(active[bestB]))
+				nd = (na*da + nb*db) / (na + nb)
+			}
+			dist[key(nextID, c)] = nd
+		}
+		delete(active, bestA)
+		delete(active, bestB)
+		active[nextID] = merged
+		d.merges = append(d.merges, Merge{A: bestA, B: bestB, Distance: bestD})
+		nextID++
+	}
+	return d, nil
+}
+
+// Cut returns the partition obtained by stopping the agglomeration when
+// exactly k clusters remain, as groups of point indices.
+func (d *Dendrogram) Cut(k int) ([][]int, error) {
+	if k < 1 || k > d.n {
+		return nil, fmt.Errorf("%w: k=%d with %d points", ErrBadK, k, d.n)
+	}
+	members := make(map[int][]int, d.n)
+	for i := 0; i < d.n; i++ {
+		members[i] = []int{i}
+	}
+	steps := d.n - k
+	for s := 0; s < steps; s++ {
+		m := d.merges[s]
+		merged := append(append([]int(nil), members[m.A]...), members[m.B]...)
+		delete(members, m.A)
+		delete(members, m.B)
+		members[d.n+s] = merged
+	}
+	var groups [][]int
+	for _, g := range members {
+		groups = append(groups, g)
+	}
+	return sortGroups(groups), nil
+}

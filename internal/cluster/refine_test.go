@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"testing"
+
+	"loadimb/internal/paper"
+)
+
+// loopVectors returns the paper's Table 1 activity-time vectors, the
+// feature space of the Section 4 clustering.
+func loopVectors() [][]float64 {
+	out := make([][]float64, paper.NumLoops)
+	for i := range out {
+		v := make([]float64, paper.NumActivities)
+		for j := range v {
+			if t, ok := paper.CellTime(i, j); ok {
+				v[j] = t
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// TestPaperClusteringFirstK: with first-k seeding, k-means reproduces the
+// published partition {loops 1, 2} vs {loops 3..7}.
+func TestPaperClusteringFirstK(t *testing.T) {
+	res, err := KMeans(loopVectors(), 2, Options{Init: InitFirstK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, 1}, {2, 3, 4, 5, 6}}
+	if !SameParts(res.Groups(), want) {
+		t.Errorf("groups = %v, want %v", res.Groups(), want)
+	}
+}
+
+// TestRefinementBeatsPaperPartition documents the initialization ablation:
+// Hartigan refinement finds a partition with strictly lower SSE than the
+// paper's — the published clustering is a local optimum of Lloyd's
+// algorithm under in-order seeding.
+func TestRefinementBeatsPaperPartition(t *testing.T) {
+	points := loopVectors()
+	published, err := KMeans(points, 2, Options{Init: InitFirstK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := KMeans(points, 2, Options{Init: InitFarthest, Refine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.Inertia >= published.Inertia {
+		t.Errorf("refined inertia %g should beat published partition's %g", refined.Inertia, published.Inertia)
+	}
+	if SameParts(refined.Groups(), published.Groups()) {
+		t.Error("refined partition should differ from the published one")
+	}
+}
+
+// TestRefineNeverWorse: on random-ish data, refinement never increases
+// inertia relative to plain Lloyd with the same initialization.
+func TestRefineNeverWorse(t *testing.T) {
+	points := loopVectors()
+	for _, init := range []Init{InitFirstK, InitFarthest} {
+		for k := 2; k <= 4; k++ {
+			plain, err := KMeans(points, k, Options{Init: init})
+			if err != nil {
+				t.Fatal(err)
+			}
+			refined, err := KMeans(points, k, Options{Init: init, Refine: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if refined.Inertia > plain.Inertia+1e-9 {
+				t.Errorf("init %d k=%d: refined %g worse than plain %g", init, k, refined.Inertia, plain.Inertia)
+			}
+		}
+	}
+}
+
+// TestRefineKeepsClustersNonempty verifies refinement never empties a
+// cluster.
+func TestRefineKeepsClustersNonempty(t *testing.T) {
+	points := loopVectors()
+	res, err := KMeans(points, 4, Options{Refine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, g := range res.Groups() {
+		if len(g) == 0 {
+			t.Errorf("cluster %d empty", c)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"loadimb/internal/cluster"
+	"loadimb/internal/trace"
+)
+
+// Analysis is the result of running the full methodology on a measurement
+// cube: the coarse-grain profile, the cell-level dispersion matrix, the
+// three views, and the region clustering.
+type Analysis struct {
+	// Profile is the coarse-grain characterization (Section 2).
+	Profile *Profile
+	// Cells is the ID_ij matrix (Table 2).
+	Cells [][]CellDispersion
+	// Activities is the activity view (Table 3).
+	Activities []ActivitySummary
+	// Regions is the code-region view (Table 4).
+	Regions []RegionSummary
+	// Processors is the processor view (Section 3.1).
+	Processors *ProcessorView
+	// Clusters partitions region indices into groups with homogeneous
+	// activity mixes (k-means over the t_ij vectors).
+	Clusters [][]int
+}
+
+// ClusterMethod selects how regions are grouped.
+type ClusterMethod int
+
+// Clustering methods.
+const (
+	// ClusterKMeans uses k-means with in-order seeding (the paper's
+	// behavior). This is the default.
+	ClusterKMeans ClusterMethod = iota
+	// ClusterKMeansRefined uses farthest-point seeding with
+	// Hartigan-Wong refinement: lower within-cluster SSE, possibly a
+	// different partition than the paper's.
+	ClusterKMeansRefined
+	// ClusterHierarchical cuts an average-linkage dendrogram at k
+	// clusters.
+	ClusterHierarchical
+)
+
+// AnalyzeOptions configures Analyze.
+type AnalyzeOptions struct {
+	// Options configures the dissimilarity analysis.
+	Options
+	// ClusterK is the number of region clusters; 0 means 2 (the paper's
+	// choice for the CFD study). Clustering is skipped when the cube has
+	// fewer regions than clusters.
+	ClusterK int
+	// ClusterMethod selects the grouping algorithm.
+	ClusterMethod ClusterMethod
+}
+
+// Analyze runs the complete top-down methodology on a cube.
+func Analyze(cube *trace.Cube, opts AnalyzeOptions) (*Analysis, error) {
+	profile, err := NewProfile(cube)
+	if err != nil {
+		return nil, err
+	}
+	cells, err := Dispersions(cube, opts.Options)
+	if err != nil {
+		return nil, err
+	}
+	acts, err := activityViewFromCells(cube, cells)
+	if err != nil {
+		return nil, err
+	}
+	regs, err := regionViewFromCells(cube, cells)
+	if err != nil {
+		return nil, err
+	}
+	procs, err := NewProcessorView(cube, opts.Options)
+	if err != nil {
+		return nil, err
+	}
+	a := &Analysis{
+		Profile:    profile,
+		Cells:      cells,
+		Activities: acts,
+		Regions:    regs,
+		Processors: procs,
+	}
+	k := opts.ClusterK
+	if k == 0 {
+		k = 2
+	}
+	if cube.NumRegions() >= k {
+		groups, err := clusterRegions(profile.ActivityVectors(), k, opts.ClusterMethod)
+		if err != nil {
+			return nil, err
+		}
+		a.Clusters = groups
+	}
+	return a, nil
+}
+
+// clusterRegions groups the region feature vectors with the selected
+// method. First-k seeding (points in table order) matches the behavior of
+// the clustering the paper reports; the refined and hierarchical variants
+// are the ablation alternatives.
+func clusterRegions(points [][]float64, k int, method ClusterMethod) ([][]int, error) {
+	switch method {
+	case ClusterKMeansRefined:
+		res, err := cluster.KMeans(points, k, cluster.Options{Init: cluster.InitFarthest, Refine: true})
+		if err != nil {
+			return nil, err
+		}
+		return res.Groups(), nil
+	case ClusterHierarchical:
+		den, err := cluster.Agglomerate(points, cluster.AverageLinkage)
+		if err != nil {
+			return nil, err
+		}
+		return den.Cut(k)
+	default: // ClusterKMeans
+		res, err := cluster.KMeans(points, k, cluster.Options{Init: cluster.InitFirstK})
+		if err != nil {
+			return nil, err
+		}
+		return res.Groups(), nil
+	}
+}
+
+// TuningCandidates returns the regions flagged by the criterion applied to
+// the scaled indices SID_C — the paper's final step: regions that are both
+// imbalanced and significant.
+func (a *Analysis) TuningCandidates(c Criterion) []Ranked {
+	vals := make([]float64, len(a.Regions))
+	for i, r := range a.Regions {
+		vals[i] = r.SID
+	}
+	return Rank(vals, c)
+}
+
+// ImbalancedActivities returns the activities flagged by the criterion
+// applied to the scaled indices SID_A.
+func (a *Analysis) ImbalancedActivities(c Criterion) []Ranked {
+	vals := make([]float64, len(a.Activities))
+	for j, s := range a.Activities {
+		vals[j] = s.SID
+	}
+	return Rank(vals, c)
+}

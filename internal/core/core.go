@@ -1,0 +1,21 @@
+// Package core implements the load-imbalance analysis methodology of
+// Calzarossa, Massari and Tessera (2003): a top-down identification and
+// localization of performance inefficiencies in parallel programs.
+//
+// The methodology proceeds in two stages over a measurement cube
+// (internal/trace):
+//
+//  1. Coarse grain (Section 2): the program wall clock time is broken down
+//     by activity and by code region; the dominant activity and heaviest
+//     region are identified, and regions with similar activity mixes are
+//     grouped by clustering.
+//
+//  2. Fine grain (Section 3): the dissimilarities among processors are
+//     quantified with indices of dispersion computed on standardized wall
+//     clock times, from three complementary views — processor, activity and
+//     code region — and ranked to select tuning candidates.
+//
+// The entry point is Analyze, which runs the whole pipeline; the individual
+// stages (Profile, ProcessorView, ActivityView, CodeRegionView) are also
+// exported for callers that need only one of them.
+package core

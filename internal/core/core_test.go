@@ -1,0 +1,375 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"loadimb/internal/stats"
+	"loadimb/internal/trace"
+)
+
+// testCube builds a small cube with a known structure:
+//
+//	        comp (P0, P1)   p2p (P0, P1)
+//	loopA:  (4, 4)          (1, 3)
+//	loopB:  (6, 2)          absent
+func testCube(t *testing.T) *trace.Cube {
+	t.Helper()
+	cube, err := trace.NewCube([]string{"loopA", "loopB"}, []string{"comp", "p2p"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := func(i, j, p int, v float64) {
+		t.Helper()
+		if err := cube.Set(i, j, p, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	set(0, 0, 0, 4)
+	set(0, 0, 1, 4)
+	set(0, 1, 0, 1)
+	set(0, 1, 1, 3)
+	set(1, 0, 0, 6)
+	set(1, 0, 1, 2)
+	return cube
+}
+
+func TestNewProfile(t *testing.T) {
+	p, err := NewProfile(testCube(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cell times are means over 2 procs: loopA comp 4, loopA p2p 2,
+	// loopB comp 4. Program time defaults to 10.
+	if p.ProgramTime != 10 || p.InstrumentedTime != 10 {
+		t.Errorf("times = %g, %g", p.ProgramTime, p.InstrumentedTime)
+	}
+	if p.UninstrumentedTime() != 0 {
+		t.Errorf("uninstrumented = %g", p.UninstrumentedTime())
+	}
+	// comp: 8, p2p: 2 -> dominant comp.
+	if p.DominantActivity != 0 {
+		t.Errorf("dominant activity = %d", p.DominantActivity)
+	}
+	if got := p.Activities[0].Time; got != 8 {
+		t.Errorf("T_comp = %g", got)
+	}
+	if got := p.Activities[1].Share; math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("p2p share = %g", got)
+	}
+	// loopA: 6, loopB: 4 -> heaviest loopA.
+	if p.HeaviestRegion != 0 {
+		t.Errorf("heaviest region = %d", p.HeaviestRegion)
+	}
+	// Max time in dominant activity: tie at 4 between loopA and loopB;
+	// earliest wins.
+	if p.RegionWithMaxDominant != 0 {
+		t.Errorf("region with max dominant = %d", p.RegionWithMaxDominant)
+	}
+	// Worst/best per activity. comp: both 4 -> worst loopA (tie, first),
+	// best loopA. p2p: only loopA performs it.
+	if p.WorstRegion[1].Region != 0 || p.BestRegion[1].Region != 0 {
+		t.Errorf("p2p extremes = %+v, %+v", p.WorstRegion[1], p.BestRegion[1])
+	}
+	if p.WorstRegion[1].Time != 2 {
+		t.Errorf("p2p worst time = %g", p.WorstRegion[1].Time)
+	}
+	// Region breakdowns.
+	if !p.Regions[0].Performed[1] || p.Regions[1].Performed[1] {
+		t.Error("Performed flags wrong")
+	}
+	vec := p.ActivityVectors()
+	if vec[0][0] != 4 || vec[0][1] != 2 || vec[1][1] != 0 {
+		t.Errorf("ActivityVectors = %v", vec)
+	}
+}
+
+func TestNewProfileErrors(t *testing.T) {
+	if _, err := NewProfile(nil); !errors.Is(err, ErrNilCube) {
+		t.Errorf("nil cube err = %v", err)
+	}
+	empty, err := trace.NewCube([]string{"r"}, []string{"a"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewProfile(empty); err == nil {
+		t.Error("zero program time should fail")
+	}
+}
+
+func TestDispersions(t *testing.T) {
+	cells, err := Dispersions(testCube(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// loopA comp: balanced -> 0.
+	if !cells[0][0].Defined || cells[0][0].ID != 0 {
+		t.Errorf("balanced cell = %+v", cells[0][0])
+	}
+	// loopA p2p: shares (0.25, 0.75), mean 0.5 -> sqrt(2*0.25^2).
+	want := math.Sqrt(2 * 0.25 * 0.25)
+	if math.Abs(cells[0][1].ID-want) > 1e-12 {
+		t.Errorf("p2p ID = %g, want %g", cells[0][1].ID, want)
+	}
+	// loopB p2p absent.
+	if cells[1][1].Defined {
+		t.Errorf("absent cell = %+v", cells[1][1])
+	}
+	// loopB comp: shares (0.75, 0.25) -> same dispersion as loopA p2p.
+	if math.Abs(cells[1][0].ID-want) > 1e-12 {
+		t.Errorf("loopB comp ID = %g", cells[1][0].ID)
+	}
+	if _, err := Dispersions(nil, Options{}); !errors.Is(err, ErrNilCube) {
+		t.Errorf("nil cube err = %v", err)
+	}
+}
+
+func TestDispersionsAlternativeIndex(t *testing.T) {
+	cells, err := Dispersions(testCube(t), Options{Index: stats.MAD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// loopA p2p shares (0.25, 0.75): MAD = 0.25.
+	if math.Abs(cells[0][1].ID-0.25) > 1e-12 {
+		t.Errorf("MAD ID = %g, want 0.25", cells[0][1].ID)
+	}
+}
+
+func TestActivityView(t *testing.T) {
+	acts, err := ActivityView(testCube(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := math.Sqrt(2 * 0.25 * 0.25)
+	// comp: weights loopA 4/8, loopB 4/8; IDs 0 and d -> d/2.
+	if math.Abs(acts[0].ID-d/2) > 1e-12 {
+		t.Errorf("ID_A comp = %g, want %g", acts[0].ID, d/2)
+	}
+	// comp share 8/10.
+	if math.Abs(acts[0].Share-0.8) > 1e-12 {
+		t.Errorf("comp share = %g", acts[0].Share)
+	}
+	if math.Abs(acts[0].SID-0.8*d/2) > 1e-12 {
+		t.Errorf("SID_A comp = %g", acts[0].SID)
+	}
+	// p2p: only loopA -> ID = d, share 0.2.
+	if math.Abs(acts[1].ID-d) > 1e-12 || math.Abs(acts[1].SID-0.2*d) > 1e-12 {
+		t.Errorf("p2p view = %+v", acts[1])
+	}
+}
+
+func TestCodeRegionView(t *testing.T) {
+	regs, err := CodeRegionView(testCube(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := math.Sqrt(2 * 0.25 * 0.25)
+	// loopA: weights comp 4/6, p2p 2/6; IDs 0, d -> d/3.
+	if math.Abs(regs[0].ID-d/3) > 1e-12 {
+		t.Errorf("ID_C loopA = %g, want %g", regs[0].ID, d/3)
+	}
+	if math.Abs(regs[0].Share-0.6) > 1e-12 {
+		t.Errorf("loopA share = %g", regs[0].Share)
+	}
+	// loopB: only comp -> ID = d.
+	if math.Abs(regs[1].ID-d) > 1e-12 {
+		t.Errorf("ID_C loopB = %g", regs[1].ID)
+	}
+	if math.Abs(regs[1].SID-0.4*d) > 1e-12 {
+		t.Errorf("SID_C loopB = %g", regs[1].SID)
+	}
+}
+
+func TestViewsWithEmptyActivity(t *testing.T) {
+	cube, err := trace.NewCube([]string{"r"}, []string{"used", "unused"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cube.Set(0, 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cube.Set(0, 0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	acts, err := ActivityView(cube, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acts[1].Defined {
+		t.Errorf("unused activity should be undefined: %+v", acts[1])
+	}
+	regs, err := CodeRegionView(cube, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regs[0].Defined || regs[0].ID != 0 {
+		t.Errorf("region view = %+v", regs[0])
+	}
+}
+
+func TestProcessorView(t *testing.T) {
+	// Two regions. In region 0, proc 0's mix is skewed toward p2p,
+	// proc 1 and 2 have identical mixes.
+	cube, err := trace.NewCube([]string{"r0", "r1"}, []string{"comp", "p2p"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := func(i, j, p int, v float64) {
+		t.Helper()
+		if err := cube.Set(i, j, p, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// region 0: proc0 (1, 3), proc1 (3, 1), proc2 (3, 1).
+	set(0, 0, 0, 1)
+	set(0, 1, 0, 3)
+	set(0, 0, 1, 3)
+	set(0, 1, 1, 1)
+	set(0, 0, 2, 3)
+	set(0, 1, 2, 1)
+	// region 1: all balanced mixes.
+	for p := 0; p < 3; p++ {
+		set(1, 0, p, 2)
+		set(1, 1, p, 2)
+	}
+	view, err := NewProcessorView(cube, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Region 0: standardized mixes (0.25, 0.75) vs (0.75, 0.25) twice;
+	// average (7/12, 5/12). Proc 0 is farthest.
+	if !view.ByRegion[0][0].Defined {
+		t.Fatal("proc 0 should be defined")
+	}
+	if view.ByRegion[0][0].ID <= view.ByRegion[0][1].ID {
+		t.Errorf("proc 0 ID %g should exceed proc 1 ID %g", view.ByRegion[0][0].ID, view.ByRegion[0][1].ID)
+	}
+	// Hand check: proc0 deviation (0.25-7/12, 0.75-5/12) -> sqrt(2)*|1/3|.
+	want := math.Sqrt2 / 3
+	if math.Abs(view.ByRegion[0][0].ID-want) > 1e-12 {
+		t.Errorf("proc 0 ID = %g, want %g", view.ByRegion[0][0].ID, want)
+	}
+	// Region 1 is perfectly mixed: all IDs 0; argmax picks proc 0.
+	if view.ByRegion[1][2].ID != 0 {
+		t.Errorf("region 1 proc 2 ID = %g", view.ByRegion[1][2].ID)
+	}
+	if view.MostFrequentlyImbalanced != 0 {
+		t.Errorf("most frequently imbalanced = %d", view.MostFrequentlyImbalanced)
+	}
+	// Proc 0 imbalanced on both regions: time = (1+3) + (2+2) = 8.
+	if got := view.Summaries[0].ImbalancedTime; got != 8 {
+		t.Errorf("imbalanced time = %g", got)
+	}
+	if view.LongestImbalanced != 0 {
+		t.Errorf("longest imbalanced = %d", view.LongestImbalanced)
+	}
+	if _, err := NewProcessorView(nil, Options{}); !errors.Is(err, ErrNilCube) {
+		t.Errorf("nil cube err = %v", err)
+	}
+}
+
+func TestProcessorViewIdleProcessor(t *testing.T) {
+	cube, err := trace.NewCube([]string{"r"}, []string{"a", "b"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cube.Set(0, 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Proc 1 never runs region r.
+	view, err := NewProcessorView(cube, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.ByRegion[0][1].Defined {
+		t.Error("idle processor should be undefined")
+	}
+	if !view.ByRegion[0][0].Defined {
+		t.Error("active processor should be defined")
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	a, err := Analyze(testCube(t), AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Profile == nil || a.Processors == nil {
+		t.Fatal("missing analysis parts")
+	}
+	if len(a.Cells) != 2 || len(a.Activities) != 2 || len(a.Regions) != 2 {
+		t.Fatalf("analysis shapes wrong: %d, %d, %d", len(a.Cells), len(a.Activities), len(a.Regions))
+	}
+	if len(a.Clusters) != 2 {
+		t.Fatalf("clusters = %v", a.Clusters)
+	}
+	cands := a.TuningCandidates(MaxCriterion{})
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %v", cands)
+	}
+	// loopA SID = 0.6*d/3 = 0.2d; loopB SID = 0.4d -> loopB wins.
+	if cands[0].Pos != 1 {
+		t.Errorf("tuning candidate = %d, want 1", cands[0].Pos)
+	}
+	imb := a.ImbalancedActivities(MaxCriterion{})
+	if len(imb) != 1 || imb[0].Pos != 0 {
+		// comp SID = 0.8*d/2 = 0.4d; p2p SID = 0.2d -> comp wins.
+		t.Errorf("imbalanced activities = %v", imb)
+	}
+}
+
+func TestAnalyzeSkipsClusteringWhenTooFewRegions(t *testing.T) {
+	cube, err := trace.NewCube([]string{"only"}, []string{"a"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cube.Set(0, 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(cube, AnalyzeOptions{ClusterK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Clusters != nil {
+		t.Errorf("clusters = %v, want none", a.Clusters)
+	}
+}
+
+func TestAnalyzeNilCube(t *testing.T) {
+	if _, err := Analyze(nil, AnalyzeOptions{}); !errors.Is(err, ErrNilCube) {
+		t.Errorf("nil cube err = %v", err)
+	}
+}
+
+func TestCriteria(t *testing.T) {
+	vals := []float64{0.1, 0.5, 0.3, 0.5}
+	if got := (MaxCriterion{}).Select(vals); len(got) != 1 || got[0] != 1 {
+		t.Errorf("max select = %v", got)
+	}
+	if got := (MaxCriterion{}).Select(nil); got != nil {
+		t.Errorf("max of empty = %v", got)
+	}
+	got := PercentileCriterion{Q: 50}.Select(vals)
+	// Median of {0.1, 0.3, 0.5, 0.5} is 0.4; values >= 0.4 are the two
+	// 0.5s, in position order on ties.
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("p50 select = %v", got)
+	}
+	if got := (PercentileCriterion{Q: 50}).Select(nil); got != nil {
+		t.Errorf("p50 of empty = %v", got)
+	}
+	got = ThresholdCriterion{T: 0.2}.Select(vals)
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 2 {
+		t.Errorf("threshold select = %v", got)
+	}
+	ranked := Rank(vals, ThresholdCriterion{T: 0.4})
+	if len(ranked) != 2 || ranked[0].Value != 0.5 || ranked[0].Pos != 1 {
+		t.Errorf("Rank = %v", ranked)
+	}
+	for _, c := range []Criterion{MaxCriterion{}, PercentileCriterion{Q: 90}, ThresholdCriterion{T: 0.1}} {
+		if c.Name() == "" {
+			t.Error("criterion with empty name")
+		}
+	}
+}

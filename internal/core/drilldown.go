@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"loadimb/internal/trace"
+)
+
+// RegionDetail is the fine-grain drill-down into one code region: the
+// per-activity dispersion with time weights, and the per-processor
+// behavior — everything a user asks for after the region view flags the
+// region as a tuning candidate.
+type RegionDetail struct {
+	// Region is the cube region index; Name its label.
+	Region int
+	Name   string
+	// Time is t_i; Share is t_i / T.
+	Time, Share float64
+	// Activities lists the region's activities sorted by descending
+	// contribution ID * weight (the terms of ID_C), so the first entry
+	// is the activity driving the region's imbalance.
+	Activities []ActivityDetail
+	// Processors lists the region's processors sorted by descending
+	// ID_P (most dissimilar activity mix first).
+	Processors []ProcessorDetail
+}
+
+// ActivityDetail is one activity's contribution to a region's imbalance.
+type ActivityDetail struct {
+	// Activity is the cube activity index; Name its label.
+	Activity int
+	Name     string
+	// Defined reports whether the region performs the activity.
+	Defined bool
+	// Time is t_ij; Weight is t_ij / t_i.
+	Time, Weight float64
+	// ID is the cell's dispersion index ID_ij.
+	ID float64
+	// Contribution is Weight * ID, the cell's term in ID_C.
+	Contribution float64
+}
+
+// ProcessorDetail is one processor's behavior within a region.
+type ProcessorDetail struct {
+	// Proc is the rank.
+	Proc int
+	// Defined reports whether the processor ran the region.
+	Defined bool
+	// Time is the processor's wall clock time in the region.
+	Time float64
+	// ID is the processor-view index ID_P.
+	ID float64
+	// Slowest marks the processor with the largest region time.
+	Slowest bool
+}
+
+// DrillDown produces the full detail of one region from an analysis. The
+// cube must be the one the analysis was computed from.
+func (a *Analysis) DrillDown(cube *trace.Cube, region int) (*RegionDetail, error) {
+	if cube == nil {
+		return nil, ErrNilCube
+	}
+	if region < 0 || region >= len(a.Regions) {
+		return nil, fmt.Errorf("core: region %d out of range [0, %d)", region, len(a.Regions))
+	}
+	summary := a.Regions[region]
+	detail := &RegionDetail{
+		Region: region,
+		Name:   summary.Name,
+		Share:  summary.Share,
+	}
+	ti, err := cube.RegionTime(region)
+	if err != nil {
+		return nil, err
+	}
+	detail.Time = ti
+	names := cube.Activities()
+	for j := range a.Activities {
+		cell := a.Cells[region][j]
+		ad := ActivityDetail{Activity: j, Name: names[j], Defined: cell.Defined}
+		if cell.Defined {
+			tij, err := cube.CellTime(region, j)
+			if err != nil {
+				return nil, err
+			}
+			ad.Time = tij
+			if ti > 0 {
+				ad.Weight = tij / ti
+			}
+			ad.ID = cell.ID
+			ad.Contribution = ad.Weight * ad.ID
+		}
+		detail.Activities = append(detail.Activities, ad)
+	}
+	sort.SliceStable(detail.Activities, func(x, y int) bool {
+		return detail.Activities[x].Contribution > detail.Activities[y].Contribution
+	})
+	slowest, slowestTime := -1, 0.0
+	for p := 0; p < cube.NumProcs(); p++ {
+		pd := ProcessorDetail{Proc: p}
+		t, err := cube.ProcRegionTime(region, p)
+		if err != nil {
+			return nil, err
+		}
+		pd.Time = t
+		if d := a.Processors.ByRegion[region][p]; d.Defined {
+			pd.Defined = true
+			pd.ID = d.ID
+		}
+		if t > slowestTime {
+			slowest, slowestTime = p, t
+		}
+		detail.Processors = append(detail.Processors, pd)
+	}
+	if slowest >= 0 {
+		for i := range detail.Processors {
+			if detail.Processors[i].Proc == slowest {
+				detail.Processors[i].Slowest = true
+			}
+		}
+	}
+	sort.SliceStable(detail.Processors, func(x, y int) bool {
+		return detail.Processors[x].ID > detail.Processors[y].ID
+	})
+	return detail, nil
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"loadimb/internal/paper"
+	"loadimb/internal/workload"
+)
+
+func TestDrillDownPaperLoop1(t *testing.T) {
+	cube, err := workload.ReconstructCube()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(cube, AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	detail, err := a.DrillDown(cube, 0) // loop 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if detail.Name != "loop 1" {
+		t.Errorf("name = %q", detail.Name)
+	}
+	if math.Abs(detail.Time-19.051) > 1e-9 {
+		t.Errorf("time = %g", detail.Time)
+	}
+	if math.Abs(detail.Share-19.051/paper.ProgramTime) > 1e-9 {
+		t.Errorf("share = %g", detail.Share)
+	}
+	// Loop 1 performs three activities; point-to-point is undefined.
+	defined := 0
+	for _, ad := range detail.Activities {
+		if ad.Defined {
+			defined++
+		} else if ad.Name != "point-to-point" {
+			t.Errorf("unexpected undefined activity %q", ad.Name)
+		}
+	}
+	if defined != 3 {
+		t.Errorf("defined activities = %d", defined)
+	}
+	// The activity contributions sum to ID_C (0.04809).
+	sum := 0.0
+	for _, ad := range detail.Activities {
+		sum += ad.Contribution
+	}
+	if math.Abs(sum-a.Regions[0].ID) > 1e-12 {
+		t.Errorf("contributions sum to %g, ID_C is %g", sum, a.Regions[0].ID)
+	}
+	// Sorted by contribution: collective (weight .354 x .068 = .024)
+	// leads computation (.643 x .0367 = .0236).
+	if detail.Activities[0].Name != "collective" {
+		t.Errorf("top contributor = %q", detail.Activities[0].Name)
+	}
+	// Processors sorted by descending ID_P; exactly one slowest flag.
+	slowest := 0
+	for _, pd := range detail.Processors {
+		if pd.Slowest {
+			slowest++
+		}
+	}
+	if slowest != 1 {
+		t.Errorf("slowest flags = %d", slowest)
+	}
+	for i := 1; i < len(detail.Processors); i++ {
+		if detail.Processors[i].ID > detail.Processors[i-1].ID {
+			t.Fatal("processors not sorted by ID")
+		}
+	}
+	if len(detail.Processors) != paper.NumProcs {
+		t.Errorf("processors listed = %d", len(detail.Processors))
+	}
+}
+
+func TestDrillDownErrors(t *testing.T) {
+	cube, err := workload.ReconstructCube()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(cube, AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.DrillDown(nil, 0); err == nil {
+		t.Error("nil cube should fail")
+	}
+	if _, err := a.DrillDown(cube, -1); err == nil {
+		t.Error("negative region should fail")
+	}
+	if _, err := a.DrillDown(cube, 99); err == nil {
+		t.Error("out-of-range region should fail")
+	}
+}

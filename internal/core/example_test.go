@@ -1,0 +1,59 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"loadimb/internal/core"
+	"loadimb/internal/trace"
+)
+
+// Example runs the methodology on a two-region program where the "solve"
+// region hides a skewed computation.
+func Example() {
+	cube, err := trace.NewCube(
+		[]string{"assemble", "solve"},
+		[]string{"computation", "communication"}, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set := func(i, j int, times ...float64) {
+		for p, t := range times {
+			if err := cube.Set(i, j, p, t); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	set(0, 0, 2, 2, 2, 2) // assemble: balanced computation
+	set(0, 1, 0.5, 0.5, 0.5, 0.5)
+	set(1, 0, 3, 3, 3, 6)   // solve: processor 3 does double work
+	set(1, 1, 3, 3, 3, 0.1) // the others wait in communication
+
+	analysis, err := core.Analyze(cube, core.AnalyzeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := analysis.TuningCandidates(core.MaxCriterion{})[0]
+	fmt.Printf("tuning candidate: %s (SID_C %.3f)\n", analysis.Regions[best.Pos].Name, best.Value)
+	// Output:
+	// tuning candidate: solve (SID_C 0.150)
+}
+
+// ExampleDispersions shows the standardized Euclidean index of one cell.
+func ExampleDispersions() {
+	cube, err := trace.NewCube([]string{"loop"}, []string{"computation"}, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// One processor does all the work: the worst case sqrt((P-1)/P).
+	if err := cube.Set(0, 0, 0, 8); err != nil {
+		log.Fatal(err)
+	}
+	cells, err := core.Dispersions(cube, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ID = %.4f\n", cells[0][0].ID)
+	// Output:
+	// ID = 0.8660
+}

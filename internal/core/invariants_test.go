@@ -1,0 +1,266 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"loadimb/internal/trace"
+)
+
+// randomCube builds a cube with pseudo-random positive times.
+func randomCube(t *testing.T, rng *rand.Rand, n, k, p int) *trace.Cube {
+	t.Helper()
+	regions := make([]string, n)
+	for i := range regions {
+		regions[i] = string(rune('A' + i))
+	}
+	activities := make([]string, k)
+	for j := range activities {
+		activities[j] = string(rune('a' + j))
+	}
+	cube, err := trace.NewCube(regions, activities, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			for q := 0; q < p; q++ {
+				if err := cube.Set(i, j, q, 0.1+rng.Float64()*10); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return cube
+}
+
+// TestInvariantProcessorPermutation: relabeling the processors permutes
+// nothing in the activity and region views — the dispersion indices are
+// symmetric in the processors.
+func TestInvariantProcessorPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		cube := randomCube(t, rng, 3, 2, 6)
+		perm := rng.Perm(6)
+		permuted := randomCube(t, rng, 3, 2, 6) // same shape, will overwrite
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 2; j++ {
+				for q := 0; q < 6; q++ {
+					v, err := cube.At(i, j, q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := permuted.Set(i, j, perm[q], v); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		a, err := Analyze(cube, AnalyzeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Analyze(permuted, AnalyzeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range a.Activities {
+			if math.Abs(a.Activities[j].ID-b.Activities[j].ID) > 1e-9 {
+				t.Fatalf("trial %d: activity %d ID changed under permutation", trial, j)
+			}
+		}
+		for i := range a.Regions {
+			if math.Abs(a.Regions[i].SID-b.Regions[i].SID) > 1e-9 {
+				t.Fatalf("trial %d: region %d SID changed under permutation", trial, i)
+			}
+		}
+	}
+}
+
+// TestInvariantBalancedRegionContributesZero: adding a perfectly balanced
+// region leaves every other region's ID unchanged and gets ID 0 itself.
+func TestInvariantBalancedRegionContributesZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	base := randomCube(t, rng, 3, 2, 4)
+	ext, err := trace.NewCube([]string{"A", "B", "C", "BAL"}, []string{"a", "b"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			for q := 0; q < 4; q++ {
+				v, err := base.At(i, j, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := ext.Set(i, j, q, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	for j := 0; j < 2; j++ {
+		for q := 0; q < 4; q++ {
+			if err := ext.Set(3, j, q, 2.5); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	baseView, err := CodeRegionView(base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extView, err := CodeRegionView(ext, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if math.Abs(baseView[i].ID-extView[i].ID) > 1e-12 {
+			t.Errorf("region %d ID changed when a balanced region was added", i)
+		}
+	}
+	if extView[3].ID != 0 {
+		t.Errorf("balanced region ID = %g, want 0", extView[3].ID)
+	}
+	// The balanced region dilutes everyone's share, so SIDs shrink.
+	for i := 0; i < 3; i++ {
+		if extView[i].SID >= baseView[i].SID {
+			t.Errorf("region %d SID should shrink: %g -> %g", i, baseView[i].SID, extView[i].SID)
+		}
+	}
+}
+
+// TestInvariantSIDBounds: scaled indices never exceed their raw indices,
+// and shares sum to at most 1 across regions.
+func TestInvariantSIDBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		cube := randomCube(t, rng, 4, 3, 5)
+		regs, err := CodeRegionView(cube, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shareSum := 0.0
+		for _, r := range regs {
+			if r.SID > r.ID+1e-12 {
+				t.Fatalf("SID %g exceeds ID %g", r.SID, r.ID)
+			}
+			if r.Share < 0 || r.Share > 1+1e-12 {
+				t.Fatalf("share %g out of range", r.Share)
+			}
+			shareSum += r.Share
+		}
+		if shareSum > 1+1e-9 {
+			t.Fatalf("region shares sum to %g", shareSum)
+		}
+	}
+}
+
+// TestInvariantDispersionBounds: the Euclidean index on standardized
+// values is bounded by sqrt((P-1)/P) (the one-hot worst case).
+func TestInvariantDispersionBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 20; trial++ {
+		p := 2 + rng.Intn(14)
+		cube := randomCube(t, rng, 3, 2, p)
+		cells, err := Dispersions(cube, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := math.Sqrt(float64(p-1)/float64(p)) + 1e-12
+		for i := range cells {
+			for j := range cells[i] {
+				if c := cells[i][j]; c.Defined && (c.ID < 0 || c.ID > bound) {
+					t.Fatalf("ID %g outside [0, %g]", c.ID, bound)
+				}
+			}
+		}
+	}
+}
+
+// TestInvariantWeightedAverageBracket: each view's aggregate lies between
+// the min and max of the cell indices it averages.
+func TestInvariantWeightedAverageBracket(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 20; trial++ {
+		cube := randomCube(t, rng, 4, 3, 6)
+		cells, err := Dispersions(cube, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		regs, err := CodeRegionView(cube, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range regs {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for j := range cells[i] {
+				if !cells[i][j].Defined {
+					continue
+				}
+				lo = math.Min(lo, cells[i][j].ID)
+				hi = math.Max(hi, cells[i][j].ID)
+			}
+			if r.ID < lo-1e-12 || r.ID > hi+1e-12 {
+				t.Fatalf("region %d ID %g outside [%g, %g]", i, r.ID, lo, hi)
+			}
+		}
+	}
+}
+
+// TestInvariantMoreImbalanceNeverLowersID uses testing/quick: making one
+// processor's share strictly larger (a reverse Robin Hood transfer)
+// never decreases the cell's dispersion index.
+func TestInvariantMoreImbalanceNeverLowersID(t *testing.T) {
+	f := func(seed int64, amountRaw float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 3 + rng.Intn(8)
+		times := make([]float64, p)
+		for i := range times {
+			times[i] = 1 + rng.Float64()*5
+		}
+		cube, err := trace.NewCube([]string{"r"}, []string{"a"}, p)
+		if err != nil {
+			return false
+		}
+		for q, v := range times {
+			if err := cube.Set(0, 0, q, v); err != nil {
+				return false
+			}
+		}
+		before, err := Dispersions(cube, Options{})
+		if err != nil {
+			return false
+		}
+		// Transfer from the poorest to the richest (anti Robin Hood).
+		rich, poor := 0, 0
+		for q, v := range times {
+			if v > times[rich] {
+				rich = q
+			}
+			if v < times[poor] {
+				poor = q
+			}
+		}
+		if rich == poor {
+			return true
+		}
+		amount := math.Abs(math.Mod(amountRaw, 1)) * times[poor]
+		if err := cube.Set(0, 0, rich, times[rich]+amount); err != nil {
+			return false
+		}
+		if err := cube.Set(0, 0, poor, times[poor]-amount); err != nil {
+			return false
+		}
+		after, err := Dispersions(cube, Options{})
+		if err != nil {
+			return false
+		}
+		return after[0][0].ID >= before[0][0].ID-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"loadimb/internal/trace"
+)
+
+// ErrNilCube is returned when an analysis is invoked without a cube.
+var ErrNilCube = errors.New("core: nil measurement cube")
+
+// ActivityBreakdown is one row of the coarse-grain activity profile.
+type ActivityBreakdown struct {
+	// Activity is the activity name.
+	Activity string
+	// Time is T_j, the wall clock time of the activity.
+	Time float64
+	// Share is T_j / T, the fraction of the program wall clock time.
+	Share float64
+}
+
+// RegionBreakdown is one row of the coarse-grain region profile (the rows
+// of the paper's Table 1).
+type RegionBreakdown struct {
+	// Region is the code-region name.
+	Region string
+	// Time is t_i, the wall clock time of the region.
+	Time float64
+	// Share is t_i / T.
+	Share float64
+	// ByActivity maps activity index j to t_ij. Activities the region
+	// does not perform hold 0; use Performed to distinguish.
+	ByActivity []float64
+	// Performed[j] reports whether activity j occurs in the region.
+	Performed []bool
+}
+
+// Extreme identifies the code region with the extreme (maximum or minimum)
+// time in one activity.
+type Extreme struct {
+	// Region is the region index.
+	Region int
+	// Time is t_ij for that region.
+	Time float64
+}
+
+// Profile is the coarse-grain characterization of a program (Section 2):
+// the breakdown of the wall clock time by activity and by region, the
+// dominant activity, the heaviest region, and the worst/best regions per
+// activity.
+type Profile struct {
+	// ProgramTime is T, the wall clock time of the whole program.
+	ProgramTime float64
+	// InstrumentedTime is the total wall clock time of the measured
+	// regions; at most ProgramTime.
+	InstrumentedTime float64
+	// Activities holds one breakdown per activity, in cube order.
+	Activities []ActivityBreakdown
+	// Regions holds one breakdown per region, in cube order.
+	Regions []RegionBreakdown
+	// DominantActivity is the index of the activity with the maximum
+	// wall clock time — the "heaviest" activity, a potential bottleneck.
+	DominantActivity int
+	// HeaviestRegion is the index of the region with the maximum wall
+	// clock time — either an inefficient portion or the program's core.
+	HeaviestRegion int
+	// RegionWithMaxDominant is the region spending the most time in the
+	// dominant activity.
+	RegionWithMaxDominant int
+	// WorstRegion[j] and BestRegion[j] are the regions with the maximum
+	// and minimum time in activity j, among regions that perform it. A
+	// Region of -1 means no region performs the activity.
+	WorstRegion []Extreme
+	BestRegion  []Extreme
+}
+
+// NewProfile computes the coarse-grain profile of a cube.
+func NewProfile(cube *trace.Cube) (*Profile, error) {
+	if cube == nil {
+		return nil, ErrNilCube
+	}
+	n, k := cube.NumRegions(), cube.NumActivities()
+	p := &Profile{
+		ProgramTime:      cube.ProgramTime(),
+		InstrumentedTime: cube.RegionsTotal(),
+		Activities:       make([]ActivityBreakdown, k),
+		Regions:          make([]RegionBreakdown, n),
+		WorstRegion:      make([]Extreme, k),
+		BestRegion:       make([]Extreme, k),
+	}
+	if p.ProgramTime <= 0 {
+		return nil, fmt.Errorf("core: program wall clock time is zero")
+	}
+	activityNames := cube.Activities()
+	for j := 0; j < k; j++ {
+		tj, err := cube.ActivityTime(j)
+		if err != nil {
+			return nil, err
+		}
+		p.Activities[j] = ActivityBreakdown{
+			Activity: activityNames[j],
+			Time:     tj,
+			Share:    tj / p.ProgramTime,
+		}
+		p.WorstRegion[j] = Extreme{Region: -1}
+		p.BestRegion[j] = Extreme{Region: -1}
+	}
+	regionNames := cube.Regions()
+	for i := 0; i < n; i++ {
+		ti, err := cube.RegionTime(i)
+		if err != nil {
+			return nil, err
+		}
+		rb := RegionBreakdown{
+			Region:     regionNames[i],
+			Time:       ti,
+			Share:      ti / p.ProgramTime,
+			ByActivity: make([]float64, k),
+			Performed:  make([]bool, k),
+		}
+		for j := 0; j < k; j++ {
+			tij, err := cube.CellTime(i, j)
+			if err != nil {
+				return nil, err
+			}
+			rb.ByActivity[j] = tij
+			rb.Performed[j] = tij > 0
+			if tij <= 0 {
+				continue
+			}
+			if w := &p.WorstRegion[j]; w.Region == -1 || tij > w.Time {
+				*w = Extreme{Region: i, Time: tij}
+			}
+			if b := &p.BestRegion[j]; b.Region == -1 || tij < b.Time {
+				*b = Extreme{Region: i, Time: tij}
+			}
+		}
+		p.Regions[i] = rb
+	}
+	p.DominantActivity = argmax(len(p.Activities), func(j int) float64 { return p.Activities[j].Time })
+	p.HeaviestRegion = argmax(len(p.Regions), func(i int) float64 { return p.Regions[i].Time })
+	p.RegionWithMaxDominant = p.WorstRegion[p.DominantActivity].Region
+	return p, nil
+}
+
+// argmax returns the index in [0, n) maximizing f, preferring the earliest
+// on ties; -1 when n is 0.
+func argmax(n int, f func(int) float64) int {
+	best, bestVal := -1, 0.0
+	for i := 0; i < n; i++ {
+		if v := f(i); best == -1 || v > bestVal {
+			best, bestVal = i, v
+		}
+	}
+	return best
+}
+
+// ActivityVectors returns, for each region, the K-dimensional vector of
+// wall clock times t_ij spent in the activities — the feature space in
+// which the paper clusters regions with similar behavior.
+func (p *Profile) ActivityVectors() [][]float64 {
+	out := make([][]float64, len(p.Regions))
+	for i, r := range p.Regions {
+		out[i] = append([]float64(nil), r.ByActivity...)
+	}
+	return out
+}
+
+// UninstrumentedTime returns the portion of the program wall clock time not
+// covered by the measured regions.
+func (p *Profile) UninstrumentedTime() float64 {
+	d := p.ProgramTime - p.InstrumentedTime
+	if d < 0 {
+		return 0
+	}
+	return d
+}

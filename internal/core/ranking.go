@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"loadimb/internal/stats"
+)
+
+// A Criterion selects which indices of dispersion are severe enough to
+// flag as tuning candidates (Section 3 lists the maximum, percentiles of
+// the distribution, and predefined thresholds as possible criteria).
+type Criterion interface {
+	// Name identifies the criterion in reports.
+	Name() string
+	// Select returns the positions (into values) flagged as severe.
+	// Values at flagged positions are returned in decreasing order of
+	// severity.
+	Select(values []float64) []int
+}
+
+// MaxCriterion flags only the largest value — the paper's default level of
+// detail ("the maximum of the indices of dispersion").
+type MaxCriterion struct{}
+
+// Name returns "max".
+func (MaxCriterion) Name() string { return "max" }
+
+// Select returns the position of the maximum value, or nothing for empty
+// input.
+func (MaxCriterion) Select(values []float64) []int {
+	if len(values) == 0 {
+		return nil
+	}
+	best := 0
+	for i, v := range values {
+		if v > values[best] {
+			best = i
+		}
+	}
+	return []int{best}
+}
+
+// PercentileCriterion flags every value at or above the q-th percentile of
+// the distribution of the values.
+type PercentileCriterion struct {
+	// Q is the percentile in [0, 100].
+	Q float64
+}
+
+// Name returns e.g. "p90".
+func (c PercentileCriterion) Name() string { return fmt.Sprintf("p%g", c.Q) }
+
+// Select returns the positions of values at or above the percentile, most
+// severe first. Invalid percentiles select nothing.
+func (c PercentileCriterion) Select(values []float64) []int {
+	cut, err := stats.Percentile(values, c.Q)
+	if err != nil {
+		return nil
+	}
+	return selectAbove(values, cut, true)
+}
+
+// ThresholdCriterion flags every value strictly above a predefined
+// threshold.
+type ThresholdCriterion struct {
+	// T is the threshold.
+	T float64
+}
+
+// Name returns e.g. "threshold(0.1)".
+func (c ThresholdCriterion) Name() string { return fmt.Sprintf("threshold(%g)", c.T) }
+
+// Select returns the positions of values above the threshold, most severe
+// first.
+func (c ThresholdCriterion) Select(values []float64) []int {
+	return selectAbove(values, c.T, false)
+}
+
+// TopKCriterion flags the K largest values — the level of detail a user
+// wanting a short candidate list asks for.
+type TopKCriterion struct {
+	// K is how many candidates to flag; nonpositive K selects nothing.
+	K int
+}
+
+// Name returns e.g. "top3".
+func (c TopKCriterion) Name() string { return fmt.Sprintf("top%d", c.K) }
+
+// Select returns the positions of the K largest values, most severe
+// first.
+func (c TopKCriterion) Select(values []float64) []int {
+	if c.K <= 0 || len(values) == 0 {
+		return nil
+	}
+	order := make([]int, len(values))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return values[order[a]] > values[order[b]] })
+	if c.K < len(order) {
+		order = order[:c.K]
+	}
+	return order
+}
+
+// ZScoreCriterion flags values more than Z standard deviations above the
+// mean of the distribution — an outlier detector that adapts to the data
+// instead of requiring a predefined threshold (one of the "new criteria"
+// the paper's conclusions call for).
+type ZScoreCriterion struct {
+	// Z is the cutoff in standard deviations (0 means 2).
+	Z float64
+}
+
+// Name returns e.g. "zscore(2)".
+func (c ZScoreCriterion) Name() string {
+	z := c.Z
+	if z == 0 {
+		z = 2
+	}
+	return fmt.Sprintf("zscore(%g)", z)
+}
+
+// Select returns the positions of the outliers, most severe first. A
+// zero-variance distribution has no outliers.
+func (c ZScoreCriterion) Select(values []float64) []int {
+	z := c.Z
+	if z == 0 {
+		z = 2
+	}
+	s := stats.Summarize(values)
+	sd := s.StdDev()
+	if sd == 0 {
+		return nil
+	}
+	return selectAbove(values, s.Mean+z*sd, true)
+}
+
+// selectAbove returns positions with value > cut (or >= when inclusive),
+// sorted by decreasing value with position as tiebreak.
+func selectAbove(values []float64, cut float64, inclusive bool) []int {
+	var out []int
+	for i, v := range values {
+		if v > cut || (inclusive && v == cut) {
+			out = append(out, i)
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return values[out[a]] > values[out[b]] })
+	return out
+}
+
+// Ranked pairs a position with its value, for presentation.
+type Ranked struct {
+	// Pos indexes into the original value slice (a region or activity
+	// index).
+	Pos int
+	// Value is the ranked index of dispersion.
+	Value float64
+}
+
+// Rank applies a criterion and returns the flagged positions with their
+// values, most severe first.
+func Rank(values []float64, c Criterion) []Ranked {
+	ps := c.Select(values)
+	out := make([]Ranked, len(ps))
+	for i, p := range ps {
+		out[i] = Ranked{Pos: p, Value: values[p]}
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package core
+
+import "testing"
+
+func TestTopKCriterion(t *testing.T) {
+	vals := []float64{0.1, 0.5, 0.3, 0.4}
+	got := TopKCriterion{K: 2}.Select(vals)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("top2 = %v", got)
+	}
+	if got := (TopKCriterion{K: 10}).Select(vals); len(got) != 4 {
+		t.Errorf("top10 of 4 = %v", got)
+	}
+	if got := (TopKCriterion{K: 0}).Select(vals); got != nil {
+		t.Errorf("top0 = %v", got)
+	}
+	if got := (TopKCriterion{K: 3}).Select(nil); got != nil {
+		t.Errorf("top3 of empty = %v", got)
+	}
+	if (TopKCriterion{K: 3}).Name() != "top3" {
+		t.Error("TopK name wrong")
+	}
+}
+
+func TestTopKStableOnTies(t *testing.T) {
+	vals := []float64{0.5, 0.5, 0.5}
+	got := TopKCriterion{K: 2}.Select(vals)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("tied top2 = %v, want earliest positions", got)
+	}
+}
+
+func TestZScoreCriterion(t *testing.T) {
+	// Nine values at 1, one at 100: the outlier is > 2 sigma.
+	vals := make([]float64, 10)
+	for i := range vals {
+		vals[i] = 1
+	}
+	vals[7] = 100
+	got := ZScoreCriterion{}.Select(vals)
+	if len(got) != 1 || got[0] != 7 {
+		t.Errorf("zscore select = %v", got)
+	}
+	// Uniform data has no outliers.
+	if got := (ZScoreCriterion{}).Select([]float64{3, 3, 3}); got != nil {
+		t.Errorf("uniform zscore = %v", got)
+	}
+	// A lax cutoff flags more than a strict one.
+	spread := []float64{1, 2, 3, 4, 5, 6, 20}
+	lax := ZScoreCriterion{Z: 0.5}.Select(spread)
+	strict := ZScoreCriterion{Z: 3}.Select(spread)
+	if len(lax) <= len(strict) {
+		t.Errorf("lax %v should flag more than strict %v", lax, strict)
+	}
+	if (ZScoreCriterion{}).Name() != "zscore(2)" {
+		t.Errorf("default zscore name = %q", ZScoreCriterion{}.Name())
+	}
+	if (ZScoreCriterion{Z: 1.5}).Name() != "zscore(1.5)" {
+		t.Error("zscore name wrong")
+	}
+}
+
+func TestCriteriaOnPaperRegions(t *testing.T) {
+	// Table 4 SID values: loop 1 dominates; top-2 adds loop 4.
+	sid := []float64{0.01311, 0.00152, 0.00280, 0.00571, 0.00214, 0.00135, 0.00003}
+	top2 := Rank(sid, TopKCriterion{K: 2})
+	if len(top2) != 2 || top2[0].Pos != 0 || top2[1].Pos != 3 {
+		t.Errorf("top2 = %v", top2)
+	}
+	outliers := Rank(sid, ZScoreCriterion{})
+	if len(outliers) != 1 || outliers[0].Pos != 0 {
+		t.Errorf("zscore outliers = %v, want loop 1 only", outliers)
+	}
+}

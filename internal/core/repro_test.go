@@ -1,0 +1,310 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"loadimb/internal/cluster"
+	"loadimb/internal/paper"
+	"loadimb/internal/workload"
+)
+
+// Tolerances for comparing recomputed values with the published five-
+// decimal tables. Table 2 is exact by construction; Tables 3 and 4 carry
+// the paper's internal rounding (they were computed from unrounded inputs),
+// so the weighted averages agree to ~5e-4 and the scaled indices to ~2e-5.
+const (
+	tolExact = 1e-9
+	tolID    = 5e-4
+	tolSID   = 2e-5
+)
+
+func reconstructed(t *testing.T) *Analysis {
+	t.Helper()
+	cube, err := workload.ReconstructCube()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(cube, AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestReproduceTable1 checks the coarse-grain profile against the published
+// Table 1: per-loop overall times and activity breakdowns.
+func TestReproduceTable1(t *testing.T) {
+	a := reconstructed(t)
+	for i, rb := range a.Profile.Regions {
+		if math.Abs(rb.Time-paper.Table1Overall[i]) > tolExact {
+			t.Errorf("loop %d overall = %g, published %g", i+1, rb.Time, paper.Table1Overall[i])
+		}
+		for j := range rb.ByActivity {
+			want, present := paper.CellTime(i, j)
+			if rb.Performed[j] != present {
+				t.Errorf("loop %d %s: performed = %v, published %v", i+1, paper.ActivityNames[j], rb.Performed[j], present)
+			}
+			if present && math.Abs(rb.ByActivity[j]-want) > tolExact {
+				t.Errorf("loop %d %s: t_ij = %g, published %g", i+1, paper.ActivityNames[j], rb.ByActivity[j], want)
+			}
+		}
+	}
+}
+
+// TestReproduceSection4Profile checks the paper's coarse-grain findings:
+// loop 1 is the heaviest (~27% of the program) and the longest in the
+// dominant activity (computation) as well as in collective communications
+// and synchronizations; loop 3 is the longest in point-to-point.
+func TestReproduceSection4Profile(t *testing.T) {
+	a := reconstructed(t)
+	p := a.Profile
+	if p.HeaviestRegion != paper.HeaviestLoop-1 {
+		t.Errorf("heaviest region = loop %d, published loop %d", p.HeaviestRegion+1, paper.HeaviestLoop)
+	}
+	share := p.Regions[p.HeaviestRegion].Share
+	if math.Abs(share-paper.HeaviestLoopShare) > 0.01 {
+		t.Errorf("heaviest loop share = %.3f, paper says about %.2f", share, paper.HeaviestLoopShare)
+	}
+	if p.DominantActivity != paper.DominantActivity {
+		t.Errorf("dominant activity = %s, published %s",
+			paper.ActivityNames[p.DominantActivity], paper.ActivityNames[paper.DominantActivity])
+	}
+	if p.RegionWithMaxDominant != paper.HeaviestLoop-1 {
+		t.Errorf("max-computation region = loop %d, published loop %d", p.RegionWithMaxDominant+1, paper.HeaviestLoop)
+	}
+	for _, j := range []int{paper.Collective, paper.Synchronization} {
+		if p.WorstRegion[j].Region != paper.HeaviestLoop-1 {
+			t.Errorf("max-%s region = loop %d, published loop 1", paper.ActivityNames[j], p.WorstRegion[j].Region+1)
+		}
+	}
+	if p.WorstRegion[paper.PointToPoint].Region != paper.LongestPointToPointLoop-1 {
+		t.Errorf("max-p2p region = loop %d, published loop %d",
+			p.WorstRegion[paper.PointToPoint].Region+1, paper.LongestPointToPointLoop)
+	}
+	// Loop 1 performs no point-to-point.
+	if p.Regions[0].Performed[paper.PointToPoint] {
+		t.Error("loop 1 should not perform point-to-point")
+	}
+	// Only three loops perform synchronizations.
+	syncCount := 0
+	for _, rb := range p.Regions {
+		if rb.Performed[paper.Synchronization] {
+			syncCount++
+		}
+	}
+	if syncCount != 3 {
+		t.Errorf("%d loops synchronize, published 3", syncCount)
+	}
+}
+
+// TestReproduceTable2 checks every ID_ij against the published Table 2;
+// the reconstruction makes these exact.
+func TestReproduceTable2(t *testing.T) {
+	a := reconstructed(t)
+	for i := 0; i < paper.NumLoops; i++ {
+		for j := 0; j < paper.NumActivities; j++ {
+			want, present := paper.Dispersion(i, j)
+			cell := a.Cells[i][j]
+			if cell.Defined != present {
+				t.Errorf("loop %d %s: defined = %v, published %v", i+1, paper.ActivityNames[j], cell.Defined, present)
+				continue
+			}
+			if present && math.Abs(cell.ID-want) > tolExact {
+				t.Errorf("loop %d %s: ID = %.6f, published %.5f", i+1, paper.ActivityNames[j], cell.ID, want)
+			}
+		}
+	}
+}
+
+// TestReproduceTable3 checks the activity view against the published
+// Table 3.
+func TestReproduceTable3(t *testing.T) {
+	a := reconstructed(t)
+	for j, s := range a.Activities {
+		if !s.Defined {
+			t.Fatalf("activity %s undefined", paper.ActivityNames[j])
+		}
+		if math.Abs(s.ID-paper.Table3[j].ID) > tolID {
+			t.Errorf("ID_A[%s] = %.5f, published %.5f", s.Name, s.ID, paper.Table3[j].ID)
+		}
+		if math.Abs(s.SID-paper.Table3[j].SID) > tolSID {
+			t.Errorf("SID_A[%s] = %.5f, published %.5f", s.Name, s.SID, paper.Table3[j].SID)
+		}
+	}
+}
+
+// TestReproduceTable4 checks the code-region view against the published
+// Table 4.
+func TestReproduceTable4(t *testing.T) {
+	a := reconstructed(t)
+	for i, s := range a.Regions {
+		if !s.Defined {
+			t.Fatalf("loop %d undefined", i+1)
+		}
+		if math.Abs(s.ID-paper.Table4[i].ID) > tolID {
+			t.Errorf("ID_C[loop %d] = %.5f, published %.5f", i+1, s.ID, paper.Table4[i].ID)
+		}
+		if math.Abs(s.SID-paper.Table4[i].SID) > tolSID {
+			t.Errorf("SID_C[loop %d] = %.5f, published %.5f", i+1, s.SID, paper.Table4[i].SID)
+		}
+	}
+}
+
+// TestReproduceConclusions checks the paper's fine-grain conclusions: the
+// most imbalanced activity is synchronization but with negligible scaled
+// index; the most imbalanced loop is loop 6; the best tuning candidate
+// (largest scaled index) is loop 1.
+func TestReproduceConclusions(t *testing.T) {
+	a := reconstructed(t)
+	maxA := argmax(len(a.Activities), func(j int) float64 { return a.Activities[j].ID })
+	if maxA != paper.MostImbalancedActivity {
+		t.Errorf("most imbalanced activity = %s, published synchronization", a.Activities[maxA].Name)
+	}
+	if a.Activities[maxA].Share > 0.002 {
+		t.Errorf("synchronization share = %.4f, should be negligible (~0.001)", a.Activities[maxA].Share)
+	}
+	maxC := argmax(len(a.Regions), func(i int) float64 { return a.Regions[i].ID })
+	if maxC != paper.MostImbalancedLoop-1 {
+		t.Errorf("most imbalanced loop = %d, published loop %d", maxC+1, paper.MostImbalancedLoop)
+	}
+	cands := a.TuningCandidates(MaxCriterion{})
+	if len(cands) != 1 || cands[0].Pos != paper.BestTuningCandidateLoop-1 {
+		t.Errorf("tuning candidate = %v, published loop %d", cands, paper.BestTuningCandidateLoop)
+	}
+}
+
+// TestReproduceClustering checks the k-means partition of the loops: the
+// two heaviest (1, 2) versus the rest.
+func TestReproduceClustering(t *testing.T) {
+	a := reconstructed(t)
+	want := [][]int{{0, 1}, {2, 3, 4, 5, 6}}
+	if !cluster.SameParts(a.Clusters, want) {
+		t.Errorf("clusters = %v, published {1,2} vs {3..7}", a.Clusters)
+	}
+}
+
+// TestReproduceProcessorViewQualitative checks the qualitative processor-
+// view findings: a most-frequently-imbalanced processor and a longest-
+// imbalanced processor exist and are well defined. The published exact
+// values (processor 1 on loops 3 and 7; processor 2 on loop 1 with ID
+// 0.25754) depend on the unpublished t_ijp cube and are not reproducible.
+func TestReproduceProcessorViewQualitative(t *testing.T) {
+	a := reconstructed(t)
+	v := a.Processors
+	if v.MostFrequentlyImbalanced < 0 || v.MostFrequentlyImbalanced >= paper.NumProcs {
+		t.Fatalf("most frequently imbalanced = %d", v.MostFrequentlyImbalanced)
+	}
+	if v.LongestImbalanced < 0 || v.LongestImbalanced >= paper.NumProcs {
+		t.Fatalf("longest imbalanced = %d", v.LongestImbalanced)
+	}
+	// Every loop has a most-imbalanced processor; the counts add to N.
+	total := 0
+	for _, s := range v.Summaries {
+		total += len(s.MostImbalancedOn)
+	}
+	if total != paper.NumLoops {
+		t.Errorf("most-imbalanced assignments = %d, want %d", total, paper.NumLoops)
+	}
+	// The winner's frequency is at least anyone else's.
+	winner := len(v.Summaries[v.MostFrequentlyImbalanced].MostImbalancedOn)
+	for _, s := range v.Summaries {
+		if len(s.MostImbalancedOn) > winner {
+			t.Errorf("processor %d beats the reported winner", s.Proc)
+		}
+	}
+	// All processor-view indices are finite and nonnegative.
+	for i := range v.ByRegion {
+		for p := range v.ByRegion[i] {
+			d := v.ByRegion[i][p]
+			if d.Defined && (math.IsNaN(d.ID) || d.ID < 0) {
+				t.Errorf("ID_P[%d][%d] = %g", i, p, d.ID)
+			}
+		}
+	}
+}
+
+// TestScaleInvariance: the methodology is scale-free — multiplying every
+// time by a constant leaves all dispersion indices unchanged and scales the
+// profile linearly.
+func TestScaleInvariance(t *testing.T) {
+	cube, err := workload.ReconstructCube()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := Analyze(cube, AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cube.Scale(3.7); err != nil {
+		t.Fatal(err)
+	}
+	after, err := Analyze(cube, AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range before.Activities {
+		if math.Abs(before.Activities[j].ID-after.Activities[j].ID) > 1e-9 {
+			t.Errorf("activity %d ID changed under scaling", j)
+		}
+		if math.Abs(before.Activities[j].SID-after.Activities[j].SID) > 1e-9 {
+			t.Errorf("activity %d SID changed under scaling", j)
+		}
+	}
+	for i := range before.Regions {
+		if math.Abs(before.Regions[i].ID-after.Regions[i].ID) > 1e-9 {
+			t.Errorf("region %d ID changed under scaling", i)
+		}
+	}
+}
+
+// TestClusterMethods compares the three clustering options on the paper's
+// loops: the default reproduces the published partition; the refined
+// variant finds the lower-SSE alternative; hierarchical average linkage
+// separates the two tiny loops.
+func TestClusterMethods(t *testing.T) {
+	cube, err := workload.ReconstructCube()
+	if err != nil {
+		t.Fatal(err)
+	}
+	published, err := Analyze(cube, AnalyzeOptions{ClusterMethod: ClusterKMeans})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cluster.SameParts(published.Clusters, [][]int{{0, 1}, {2, 3, 4, 5, 6}}) {
+		t.Errorf("default clustering = %v", published.Clusters)
+	}
+	refined, err := Analyze(cube, AnalyzeOptions{ClusterMethod: ClusterKMeansRefined})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cluster.SameParts(refined.Clusters, published.Clusters) {
+		t.Errorf("refined clustering should differ: %v", refined.Clusters)
+	}
+	hier, err := Analyze(cube, AnalyzeOptions{ClusterMethod: ClusterHierarchical})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hier.Clusters) != 2 {
+		t.Fatalf("hierarchical clusters = %v", hier.Clusters)
+	}
+	// Loops 6 and 7 (tiny) always end up together under average linkage.
+	together := false
+	for _, g := range hier.Clusters {
+		has6, has7 := false, false
+		for _, i := range g {
+			if i == 5 {
+				has6 = true
+			}
+			if i == 6 {
+				has7 = true
+			}
+		}
+		if has6 && has7 {
+			together = true
+		}
+	}
+	if !together {
+		t.Errorf("hierarchical should group the tiny loops: %v", hier.Clusters)
+	}
+}

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"loadimb/internal/stats"
+	"loadimb/internal/trace"
+)
+
+// Options configures the fine-grain dissimilarity analysis. The zero value
+// uses the paper's choices: the Euclidean index of dispersion.
+type Options struct {
+	// Index is the index of dispersion applied to standardized times.
+	// Nil means stats.Euclidean, the paper's choice.
+	Index stats.Index
+}
+
+func (o Options) index() stats.Index {
+	if o.Index == nil {
+		return stats.Euclidean
+	}
+	return o.Index
+}
+
+// CellDispersion holds ID_ij for one (region, activity) cell (the entries
+// of the paper's Table 2).
+type CellDispersion struct {
+	// Region and Activity are cube indices.
+	Region, Activity int
+	// Defined reports whether the activity is performed in the region;
+	// when false the index is undefined (printed "-" in the paper).
+	Defined bool
+	// ID is the index of dispersion of the standardized per-processor
+	// times.
+	ID float64
+}
+
+// Dispersions computes the matrix of indices of dispersion ID_ij: for every
+// code region i and activity j, the times spent by the P processors are
+// standardized (divided by their sum) and the index of dispersion measures
+// their spread around the balanced condition 1/P. Cells whose activity is
+// absent are marked undefined.
+func Dispersions(cube *trace.Cube, opts Options) ([][]CellDispersion, error) {
+	if cube == nil {
+		return nil, ErrNilCube
+	}
+	idx := opts.index()
+	out := make([][]CellDispersion, cube.NumRegions())
+	for i := range out {
+		out[i] = make([]CellDispersion, cube.NumActivities())
+		for j := range out[i] {
+			out[i][j] = CellDispersion{Region: i, Activity: j}
+			times, err := cube.ProcTimes(i, j)
+			if err != nil {
+				return nil, err
+			}
+			id, err := stats.DispersionFromBalance(idx, times)
+			if errors.Is(err, stats.ErrZeroSum) {
+				continue // activity absent: leave undefined
+			}
+			if err != nil {
+				return nil, fmt.Errorf("core: region %d activity %d: %w", i, j, err)
+			}
+			out[i][j].Defined = true
+			out[i][j].ID = id
+		}
+	}
+	return out, nil
+}
+
+// ActivitySummary is one row of the activity view (the paper's Table 3).
+type ActivitySummary struct {
+	// Activity is the cube activity index.
+	Activity int
+	// Name is the activity name.
+	Name string
+	// Defined reports whether the activity occurs anywhere in the
+	// program.
+	Defined bool
+	// ID is ID_A_j: the weighted average of the ID_ij over the regions,
+	// with weights t_ij / T_j.
+	ID float64
+	// Share is T_j / T.
+	Share float64
+	// SID is the scaled index SID_A_j = Share * ID: it discounts
+	// activities that are very imbalanced but account for a negligible
+	// fraction of the program.
+	SID float64
+}
+
+// ActivityView computes the activity-view summary: for each activity, the
+// relative measure of load imbalance ID_A_j and its scaled counterpart
+// SID_A_j. Activities with large SID are imbalanced *and* significant —
+// the candidates for tuning.
+func ActivityView(cube *trace.Cube, opts Options) ([]ActivitySummary, error) {
+	cells, err := Dispersions(cube, opts)
+	if err != nil {
+		return nil, err
+	}
+	return activityViewFromCells(cube, cells)
+}
+
+func activityViewFromCells(cube *trace.Cube, cells [][]CellDispersion) ([]ActivitySummary, error) {
+	t := cube.ProgramTime()
+	names := cube.Activities()
+	out := make([]ActivitySummary, cube.NumActivities())
+	for j := range out {
+		out[j] = ActivitySummary{Activity: j, Name: names[j]}
+		tj, err := cube.ActivityTime(j)
+		if err != nil {
+			return nil, err
+		}
+		if tj <= 0 {
+			continue
+		}
+		num := 0.0
+		for i := 0; i < cube.NumRegions(); i++ {
+			if !cells[i][j].Defined {
+				continue
+			}
+			tij, err := cube.CellTime(i, j)
+			if err != nil {
+				return nil, err
+			}
+			num += tij / tj * cells[i][j].ID
+		}
+		out[j].Defined = true
+		out[j].ID = num
+		out[j].Share = tj / t
+		out[j].SID = out[j].Share * num
+	}
+	return out, nil
+}
+
+// RegionSummary is one row of the code-region view (the paper's Table 4).
+type RegionSummary struct {
+	// Region is the cube region index.
+	Region int
+	// Name is the region name.
+	Name string
+	// Defined reports whether the region has any measured time.
+	Defined bool
+	// ID is ID_C_i: the weighted average of the ID_ij over the
+	// activities, with weights t_ij / t_i.
+	ID float64
+	// Share is t_i / T.
+	Share float64
+	// SID is the scaled index SID_C_i = Share * ID.
+	SID float64
+}
+
+// CodeRegionView computes the code-region-view summary: for each region,
+// the relative measure of load imbalance ID_C_i and its scaled counterpart
+// SID_C_i.
+func CodeRegionView(cube *trace.Cube, opts Options) ([]RegionSummary, error) {
+	cells, err := Dispersions(cube, opts)
+	if err != nil {
+		return nil, err
+	}
+	return regionViewFromCells(cube, cells)
+}
+
+func regionViewFromCells(cube *trace.Cube, cells [][]CellDispersion) ([]RegionSummary, error) {
+	t := cube.ProgramTime()
+	names := cube.Regions()
+	out := make([]RegionSummary, cube.NumRegions())
+	for i := range out {
+		out[i] = RegionSummary{Region: i, Name: names[i]}
+		ti, err := cube.RegionTime(i)
+		if err != nil {
+			return nil, err
+		}
+		if ti <= 0 {
+			continue
+		}
+		num := 0.0
+		for j := 0; j < cube.NumActivities(); j++ {
+			if !cells[i][j].Defined {
+				continue
+			}
+			tij, err := cube.CellTime(i, j)
+			if err != nil {
+				return nil, err
+			}
+			num += tij / ti * cells[i][j].ID
+		}
+		out[i].Defined = true
+		out[i].ID = num
+		out[i].Share = ti / t
+		out[i].SID = out[i].Share * num
+	}
+	return out, nil
+}
+
+// ProcessorDispersion holds ID_P_ip: the dissimilarity of processor p's
+// activity mix within region i from the average mix.
+type ProcessorDispersion struct {
+	// Region and Proc are cube indices.
+	Region, Proc int
+	// Defined is false when the processor spent no time in the region.
+	Defined bool
+	// ID is the index of dispersion of the processor's standardized
+	// activity-mix vector around the average mix of all processors.
+	ID float64
+}
+
+// ProcessorSummary aggregates the processor view for one processor.
+type ProcessorSummary struct {
+	// Proc is the processor rank.
+	Proc int
+	// MostImbalancedOn lists the regions on which this processor has the
+	// largest dispersion index among all processors.
+	MostImbalancedOn []int
+	// ImbalancedTime is the processor's wall clock time summed over the
+	// regions in MostImbalancedOn; the paper calls the processor with
+	// the largest such time "imbalanced for the longest time".
+	ImbalancedTime float64
+}
+
+// ProcessorView holds the complete processor-view analysis.
+type ProcessorView struct {
+	// ByRegion[i][p] is ID_P_ip.
+	ByRegion [][]ProcessorDispersion
+	// Summaries holds one entry per processor.
+	Summaries []ProcessorSummary
+	// MostFrequentlyImbalanced is the processor that is the most
+	// imbalanced one on the largest number of regions.
+	MostFrequentlyImbalanced int
+	// LongestImbalanced is the processor with the largest ImbalancedTime.
+	LongestImbalanced int
+}
+
+// NewProcessorView computes the processor view (Section 3.1): for each
+// region, each processor's times across the activities are standardized
+// over the processor's total time in the region; ID_P_ip is the Euclidean
+// distance between the processor's standardized activity mix and the
+// average mix over all processors (the paper defines this view directly in
+// terms of the Euclidean distance, so Options.Index does not apply here).
+// Processors repeatedly most-imbalanced are candidates for investigation.
+func NewProcessorView(cube *trace.Cube, opts Options) (*ProcessorView, error) {
+	if cube == nil {
+		return nil, ErrNilCube
+	}
+	_ = opts // reserved; the processor view is defined with the Euclidean distance
+	n, k, procs := cube.NumRegions(), cube.NumActivities(), cube.NumProcs()
+	view := &ProcessorView{
+		ByRegion:  make([][]ProcessorDispersion, n),
+		Summaries: make([]ProcessorSummary, procs),
+	}
+	for p := range view.Summaries {
+		view.Summaries[p].Proc = p
+	}
+	for i := 0; i < n; i++ {
+		view.ByRegion[i] = make([]ProcessorDispersion, procs)
+		// Standardize each processor's activity mix within the region.
+		std := make([][]float64, procs)
+		for p := 0; p < procs; p++ {
+			view.ByRegion[i][p] = ProcessorDispersion{Region: i, Proc: p}
+			mix := make([]float64, k)
+			for j := 0; j < k; j++ {
+				v, err := cube.At(i, j, p)
+				if err != nil {
+					return nil, err
+				}
+				mix[j] = v
+			}
+			s, err := stats.Standardize(mix)
+			if errors.Is(err, stats.ErrZeroSum) {
+				continue // processor idle in this region
+			}
+			if err != nil {
+				return nil, err
+			}
+			std[p] = s
+		}
+		// Average mix across the processors that participated.
+		avg := make([]float64, k)
+		count := 0
+		for p := 0; p < procs; p++ {
+			if std[p] == nil {
+				continue
+			}
+			count++
+			for j := 0; j < k; j++ {
+				avg[j] += std[p][j]
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		for j := range avg {
+			avg[j] /= float64(count)
+		}
+		// ID_P_ip: Euclidean distance between the processor's mix and
+		// the average mix.
+		for p := 0; p < procs; p++ {
+			if std[p] == nil {
+				continue
+			}
+			ss := 0.0
+			for j := 0; j < k; j++ {
+				d := std[p][j] - avg[j]
+				ss += d * d
+			}
+			view.ByRegion[i][p].Defined = true
+			view.ByRegion[i][p].ID = math.Sqrt(ss)
+		}
+		// Record the most imbalanced processor of the region.
+		best, bestVal := -1, 0.0
+		for p := 0; p < procs; p++ {
+			d := view.ByRegion[i][p]
+			if d.Defined && (best == -1 || d.ID > bestVal) {
+				best, bestVal = p, d.ID
+			}
+		}
+		if best >= 0 {
+			view.Summaries[best].MostImbalancedOn = append(view.Summaries[best].MostImbalancedOn, i)
+			t, err := cube.ProcRegionTime(i, best)
+			if err != nil {
+				return nil, err
+			}
+			view.Summaries[best].ImbalancedTime += t
+		}
+	}
+	view.MostFrequentlyImbalanced = argmax(procs, func(p int) float64 {
+		return float64(len(view.Summaries[p].MostImbalancedOn))
+	})
+	view.LongestImbalanced = argmax(procs, func(p int) float64 {
+		return view.Summaries[p].ImbalancedTime
+	})
+	return view, nil
+}

@@ -1,0 +1,390 @@
+// Package fit provides the statistical workload-characterization layer of
+// Medea (Calzarossa, Massari, Merlo, Pantano, Tessera, "Medea: A Tool for
+// Workload Characterization of Parallel Systems", reference [1] of the
+// paper): fitting standard distribution families to measured durations
+// (activity times, message interarrivals) and assessing goodness of fit
+// with the Kolmogorov-Smirnov statistic.
+//
+// The methodology uses these fits to describe the workload a trace
+// represents — e.g. whether computation bursts are exponential (memoryless
+// service) or lognormal (multiplicative skew), which is what the paper's
+// group feeds into the workload models of their simulation studies.
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Fitting errors.
+var (
+	// ErrTooFewSamples is returned when fewer than two samples are
+	// provided.
+	ErrTooFewSamples = errors.New("fit: need at least two samples")
+	// ErrBadSupport is returned when samples violate a family's support
+	// (e.g. nonpositive values for lognormal).
+	ErrBadSupport = errors.New("fit: samples outside the distribution's support")
+	// ErrDegenerate is returned when the data has zero variance and the
+	// family cannot represent a point mass.
+	ErrDegenerate = errors.New("fit: degenerate (constant) sample")
+)
+
+// A Model is a fitted distribution.
+type Model interface {
+	// Name identifies the family.
+	Name() string
+	// CDF evaluates the cumulative distribution function.
+	CDF(x float64) float64
+	// Mean returns the fitted distribution's mean.
+	Mean() float64
+	// String describes the fitted parameters.
+	String() string
+}
+
+// Exponential is an exponential distribution with rate Lambda.
+type Exponential struct {
+	// Lambda is the rate parameter (1/mean).
+	Lambda float64
+}
+
+// Name returns "exponential".
+func (Exponential) Name() string { return "exponential" }
+
+// CDF is 1 - exp(-lambda x) for x >= 0.
+func (e Exponential) CDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return 1 - math.Exp(-e.Lambda*x)
+}
+
+// Mean returns 1/lambda.
+func (e Exponential) Mean() float64 { return 1 / e.Lambda }
+
+// String describes the fit.
+func (e Exponential) String() string { return fmt.Sprintf("exponential(lambda=%.4g)", e.Lambda) }
+
+// FitExponential fits by maximum likelihood: lambda = 1/mean. Samples
+// must be nonnegative with a positive mean.
+func FitExponential(xs []float64) (Exponential, error) {
+	mean, _, err := moments(xs)
+	if err != nil {
+		return Exponential{}, err
+	}
+	for _, x := range xs {
+		if x < 0 {
+			return Exponential{}, fmt.Errorf("%w: negative sample %g", ErrBadSupport, x)
+		}
+	}
+	if mean <= 0 {
+		return Exponential{}, fmt.Errorf("%w: zero mean", ErrDegenerate)
+	}
+	return Exponential{Lambda: 1 / mean}, nil
+}
+
+// Normal is a normal distribution.
+type Normal struct {
+	// Mu and Sigma are the location and scale.
+	Mu, Sigma float64
+}
+
+// Name returns "normal".
+func (Normal) Name() string { return "normal" }
+
+// CDF uses the error function.
+func (n Normal) CDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf((x-n.Mu)/(n.Sigma*math.Sqrt2)))
+}
+
+// Mean returns mu.
+func (n Normal) Mean() float64 { return n.Mu }
+
+// String describes the fit.
+func (n Normal) String() string { return fmt.Sprintf("normal(mu=%.4g, sigma=%.4g)", n.Mu, n.Sigma) }
+
+// FitNormal fits by maximum likelihood: the sample mean and (population)
+// standard deviation.
+func FitNormal(xs []float64) (Normal, error) {
+	mean, variance, err := moments(xs)
+	if err != nil {
+		return Normal{}, err
+	}
+	if variance == 0 {
+		return Normal{}, ErrDegenerate
+	}
+	return Normal{Mu: mean, Sigma: math.Sqrt(variance)}, nil
+}
+
+// LogNormal is a lognormal distribution: log X is Normal(Mu, Sigma).
+type LogNormal struct {
+	// Mu and Sigma parameterize the underlying normal.
+	Mu, Sigma float64
+}
+
+// Name returns "lognormal".
+func (LogNormal) Name() string { return "lognormal" }
+
+// CDF is the normal CDF of log x.
+func (l LogNormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 0.5 * (1 + math.Erf((math.Log(x)-l.Mu)/(l.Sigma*math.Sqrt2)))
+}
+
+// Mean returns exp(mu + sigma^2/2).
+func (l LogNormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// String describes the fit.
+func (l LogNormal) String() string {
+	return fmt.Sprintf("lognormal(mu=%.4g, sigma=%.4g)", l.Mu, l.Sigma)
+}
+
+// FitLogNormal fits by maximum likelihood on the logs. Samples must be
+// strictly positive.
+func FitLogNormal(xs []float64) (LogNormal, error) {
+	if len(xs) < 2 {
+		return LogNormal{}, ErrTooFewSamples
+	}
+	logs := make([]float64, len(xs))
+	for i, x := range xs {
+		if x <= 0 {
+			return LogNormal{}, fmt.Errorf("%w: nonpositive sample %g", ErrBadSupport, x)
+		}
+		logs[i] = math.Log(x)
+	}
+	mean, variance, err := moments(logs)
+	if err != nil {
+		return LogNormal{}, err
+	}
+	if variance == 0 {
+		return LogNormal{}, ErrDegenerate
+	}
+	return LogNormal{Mu: mean, Sigma: math.Sqrt(variance)}, nil
+}
+
+// Uniform is a continuous uniform distribution on [A, B].
+type Uniform struct {
+	// A and B are the endpoints.
+	A, B float64
+}
+
+// Name returns "uniform".
+func (Uniform) Name() string { return "uniform" }
+
+// CDF ramps linearly between the endpoints.
+func (u Uniform) CDF(x float64) float64 {
+	switch {
+	case x <= u.A:
+		return 0
+	case x >= u.B:
+		return 1
+	default:
+		return (x - u.A) / (u.B - u.A)
+	}
+}
+
+// Mean returns the midpoint.
+func (u Uniform) Mean() float64 { return (u.A + u.B) / 2 }
+
+// String describes the fit.
+func (u Uniform) String() string { return fmt.Sprintf("uniform(a=%.4g, b=%.4g)", u.A, u.B) }
+
+// FitUniform fits by an unbiased variant of the extremes: the MLE [min,
+// max] widened by the expected gap (max-min)/(n-1) on each side.
+func FitUniform(xs []float64) (Uniform, error) {
+	if len(xs) < 2 {
+		return Uniform{}, ErrTooFewSamples
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if lo == hi {
+		return Uniform{}, ErrDegenerate
+	}
+	pad := (hi - lo) / float64(len(xs)-1)
+	return Uniform{A: lo - pad, B: hi + pad}, nil
+}
+
+// Weibull is a Weibull distribution with shape K and scale Lambda.
+type Weibull struct {
+	// K is the shape; Lambda the scale.
+	K, Lambda float64
+}
+
+// Name returns "weibull".
+func (Weibull) Name() string { return "weibull" }
+
+// CDF is 1 - exp(-(x/lambda)^k) for x >= 0.
+func (w Weibull) CDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return 1 - math.Exp(-math.Pow(x/w.Lambda, w.K))
+}
+
+// Mean returns lambda * Gamma(1 + 1/k).
+func (w Weibull) Mean() float64 { return w.Lambda * math.Gamma(1+1/w.K) }
+
+// String describes the fit.
+func (w Weibull) String() string { return fmt.Sprintf("weibull(k=%.4g, lambda=%.4g)", w.K, w.Lambda) }
+
+// FitWeibull fits by maximum likelihood, solving the shape equation with
+// bisection on k in [0.05, 50] and then the scale in closed form. Samples
+// must be strictly positive.
+func FitWeibull(xs []float64) (Weibull, error) {
+	if len(xs) < 2 {
+		return Weibull{}, ErrTooFewSamples
+	}
+	logSum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return Weibull{}, fmt.Errorf("%w: nonpositive sample %g", ErrBadSupport, x)
+		}
+		logSum += math.Log(x)
+	}
+	n := float64(len(xs))
+	meanLog := logSum / n
+	// MLE shape equation: f(k) = sum(x^k log x)/sum(x^k) - 1/k - meanLog = 0.
+	f := func(k float64) float64 {
+		num, den := 0.0, 0.0
+		for _, x := range xs {
+			xk := math.Pow(x, k)
+			num += xk * math.Log(x)
+			den += xk
+		}
+		return num/den - 1/k - meanLog
+	}
+	lo, hi := 0.05, 50.0
+	flo, fhi := f(lo), f(hi)
+	if flo > 0 || fhi < 0 {
+		return Weibull{}, fmt.Errorf("%w: shape outside [%g, %g]", ErrDegenerate, lo, hi)
+	}
+	for i := 0; i < 200 && hi-lo > 1e-10; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	k := (lo + hi) / 2
+	sumXk := 0.0
+	for _, x := range xs {
+		sumXk += math.Pow(x, k)
+	}
+	lambda := math.Pow(sumXk/n, 1/k)
+	return Weibull{K: k, Lambda: lambda}, nil
+}
+
+// moments returns the sample mean and population variance.
+func moments(xs []float64) (mean, variance float64, err error) {
+	if len(xs) < 2 {
+		return 0, 0, ErrTooFewSamples
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		variance += d * d
+	}
+	variance /= float64(len(xs))
+	return mean, variance, nil
+}
+
+// KolmogorovSmirnov returns the KS statistic: the maximum absolute
+// difference between the empirical CDF of the samples and the model's
+// CDF. Smaller is a better fit.
+func KolmogorovSmirnov(m Model, xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrTooFewSamples
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	d := 0.0
+	for i, x := range sorted {
+		c := m.CDF(x)
+		// Compare against the empirical CDF just before and at x.
+		if diff := math.Abs(c - float64(i)/n); diff > d {
+			d = diff
+		}
+		if diff := math.Abs(c - float64(i+1)/n); diff > d {
+			d = diff
+		}
+	}
+	return d, nil
+}
+
+// Fitted pairs a model with its KS statistic.
+type Fitted struct {
+	// Model is the fitted distribution.
+	Model Model
+	// KS is the Kolmogorov-Smirnov distance to the data.
+	KS float64
+}
+
+// FitAll fits every family that accepts the data and returns the results
+// sorted best-first by KS distance. Families whose support or fitting
+// preconditions the data violates are skipped; at least one family must
+// succeed.
+func FitAll(xs []float64) ([]Fitted, error) {
+	if len(xs) < 2 {
+		return nil, ErrTooFewSamples
+	}
+	var out []Fitted
+	try := func(m Model, err error) {
+		if err != nil {
+			return
+		}
+		ks, err := KolmogorovSmirnov(m, xs)
+		if err != nil {
+			return
+		}
+		out = append(out, Fitted{Model: m, KS: ks})
+	}
+	{
+		m, err := FitExponential(xs)
+		try(m, err)
+	}
+	{
+		m, err := FitNormal(xs)
+		try(m, err)
+	}
+	{
+		m, err := FitLogNormal(xs)
+		try(m, err)
+	}
+	{
+		m, err := FitUniform(xs)
+		try(m, err)
+	}
+	{
+		m, err := FitWeibull(xs)
+		try(m, err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("fit: no family fits the data")
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].KS < out[b].KS })
+	return out, nil
+}
+
+// BestFit returns the family with the smallest KS distance.
+func BestFit(xs []float64) (Fitted, error) {
+	all, err := FitAll(xs)
+	if err != nil {
+		return Fitted{}, err
+	}
+	return all[0], nil
+}

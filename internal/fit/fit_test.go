@@ -1,0 +1,255 @@
+package fit
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+const nSamples = 4000
+
+func sampleExp(rng *rand.Rand, lambda float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.ExpFloat64() / lambda
+	}
+	return out
+}
+
+func sampleNormal(rng *rand.Rand, mu, sigma float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = mu + sigma*rng.NormFloat64()
+	}
+	return out
+}
+
+func sampleLogNormal(rng *rand.Rand, mu, sigma float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Exp(mu + sigma*rng.NormFloat64())
+	}
+	return out
+}
+
+func sampleUniform(rng *rand.Rand, a, b float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = a + (b-a)*rng.Float64()
+	}
+	return out
+}
+
+func sampleWeibull(rng *rand.Rand, k, lambda float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		// Inverse CDF sampling.
+		u := rng.Float64()
+		out[i] = lambda * math.Pow(-math.Log(1-u), 1/k)
+	}
+	return out
+}
+
+func TestFitExponential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m, err := FitExponential(sampleExp(rng, 2.5, nSamples))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Lambda-2.5) > 0.15 {
+		t.Errorf("lambda = %g, want ~2.5", m.Lambda)
+	}
+	if math.Abs(m.Mean()-0.4) > 0.03 {
+		t.Errorf("mean = %g, want ~0.4", m.Mean())
+	}
+	if _, err := FitExponential([]float64{1, -1}); !errors.Is(err, ErrBadSupport) {
+		t.Errorf("negative support err = %v", err)
+	}
+	if _, err := FitExponential([]float64{0, 0}); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("zero mean err = %v", err)
+	}
+	if _, err := FitExponential([]float64{1}); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("single sample err = %v", err)
+	}
+	if m.CDF(-1) != 0 {
+		t.Error("CDF below support should be 0")
+	}
+}
+
+func TestFitNormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, err := FitNormal(sampleNormal(rng, 10, 3, nSamples))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Mu-10) > 0.2 || math.Abs(m.Sigma-3) > 0.2 {
+		t.Errorf("fit = %v, want mu 10 sigma 3", m)
+	}
+	if math.Abs(m.CDF(m.Mu)-0.5) > 1e-9 {
+		t.Errorf("CDF(mu) = %g", m.CDF(m.Mu))
+	}
+	if _, err := FitNormal([]float64{5, 5, 5}); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("constant err = %v", err)
+	}
+}
+
+func TestFitLogNormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, err := FitLogNormal(sampleLogNormal(rng, 1, 0.5, nSamples))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Mu-1) > 0.05 || math.Abs(m.Sigma-0.5) > 0.05 {
+		t.Errorf("fit = %v, want mu 1 sigma 0.5", m)
+	}
+	if _, err := FitLogNormal([]float64{1, 0}); !errors.Is(err, ErrBadSupport) {
+		t.Errorf("zero sample err = %v", err)
+	}
+	if m.CDF(0) != 0 {
+		t.Error("CDF at 0 should be 0")
+	}
+}
+
+func TestFitUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m, err := FitUniform(sampleUniform(rng, 2, 8, nSamples))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.A-2) > 0.1 || math.Abs(m.B-8) > 0.1 {
+		t.Errorf("fit = %v, want [2, 8]", m)
+	}
+	if m.CDF(1) != 0 || m.CDF(9) != 1 {
+		t.Error("CDF outside support wrong")
+	}
+	if math.Abs(m.Mean()-5) > 0.1 {
+		t.Errorf("mean = %g", m.Mean())
+	}
+	if _, err := FitUniform([]float64{3, 3}); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("constant err = %v", err)
+	}
+}
+
+func TestFitWeibull(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m, err := FitWeibull(sampleWeibull(rng, 1.7, 4, nSamples))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.K-1.7) > 0.15 || math.Abs(m.Lambda-4) > 0.2 {
+		t.Errorf("fit = %v, want k 1.7 lambda 4", m)
+	}
+	if _, err := FitWeibull([]float64{1, -2}); !errors.Is(err, ErrBadSupport) {
+		t.Errorf("negative err = %v", err)
+	}
+	if m.CDF(-1) != 0 {
+		t.Error("CDF below support should be 0")
+	}
+	// Weibull with k=1 is exponential: means should agree.
+	exp := sampleExp(rng, 1.5, nSamples)
+	w, err := FitWeibull(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w.K-1) > 0.1 {
+		t.Errorf("exponential data fitted k = %g, want ~1", w.K)
+	}
+}
+
+func TestKolmogorovSmirnov(t *testing.T) {
+	// The exact generating model has a small KS distance; a wrong model
+	// has a larger one.
+	rng := rand.New(rand.NewSource(6))
+	xs := sampleExp(rng, 1, nSamples)
+	right, err := KolmogorovSmirnov(Exponential{Lambda: 1}, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong, err := KolmogorovSmirnov(Exponential{Lambda: 10}, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if right > 0.05 {
+		t.Errorf("true-model KS = %g, want small", right)
+	}
+	if wrong < 5*right {
+		t.Errorf("wrong model KS %g should dwarf %g", wrong, right)
+	}
+	if _, err := KolmogorovSmirnov(Exponential{Lambda: 1}, nil); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("empty err = %v", err)
+	}
+}
+
+func TestBestFitRecoversFamily(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []struct {
+		name string
+		data []float64
+	}{
+		// The normal case straddles zero so the positive-support
+		// families are excluded (a far-from-zero normal is nearly
+		// indistinguishable from a small-sigma lognormal).
+		{"exponential", sampleExp(rng, 3, nSamples)},
+		{"normal", sampleNormal(rng, 0, 2, nSamples)},
+		{"lognormal", sampleLogNormal(rng, 0, 1.2, nSamples)},
+		{"uniform", sampleUniform(rng, 1, 2, nSamples)},
+	}
+	for _, c := range cases {
+		best, err := BestFit(c.data)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		got := best.Model.Name()
+		// Weibull subsumes the exponential (k=1), so accept it there.
+		if got != c.name && !(c.name == "exponential" && got == "weibull") {
+			t.Errorf("%s data: best fit %s (KS %.4f)", c.name, got, best.KS)
+		}
+	}
+}
+
+func TestFitAllSortedAndSkipsBadFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	// Data with negative values: exponential/lognormal/weibull are
+	// skipped, normal and uniform remain.
+	xs := sampleNormal(rng, 0, 1, 500)
+	all, err := FitAll(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("families = %d, want 2 (normal, uniform)", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].KS < all[i-1].KS {
+			t.Error("FitAll not sorted by KS")
+		}
+	}
+	if all[0].Model.Name() != "normal" {
+		t.Errorf("best = %s, want normal", all[0].Model.Name())
+	}
+	if _, err := FitAll([]float64{1}); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("too-few err = %v", err)
+	}
+}
+
+func TestModelStrings(t *testing.T) {
+	models := []Model{
+		Exponential{Lambda: 1}, Normal{Mu: 0, Sigma: 1},
+		LogNormal{Mu: 0, Sigma: 1}, Uniform{A: 0, B: 1}, Weibull{K: 2, Lambda: 1},
+	}
+	for _, m := range models {
+		if m.Name() == "" || m.String() == "" {
+			t.Errorf("model %T has empty name or string", m)
+		}
+		// CDF is monotone on a small grid.
+		prev := -1.0
+		for x := -1.0; x <= 5; x += 0.25 {
+			c := m.CDF(x)
+			if c < prev-1e-12 || c < 0 || c > 1 {
+				t.Errorf("%s: CDF not a CDF at %g", m.Name(), x)
+			}
+			prev = c
+		}
+	}
+}

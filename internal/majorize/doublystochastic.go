@@ -1,0 +1,111 @@
+package majorize
+
+import (
+	"fmt"
+	"math"
+)
+
+// A DoublyStochastic matrix has nonnegative entries with every row and
+// every column summing to one. The Hardy-Littlewood-Pólya theorem ties it
+// to majorization: b is majorized by a exactly when b = Da for some
+// doubly stochastic D — averaging with such a matrix can only make a
+// vector less spread out.
+type DoublyStochastic [][]float64
+
+// NewDoublyStochastic validates a candidate matrix within tolerance tol
+// (<= 0 means 1e-9).
+func NewDoublyStochastic(m [][]float64, tol float64) (DoublyStochastic, error) {
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	n := len(m)
+	if n == 0 {
+		return nil, fmt.Errorf("majorize: empty matrix")
+	}
+	colSums := make([]float64, n)
+	for i, row := range m {
+		if len(row) != n {
+			return nil, fmt.Errorf("majorize: row %d has %d entries, want %d", i, len(row), n)
+		}
+		rowSum := 0.0
+		for j, v := range row {
+			if v < -tol {
+				return nil, fmt.Errorf("majorize: negative entry %g at (%d, %d)", v, i, j)
+			}
+			rowSum += v
+			colSums[j] += v
+		}
+		if math.Abs(rowSum-1) > tol {
+			return nil, fmt.Errorf("majorize: row %d sums to %g", i, rowSum)
+		}
+	}
+	for j, s := range colSums {
+		if math.Abs(s-1) > tol {
+			return nil, fmt.Errorf("majorize: column %d sums to %g", j, s)
+		}
+	}
+	out := make(DoublyStochastic, n)
+	for i, row := range m {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out, nil
+}
+
+// Apply returns Dx. The result is always majorized by x.
+func (d DoublyStochastic) Apply(xs []float64) ([]float64, error) {
+	if len(xs) != len(d) {
+		return nil, fmt.Errorf("%w: matrix %d, vector %d", ErrDimension, len(d), len(xs))
+	}
+	out := make([]float64, len(xs))
+	for i, row := range d {
+		for j, v := range row {
+			out[i] += v * xs[j]
+		}
+	}
+	return out, nil
+}
+
+// Identity returns the n x n identity, the doubly stochastic matrix that
+// preserves spread exactly.
+func Identity(n int) DoublyStochastic {
+	out := make(DoublyStochastic, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+		out[i][i] = 1
+	}
+	return out
+}
+
+// UniformMix returns the n x n matrix with every entry 1/n: applying it
+// collapses any vector to the perfectly balanced one.
+func UniformMix(n int) DoublyStochastic {
+	out := make(DoublyStochastic, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+		for j := range out[i] {
+			out[i][j] = 1 / float64(n)
+		}
+	}
+	return out
+}
+
+// Blend returns (1-alpha)*I + alpha*UniformMix: a one-parameter family of
+// doubly stochastic matrices interpolating between "no rebalancing" and
+// "perfect rebalancing". Workload models use it to damp imbalance by a
+// known amount.
+func Blend(n int, alpha float64) (DoublyStochastic, error) {
+	if alpha < 0 || alpha > 1 {
+		return nil, fmt.Errorf("majorize: blend alpha %g out of [0, 1]", alpha)
+	}
+	out := make(DoublyStochastic, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+		for j := range out[i] {
+			out[i][j] = alpha / float64(n)
+			if i == j {
+				out[i][j] += 1 - alpha
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,151 @@
+package majorize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"loadimb/internal/stats"
+)
+
+func TestNewDoublyStochasticValidation(t *testing.T) {
+	if _, err := NewDoublyStochastic(nil, 0); err == nil {
+		t.Error("empty matrix should fail")
+	}
+	if _, err := NewDoublyStochastic([][]float64{{1, 0}, {0}}, 0); err == nil {
+		t.Error("ragged matrix should fail")
+	}
+	if _, err := NewDoublyStochastic([][]float64{{2, -1}, {-1, 2}}, 0); err == nil {
+		t.Error("negative entries should fail")
+	}
+	if _, err := NewDoublyStochastic([][]float64{{0.5, 0.4}, {0.5, 0.6}}, 0); err == nil {
+		t.Error("bad row sums should fail")
+	}
+	if _, err := NewDoublyStochastic([][]float64{{0.9, 0.1}, {0.2, 0.8}}, 0); err == nil {
+		t.Error("bad column sums should fail")
+	}
+	good, err := NewDoublyStochastic([][]float64{{0.7, 0.3}, {0.3, 0.7}}, 0)
+	if err != nil || len(good) != 2 {
+		t.Fatalf("valid matrix rejected: %v", err)
+	}
+}
+
+func TestIdentityPreserves(t *testing.T) {
+	xs := []float64{3, 1, 4}
+	out, err := Identity(3).Apply(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if out[i] != xs[i] {
+			t.Errorf("identity changed element %d", i)
+		}
+	}
+}
+
+func TestUniformMixBalances(t *testing.T) {
+	xs := []float64{6, 0, 0}
+	out, err := UniformMix(3).Apply(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if math.Abs(v-2) > 1e-12 {
+			t.Errorf("element %d = %g, want 2", i, v)
+		}
+	}
+}
+
+func TestApplyDimensionMismatch(t *testing.T) {
+	if _, err := Identity(2).Apply([]float64{1, 2, 3}); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+}
+
+func TestBlend(t *testing.T) {
+	if _, err := Blend(3, -0.1); err == nil {
+		t.Error("negative alpha should fail")
+	}
+	if _, err := Blend(3, 1.1); err == nil {
+		t.Error("alpha > 1 should fail")
+	}
+	for _, alpha := range []float64{0, 0.3, 1} {
+		d, err := Blend(4, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Blend must itself be doubly stochastic.
+		if _, err := NewDoublyStochastic(d, 0); err != nil {
+			t.Errorf("Blend(%g) not doubly stochastic: %v", alpha, err)
+		}
+	}
+}
+
+// TestBlendDampsDispersionMonotonically: larger alpha means less spread.
+func TestBlendDampsDispersionMonotonically(t *testing.T) {
+	xs := []float64{10, 1, 1, 1}
+	prev := math.Inf(1)
+	for alpha := 0.0; alpha <= 1.0001; alpha += 0.1 {
+		d, err := Blend(4, math.Min(alpha, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := d.Apply(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := stats.Euclidean.Of(out)
+		if id > prev+1e-12 {
+			t.Fatalf("dispersion increased at alpha %g: %g > %g", alpha, id, prev)
+		}
+		prev = id
+	}
+	if prev > 1e-12 {
+		t.Errorf("alpha=1 dispersion = %g, want 0", prev)
+	}
+}
+
+// TestHardyLittlewoodPolya: Dx is always majorized by x for random doubly
+// stochastic matrices (built as blends of permutations, per Birkhoff's
+// theorem).
+func TestHardyLittlewoodPolya(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(5)
+		// Random convex combination of permutation matrices.
+		m := make([][]float64, n)
+		for i := range m {
+			m[i] = make([]float64, n)
+		}
+		weight := 0.0
+		for k := 0; k < 3; k++ {
+			w := rng.Float64()
+			perm := rng.Perm(n)
+			for i, j := range perm {
+				m[i][j] += w
+			}
+			weight += w
+		}
+		for i := range m {
+			for j := range m[i] {
+				m[i][j] /= weight
+			}
+		}
+		d, err := NewDoublyStochastic(m, 1e-9)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 10
+		}
+		out, err := d.Apply(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maj, err := Majorizes(xs, out)
+		if err != nil || !maj {
+			t.Fatalf("trial %d: x should majorize Dx (err %v)\nx=%v\nDx=%v", trial, err, xs, out)
+		}
+	}
+}

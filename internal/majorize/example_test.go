@@ -1,0 +1,50 @@
+package majorize_test
+
+import (
+	"fmt"
+	"log"
+
+	"loadimb/internal/majorize"
+)
+
+// Example compares two load distributions under the majorization order:
+// the more concentrated one majorizes the more even one.
+func Example() {
+	concentrated := []float64{3, 1, 0}
+	even := []float64{2, 1, 1}
+	rel, err := majorize.Compare(concentrated, even)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rel)
+	// Output:
+	// first majorizes second
+}
+
+// ExampleLorenz prints the Lorenz curve of a skewed distribution: the
+// poorest half of the processors hold only a quarter of the work.
+func ExampleLorenz() {
+	pts, err := majorize.Lorenz([]float64{1, 1, 3, 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%.2f\n", pts)
+	// Output:
+	// [0.00 0.12 0.25 0.62 1.00]
+}
+
+// ExampleDoublyStochastic_Apply demonstrates the Hardy-Littlewood-Pólya
+// connection: doubly stochastic averaging always reduces spread.
+func ExampleDoublyStochastic_Apply() {
+	d, err := majorize.Blend(4, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	smoothed, err := d.Apply([]float64{8, 0, 0, 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%.0f\n", smoothed)
+	// Output:
+	// [5 1 1 1]
+}

@@ -1,0 +1,239 @@
+// Package majorize implements the majorization partial order on data sets
+// (Marshall & Olkin, "Inequalities: Theory of Majorization and Its
+// Applications"), which the load-imbalance methodology uses as the
+// theoretical framework for comparing the spread of processor time vectors.
+//
+// A vector a majorizes b (written a ≻ b) when, after sorting both in
+// descending order, every prefix sum of a is at least the corresponding
+// prefix sum of b and the total sums are equal. Intuitively a is "more
+// spread out" than b: a concentrates more of the total on its largest
+// elements. Indices of dispersion used by the methodology are
+// Schur-convex: they respect the majorization order.
+package majorize
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrDimension is returned when two vectors being compared have different
+// lengths.
+var ErrDimension = errors.New("majorize: vectors have different lengths")
+
+// ErrSumMismatch is returned when two vectors being compared have different
+// totals; majorization is defined only for vectors of equal sum.
+var ErrSumMismatch = errors.New("majorize: vectors have different sums")
+
+// defaultTol is the relative tolerance used when comparing sums and prefix
+// sums of floating-point vectors.
+const defaultTol = 1e-9
+
+// descending returns a copy of xs sorted in descending order.
+func descending(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}
+
+// sumTolerance returns an absolute tolerance scaled to the magnitude of the
+// data.
+func sumTolerance(a, b []float64) float64 {
+	mag := 1.0
+	for _, x := range a {
+		mag += math.Abs(x)
+	}
+	for _, x := range b {
+		mag += math.Abs(x)
+	}
+	return defaultTol * mag
+}
+
+// Majorizes reports whether a ≻ b: the vectors have equal length and sum
+// (within a relative tolerance) and every descending prefix sum of a is at
+// least that of b. Every vector majorizes itself.
+func Majorizes(a, b []float64) (bool, error) {
+	if len(a) != len(b) {
+		return false, fmt.Errorf("%w: %d vs %d", ErrDimension, len(a), len(b))
+	}
+	if len(a) == 0 {
+		return true, nil
+	}
+	tol := sumTolerance(a, b)
+	sa, sb := 0.0, 0.0
+	for i := range a {
+		sa += a[i]
+		sb += b[i]
+	}
+	if math.Abs(sa-sb) > tol {
+		return false, fmt.Errorf("%w: %g vs %g", ErrSumMismatch, sa, sb)
+	}
+	da, db := descending(a), descending(b)
+	pa, pb := 0.0, 0.0
+	for i := range da[:len(da)-1] {
+		pa += da[i]
+		pb += db[i]
+		if pa < pb-tol {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Relation is the outcome of comparing two vectors under the majorization
+// partial order.
+type Relation int
+
+// The possible outcomes of Compare.
+const (
+	// Incomparable means neither vector majorizes the other.
+	Incomparable Relation = iota
+	// Equal means the vectors majorize each other (they are equal up to
+	// permutation).
+	Equal
+	// FirstMajorizes means a ≻ b strictly.
+	FirstMajorizes
+	// SecondMajorizes means b ≻ a strictly.
+	SecondMajorizes
+)
+
+// String returns a human-readable name for the relation.
+func (r Relation) String() string {
+	switch r {
+	case Incomparable:
+		return "incomparable"
+	case Equal:
+		return "equal"
+	case FirstMajorizes:
+		return "first majorizes second"
+	case SecondMajorizes:
+		return "second majorizes first"
+	}
+	return fmt.Sprintf("Relation(%d)", int(r))
+}
+
+// Compare classifies the pair (a, b) under the majorization partial order.
+// It returns an error when the vectors have different lengths or sums.
+func Compare(a, b []float64) (Relation, error) {
+	ab, err := Majorizes(a, b)
+	if err != nil {
+		return Incomparable, err
+	}
+	ba, err := Majorizes(b, a)
+	if err != nil {
+		return Incomparable, err
+	}
+	switch {
+	case ab && ba:
+		return Equal, nil
+	case ab:
+		return FirstMajorizes, nil
+	case ba:
+		return SecondMajorizes, nil
+	}
+	return Incomparable, nil
+}
+
+// Balanced returns the perfectly balanced vector of length n summing to
+// total: every component equals total/n. The balanced vector is majorized
+// by every vector of the same length and sum — it is the bottom of the
+// order and corresponds to ideal load balance.
+func Balanced(n int, total float64) []float64 {
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	v := total / float64(n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// OneHot returns the maximally imbalanced vector of length n summing to
+// total: all mass on index 0. It majorizes every nonnegative vector of the
+// same length and sum — the top of the order.
+func OneHot(n int, total float64) []float64 {
+	out := make([]float64, n)
+	if n > 0 {
+		out[0] = total
+	}
+	return out
+}
+
+// Lorenz returns the points of the Lorenz curve of a nonnegative vector:
+// position k (1-based) holds the fraction of the total accounted for by the
+// k smallest elements. The first point is 0. A vector a majorizes b exactly
+// when a's Lorenz curve lies pointwise below b's.
+func Lorenz(xs []float64) ([]float64, error) {
+	for i, x := range xs {
+		if x < 0 {
+			return nil, fmt.Errorf("majorize: negative element %g at %d", x, i)
+		}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	total := 0.0
+	for _, x := range sorted {
+		total += x
+	}
+	out := make([]float64, len(xs)+1)
+	if total == 0 {
+		// Degenerate all-zero vector: the curve is the diagonal.
+		for i := range out {
+			out[i] = float64(i) / float64(max(len(xs), 1))
+		}
+		return out, nil
+	}
+	run := 0.0
+	for i, x := range sorted {
+		run += x
+		out[i+1] = run / total
+	}
+	return out, nil
+}
+
+// TTransform applies a Robin Hood operation: it moves fraction lambda in
+// [0, 1] of the difference between elements i and j from the larger to the
+// smaller, returning a new vector. T-transforms generate the majorization
+// order: b is majorized by a exactly when b can be obtained from a by a
+// finite sequence of T-transforms. Applying one never increases any
+// Schur-convex index.
+func TTransform(xs []float64, i, j int, lambda float64) ([]float64, error) {
+	if i < 0 || i >= len(xs) || j < 0 || j >= len(xs) {
+		return nil, fmt.Errorf("majorize: indices %d, %d out of range [0, %d)", i, j, len(xs))
+	}
+	if lambda < 0 || lambda > 1 {
+		return nil, fmt.Errorf("majorize: lambda %g out of range [0, 1]", lambda)
+	}
+	out := append([]float64(nil), xs...)
+	if i == j {
+		return out, nil
+	}
+	// Blend both elements toward each other; lambda=0 is the identity,
+	// lambda=1 averages them completely.
+	l := lambda / 2
+	out[i] = (1-l)*xs[i] + l*xs[j]
+	out[j] = l*xs[i] + (1-l)*xs[j]
+	return out, nil
+}
+
+// SchurConvexOn reports whether f behaves as a Schur-convex function on the
+// ordered pair: if a ≻ b then f(a) >= f(b) must hold (within tol). When the
+// pair is incomparable or not ordered as a ≻ b the check passes vacuously.
+// Property tests use this to validate indices of dispersion.
+func SchurConvexOn(f func([]float64) float64, a, b []float64, tol float64) (bool, error) {
+	ok, err := Majorizes(a, b)
+	if err != nil || !ok {
+		return true, err
+	}
+	return f(a) >= f(b)-tol, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

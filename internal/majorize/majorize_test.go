@@ -1,0 +1,254 @@
+package majorize
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"loadimb/internal/stats"
+)
+
+func TestMajorizesBasics(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []float64
+		want bool
+	}{
+		{"self", []float64{3, 1}, []float64{3, 1}, true},
+		{"permutation", []float64{1, 3}, []float64{3, 1}, true},
+		{"onehot over balanced", []float64{4, 0, 0, 0}, []float64{1, 1, 1, 1}, true},
+		{"balanced under onehot", []float64{1, 1, 1, 1}, []float64{4, 0, 0, 0}, false},
+		{"classic", []float64{3, 1, 0}, []float64{2, 1, 1}, true},
+		{"empty", nil, nil, true},
+	}
+	for _, c := range cases {
+		got, err := Majorizes(c.a, c.b)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: Majorizes = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestMajorizesErrors(t *testing.T) {
+	if _, err := Majorizes([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrDimension) {
+		t.Errorf("dimension err = %v", err)
+	}
+	if _, err := Majorizes([]float64{1, 1}, []float64{3, 1}); !errors.Is(err, ErrSumMismatch) {
+		t.Errorf("sum err = %v", err)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	r, err := Compare([]float64{2, 1, 1}, []float64{3, 1, 0})
+	if err != nil || r != SecondMajorizes {
+		t.Errorf("Compare = %v, %v; want SecondMajorizes", r, err)
+	}
+	r, err = Compare([]float64{3, 1, 0}, []float64{2, 1, 1})
+	if err != nil || r != FirstMajorizes {
+		t.Errorf("Compare = %v, %v; want FirstMajorizes", r, err)
+	}
+	r, err = Compare([]float64{1, 3}, []float64{3, 1})
+	if err != nil || r != Equal {
+		t.Errorf("Compare = %v, %v; want Equal", r, err)
+	}
+	// (3,3,0) vs (4,1,1): prefix sums 3,6,6 vs 4,5,6 -> incomparable.
+	r, err = Compare([]float64{3, 3, 0}, []float64{4, 1, 1})
+	if err != nil || r != Incomparable {
+		t.Errorf("Compare = %v, %v; want Incomparable", r, err)
+	}
+	if _, err := Compare([]float64{1}, []float64{1, 0}); err == nil {
+		t.Error("Compare with mismatched dims should fail")
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	for _, r := range []Relation{Incomparable, Equal, FirstMajorizes, SecondMajorizes, Relation(99)} {
+		if r.String() == "" {
+			t.Errorf("empty String for %d", int(r))
+		}
+	}
+}
+
+func TestBalancedAndOneHotAreExtremes(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		total := 0.0
+		for i, x := range raw {
+			xs[i] = math.Abs(math.Mod(x, 1000))
+			total += xs[i]
+		}
+		if total == 0 {
+			return true
+		}
+		top := OneHot(len(xs), total)
+		bot := Balanced(len(xs), total)
+		overBot, err1 := Majorizes(xs, bot)
+		underTop, err2 := Majorizes(top, xs)
+		return err1 == nil && err2 == nil && overBot && underTop
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBalancedZeroLength(t *testing.T) {
+	if got := Balanced(0, 5); len(got) != 0 {
+		t.Errorf("Balanced(0) = %v", got)
+	}
+	if got := OneHot(0, 5); len(got) != 0 {
+		t.Errorf("OneHot(0) = %v", got)
+	}
+}
+
+func TestLorenz(t *testing.T) {
+	pts, err := Lorenz([]float64{1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0.25, 0.5, 1}
+	for i := range want {
+		if math.Abs(pts[i]-want[i]) > 1e-12 {
+			t.Errorf("Lorenz[%d] = %g, want %g", i, pts[i], want[i])
+		}
+	}
+	if _, err := Lorenz([]float64{-1}); err == nil {
+		t.Error("negative input should fail")
+	}
+	diag, err := Lorenz([]float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag[1] != 0.5 || diag[2] != 1 {
+		t.Errorf("all-zero Lorenz = %v", diag)
+	}
+}
+
+func TestLorenzCharacterizesMajorization(t *testing.T) {
+	// a ≻ b iff Lorenz(a) <= Lorenz(b) pointwise.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(6)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.Float64()
+			b[i] = rng.Float64()
+		}
+		// Rescale b to the same sum as a.
+		sa, sb := stats.Sum(a), stats.Sum(b)
+		for i := range b {
+			b[i] *= sa / sb
+		}
+		maj, err := Majorizes(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		la, _ := Lorenz(a)
+		lb, _ := Lorenz(b)
+		below := true
+		for i := range la {
+			if la[i] > lb[i]+1e-9 {
+				below = false
+				break
+			}
+		}
+		if maj != below {
+			t.Fatalf("trial %d: Majorizes=%v but Lorenz-below=%v\na=%v\nb=%v", trial, maj, below, a, b)
+		}
+	}
+}
+
+func TestTTransform(t *testing.T) {
+	out, err := TTransform([]float64{4, 0}, 0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 2 || out[1] != 2 {
+		t.Errorf("full transform = %v, want [2 2]", out)
+	}
+	out, err = TTransform([]float64{4, 0}, 0, 1, 0)
+	if err != nil || out[0] != 4 || out[1] != 0 {
+		t.Errorf("identity transform = %v, %v", out, err)
+	}
+	out, err = TTransform([]float64{4, 0}, 1, 1, 0.5)
+	if err != nil || out[0] != 4 {
+		t.Errorf("i==j transform = %v, %v", out, err)
+	}
+	if _, err := TTransform([]float64{1}, 0, 5, 0.5); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+	if _, err := TTransform([]float64{1, 2}, 0, 1, 2); err == nil {
+		t.Error("lambda > 1 should fail")
+	}
+}
+
+func TestTTransformIsMajorized(t *testing.T) {
+	// The original vector majorizes any T-transform of itself.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(6)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 10
+		}
+		i, j := rng.Intn(n), rng.Intn(n)
+		out, err := TTransform(xs, i, j, rng.Float64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		maj, err := Majorizes(xs, out)
+		if err != nil || !maj {
+			t.Fatalf("trial %d: original should majorize transform: %v\nxs=%v\nout=%v", trial, err, xs, out)
+		}
+	}
+}
+
+// TestIndicesAreSchurConvex validates that the dispersion indices used by
+// the methodology respect the majorization order on standardized vectors:
+// more majorized (more spread out) means a larger index.
+func TestIndicesAreSchurConvex(t *testing.T) {
+	schurConvex := []stats.Index{stats.Euclidean, stats.Variance, stats.StdDev, stats.MAD, stats.Max, stats.Gini}
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(8)
+		a := make([]float64, n)
+		for i := range a {
+			a[i] = rng.Float64()
+		}
+		std, err := stats.Standardize(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// b is a T-transform of a, hence majorized by a.
+		b, err := TTransform(std, rng.Intn(n), rng.Intn(n), rng.Float64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, idx := range schurConvex {
+			ok, err := SchurConvexOn(idx.Of, std, b, 1e-9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("trial %d: %s violates Schur convexity\na=%v\nb=%v", trial, idx.Name(), std, b)
+			}
+		}
+	}
+}
+
+func TestSchurConvexOnVacuous(t *testing.T) {
+	// Incomparable or reversed pairs pass vacuously.
+	ok, err := SchurConvexOn(stats.Max.Of, []float64{1, 1, 1}, []float64{3, 0, 0}, 0)
+	if err != nil || !ok {
+		t.Errorf("vacuous check = %v, %v", ok, err)
+	}
+}

@@ -1,0 +1,196 @@
+package mpi
+
+import (
+	"errors"
+	"testing"
+)
+
+// runClocks runs a one-region program on 4 ranks under the unit cost
+// model and returns the final clocks.
+func runClocks(t *testing.T, body func(c *Comm) error) []float64 {
+	t.Helper()
+	w, err := NewWorld(4, unitCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clocks := make([]float64, 4)
+	run := w.Run(func(c *Comm) error {
+		if err := c.EnterRegion("r"); err != nil {
+			return err
+		}
+		if err := body(c); err != nil {
+			return err
+		}
+		clocks[c.Rank()] = c.Now()
+		return c.ExitRegion()
+	})
+	if run != nil {
+		t.Fatal(run)
+	}
+	return clocks
+}
+
+func TestGatherCost(t *testing.T) {
+	clocks := runClocks(t, func(c *Comm) error { return c.Gather(0, 2) })
+	// stages(4)*1 + 3*2 = 8 for everyone (all arrive at 0).
+	for r, clk := range clocks {
+		if clk != 8 {
+			t.Errorf("rank %d clock = %g, want 8", r, clk)
+		}
+	}
+}
+
+func TestScatterCost(t *testing.T) {
+	clocks := runClocks(t, func(c *Comm) error { return c.Scatter(0, 2) })
+	for r, clk := range clocks {
+		if clk != 8 {
+			t.Errorf("rank %d clock = %g, want 8", r, clk)
+		}
+	}
+}
+
+func TestAllgatherCost(t *testing.T) {
+	clocks := runClocks(t, func(c *Comm) error { return c.Allgather(2) })
+	// (P-1)*(latency + transfer) = 3*(1+2) = 9.
+	for r, clk := range clocks {
+		if clk != 9 {
+			t.Errorf("rank %d clock = %g, want 9", r, clk)
+		}
+	}
+}
+
+func TestCollectiveValidation(t *testing.T) {
+	w, err := NewWorld(2, unitCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := w.Run(func(c *Comm) error {
+		if c.Rank() != 0 {
+			return nil
+		}
+		if err := c.EnterRegion("r"); err != nil {
+			return err
+		}
+		if err := c.Gather(9, 1); !errors.Is(err, ErrBadArgument) {
+			return errorsJoin("gather root", err)
+		}
+		if err := c.Gather(0, -1); !errors.Is(err, ErrBadArgument) {
+			return errorsJoin("gather bytes", err)
+		}
+		if err := c.Scatter(-1, 1); !errors.Is(err, ErrBadArgument) {
+			return errorsJoin("scatter root", err)
+		}
+		if err := c.Scatter(0, -1); !errors.Is(err, ErrBadArgument) {
+			return errorsJoin("scatter bytes", err)
+		}
+		if err := c.Allgather(-1); !errors.Is(err, ErrBadArgument) {
+			return errorsJoin("allgather bytes", err)
+		}
+		return c.ExitRegion()
+	})
+	if run != nil {
+		t.Fatal(run)
+	}
+}
+
+func errorsJoin(what string, err error) error {
+	return errors.New(what + " validation failed: " + errString(err))
+}
+
+func errString(err error) string {
+	if err == nil {
+		return "<nil>"
+	}
+	return err.Error()
+}
+
+func TestCollectiveBytesCounted(t *testing.T) {
+	w, err := NewWorld(4, unitCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := w.Run(func(c *Comm) error {
+		if err := c.EnterRegion("r"); err != nil {
+			return err
+		}
+		if err := c.Allgather(10); err != nil {
+			return err
+		}
+		return c.ExitRegion()
+	})
+	if run != nil {
+		t.Fatal(run)
+	}
+	cube, err := w.BytesCube(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := cube.At(0, cube.ActivityIndex(ActCollective), 0)
+	if err != nil || v != 40 {
+		t.Errorf("allgather bytes = %g, %v; want P*10", v, err)
+	}
+}
+
+func TestBcastCost(t *testing.T) {
+	clocks := runClocks(t, func(c *Comm) error { return c.Bcast(0, 2) })
+	// stages(4)*(1+2) = 6.
+	for r, clk := range clocks {
+		if clk != 6 {
+			t.Errorf("rank %d clock = %g, want 6", r, clk)
+		}
+	}
+}
+
+func TestReduceCost(t *testing.T) {
+	clocks := runClocks(t, func(c *Comm) error { return c.Reduce(0, 2) })
+	for r, clk := range clocks {
+		if clk != 6 {
+			t.Errorf("rank %d clock = %g, want 6", r, clk)
+		}
+	}
+}
+
+func TestReduceSumCarriesData(t *testing.T) {
+	w, err := NewWorld(4, unitCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := w.Run(func(c *Comm) error {
+		if err := c.EnterRegion("r"); err != nil {
+			return err
+		}
+		sum, err := c.ReduceSum(0, float64(c.Rank()+1), 8)
+		if err != nil {
+			return err
+		}
+		if sum != 10 { // 1+2+3+4
+			t.Errorf("rank %d sum = %g", c.Rank(), sum)
+		}
+		return c.ExitRegion()
+	})
+	if run != nil {
+		t.Fatal(run)
+	}
+}
+
+func TestBcastValidation(t *testing.T) {
+	w, err := NewWorld(2, unitCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := w.Run(func(c *Comm) error {
+		if c.Rank() != 0 {
+			return nil
+		}
+		if err := c.Bcast(9, 1); !errors.Is(err, ErrBadArgument) {
+			return errorsJoin("bcast root", err)
+		}
+		if err := c.Bcast(0, -1); !errors.Is(err, ErrBadArgument) {
+			return errorsJoin("bcast bytes", err)
+		}
+		return nil
+	})
+	if run != nil {
+		t.Fatal(run)
+	}
+}

@@ -1,0 +1,74 @@
+package mpi
+
+import (
+	"loadimb/internal/trace"
+)
+
+// The paper's measurement model covers counting parameters (number of
+// I/O operations, bytes read/written, memory accesses, ...) alongside
+// timings. This file instruments the communication volume: every send,
+// receive and collective credits its byte count to the current (region,
+// activity, rank) cell of a counter ledger, which aggregates into a cube
+// exactly like the timing events — so the whole methodology (dispersion
+// indices, views, scaling) applies unchanged to bytes.
+
+// countEntry is one counter increment.
+type countEntry struct {
+	region   string
+	activity string
+	bytes    float64
+}
+
+// addBytes credits n bytes to the current region under the activity. It
+// is a no-op outside a region (uninstrumented communication) or for
+// nonpositive counts.
+func (c *Comm) addBytes(activity string, n int) {
+	if c.region == "" || n <= 0 {
+		return
+	}
+	c.counts = append(c.counts, countEntry{region: c.region, activity: activity, bytes: float64(n)})
+}
+
+// BytesCube aggregates the byte counters of the last successful Run into
+// a cube whose "times" are byte counts: t[region][activity][rank] is the
+// number of bytes rank moved in that activity of that region. Regions
+// are ordered as given (nil means order of first appearance). The cube
+// has no separate program total; shares are relative to the total bytes
+// moved in the instrumented regions.
+func (w *World) BytesCube(regionOrder []string) (*trace.Cube, error) {
+	// Reuse the event-log aggregation by encoding each increment as a
+	// zero-length "event" carrying the byte count as duration.
+	var log trace.Log
+	for rank, entries := range w.counts {
+		for _, e := range entries {
+			ev := trace.Event{
+				Rank:     rank,
+				Region:   e.region,
+				Activity: e.activity,
+				Start:    0,
+				End:      e.bytes,
+			}
+			if err := log.Append(ev); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if log.Len() == 0 {
+		// A run that moved no bytes still has a meaningful (empty)
+		// counter cube if we know the shape; without events we cannot
+		// name the dimensions, so report it as an error the caller can
+		// distinguish.
+		return nil, ErrNoCounters
+	}
+	cube, err := log.Aggregate(regionOrder, Activities())
+	if err != nil {
+		return nil, err
+	}
+	// The aggregation sets the program time to the log span, which for
+	// counters is just the largest single increment — meaningless.
+	// Reset to the derived total.
+	if err := cube.SetProgramTime(0); err != nil {
+		return nil, err
+	}
+	return cube, nil
+}

@@ -1,0 +1,442 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// unitCost makes hand-computation easy: latency 1, bandwidth 1 byte/s,
+// overhead 0, collective latency 1.
+func unitCost() CostModel {
+	return CostModel{Latency: 1, Bandwidth: 1, SendOverhead: 0, CollectiveLatency: 1}
+}
+
+func TestNewWorldValidation(t *testing.T) {
+	if _, err := NewWorld(0, DefaultCostModel()); err == nil {
+		t.Error("zero procs should fail")
+	}
+	if _, err := NewWorld(2, CostModel{Bandwidth: 0}); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("bad cost model err = %v", err)
+	}
+	w, err := NewWorld(3, DefaultCostModel())
+	if err != nil || w.Procs() != 3 {
+		t.Fatalf("NewWorld = %v, %v", w, err)
+	}
+}
+
+func TestComputeRecordsEvents(t *testing.T) {
+	w, err := NewWorld(2, unitCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := w.Run(func(c *Comm) error {
+		if err := c.EnterRegion("loop"); err != nil {
+			return err
+		}
+		if err := c.Compute(float64(c.Rank()) + 1); err != nil {
+			return err
+		}
+		return c.ExitRegion()
+	})
+	if run != nil {
+		t.Fatal(run)
+	}
+	cube, err := w.Cube(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0, err := cube.At(0, 0, 0)
+	if err != nil || v0 != 1 {
+		t.Errorf("rank 0 compute = %g, %v", v0, err)
+	}
+	v1, err := cube.At(0, 0, 1)
+	if err != nil || v1 != 2 {
+		t.Errorf("rank 1 compute = %g, %v", v1, err)
+	}
+}
+
+func TestSendRecvTiming(t *testing.T) {
+	w, err := NewWorld(2, unitCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clocks := make([]float64, 2)
+	run := w.Run(func(c *Comm) error {
+		if err := c.EnterRegion("xchg"); err != nil {
+			return err
+		}
+		defer func() { clocks[c.Rank()] = c.Now() }()
+		if c.Rank() == 0 {
+			// Send 10 bytes at t=0: sender pays transfer 10 -> clock 10.
+			if err := c.Send(1, 0, 10); err != nil {
+				return err
+			}
+		} else {
+			// Message arrives at 0 + latency 1 + transfer 10 = 11.
+			n, err := c.Recv(0, 0)
+			if err != nil {
+				return err
+			}
+			if n != 10 {
+				return fmt.Errorf("recv %d bytes", n)
+			}
+		}
+		return c.ExitRegion()
+	})
+	if run != nil {
+		t.Fatal(run)
+	}
+	if clocks[0] != 10 {
+		t.Errorf("sender clock = %g, want 10", clocks[0])
+	}
+	if clocks[1] != 11 {
+		t.Errorf("receiver clock = %g, want 11", clocks[1])
+	}
+}
+
+func TestRecvAfterArrival(t *testing.T) {
+	// A receiver that is late pays only its own time: the clock does not
+	// move backward.
+	w, err := NewWorld(2, unitCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var late float64
+	run := w.Run(func(c *Comm) error {
+		if err := c.EnterRegion("r"); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if err := c.Send(1, 0, 1); err != nil {
+				return err
+			}
+		} else {
+			if err := c.Compute(100); err != nil {
+				return err
+			}
+			if _, err := c.Recv(0, 0); err != nil {
+				return err
+			}
+			late = c.Now()
+		}
+		return c.ExitRegion()
+	})
+	if run != nil {
+		t.Fatal(run)
+	}
+	if late != 100 {
+		t.Errorf("late receiver clock = %g, want 100", late)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	w, err := NewWorld(4, unitCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clocks := make([]float64, 4)
+	run := w.Run(func(c *Comm) error {
+		if err := c.EnterRegion("r"); err != nil {
+			return err
+		}
+		if err := c.Compute(float64(c.Rank())); err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		clocks[c.Rank()] = c.Now()
+		return c.ExitRegion()
+	})
+	if run != nil {
+		t.Fatal(run)
+	}
+	// Last arrival 3, stages(4) = 2, cost 2 -> everyone at 5.
+	for r, clk := range clocks {
+		if clk != 5 {
+			t.Errorf("rank %d clock = %g, want 5", r, clk)
+		}
+	}
+}
+
+func TestBarrierWaitIsSynchronizationTime(t *testing.T) {
+	w, err := NewWorld(2, unitCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := w.Run(func(c *Comm) error {
+		if err := c.EnterRegion("r"); err != nil {
+			return err
+		}
+		if err := c.Compute(float64(10 * c.Rank())); err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		return c.ExitRegion()
+	})
+	if run != nil {
+		t.Fatal(run)
+	}
+	cube, err := w.Cube(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := cube.ActivityIndex(ActSynchronization)
+	// Rank 0 waits 10 + 1 stage = 11; rank 1 waits 1.
+	w0, err := cube.At(0, j, 0)
+	if err != nil || w0 != 11 {
+		t.Errorf("rank 0 sync = %g, %v", w0, err)
+	}
+	w1, err := cube.At(0, j, 1)
+	if err != nil || w1 != 1 {
+		t.Errorf("rank 1 sync = %g, %v", w1, err)
+	}
+}
+
+func TestCollectivesAdvanceTogether(t *testing.T) {
+	w, err := NewWorld(4, unitCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clocks := make([]float64, 4)
+	run := w.Run(func(c *Comm) error {
+		if err := c.EnterRegion("r"); err != nil {
+			return err
+		}
+		if err := c.Allreduce(8); err != nil {
+			return err
+		}
+		clocks[c.Rank()] = c.Now()
+		return c.ExitRegion()
+	})
+	if run != nil {
+		t.Fatal(run)
+	}
+	// All arrive at 0; cost 2*2*(1+8) = 36.
+	for r, clk := range clocks {
+		if clk != 36 {
+			t.Errorf("rank %d clock = %g, want 36", r, clk)
+		}
+	}
+}
+
+func TestAlltoallCost(t *testing.T) {
+	w, err := NewWorld(4, unitCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clock float64
+	run := w.Run(func(c *Comm) error {
+		if err := c.EnterRegion("r"); err != nil {
+			return err
+		}
+		if err := c.Alltoall(2); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			clock = c.Now()
+		}
+		return c.ExitRegion()
+	})
+	if run != nil {
+		t.Fatal(run)
+	}
+	// (P-1)*(latency + transfer) = 3*(1+2) = 9.
+	if clock != 9 {
+		t.Errorf("alltoall clock = %g, want 9", clock)
+	}
+}
+
+func TestSendrecvExchangesBothWays(t *testing.T) {
+	w, err := NewWorld(2, unitCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := w.Run(func(c *Comm) error {
+		if err := c.EnterRegion("halo"); err != nil {
+			return err
+		}
+		other := 1 - c.Rank()
+		n, err := c.Sendrecv(other, 5, other, 0)
+		if err != nil {
+			return err
+		}
+		if n != 5 {
+			return fmt.Errorf("rank %d received %d bytes", c.Rank(), n)
+		}
+		return c.ExitRegion()
+	})
+	if run != nil {
+		t.Fatal(run)
+	}
+}
+
+func TestOperationValidation(t *testing.T) {
+	w, err := NewWorld(2, unitCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := w.Run(func(c *Comm) error {
+		if c.Rank() != 0 {
+			return nil
+		}
+		if err := c.Compute(1); !errors.Is(err, ErrNoRegion) {
+			return fmt.Errorf("compute outside region: %v", err)
+		}
+		if err := c.EnterRegion(""); !errors.Is(err, ErrBadArgument) {
+			return fmt.Errorf("empty region: %v", err)
+		}
+		if err := c.EnterRegion("r"); err != nil {
+			return err
+		}
+		if err := c.EnterRegion("nested"); !errors.Is(err, ErrBadArgument) {
+			return fmt.Errorf("nested region: %v", err)
+		}
+		if err := c.Compute(-1); !errors.Is(err, ErrBadArgument) {
+			return fmt.Errorf("negative compute: %v", err)
+		}
+		if err := c.Send(0, 0, 1); !errors.Is(err, ErrBadArgument) {
+			return fmt.Errorf("send to self: %v", err)
+		}
+		if err := c.Send(1, 0, -1); !errors.Is(err, ErrBadArgument) {
+			return fmt.Errorf("negative bytes: %v", err)
+		}
+		if _, err := c.Recv(0, 0); !errors.Is(err, ErrBadArgument) {
+			return fmt.Errorf("recv from self: %v", err)
+		}
+		if err := c.Reduce(9, 1); !errors.Is(err, ErrBadArgument) {
+			return fmt.Errorf("bad root: %v", err)
+		}
+		if err := c.Skew(-1); !errors.Is(err, ErrBadArgument) {
+			return fmt.Errorf("negative skew: %v", err)
+		}
+		if err := c.ExitRegion(); err != nil {
+			return err
+		}
+		if err := c.ExitRegion(); !errors.Is(err, ErrNoRegion) {
+			return fmt.Errorf("double exit: %v", err)
+		}
+		return nil
+	})
+	// Rank 1 never enters the collectives rank 0 validated, so the run
+	// is fine; only argument errors were exercised.
+	if run != nil {
+		t.Fatal(run)
+	}
+}
+
+func TestRunFailsInsideRegion(t *testing.T) {
+	w, err := NewWorld(1, unitCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := w.Run(func(c *Comm) error {
+		return c.EnterRegion("never closed")
+	})
+	if run == nil {
+		t.Error("finishing inside a region should fail")
+	}
+}
+
+func TestSkewIsUninstrumented(t *testing.T) {
+	w, err := NewWorld(1, unitCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := w.Run(func(c *Comm) error {
+		if err := c.Skew(5); err != nil {
+			return err
+		}
+		if err := c.EnterRegion("r"); err != nil {
+			return err
+		}
+		if err := c.Compute(1); err != nil {
+			return err
+		}
+		return c.ExitRegion()
+	})
+	if run != nil {
+		t.Fatal(run)
+	}
+	cube, err := w.Cube(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instrumented time is 1 but the program span is 6.
+	if got := cube.RegionsTotal(); got != 1 {
+		t.Errorf("instrumented = %g", got)
+	}
+	if got := cube.ProgramTime(); got != 6 {
+		t.Errorf("program time = %g", got)
+	}
+}
+
+func TestWorldDeterministic(t *testing.T) {
+	program := func() []float64 {
+		w, err := NewWorld(8, DefaultCostModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		clocks := make([]float64, 8)
+		run := w.Run(func(c *Comm) error {
+			if err := c.EnterRegion("ring"); err != nil {
+				return err
+			}
+			for step := 0; step < 10; step++ {
+				if err := c.Compute(0.001 * float64(c.Rank()+1)); err != nil {
+					return err
+				}
+				right := (c.Rank() + 1) % c.Size()
+				left := (c.Rank() + c.Size() - 1) % c.Size()
+				if _, err := c.Sendrecv(right, 4096, left, step); err != nil {
+					return err
+				}
+				if err := c.Allreduce(8); err != nil {
+					return err
+				}
+			}
+			clocks[c.Rank()] = c.Now()
+			return c.ExitRegion()
+		})
+		if run != nil {
+			t.Fatal(run)
+		}
+		return clocks
+	}
+	first := program()
+	for trial := 0; trial < 5; trial++ {
+		got := program()
+		for r := range got {
+			if got[r] != first[r] {
+				t.Fatalf("trial %d rank %d: clock %g != %g", trial, r, got[r], first[r])
+			}
+		}
+	}
+}
+
+func TestStages(t *testing.T) {
+	cases := []struct {
+		p    int
+		want float64
+	}{{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {16, 4}}
+	for _, c := range cases {
+		if got := stages(c.p); got != c.want {
+			t.Errorf("stages(%d) = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestDefaultCostModelSane(t *testing.T) {
+	c := DefaultCostModel()
+	if err := c.validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 1 MB at 35 MB/s is about 29 ms.
+	if got := c.transfer(1 << 20); math.Abs(got-0.02995) > 0.005 {
+		t.Errorf("transfer(1MB) = %g", got)
+	}
+}

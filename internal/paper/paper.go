@@ -1,0 +1,210 @@
+// Package paper embeds the published measurements and results of the case
+// study in Calzarossa, Massari, Tessera, "Load Imbalance in Parallel
+// Programs" (2003): a message-passing computational fluid dynamics code
+// executed on P = 16 processors of an IBM SP2, instrumented over N = 7 main
+// loops and K = 4 activities.
+//
+// Tables 1 and 2 are inputs (the published marginals of the never-published
+// t_ijp cube); Tables 3 and 4 and the Section 4 findings are expected
+// outputs that the analysis pipeline must regenerate. The reproduction
+// tests in internal/core and the workload reconstruction in
+// internal/workload are both driven by this package.
+package paper
+
+// Dimensions of the case study.
+const (
+	// NumLoops is N, the number of instrumented code regions (the main
+	// loops of the CFD program).
+	NumLoops = 7
+	// NumActivities is K: computation, point-to-point communication,
+	// collective communication, synchronization.
+	NumActivities = 4
+	// NumProcs is P, the number of allocated processors.
+	NumProcs = 16
+)
+
+// Activity indices into the K dimension.
+const (
+	Computation = iota
+	PointToPoint
+	Collective
+	Synchronization
+)
+
+// ActivityNames lists the four measured activities in table order.
+var ActivityNames = [NumActivities]string{
+	"computation",
+	"point-to-point",
+	"collective",
+	"synchronization",
+}
+
+// LoopNames lists the seven instrumented loops in table order.
+var LoopNames = [NumLoops]string{
+	"loop 1", "loop 2", "loop 3", "loop 4", "loop 5", "loop 6", "loop 7",
+}
+
+// Absent marks a (loop, activity) pair in which the activity is not
+// performed; the published tables print "-" for these cells.
+const Absent = -1.0
+
+// Table1 holds the published breakdown of each loop's wall clock time (in
+// seconds) into the four activities. Cells equal to Absent mark activities
+// the loop does not perform.
+var Table1 = [NumLoops][NumActivities]float64{
+	{12.24, Absent, 6.75, 0.061},
+	{7.90, Absent, 6.32, Absent},
+	{5.22, 5.68, Absent, Absent},
+	{8.03, 2.51, Absent, Absent},
+	{7.53, 0.07, 1.43, 0.011},
+	{0.36, 0.33, Absent, 0.002},
+	{0.28, Absent, 0.03, Absent},
+}
+
+// Table1Overall holds the published overall wall clock time of each loop,
+// in seconds. Each value equals the sum of the loop's row of Table1 (the
+// published rounding is exact).
+var Table1Overall = [NumLoops]float64{
+	19.051, 14.22, 10.90, 10.54, 9.041, 0.692, 0.31,
+}
+
+// ProgramTime is the wall clock time T of the whole program, in seconds.
+// It is not printed in the paper but is implied by every scaled index in
+// Tables 3 and 4: SID = ID * (time fraction of T). A least-squares fit of
+// the eleven published SID values yields T = 69.93 s, consistent with the
+// paper's statement that loop 1 accounts for "about 27%" of the program
+// (19.051/69.93 = 27.2%) while the seven loops together account for 64.754
+// s. The remaining ~5.2 s is uninstrumented program time.
+const ProgramTime = 69.93
+
+// Table2 holds the published indices of dispersion ID_ij: the Euclidean
+// distance between the standardized times spent by the processors in
+// activity j of loop i and their average. Absent cells mirror Table1.
+var Table2 = [NumLoops][NumActivities]float64{
+	{0.03674, Absent, 0.06793, 0.12870},
+	{0.01095, Absent, 0.00318, Absent},
+	{0.00672, 0.02833, Absent, Absent},
+	{0.01615, 0.10742, Absent, Absent},
+	{0.00933, 0.08872, 0.04907, 0.30571},
+	{0.05017, 0.23200, Absent, 0.16163},
+	{0.00719, Absent, 0.01138, Absent},
+}
+
+// Table3 holds the published activity-view summary: for each activity, the
+// weighted-average index of dispersion ID_A and its scaled counterpart
+// SID_A.
+var Table3 = [NumActivities]struct{ ID, SID float64 }{
+	{0.01904, 0.01132},
+	{0.05973, 0.00734},
+	{0.03781, 0.00786},
+	{0.15559, 0.00016},
+}
+
+// Table4 holds the published code-region-view summary: for each loop, the
+// weighted-average index of dispersion ID_C and its scaled counterpart
+// SID_C.
+var Table4 = [NumLoops]struct{ ID, SID float64 }{
+	{0.04809, 0.01311},
+	{0.00750, 0.00152},
+	{0.01798, 0.00280},
+	{0.03790, 0.00571},
+	{0.01655, 0.00214},
+	{0.13734, 0.00135},
+	{0.00760, 0.00003},
+}
+
+// Section 4 qualitative findings that the reproduction must confirm.
+const (
+	// HeaviestLoop is the loop with the maximum wall clock time (1-based
+	// as in the paper: loop 1).
+	HeaviestLoop = 1
+	// HeaviestLoopShare is the approximate fraction of the program wall
+	// clock time accounted by the heaviest loop ("about 27%").
+	HeaviestLoopShare = 0.27
+	// DominantActivity is computation, the activity with the maximum
+	// total wall clock time.
+	DominantActivity = Computation
+	// LongestPointToPointLoop spends the longest time in point-to-point
+	// communications (loop 3).
+	LongestPointToPointLoop = 3
+	// MostImbalancedActivity is synchronization (largest ID_A).
+	MostImbalancedActivity = Synchronization
+	// MostImbalancedLoop is loop 6 (largest ID_C).
+	MostImbalancedLoop = 6
+	// BestTuningCandidateLoop is loop 1: large ID_C and the largest
+	// scaled index SID_C.
+	BestTuningCandidateLoop = 1
+	// SynchronizationShare is the fraction of program wall clock time
+	// accounted by synchronization ("only 0.1%").
+	SynchronizationShare = 0.001
+)
+
+// ClusterHeavy and ClusterLight are the k-means partition of the loops
+// reported in Section 4 (1-based loop numbers): the two heaviest loops form
+// one group, the rest the other.
+var (
+	ClusterHeavy = []int{1, 2}
+	ClusterLight = []int{3, 4, 5, 6, 7}
+)
+
+// Figure observations quoted in the text (counts of processors whose time
+// falls in a banding interval of the loop's range).
+const (
+	// Figure1Loop4Upper: on loop 4, the computation times of 5 of the 16
+	// processors lie in the upper 15% interval.
+	Figure1Loop4Upper = 5
+	// Figure1Loop6Lower: on loop 6, the computation times of 11 of the
+	// 16 processors lie in the lower 15% interval.
+	Figure1Loop6Lower = 11
+	// BandFraction is the width of the banding intervals relative to the
+	// range of the loop's times (the "lower and upper 15% intervals").
+	BandFraction = 0.15
+)
+
+// Processor-view findings. The published data do not determine the
+// processor-view indices uniquely, so the reproduction checks these
+// qualitative facts rather than exact values.
+const (
+	// MostFrequentlyImbalancedProc is processor 1: it has the largest
+	// index of dispersion on two loops (3 and 7).
+	MostFrequentlyImbalancedProc = 1
+	// LongestImbalancedProc is processor 2: most imbalanced on loop 1
+	// only, with index 0.25754 and wall clock time 15.93 s.
+	LongestImbalancedProc = 2
+	// LongestImbalancedProcID is the published dispersion index of
+	// processor 2 on loop 1.
+	LongestImbalancedProcID = 0.25754
+	// LongestImbalancedProcTime is processor 2's wall clock time on
+	// loop 1, in seconds.
+	LongestImbalancedProcTime = 15.93
+)
+
+// SumOfLoops returns the total wall clock time of the seven instrumented
+// loops (64.754 s).
+func SumOfLoops() float64 {
+	s := 0.0
+	for _, t := range Table1Overall {
+		s += t
+	}
+	return s
+}
+
+// CellTime returns the Table1 entry for (loop, activity) using 0-based
+// indices, and whether the activity is performed in that loop.
+func CellTime(i, j int) (float64, bool) {
+	t := Table1[i][j]
+	if t == Absent {
+		return 0, false
+	}
+	return t, true
+}
+
+// Dispersion returns the Table2 entry for (loop, activity) using 0-based
+// indices, and whether the activity is performed in that loop.
+func Dispersion(i, j int) (float64, bool) {
+	d := Table2[i][j]
+	if d == Absent {
+		return 0, false
+	}
+	return d, true
+}

@@ -1,0 +1,169 @@
+package paper
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTable1RowsSum verifies the published per-loop overall times equal the
+// sum of their activity breakdowns.
+func TestTable1RowsSum(t *testing.T) {
+	for i := range Table1 {
+		sum := 0.0
+		for j := range Table1[i] {
+			if v, ok := CellTime(i, j); ok {
+				sum += v
+			}
+		}
+		if math.Abs(sum-Table1Overall[i]) > 1e-9 {
+			t.Errorf("loop %d: breakdown sums to %g, published overall %g", i+1, sum, Table1Overall[i])
+		}
+	}
+}
+
+func TestSumOfLoops(t *testing.T) {
+	if got := SumOfLoops(); math.Abs(got-64.754) > 1e-9 {
+		t.Errorf("SumOfLoops = %g, want 64.754", got)
+	}
+	if SumOfLoops() >= ProgramTime {
+		t.Error("instrumented loops should not exceed the program time")
+	}
+}
+
+func TestAbsencePatternsAgree(t *testing.T) {
+	// Table 2 has an index exactly where Table 1 has a time.
+	for i := range Table1 {
+		for j := range Table1[i] {
+			_, hasTime := CellTime(i, j)
+			_, hasID := Dispersion(i, j)
+			if hasTime != hasID {
+				t.Errorf("loop %d activity %d: time present=%v but index present=%v", i+1, j, hasTime, hasID)
+			}
+		}
+	}
+}
+
+// TestProgramTimeConsistent cross-checks the fitted program time against
+// every published scaled index: SID = ID * share must reproduce the
+// published SID to the published precision.
+func TestProgramTimeConsistent(t *testing.T) {
+	// Activity view: SID_A_j = (T_j / T) * ID_A_j.
+	for j := range Table3 {
+		tj := 0.0
+		for i := range Table1 {
+			if v, ok := CellTime(i, j); ok {
+				tj += v
+			}
+		}
+		want := Table3[j].ID * tj / ProgramTime
+		if math.Abs(want-Table3[j].SID) > 2e-5 {
+			t.Errorf("activity %s: ID*share = %.5f, published SID %.5f", ActivityNames[j], want, Table3[j].SID)
+		}
+	}
+	// Region view: SID_C_i = (t_i / T) * ID_C_i.
+	for i := range Table4 {
+		want := Table4[i].ID * Table1Overall[i] / ProgramTime
+		if math.Abs(want-Table4[i].SID) > 2e-5 {
+			t.Errorf("loop %d: ID*share = %.5f, published SID %.5f", i+1, want, Table4[i].SID)
+		}
+	}
+}
+
+// TestPublishedWeightedAverages recomputes Tables 3 and 4 IDs from Tables 1
+// and 2. The paper computed them from unrounded inputs, so agreement is to
+// ~5e-4.
+func TestPublishedWeightedAverages(t *testing.T) {
+	const tol = 5e-4
+	for j := range Table3 {
+		num, den := 0.0, 0.0
+		for i := range Table1 {
+			tij, ok := CellTime(i, j)
+			if !ok {
+				continue
+			}
+			id, _ := Dispersion(i, j)
+			num += tij * id
+			den += tij
+		}
+		got := num / den
+		if math.Abs(got-Table3[j].ID) > tol {
+			t.Errorf("ID_A[%s] = %.5f, published %.5f", ActivityNames[j], got, Table3[j].ID)
+		}
+	}
+	for i := range Table4 {
+		num, den := 0.0, 0.0
+		for j := range Table1[i] {
+			tij, ok := CellTime(i, j)
+			if !ok {
+				continue
+			}
+			id, _ := Dispersion(i, j)
+			num += tij * id
+			den += tij
+		}
+		got := num / den
+		if math.Abs(got-Table4[i].ID) > tol {
+			t.Errorf("ID_C[loop %d] = %.5f, published %.5f", i+1, got, Table4[i].ID)
+		}
+	}
+}
+
+func TestFindingsAreSelfConsistent(t *testing.T) {
+	// Heaviest loop share ~27%.
+	share := Table1Overall[HeaviestLoop-1] / ProgramTime
+	if math.Abs(share-HeaviestLoopShare) > 0.01 {
+		t.Errorf("heaviest loop share = %.3f, paper says about %.2f", share, HeaviestLoopShare)
+	}
+	// Synchronization accounts for ~0.1% of T.
+	sync := 0.0
+	for i := range Table1 {
+		if v, ok := CellTime(i, Synchronization); ok {
+			sync += v
+		}
+	}
+	if math.Abs(sync/ProgramTime-SynchronizationShare) > 2e-4 {
+		t.Errorf("sync share = %.4f, paper says %.3f", sync/ProgramTime, SynchronizationShare)
+	}
+	// Most imbalanced activity/loop match the published tables.
+	argmaxA, bestA := -1, -1.0
+	for j := range Table3 {
+		if Table3[j].ID > bestA {
+			argmaxA, bestA = j, Table3[j].ID
+		}
+	}
+	if argmaxA != MostImbalancedActivity {
+		t.Errorf("most imbalanced activity = %d, want %d", argmaxA, MostImbalancedActivity)
+	}
+	argmaxC, bestC := -1, -1.0
+	for i := range Table4 {
+		if Table4[i].ID > bestC {
+			argmaxC, bestC = i+1, Table4[i].ID
+		}
+	}
+	if argmaxC != MostImbalancedLoop {
+		t.Errorf("most imbalanced loop = %d, want %d", argmaxC, MostImbalancedLoop)
+	}
+	// Best tuning candidate has the largest SID_C.
+	argmaxS, bestS := -1, -1.0
+	for i := range Table4 {
+		if Table4[i].SID > bestS {
+			argmaxS, bestS = i+1, Table4[i].SID
+		}
+	}
+	if argmaxS != BestTuningCandidateLoop {
+		t.Errorf("largest SID_C loop = %d, want %d", argmaxS, BestTuningCandidateLoop)
+	}
+}
+
+func TestClusterPartitionCoversLoops(t *testing.T) {
+	seen := make(map[int]bool)
+	for _, l := range append(append([]int{}, ClusterHeavy...), ClusterLight...) {
+		if l < 1 || l > NumLoops || seen[l] {
+			t.Fatalf("bad or duplicate loop %d in cluster partition", l)
+		}
+		seen[l] = true
+	}
+	if len(seen) != NumLoops {
+		t.Errorf("partition covers %d of %d loops", len(seen), NumLoops)
+	}
+}

@@ -1,0 +1,319 @@
+// Package pattern renders the qualitative processor-behavior diagrams of
+// the paper's Figures 1 and 2: for one activity, a row per code region and
+// a cell per processor, with each cell classified by where the processor's
+// wall clock time falls within the region's range — the maximum, the
+// minimum, the lower 15% interval, the upper 15% interval, or the middle.
+//
+// Two renderers are provided: a fixed-width ASCII diagram for terminals and
+// an SVG document for reports.
+package pattern
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"loadimb/internal/trace"
+)
+
+// Band classifies one processor's time within its region's range.
+type Band int
+
+// Band values, from lowest to highest time.
+const (
+	// BandAbsent marks regions that do not perform the activity (the
+	// paper's diagrams omit those rows entirely).
+	BandAbsent Band = iota
+	// BandMin is the minimum time of the row.
+	BandMin
+	// BandLower is the lower 15% interval of the row's range (excluding
+	// the minimum).
+	BandLower
+	// BandMid is the middle of the range.
+	BandMid
+	// BandUpper is the upper 15% interval (excluding the maximum).
+	BandUpper
+	// BandMax is the maximum time of the row.
+	BandMax
+)
+
+// String returns the band name.
+func (b Band) String() string {
+	switch b {
+	case BandAbsent:
+		return "absent"
+	case BandMin:
+		return "min"
+	case BandLower:
+		return "lower"
+	case BandMid:
+		return "mid"
+	case BandUpper:
+		return "upper"
+	case BandMax:
+		return "max"
+	}
+	return fmt.Sprintf("Band(%d)", int(b))
+}
+
+// Rune returns the single-character legend used by the ASCII renderer.
+func (b Band) Rune() rune {
+	switch b {
+	case BandMin:
+		return 'm'
+	case BandLower:
+		return '-'
+	case BandMid:
+		return '.'
+	case BandUpper:
+		return '+'
+	case BandMax:
+		return 'M'
+	default:
+		return ' '
+	}
+}
+
+// ErrNoActivity is returned when the requested activity is not in the cube.
+var ErrNoActivity = errors.New("pattern: activity not found")
+
+// Diagram is the banded classification of one activity across all regions
+// and processors.
+type Diagram struct {
+	// Activity is the diagram's activity name.
+	Activity string
+	// Regions lists the region names of the rows, in cube order
+	// (including rows whose activity is absent; renderers skip them, as
+	// the paper's figures do).
+	Regions []string
+	// Bands[i][p] classifies processor p in region i.
+	Bands [][]Band
+	// BandFraction is the width of the lower/upper intervals relative to
+	// the row range (the paper uses 0.15).
+	BandFraction float64
+}
+
+// Options configures diagram construction.
+type Options struct {
+	// BandFraction is the relative width of the lower and upper
+	// intervals; 0 means 0.15, the paper's choice. Must be in (0, 0.5].
+	BandFraction float64
+}
+
+// New classifies the named activity of the cube into bands.
+func New(cube *trace.Cube, activity string, opts Options) (*Diagram, error) {
+	if cube == nil {
+		return nil, errors.New("pattern: nil cube")
+	}
+	j := cube.ActivityIndex(activity)
+	if j < 0 {
+		return nil, fmt.Errorf("%w: %q (have %v)", ErrNoActivity, activity, cube.Activities())
+	}
+	frac := opts.BandFraction
+	if frac == 0 {
+		frac = 0.15
+	}
+	if frac < 0 || frac > 0.5 {
+		return nil, fmt.Errorf("pattern: band fraction %g out of (0, 0.5]", frac)
+	}
+	d := &Diagram{
+		Activity:     activity,
+		Regions:      cube.Regions(),
+		Bands:        make([][]Band, cube.NumRegions()),
+		BandFraction: frac,
+	}
+	for i := range d.Bands {
+		times, err := cube.ProcTimes(i, j)
+		if err != nil {
+			return nil, err
+		}
+		d.Bands[i] = classifyRow(times, frac)
+	}
+	return d, nil
+}
+
+// classifyRow assigns a band to every processor of one region row.
+func classifyRow(times []float64, frac float64) []Band {
+	bands := make([]Band, len(times))
+	total := 0.0
+	lo, hi := times[0], times[0]
+	for _, t := range times {
+		total += t
+		if t < lo {
+			lo = t
+		}
+		if t > hi {
+			hi = t
+		}
+	}
+	if total == 0 {
+		return bands // all BandAbsent
+	}
+	span := hi - lo
+	for p, t := range times {
+		switch {
+		case span == 0:
+			// All processors identical: perfectly balanced row.
+			bands[p] = BandMid
+		case t == hi:
+			bands[p] = BandMax
+		case t == lo:
+			bands[p] = BandMin
+		case t >= hi-frac*span:
+			bands[p] = BandUpper
+		case t <= lo+frac*span:
+			bands[p] = BandLower
+		default:
+			bands[p] = BandMid
+		}
+	}
+	return bands
+}
+
+// Count returns how many processors of region i fall in the band,
+// counting the maximum as part of the upper interval and the minimum as
+// part of the lower interval when band is BandUpper or BandLower (the
+// paper's "5 of 16 in the upper 15% interval" counts include the extreme).
+func (d *Diagram) Count(i int, band Band) (int, error) {
+	if i < 0 || i >= len(d.Bands) {
+		return 0, fmt.Errorf("pattern: region %d out of range [0, %d)", i, len(d.Bands))
+	}
+	n := 0
+	for _, b := range d.Bands[i] {
+		if b == band ||
+			(band == BandUpper && b == BandMax) ||
+			(band == BandLower && b == BandMin) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Performed reports whether region i performs the activity (its row is
+// drawn in the figure).
+func (d *Diagram) Performed(i int) bool {
+	for _, b := range d.Bands[i] {
+		if b != BandAbsent {
+			return true
+		}
+	}
+	return false
+}
+
+// ASCII renders the diagram as a fixed-width text figure, one row per
+// region that performs the activity, one character per processor, with a
+// legend. The layout mirrors the paper's Figures 1 and 2.
+func (d *Diagram) ASCII() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", d.Activity)
+	width := 0
+	for i, name := range d.Regions {
+		if d.Performed(i) && len(name) > width {
+			width = len(name)
+		}
+	}
+	for i, name := range d.Regions {
+		if !d.Performed(i) {
+			continue
+		}
+		fmt.Fprintf(&sb, "%-*s |", width, name)
+		for _, b := range d.Bands[i] {
+			sb.WriteRune(b.Rune())
+		}
+		sb.WriteString("|\n")
+	}
+	fmt.Fprintf(&sb, "legend: M max, + upper %.0f%%, . mid, - lower %.0f%%, m min\n",
+		d.BandFraction*100, d.BandFraction*100)
+	return sb.String()
+}
+
+// bandFill maps bands to the SVG fill colors (the paper uses four colors
+// for max, min, lower and upper; mid is drawn unfilled).
+func bandFill(b Band) string {
+	switch b {
+	case BandMax:
+		return "#b2182b"
+	case BandUpper:
+		return "#ef8a62"
+	case BandMid:
+		return "#f7f7f7"
+	case BandLower:
+		return "#67a9cf"
+	case BandMin:
+		return "#2166ac"
+	default:
+		return "none"
+	}
+}
+
+// SVG renders the diagram as a standalone SVG document.
+func (d *Diagram) SVG() string {
+	const (
+		cell   = 18
+		gap    = 4
+		labelW = 80
+		rowH   = cell + gap
+	)
+	rows := 0
+	procs := 0
+	for i := range d.Bands {
+		if d.Performed(i) {
+			rows++
+			procs = len(d.Bands[i])
+		}
+	}
+	w := labelW + procs*(cell+2) + 10
+	h := rows*rowH + 40
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`+"\n", w, h)
+	fmt.Fprintf(&sb, `<text x="4" y="16" font-family="sans-serif" font-size="13">%s</text>`+"\n", d.Activity)
+	y := 28
+	for i, name := range d.Regions {
+		if !d.Performed(i) {
+			continue
+		}
+		fmt.Fprintf(&sb, `<text x="4" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n", y+13, name)
+		for p, b := range d.Bands[i] {
+			x := labelW + p*(cell+2)
+			fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#333"/>`+"\n",
+				x, y, cell, cell, bandFill(b))
+		}
+		y += rowH
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+// CountsTable renders the per-region band counts as a text table: how
+// many processors of each region fall in the lower band (including the
+// minimum), the middle, and the upper band (including the maximum) —
+// the quantitative companion of the diagram ("5 of 16 processors in the
+// upper 15% interval").
+func (d *Diagram) CountsTable() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s band counts (lower/mid/upper of %d processors)\n", d.Activity, d.procs())
+	width := 0
+	for i, name := range d.Regions {
+		if d.Performed(i) && len(name) > width {
+			width = len(name)
+		}
+	}
+	for i, name := range d.Regions {
+		if !d.Performed(i) {
+			continue
+		}
+		lower, _ := d.Count(i, BandLower)
+		mid, _ := d.Count(i, BandMid)
+		upper, _ := d.Count(i, BandUpper)
+		fmt.Fprintf(&sb, "%-*s  lower %2d  mid %2d  upper %2d\n", width, name, lower, mid, upper)
+	}
+	return sb.String()
+}
+
+// procs returns the processor count of the diagram.
+func (d *Diagram) procs() int {
+	for _, row := range d.Bands {
+		return len(row)
+	}
+	return 0
+}

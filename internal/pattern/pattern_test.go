@@ -1,0 +1,267 @@
+package pattern
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"loadimb/internal/paper"
+	"loadimb/internal/trace"
+	"loadimb/internal/workload"
+)
+
+func smallCube(t *testing.T) *trace.Cube {
+	t.Helper()
+	cube, err := trace.NewCube([]string{"r1", "r2"}, []string{"comp"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r1: spread 0..100 -> min, lower, mid, upper, max.
+	for p, v := range []float64{0, 10, 50, 90, 100} {
+		if err := cube.Set(0, 0, p, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// r2: absent.
+	return cube
+}
+
+func TestNewClassifiesBands(t *testing.T) {
+	d, err := New(smallCube(t), "comp", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Band{BandMin, BandLower, BandMid, BandUpper, BandMax}
+	for p, b := range d.Bands[0] {
+		if b != want[p] {
+			t.Errorf("proc %d band = %v, want %v", p, b, want[p])
+		}
+	}
+	for p, b := range d.Bands[1] {
+		if b != BandAbsent {
+			t.Errorf("absent row proc %d band = %v", p, b)
+		}
+	}
+	if d.Performed(1) {
+		t.Error("r2 should not be performed")
+	}
+	if !d.Performed(0) {
+		t.Error("r1 should be performed")
+	}
+}
+
+func TestBandBoundaries(t *testing.T) {
+	cube, err := trace.NewCube([]string{"r"}, []string{"a"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Range [0, 100], 15% boundaries at 15 and 85 inclusive.
+	for p, v := range []float64{0, 15, 85, 100} {
+		if err := cube.Set(0, 0, p, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := New(cube, "a", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Band{BandMin, BandLower, BandUpper, BandMax}
+	for p, b := range d.Bands[0] {
+		if b != want[p] {
+			t.Errorf("proc %d band = %v, want %v", p, b, want[p])
+		}
+	}
+}
+
+func TestBalancedRowIsMid(t *testing.T) {
+	cube, err := trace.NewCube([]string{"r"}, []string{"a"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 3; p++ {
+		if err := cube.Set(0, 0, p, 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := New(cube, "a", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, b := range d.Bands[0] {
+		if b != BandMid {
+			t.Errorf("proc %d band = %v, want mid", p, b)
+		}
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	cube := smallCube(t)
+	if _, err := New(nil, "comp", Options{}); err == nil {
+		t.Error("nil cube should fail")
+	}
+	if _, err := New(cube, "nope", Options{}); !errors.Is(err, ErrNoActivity) {
+		t.Errorf("unknown activity err = %v", err)
+	}
+	if _, err := New(cube, "comp", Options{BandFraction: 0.7}); err == nil {
+		t.Error("band fraction > 0.5 should fail")
+	}
+	if _, err := New(cube, "comp", Options{BandFraction: -0.1}); err == nil {
+		t.Error("negative band fraction should fail")
+	}
+}
+
+func TestCount(t *testing.T) {
+	d, err := New(smallCube(t), "comp", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Upper count includes the max.
+	upper, err := d.Count(0, BandUpper)
+	if err != nil || upper != 2 {
+		t.Errorf("upper count = %d, %v; want 2", upper, err)
+	}
+	lower, err := d.Count(0, BandLower)
+	if err != nil || lower != 2 {
+		t.Errorf("lower count = %d, %v; want 2", lower, err)
+	}
+	mid, err := d.Count(0, BandMid)
+	if err != nil || mid != 1 {
+		t.Errorf("mid count = %d, %v; want 1", mid, err)
+	}
+	if _, err := d.Count(9, BandMid); err == nil {
+		t.Error("out-of-range region should fail")
+	}
+}
+
+func TestASCII(t *testing.T) {
+	d, err := New(smallCube(t), "comp", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := d.ASCII()
+	if !strings.Contains(out, "comp") || !strings.Contains(out, "legend") {
+		t.Errorf("ASCII missing header/legend:\n%s", out)
+	}
+	if !strings.Contains(out, "r1 |m-.+M|") {
+		t.Errorf("ASCII row wrong:\n%s", out)
+	}
+	if strings.Contains(out, "r2") {
+		t.Errorf("absent row should be omitted:\n%s", out)
+	}
+}
+
+func TestSVG(t *testing.T) {
+	d, err := New(smallCube(t), "comp", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := d.SVG()
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Error("not an SVG document")
+	}
+	if strings.Count(svg, "<rect") != 5 {
+		t.Errorf("expected 5 cells, got %d", strings.Count(svg, "<rect"))
+	}
+	if !strings.Contains(svg, "r1") || strings.Contains(svg, ">r2<") {
+		t.Error("row labels wrong")
+	}
+}
+
+func TestBandStringsAndRunes(t *testing.T) {
+	for _, b := range []Band{BandAbsent, BandMin, BandLower, BandMid, BandUpper, BandMax, Band(42)} {
+		if b.String() == "" {
+			t.Errorf("empty String for band %d", int(b))
+		}
+	}
+	if BandMax.Rune() != 'M' || BandAbsent.Rune() != ' ' {
+		t.Error("legend runes wrong")
+	}
+}
+
+// TestReproduceFigure1 checks the published Figure 1 observations on the
+// reconstructed cube: on loop 4's computation 5 of 16 processors lie in the
+// upper 15% interval; on loop 6's computation 11 of 16 lie in the lower
+// interval; every loop computes so all 7 rows are drawn.
+func TestReproduceFigure1(t *testing.T) {
+	cube, err := workload.ReconstructCube()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(cube, "computation", Options{BandFraction: paper.BandFraction})
+	if err != nil {
+		t.Fatal(err)
+	}
+	upper4, err := d.Count(3, BandUpper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upper4 != paper.Figure1Loop4Upper {
+		t.Errorf("loop 4 upper count = %d, published %d", upper4, paper.Figure1Loop4Upper)
+	}
+	lower6, err := d.Count(5, BandLower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lower6 != paper.Figure1Loop6Lower {
+		t.Errorf("loop 6 lower count = %d, published %d", lower6, paper.Figure1Loop6Lower)
+	}
+	rows := 0
+	for i := range d.Regions {
+		if d.Performed(i) {
+			rows++
+		}
+	}
+	if rows != paper.NumLoops {
+		t.Errorf("figure 1 rows = %d, want %d", rows, paper.NumLoops)
+	}
+}
+
+// TestReproduceFigure2 checks Figure 2's structure: only the four loops
+// that perform point-to-point communications are drawn.
+func TestReproduceFigure2(t *testing.T) {
+	cube, err := workload.ReconstructCube()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(cube, "point-to-point", Options{BandFraction: paper.BandFraction})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var drawn []int
+	for i := range d.Regions {
+		if d.Performed(i) {
+			drawn = append(drawn, i+1)
+		}
+	}
+	want := []int{3, 4, 5, 6}
+	if len(drawn) != len(want) {
+		t.Fatalf("figure 2 rows = %v, want %v", drawn, want)
+	}
+	for i := range want {
+		if drawn[i] != want[i] {
+			t.Fatalf("figure 2 rows = %v, want %v", drawn, want)
+		}
+	}
+}
+
+func TestCountsTable(t *testing.T) {
+	cube, err := workload.ReconstructCube()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(cube, "computation", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := d.CountsTable()
+	if !strings.Contains(out, "of 16 processors") {
+		t.Errorf("missing processor count:\n%s", out)
+	}
+	// Loop 4: 5 upper (published); loop 6: 11 lower (published).
+	if !strings.Contains(out, "loop 4  lower 11  mid  0  upper  5") {
+		t.Errorf("loop 4 counts wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "loop 6  lower 11  mid  0  upper  5") {
+		t.Errorf("loop 6 counts wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,175 @@
+// Package repair closes the tuning loop the paper's Section 2 describes:
+// "an iterative process consisting of several steps, dealing with the
+// identification and localization of inefficiencies, their repair and the
+// verification and validation of the achieved performance."
+//
+// The methodology (internal/core) performs identification and
+// localization; this package adds repair and verification for the
+// simulated CFD program: each round analyzes a run, picks the tuning
+// candidate by scaled index, applies a repair action (damping the
+// domain-decomposition skew), re-runs, and verifies the improvement by
+// comparing the two measurement cubes.
+package repair
+
+import (
+	"errors"
+	"fmt"
+
+	"loadimb/internal/cfd"
+	"loadimb/internal/core"
+	"loadimb/internal/trace"
+)
+
+// Step records one round of the tuning loop.
+type Step struct {
+	// Round is the 1-based iteration number.
+	Round int
+	// Candidate is the region flagged for tuning (largest SID_C).
+	Candidate string
+	// CandidateSID is the candidate's scaled index before the repair.
+	CandidateSID float64
+	// Action describes the applied repair.
+	Action string
+	// Imbalance is the decomposition skew used for the NEXT run.
+	Imbalance float64
+	// ProgramTime is this round's program wall clock time.
+	ProgramTime float64
+	// Speedup is this round's program time relative to the previous
+	// round (1 for the first round).
+	Speedup float64
+}
+
+// Result is the outcome of a tuning loop.
+type Result struct {
+	// Steps holds one record per executed round.
+	Steps []Step
+	// Final is the last run's measurement cube.
+	Final *trace.Cube
+	// Converged reports whether the loop stopped because the candidate
+	// SID fell below the target (rather than exhausting the rounds).
+	Converged bool
+}
+
+// TotalSpeedup returns first-round program time over last-round program
+// time.
+func (r *Result) TotalSpeedup() float64 {
+	if len(r.Steps) == 0 || r.Steps[len(r.Steps)-1].ProgramTime == 0 {
+		return 1
+	}
+	return r.Steps[0].ProgramTime / r.Steps[len(r.Steps)-1].ProgramTime
+}
+
+// Options configures the tuning loop.
+type Options struct {
+	// Rounds bounds the loop (0 means 5).
+	Rounds int
+	// TargetSID stops the loop once the top candidate's scaled index
+	// falls below it (0 means 0.002).
+	TargetSID float64
+	// Damp is the factor applied to the decomposition skew each round
+	// (0 means 0.5); must be in (0, 1).
+	Damp float64
+}
+
+func (o *Options) normalize() error {
+	if o.Rounds == 0 {
+		o.Rounds = 5
+	}
+	if o.TargetSID == 0 {
+		o.TargetSID = 0.002
+	}
+	if o.Damp == 0 {
+		o.Damp = 0.5
+	}
+	if o.Rounds < 1 {
+		return errors.New("repair: rounds must be positive")
+	}
+	if o.TargetSID < 0 {
+		return errors.New("repair: negative target SID")
+	}
+	if o.Damp <= 0 || o.Damp >= 1 {
+		return fmt.Errorf("repair: damp %g out of (0, 1)", o.Damp)
+	}
+	return nil
+}
+
+// Loop runs the identify-localize-repair-verify cycle on the simulated
+// CFD program starting from cfg.
+func Loop(cfg cfd.Config, opts Options) (*Result, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	result := &Result{}
+	prevTime := 0.0
+	for round := 1; round <= opts.Rounds; round++ {
+		run, err := cfd.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		analysis, err := core.Analyze(run.Cube, core.AnalyzeOptions{})
+		if err != nil {
+			return nil, err
+		}
+		cands := analysis.TuningCandidates(core.MaxCriterion{})
+		if len(cands) == 0 {
+			return nil, errors.New("repair: no tuning candidate")
+		}
+		cand := analysis.Regions[cands[0].Pos]
+		step := Step{
+			Round:        round,
+			Candidate:    cand.Name,
+			CandidateSID: cand.SID,
+			ProgramTime:  run.Cube.ProgramTime(),
+			Imbalance:    cfg.Imbalance,
+			Speedup:      1,
+		}
+		if prevTime > 0 {
+			step.Speedup = prevTime / run.Cube.ProgramTime()
+		}
+		prevTime = run.Cube.ProgramTime()
+		result.Final = run.Cube
+		if cand.SID < opts.TargetSID {
+			step.Action = "target reached; no repair applied"
+			result.Steps = append(result.Steps, step)
+			result.Converged = true
+			return result, nil
+		}
+		// Repair: damp the decomposition skew — the lever behind the
+		// computation imbalance the candidate exposes.
+		next := cfg.Imbalance * opts.Damp
+		step.Action = fmt.Sprintf("damp decomposition skew %.3f -> %.3f", cfg.Imbalance, next)
+		cfg.Imbalance = next
+		step.Imbalance = next
+		result.Steps = append(result.Steps, step)
+	}
+	return result, nil
+}
+
+// Verify compares a before/after pair of cubes and reports whether the
+// repair helped: the program got faster and the candidate region's scaled
+// index decreased.
+func Verify(before, after *trace.Cube) (improved bool, diff *trace.Diff, err error) {
+	diff, err = trace.Compare(before, after)
+	if err != nil {
+		return false, nil, err
+	}
+	beforeView, err := core.CodeRegionView(before, core.Options{})
+	if err != nil {
+		return false, nil, err
+	}
+	afterView, err := core.CodeRegionView(after, core.Options{})
+	if err != nil {
+		return false, nil, err
+	}
+	maxSID := func(view []core.RegionSummary) float64 {
+		m := 0.0
+		for _, s := range view {
+			if s.Defined && s.SID > m {
+				m = s.SID
+			}
+		}
+		return m
+	}
+	improved = diff.Speedup() > 1 && maxSID(afterView) < maxSID(beforeView)
+	return improved, diff, nil
+}

@@ -1,0 +1,111 @@
+package repair
+
+import (
+	"testing"
+
+	"loadimb/internal/cfd"
+)
+
+func fastConfig() cfd.Config {
+	cfg := cfd.Defaults()
+	cfg.GridX = 64
+	cfg.GridY = 64
+	cfg.Iterations = 4
+	cfg.Imbalance = 0.6
+	return cfg
+}
+
+func TestOptionsValidation(t *testing.T) {
+	cases := []Options{
+		{Rounds: -1},
+		{TargetSID: -0.1},
+		{Damp: 1.5},
+		{Damp: -0.5},
+	}
+	for i, o := range cases {
+		if _, err := Loop(fastConfig(), o); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestLoopReducesImbalance(t *testing.T) {
+	res, err := Loop(fastConfig(), Options{Rounds: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) == 0 {
+		t.Fatal("no steps recorded")
+	}
+	// The skew is damped every non-converged round.
+	for i := 1; i < len(res.Steps); i++ {
+		prev, cur := res.Steps[i-1], res.Steps[i]
+		if !res.Converged || i < len(res.Steps)-1 {
+			if cur.Imbalance > prev.Imbalance {
+				t.Errorf("round %d: skew grew %g -> %g", cur.Round, prev.Imbalance, cur.Imbalance)
+			}
+		}
+	}
+	// The candidate's scaled index shrinks over the loop.
+	first, last := res.Steps[0], res.Steps[len(res.Steps)-1]
+	if last.CandidateSID >= first.CandidateSID {
+		t.Errorf("SID did not improve: %g -> %g", first.CandidateSID, last.CandidateSID)
+	}
+	// And the program got faster overall.
+	if res.TotalSpeedup() <= 1 {
+		t.Errorf("total speedup = %g, want > 1", res.TotalSpeedup())
+	}
+	if res.Final == nil {
+		t.Error("missing final cube")
+	}
+}
+
+func TestLoopConvergesOnBalancedStart(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Imbalance = 0
+	res, err := Loop(cfg, Options{Rounds: 3, TargetSID: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("balanced start should converge immediately; steps = %+v", res.Steps)
+	}
+	if len(res.Steps) != 1 {
+		t.Errorf("converged run took %d steps", len(res.Steps))
+	}
+	if res.Steps[0].Action == "" {
+		t.Error("step should describe its action")
+	}
+}
+
+func TestVerify(t *testing.T) {
+	skewed := fastConfig()
+	runBefore, err := cfd.Run(skewed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repaired := skewed
+	repaired.Imbalance = 0.05
+	runAfter, err := cfd.Run(repaired)
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved, diff, err := Verify(runBefore.Cube, runAfter.Cube)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !improved {
+		t.Errorf("repair should verify as improved (speedup %.3f)", diff.Speedup())
+	}
+	// Reversed comparison must not claim improvement.
+	worse, _, err := Verify(runAfter.Cube, runBefore.Cube)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worse {
+		t.Error("regression verified as improvement")
+	}
+	if _, _, err := Verify(runBefore.Cube, nil); err == nil {
+		t.Error("nil cube should fail")
+	}
+}

@@ -1,0 +1,71 @@
+package report
+
+import (
+	"testing"
+)
+
+// Golden outputs for the paper case study: the rendered tables are
+// deterministic, so any change to the analysis pipeline or the layouts
+// shows up here verbatim.
+
+const goldenTable1 = `Table 1: wall clock time of the regions and breakdown by activity (seconds)
+region  overall  computation  point-to-point  collective  synchronization
+-------------------------------------------------------------------------
+loop 1   19.051        12.24               -        6.75            0.061
+loop 2    14.22          7.9               -        6.32                -
+loop 3     10.9         5.22            5.68           -                -
+loop 4    10.54         8.03            2.51           -                -
+loop 5    9.041         7.53            0.07        1.43            0.011
+loop 6    0.692         0.36            0.33           -            0.002
+loop 7     0.31         0.28               -        0.03                -
+`
+
+const goldenTable2 = `Table 2: indices of dispersion ID_ij of the activities performed by the regions
+region  computation  point-to-point  collective  synchronization
+----------------------------------------------------------------
+loop 1      0.03674               -     0.06793          0.12870
+loop 2      0.01095               -     0.00318                -
+loop 3      0.00672         0.02833           -                -
+loop 4      0.01615         0.10742           -                -
+loop 5      0.00933         0.08872     0.04907          0.30571
+loop 6      0.05017         0.23200           -          0.16163
+loop 7      0.00719               -     0.01138                -
+`
+
+const goldenTable3 = `Table 3: summary of the indices of dispersion of the activity view
+       activity     ID_A    SID_A
+---------------------------------
+    computation  0.01904  0.01132
+ point-to-point  0.05976  0.00734
+     collective  0.03779  0.00785
+synchronization  0.15590  0.00016
+`
+
+const goldenTable4 = `Table 4: summary of the indices of dispersion of the code region view
+region     ID_C    SID_C
+------------------------
+loop 1  0.04809  0.01310
+loop 2  0.00750  0.00152
+loop 3  0.01798  0.00280
+loop 4  0.03789  0.00571
+loop 5  0.01659  0.00214
+loop 6  0.13720  0.00136
+loop 7  0.00760  0.00003
+`
+
+func TestGoldenTables(t *testing.T) {
+	a := analysis(t)
+	cases := []struct {
+		name, got, want string
+	}{
+		{"Table1", Table1(a.Profile), goldenTable1},
+		{"Table2", Table2(a), goldenTable2},
+		{"Table3", Table3(a), goldenTable3},
+		{"Table4", Table4(a), goldenTable4},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s drifted from golden output:\n--- got ---\n%s--- want ---\n%s", c.name, c.got, c.want)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"loadimb/internal/core"
+)
+
+// heatRunes shade dispersion magnitudes from negligible to extreme.
+var heatRunes = []rune{'.', '-', '=', '#', '@'}
+
+// Heatmap renders the ID_ij dispersion matrix as an ASCII heat map: one
+// row per region, one column per activity, shaded by each cell's index
+// relative to the largest index in the matrix. It is the at-a-glance
+// companion of Table 2 for wide cubes where the numeric table does not
+// fit.
+func Heatmap(a *core.Analysis) string {
+	maxID := 0.0
+	for i := range a.Cells {
+		for j := range a.Cells[i] {
+			if c := a.Cells[i][j]; c.Defined && c.ID > maxID {
+				maxID = c.ID
+			}
+		}
+	}
+	width := 0
+	for _, r := range a.Profile.Regions {
+		if len(r.Region) > width {
+			width = len(r.Region)
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("dispersion heat map (columns: ")
+	for j, s := range a.Activities {
+		if j > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%d=%s", j+1, s.Name)
+	}
+	sb.WriteString(")\n")
+	for i, r := range a.Profile.Regions {
+		fmt.Fprintf(&sb, "%-*s |", width, r.Region)
+		for j := range a.Activities {
+			c := a.Cells[i][j]
+			if !c.Defined {
+				sb.WriteRune(' ')
+				continue
+			}
+			sb.WriteRune(heatRune(c.ID, maxID))
+		}
+		sb.WriteString("|\n")
+	}
+	fmt.Fprintf(&sb, "scale: '%c' ~0", heatRunes[0])
+	for k := 1; k < len(heatRunes); k++ {
+		fmt.Fprintf(&sb, ", '%c' <= %.5f", heatRunes[k], maxID*float64(k)/float64(len(heatRunes)-1))
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// heatRune maps a value in [0, max] to a shade.
+func heatRune(v, max float64) rune {
+	if max <= 0 {
+		return heatRunes[0]
+	}
+	idx := int(v / max * float64(len(heatRunes)-1))
+	if idx >= len(heatRunes) {
+		idx = len(heatRunes) - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return heatRunes[idx]
+}

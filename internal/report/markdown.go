@@ -1,0 +1,90 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"loadimb/internal/core"
+)
+
+// Markdown renders the four tables of an analysis as GitHub-flavored
+// Markdown, ready to paste into issue trackers or EXPERIMENTS-style
+// documents.
+func Markdown(a *core.Analysis) string {
+	var sb strings.Builder
+
+	sb.WriteString("### Table 1 — wall clock time per region (seconds)\n\n")
+	header := []string{"region", "overall"}
+	for _, act := range a.Activities {
+		header = append(header, act.Name)
+	}
+	writeMarkdownHeader(&sb, header)
+	for _, r := range a.Profile.Regions {
+		cols := []string{r.Region, formatTime(r.Time)}
+		for j, t := range r.ByActivity {
+			if r.Performed[j] {
+				cols = append(cols, formatTime(t))
+			} else {
+				cols = append(cols, absent)
+			}
+		}
+		writeMarkdownRow(&sb, cols)
+	}
+
+	sb.WriteString("\n### Table 2 — indices of dispersion ID_ij\n\n")
+	writeMarkdownHeader(&sb, header[:1+len(a.Activities)][0:1], activityNames(a)...)
+	for i, r := range a.Profile.Regions {
+		cols := []string{r.Region}
+		for j := range a.Activities {
+			if c := a.Cells[i][j]; c.Defined {
+				cols = append(cols, formatID(c.ID))
+			} else {
+				cols = append(cols, absent)
+			}
+		}
+		writeMarkdownRow(&sb, cols)
+	}
+
+	sb.WriteString("\n### Table 3 — activity view\n\n")
+	writeMarkdownHeader(&sb, []string{"activity", "ID_A", "SID_A"})
+	for _, s := range a.Activities {
+		if !s.Defined {
+			writeMarkdownRow(&sb, []string{s.Name, absent, absent})
+			continue
+		}
+		writeMarkdownRow(&sb, []string{s.Name, formatID(s.ID), formatID(s.SID)})
+	}
+
+	sb.WriteString("\n### Table 4 — code region view\n\n")
+	writeMarkdownHeader(&sb, []string{"region", "ID_C", "SID_C"})
+	for _, s := range a.Regions {
+		if !s.Defined {
+			writeMarkdownRow(&sb, []string{s.Name, absent, absent})
+			continue
+		}
+		writeMarkdownRow(&sb, []string{s.Name, formatID(s.ID), formatID(s.SID)})
+	}
+	return sb.String()
+}
+
+func activityNames(a *core.Analysis) []string {
+	out := make([]string, len(a.Activities))
+	for j, s := range a.Activities {
+		out[j] = s.Name
+	}
+	return out
+}
+
+func writeMarkdownHeader(sb *strings.Builder, first []string, rest ...string) {
+	cols := append(append([]string(nil), first...), rest...)
+	writeMarkdownRow(sb, cols)
+	seps := make([]string, len(cols))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	writeMarkdownRow(sb, seps)
+}
+
+func writeMarkdownRow(sb *strings.Builder, cols []string) {
+	fmt.Fprintf(sb, "| %s |\n", strings.Join(cols, " | "))
+}

@@ -1,0 +1,266 @@
+// Package report renders the methodology's results in the layouts of the
+// paper's Tables 1-4, plus CSV exports for downstream tooling.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"loadimb/internal/core"
+)
+
+// absent is printed for undefined cells, as in the paper.
+const absent = "-"
+
+// formatTime prints a wall clock time with the paper's mixed precision
+// (two or three decimals depending on magnitude is overkill; three
+// significant decimals is faithful enough and unambiguous).
+func formatTime(t float64) string {
+	return trimZeros(fmt.Sprintf("%.3f", t))
+}
+
+func trimZeros(s string) string {
+	if !strings.Contains(s, ".") {
+		return s
+	}
+	s = strings.TrimRight(s, "0")
+	return strings.TrimSuffix(s, ".")
+}
+
+func formatID(v float64) string {
+	return fmt.Sprintf("%.5f", v)
+}
+
+// row renders one table row with fixed-width columns.
+func row(cols []string, widths []int) string {
+	var sb strings.Builder
+	for c, s := range cols {
+		if c > 0 {
+			sb.WriteString("  ")
+		}
+		fmt.Fprintf(&sb, "%*s", widths[c], s)
+	}
+	return sb.String()
+}
+
+// widthsFor computes column widths from a header and rows.
+func widthsFor(header []string, rows [][]string) []int {
+	widths := make([]int, len(header))
+	for c, h := range header {
+		widths[c] = len(h)
+	}
+	for _, r := range rows {
+		for c, s := range r {
+			if len(s) > widths[c] {
+				widths[c] = len(s)
+			}
+		}
+	}
+	return widths
+}
+
+func render(title string, header []string, rows [][]string) string {
+	widths := widthsFor(header, rows)
+	var sb strings.Builder
+	sb.WriteString(title)
+	sb.WriteString("\n")
+	sb.WriteString(row(header, widths))
+	sb.WriteString("\n")
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total-2))
+	sb.WriteString("\n")
+	for _, r := range rows {
+		sb.WriteString(row(r, widths))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Table1 renders the coarse-grain profile in the layout of the paper's
+// Table 1: one row per region with the overall wall clock time and its
+// breakdown into the activities.
+func Table1(p *core.Profile) string {
+	header := []string{"region", "overall"}
+	for _, a := range p.Activities {
+		header = append(header, a.Activity)
+	}
+	var rows [][]string
+	for _, r := range p.Regions {
+		cols := []string{r.Region, formatTime(r.Time)}
+		for j, t := range r.ByActivity {
+			if r.Performed[j] {
+				cols = append(cols, formatTime(t))
+			} else {
+				cols = append(cols, absent)
+			}
+		}
+		rows = append(rows, cols)
+	}
+	return render("Table 1: wall clock time of the regions and breakdown by activity (seconds)", header, rows)
+}
+
+// Table2 renders the dispersion matrix ID_ij in the layout of the paper's
+// Table 2.
+func Table2(a *core.Analysis) string {
+	header := []string{"region"}
+	for _, s := range a.Activities {
+		header = append(header, s.Name)
+	}
+	var rows [][]string
+	for i, r := range a.Profile.Regions {
+		cols := []string{r.Region}
+		for j := range a.Activities {
+			cell := a.Cells[i][j]
+			if cell.Defined {
+				cols = append(cols, formatID(cell.ID))
+			} else {
+				cols = append(cols, absent)
+			}
+		}
+		rows = append(rows, cols)
+	}
+	return render("Table 2: indices of dispersion ID_ij of the activities performed by the regions", header, rows)
+}
+
+// Table3 renders the activity view in the layout of the paper's Table 3.
+func Table3(a *core.Analysis) string {
+	header := []string{"activity", "ID_A", "SID_A"}
+	var rows [][]string
+	for _, s := range a.Activities {
+		if !s.Defined {
+			rows = append(rows, []string{s.Name, absent, absent})
+			continue
+		}
+		rows = append(rows, []string{s.Name, formatID(s.ID), formatID(s.SID)})
+	}
+	return render("Table 3: summary of the indices of dispersion of the activity view", header, rows)
+}
+
+// Table4 renders the code-region view in the layout of the paper's
+// Table 4.
+func Table4(a *core.Analysis) string {
+	header := []string{"region", "ID_C", "SID_C"}
+	var rows [][]string
+	for _, s := range a.Regions {
+		if !s.Defined {
+			rows = append(rows, []string{s.Name, absent, absent})
+			continue
+		}
+		rows = append(rows, []string{s.Name, formatID(s.ID), formatID(s.SID)})
+	}
+	return render("Table 4: summary of the indices of dispersion of the code region view", header, rows)
+}
+
+// Summary renders the headline findings of an analysis in prose, mirroring
+// the narrative of the paper's Section 4.
+func Summary(a *core.Analysis) string {
+	var sb strings.Builder
+	p := a.Profile
+	heavy := p.Regions[p.HeaviestRegion]
+	fmt.Fprintf(&sb, "program wall clock time: %s s (instrumented: %s s)\n",
+		formatTime(p.ProgramTime), formatTime(p.InstrumentedTime))
+	fmt.Fprintf(&sb, "heaviest region: %s (%.1f%% of the program)\n", heavy.Region, heavy.Share*100)
+	fmt.Fprintf(&sb, "dominant activity: %s (%.1f%%)\n",
+		p.Activities[p.DominantActivity].Activity, p.Activities[p.DominantActivity].Share*100)
+	mostImbA := mostImbalancedActivity(a)
+	if mostImbA >= 0 {
+		s := a.Activities[mostImbA]
+		fmt.Fprintf(&sb, "most imbalanced activity: %s (ID_A %s, share %.2f%%, SID_A %s)\n",
+			s.Name, formatID(s.ID), s.Share*100, formatID(s.SID))
+	}
+	mostImbC := mostImbalancedRegion(a)
+	if mostImbC >= 0 {
+		s := a.Regions[mostImbC]
+		fmt.Fprintf(&sb, "most imbalanced region: %s (ID_C %s, SID_C %s)\n",
+			s.Name, formatID(s.ID), formatID(s.SID))
+	}
+	if cands := a.TuningCandidates(core.MaxCriterion{}); len(cands) > 0 {
+		s := a.Regions[cands[0].Pos]
+		fmt.Fprintf(&sb, "tuning candidate (largest SID_C): %s (SID_C %s)\n", s.Name, formatID(s.SID))
+	}
+	if len(a.Clusters) > 0 {
+		fmt.Fprintf(&sb, "region clusters:")
+		for _, g := range a.Clusters {
+			names := make([]string, len(g))
+			for k, i := range g {
+				names[k] = a.Profile.Regions[i].Region
+			}
+			fmt.Fprintf(&sb, " {%s}", strings.Join(names, ", "))
+		}
+		sb.WriteString("\n")
+	}
+	v := a.Processors
+	fmt.Fprintf(&sb, "most frequently imbalanced processor: %d (on %d regions); longest imbalanced: %d (%s s)\n",
+		v.MostFrequentlyImbalanced,
+		len(v.Summaries[v.MostFrequentlyImbalanced].MostImbalancedOn),
+		v.LongestImbalanced,
+		formatTime(v.Summaries[v.LongestImbalanced].ImbalancedTime))
+	return sb.String()
+}
+
+func mostImbalancedActivity(a *core.Analysis) int {
+	best, bestVal := -1, 0.0
+	for j, s := range a.Activities {
+		if s.Defined && (best == -1 || s.ID > bestVal) {
+			best, bestVal = j, s.ID
+		}
+	}
+	return best
+}
+
+func mostImbalancedRegion(a *core.Analysis) int {
+	best, bestVal := -1, 0.0
+	for i, s := range a.Regions {
+		if s.Defined && (best == -1 || s.ID > bestVal) {
+			best, bestVal = i, s.ID
+		}
+	}
+	return best
+}
+
+// CSV renders the full analysis as comma-separated records with a section
+// column, convenient for plotting.
+func CSV(a *core.Analysis) string {
+	var sb strings.Builder
+	sb.WriteString("section,region,activity,value\n")
+	for _, r := range a.Profile.Regions {
+		fmt.Fprintf(&sb, "region_time,%s,,%g\n", csvEscape(r.Region), r.Time)
+		for j, t := range r.ByActivity {
+			if r.Performed[j] {
+				fmt.Fprintf(&sb, "cell_time,%s,%s,%g\n", csvEscape(r.Region), csvEscape(a.Activities[j].Name), t)
+			}
+		}
+	}
+	for i := range a.Cells {
+		for j := range a.Cells[i] {
+			c := a.Cells[i][j]
+			if c.Defined {
+				fmt.Fprintf(&sb, "dispersion,%s,%s,%g\n",
+					csvEscape(a.Profile.Regions[i].Region), csvEscape(a.Activities[j].Name), c.ID)
+			}
+		}
+	}
+	for _, s := range a.Activities {
+		if s.Defined {
+			fmt.Fprintf(&sb, "activity_ID,,%s,%g\n", csvEscape(s.Name), s.ID)
+			fmt.Fprintf(&sb, "activity_SID,,%s,%g\n", csvEscape(s.Name), s.SID)
+		}
+	}
+	for _, s := range a.Regions {
+		if s.Defined {
+			fmt.Fprintf(&sb, "region_ID,%s,,%g\n", csvEscape(s.Name), s.ID)
+			fmt.Fprintf(&sb, "region_SID,%s,,%g\n", csvEscape(s.Name), s.SID)
+		}
+	}
+	return sb.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,200 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"loadimb/internal/core"
+	"loadimb/internal/workload"
+)
+
+func analysis(t *testing.T) *core.Analysis {
+	t.Helper()
+	cube, err := workload.ReconstructCube()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(cube, core.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestTable1Layout(t *testing.T) {
+	a := analysis(t)
+	out := Table1(a.Profile)
+	for _, want := range []string{
+		"Table 1", "region", "overall", "computation", "point-to-point",
+		"loop 1", "19.051", "12.24", "6.75", "0.061",
+		"loop 7", "0.31",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, out)
+		}
+	}
+	// Loop 1 performs no point-to-point: its row contains a "-".
+	line := lineContaining(out, "loop 1")
+	if !strings.Contains(line, "-") {
+		t.Errorf("loop 1 row should contain -: %q", line)
+	}
+}
+
+func TestTable2Layout(t *testing.T) {
+	out := Table2(analysis(t))
+	for _, want := range []string{"Table 2", "0.03674", "0.30571", "0.23200"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3Layout(t *testing.T) {
+	out := Table3(analysis(t))
+	for _, want := range []string{"Table 3", "ID_A", "SID_A", "synchronization"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table3 missing %q:\n%s", want, out)
+		}
+	}
+	// The published headline values survive rounding to 5 decimals.
+	if !strings.Contains(out, "0.0190") {
+		t.Errorf("Table3 missing computation ID:\n%s", out)
+	}
+}
+
+func TestTable4Layout(t *testing.T) {
+	out := Table4(analysis(t))
+	for _, want := range []string{"Table 4", "ID_C", "SID_C", "loop 6", "0.1372"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table4 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	out := Summary(analysis(t))
+	for _, want := range []string{
+		"heaviest region: loop 1",
+		"dominant activity: computation",
+		"most imbalanced activity: synchronization",
+		"most imbalanced region: loop 6",
+		"tuning candidate (largest SID_C): loop 1",
+		"region clusters:",
+		"imbalanced processor",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := CSV(analysis(t))
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "section,region,activity,value" {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	for _, want := range []string{
+		"region_time,loop 1,,19.051",
+		"dispersion,loop 5,synchronization,0.3057",
+		"activity_ID,,computation,",
+		"region_SID,loop 1,,",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q", want)
+		}
+	}
+	// 7 region_time + 18 cell_time + 18 dispersion + 8 activity + 14 region rows + header.
+	if len(lines) != 1+7+18+18+8+14 {
+		t.Errorf("CSV has %d lines", len(lines))
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	if got := csvEscape(`a,b`); got != `"a,b"` {
+		t.Errorf("escape comma = %q", got)
+	}
+	if got := csvEscape(`say "hi"`); got != `"say ""hi"""` {
+		t.Errorf("escape quote = %q", got)
+	}
+	if got := csvEscape("plain"); got != "plain" {
+		t.Errorf("escape plain = %q", got)
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if got := formatTime(19.051); got != "19.051" {
+		t.Errorf("formatTime = %q", got)
+	}
+	if got := formatTime(0.31); got != "0.31" {
+		t.Errorf("formatTime trims = %q", got)
+	}
+	if got := formatTime(5); got != "5" {
+		t.Errorf("formatTime integer = %q", got)
+	}
+	if got := formatID(0.03674); got != "0.03674" {
+		t.Errorf("formatID = %q", got)
+	}
+}
+
+func lineContaining(s, sub string) string {
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, sub) {
+			return line
+		}
+	}
+	return ""
+}
+
+func TestHeatmap(t *testing.T) {
+	out := Heatmap(analysis(t))
+	if !strings.Contains(out, "heat map") || !strings.Contains(out, "scale:") {
+		t.Errorf("heat map missing header/scale:\n%s", out)
+	}
+	// 7 loop rows plus header and scale.
+	if strings.Count(out, "|") != 14 {
+		t.Errorf("heat map row delimiters = %d:\n%s", strings.Count(out, "|"), out)
+	}
+	// Loop 5's sync (0.30571, the max) renders as the hottest shade.
+	line := lineContaining(out, "loop 5")
+	if !strings.Contains(line, "@") {
+		t.Errorf("loop 5 row should contain the hottest shade: %q", line)
+	}
+	// Loop 1 has an absent point-to-point cell (blank column).
+	l1 := lineContaining(out, "loop 1")
+	if !strings.Contains(l1, " ") {
+		t.Errorf("loop 1 row should contain a blank for the absent cell: %q", l1)
+	}
+}
+
+func TestHeatRune(t *testing.T) {
+	if heatRune(0, 0) != '.' {
+		t.Error("zero max should give the coolest shade")
+	}
+	if heatRune(1, 1) != '@' {
+		t.Error("max value should give the hottest shade")
+	}
+	if heatRune(-1, 1) != '.' {
+		t.Error("negative value clamps to coolest")
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	out := Markdown(analysis(t))
+	for _, want := range []string{
+		"### Table 1", "### Table 2", "### Table 3", "### Table 4",
+		"| region | overall | computation |",
+		"| loop 1 | 19.051 | 12.24 |",
+		"| synchronization | 0.15590 | 0.00016 |",
+		"| loop 6 | 0.13720 |",
+		"| --- |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Markdown missing %q:\n%s", want, out)
+		}
+	}
+	// Absent cells render as dashes inside rows.
+	if !strings.Contains(out, "| loop 1 | 19.051 | 12.24 | - |") {
+		t.Errorf("absent cell rendering wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,172 @@
+package search
+
+import (
+	"testing"
+
+	"loadimb/internal/paper"
+	"loadimb/internal/trace"
+	"loadimb/internal/workload"
+)
+
+func paperCube(t *testing.T) *trace.Cube {
+	t.Helper()
+	cube, err := workload.ReconstructCube()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cube
+}
+
+func TestSearchValidation(t *testing.T) {
+	if _, err := Search(nil, Config{}); err == nil {
+		t.Error("nil cube should fail")
+	}
+	cube := paperCube(t)
+	if _, err := Search(cube, Config{ShareThreshold: 2}); err == nil {
+		t.Error("share threshold > 1 should fail")
+	}
+	if _, err := Search(cube, Config{ExcessFactor: 0.5}); err == nil {
+		t.Error("excess factor < 1 should fail")
+	}
+	empty, err := trace.NewCube([]string{"r"}, []string{"a"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Search(empty, Config{}); err == nil {
+		t.Error("zero program time should fail")
+	}
+}
+
+func TestSearchOnPaperCube(t *testing.T) {
+	out, err := Search(paperCube(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Why axis: only computation exceeds 20% of the program (59%);
+	// collective is 21% — also flagged.
+	acts := out.AtLevel(ActivityLevel)
+	if len(acts) != 2 {
+		t.Fatalf("activity findings = %+v", acts)
+	}
+	if acts[0].Activity != paper.Computation {
+		t.Errorf("top activity = %d, want computation", acts[0].Activity)
+	}
+	if acts[1].Activity != paper.Collective {
+		t.Errorf("second activity = %d, want collective", acts[1].Activity)
+	}
+	// Where axis: computation is heavy in loops 1 and 4 (29%, 19%)...
+	regs := out.AtLevel(RegionLevel)
+	if len(regs) == 0 {
+		t.Fatal("no region findings")
+	}
+	// The top region finding is collective in loop 1 (6.75/14.53 = 46%).
+	if regs[0].Region != 0 || regs[0].Activity != paper.Collective {
+		t.Errorf("top region finding = %+v", regs[0])
+	}
+	// Every region finding descends from a flagged activity.
+	flagged := map[int]bool{}
+	for _, a := range acts {
+		flagged[a.Activity] = true
+	}
+	for _, r := range regs {
+		if !flagged[r.Activity] {
+			t.Errorf("region finding %+v has unflagged parent", r)
+		}
+	}
+	// Hypothesis counting: pruning must beat the exhaustive count.
+	if out.HypothesesTested >= ExhaustiveHypotheses(paperCube(t)) {
+		t.Errorf("tested %d hypotheses, exhaustive is %d", out.HypothesesTested, ExhaustiveHypotheses(paperCube(t)))
+	}
+}
+
+// TestSearchBlindSpot documents the structural difference from the
+// methodology: the threshold search never flags synchronization (0.1% of
+// the program), so it cannot report that synchronization is the most
+// imbalanced activity — the paper's fine-grain analysis can, and then
+// discounts it by scaling. Both designs suppress the candidate, but the
+// search does so without ever measuring its imbalance.
+func TestSearchBlindSpot(t *testing.T) {
+	out, err := Search(paperCube(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range out.Findings {
+		if f.Activity == paper.Synchronization {
+			t.Errorf("threshold search flagged synchronization: %+v", f)
+		}
+	}
+}
+
+func TestSearchProcessorLevel(t *testing.T) {
+	// Build a cube with an obvious overloaded processor.
+	cube, err := trace.NewCube([]string{"r"}, []string{"comp"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, v := range []float64{1, 1, 1, 9} {
+		if err := cube.Set(0, 0, p, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := Search(cube, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := out.AtLevel(ProcessorLevel)
+	if len(procs) != 1 || procs[0].Proc != 3 {
+		t.Fatalf("processor findings = %+v", procs)
+	}
+	// 9 / mean 3 = 3x.
+	if procs[0].Value != 3 {
+		t.Errorf("excess factor = %g, want 3", procs[0].Value)
+	}
+}
+
+func TestSearchThresholdSensitivity(t *testing.T) {
+	cube := paperCube(t)
+	strict, err := Search(cube, Config{ShareThreshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Search(cube, Config{ShareThreshold: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strict.Findings) >= len(loose.Findings) {
+		t.Errorf("strict threshold found %d >= loose %d", len(strict.Findings), len(loose.Findings))
+	}
+	if strict.HypothesesTested >= loose.HypothesesTested {
+		t.Errorf("strict tested %d >= loose %d", strict.HypothesesTested, loose.HypothesesTested)
+	}
+}
+
+func TestSearchBalancedCubeFindsNoProcessors(t *testing.T) {
+	spec := workload.Uniform(3, 2, 8)
+	cube, err := workload.Synthesize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Search(cube, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if procs := out.AtLevel(ProcessorLevel); len(procs) != 0 {
+		t.Errorf("balanced cube flagged processors: %+v", procs)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for _, l := range []Level{ActivityLevel, RegionLevel, ProcessorLevel, Level(9)} {
+		if l.String() == "" {
+			t.Errorf("empty String for %d", int(l))
+		}
+	}
+}
+
+func TestExhaustiveHypotheses(t *testing.T) {
+	cube := paperCube(t)
+	// K + K*N + K*N*P = 4 + 28 + 448.
+	if got := ExhaustiveHypotheses(cube); got != 480 {
+		t.Errorf("exhaustive = %d, want 480", got)
+	}
+}

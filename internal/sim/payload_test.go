@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestMessagePayloadDelivered(t *testing.T) {
+	e, err := NewEngine(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type halo struct{ rows []float64 }
+	run := e.Run(func(rank int) error {
+		if rank == 0 {
+			return e.Post(0, 1, 0, Message{Arrival: 1, Bytes: 24, Payload: halo{rows: []float64{1, 2, 3}}})
+		}
+		msg, err := e.Fetch(0, 1, 0)
+		if err != nil {
+			return err
+		}
+		h, ok := msg.Payload.(halo)
+		if !ok {
+			return fmt.Errorf("payload type %T", msg.Payload)
+		}
+		if len(h.rows) != 3 || h.rows[2] != 3 {
+			return fmt.Errorf("payload = %+v", h)
+		}
+		return nil
+	})
+	if run != nil {
+		t.Fatal(run)
+	}
+}
+
+func TestNilPayload(t *testing.T) {
+	e, err := NewEngine(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := e.Run(func(rank int) error {
+		if rank == 0 {
+			return e.Post(0, 1, 0, Message{Arrival: 1})
+		}
+		msg, err := e.Fetch(0, 1, 0)
+		if err != nil {
+			return err
+		}
+		if msg.Payload != nil {
+			return fmt.Errorf("payload = %v", msg.Payload)
+		}
+		return nil
+	})
+	if run != nil {
+		t.Fatal(run)
+	}
+}
+
+// BenchmarkPointToPoint measures the engine's message throughput: one
+// sender, one receiver, b.N messages.
+func BenchmarkPointToPoint(b *testing.B) {
+	e, err := NewEngine(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	run := e.Run(func(rank int) error {
+		if rank == 0 {
+			for i := 0; i < b.N; i++ {
+				if err := e.Post(0, 1, 0, Message{Arrival: float64(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Fetch(0, 1, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if run != nil {
+		b.Fatal(run)
+	}
+}
+
+// BenchmarkCollective measures the rendezvous cost across 8 ranks.
+func BenchmarkCollective(b *testing.B) {
+	e, err := NewEngine(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	run := e.Run(func(rank int) error {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Collective(rank, "bench", float64(i), 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if run != nil {
+		b.Fatal(run)
+	}
+}

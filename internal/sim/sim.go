@@ -1,0 +1,311 @@
+// Package sim is a deterministic virtual-time engine for simulating
+// message-passing programs: the substrate that stands in for the paper's
+// IBM SP2. P ranks run concurrently as goroutines, each owning a virtual
+// clock; the engine provides the two coordination primitives every
+// message-passing model needs — point-to-point mailboxes and collective
+// rendezvous — exchanging *virtual timestamps* rather than data.
+//
+// Determinism: all virtual times are pure functions of the timestamps the
+// ranks exchange, never of real time or of the goroutine schedule. Message
+// matching is FIFO per (src, dst, tag) channel and each rank is a single
+// goroutine, so repeated runs of the same program produce identical
+// virtual-time traces.
+//
+// The cost model (how long a send, a reduction or a barrier takes) lives in
+// the layer above (internal/mpi); sim only coordinates.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Common engine errors.
+var (
+	// ErrBadRanks is returned when an engine is created with no ranks.
+	ErrBadRanks = errors.New("sim: need at least one rank")
+	// ErrCanceled is returned by blocking operations when another rank
+	// failed and the run is being torn down.
+	ErrCanceled = errors.New("sim: run canceled by another rank's failure")
+	// ErrCollectiveMismatch is returned when ranks disagree on which
+	// collective operation they are executing.
+	ErrCollectiveMismatch = errors.New("sim: collective operation mismatch")
+	// ErrLeftoverMessages is returned by Run when messages were posted
+	// but never received.
+	ErrLeftoverMessages = errors.New("sim: unreceived messages at end of run")
+	// ErrRankRange is returned for out-of-range rank ids.
+	ErrRankRange = errors.New("sim: rank out of range")
+)
+
+// Message is a point-to-point virtual message: its timing and size drive
+// the simulation, and an optional payload carries application data (halo
+// rows, boundary values) for programs that compute real results.
+type Message struct {
+	// Arrival is the virtual time at which the message is available at
+	// the destination.
+	Arrival float64
+	// Bytes is the message size, carried for accounting.
+	Bytes int
+	// Payload is opaque application data.
+	Payload any
+}
+
+// mailboxKey identifies one FIFO message channel.
+type mailboxKey struct {
+	src, dst, tag int
+}
+
+// mailbox is an unbounded FIFO queue of messages with blocking Fetch.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) post(msg Message) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queue = append(m.queue, msg)
+	m.cond.Signal()
+}
+
+// fetch blocks until a message is available or the mailbox is closed by
+// cancellation.
+func (m *mailbox) fetch() (Message, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.queue) == 0 {
+		return Message{}, ErrCanceled
+	}
+	msg := m.queue[0]
+	m.queue = m.queue[1:]
+	return msg, nil
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.cond.Broadcast()
+}
+
+func (m *mailbox) pending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}
+
+// round is one collective rendezvous: it completes when all ranks have
+// entered, at which point every participant observes the same maximum
+// arrival time.
+type round struct {
+	op      string
+	count   int
+	max     float64
+	sum     float64
+	done    chan struct{}
+	err     error
+	arrival []float64 // per-rank arrival times, for reductions that need them
+}
+
+// Engine coordinates one simulated run.
+type Engine struct {
+	procs int
+
+	mu        sync.Mutex
+	mailboxes map[mailboxKey]*mailbox
+	current   *round
+
+	cancel    chan struct{}
+	cancelMu  sync.Mutex
+	cancelled bool
+}
+
+// NewEngine creates an engine for the given number of ranks.
+func NewEngine(procs int) (*Engine, error) {
+	if procs < 1 {
+		return nil, ErrBadRanks
+	}
+	return &Engine{
+		procs:     procs,
+		mailboxes: make(map[mailboxKey]*mailbox),
+		cancel:    make(chan struct{}),
+	}, nil
+}
+
+// Procs returns the number of ranks.
+func (e *Engine) Procs() int { return e.procs }
+
+func (e *Engine) checkRank(r int) error {
+	if r < 0 || r >= e.procs {
+		return fmt.Errorf("%w: %d of %d", ErrRankRange, r, e.procs)
+	}
+	return nil
+}
+
+func (e *Engine) box(k mailboxKey) *mailbox {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b, ok := e.mailboxes[k]
+	if !ok {
+		b = newMailbox()
+		e.mailboxes[k] = b
+	}
+	return b
+}
+
+// Post delivers a message from src to dst on the tag channel. It never
+// blocks (eager buffered communication).
+func (e *Engine) Post(src, dst, tag int, msg Message) error {
+	if err := e.checkRank(src); err != nil {
+		return err
+	}
+	if err := e.checkRank(dst); err != nil {
+		return err
+	}
+	e.box(mailboxKey{src, dst, tag}).post(msg)
+	return nil
+}
+
+// Fetch blocks until a message from src to dst on the tag channel is
+// available and returns it. It fails with ErrCanceled when the run is torn
+// down while waiting.
+func (e *Engine) Fetch(src, dst, tag int) (Message, error) {
+	if err := e.checkRank(src); err != nil {
+		return Message{}, err
+	}
+	if err := e.checkRank(dst); err != nil {
+		return Message{}, err
+	}
+	b := e.box(mailboxKey{src, dst, tag})
+	// Wake the fetch if cancellation happens while blocked.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-e.cancel:
+			b.close()
+		case <-done:
+		}
+	}()
+	return b.fetch()
+}
+
+// CollectiveResult is what every participant of a collective rendezvous
+// observes once the last rank has entered.
+type CollectiveResult struct {
+	// Max is the maximum arrival time over all ranks: the virtual time
+	// at which the collective can logically complete.
+	Max float64
+	// Sum is the sum of the values contributed by the ranks, supporting
+	// global reductions of application data (e.g. residual norms).
+	Sum float64
+	// Arrivals holds each rank's arrival time, indexed by rank.
+	Arrivals []float64
+}
+
+// Collective enters rank into the collective rendezvous named op at the
+// given virtual arrival time, contributing value to the round's global
+// sum, and blocks until all ranks have entered. All ranks must call the
+// same op in the same order; a mismatch fails the round for every
+// participant.
+func (e *Engine) Collective(rank int, op string, arrival, value float64) (CollectiveResult, error) {
+	if err := e.checkRank(rank); err != nil {
+		return CollectiveResult{}, err
+	}
+	e.mu.Lock()
+	if e.current == nil {
+		e.current = &round{
+			op:      op,
+			done:    make(chan struct{}),
+			arrival: make([]float64, e.procs),
+		}
+	}
+	r := e.current
+	if r.op != op && r.err == nil {
+		r.err = fmt.Errorf("%w: %q vs %q", ErrCollectiveMismatch, r.op, op)
+	}
+	r.count++
+	r.arrival[rank] = arrival
+	r.sum += value
+	if arrival > r.max {
+		r.max = arrival
+	}
+	if r.count == e.procs {
+		e.current = nil
+		close(r.done)
+	}
+	e.mu.Unlock()
+
+	select {
+	case <-r.done:
+	case <-e.cancel:
+		return CollectiveResult{}, ErrCanceled
+	}
+	if r.err != nil {
+		return CollectiveResult{}, r.err
+	}
+	return CollectiveResult{Max: r.max, Sum: r.sum, Arrivals: append([]float64(nil), r.arrival...)}, nil
+}
+
+// abort tears down the run, waking every blocked rank with ErrCanceled.
+func (e *Engine) abort() {
+	e.cancelMu.Lock()
+	defer e.cancelMu.Unlock()
+	if !e.cancelled {
+		e.cancelled = true
+		close(e.cancel)
+	}
+}
+
+// Run executes program once per rank, concurrently, and waits for all
+// ranks to finish. The first error aborts the run (unblocking every rank)
+// and is returned. A successful run additionally verifies that no posted
+// message went unreceived.
+func (e *Engine) Run(program func(rank int) error) error {
+	errs := make([]error, e.procs)
+	var wg sync.WaitGroup
+	for r := 0; r < e.procs; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("sim: rank %d panicked: %v", rank, p)
+					e.abort()
+				}
+			}()
+			if err := program(rank); err != nil {
+				errs[rank] = fmt.Errorf("sim: rank %d: %w", rank, err)
+				e.abort()
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	leftover := 0
+	for _, b := range e.mailboxes {
+		leftover += b.pending()
+	}
+	if leftover > 0 {
+		return fmt.Errorf("%w: %d", ErrLeftoverMessages, leftover)
+	}
+	return nil
+}

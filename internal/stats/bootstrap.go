@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CI is a bootstrap confidence interval for an index of dispersion.
+type CI struct {
+	// Point is the index on the original data.
+	Point float64
+	// Low and High bound the central confidence mass.
+	Low, High float64
+	// Confidence is the nominal level, e.g. 0.95.
+	Confidence float64
+}
+
+// Contains reports whether v lies inside the interval.
+func (c CI) Contains(v float64) bool { return v >= c.Low && v <= c.High }
+
+// Width returns High - Low.
+func (c CI) Width() float64 { return c.High - c.Low }
+
+// BootstrapCI estimates a confidence interval for an index of dispersion
+// applied to standardized values, by resampling the processors with
+// replacement (percentile bootstrap). A point index says the processors
+// were imbalanced in this run; the interval says how stable that verdict
+// is under resampling — one of the "new criteria" the paper's conclusions
+// call for. The resampling stream is seeded, so results are reproducible.
+func BootstrapCI(idx Index, xs []float64, resamples int, confidence float64, seed uint64) (CI, error) {
+	if len(xs) < 2 {
+		return CI{}, fmt.Errorf("%w: need at least 2 values", ErrEmpty)
+	}
+	if resamples < 10 {
+		return CI{}, fmt.Errorf("stats: need at least 10 resamples, got %d", resamples)
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return CI{}, fmt.Errorf("stats: confidence %g out of (0, 1)", confidence)
+	}
+	std, err := Standardize(xs)
+	if err != nil {
+		return CI{}, err
+	}
+	point := idx.Of(std)
+	rng := bootstrapRNG{state: seed ^ 0x9e3779b97f4a7c15}
+	values := make([]float64, 0, resamples)
+	sample := make([]float64, len(xs))
+	for r := 0; r < resamples; r++ {
+		total := 0.0
+		for i := range sample {
+			sample[i] = xs[rng.intn(len(xs))]
+			total += sample[i]
+		}
+		if total == 0 {
+			continue // degenerate resample of all-zero entries
+		}
+		for i := range sample {
+			sample[i] /= total
+		}
+		values = append(values, idx.Of(sample))
+	}
+	if len(values) == 0 {
+		return CI{}, ErrZeroSum
+	}
+	sort.Float64s(values)
+	alpha := (1 - confidence) / 2
+	low := values[int(alpha*float64(len(values)))]
+	hiIdx := int((1 - alpha) * float64(len(values)))
+	if hiIdx >= len(values) {
+		hiIdx = len(values) - 1
+	}
+	high := values[hiIdx]
+	return CI{Point: point, Low: low, High: high, Confidence: confidence}, nil
+}
+
+// bootstrapRNG is a SplitMix64 stream, self-contained so bootstrap
+// results stay stable across Go releases.
+type bootstrapRNG struct{ state uint64 }
+
+func (s *bootstrapRNG) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *bootstrapRNG) intn(n int) int {
+	return int(s.next() % uint64(n))
+}

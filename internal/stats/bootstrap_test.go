@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"testing"
+)
+
+func TestBootstrapCIBasics(t *testing.T) {
+	// A smoothly imbalanced sample (a ramp): the CI contains the point
+	// estimate and excludes zero — the imbalance verdict is stable.
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	ci, err := BootstrapCI(Euclidean, xs, 500, 0.95, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ci.Contains(ci.Point) {
+		t.Errorf("CI [%g, %g] should contain the point %g", ci.Low, ci.High, ci.Point)
+	}
+	if ci.Low <= 0 {
+		t.Errorf("ramp sample CI low = %g, want > 0", ci.Low)
+	}
+	if ci.Width() <= 0 {
+		t.Errorf("CI width = %g", ci.Width())
+	}
+	if ci.Confidence != 0.95 {
+		t.Errorf("confidence = %g", ci.Confidence)
+	}
+}
+
+func TestBootstrapCIOneHotIncludesZero(t *testing.T) {
+	// A single-spike sample is unstable under resampling: about a third
+	// of resamples miss the spike entirely, so the 95% interval
+	// legitimately reaches down to 0 — the bootstrap is telling the user
+	// the "one imbalanced processor" verdict rests on one observation.
+	xs := []float64{10, 1, 1, 1, 1, 1, 1, 1}
+	ci, err := BootstrapCI(Euclidean, xs, 500, 0.95, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Low != 0 {
+		t.Errorf("spike CI low = %g, want 0 (verdict unstable)", ci.Low)
+	}
+	if ci.High <= ci.Point*0.5 {
+		t.Errorf("spike CI high = %g looks too small vs point %g", ci.High, ci.Point)
+	}
+}
+
+func TestBootstrapCIBalancedSample(t *testing.T) {
+	// A perfectly balanced sample has zero dispersion in every resample.
+	xs := []float64{2, 2, 2, 2, 2, 2}
+	ci, err := BootstrapCI(Euclidean, xs, 200, 0.9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Point != 0 || ci.Low != 0 || ci.High != 0 {
+		t.Errorf("balanced CI = %+v", ci)
+	}
+}
+
+func TestBootstrapCIDeterministic(t *testing.T) {
+	xs := []float64{5, 3, 2, 8, 1, 4}
+	a, err := BootstrapCI(Euclidean, xs, 300, 0.95, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BootstrapCI(Euclidean, xs, 300, 0.95, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed should reproduce: %+v vs %+v", a, b)
+	}
+	c, err := BootstrapCI(Euclidean, xs, 300, 0.95, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestBootstrapCIUnstableShapeIsWider(t *testing.T) {
+	// At the same P and point-estimate scale, a spike-driven imbalance
+	// is less stable under resampling than a smooth ramp, so its
+	// interval is wider relative to its point estimate.
+	spike := []float64{10, 1, 1, 1, 1, 1, 1, 1}
+	ramp := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	ciSpike, err := BootstrapCI(Euclidean, spike, 400, 0.95, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ciRamp, err := BootstrapCI(Euclidean, ramp, 400, 0.95, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ciSpike.Width()/ciSpike.Point <= ciRamp.Width()/ciRamp.Point {
+		t.Errorf("spike relative width %g should exceed ramp's %g",
+			ciSpike.Width()/ciSpike.Point, ciRamp.Width()/ciRamp.Point)
+	}
+}
+
+func TestBootstrapCIValidation(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if _, err := BootstrapCI(Euclidean, []float64{1}, 100, 0.95, 1); err == nil {
+		t.Error("single value should fail")
+	}
+	if _, err := BootstrapCI(Euclidean, xs, 5, 0.95, 1); err == nil {
+		t.Error("too few resamples should fail")
+	}
+	if _, err := BootstrapCI(Euclidean, xs, 100, 1.5, 1); err == nil {
+		t.Error("bad confidence should fail")
+	}
+	if _, err := BootstrapCI(Euclidean, []float64{0, 0}, 100, 0.95, 1); err == nil {
+		t.Error("all-zero sample should fail")
+	}
+}

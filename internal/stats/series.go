@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram bins a data set into equal-width buckets; workload
+// characterization uses it to visualize burst-length distributions.
+type Histogram struct {
+	// Min and Max are the data extent.
+	Min, Max float64
+	// Counts holds the per-bin tallies, low to high.
+	Counts []int
+	// Total is the number of samples.
+	Total int
+}
+
+// NewHistogram bins xs into the given number of buckets. All values land
+// in a bin (the maximum goes into the last one).
+func NewHistogram(xs []float64, bins int) (*Histogram, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	if bins < 1 {
+		return nil, fmt.Errorf("stats: need at least 1 bin, got %d", bins)
+	}
+	s := Summarize(xs)
+	h := &Histogram{Min: s.Min, Max: s.Max, Counts: make([]int, bins), Total: len(xs)}
+	span := s.Max - s.Min
+	for _, x := range xs {
+		idx := 0
+		if span > 0 {
+			idx = int((x - s.Min) / span * float64(bins))
+			if idx >= bins {
+				idx = bins - 1
+			}
+		}
+		h.Counts[idx]++
+	}
+	return h, nil
+}
+
+// Mode returns the index of the fullest bin (earliest on ties).
+func (h *Histogram) Mode() int {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// BinCenter returns the midpoint value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	width := (h.Max - h.Min) / float64(len(h.Counts))
+	return h.Min + width*(float64(i)+0.5)
+}
+
+// ASCII renders the histogram as horizontal bars scaled to maxWidth
+// characters.
+func (h *Histogram) ASCII(maxWidth int) string {
+	if maxWidth < 1 {
+		maxWidth = 40
+	}
+	peak := 0
+	for _, c := range h.Counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	out := ""
+	for i, c := range h.Counts {
+		bar := 0
+		if peak > 0 {
+			bar = c * maxWidth / peak
+		}
+		out += fmt.Sprintf("%12.5g |%s %d\n", h.BinCenter(i), repeat('#', bar), c)
+	}
+	return out
+}
+
+func repeat(r rune, n int) string {
+	out := make([]rune, n)
+	for i := range out {
+		out[i] = r
+	}
+	return string(out)
+}
+
+// Autocorrelation returns the lag-k autocorrelation coefficients of the
+// series for k = 0..maxLag, normalized so lag 0 is 1. Trace analysis uses
+// it to detect periodic behavior in activity bursts (iterative programs
+// show strong periodicity at the iteration length). A constant series
+// returns 1 at lag 0 and 0 elsewhere.
+func Autocorrelation(xs []float64, maxLag int) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	if maxLag < 0 || maxLag >= len(xs) {
+		return nil, fmt.Errorf("stats: max lag %d out of [0, %d)", maxLag, len(xs))
+	}
+	mean := Mean(xs)
+	denom := 0.0
+	for _, x := range xs {
+		d := x - mean
+		denom += d * d
+	}
+	out := make([]float64, maxLag+1)
+	out[0] = 1
+	if denom == 0 {
+		return out, nil
+	}
+	for lag := 1; lag <= maxLag; lag++ {
+		num := 0.0
+		for i := 0; i+lag < len(xs); i++ {
+			num += (xs[i] - mean) * (xs[i+lag] - mean)
+		}
+		out[lag] = num / denom
+	}
+	return out, nil
+}
+
+// DominantPeriod returns the lag in [minLag, len(acf)) with the largest
+// autocorrelation, or 0 when no lag has a positive coefficient — a crude
+// but robust period detector for iterative traces.
+func DominantPeriod(acf []float64, minLag int) int {
+	if minLag < 1 {
+		minLag = 1
+	}
+	best, bestVal := 0, 0.0
+	for lag := minLag; lag < len(acf); lag++ {
+		if acf[lag] > bestVal {
+			best, bestVal = lag, acf[lag]
+		}
+	}
+	if bestVal <= 0 || math.IsNaN(bestVal) {
+		return 0
+	}
+	return best
+}

@@ -1,0 +1,358 @@
+// Package stats provides the statistical primitives of the load-imbalance
+// methodology: standardization of wall-clock times, indices of dispersion,
+// descriptive summaries and percentiles.
+//
+// The methodology (Calzarossa, Massari, Tessera 2003) measures the spread of
+// the times spent by P processors with respect to the perfectly balanced
+// condition in which every processor spends exactly the same time. Times are
+// first standardized so that they sum to one; an index of dispersion is then
+// computed on the standardized values. The paper selects the Euclidean
+// distance between each standardized time and the common average 1/P; this
+// package also provides the alternative indices discussed in the paper
+// (variance, coefficient of variation, mean absolute deviation, maximum,
+// range) plus the Gini coefficient used by later tools.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrZeroSum is returned by Standardize when the input sums to zero, which
+// happens when an activity is not performed at all within a code region.
+// Callers typically treat the corresponding dispersion index as undefined.
+var ErrZeroSum = errors.New("stats: cannot standardize values summing to zero")
+
+// ErrEmpty is returned when an operation requires at least one value.
+var ErrEmpty = errors.New("stats: empty data set")
+
+// ErrNegative is returned when a wall-clock value is negative.
+var ErrNegative = errors.New("stats: negative wall-clock value")
+
+// Sum returns the sum of xs. An empty slice sums to zero.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Standardize divides every element of xs by the sum of xs so that the
+// result sums to one. It validates that no element is negative. The input
+// slice is not modified.
+func Standardize(xs []float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	sum := 0.0
+	for i, x := range xs {
+		if x < 0 {
+			return nil, fmt.Errorf("%w: element %d is %g", ErrNegative, i, x)
+		}
+		sum += x
+	}
+	if sum == 0 {
+		return nil, ErrZeroSum
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x / sum
+	}
+	return out, nil
+}
+
+// An Index is an index of dispersion: a nonnegative measure of the spread of
+// a data set that is zero exactly when all elements are equal. Indices are
+// usually applied to standardized values (see Standardize) so that they
+// provide a relative measure comparable across data sets of different
+// magnitude.
+type Index interface {
+	// Name identifies the index in reports and benchmarks.
+	Name() string
+	// Of computes the index over xs. It returns 0 for data sets with
+	// fewer than one element.
+	Of(xs []float64) float64
+}
+
+// IndexFunc adapts an ordinary function to the Index interface.
+type IndexFunc struct {
+	// IndexName is returned by Name.
+	IndexName string
+	// F computes the index.
+	F func(xs []float64) float64
+}
+
+// Name returns the index name.
+func (f IndexFunc) Name() string { return f.IndexName }
+
+// Of applies the underlying function.
+func (f IndexFunc) Of(xs []float64) float64 { return f.F(xs) }
+
+// Euclidean is the paper's index of dispersion: the Euclidean distance
+// between the data set and the vector whose every component equals the data
+// set's mean,
+//
+//	sqrt( sum_p (x_p - mean(x))^2 ).
+//
+// On standardized values the mean is 1/P, so the index measures the distance
+// from the perfectly balanced condition.
+var Euclidean Index = IndexFunc{"euclidean", euclidean}
+
+func euclidean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss)
+}
+
+// Variance is the population variance index of dispersion.
+var Variance Index = IndexFunc{"variance", variance}
+
+func variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs))
+}
+
+// StdDev is the population standard deviation index of dispersion.
+var StdDev Index = IndexFunc{"stddev", func(xs []float64) float64 {
+	return math.Sqrt(variance(xs))
+}}
+
+// CoV is the coefficient of variation: standard deviation divided by mean.
+// It is zero when the mean is zero.
+var CoV Index = IndexFunc{"cov", func(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return math.Sqrt(variance(xs)) / m
+}}
+
+// MAD is the mean absolute deviation from the mean.
+var MAD Index = IndexFunc{"mad", func(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		s += math.Abs(x - m)
+	}
+	return s / float64(len(xs))
+}}
+
+// Max is the maximum element, one of the simplest majorization-compatible
+// indices: if a majorizes b then max(a) >= max(b).
+var Max Index = IndexFunc{"max", func(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}}
+
+// Range is the difference between the maximum and minimum elements.
+var Range Index = IndexFunc{"range", func(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return hi - lo
+}}
+
+// Gini is the Gini coefficient, a normalized measure of inequality in
+// [0, 1-1/n] for nonnegative data. It is zero when all elements are equal
+// and is compatible with the majorization partial order.
+var Gini Index = IndexFunc{"gini", gini}
+
+func gini(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	sum := Sum(xs)
+	if sum == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	// Gini = (2*sum_i i*x_(i) )/(n*sum) - (n+1)/n with 1-based ranks on
+	// ascending order.
+	weighted := 0.0
+	for i, x := range sorted {
+		weighted += float64(i+1) * x
+	}
+	return 2*weighted/(float64(n)*sum) - float64(n+1)/float64(n)
+}
+
+// Indices lists every built-in index of dispersion, in a stable order used
+// by ablation reports.
+func Indices() []Index {
+	return []Index{Euclidean, Variance, StdDev, CoV, MAD, Max, Range, Gini}
+}
+
+// IndexByName returns the built-in index with the given name, or false if
+// no such index exists.
+func IndexByName(name string) (Index, bool) {
+	for _, idx := range Indices() {
+		if idx.Name() == name {
+			return idx, true
+		}
+	}
+	return nil, false
+}
+
+// Percentile returns the q-th percentile (0 <= q <= 100) of xs using linear
+// interpolation between closest ranks. It returns an error for empty input
+// or out-of-range q.
+func Percentile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 100 {
+		return 0, fmt.Errorf("stats: percentile %g out of range [0, 100]", q)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Summary holds descriptive statistics of a data set, computed in a single
+// pass with Welford's algorithm for numerical stability.
+type Summary struct {
+	N        int
+	Min, Max float64
+	Mean     float64
+	Variance float64 // population variance
+	Sum      float64
+}
+
+// StdDev returns the population standard deviation.
+func (s Summary) StdDev() float64 { return math.Sqrt(s.Variance) }
+
+// CoV returns the coefficient of variation, or 0 when the mean is zero.
+func (s Summary) CoV() float64 {
+	if s.Mean == 0 {
+		return 0
+	}
+	return s.StdDev() / s.Mean
+}
+
+// Summarize computes a Summary of xs. An empty input yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	var m2 float64
+	for _, x := range xs {
+		s.N++
+		s.Sum += x
+		if s.N == 1 {
+			s.Min, s.Max = x, x
+		} else {
+			if x < s.Min {
+				s.Min = x
+			}
+			if x > s.Max {
+				s.Max = x
+			}
+		}
+		delta := x - s.Mean
+		s.Mean += delta / float64(s.N)
+		m2 += delta * (x - s.Mean)
+	}
+	if s.N > 0 {
+		s.Variance = m2 / float64(s.N)
+	}
+	return s
+}
+
+// DispersionFromBalance computes an index of dispersion of xs after
+// standardization. It is the paper's two-step "standardize, then measure
+// spread" operation in one call. It returns 0 with ErrZeroSum when the data
+// sums to zero (activity absent) and propagates other validation errors.
+func DispersionFromBalance(idx Index, xs []float64) (float64, error) {
+	std, err := Standardize(xs)
+	if err != nil {
+		return 0, err
+	}
+	return idx.Of(std), nil
+}
+
+// EuclideanFromBalance is DispersionFromBalance with the paper's Euclidean
+// index.
+func EuclideanFromBalance(xs []float64) (float64, error) {
+	return DispersionFromBalance(Euclidean, xs)
+}
+
+// WeightedMean returns the weighted average of values with the given
+// weights. Pairs with weight zero are ignored, so callers may pass undefined
+// values (e.g. dispersion of an absent activity) as long as their weight is
+// zero. It returns an error when lengths differ, when any weight is
+// negative, or when all weights are zero.
+func WeightedMean(values, weights []float64) (float64, error) {
+	if len(values) != len(weights) {
+		return 0, fmt.Errorf("stats: %d values but %d weights", len(values), len(weights))
+	}
+	if len(values) == 0 {
+		return 0, ErrEmpty
+	}
+	num, den := 0.0, 0.0
+	for i, w := range weights {
+		if w < 0 {
+			return 0, fmt.Errorf("stats: negative weight %g at %d", w, i)
+		}
+		num += w * values[i]
+		den += w
+	}
+	if den == 0 {
+		return 0, ErrZeroSum
+	}
+	return num / den, nil
+}

@@ -1,0 +1,339 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-12
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSumMean(t *testing.T) {
+	if got := Sum(nil); got != 0 {
+		t.Errorf("Sum(nil) = %g, want 0", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %g, want 0", got)
+	}
+	xs := []float64{1, 2, 3, 4}
+	if got := Sum(xs); got != 10 {
+		t.Errorf("Sum = %g, want 10", got)
+	}
+	if got := Mean(xs); got != 2.5 {
+		t.Errorf("Mean = %g, want 2.5", got)
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	got, err := Standardize([]float64{2, 2, 4})
+	if err != nil {
+		t.Fatalf("Standardize: %v", err)
+	}
+	want := []float64{0.25, 0.25, 0.5}
+	for i := range want {
+		if !almost(got[i], want[i], eps) {
+			t.Errorf("Standardize[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStandardizeSumsToOne(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			xs = append(xs, math.Abs(math.Mod(x, 1e9)))
+		}
+		std, err := Standardize(xs)
+		if err != nil {
+			// Acceptable only for empty or all-zero input.
+			return len(xs) == 0 || Sum(xs) == 0
+		}
+		return almost(Sum(std), 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStandardizeErrors(t *testing.T) {
+	if _, err := Standardize(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty: err = %v, want ErrEmpty", err)
+	}
+	if _, err := Standardize([]float64{0, 0}); !errors.Is(err, ErrZeroSum) {
+		t.Errorf("zeros: err = %v, want ErrZeroSum", err)
+	}
+	if _, err := Standardize([]float64{1, -1}); !errors.Is(err, ErrNegative) {
+		t.Errorf("negative: err = %v, want ErrNegative", err)
+	}
+}
+
+func TestStandardizeDoesNotModifyInput(t *testing.T) {
+	xs := []float64{1, 3}
+	if _, err := Standardize(xs); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 1 || xs[1] != 3 {
+		t.Errorf("input modified: %v", xs)
+	}
+}
+
+func TestEuclidean(t *testing.T) {
+	// Balanced data has zero dispersion.
+	if got := Euclidean.Of([]float64{0.25, 0.25, 0.25, 0.25}); !almost(got, 0, eps) {
+		t.Errorf("balanced: %g, want 0", got)
+	}
+	// Hand-computed: mean 0.5, deviations ±0.5 -> sqrt(0.5).
+	if got := Euclidean.Of([]float64{0, 1}); !almost(got, math.Sqrt(0.5), eps) {
+		t.Errorf("Euclidean = %g, want %g", got, math.Sqrt(0.5))
+	}
+	if got := Euclidean.Of(nil); got != 0 {
+		t.Errorf("empty: %g, want 0", got)
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9} // classic example: variance 4
+	if got := Variance.Of(xs); !almost(got, 4, eps) {
+		t.Errorf("Variance = %g, want 4", got)
+	}
+	if got := StdDev.Of(xs); !almost(got, 2, eps) {
+		t.Errorf("StdDev = %g, want 2", got)
+	}
+}
+
+func TestCoV(t *testing.T) {
+	if got := CoV.Of([]float64{5, 5, 5}); !almost(got, 0, eps) {
+		t.Errorf("constant CoV = %g, want 0", got)
+	}
+	if got := CoV.Of([]float64{-1, 1}); got != 0 {
+		t.Errorf("zero-mean CoV = %g, want 0", got)
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := CoV.Of(xs); !almost(got, 2.0/5.0, eps) {
+		t.Errorf("CoV = %g, want 0.4", got)
+	}
+}
+
+func TestMAD(t *testing.T) {
+	if got := MAD.Of([]float64{1, 3}); !almost(got, 1, eps) {
+		t.Errorf("MAD = %g, want 1", got)
+	}
+	if got := MAD.Of(nil); got != 0 {
+		t.Errorf("empty MAD = %g, want 0", got)
+	}
+}
+
+func TestMaxRange(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if got := Max.Of(xs); got != 5 {
+		t.Errorf("Max = %g, want 5", got)
+	}
+	if got := Range.Of(xs); got != 4 {
+		t.Errorf("Range = %g, want 4", got)
+	}
+	if Max.Of(nil) != 0 || Range.Of(nil) != 0 {
+		t.Error("empty Max/Range should be 0")
+	}
+}
+
+func TestGini(t *testing.T) {
+	if got := Gini.Of([]float64{1, 1, 1, 1}); !almost(got, 0, eps) {
+		t.Errorf("equal Gini = %g, want 0", got)
+	}
+	// All mass on one element of n: Gini = 1 - 1/n.
+	if got := Gini.Of([]float64{0, 0, 0, 1}); !almost(got, 0.75, eps) {
+		t.Errorf("one-hot Gini = %g, want 0.75", got)
+	}
+	if got := Gini.Of([]float64{0, 0}); got != 0 {
+		t.Errorf("zero-sum Gini = %g, want 0", got)
+	}
+	if got := Gini.Of(nil); got != 0 {
+		t.Errorf("empty Gini = %g, want 0", got)
+	}
+}
+
+func TestIndicesZeroOnBalanced(t *testing.T) {
+	balanced := []float64{0.2, 0.2, 0.2, 0.2, 0.2}
+	for _, idx := range Indices() {
+		got := idx.Of(balanced)
+		switch idx.Name() {
+		case "max":
+			if !almost(got, 0.2, eps) {
+				t.Errorf("%s on balanced = %g, want 0.2", idx.Name(), got)
+			}
+		default:
+			if !almost(got, 0, eps) {
+				t.Errorf("%s on balanced = %g, want 0", idx.Name(), got)
+			}
+		}
+	}
+}
+
+func TestIndexByName(t *testing.T) {
+	for _, idx := range Indices() {
+		got, ok := IndexByName(idx.Name())
+		if !ok || got.Name() != idx.Name() {
+			t.Errorf("IndexByName(%q) = %v, %v", idx.Name(), got, ok)
+		}
+	}
+	if _, ok := IndexByName("nope"); ok {
+		t.Error("IndexByName(nope) should fail")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {10, 1.4},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.q)
+		if err != nil {
+			t.Fatalf("Percentile(%g): %v", c.q, err)
+		}
+		if !almost(got, c.want, eps) {
+			t.Errorf("Percentile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty percentile err = %v", err)
+	}
+	if _, err := Percentile(xs, -1); err == nil {
+		t.Error("negative q should fail")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("q > 100 should fail")
+	}
+	one, err := Percentile([]float64{7}, 33)
+	if err != nil || one != 7 {
+		t.Errorf("singleton percentile = %g, %v", one, err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Min != 2 || s.Max != 9 || !almost(s.Mean, 5, eps) {
+		t.Errorf("Summary = %+v", s)
+	}
+	if !almost(s.Variance, 4, eps) || !almost(s.StdDev(), 2, eps) {
+		t.Errorf("Variance = %g, StdDev = %g", s.Variance, s.StdDev())
+	}
+	if !almost(s.CoV(), 0.4, eps) {
+		t.Errorf("CoV = %g", s.CoV())
+	}
+	zero := Summarize(nil)
+	if zero.N != 0 || zero.CoV() != 0 {
+		t.Errorf("empty Summary = %+v", zero)
+	}
+}
+
+func TestSummarizeMatchesNaive(t *testing.T) {
+	f := func(xs []float64) bool {
+		// Clamp to a sane magnitude so the naive two-pass formula is
+		// numerically comparable.
+		vals := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			vals = append(vals, math.Mod(x, 1e6))
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		s := Summarize(vals)
+		return almost(s.Mean, Mean(vals), 1e-6*(1+math.Abs(s.Mean))) &&
+			almost(s.Variance, Variance.Of(vals), 1e-4*(1+s.Variance))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDispersionFromBalance(t *testing.T) {
+	// P=4, one processor does all the work: standardized = (1,0,0,0),
+	// mean 1/4, distance = sqrt((3/4)^2 + 3*(1/4)^2) = sqrt(12)/4.
+	got, err := EuclideanFromBalance([]float64{8, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(12) / 4
+	if !almost(got, want, eps) {
+		t.Errorf("EuclideanFromBalance = %g, want %g", got, want)
+	}
+	if _, err := EuclideanFromBalance([]float64{0, 0}); !errors.Is(err, ErrZeroSum) {
+		t.Errorf("zero-sum err = %v", err)
+	}
+}
+
+func TestDispersionScaleInvariance(t *testing.T) {
+	// Standardization makes every index scale-invariant.
+	f := func(raw []float64, scale float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		scale = math.Abs(math.Mod(scale, 100)) + 0.5
+		xs := make([]float64, len(raw))
+		scaled := make([]float64, len(raw))
+		for i, x := range raw {
+			v := math.Abs(math.Mod(x, 1000))
+			xs[i] = v
+			scaled[i] = v * scale
+		}
+		a, errA := EuclideanFromBalance(xs)
+		b, errB := EuclideanFromBalance(scaled)
+		if errA != nil || errB != nil {
+			return (errA == nil) == (errB == nil)
+		}
+		return almost(a, b, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	got, err := WeightedMean([]float64{1, 3}, []float64{1, 1})
+	if err != nil || !almost(got, 2, eps) {
+		t.Errorf("WeightedMean = %g, %v", got, err)
+	}
+	got, err = WeightedMean([]float64{10, 2}, []float64{0, 4})
+	if err != nil || !almost(got, 2, eps) {
+		t.Errorf("zero-weight WeightedMean = %g, %v", got, err)
+	}
+	if _, err := WeightedMean([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := WeightedMean(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := WeightedMean([]float64{1}, []float64{-1}); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if _, err := WeightedMean([]float64{1, 2}, []float64{0, 0}); !errors.Is(err, ErrZeroSum) {
+		t.Errorf("all-zero weights err = %v", err)
+	}
+}
+
+func TestEuclideanUpperBound(t *testing.T) {
+	// For standardized values the worst case is one-hot:
+	// sqrt((1-1/P)^2 + (P-1)/P^2) = sqrt((P-1)/P).
+	for p := 2; p <= 32; p *= 2 {
+		xs := make([]float64, p)
+		xs[0] = 1
+		got := Euclidean.Of(xs)
+		want := math.Sqrt(float64(p-1) / float64(p))
+		if !almost(got, want, eps) {
+			t.Errorf("P=%d one-hot Euclidean = %g, want %g", p, got, want)
+		}
+	}
+}

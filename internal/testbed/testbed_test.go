@@ -1,0 +1,218 @@
+package testbed
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"loadimb/internal/trace"
+	"loadimb/internal/workload"
+)
+
+func paperCube(t *testing.T) *trace.Cube {
+	t.Helper()
+	cube, err := workload.ReconstructCube()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cube
+}
+
+func balancedCube(t *testing.T, procs int) *trace.Cube {
+	t.Helper()
+	cube, err := workload.Synthesize(workload.Uniform(3, 2, procs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cube
+}
+
+func openRepo(t *testing.T) *Repository {
+	t.Helper()
+	r, err := Open(filepath.Join(t.TempDir(), "repo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestAddGetRoundTrip(t *testing.T) {
+	r := openRepo(t)
+	cube := paperCube(t)
+	meta := Meta{System: "IBM SP2", Program: "cfd", Tags: []string{"paper", "mpi"}}
+	entry, err := r.Add("cfd-16", meta, cube)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Procs != 16 || entry.Regions != 7 || entry.Activities != 4 {
+		t.Errorf("derived dims = %+v", entry)
+	}
+	if entry.MaxSID < 0.013 || entry.MaxSID > 0.014 {
+		t.Errorf("MaxSID = %g, want ~0.0131 (loop 1)", entry.MaxSID)
+	}
+	got, loaded, err := r.Get("cfd-16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta.System != "IBM SP2" {
+		t.Errorf("meta = %+v", got.Meta)
+	}
+	if !cube.EqualWithin(loaded, 0) {
+		t.Error("loaded cube differs")
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	r := openRepo(t)
+	if _, err := r.Add("", Meta{}, paperCube(t)); !errors.Is(err, ErrBadName) {
+		t.Errorf("empty name err = %v", err)
+	}
+	if _, err := r.Add("a/b", Meta{}, paperCube(t)); !errors.Is(err, ErrBadName) {
+		t.Errorf("slash name err = %v", err)
+	}
+	if _, err := r.Add(".hidden", Meta{}, paperCube(t)); !errors.Is(err, ErrBadName) {
+		t.Errorf("dot name err = %v", err)
+	}
+	if _, err := r.Add("x", Meta{}, nil); err == nil {
+		t.Error("nil cube should fail")
+	}
+	if _, err := r.Add("dup", Meta{}, paperCube(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Add("dup", Meta{}, paperCube(t)); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate err = %v", err)
+	}
+}
+
+func TestPersistenceAcrossOpens(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "repo")
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Add("one", Meta{Program: "p"}, paperCube(t)); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Len() != 1 {
+		t.Fatalf("reopened has %d entries", reopened.Len())
+	}
+	e, cube, err := reopened.Get("one")
+	if err != nil || e.Meta.Program != "p" || cube.NumProcs() != 16 {
+		t.Errorf("reopened Get = %+v, %v", e, err)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	r := openRepo(t)
+	if _, _, err := r.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing err = %v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	r := openRepo(t)
+	if _, err := r.Add("x", Meta{}, paperCube(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Remove("x"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Errorf("Len = %d after remove", r.Len())
+	}
+	if _, err := os.Stat(r.cubePath("x")); !errors.Is(err, os.ErrNotExist) {
+		t.Error("cube file should be gone")
+	}
+	if err := r.Remove("x"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double remove err = %v", err)
+	}
+}
+
+func TestCorruptIndex(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "repo")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, indexFile), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Error("corrupt index should fail")
+	}
+}
+
+func populate(t *testing.T, r *Repository) {
+	t.Helper()
+	adds := []struct {
+		name string
+		meta Meta
+		cube *trace.Cube
+	}{
+		{"cfd-16", Meta{System: "sp2", Program: "cfd", Tags: []string{"paper"}}, paperCube(t)},
+		{"flat-8", Meta{System: "cluster", Program: "flat", Tags: []string{"synthetic"}}, balancedCube(t, 8)},
+		{"flat-64", Meta{System: "cluster", Program: "flat", Tags: []string{"synthetic", "big"}}, balancedCube(t, 64)},
+	}
+	for _, a := range adds {
+		if _, err := r.Add(a.name, a.meta, a.cube); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	r := openRepo(t)
+	populate(t, r)
+	list := r.List()
+	if len(list) != 3 || list[0].Name != "cfd-16" || list[2].Name != "flat-8" {
+		t.Errorf("List = %v", names(list))
+	}
+}
+
+func TestQuery(t *testing.T) {
+	r := openRepo(t)
+	populate(t, r)
+	cases := []struct {
+		name   string
+		filter Filter
+		want   []string
+	}{
+		{"all", Filter{}, []string{"cfd-16", "flat-64", "flat-8"}},
+		{"by system", Filter{System: "cluster"}, []string{"flat-64", "flat-8"}},
+		{"by program", Filter{Program: "cfd"}, []string{"cfd-16"}},
+		{"by tag", Filter{Tag: "big"}, []string{"flat-64"}},
+		{"min procs", Filter{MinProcs: 32}, []string{"flat-64"}},
+		{"max procs", Filter{MaxProcs: 10}, []string{"flat-8"}},
+		{"imbalanced", Filter{MinSID: 0.01}, []string{"cfd-16"}},
+		{"none", Filter{System: "nowhere"}, nil},
+	}
+	for _, c := range cases {
+		got := names(r.Query(c.filter))
+		if len(got) != len(c.want) {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+			continue
+		}
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+				break
+			}
+		}
+	}
+	// "all" is ordered most-imbalanced first: cfd-16 leads.
+	if all := r.Query(Filter{}); all[0].Name != "cfd-16" {
+		t.Errorf("query order = %v", names(all))
+	}
+}
+
+func names(entries []Entry) []string {
+	var out []string
+	for _, e := range entries {
+		out = append(out, e.Name)
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+// Package timeline renders event logs as per-rank timelines in the style
+// of Jumpshot (Zaki, Lusk, Gropp, Swider — reference [14] of the paper):
+// one lane per processor, colored/lettered by activity, over a scaled
+// time axis. The paper argues users should not have to browse such
+// displays to find problems — the methodology points first, and the
+// timeline then shows the flagged window.
+package timeline
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"loadimb/internal/trace"
+)
+
+// Options configures rendering. The zero value renders the whole log at
+// 80 columns.
+type Options struct {
+	// Width is the number of time columns (0 means 80).
+	Width int
+	// From and To bound the rendered time window; To = 0 means the log
+	// span. Use the window to zoom into a flagged region's interval.
+	From, To float64
+	// Activities restricts rendering to the named activities (nil means
+	// all).
+	Activities []string
+}
+
+// Timeline is a rendered view of a log.
+type Timeline struct {
+	// Ranks is the number of lanes.
+	Ranks int
+	// From and To are the rendered window.
+	From, To float64
+	// Lanes[rank] is the per-column dominant activity index, -1 for
+	// idle.
+	Lanes [][]int
+	// ActivityNames indexes the activity letters.
+	ActivityNames []string
+}
+
+// letters are the lane glyphs per activity index.
+const letters = "CPXSabcdefgh"
+
+// New renders the log. Each column shows the activity occupying the
+// largest share of that rank's column interval; idle time renders blank.
+func New(log *trace.Log, opts Options) (*Timeline, error) {
+	if log == nil || log.Len() == 0 {
+		return nil, errors.New("timeline: empty log")
+	}
+	width := opts.Width
+	if width == 0 {
+		width = 80
+	}
+	if width < 1 {
+		return nil, fmt.Errorf("timeline: width %d must be positive", width)
+	}
+	from, to := opts.From, opts.To
+	if to == 0 {
+		to = log.Span()
+	}
+	if to <= from {
+		return nil, fmt.Errorf("timeline: window [%g, %g] is empty", from, to)
+	}
+	allowed := map[string]bool{}
+	for _, a := range opts.Activities {
+		allowed[a] = true
+	}
+	events := log.Events()
+	// Stable activity order: first appearance.
+	var names []string
+	nameIdx := map[string]int{}
+	for _, e := range events {
+		if len(allowed) > 0 && !allowed[e.Activity] {
+			continue
+		}
+		if _, ok := nameIdx[e.Activity]; !ok {
+			if len(names) >= len(letters) {
+				return nil, fmt.Errorf("timeline: more than %d activities", len(letters))
+			}
+			nameIdx[e.Activity] = len(names)
+			names = append(names, e.Activity)
+		}
+	}
+	if len(names) == 0 {
+		return nil, errors.New("timeline: no events match the activity filter")
+	}
+	ranks := log.Ranks()
+	// occupancy[rank][col][act] accumulates seconds.
+	occupancy := make([][][]float64, ranks)
+	for r := range occupancy {
+		occupancy[r] = make([][]float64, width)
+		for c := range occupancy[r] {
+			occupancy[r][c] = make([]float64, len(names))
+		}
+	}
+	colWidth := (to - from) / float64(width)
+	for _, e := range events {
+		if len(allowed) > 0 && !allowed[e.Activity] {
+			continue
+		}
+		j := nameIdx[e.Activity]
+		start, end := e.Start, e.End
+		if end <= from || start >= to {
+			continue
+		}
+		if start < from {
+			start = from
+		}
+		if end > to {
+			end = to
+		}
+		first := int((start - from) / colWidth)
+		last := int((end - from) / colWidth)
+		if last >= width {
+			last = width - 1
+		}
+		for c := first; c <= last; c++ {
+			cellStart := from + float64(c)*colWidth
+			cellEnd := cellStart + colWidth
+			overlap := minF(end, cellEnd) - maxF(start, cellStart)
+			if overlap > 0 {
+				occupancy[e.Rank][c][j] += overlap
+			}
+		}
+	}
+	t := &Timeline{
+		Ranks:         ranks,
+		From:          from,
+		To:            to,
+		ActivityNames: names,
+		Lanes:         make([][]int, ranks),
+	}
+	for r := range t.Lanes {
+		t.Lanes[r] = make([]int, width)
+		for c := 0; c < width; c++ {
+			best, bestVal := -1, 0.0
+			for j, v := range occupancy[r][c] {
+				if v > bestVal {
+					best, bestVal = j, v
+				}
+			}
+			t.Lanes[r][c] = best
+		}
+	}
+	return t, nil
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ASCII renders the timeline with one text row per rank plus a legend and
+// a time axis.
+func (t *Timeline) ASCII() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "timeline [%.3f s, %.3f s]\n", t.From, t.To)
+	for r, lane := range t.Lanes {
+		fmt.Fprintf(&sb, "rank %3d |", r)
+		for _, j := range lane {
+			if j < 0 {
+				sb.WriteByte(' ')
+			} else {
+				sb.WriteByte(letters[j])
+			}
+		}
+		sb.WriteString("|\n")
+	}
+	sb.WriteString("legend:")
+	for j, n := range t.ActivityNames {
+		fmt.Fprintf(&sb, " %c=%s", letters[j], n)
+	}
+	sb.WriteString(" (blank = idle/uninstrumented)\n")
+	return sb.String()
+}
+
+// Utilization returns, per rank, the fraction of the rendered window the
+// rank spent in any instrumented activity — a quick imbalance read of the
+// timeline itself.
+func (t *Timeline) Utilization() []float64 {
+	out := make([]float64, t.Ranks)
+	for r, lane := range t.Lanes {
+		busy := 0
+		for _, j := range lane {
+			if j >= 0 {
+				busy++
+			}
+		}
+		out[r] = float64(busy) / float64(len(lane))
+	}
+	return out
+}
+
+// BusiestActivity returns the activity occupying the most columns across
+// all lanes, with its column count.
+func (t *Timeline) BusiestActivity() (string, int) {
+	counts := make([]int, len(t.ActivityNames))
+	for _, lane := range t.Lanes {
+		for _, j := range lane {
+			if j >= 0 {
+				counts[j]++
+			}
+		}
+	}
+	order := make([]int, len(counts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return counts[order[a]] > counts[order[b]] })
+	if len(order) == 0 {
+		return "", 0
+	}
+	return t.ActivityNames[order[0]], counts[order[0]]
+}

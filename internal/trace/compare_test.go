@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func twoCubes(t *testing.T) (*Cube, *Cube) {
+	t.Helper()
+	a := mustCube(t, []string{"r1", "r2"}, []string{"x", "y"}, 2)
+	b := mustCube(t, []string{"r1", "r2"}, []string{"x", "y"}, 2)
+	fillCube(t, a)
+	fillCube(t, b)
+	return a, b
+}
+
+func TestMerge(t *testing.T) {
+	a, b := twoCubes(t)
+	if err := b.Scale(2); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, _ := a.At(0, 0, 0)
+	vm, _ := m.At(0, 0, 0)
+	if vm != 3*va {
+		t.Errorf("merged cell = %g, want %g", vm, 3*va)
+	}
+	if math.Abs(m.ProgramTime()-(a.ProgramTime()+b.ProgramTime())) > 1e-9 {
+		t.Errorf("merged program time = %g", m.ProgramTime())
+	}
+	// Originals untouched.
+	if v, _ := a.At(0, 0, 0); v != va {
+		t.Error("Merge mutated an input")
+	}
+}
+
+func TestMergeShapeMismatch(t *testing.T) {
+	a, _ := twoCubes(t)
+	cases := []*Cube{
+		mustCube(t, []string{"r1"}, []string{"x", "y"}, 2),
+		mustCube(t, []string{"r1", "other"}, []string{"x", "y"}, 2),
+		mustCube(t, []string{"r1", "r2"}, []string{"x", "z"}, 2),
+		mustCube(t, []string{"r1", "r2"}, []string{"x", "y"}, 3),
+	}
+	for i, c := range cases {
+		if _, err := Merge(a, c); !errors.Is(err, ErrShapeMismatch) {
+			t.Errorf("case %d: err = %v", i, err)
+		}
+	}
+	if _, err := Merge(a, nil); err == nil {
+		t.Error("nil cube should fail")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	before, after := twoCubes(t)
+	// Halve region 0's x activity in the "after" run.
+	for p := 0; p < 2; p++ {
+		v, err := after.At(0, 0, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := after.Set(0, 0, p, v/2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := Compare(before, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Cells) != 4 {
+		t.Fatalf("%d cells", len(d.Cells))
+	}
+	first := d.Cells[0]
+	if first.Region != 0 || first.Activity != 0 {
+		t.Fatalf("first cell = %+v", first)
+	}
+	if first.Change() >= 0 {
+		t.Errorf("halved cell change = %g, want negative", first.Change())
+	}
+	if math.Abs(first.RelChange()+0.5) > 1e-12 {
+		t.Errorf("rel change = %g, want -0.5", first.RelChange())
+	}
+	// Unchanged cell.
+	if d.Cells[1].Change() != 0 {
+		t.Errorf("unchanged cell delta = %g", d.Cells[1].Change())
+	}
+	if d.Speedup() <= 1 {
+		t.Errorf("speedup = %g, want > 1", d.Speedup())
+	}
+}
+
+func TestCompareZeroBefore(t *testing.T) {
+	a := mustCube(t, []string{"r"}, []string{"x"}, 1)
+	b := mustCube(t, []string{"r"}, []string{"x"}, 1)
+	if err := b.Set(0, 0, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cells[0].RelChange() != 0 {
+		t.Errorf("rel change from zero = %g, want 0 sentinel", d.Cells[0].RelChange())
+	}
+	// Speedup with zero after-time is 0 (guarded).
+	empty := Diff{ProgramBefore: 1, ProgramAfter: 0}
+	if empty.Speedup() != 0 {
+		t.Errorf("guarded speedup = %g", empty.Speedup())
+	}
+}
+
+func TestMergeRegions(t *testing.T) {
+	c := mustCube(t, []string{"l1", "l2", "l3"}, []string{"x"}, 2)
+	fillCube(t, c)
+	if err := c.SetProgramTime(1000); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := c.MergeRegions([]string{"heavy"}, map[string][]int{"heavy": {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.NumRegions() != 2 || merged.RegionIndex("heavy") != 0 || merged.RegionIndex("l3") != 1 {
+		t.Fatalf("merged regions = %v", merged.Regions())
+	}
+	// heavy proc 0 = l1(1) + l2(101).
+	v, err := merged.At(0, 0, 0)
+	if err != nil || v != 102 {
+		t.Errorf("merged cell = %g, %v", v, err)
+	}
+	if merged.ProgramTime() != 1000 {
+		t.Errorf("program time = %g", merged.ProgramTime())
+	}
+	// Total time is conserved.
+	if math.Abs(merged.RegionsTotal()-c.RegionsTotal()) > 1e-9 {
+		t.Errorf("totals differ: %g vs %g", merged.RegionsTotal(), c.RegionsTotal())
+	}
+}
+
+func TestMergeRegionsValidation(t *testing.T) {
+	c := mustCube(t, []string{"l1", "l2"}, []string{"x"}, 2)
+	fillCube(t, c)
+	if _, err := c.MergeRegions(nil, nil); err == nil {
+		t.Error("empty groups should fail")
+	}
+	if _, err := c.MergeRegions([]string{"a", "b"}, map[string][]int{"a": {0}}); err == nil {
+		t.Error("order/groups mismatch should fail")
+	}
+	if _, err := c.MergeRegions([]string{"a"}, map[string][]int{"b": {0}}); err == nil {
+		t.Error("unknown ordered name should fail")
+	}
+	if _, err := c.MergeRegions([]string{"a"}, map[string][]int{"a": {}}); err == nil {
+		t.Error("empty group should fail")
+	}
+	if _, err := c.MergeRegions([]string{"a"}, map[string][]int{"a": {7}}); err == nil {
+		t.Error("out-of-range member should fail")
+	}
+	if _, err := c.MergeRegions([]string{"a", "l1"}, map[string][]int{"a": {0}, "l1": {0}}); err == nil {
+		t.Error("duplicate member should fail")
+	}
+}
+
+func TestMergeRegionsAnalysisAltitude(t *testing.T) {
+	// Merging the paper's two heavy loops into one phase keeps the
+	// methodology working at the coarser altitude.
+	cube := paperReconstruction(t)
+	merged, err := cube.MergeRegions([]string{"core phase"}, map[string][]int{"core phase": {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ti, err := merged.RegionTime(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ti-(19.051+14.22)) > 1e-9 {
+		t.Errorf("core phase time = %g", ti)
+	}
+}
+
+// paperReconstruction rebuilds the case-study cube without importing
+// workload (which would cycle): a minimal stand-in with the two heavy
+// loops' times.
+func paperReconstruction(t *testing.T) *Cube {
+	t.Helper()
+	c := mustCube(t, []string{"loop 1", "loop 2"}, []string{"comp"}, 2)
+	for p := 0; p < 2; p++ {
+		if err := c.Set(0, 0, p, 19.051); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Set(1, 0, p, 14.22); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}

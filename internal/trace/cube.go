@@ -1,0 +1,418 @@
+// Package trace defines the measurement model of the load-imbalance
+// methodology: the three-dimensional time cube t[i][j][p] holding the wall
+// clock time spent by processor p in activity j of code region i, together
+// with its marginals, plus an event-level trace representation that can be
+// aggregated into a cube.
+//
+// The cube is the single data structure consumed by every analysis in
+// internal/core: coarse-grain profiling, the processor / activity / code
+// region views, clustering and pattern diagrams all read from it.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Common cube errors.
+var (
+	// ErrNoRegions is returned when a cube is created without regions.
+	ErrNoRegions = errors.New("trace: cube needs at least one region")
+	// ErrNoActivities is returned when a cube is created without activities.
+	ErrNoActivities = errors.New("trace: cube needs at least one activity")
+	// ErrNoProcessors is returned when a cube is created without processors.
+	ErrNoProcessors = errors.New("trace: cube needs at least one processor")
+	// ErrDuplicateName is returned when region or activity names repeat.
+	ErrDuplicateName = errors.New("trace: duplicate name")
+	// ErrOutOfRange is returned when an index is outside the cube.
+	ErrOutOfRange = errors.New("trace: index out of range")
+	// ErrNegativeTime is returned when a wall-clock time is negative.
+	ErrNegativeTime = errors.New("trace: negative wall-clock time")
+)
+
+// Cube is the t_ijp measurement cube: wall clock times indexed by code
+// region i, activity j and processor p. A Cube additionally records the
+// wall clock time of the whole program, which may exceed the sum of the
+// instrumented regions when parts of the program are not instrumented (as
+// in the paper's CFD study, where the 7 measured loops account for ~93% of
+// the program).
+type Cube struct {
+	regions    []string
+	activities []string
+	procs      int
+	// times[i][j][p]
+	times [][][]float64
+	// programTime is the wall clock time T of the whole program; zero
+	// means "use the sum of the regions".
+	programTime float64
+}
+
+// NewCube creates a zero-filled cube with the given region names, activity
+// names and processor count. Names must be unique within their dimension.
+func NewCube(regions, activities []string, procs int) (*Cube, error) {
+	if len(regions) == 0 {
+		return nil, ErrNoRegions
+	}
+	if len(activities) == 0 {
+		return nil, ErrNoActivities
+	}
+	if procs <= 0 {
+		return nil, ErrNoProcessors
+	}
+	if err := checkUnique("region", regions); err != nil {
+		return nil, err
+	}
+	if err := checkUnique("activity", activities); err != nil {
+		return nil, err
+	}
+	c := &Cube{
+		regions:    append([]string(nil), regions...),
+		activities: append([]string(nil), activities...),
+		procs:      procs,
+	}
+	c.times = make([][][]float64, len(regions))
+	flat := make([]float64, len(regions)*len(activities)*procs)
+	for i := range c.times {
+		c.times[i] = make([][]float64, len(activities))
+		for j := range c.times[i] {
+			c.times[i][j], flat = flat[:procs:procs], flat[procs:]
+		}
+	}
+	return c, nil
+}
+
+func checkUnique(kind string, names []string) error {
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		if seen[n] {
+			return fmt.Errorf("%w: %s %q", ErrDuplicateName, kind, n)
+		}
+		seen[n] = true
+	}
+	return nil
+}
+
+// Regions returns the region names in cube order.
+func (c *Cube) Regions() []string { return append([]string(nil), c.regions...) }
+
+// Activities returns the activity names in cube order.
+func (c *Cube) Activities() []string { return append([]string(nil), c.activities...) }
+
+// NumRegions returns N, the number of code regions.
+func (c *Cube) NumRegions() int { return len(c.regions) }
+
+// NumActivities returns K, the number of activities.
+func (c *Cube) NumActivities() int { return len(c.activities) }
+
+// NumProcs returns P, the number of processors.
+func (c *Cube) NumProcs() int { return c.procs }
+
+// RegionIndex returns the index of the named region, or -1.
+func (c *Cube) RegionIndex(name string) int { return indexOf(c.regions, name) }
+
+// ActivityIndex returns the index of the named activity, or -1.
+func (c *Cube) ActivityIndex(name string) int { return indexOf(c.activities, name) }
+
+func indexOf(names []string, name string) int {
+	for i, n := range names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func (c *Cube) check(i, j, p int) error {
+	if i < 0 || i >= len(c.regions) {
+		return fmt.Errorf("%w: region %d of %d", ErrOutOfRange, i, len(c.regions))
+	}
+	if j < 0 || j >= len(c.activities) {
+		return fmt.Errorf("%w: activity %d of %d", ErrOutOfRange, j, len(c.activities))
+	}
+	if p < 0 || p >= c.procs {
+		return fmt.Errorf("%w: processor %d of %d", ErrOutOfRange, p, c.procs)
+	}
+	return nil
+}
+
+// Set stores t_ijp. The time must be nonnegative.
+func (c *Cube) Set(i, j, p int, t float64) error {
+	if err := c.check(i, j, p); err != nil {
+		return err
+	}
+	if t < 0 {
+		return fmt.Errorf("%w: %g at (%d, %d, %d)", ErrNegativeTime, t, i, j, p)
+	}
+	c.times[i][j][p] = t
+	return nil
+}
+
+// Add accumulates t onto t_ijp; instrumentation uses this to fold repeated
+// executions of a region into the cube.
+func (c *Cube) Add(i, j, p int, t float64) error {
+	if err := c.check(i, j, p); err != nil {
+		return err
+	}
+	if t < 0 {
+		return fmt.Errorf("%w: %g at (%d, %d, %d)", ErrNegativeTime, t, i, j, p)
+	}
+	c.times[i][j][p] += t
+	return nil
+}
+
+// At returns t_ijp.
+func (c *Cube) At(i, j, p int) (float64, error) {
+	if err := c.check(i, j, p); err != nil {
+		return 0, err
+	}
+	return c.times[i][j][p], nil
+}
+
+// ProcTimes returns a copy of the P-vector t_ij* for region i and activity
+// j: the times spent by each processor in that activity of that region.
+func (c *Cube) ProcTimes(i, j int) ([]float64, error) {
+	if err := c.check(i, j, 0); err != nil {
+		return nil, err
+	}
+	return append([]float64(nil), c.times[i][j]...), nil
+}
+
+// SumProcTimes returns the sum over processors of t_ijp for region i and
+// activity j (aggregate processor-seconds in the cell).
+func (c *Cube) SumProcTimes(i, j int) (float64, error) {
+	if err := c.check(i, j, 0); err != nil {
+		return 0, err
+	}
+	s := 0.0
+	for _, t := range c.times[i][j] {
+		s += t
+	}
+	return s, nil
+}
+
+// CellTime returns t_ij, the wall clock time of activity j in region i. The
+// processors execute a region concurrently, so the region's wall clock time
+// is on the scale of one processor's timeline, not the sum of all of them:
+// t_ij is the mean over processors of t_ijp. (The paper's published Table 1
+// follows this convention — the per-loop times are commensurate with the
+// per-processor wall clock times quoted in Section 4.)
+func (c *Cube) CellTime(i, j int) (float64, error) {
+	s, err := c.SumProcTimes(i, j)
+	if err != nil {
+		return 0, err
+	}
+	return s / float64(c.procs), nil
+}
+
+// RegionTime returns t_i, the wall clock time of region i: the sum over
+// activities of the cell times.
+func (c *Cube) RegionTime(i int) (float64, error) {
+	if i < 0 || i >= len(c.regions) {
+		return 0, fmt.Errorf("%w: region %d of %d", ErrOutOfRange, i, len(c.regions))
+	}
+	s := 0.0
+	for j := range c.activities {
+		t, err := c.CellTime(i, j)
+		if err != nil {
+			return 0, err
+		}
+		s += t
+	}
+	return s, nil
+}
+
+// ActivityTime returns T_j, the wall clock time of activity j: the sum over
+// regions of the cell times.
+func (c *Cube) ActivityTime(j int) (float64, error) {
+	if j < 0 || j >= len(c.activities) {
+		return 0, fmt.Errorf("%w: activity %d of %d", ErrOutOfRange, j, len(c.activities))
+	}
+	s := 0.0
+	for i := range c.regions {
+		t, err := c.CellTime(i, j)
+		if err != nil {
+			return 0, err
+		}
+		s += t
+	}
+	return s, nil
+}
+
+// ProcRegionTime returns the time spent by processor p across all
+// activities of region i: sum_j t_ijp. The processor view standardizes over
+// this sum.
+func (c *Cube) ProcRegionTime(i, p int) (float64, error) {
+	if err := c.check(i, 0, p); err != nil {
+		return 0, err
+	}
+	s := 0.0
+	for j := range c.activities {
+		s += c.times[i][j][p]
+	}
+	return s, nil
+}
+
+// ProcTotalTime returns the total instrumented time of processor p across
+// all regions and activities.
+func (c *Cube) ProcTotalTime(p int) (float64, error) {
+	if err := c.check(0, 0, p); err != nil {
+		return 0, err
+	}
+	s := 0.0
+	for i := range c.regions {
+		for j := range c.activities {
+			s += c.times[i][j][p]
+		}
+	}
+	return s, nil
+}
+
+// RegionsTotal returns the sum of the region wall clock times (the
+// instrumented part of the program, in wall-clock scale).
+func (c *Cube) RegionsTotal() float64 {
+	s := 0.0
+	for i := range c.regions {
+		for j := range c.activities {
+			for _, t := range c.times[i][j] {
+				s += t
+			}
+		}
+	}
+	return s / float64(c.procs)
+}
+
+// SetProgramTime records the wall clock time T of the whole program. The
+// scaled indices SID divide by T, so a program with uninstrumented parts
+// should set it explicitly; passing 0 reverts to the sum of the regions. It
+// rejects negative values and values smaller than the instrumented total.
+func (c *Cube) SetProgramTime(t float64) error {
+	if t < 0 {
+		return fmt.Errorf("%w: program time %g", ErrNegativeTime, t)
+	}
+	if t != 0 && t < c.RegionsTotal()-1e-9 {
+		return fmt.Errorf("trace: program time %g smaller than instrumented total %g", t, c.RegionsTotal())
+	}
+	c.programTime = t
+	return nil
+}
+
+// ProgramTime returns the wall clock time T of the whole program: the value
+// recorded with SetProgramTime, or the sum of the regions when none was
+// recorded.
+func (c *Cube) ProgramTime() float64 {
+	if c.programTime > 0 {
+		return c.programTime
+	}
+	return c.RegionsTotal()
+}
+
+// HasActivity reports whether activity j is performed at all within region
+// i, i.e. t_ij > 0. Absent activities show as "-" in the paper's tables and
+// have undefined dispersion indices.
+func (c *Cube) HasActivity(i, j int) (bool, error) {
+	t, err := c.CellTime(i, j)
+	if err != nil {
+		return false, err
+	}
+	return t > 0, nil
+}
+
+// Clone returns a deep copy of the cube.
+func (c *Cube) Clone() *Cube {
+	out, err := NewCube(c.regions, c.activities, c.procs)
+	if err != nil {
+		// The receiver was validated at construction; reconstructing
+		// from its own fields cannot fail.
+		panic(fmt.Sprintf("trace: cloning valid cube failed: %v", err))
+	}
+	for i := range c.times {
+		for j := range c.times[i] {
+			copy(out.times[i][j], c.times[i][j])
+		}
+	}
+	out.programTime = c.programTime
+	return out
+}
+
+// EqualWithin reports whether two cubes have identical shape and names and
+// all times (including the program time) within tol of each other.
+func (c *Cube) EqualWithin(other *Cube, tol float64) bool {
+	if other == nil || c.procs != other.procs ||
+		len(c.regions) != len(other.regions) ||
+		len(c.activities) != len(other.activities) {
+		return false
+	}
+	for i, r := range c.regions {
+		if other.regions[i] != r {
+			return false
+		}
+	}
+	for j, a := range c.activities {
+		if other.activities[j] != a {
+			return false
+		}
+	}
+	if math.Abs(c.ProgramTime()-other.ProgramTime()) > tol {
+		return false
+	}
+	for i := range c.times {
+		for j := range c.times[i] {
+			for p := range c.times[i][j] {
+				if math.Abs(c.times[i][j][p]-other.times[i][j][p]) > tol {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Scale multiplies every time in the cube (and the recorded program time)
+// by factor, which must be positive. Standardized analyses are invariant
+// under Scale; tests rely on this.
+func (c *Cube) Scale(factor float64) error {
+	if factor <= 0 {
+		return fmt.Errorf("trace: scale factor %g must be positive", factor)
+	}
+	for i := range c.times {
+		for j := range c.times[i] {
+			for p := range c.times[i][j] {
+				c.times[i][j][p] *= factor
+			}
+		}
+	}
+	c.programTime *= factor
+	return nil
+}
+
+// SubCube returns a new cube restricted to the given region indices (in
+// the given order). The program time carries over unchanged, so shares
+// computed on the sub-cube remain relative to the whole program.
+func (c *Cube) SubCube(regions []int) (*Cube, error) {
+	if len(regions) == 0 {
+		return nil, ErrNoRegions
+	}
+	names := make([]string, len(regions))
+	for k, i := range regions {
+		if i < 0 || i >= len(c.regions) {
+			return nil, fmt.Errorf("%w: region %d of %d", ErrOutOfRange, i, len(c.regions))
+		}
+		names[k] = c.regions[i]
+	}
+	out, err := NewCube(names, c.activities, c.procs)
+	if err != nil {
+		return nil, err
+	}
+	for k, i := range regions {
+		for j := range c.activities {
+			copy(out.times[k][j], c.times[i][j])
+		}
+	}
+	if c.programTime > 0 {
+		if err := out.SetProgramTime(c.programTime); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

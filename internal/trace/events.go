@@ -1,0 +1,210 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// An Event is one timed interval recorded during execution: processor Rank
+// spent [Start, End) seconds of virtual time in the given activity of the
+// given code region. Events are what instrumented runs (internal/mpi)
+// produce; Aggregate folds them into a Cube for analysis.
+type Event struct {
+	Rank     int
+	Region   string
+	Activity string
+	Start    float64
+	End      float64
+}
+
+// Duration returns the length of the event interval.
+func (e Event) Duration() float64 { return e.End - e.Start }
+
+// Validate checks that the event is well formed.
+func (e Event) Validate() error {
+	if e.Rank < 0 {
+		return fmt.Errorf("trace: event rank %d negative", e.Rank)
+	}
+	if e.Region == "" {
+		return fmt.Errorf("trace: event with empty region")
+	}
+	if e.Activity == "" {
+		return fmt.Errorf("trace: event with empty activity")
+	}
+	if e.End < e.Start {
+		return fmt.Errorf("trace: event ends at %g before start %g", e.End, e.Start)
+	}
+	return nil
+}
+
+// Log is an append-only collection of events from one program run.
+type Log struct {
+	events []Event
+}
+
+// Append adds an event after validating it.
+func (l *Log) Append(e Event) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	l.events = append(l.events, e)
+	return nil
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int { return len(l.events) }
+
+// Events returns a copy of the recorded events.
+func (l *Log) Events() []Event { return append([]Event(nil), l.events...) }
+
+// Ranks returns the number of distinct ranks that appear in the log,
+// computed as 1 + the maximum rank (ranks are assumed dense from zero).
+func (l *Log) Ranks() int {
+	maxRank := -1
+	for _, e := range l.events {
+		if e.Rank > maxRank {
+			maxRank = e.Rank
+		}
+	}
+	return maxRank + 1
+}
+
+// Span returns the virtual-time extent of the log: the maximum End over
+// all events (0 for an empty log). This approximates the program wall
+// clock time of a run that starts at virtual time zero.
+func (l *Log) Span() float64 {
+	span := 0.0
+	for _, e := range l.events {
+		if e.End > span {
+			span = e.End
+		}
+	}
+	return span
+}
+
+// Aggregate folds the log into a Cube. Region and activity dimensions are
+// the union of names appearing in the log, in order of first appearance
+// unless explicit orders are supplied (names listed there come first, in
+// the given order; unknown listed names are ignored if unused... they are
+// kept so table layouts stay stable even when an activity never occurs).
+// The cube's program time is set to the log's span.
+func (l *Log) Aggregate(regionOrder, activityOrder []string) (*Cube, error) {
+	if len(l.events) == 0 {
+		return nil, fmt.Errorf("trace: cannot aggregate empty log")
+	}
+	regions := orderedNames(regionOrder, l.events, func(e Event) string { return e.Region })
+	activities := orderedNames(activityOrder, l.events, func(e Event) string { return e.Activity })
+	cube, err := NewCube(regions, activities, l.Ranks())
+	if err != nil {
+		return nil, err
+	}
+	ri := indexMap(regions)
+	ai := indexMap(activities)
+	for _, e := range l.events {
+		if err := cube.Add(ri[e.Region], ai[e.Activity], e.Rank, e.Duration()); err != nil {
+			return nil, err
+		}
+	}
+	// Program time is the longest rank timeline: ranks run concurrently,
+	// so the program's wall clock is the maximum event end time.
+	if span := l.Span(); span > cube.RegionsTotal() {
+		if err := cube.SetProgramTime(span); err != nil {
+			return nil, err
+		}
+	}
+	return cube, nil
+}
+
+func orderedNames(order []string, events []Event, key func(Event) string) []string {
+	var names []string
+	seen := make(map[string]bool)
+	for _, n := range order {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	for _, e := range events {
+		n := key(e)
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+func indexMap(names []string) map[string]int {
+	m := make(map[string]int, len(names))
+	for i, n := range names {
+		m[n] = i
+	}
+	return m
+}
+
+// SortByStart orders events by start time, breaking ties by rank then
+// region; renderers and the tracefile writer use it for stable output.
+func (l *Log) SortByStart() {
+	sort.SliceStable(l.events, func(a, b int) bool {
+		ea, eb := l.events[a], l.events[b]
+		if ea.Start != eb.Start {
+			return ea.Start < eb.Start
+		}
+		if ea.Rank != eb.Rank {
+			return ea.Rank < eb.Rank
+		}
+		return ea.Region < eb.Region
+	})
+}
+
+// Durations returns the durations of every event of the given activity,
+// across all ranks and regions, in log order. Workload characterization
+// (internal/fit) consumes these to model the activity's burst lengths.
+func (l *Log) Durations(activity string) []float64 {
+	var out []float64
+	for _, e := range l.events {
+		if e.Activity == activity {
+			out = append(out, e.Duration())
+		}
+	}
+	return out
+}
+
+// RegionDurations returns the durations of the events of one activity
+// within one region.
+func (l *Log) RegionDurations(region, activity string) []float64 {
+	var out []float64
+	for _, e := range l.events {
+		if e.Region == region && e.Activity == activity {
+			out = append(out, e.Duration())
+		}
+	}
+	return out
+}
+
+// Window returns a new log containing the portions of events overlapping
+// [from, to): events are clipped to the window. Per-phase analysis slices
+// a run's log into iteration windows and aggregates each into its own
+// cube.
+func (l *Log) Window(from, to float64) (*Log, error) {
+	if to <= from {
+		return nil, fmt.Errorf("trace: window [%g, %g) is empty", from, to)
+	}
+	var out Log
+	for _, e := range l.events {
+		if e.End <= from || e.Start >= to {
+			continue
+		}
+		clipped := e
+		if clipped.Start < from {
+			clipped.Start = from
+		}
+		if clipped.End > to {
+			clipped.End = to
+		}
+		if err := out.Append(clipped); err != nil {
+			return nil, err
+		}
+	}
+	return &out, nil
+}

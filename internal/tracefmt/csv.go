@@ -1,0 +1,146 @@
+package tracefmt
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"loadimb/internal/trace"
+)
+
+// The CSV cube format is the interchange format for tools that are not
+// Go programs: one record per (region, activity, processor) cell,
+//
+//	region,activity,proc,seconds
+//
+// with a header row, plus an optional pseudo-record
+//
+//	__program__,,0,<seconds>
+//
+// carrying the program wall clock time. Region and activity dimension
+// orders follow first appearance. Missing cells default to zero (absent
+// activities simply have no records).
+
+// programMarker is the reserved region name carrying the program time.
+const programMarker = "__program__"
+
+// WriteCubeCSV encodes the cube as CSV records.
+func WriteCubeCSV(w io.Writer, cube *trace.Cube) error {
+	if cube == nil {
+		return fmt.Errorf("tracefmt: nil cube")
+	}
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+	if err := cw.Write([]string{"region", "activity", "proc", "seconds"}); err != nil {
+		return err
+	}
+	regions, activities := cube.Regions(), cube.Activities()
+	for i, region := range regions {
+		for j, activity := range activities {
+			for p := 0; p < cube.NumProcs(); p++ {
+				t, err := cube.At(i, j, p)
+				if err != nil {
+					return err
+				}
+				rec := []string{region, activity, strconv.Itoa(p), strconv.FormatFloat(t, 'g', -1, 64)}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if pt := cube.ProgramTime(); pt > cube.RegionsTotal() {
+		rec := []string{programMarker, "", "0", strconv.FormatFloat(pt, 'g', -1, 64)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadCubeCSV decodes a CSV cube. The processor dimension is sized by the
+// largest processor id seen (ids must be dense from 0 for a meaningful
+// cube, but gaps simply read as zero time).
+func ReadCubeCSV(r io.Reader) (*trace.Cube, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing header: %v", ErrCorrupt, err)
+	}
+	if header[0] != "region" || header[1] != "activity" || header[2] != "proc" || header[3] != "seconds" {
+		return nil, fmt.Errorf("%w: unexpected header %v", ErrCorrupt, header)
+	}
+	type cell struct {
+		region, activity string
+		proc             int
+		seconds          float64
+	}
+	var cells []cell
+	var regions, activities []string
+	seenRegion := map[string]bool{}
+	seenActivity := map[string]bool{}
+	maxProc := -1
+	programTime := 0.0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		proc, err := strconv.Atoi(rec[2])
+		if err != nil || proc < 0 {
+			return nil, fmt.Errorf("%w: bad proc %q", ErrCorrupt, rec[2])
+		}
+		seconds, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil || seconds < 0 {
+			return nil, fmt.Errorf("%w: bad seconds %q", ErrCorrupt, rec[3])
+		}
+		if rec[0] == programMarker {
+			programTime = seconds
+			continue
+		}
+		if rec[0] == "" || rec[1] == "" {
+			return nil, fmt.Errorf("%w: empty region or activity", ErrCorrupt)
+		}
+		if !seenRegion[rec[0]] {
+			seenRegion[rec[0]] = true
+			regions = append(regions, rec[0])
+		}
+		if !seenActivity[rec[1]] {
+			seenActivity[rec[1]] = true
+			activities = append(activities, rec[1])
+		}
+		if proc > maxProc {
+			maxProc = proc
+		}
+		cells = append(cells, cell{rec[0], rec[1], proc, seconds})
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("%w: no data records", ErrCorrupt)
+	}
+	cube, err := trace.NewCube(regions, activities, maxProc+1)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	for _, c := range cells {
+		i, j := cube.RegionIndex(c.region), cube.ActivityIndex(c.activity)
+		if err := cube.Add(i, j, c.proc, c.seconds); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+	}
+	if programTime > cube.RegionsTotal() {
+		if err := cube.SetProgramTime(programTime); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+	}
+	return cube, nil
+}

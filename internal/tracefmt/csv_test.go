@@ -1,0 +1,111 @@
+package tracefmt
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	cube := paperCube(t)
+	var buf bytes.Buffer
+	if err := WriteCubeCSV(&buf, cube); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCubeCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cube.EqualWithin(got, 1e-12) {
+		t.Error("CSV round trip changed the cube")
+	}
+}
+
+func TestCSVHeaderAndMarker(t *testing.T) {
+	cube := paperCube(t)
+	var buf bytes.Buffer
+	if err := WriteCubeCSV(&buf, cube); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "region,activity,proc,seconds\n") {
+		t.Errorf("missing header: %q", out[:40])
+	}
+	if !strings.Contains(out, "__program__") {
+		t.Error("missing program-time marker (paper cube has uninstrumented time)")
+	}
+}
+
+func TestCSVNoMarkerWhenFullyInstrumented(t *testing.T) {
+	// A cube without explicit program time needs no marker.
+	var buf bytes.Buffer
+	in := "region,activity,proc,seconds\nr,a,0,1\nr,a,1,3\n"
+	cube, err := ReadCubeCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCubeCSV(&buf, cube); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "__program__") {
+		t.Error("unexpected program marker")
+	}
+	if cube.ProgramTime() != 2 {
+		t.Errorf("program time = %g (mean of 1 and 3 is 2)", cube.ProgramTime())
+	}
+}
+
+func TestCSVWriteNil(t *testing.T) {
+	if err := WriteCubeCSV(&bytes.Buffer{}, nil); err == nil {
+		t.Error("nil cube should fail")
+	}
+}
+
+func TestReadCubeCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"wrong,header,row,here\n",
+		"region,activity,proc,seconds\n", // no data
+		"region,activity,proc,seconds\nr,a,x,1\n",          // bad proc
+		"region,activity,proc,seconds\nr,a,-1,1\n",         // negative proc
+		"region,activity,proc,seconds\nr,a,0,abc\n",        // bad seconds
+		"region,activity,proc,seconds\nr,a,0,-5\n",         // negative seconds
+		"region,activity,proc,seconds\n,a,0,1\n",           // empty region
+		"region,activity,proc,seconds\nr,,0,1\n",           // empty activity
+		"region,activity,proc,seconds\nr,a,0\n",            // short record
+		"region,activity,proc,seconds\n__program__,,0,1\n", // marker only
+	}
+	for i, c := range cases {
+		if _, err := ReadCubeCSV(strings.NewReader(c)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("case %d: err = %v", i, err)
+		}
+	}
+}
+
+func TestCSVAccumulatesDuplicates(t *testing.T) {
+	in := "region,activity,proc,seconds\nr,a,0,1\nr,a,0,2\nr,a,1,1\n"
+	cube, err := ReadCubeCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := cube.At(0, 0, 0)
+	if err != nil || v != 3 {
+		t.Errorf("duplicate records should accumulate: %g, %v", v, err)
+	}
+}
+
+func TestCSVSparseProcs(t *testing.T) {
+	// A gap in processor ids reads as zero time.
+	in := "region,activity,proc,seconds\nr,a,0,1\nr,a,3,1\n"
+	cube, err := ReadCubeCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cube.NumProcs() != 4 {
+		t.Fatalf("procs = %d", cube.NumProcs())
+	}
+	if v, _ := cube.At(0, 0, 1); v != 0 {
+		t.Errorf("gap proc time = %g", v)
+	}
+}

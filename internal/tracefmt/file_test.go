@@ -1,0 +1,121 @@
+package tracefmt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"loadimb/internal/trace"
+)
+
+func TestSaveOpenCubeBinary(t *testing.T) {
+	cube := paperCube(t)
+	path := filepath.Join(t.TempDir(), "run.limb")
+	if err := SaveCube(path, cube); err != nil {
+		t.Fatal(err)
+	}
+	got, err := OpenCube(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cube.EqualWithin(got, 0) {
+		t.Error("binary file round trip changed the cube")
+	}
+}
+
+func TestSaveOpenCubeJSON(t *testing.T) {
+	cube := paperCube(t)
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := SaveCube(path, cube); err != nil {
+		t.Fatal(err)
+	}
+	// The file really is JSON.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || data[0] != '{' {
+		t.Errorf("file does not look like JSON: %q...", data[:20])
+	}
+	got, err := OpenCube(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cube.EqualWithin(got, 0) {
+		t.Error("JSON file round trip changed the cube")
+	}
+}
+
+func TestOpenCubeMissing(t *testing.T) {
+	if _, err := OpenCube(filepath.Join(t.TempDir(), "missing.limb")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestOpenCubeCorruptMentionsPath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.limb")
+	if err := os.WriteFile(path, []byte("garbage data here"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := OpenCube(path)
+	if err == nil {
+		t.Fatal("corrupt file should fail")
+	}
+	if !strings.Contains(err.Error(), "bad.limb") {
+		t.Errorf("error should mention the path: %v", err)
+	}
+}
+
+func TestSaveCubeBadDir(t *testing.T) {
+	cube := paperCube(t)
+	if err := SaveCube(filepath.Join(t.TempDir(), "no", "such", "dir.limb"), cube); err == nil {
+		t.Error("unwritable path should fail")
+	}
+}
+
+func TestSaveOpenEvents(t *testing.T) {
+	var log trace.Log
+	if err := log.Append(trace.Event{Rank: 0, Region: "r", Activity: "a", Start: 0, End: 1}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	if err := SaveEvents(path, &log); err != nil {
+		t.Fatal(err)
+	}
+	got, err := OpenEvents(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || got.Events()[0].Region != "r" {
+		t.Errorf("events round trip = %+v", got.Events())
+	}
+}
+
+func TestOpenEventsMissing(t *testing.T) {
+	if _, err := OpenEvents(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestSaveOpenCubeCSV(t *testing.T) {
+	cube := paperCube(t)
+	path := filepath.Join(t.TempDir(), "run.csv")
+	if err := SaveCube(path, cube); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "region,activity,proc,seconds") {
+		t.Error("file does not look like the CSV format")
+	}
+	got, err := OpenCube(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cube.EqualWithin(got, 1e-12) {
+		t.Error("CSV file round trip changed the cube")
+	}
+}

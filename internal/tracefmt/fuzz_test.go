@@ -1,0 +1,82 @@
+package tracefmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"loadimb/internal/workload"
+)
+
+// FuzzReadCube hardens the binary decoder: arbitrary input must either
+// produce a valid cube or a clean error — never a panic or an invalid
+// cube.
+func FuzzReadCube(f *testing.F) {
+	cube, err := workload.ReconstructCube()
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if err := WriteCube(&valid, cube); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte(Magic))
+	f.Add([]byte("LIMB\x01\x00\x00\x00\xff\xff\xff\xff"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadCube(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully decoded cube must be internally consistent.
+		if got.NumRegions() < 1 || got.NumActivities() < 1 || got.NumProcs() < 1 {
+			t.Fatalf("decoded cube with bad dimensions: %d %d %d",
+				got.NumRegions(), got.NumActivities(), got.NumProcs())
+		}
+		if got.ProgramTime() < 0 {
+			t.Fatalf("decoded negative program time %g", got.ProgramTime())
+		}
+		// Round-tripping the decoded cube must succeed.
+		var buf bytes.Buffer
+		if err := WriteCube(&buf, got); err != nil {
+			t.Fatalf("re-encoding decoded cube: %v", err)
+		}
+	})
+}
+
+// FuzzReadEvents hardens the JSON-Lines event decoder.
+func FuzzReadEvents(f *testing.F) {
+	f.Add(`{"rank":0,"region":"r","activity":"a","start":0,"end":1}`)
+	f.Add(`{"rank":-1,"region":"r","activity":"a","start":0,"end":1}`)
+	f.Add("")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, data string) {
+		log, err := ReadEvents(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, e := range log.Events() {
+			if err := e.Validate(); err != nil {
+				t.Fatalf("decoder admitted invalid event: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzReadCubeCSV hardens the CSV decoder.
+func FuzzReadCubeCSV(f *testing.F) {
+	f.Add("region,activity,proc,seconds\nr,a,0,1\n")
+	f.Add("region,activity,proc,seconds\n__program__,,0,9\nr,a,0,1\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		cube, err := ReadCubeCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if cube.RegionsTotal() < 0 || cube.ProgramTime() < cube.RegionsTotal()-1e-9 {
+			t.Fatalf("decoded inconsistent cube: total %g, program %g",
+				cube.RegionsTotal(), cube.ProgramTime())
+		}
+	})
+}

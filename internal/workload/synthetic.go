@@ -1,0 +1,285 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"loadimb/internal/trace"
+)
+
+// A Profile shapes how a cell's total time is distributed across the
+// processors — the imbalance injection model for synthetic workloads.
+type Profile interface {
+	// Name identifies the profile in sweeps and benchmarks.
+	Name() string
+	// Shares returns P nonnegative shares summing to 1. severity in
+	// [0, 1] interpolates from perfectly balanced (0) to the profile's
+	// most imbalanced shape (1).
+	Shares(procs int, severity float64) ([]float64, error)
+}
+
+func checkShapeArgs(procs int, severity float64) error {
+	if procs < 1 {
+		return fmt.Errorf("workload: need at least 1 processor, got %d", procs)
+	}
+	if severity < 0 || severity > 1 {
+		return fmt.Errorf("workload: severity %g out of range [0, 1]", severity)
+	}
+	return nil
+}
+
+func balancedShares(procs int) []float64 {
+	out := make([]float64, procs)
+	for i := range out {
+		out[i] = 1 / float64(procs)
+	}
+	return out
+}
+
+// BalancedProfile distributes work evenly regardless of severity.
+type BalancedProfile struct{}
+
+// Name returns "balanced".
+func (BalancedProfile) Name() string { return "balanced" }
+
+// Shares returns the uniform distribution.
+func (BalancedProfile) Shares(procs int, severity float64) ([]float64, error) {
+	if err := checkShapeArgs(procs, severity); err != nil {
+		return nil, err
+	}
+	return balancedShares(procs), nil
+}
+
+// OneHotProfile concentrates extra work on a single processor: at severity
+// 1 that processor does everything.
+type OneHotProfile struct {
+	// Proc is the overloaded processor (default 0).
+	Proc int
+}
+
+// Name returns "one-hot".
+func (OneHotProfile) Name() string { return "one-hot" }
+
+// Shares interpolates between uniform and all-on-one.
+func (o OneHotProfile) Shares(procs int, severity float64) ([]float64, error) {
+	if err := checkShapeArgs(procs, severity); err != nil {
+		return nil, err
+	}
+	if o.Proc < 0 || o.Proc >= procs {
+		return nil, fmt.Errorf("workload: one-hot processor %d out of range [0, %d)", o.Proc, procs)
+	}
+	out := balancedShares(procs)
+	for i := range out {
+		if i == o.Proc {
+			out[i] = (1-severity)*out[i] + severity
+		} else {
+			out[i] *= 1 - severity
+		}
+	}
+	return out, nil
+}
+
+// LinearProfile skews work linearly across the ranks: at severity 1 rank 0
+// gets nothing and the last rank twice the average.
+type LinearProfile struct{}
+
+// Name returns "linear".
+func (LinearProfile) Name() string { return "linear" }
+
+// Shares tilts the uniform distribution linearly with rank.
+func (LinearProfile) Shares(procs int, severity float64) ([]float64, error) {
+	if err := checkShapeArgs(procs, severity); err != nil {
+		return nil, err
+	}
+	out := make([]float64, procs)
+	if procs == 1 {
+		out[0] = 1
+		return out, nil
+	}
+	for i := range out {
+		// tilt in [-1, 1] across ranks, zero mean.
+		tilt := 2*float64(i)/float64(procs-1) - 1
+		out[i] = (1 + severity*tilt) / float64(procs)
+	}
+	return out, nil
+}
+
+// BlockProfile overloads a block of processors: the first High ranks share
+// extra work taken from the others.
+type BlockProfile struct {
+	// High is the number of overloaded processors (default 1).
+	High int
+}
+
+// Name returns "block".
+func (BlockProfile) Name() string { return "block" }
+
+// Shares moves, at severity s, a fraction s/2 of the low group's work onto
+// the high group.
+func (b BlockProfile) Shares(procs int, severity float64) ([]float64, error) {
+	if err := checkShapeArgs(procs, severity); err != nil {
+		return nil, err
+	}
+	high := b.High
+	if high == 0 {
+		high = 1
+	}
+	if high < 1 || high >= procs {
+		return nil, fmt.Errorf("workload: block size %d out of range [1, %d)", high, procs)
+	}
+	out := balancedShares(procs)
+	moved := severity / 2 * float64(procs-high) / float64(procs)
+	for i := range out {
+		if i < high {
+			out[i] += moved / float64(high)
+		} else {
+			out[i] -= moved / float64(procs-high)
+		}
+	}
+	return out, nil
+}
+
+// RandomProfile draws shares from a deterministic pseudo-random stream, so
+// repeated generation is reproducible.
+type RandomProfile struct {
+	// Seed selects the stream.
+	Seed uint64
+}
+
+// Name returns "random".
+func (RandomProfile) Name() string { return "random" }
+
+// Shares perturbs the uniform distribution with multiplicative noise of
+// amplitude severity and renormalizes.
+func (r RandomProfile) Shares(procs int, severity float64) ([]float64, error) {
+	if err := checkShapeArgs(procs, severity); err != nil {
+		return nil, err
+	}
+	rng := splitMix64{state: r.Seed}
+	out := make([]float64, procs)
+	total := 0.0
+	for i := range out {
+		out[i] = 1 + severity*(2*rng.float64()-1)
+		total += out[i]
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out, nil
+}
+
+// splitMix64 is a tiny deterministic PRNG (SplitMix64); the stdlib's
+// math/rand would also do, but an explicit implementation keeps streams
+// stable across Go releases.
+type splitMix64 struct{ state uint64 }
+
+func (s *splitMix64) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitMix64) float64() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}
+
+// Profiles returns the built-in imbalance profiles in a stable order.
+func Profiles() []Profile {
+	return []Profile{BalancedProfile{}, OneHotProfile{}, LinearProfile{}, BlockProfile{High: 4}, RandomProfile{Seed: 1}}
+}
+
+// Spec describes a synthetic workload cube.
+type Spec struct {
+	// Regions, Activities name the cube dimensions; Procs is P.
+	Regions    []string
+	Activities []string
+	Procs      int
+	// CellTime returns the wall clock time t_ij of a cell; nonpositive
+	// values mark the activity as absent from the region.
+	CellTime func(i, j int) float64
+	// Profile shapes the per-processor distribution of each cell; nil
+	// means BalancedProfile.
+	Profile Profile
+	// Severity is the imbalance severity passed to the profile.
+	Severity float64
+	// ProgramTime overrides the program wall clock time T; 0 derives it
+	// from the regions.
+	ProgramTime float64
+}
+
+// Synthesize builds a cube from the spec.
+func Synthesize(spec Spec) (*trace.Cube, error) {
+	cube, err := trace.NewCube(spec.Regions, spec.Activities, spec.Procs)
+	if err != nil {
+		return nil, err
+	}
+	prof := spec.Profile
+	if prof == nil {
+		prof = BalancedProfile{}
+	}
+	if spec.CellTime == nil {
+		return nil, fmt.Errorf("workload: Spec.CellTime is required")
+	}
+	for i := range spec.Regions {
+		for j := range spec.Activities {
+			tij := spec.CellTime(i, j)
+			if tij <= 0 {
+				continue
+			}
+			shares, err := prof.Shares(spec.Procs, spec.Severity)
+			if err != nil {
+				return nil, err
+			}
+			total := tij * float64(spec.Procs)
+			for p, s := range shares {
+				if err := cube.Set(i, j, p, total*s); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if spec.ProgramTime > 0 {
+		if err := cube.SetProgramTime(spec.ProgramTime); err != nil {
+			return nil, err
+		}
+	}
+	return cube, nil
+}
+
+// Uniform is a convenience Spec generator: n regions ("R1".."Rn"), k
+// activities ("A1".."Ak"), all cells present with unit time.
+func Uniform(n, k, procs int) Spec {
+	regions := make([]string, n)
+	for i := range regions {
+		regions[i] = fmt.Sprintf("R%d", i+1)
+	}
+	activities := make([]string, k)
+	for j := range activities {
+		activities[j] = fmt.Sprintf("A%d", j+1)
+	}
+	return Spec{
+		Regions:    regions,
+		Activities: activities,
+		Procs:      procs,
+		CellTime:   func(i, j int) float64 { return 1 },
+	}
+}
+
+// ExpectedEuclidean returns the Euclidean dispersion of a profile's shares,
+// useful for calibrating sweeps: the dispersion a cell generated with this
+// profile and severity will exhibit.
+func ExpectedEuclidean(p Profile, procs int, severity float64) (float64, error) {
+	shares, err := p.Shares(procs, severity)
+	if err != nil {
+		return 0, err
+	}
+	mean := 1 / float64(procs)
+	ss := 0.0
+	for _, s := range shares {
+		d := s - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss), nil
+}

@@ -1,0 +1,368 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"loadimb/internal/paper"
+	"loadimb/internal/stats"
+)
+
+func TestCellTimesExactMoments(t *testing.T) {
+	cases := []struct {
+		mean, id    float64
+		procs, high int
+		offset      int
+	}{
+		{12.24, 0.03674, 16, 1, 0},
+		{0.061, 0.12870, 16, 1, 3},
+		{0.011, 0.30571, 16, 1, 7},
+		{8.03, 0.01615, 16, 5, 2},
+		{0.36, 0.05017, 16, 5, 9},
+		{1, 0.3, 8, 3, 0},
+	}
+	for _, c := range cases {
+		times, err := CellTimes(c.mean, c.id, c.procs, c.high, c.offset)
+		if err != nil {
+			t.Fatalf("CellTimes(%+v): %v", c, err)
+		}
+		if len(times) != c.procs {
+			t.Fatalf("got %d times, want %d", len(times), c.procs)
+		}
+		sum := stats.Sum(times)
+		if math.Abs(sum-c.mean*float64(c.procs)) > 1e-9*(1+sum) {
+			t.Errorf("sum = %g, want %g", sum, c.mean*float64(c.procs))
+		}
+		id, err := stats.EuclideanFromBalance(times)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(id-c.id) > 1e-12 {
+			t.Errorf("dispersion = %.12f, want %.12f", id, c.id)
+		}
+		for p, v := range times {
+			if v < 0 {
+				t.Errorf("negative time %g at proc %d", v, p)
+			}
+		}
+	}
+}
+
+func TestCellTimesUniqueExtremes(t *testing.T) {
+	times, err := CellTimes(5, 0.1, 16, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxCount, minCount := 0, 0
+	s := stats.Summarize(times)
+	for _, v := range times {
+		if v == s.Max {
+			maxCount++
+		}
+		if v == s.Min {
+			minCount++
+		}
+	}
+	if maxCount != 1 || minCount != 1 {
+		t.Errorf("extremes not unique: %d max, %d min in %v", maxCount, minCount, times)
+	}
+}
+
+func TestCellTimesErrors(t *testing.T) {
+	cases := []struct {
+		name        string
+		mean, id    float64
+		procs, high int
+	}{
+		{"procs", 1, 0.1, 1, 1},
+		{"mean", -1, 0.1, 4, 1},
+		{"id", 1, -0.1, 4, 1},
+		{"high zero", 1, 0.1, 4, 0},
+		{"high full", 1, 0.1, 4, 4},
+		{"id too large", 1, 5, 4, 1},
+	}
+	for _, c := range cases {
+		if _, err := CellTimes(c.mean, c.id, c.procs, c.high, 0); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestReconstructCubeMatchesTables(t *testing.T) {
+	cube, err := ReconstructCube()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cube.NumRegions() != paper.NumLoops || cube.NumActivities() != paper.NumActivities || cube.NumProcs() != paper.NumProcs {
+		t.Fatalf("dims = %d, %d, %d", cube.NumRegions(), cube.NumActivities(), cube.NumProcs())
+	}
+	// Table 1: cell times and overall loop times.
+	for i := 0; i < paper.NumLoops; i++ {
+		for j := 0; j < paper.NumActivities; j++ {
+			want, present := paper.CellTime(i, j)
+			got, err := cube.CellTime(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !present {
+				if got != 0 {
+					t.Errorf("loop %d %s: absent cell has time %g", i+1, paper.ActivityNames[j], got)
+				}
+				continue
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("loop %d %s: t_ij = %g, published %g", i+1, paper.ActivityNames[j], got, want)
+			}
+		}
+		overall, err := cube.RegionTime(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(overall-paper.Table1Overall[i]) > 1e-9 {
+			t.Errorf("loop %d overall = %g, published %g", i+1, overall, paper.Table1Overall[i])
+		}
+	}
+	// Table 2: dispersion of each defined cell.
+	for i := 0; i < paper.NumLoops; i++ {
+		for j := 0; j < paper.NumActivities; j++ {
+			want, present := paper.Dispersion(i, j)
+			if !present {
+				continue
+			}
+			times, err := cube.ProcTimes(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := stats.EuclideanFromBalance(times)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("loop %d %s: ID = %.6f, published %.5f", i+1, paper.ActivityNames[j], got, want)
+			}
+		}
+	}
+	// Program time.
+	if got := cube.ProgramTime(); math.Abs(got-paper.ProgramTime) > 1e-9 {
+		t.Errorf("ProgramTime = %g, want %g", got, paper.ProgramTime)
+	}
+}
+
+func TestProfilesSumToOne(t *testing.T) {
+	for _, p := range Profiles() {
+		for _, procs := range []int{1, 2, 16} {
+			if procs == 1 && p.Name() == "one-hot" {
+				continue // severity moves work to the only proc; still uniform, but skip
+			}
+			if procs <= 4 && p.Name() == "block" {
+				continue // Profiles() uses a block of 4, invalid for small P
+			}
+			for _, sev := range []float64{0, 0.3, 1} {
+				shares, err := p.Shares(procs, sev)
+				if err != nil {
+					t.Fatalf("%s procs=%d sev=%g: %v", p.Name(), procs, sev, err)
+				}
+				if math.Abs(stats.Sum(shares)-1) > 1e-9 {
+					t.Errorf("%s procs=%d sev=%g: shares sum to %g", p.Name(), procs, sev, stats.Sum(shares))
+				}
+				for i, s := range shares {
+					if s < -1e-12 {
+						t.Errorf("%s: negative share %g at %d", p.Name(), s, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestProfilesZeroSeverityIsBalanced(t *testing.T) {
+	for _, p := range Profiles() {
+		if p.Name() == "random" {
+			continue // random at severity 0 is uniform too, but check anyway below
+		}
+		shares, err := p.Shares(8, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range shares {
+			if math.Abs(s-0.125) > 1e-12 {
+				t.Errorf("%s: share[%d] = %g at severity 0", p.Name(), i, s)
+			}
+		}
+	}
+	shares, err := RandomProfile{Seed: 42}.Shares(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range shares {
+		if math.Abs(s-0.125) > 1e-12 {
+			t.Errorf("random: share[%d] = %g at severity 0", i, s)
+		}
+	}
+}
+
+func TestProfileSeverityMonotone(t *testing.T) {
+	// Dispersion grows with severity for the deterministic profiles.
+	for _, p := range []Profile{OneHotProfile{}, LinearProfile{}, BlockProfile{High: 4}} {
+		prev := -1.0
+		for sev := 0.0; sev <= 1.0; sev += 0.1 {
+			d, err := ExpectedEuclidean(p, 16, sev)
+			if err != nil {
+				t.Fatalf("%s: %v", p.Name(), err)
+			}
+			if d < prev-1e-12 {
+				t.Errorf("%s: dispersion decreased at severity %g", p.Name(), sev)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	if _, err := (BalancedProfile{}).Shares(0, 0); err == nil {
+		t.Error("procs=0 should fail")
+	}
+	if _, err := (BalancedProfile{}).Shares(4, -0.1); err == nil {
+		t.Error("negative severity should fail")
+	}
+	if _, err := (BalancedProfile{}).Shares(4, 1.1); err == nil {
+		t.Error("severity > 1 should fail")
+	}
+	if _, err := (OneHotProfile{Proc: 9}).Shares(4, 0.5); err == nil {
+		t.Error("out-of-range one-hot proc should fail")
+	}
+	if _, err := (BlockProfile{High: 4}).Shares(4, 0.5); err == nil {
+		t.Error("block covering all procs should fail")
+	}
+}
+
+func TestLinearProfileSingleProc(t *testing.T) {
+	shares, err := LinearProfile{}.Shares(1, 1)
+	if err != nil || len(shares) != 1 || shares[0] != 1 {
+		t.Errorf("single-proc linear = %v, %v", shares, err)
+	}
+}
+
+func TestRandomProfileDeterministic(t *testing.T) {
+	a, err := RandomProfile{Seed: 5}.Shares(8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomProfile{Seed: 5}.Shares(8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed should give same shares")
+		}
+	}
+	c, err := RandomProfile{Seed: 6}.Shares(8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should give different shares")
+	}
+}
+
+func TestSynthesize(t *testing.T) {
+	spec := Uniform(3, 2, 4)
+	spec.Profile = OneHotProfile{}
+	spec.Severity = 0.5
+	cube, err := Synthesize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cube.NumRegions() != 3 || cube.NumActivities() != 2 || cube.NumProcs() != 4 {
+		t.Fatalf("dims = %d, %d, %d", cube.NumRegions(), cube.NumActivities(), cube.NumProcs())
+	}
+	// Every cell has mean time 1.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			got, err := cube.CellTime(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-1) > 1e-12 {
+				t.Errorf("cell (%d,%d) time = %g", i, j, got)
+			}
+		}
+	}
+}
+
+func TestSynthesizeAbsentCells(t *testing.T) {
+	spec := Uniform(2, 2, 4)
+	spec.CellTime = func(i, j int) float64 {
+		if i == 0 && j == 1 {
+			return 0 // absent
+		}
+		return 2
+	}
+	cube, err := Synthesize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	has, err := cube.HasActivity(0, 1)
+	if err != nil || has {
+		t.Errorf("absent cell: has=%v, %v", has, err)
+	}
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	spec := Uniform(1, 1, 4)
+	spec.CellTime = nil
+	if _, err := Synthesize(spec); err == nil || !strings.Contains(err.Error(), "CellTime") {
+		t.Errorf("nil CellTime err = %v", err)
+	}
+	bad := Uniform(1, 1, 0)
+	if _, err := Synthesize(bad); err == nil {
+		t.Error("zero procs should fail")
+	}
+	withPT := Uniform(1, 1, 2)
+	withPT.ProgramTime = 100
+	cube, err := Synthesize(withPT)
+	if err != nil || cube.ProgramTime() != 100 {
+		t.Errorf("program time = %g, %v", cube.ProgramTime(), err)
+	}
+}
+
+func TestExpectedEuclideanProperty(t *testing.T) {
+	// A synthesized cell's measured dispersion equals the profile's
+	// expected dispersion.
+	f := func(seed uint64, sevRaw float64) bool {
+		sev := math.Abs(math.Mod(sevRaw, 1))
+		p := RandomProfile{Seed: seed}
+		want, err := ExpectedEuclidean(p, 8, sev)
+		if err != nil {
+			return false
+		}
+		spec := Uniform(1, 1, 8)
+		spec.Profile = p
+		spec.Severity = sev
+		cube, err := Synthesize(spec)
+		if err != nil {
+			return false
+		}
+		times, err := cube.ProcTimes(0, 0)
+		if err != nil {
+			return false
+		}
+		got, err := stats.EuclideanFromBalance(times)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
