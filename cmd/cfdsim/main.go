@@ -7,6 +7,7 @@
 //	cfdsim -out run.limb                       # paper-like defaults
 //	cfdsim -procs 32 -imbalance 0.5 -out run.json
 //	cfdsim -events run.jsonl -out run.limb -summary
+//	cfdsim -serve 127.0.0.1:9190 -linger 1m    # live /metrics during the run
 package main
 
 import (
@@ -14,10 +15,15 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
+	"net/http"
 	"os"
+	"time"
 
 	"loadimb/internal/cfd"
 	"loadimb/internal/core"
+	"loadimb/internal/monitor"
+	"loadimb/internal/mpi"
 	"loadimb/internal/report"
 	"loadimb/internal/tracefmt"
 )
@@ -43,6 +49,9 @@ func run(args []string, stdout io.Writer) error {
 		imbalance = fs.Float64("imbalance", 0.2, "row-decomposition skew in [0, 1]")
 		warmup    = fs.Float64("warmup", 5.2, "uninstrumented startup seconds")
 		summary   = fs.Bool("summary", false, "print the analysis summary of the run")
+		serve     = fs.String("serve", "", "serve live /metrics on this address during the run")
+		window    = fs.Float64("window", 5, "temporal window width for -serve (virtual seconds)")
+		linger    = fs.Duration("linger", 0, "keep the -serve endpoints up this long after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,6 +64,24 @@ func run(args []string, stdout io.Writer) error {
 	cfg.Iterations = *iters
 	cfg.Imbalance = *imbalance
 	cfg.InitWarmup = *warmup
+
+	var srv *http.Server
+	if *serve != "" {
+		col := monitor.NewCollector(monitor.Options{
+			Window:     *window,
+			Regions:    cfd.LoopNames,
+			Activities: mpi.Activities(),
+		})
+		cfg.Sink = col
+		ln, err := net.Listen("tcp", *serve)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "serving live metrics on http://%s\n", ln.Addr())
+		srv = &http.Server{Handler: monitor.NewHandler(col)}
+		go srv.Serve(ln)
+		defer srv.Close()
+	}
 
 	res, err := cfd.Run(cfg)
 	if err != nil {
@@ -88,6 +115,10 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprint(stdout, report.Summary(analysis))
+	}
+	if srv != nil && *linger > 0 {
+		fmt.Fprintf(stdout, "lingering %s for final scrapes\n", *linger)
+		time.Sleep(*linger)
 	}
 	return nil
 }

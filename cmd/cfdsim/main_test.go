@@ -83,3 +83,21 @@ func TestRunBadOutputPath(t *testing.T) {
 		t.Error("unwritable output should fail")
 	}
 }
+
+func TestRunServe(t *testing.T) {
+	var sb strings.Builder
+	if err := run(fastArgs("-serve", "127.0.0.1:0", "-linger", "10ms"), &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "serving live metrics on http://127.0.0.1:") {
+		t.Errorf("missing serve announcement:\n%s", out)
+	}
+	if !strings.Contains(out, "lingering 10ms") {
+		t.Errorf("missing linger notice:\n%s", out)
+	}
+	var sb2 strings.Builder
+	if err := run(fastArgs("-serve", "256.0.0.1:99999"), &sb2); err == nil {
+		t.Error("unlistenable -serve address should fail")
+	}
+}

@@ -1,0 +1,263 @@
+// Command imbamon is the live imbalance monitoring daemon: it runs one of
+// the built-in simulated workloads with a streaming collector attached
+// and serves the paper's dispersion indices over HTTP while the workload
+// executes.
+//
+// Endpoints (see internal/monitor): /metrics (Prometheus text format),
+// /cube.json (live measurement cube), /lorenz.json, /timeline.json
+// (windowed temporal imbalance), /healthz, / (embedded dashboard) and
+// /debug/pprof/.
+//
+// Usage:
+//
+//	imbamon -addr :9190 -workload cfd -window 5
+//	imbamon -workload masterworker -procs 16 -tasks 200 -repeat 0   # loop forever
+//	curl -s localhost:9190/metrics | grep loadimb_sid_c
+//
+// With -repeat N the workload is run N times back to back (0 = until
+// interrupted), each run's events shifted onto a continuous virtual
+// timeline so the temporal windows keep advancing. The daemon serves
+// until SIGINT/SIGTERM; pass -exit to terminate -linger after the last
+// run completes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"loadimb/internal/apps"
+	"loadimb/internal/cfd"
+	"loadimb/internal/core"
+	"loadimb/internal/monitor"
+	"loadimb/internal/mpi"
+	"loadimb/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("imbamon: ")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	d, err := parseArgs(os.Args[1:])
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.run(ctx, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// daemon holds the parsed configuration and the handles tests observe.
+type daemon struct {
+	addr      string
+	workload  string
+	procs     int
+	tasks     int
+	iters     int
+	sweeps    int
+	phases    int
+	imbalance float64
+	window    float64
+	repeat    int
+	exit      bool
+	linger    time.Duration
+
+	col *monitor.Collector
+	// url is the served base URL, valid once started is closed.
+	url     string
+	started chan struct{}
+	// workloadDone is closed when the last workload run has finished
+	// (the server keeps serving afterwards).
+	workloadDone chan struct{}
+}
+
+func parseArgs(args []string) (*daemon, error) {
+	d := &daemon{started: make(chan struct{}), workloadDone: make(chan struct{})}
+	fs := flag.NewFlagSet("imbamon", flag.ContinueOnError)
+	fs.StringVar(&d.addr, "addr", ":9190", "HTTP listen address")
+	fs.StringVar(&d.workload, "workload", "cfd", "workload: cfd, masterworker, wavefront or amr")
+	fs.IntVar(&d.procs, "procs", 16, "simulated processors")
+	fs.IntVar(&d.tasks, "tasks", 120, "tasks (masterworker)")
+	fs.IntVar(&d.iters, "iters", 30, "solver iterations (cfd)")
+	fs.IntVar(&d.sweeps, "sweeps", 20, "sweep pairs (wavefront)")
+	fs.IntVar(&d.phases, "phases", 6, "refinement phases (amr)")
+	fs.Float64Var(&d.imbalance, "imbalance", 0.2, "decomposition skew in [0, 1] (cfd)")
+	fs.Float64Var(&d.window, "window", 5, "temporal window width in virtual seconds (0 = off)")
+	fs.IntVar(&d.repeat, "repeat", 1, "workload repetitions (0 = loop until interrupted)")
+	fs.BoolVar(&d.exit, "exit", false, "terminate after the last run instead of serving forever")
+	fs.DurationVar(&d.linger, "linger", 0, "with -exit, keep serving this long after the last run")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+	switch d.workload {
+	case "cfd", "masterworker", "wavefront", "amr":
+	default:
+		return nil, fmt.Errorf("unknown workload %q (want cfd, masterworker, wavefront or amr)", d.workload)
+	}
+	return d, nil
+}
+
+// regionOrder returns the preset cube region order of the workload, when
+// its names are known up front, so gauge label sets are stable from the
+// first scrape.
+func (d *daemon) regionOrder() []string {
+	switch d.workload {
+	case "cfd":
+		return cfd.LoopNames
+	case "amr":
+		out := make([]string, d.phases)
+		for i := range out {
+			out[i] = apps.AMRRegionName(i)
+		}
+		return out
+	}
+	return nil
+}
+
+// runOnce executes the configured workload once with the sink attached,
+// returning the run's virtual-time span.
+func (d *daemon) runOnce(sink trace.Sink) (float64, error) {
+	switch d.workload {
+	case "cfd":
+		cfg := cfd.Defaults()
+		cfg.Procs = d.procs
+		cfg.Iterations = d.iters
+		cfg.Imbalance = d.imbalance
+		cfg.Sink = sink
+		res, err := cfd.Run(cfg)
+		if err != nil {
+			return 0, err
+		}
+		return res.Log.Span(), nil
+	case "masterworker":
+		cfg := apps.DefaultMasterWorker()
+		cfg.Procs = d.procs
+		cfg.Tasks = d.tasks
+		cfg.Sink = sink
+		res, err := apps.MasterWorker(cfg)
+		if err != nil {
+			return 0, err
+		}
+		return res.Makespan, nil
+	case "wavefront":
+		cfg := apps.DefaultWavefront()
+		cfg.Procs = d.procs
+		cfg.Sweeps = d.sweeps
+		cfg.Sink = sink
+		res, err := apps.Wavefront(cfg)
+		if err != nil {
+			return 0, err
+		}
+		return res.Makespan, nil
+	case "amr":
+		cfg := apps.DefaultAMR()
+		cfg.Procs = d.procs
+		cfg.Phases = d.phases
+		cfg.Sink = sink
+		res, err := apps.AMR(cfg)
+		if err != nil {
+			return 0, err
+		}
+		return res.Makespan, nil
+	}
+	return 0, fmt.Errorf("unknown workload %q", d.workload)
+}
+
+// run serves the monitoring endpoints while executing the workload
+// schedule, then keeps serving until ctx is canceled (or, with -exit,
+// shuts down -linger after the last run).
+func (d *daemon) run(ctx context.Context, stdout io.Writer) error {
+	d.col = monitor.NewCollector(monitor.Options{
+		Window:     d.window,
+		Regions:    d.regionOrder(),
+		Activities: mpi.Activities(),
+	})
+	ln, err := net.Listen("tcp", d.addr)
+	if err != nil {
+		return err
+	}
+	d.url = "http://" + ln.Addr().String()
+	fmt.Fprintf(stdout, "imbamon: serving on %s (workload %s, P=%d)\n", d.url, d.workload, d.procs)
+	close(d.started)
+	srv := &http.Server{Handler: monitor.NewHandler(d.col)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	defer srv.Close()
+
+	offset := 0.0
+	var runErr error
+	for r := 0; d.repeat <= 0 || r < d.repeat; r++ {
+		if ctx.Err() != nil {
+			break
+		}
+		span, err := d.runOnce(trace.ShiftSink(d.col, offset))
+		if err != nil {
+			runErr = fmt.Errorf("workload run %d: %w", r+1, err)
+			break
+		}
+		offset += span
+	}
+	snap := d.col.Snapshot()
+	d.printSummary(stdout, snap)
+	close(d.workloadDone)
+	if runErr != nil {
+		return runErr
+	}
+
+	if d.exit {
+		select {
+		case <-time.After(d.linger):
+		case <-ctx.Done():
+		}
+	} else {
+		<-ctx.Done()
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// printSummary reports the final state of the collector: totals and the
+// most imbalanced-and-significant region, the methodology's headline.
+func (d *daemon) printSummary(stdout io.Writer, snap *monitor.Snapshot) {
+	if snap.Cube == nil {
+		fmt.Fprintln(stdout, "imbamon: no events collected")
+		return
+	}
+	fmt.Fprintf(stdout, "imbamon: %d events, T=%.3f s over %d windows\n",
+		snap.Events, snap.Cube.ProgramTime(), len(snap.Windows))
+	regs, err := core.CodeRegionView(snap.Cube, core.Options{})
+	if err != nil {
+		fmt.Fprintf(stdout, "imbamon: region view: %v\n", err)
+		return
+	}
+	best := -1
+	for i, r := range regs {
+		if r.Defined && (best == -1 || r.SID > regs[best].SID) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		fmt.Fprintf(stdout, "imbamon: most imbalanced region %q (SID_C=%.5f, ID_C=%.5f)\n",
+			regs[best].Name, regs[best].SID, regs[best].ID)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"loadimb/internal/mpi"
+	"loadimb/internal/trace"
 )
 
 // AMRConfig parameterizes the adaptive-mesh-refinement-style application:
@@ -29,6 +30,9 @@ type AMRConfig struct {
 	FaceBytes int
 	// Cost is the communication cost model; zero selects the default.
 	Cost mpi.CostModel
+	// Sink, when non-nil, receives every instrumented event live while
+	// the run executes; it must be concurrency-safe.
+	Sink trace.Sink
 }
 
 // DefaultAMR returns a 16-rank run with 6 phases and a 3-rank feature
@@ -91,6 +95,9 @@ func AMR(cfg AMRConfig) (*Result, error) {
 	world, err := mpi.NewWorld(cfg.Procs, cfg.Cost)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Sink != nil {
+		world.SetSink(cfg.Sink)
 	}
 	regions := make([]string, cfg.Phases)
 	for i := range regions {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"loadimb/internal/mpi"
+	"loadimb/internal/trace"
 )
 
 // Master-worker region names.
@@ -80,6 +81,9 @@ type MasterWorkerConfig struct {
 	Seed uint64
 	// Cost is the communication cost model; zero selects the default.
 	Cost mpi.CostModel
+	// Sink, when non-nil, receives every instrumented event live while
+	// the run executes; it must be concurrency-safe.
+	Sink trace.Sink
 }
 
 // DefaultMasterWorker returns a 16-rank farm with 120 heterogeneous
@@ -161,6 +165,9 @@ func MasterWorker(cfg MasterWorkerConfig) (*Result, error) {
 	world, err := mpi.NewWorld(cfg.Procs, cfg.Cost)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Sink != nil {
+		world.SetSink(cfg.Sink)
 	}
 	costs := cfg.costs()
 	workers := cfg.Procs - 1

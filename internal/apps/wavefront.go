@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"loadimb/internal/mpi"
+	"loadimb/internal/trace"
 )
 
 // Wavefront region names.
@@ -27,6 +28,9 @@ type WavefrontConfig struct {
 	FaceBytes int
 	// Cost is the communication cost model; zero selects the default.
 	Cost mpi.CostModel
+	// Sink, when non-nil, receives every instrumented event live while
+	// the run executes; it must be concurrency-safe.
+	Sink trace.Sink
 }
 
 // DefaultWavefront returns a 16-rank pipeline with 20 sweep pairs.
@@ -63,6 +67,9 @@ func Wavefront(cfg WavefrontConfig) (*Result, error) {
 	world, err := mpi.NewWorld(cfg.Procs, cfg.Cost)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Sink != nil {
+		world.SetSink(cfg.Sink)
 	}
 	var checksum float64
 	runErr := world.Run(func(c *mpi.Comm) error {

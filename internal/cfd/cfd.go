@@ -115,6 +115,9 @@ type Config struct {
 	// measured loops, reproducing the gap between the program wall clock
 	// time and the instrumented total.
 	InitWarmup float64
+	// Sink, when non-nil, receives every instrumented event live while
+	// the run executes (see trace.Sink); it must be concurrency-safe.
+	Sink trace.Sink
 }
 
 // Defaults returns the configuration of the reproduction run: 16
@@ -185,6 +188,9 @@ func Run(cfg Config) (*Result, error) {
 	world, err := mpi.NewWorld(cfg.Procs, cfg.Cost)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Sink != nil {
+		world.SetSink(cfg.Sink)
 	}
 	rows, err := rowDecomposition(cfg.GridY, cfg.Procs, cfg.Imbalance)
 	if err != nil {

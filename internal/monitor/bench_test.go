@@ -1,0 +1,86 @@
+package monitor
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"loadimb/internal/trace"
+)
+
+// BenchmarkCollectorRecord measures the instrumentation hot path: one
+// Record call on an otherwise idle collector. The observability budget is
+// < 1 us/event (see EXPERIMENTS.md "Monitoring overhead"). This is the
+// worst case — nothing ever drains the shard, so the cost is dominated by
+// amortized buffer growth; with periodic snapshots draining the buffers
+// (the deployment shape, BenchmarkCollectorRecordWindowed) the per-event
+// cost is several times lower.
+func BenchmarkCollectorRecord(b *testing.B) {
+	c := NewCollector(Options{Shards: 16})
+	e := trace.Event{Rank: 3, Region: "loop 1", Activity: "computation", Start: 1, End: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Record(e)
+	}
+	if c.Events() != uint64(b.N) {
+		b.Fatal("lost events")
+	}
+}
+
+// BenchmarkCollectorRecordParallel measures Record under contention from
+// many rank goroutines, the deployment shape of the daemon.
+func BenchmarkCollectorRecordParallel(b *testing.B) {
+	c := NewCollector(Options{Shards: 16})
+	var rank atomic.Int64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		r := int(rank.Add(1)) % 64
+		e := trace.Event{Rank: r, Region: "loop 1", Activity: "computation", Start: 1, End: 2}
+		for pb.Next() {
+			c.Record(e)
+		}
+	})
+}
+
+// BenchmarkCollectorRecordWindowed includes the windowing fold cost paid
+// at snapshot time, amortized per recorded event.
+func BenchmarkCollectorRecordWindowed(b *testing.B) {
+	c := NewCollector(Options{Shards: 16, Window: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := float64(i%100) / 10
+		c.Record(trace.Event{Rank: i % 16, Region: "loop 1", Activity: "computation", Start: s, End: s + 0.05})
+		if i%1024 == 1023 {
+			c.Snapshot()
+		}
+	}
+}
+
+// BenchmarkSnapshot measures a full fold + publish on a paper-shaped cube
+// (7 regions x 4 activities x 16 processors) with a fresh batch of
+// events per iteration.
+func BenchmarkSnapshot(b *testing.B) {
+	regions := make([]string, 7)
+	for i := range regions {
+		regions[i] = "loop " + string(rune('1'+i))
+	}
+	activities := []string{"computation", "point-to-point", "collective", "synchronization"}
+	c := NewCollector(Options{Regions: regions, Activities: activities})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for k := 0; k < 128; k++ {
+			c.Record(trace.Event{
+				Rank:     k % 16,
+				Region:   regions[k%len(regions)],
+				Activity: activities[k%len(activities)],
+				Start:    float64(k),
+				End:      float64(k) + 0.25,
+			})
+		}
+		b.StartTimer()
+		c.Snapshot()
+	}
+}

@@ -1,0 +1,232 @@
+package monitor
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"loadimb/internal/apps"
+	"loadimb/internal/trace"
+)
+
+// syntheticEvents is a small trace with repeated cells, an idle rank in
+// one region, and a straggler event defining the span.
+func syntheticEvents() []trace.Event {
+	return []trace.Event{
+		{Rank: 0, Region: "r1", Activity: "comp", Start: 0, End: 1},
+		{Rank: 1, Region: "r1", Activity: "comp", Start: 0, End: 2.5},
+		{Rank: 0, Region: "r1", Activity: "comm", Start: 1, End: 1.25},
+		{Rank: 0, Region: "r2", Activity: "comp", Start: 1.25, End: 2},
+		{Rank: 1, Region: "r2", Activity: "comm", Start: 2.5, End: 4},
+		{Rank: 0, Region: "r1", Activity: "comp", Start: 2, End: 2.75}, // second visit folds in
+		{Rank: 2, Region: "r2", Activity: "comp", Start: 0, End: 9},   // straggler sets the span
+	}
+}
+
+func aggregated(t *testing.T, events []trace.Event, regions, activities []string) *trace.Cube {
+	t.Helper()
+	var log trace.Log
+	for _, e := range events {
+		if err := log.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cube, err := log.Aggregate(regions, activities)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cube
+}
+
+func TestCollectorFoldsEventsLikeAggregate(t *testing.T) {
+	regions := []string{"r1", "r2"}
+	activities := []string{"comp", "comm"}
+	c := NewCollector(Options{Regions: regions, Activities: activities})
+	for _, e := range syntheticEvents() {
+		c.Record(e)
+	}
+	snap := c.Snapshot()
+	if snap.Cube == nil {
+		t.Fatal("snapshot cube is nil after recording events")
+	}
+	want := aggregated(t, syntheticEvents(), regions, activities)
+	if !snap.Cube.EqualWithin(want, 1e-12) {
+		t.Fatalf("live cube differs from offline aggregate\nlive T=%g offline T=%g",
+			snap.Cube.ProgramTime(), want.ProgramTime())
+	}
+	if snap.Events != uint64(len(syntheticEvents())) {
+		t.Errorf("Events = %d, want %d", snap.Events, len(syntheticEvents()))
+	}
+	if snap.Span != 9 {
+		t.Errorf("Span = %g, want 9", snap.Span)
+	}
+	// Cell duration stats: r1/comp saw three events of 1, 2.5, 0.75.
+	acc := snap.CellStats[0][0]
+	if acc.N() != 3 || math.Abs(acc.Sum()-4.25) > 1e-12 {
+		t.Errorf("r1/comp stats N=%d sum=%g, want 3 events summing 4.25", acc.N(), acc.Sum())
+	}
+}
+
+func TestCollectorIncrementalSnapshots(t *testing.T) {
+	c := NewCollector(Options{})
+	events := syntheticEvents()
+	for _, e := range events[:3] {
+		c.Record(e)
+	}
+	first := c.Snapshot()
+	if first.Cube == nil || first.Events != 3 {
+		t.Fatalf("first snapshot: cube=%v events=%d", first.Cube, first.Events)
+	}
+	for _, e := range events[3:] {
+		c.Record(e)
+	}
+	// Latest still serves the old snapshot until the next fold.
+	if got := c.Latest(); got != first {
+		t.Fatal("Latest changed without a Snapshot call")
+	}
+	second := c.Snapshot()
+	if second.Events != uint64(len(events)) {
+		t.Fatalf("second snapshot events = %d, want %d", second.Events, len(events))
+	}
+	// The first snapshot must be unaffected by later folding.
+	if first.Cube.NumRegions() != 1 || first.Events != 3 {
+		t.Error("earlier snapshot mutated by later events")
+	}
+	want := aggregated(t, events, nil, nil)
+	if second.Cube.RegionsTotal() != want.RegionsTotal() {
+		t.Errorf("incremental total %g, want %g", second.Cube.RegionsTotal(), want.RegionsTotal())
+	}
+}
+
+func TestCollectorDropsMalformed(t *testing.T) {
+	c := NewCollector(Options{})
+	bad := []trace.Event{
+		{Rank: -1, Region: "r", Activity: "a", Start: 0, End: 1},
+		{Rank: 0, Region: "", Activity: "a", Start: 0, End: 1},
+		{Rank: 0, Region: "r", Activity: "", Start: 0, End: 1},
+		{Rank: 0, Region: "r", Activity: "a", Start: 2, End: 1},
+	}
+	for _, e := range bad {
+		c.Record(e)
+	}
+	snap := c.Snapshot()
+	if snap.Cube != nil {
+		t.Error("malformed events produced a cube")
+	}
+	if snap.Dropped != uint64(len(bad)) || snap.Events != 0 {
+		t.Errorf("dropped=%d events=%d, want %d and 0", snap.Dropped, snap.Events, len(bad))
+	}
+}
+
+func TestCollectorWindowing(t *testing.T) {
+	c := NewCollector(Options{Window: 1})
+	// Rank 0 busy the whole [0, 3); rank 1 only in [0, 1) and the tail
+	// of window 2 — imbalance grows over time.
+	c.Record(trace.Event{Rank: 0, Region: "r", Activity: "a", Start: 0, End: 3})
+	c.Record(trace.Event{Rank: 1, Region: "r", Activity: "a", Start: 0, End: 1})
+	c.Record(trace.Event{Rank: 1, Region: "r", Activity: "a", Start: 2.75, End: 3})
+	snap := c.Snapshot()
+	if len(snap.Windows) != 3 {
+		t.Fatalf("got %d windows, want 3", len(snap.Windows))
+	}
+	w0, w1, w2 := snap.Windows[0], snap.Windows[1], snap.Windows[2]
+	if w0.Busy != 2 || w1.Busy != 1 || math.Abs(w2.Busy-1.25) > 1e-12 {
+		t.Errorf("busy = %g, %g, %g; want 2, 1, 1.25", w0.Busy, w1.Busy, w2.Busy)
+	}
+	// Window 0 is perfectly balanced; window 1 maximally imbalanced.
+	if w0.ID != 0 || w0.Gini != 0 {
+		t.Errorf("window 0 should be balanced: ID=%g gini=%g", w0.ID, w0.Gini)
+	}
+	if w1.ID <= w2.ID || w1.Gini <= w2.Gini {
+		t.Errorf("window 1 (one idle rank) should be more imbalanced than window 2: ID %g vs %g", w1.ID, w2.ID)
+	}
+	if w0.Start != 0 || w0.End != 1 || w2.Index != 2 {
+		t.Errorf("window bounds wrong: %+v", snap.Windows)
+	}
+}
+
+// TestCollectorLiveWorkload attaches a collector to a real simulated
+// application and checks the live cube equals the post-mortem one.
+func TestCollectorLiveWorkload(t *testing.T) {
+	cfg := apps.DefaultWavefront()
+	cfg.Procs = 6
+	cfg.Sweeps = 4
+	offline, err := apps.Wavefront(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCollector(Options{
+		Window:     offline.Makespan / 8,
+		Regions:    offline.Cube.Regions(),
+		Activities: offline.Cube.Activities(),
+	})
+	cfg.Sink = c
+	live, err := apps.Wavefront(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Snapshot()
+	if snap.Cube == nil {
+		t.Fatal("no live cube")
+	}
+	if !snap.Cube.EqualWithin(live.Cube, 1e-9) {
+		t.Error("live cube differs from the run's own aggregate")
+	}
+	if !snap.Cube.EqualWithin(offline.Cube, 1e-9) {
+		t.Error("live cube differs across identical deterministic runs")
+	}
+	if int(snap.Events) != live.Log.Len() {
+		t.Errorf("collector saw %d events, log holds %d", snap.Events, live.Log.Len())
+	}
+	if len(snap.Windows) == 0 {
+		t.Error("windowing enabled but no windows recorded")
+	}
+}
+
+func TestConcurrentRecordSnapshot(t *testing.T) {
+	const (
+		writers        = 8
+		eventsPerRank  = 2000
+		snapshotRounds = 50
+	)
+	c := NewCollector(Options{Shards: 4, Window: 10})
+	var wg sync.WaitGroup
+	for rank := 0; rank < writers; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < eventsPerRank; i++ {
+				start := float64(i)
+				c.Record(trace.Event{
+					Rank:     rank,
+					Region:   "r",
+					Activity: "a",
+					Start:    start,
+					End:      start + 0.5,
+				})
+			}
+		}(rank)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < snapshotRounds; i++ {
+			snap := c.Snapshot()
+			if snap != nil && snap.Cube != nil && snap.Cube.RegionsTotal() < 0 {
+				t.Error("negative total in concurrent snapshot")
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	snap := c.Snapshot()
+	wantEvents := uint64(writers * eventsPerRank)
+	if snap.Events != wantEvents {
+		t.Fatalf("events = %d, want %d", snap.Events, wantEvents)
+	}
+	wantTotal := float64(writers*eventsPerRank) * 0.5
+	got := snap.Cube.RegionsTotal() * float64(snap.Cube.NumProcs())
+	if math.Abs(got-wantTotal) > 1e-6 {
+		t.Fatalf("total processor-seconds = %g, want %g", got, wantTotal)
+	}
+}

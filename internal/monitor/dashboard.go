@@ -1,0 +1,99 @@
+package monitor
+
+// dashboardHTML is the embedded live dashboard served at "/": a single
+// self-contained page (no external assets, so it works on an air-gapped
+// cluster) that polls the JSON endpoints and renders the headline
+// indices, the per-region SID_C bars and the windowed imbalance
+// trajectory as text sparklines.
+const dashboardHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>loadimb live monitor</title>
+<style>
+  body { font-family: ui-monospace, SFMono-Regular, Menlo, monospace;
+         margin: 2rem; background: #101418; color: #d8dee4; }
+  h1 { font-size: 1.1rem; } h2 { font-size: 0.95rem; margin-top: 1.5rem; }
+  table { border-collapse: collapse; }
+  td, th { padding: 0.15rem 0.9rem 0.15rem 0; text-align: left;
+           font-variant-numeric: tabular-nums; }
+  .bar { color: #d9a05b; } .dim { color: #7a8490; }
+  #err { color: #e06c75; }
+  a { color: #7aa2f7; }
+</style>
+</head>
+<body>
+<h1>loadimb live monitor</h1>
+<p class="dim">
+  <span id="summary">waiting for data…</span><span id="err"></span><br>
+  raw: <a href="/metrics">/metrics</a> · <a href="/cube.json">/cube.json</a> ·
+  <a href="/lorenz.json">/lorenz.json</a> · <a href="/timeline.json">/timeline.json</a> ·
+  <a href="/debug/pprof/">pprof</a>
+</p>
+<h2>code regions (SID_C = share × ID_C)</h2>
+<table id="regions"><tbody></tbody></table>
+<h2>activities (SID_A)</h2>
+<table id="activities"><tbody></tbody></table>
+<h2>imbalance over time (window ID)</h2>
+<pre id="timeline" class="bar"></pre>
+<script>
+const BLOCKS = "▁▂▃▄▅▆▇█";
+function bar(frac, width) {
+  const n = Math.max(0, Math.min(width, Math.round(frac * width)));
+  return "█".repeat(n) + "░".repeat(width - n);
+}
+function parseMetrics(text) {
+  const out = [];
+  for (const line of text.split("\n")) {
+    if (!line || line.startsWith("#")) continue;
+    const m = line.match(/^(\w+)(?:\{(.*)\})? (.+)$/);
+    if (!m) continue;
+    const labels = {};
+    if (m[2]) for (const kv of m[2].match(/\w+="(?:[^"\\]|\\.)*"/g) || []) {
+      const eq = kv.indexOf("=");
+      labels[kv.slice(0, eq)] = kv.slice(eq + 2, -1);
+    }
+    out.push({ name: m[1], labels: labels, value: parseFloat(m[3]) });
+  }
+  return out;
+}
+function fill(tableId, rows, key) {
+  const body = document.querySelector(tableId + " tbody");
+  const max = Math.max(...rows.map(r => r.value), 1e-12);
+  body.innerHTML = rows.map(r =>
+    "<tr><td>" + r.labels[key] + "</td><td>" + r.value.toFixed(5) +
+    '</td><td class="bar">' + bar(r.value / max, 30) + "</td></tr>").join("");
+}
+async function tick() {
+  try {
+    const [mres, tres] = await Promise.all([fetch("/metrics"), fetch("/timeline.json")]);
+    const metrics = parseMetrics(await mres.text());
+    const pick = n => metrics.filter(s => s.name === n);
+    const one = n => { const s = pick(n)[0]; return s ? s.value : NaN; };
+    document.getElementById("summary").textContent =
+      "P=" + one("loadimb_procs") +
+      "  T=" + one("loadimb_program_time_seconds").toFixed(2) + "s" +
+      "  events=" + one("loadimb_events_total") +
+      "  gini=" + one("loadimb_gini").toFixed(4);
+    fill("#regions", pick("loadimb_sid_c"), "region");
+    fill("#activities", pick("loadimb_sid_a"), "activity");
+    const tl = await tres.json();
+    const ws = tl.windows || [];
+    if (ws.length) {
+      const max = Math.max(...ws.map(w => w.id), 1e-12);
+      document.getElementById("timeline").textContent =
+        ws.map(w => BLOCKS[Math.min(7, Math.floor(w.id / max * 7.999))]).join("") +
+        "\nwindows " + ws[0].index + "…" + ws[ws.length - 1].index +
+        " (width " + tl.window + "s), peak ID " + max.toFixed(4);
+    }
+    document.getElementById("err").textContent = "";
+  } catch (e) {
+    document.getElementById("err").textContent = "  (" + e + ")";
+  }
+}
+tick();
+setInterval(tick, 2000);
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,105 @@
+package monitor
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"loadimb/internal/trace"
+)
+
+// FuzzRecordSnapshot drives the collector with a fuzzer-chosen event
+// stream, recorded from two goroutines while a third interleaves
+// snapshots. Run under -race it guards the lock-free snapshot path: the
+// invariant is that after a final quiescent Snapshot the cube accounts
+// for every valid event exactly once, whatever the interleaving.
+func FuzzRecordSnapshot(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add([]byte{255, 0, 255, 0, 128, 7})
+	f.Add([]byte("snapshots interleaved with records"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decode the fuzz input into events: 3 bytes each -> rank,
+		// cell, duration. A zero duration byte doubles as a snapshot
+		// point marker.
+		type step struct {
+			e    trace.Event
+			snap bool
+		}
+		var steps []step
+		var wantTotal float64
+		var wantEvents uint64
+		regions := []string{"ra", "rb", "rc"}
+		activities := []string{"x", "y"}
+		for i := 0; i+2 < len(data); i += 3 {
+			rank := int(data[i] % 16)
+			cell := int(data[i+1])
+			d := float64(data[i+2]) / 16
+			s := step{
+				e: trace.Event{
+					Rank:     rank,
+					Region:   regions[cell%len(regions)],
+					Activity: activities[(cell/3)%len(activities)],
+					Start:    float64(i),
+					End:      float64(i) + d,
+				},
+				snap: data[i+2] == 0,
+			}
+			steps = append(steps, s)
+			wantTotal += d
+			wantEvents++
+		}
+		c := NewCollector(Options{Shards: 4, Window: 8})
+		var wg sync.WaitGroup
+		half := len(steps) / 2
+		for _, part := range [][]step{steps[:half], steps[half:]} {
+			wg.Add(1)
+			go func(part []step) {
+				defer wg.Done()
+				for _, s := range part {
+					c.Record(s.e)
+				}
+			}(part)
+		}
+		snapDone := make(chan struct{})
+		go func() {
+			defer close(snapDone)
+			for _, s := range steps {
+				if s.snap {
+					snap := c.Snapshot()
+					if snap.Dropped != 0 {
+						t.Error("valid events were dropped")
+					}
+				}
+			}
+		}()
+		wg.Wait()
+		<-snapDone
+		snap := c.Snapshot()
+		if snap.Events != wantEvents {
+			t.Fatalf("events = %d, want %d", snap.Events, wantEvents)
+		}
+		if wantEvents == 0 {
+			if snap.Cube != nil {
+				t.Fatal("cube from zero events")
+			}
+			return
+		}
+		got := snap.Cube.RegionsTotal() * float64(snap.Cube.NumProcs())
+		if math.Abs(got-wantTotal) > 1e-6*(1+wantTotal) {
+			t.Fatalf("processor-seconds = %g, want %g", got, wantTotal)
+		}
+		// Re-snapshotting without new events must be a fixed point.
+		again := c.Snapshot()
+		if !again.Cube.EqualWithin(snap.Cube, 0) {
+			t.Fatal("idempotent snapshot changed the cube")
+		}
+		// Windowed busy time partitions the instrumented total.
+		var windowed float64
+		for _, w := range again.Windows {
+			windowed += w.Busy
+		}
+		if math.Abs(windowed-wantTotal) > 1e-6*(1+wantTotal) {
+			t.Fatalf("windowed busy %g does not partition total %g", windowed, wantTotal)
+		}
+	})
+}

@@ -1,0 +1,253 @@
+// Package monitor turns the repository's post-mortem analysis pipeline
+// into a live observability stack. A Collector is a concurrency-safe
+// trace.Sink that instrumented programs (internal/mpi worlds, the
+// internal/cfd solver, the internal/apps applications) stream their
+// events into while they run; it folds them incrementally into a live
+// measurement cube and publishes immutable snapshots that HTTP handlers
+// (see NewHandler) expose as Prometheus gauges, raw cube JSON, Lorenz
+// curve points and a windowed imbalance timeline.
+//
+// The design separates the hot path from the analysis path:
+//
+//   - Record appends the event to a sharded buffer under a per-shard
+//     mutex — a few dozen nanoseconds, far below the sub-microsecond
+//     budget of instrumentation (see BenchmarkCollectorRecord).
+//   - Snapshot drains the shards, folds the drained events into the
+//     running totals (per-cell wall clock sums, Welford event-duration
+//     accumulators from internal/stats, per-window processor loads) and
+//     publishes an immutable *Snapshot through an atomic pointer.
+//   - Latest returns the most recently published snapshot without taking
+//     any lock, so readers never block writers and vice versa.
+package monitor
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"loadimb/internal/stats"
+	"loadimb/internal/trace"
+)
+
+// Options configures a Collector. The zero value is usable: 8 shards, no
+// preset dimension order, no temporal windows.
+type Options struct {
+	// Shards is the number of event buffers Record spreads load across;
+	// it is rounded up to a power of two. 0 means 8.
+	Shards int
+	// Window is the width, in virtual seconds, of the temporal windows
+	// the collector tracks per-processor load in (the imbalance
+	// trajectory served at /timeline.json). 0 disables windowing.
+	Window float64
+	// Regions and Activities preset the cube dimension orders, so gauge
+	// label sets stay stable from the first scrape and match an offline
+	// aggregation using the same orders. Names not listed are appended
+	// in order of first appearance.
+	Regions, Activities []string
+}
+
+// Collector is a live, concurrency-safe event collector implementing
+// trace.Sink. Create one with NewCollector.
+type Collector struct {
+	window  float64
+	mask    uint64
+	shards  []shard
+	events  atomic.Uint64
+	dropped atomic.Uint64
+
+	// foldMu serializes snapshotters; it is never held while a shard
+	// mutex is held longer than a buffer swap.
+	foldMu sync.Mutex
+	state  foldState
+
+	snap atomic.Pointer[Snapshot]
+}
+
+// shard is one Record buffer. The padding keeps shards on distinct cache
+// lines so ranks hashing to different shards do not false-share.
+type shard struct {
+	mu  sync.Mutex
+	buf []trace.Event
+	_   [24]byte
+}
+
+// NewCollector creates a collector with the given options.
+func NewCollector(opts Options) *Collector {
+	n := opts.Shards
+	if n <= 0 {
+		n = 8
+	}
+	pow := 1
+	for pow < n {
+		pow *= 2
+	}
+	c := &Collector{
+		window: opts.Window,
+		mask:   uint64(pow - 1),
+		shards: make([]shard, pow),
+	}
+	c.state.init(opts.Regions, opts.Activities)
+	return c
+}
+
+// Record folds one event into the collector. It is safe for concurrent
+// use and sits on the instrumented program's critical path, so it only
+// appends to a sharded buffer; the aggregation happens at Snapshot.
+// Malformed events (negative rank, empty names, end before start) are
+// dropped and counted instead of corrupting the cube.
+func (c *Collector) Record(e trace.Event) {
+	if e.Rank < 0 || e.Region == "" || e.Activity == "" || e.End < e.Start {
+		c.dropped.Add(1)
+		return
+	}
+	s := &c.shards[uint64(e.Rank)&c.mask]
+	s.mu.Lock()
+	s.buf = append(s.buf, e)
+	s.mu.Unlock()
+	c.events.Add(1)
+}
+
+// Events returns the number of events recorded so far (including ones
+// not yet folded into a snapshot).
+func (c *Collector) Events() uint64 { return c.events.Load() }
+
+// Dropped returns the number of malformed events rejected so far.
+func (c *Collector) Dropped() uint64 { return c.dropped.Load() }
+
+// Snapshot drains the buffered events, folds them into the running
+// aggregation and publishes the resulting immutable snapshot, which it
+// also returns. Concurrent Record calls are only blocked for the length
+// of one buffer swap; concurrent Snapshot calls serialize.
+func (c *Collector) Snapshot() *Snapshot {
+	c.foldMu.Lock()
+	defer c.foldMu.Unlock()
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		buf := s.buf
+		s.buf = nil
+		s.mu.Unlock()
+		for _, e := range buf {
+			c.state.fold(e, c.window)
+		}
+	}
+	snap := c.state.build(c.window, c.events.Load(), c.dropped.Load())
+	c.snap.Store(snap)
+	return snap
+}
+
+// Latest returns the most recently published snapshot without draining
+// the buffers or taking any lock; it returns nil before the first
+// Snapshot call.
+func (c *Collector) Latest() *Snapshot { return c.snap.Load() }
+
+// foldState is the running aggregation the snapshots are built from. It
+// is only touched under Collector.foldMu.
+type foldState struct {
+	regions    []string
+	activities []string
+	rIdx, aIdx map[string]int
+	procs      int
+	span       float64
+	// totals[i][j] holds the per-rank accumulated wall clock time of
+	// cell (i, j); rank slices grow on demand.
+	totals [][][]float64
+	// durs[i][j] is the streaming event-duration accumulator of the
+	// cell.
+	durs [][]stats.Accumulator
+	// windows maps window index -> per-rank busy time within it.
+	windows map[int]*windowAcc
+}
+
+type windowAcc struct {
+	procSeconds []float64
+	events      int
+}
+
+func (s *foldState) init(regions, activities []string) {
+	s.rIdx = make(map[string]int)
+	s.aIdx = make(map[string]int)
+	s.windows = make(map[int]*windowAcc)
+	for _, r := range regions {
+		s.regionIndex(r)
+	}
+	for _, a := range activities {
+		s.activityIndex(a)
+	}
+}
+
+func (s *foldState) regionIndex(name string) int {
+	if i, ok := s.rIdx[name]; ok {
+		return i
+	}
+	i := len(s.regions)
+	s.rIdx[name] = i
+	s.regions = append(s.regions, name)
+	row := make([][]float64, len(s.activities))
+	s.totals = append(s.totals, row)
+	s.durs = append(s.durs, make([]stats.Accumulator, len(s.activities)))
+	return i
+}
+
+func (s *foldState) activityIndex(name string) int {
+	if j, ok := s.aIdx[name]; ok {
+		return j
+	}
+	j := len(s.activities)
+	s.aIdx[name] = j
+	s.activities = append(s.activities, name)
+	for i := range s.totals {
+		s.totals[i] = append(s.totals[i], nil)
+		s.durs[i] = append(s.durs[i], stats.Accumulator{})
+	}
+	return j
+}
+
+// fold accumulates one event into the running totals.
+func (s *foldState) fold(e trace.Event, window float64) {
+	i := s.regionIndex(e.Region)
+	j := s.activityIndex(e.Activity)
+	if e.Rank >= s.procs {
+		s.procs = e.Rank + 1
+	}
+	if e.End > s.span {
+		s.span = e.End
+	}
+	for len(s.totals[i][j]) <= e.Rank {
+		s.totals[i][j] = append(s.totals[i][j], 0)
+	}
+	d := e.End - e.Start
+	s.totals[i][j][e.Rank] += d
+	s.durs[i][j].Add(d)
+	if window <= 0 || d < 0 {
+		return
+	}
+	// Clip the event onto each temporal window it overlaps, exactly as
+	// Log.Window does offline.
+	first := int(e.Start / window)
+	last := int(e.End / window)
+	if e.End == float64(last)*window && last > first {
+		last-- // end exactly on a boundary belongs to the previous window
+	}
+	for w := first; w <= last; w++ {
+		lo, hi := float64(w)*window, float64(w+1)*window
+		if e.Start > lo {
+			lo = e.Start
+		}
+		if e.End < hi {
+			hi = e.End
+		}
+		if hi <= lo {
+			continue
+		}
+		acc, ok := s.windows[w]
+		if !ok {
+			acc = &windowAcc{}
+			s.windows[w] = acc
+		}
+		for len(acc.procSeconds) <= e.Rank {
+			acc.procSeconds = append(acc.procSeconds, 0)
+		}
+		acc.procSeconds[e.Rank] += hi - lo
+		acc.events++
+	}
+}

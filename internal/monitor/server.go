@@ -1,0 +1,117 @@
+package monitor
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+
+	"loadimb/internal/majorize"
+	"loadimb/internal/tracefmt"
+)
+
+// NewHandler returns the monitoring endpoint set for a collector:
+//
+//	/metrics        Prometheus text exposition of every paper index
+//	/cube.json      the live measurement cube (tracefmt JSON)
+//	/lorenz.json    Lorenz curve of the per-processor total times
+//	/timeline.json  windowed imbalance trajectory (temporal analysis)
+//	/healthz        liveness probe (always 200)
+//	/               embedded live dashboard
+//	/debug/pprof/   Go runtime profiles of the monitored process
+//
+// Every data endpoint folds the freshest events before answering, so a
+// scrape always reflects the run up to the moment of the request.
+func NewHandler(c *Collector) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := c.Snapshot()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WriteMetrics(w, snap); err != nil {
+			// Headers are already sent; the scraper will see a
+			// truncated body and retry.
+			return
+		}
+	})
+	mux.HandleFunc("/cube.json", func(w http.ResponseWriter, r *http.Request) {
+		snap := c.Snapshot()
+		if snap.Cube == nil {
+			http.Error(w, "no events collected yet", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = tracefmt.WriteCubeJSON(w, snap.Cube)
+	})
+	mux.HandleFunc("/lorenz.json", func(w http.ResponseWriter, r *http.Request) {
+		snap := c.Snapshot()
+		totals := snap.ProcTotals()
+		if totals == nil {
+			http.Error(w, "no events collected yet", http.StatusServiceUnavailable)
+			return
+		}
+		points, err := majorize.Lorenz(totals)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, lorenzPayload{
+			Procs:  len(totals),
+			Points: points,
+			Gini:   giniOf(totals),
+		})
+	})
+	mux.HandleFunc("/timeline.json", func(w http.ResponseWriter, r *http.Request) {
+		snap := c.Snapshot()
+		writeJSON(w, timelinePayload{
+			Window:  c.window,
+			Windows: snap.Windows,
+		})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write([]byte(dashboardHTML))
+	})
+	// Explicit pprof wiring: the handler set must work on any mux, not
+	// just http.DefaultServeMux.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// lorenzPayload is the /lorenz.json document.
+type lorenzPayload struct {
+	// Procs is the number of processors.
+	Procs int `json:"procs"`
+	// Points holds the Lorenz curve: Points[k] is the fraction of the
+	// total time accounted for by the k least-loaded processors.
+	Points []float64 `json:"points"`
+	// Gini is the Gini coefficient of the same vector.
+	Gini float64 `json:"gini"`
+}
+
+// timelinePayload is the /timeline.json document.
+type timelinePayload struct {
+	// Window is the configured window width in virtual seconds; 0 when
+	// windowing is disabled.
+	Window float64 `json:"window"`
+	// Windows is the per-window imbalance trajectory.
+	Windows []WindowStat `json:"windows"`
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

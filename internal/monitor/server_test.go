@@ -1,0 +1,198 @@
+package monitor
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"loadimb/internal/apps"
+	"loadimb/internal/mpi"
+	"loadimb/internal/tracefmt"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *Collector) {
+	t.Helper()
+	c := NewCollector(Options{Window: 0.25, Activities: mpi.Activities()})
+	srv := httptest.NewServer(NewHandler(c))
+	t.Cleanup(srv.Close)
+	return srv, c
+}
+
+func get(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+}
+
+func runWorkloadInto(t *testing.T, c *Collector) *apps.Result {
+	t.Helper()
+	cfg := apps.DefaultAMR()
+	cfg.Procs = 4
+	cfg.Phases = 3
+	cfg.Sink = c
+	res, err := apps.AMR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestServerHealthz(t *testing.T) {
+	srv, _ := newTestServer(t)
+	code, body, _ := get(t, srv.URL+"/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+}
+
+func TestServerEmptyCollector(t *testing.T) {
+	srv, _ := newTestServer(t)
+	if code, _, _ := get(t, srv.URL+"/cube.json"); code != http.StatusServiceUnavailable {
+		t.Errorf("/cube.json on empty collector = %d, want 503", code)
+	}
+	if code, _, _ := get(t, srv.URL+"/lorenz.json"); code != http.StatusServiceUnavailable {
+		t.Errorf("/lorenz.json on empty collector = %d, want 503", code)
+	}
+	code, body, ctype := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") || !strings.Contains(ctype, "version=0.0.4") {
+		t.Errorf("metrics content type = %q", ctype)
+	}
+	parseExposition(t, body) // must still be well formed
+}
+
+func TestServerCubeRoundTrip(t *testing.T) {
+	srv, c := newTestServer(t)
+	res := runWorkloadInto(t, c)
+	code, body, ctype := get(t, srv.URL+"/cube.json")
+	if code != http.StatusOK || ctype != "application/json" {
+		t.Fatalf("/cube.json = %d %q", code, ctype)
+	}
+	cube, err := tracefmt.ReadCubeJSON(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("served cube does not parse back: %v", err)
+	}
+	if !cube.EqualWithin(res.Cube, 1e-9) {
+		t.Error("served cube differs from the run's aggregate")
+	}
+}
+
+func TestServerLorenz(t *testing.T) {
+	srv, c := newTestServer(t)
+	runWorkloadInto(t, c)
+	code, body, _ := get(t, srv.URL+"/lorenz.json")
+	if code != http.StatusOK {
+		t.Fatalf("/lorenz.json = %d", code)
+	}
+	var payload lorenzPayload
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Procs != 4 || len(payload.Points) != payload.Procs+1 {
+		t.Fatalf("lorenz shape: procs=%d points=%d", payload.Procs, len(payload.Points))
+	}
+	if payload.Points[0] != 0 || payload.Points[len(payload.Points)-1] != 1 {
+		t.Errorf("lorenz endpoints %g..%g, want 0..1", payload.Points[0], payload.Points[len(payload.Points)-1])
+	}
+	for i := 1; i < len(payload.Points); i++ {
+		if payload.Points[i] < payload.Points[i-1] {
+			t.Fatalf("lorenz curve not monotone at %d: %v", i, payload.Points)
+		}
+	}
+	if payload.Gini < 0 || payload.Gini >= 1 {
+		t.Errorf("gini = %g out of range", payload.Gini)
+	}
+}
+
+func TestServerTimeline(t *testing.T) {
+	srv, c := newTestServer(t)
+	runWorkloadInto(t, c)
+	code, body, _ := get(t, srv.URL+"/timeline.json")
+	if code != http.StatusOK {
+		t.Fatalf("/timeline.json = %d", code)
+	}
+	var payload timelinePayload
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Window != 0.25 {
+		t.Errorf("window width = %g, want 0.25", payload.Window)
+	}
+	if len(payload.Windows) == 0 {
+		t.Fatal("no windows in timeline")
+	}
+	prev := -1
+	for _, w := range payload.Windows {
+		if w.Index <= prev {
+			t.Fatalf("windows out of order: %+v", payload.Windows)
+		}
+		prev = w.Index
+		if w.Busy < 0 || w.ID < 0 || w.Gini < 0 {
+			t.Errorf("negative window stat: %+v", w)
+		}
+	}
+}
+
+func TestServerDashboardAndPprof(t *testing.T) {
+	srv, _ := newTestServer(t)
+	code, body, ctype := get(t, srv.URL+"/")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "text/html") {
+		t.Fatalf("dashboard = %d %q", code, ctype)
+	}
+	if !strings.Contains(body, "loadimb live monitor") {
+		t.Error("dashboard HTML missing title")
+	}
+	if code, _, _ := get(t, srv.URL+"/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path = %d, want 404", code)
+	}
+	if code, _, _ := get(t, srv.URL+"/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("pprof index = %d, want 200", code)
+	}
+}
+
+// TestServerMetricsDuringRun scrapes concurrently with a running
+// workload: the exposition must always parse, whatever the progress.
+func TestServerMetricsDuringRun(t *testing.T) {
+	srv, c := newTestServer(t)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		cfg := apps.DefaultMasterWorker()
+		cfg.Procs = 6
+		cfg.Tasks = 60
+		cfg.Sink = c
+		if _, err := apps.MasterWorker(cfg); err != nil {
+			t.Error(err)
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		code, body, _ := get(t, srv.URL+"/metrics")
+		if code != http.StatusOK {
+			t.Fatalf("mid-run scrape %d = %d", i, code)
+		}
+		parseExposition(t, body)
+	}
+	<-done
+	code, body, _ := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("final scrape = %d", code)
+	}
+	samples := parseExposition(t, body)
+	final := indexSamples(samples)
+	if final[sample{name: MetricEventsTotal, labels: map[string]string{}}.key()] == 0 {
+		t.Error("no events after the run completed")
+	}
+}

@@ -1,0 +1,147 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+
+	"loadimb/internal/stats"
+	"loadimb/internal/trace"
+)
+
+// Snapshot is an immutable view of everything the collector has folded
+// in: the live measurement cube, event counters, and the windowed
+// imbalance trajectory. Snapshots are safe to share between goroutines;
+// none of their fields are mutated after publication.
+type Snapshot struct {
+	// Cube is the live t_ijp cube, aggregated exactly as an offline
+	// Log.Aggregate of the same events would be. It is nil until the
+	// first event has been folded.
+	Cube *trace.Cube
+	// Events and Dropped are the collector's counters at fold time.
+	Events, Dropped uint64
+	// Span is the largest event end time seen — the live estimate of
+	// the program wall clock time.
+	Span float64
+	// CellStats[i][j] is the streaming summary of the individual event
+	// durations of cell (i, j) — the per-operation statistics the cube
+	// (which only keeps sums) cannot answer.
+	CellStats [][]stats.Accumulator
+	// Windows is the temporal imbalance trajectory, one entry per
+	// non-empty window in time order; empty when windowing is disabled.
+	Windows []WindowStat
+}
+
+// WindowStat summarizes one temporal window of the run: how busy each
+// processor was within it and how dispersed those busy times are. A
+// rising ID across windows is temporal imbalance the whole-run indices
+// average away.
+type WindowStat struct {
+	// Index is the window number; the window covers virtual time
+	// [Start, End).
+	Index int     `json:"index"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	// Events is the number of (possibly clipped) events in the window.
+	Events int `json:"events"`
+	// Busy is the total processor-seconds spent in the window.
+	Busy float64 `json:"busy"`
+	// ID is the paper's Euclidean index of dispersion of the
+	// standardized per-processor busy times within the window.
+	ID float64 `json:"id"`
+	// Gini is the Gini coefficient of the per-processor busy times.
+	Gini float64 `json:"gini"`
+}
+
+// build assembles an immutable snapshot from the current fold state.
+func (s *foldState) build(window float64, events, dropped uint64) *Snapshot {
+	snap := &Snapshot{Events: events, Dropped: dropped, Span: s.span}
+	if len(s.regions) > 0 && len(s.activities) > 0 && s.procs > 0 {
+		cube, err := trace.NewCube(s.regions, s.activities, s.procs)
+		if err != nil {
+			// Names were deduplicated by the index maps and dims
+			// checked above; construction cannot fail.
+			panic(fmt.Sprintf("monitor: building snapshot cube: %v", err))
+		}
+		for i := range s.totals {
+			for j := range s.totals[i] {
+				for p, t := range s.totals[i][j] {
+					if err := cube.Set(i, j, p, t); err != nil {
+						panic(fmt.Sprintf("monitor: snapshot cell (%d,%d,%d): %v", i, j, p, err))
+					}
+				}
+			}
+		}
+		// Same convention as Log.Aggregate: the program wall clock is
+		// the longest rank timeline when that exceeds the instrumented
+		// total.
+		if s.span > cube.RegionsTotal() {
+			if err := cube.SetProgramTime(s.span); err != nil {
+				panic(fmt.Sprintf("monitor: snapshot program time: %v", err))
+			}
+		}
+		snap.Cube = cube
+		snap.CellStats = make([][]stats.Accumulator, len(s.durs))
+		for i := range s.durs {
+			snap.CellStats[i] = append([]stats.Accumulator(nil), s.durs[i]...)
+		}
+	}
+	if window > 0 && len(s.windows) > 0 {
+		idxs := make([]int, 0, len(s.windows))
+		for w := range s.windows {
+			idxs = append(idxs, w)
+		}
+		sort.Ints(idxs)
+		for _, w := range idxs {
+			acc := s.windows[w]
+			ws := WindowStat{
+				Index:  w,
+				Start:  float64(w) * window,
+				End:    float64(w+1) * window,
+				Events: acc.events,
+			}
+			// Ranks idle for the whole window count as zeros: an idle
+			// processor is the imbalance, not missing data.
+			procSeconds := append([]float64(nil), acc.procSeconds...)
+			for len(procSeconds) < s.procs {
+				procSeconds = append(procSeconds, 0)
+			}
+			ws.Busy = stats.Sum(procSeconds)
+			if id, err := stats.EuclideanFromBalance(procSeconds); err == nil {
+				ws.ID = id
+			}
+			ws.Gini = giniOf(procSeconds)
+			snap.Windows = append(snap.Windows, ws)
+		}
+	}
+	return snap
+}
+
+// giniOf is stats.Gini.Of with tiny negative cancellation noise clamped:
+// perfectly balanced loads can come out as -1e-16, and a served Gini
+// coefficient must stay in [0, 1).
+func giniOf(vals []float64) float64 {
+	g := stats.Gini.Of(vals)
+	if g < 0 {
+		return 0
+	}
+	return g
+}
+
+// ProcTotals returns the per-processor total instrumented times of the
+// snapshot cube — the vector whose Lorenz curve and Gini coefficient the
+// exposition endpoints serve. It returns nil before any event arrived.
+func (s *Snapshot) ProcTotals() []float64 {
+	if s.Cube == nil {
+		return nil
+	}
+	out := make([]float64, s.Cube.NumProcs())
+	for p := range out {
+		t, err := s.Cube.ProcTotalTime(p)
+		if err != nil {
+			// p is in range by construction.
+			panic(fmt.Sprintf("monitor: proc total %d: %v", p, err))
+		}
+		out[p] = t
+	}
+	return out
+}

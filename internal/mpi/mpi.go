@@ -100,6 +100,9 @@ type World struct {
 	// goroutine during Run, so no locking is needed until the merge.
 	events [][]trace.Event
 	counts [][]countEntry
+	// sink, when set, additionally receives every event as it is
+	// recorded, concurrently from the rank goroutines.
+	sink trace.Sink
 }
 
 // NewWorld creates a world of procs ranks under the cost model.
@@ -121,6 +124,12 @@ func NewWorld(procs int, cost CostModel) (*World, error) {
 
 // Procs returns the number of ranks.
 func (w *World) Procs() int { return w.engine.Procs() }
+
+// SetSink attaches a live event sink: every instrumented operation is
+// forwarded to it at the moment it is recorded, in addition to the
+// per-rank logs. The sink must be safe for concurrent use (each rank
+// records from its own goroutine) and must be set before Run.
+func (w *World) SetSink(s trace.Sink) { w.sink = s }
 
 // Run executes program once per rank concurrently; each invocation
 // receives a Comm bound to its rank with the clock at zero. After a
@@ -217,13 +226,17 @@ func (c *Comm) record(activity string, start float64) error {
 	if c.region == "" {
 		return ErrNoRegion
 	}
-	c.events = append(c.events, trace.Event{
+	e := trace.Event{
 		Rank:     c.rank,
 		Region:   c.region,
 		Activity: activity,
 		Start:    start,
 		End:      c.clock,
-	})
+	}
+	c.events = append(c.events, e)
+	if c.world.sink != nil {
+		c.world.sink.Record(e)
+	}
 	return nil
 }
 

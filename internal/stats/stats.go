@@ -288,29 +288,11 @@ func (s Summary) CoV() float64 {
 
 // Summarize computes a Summary of xs. An empty input yields a zero Summary.
 func Summarize(xs []float64) Summary {
-	var s Summary
-	var m2 float64
+	var a Accumulator
 	for _, x := range xs {
-		s.N++
-		s.Sum += x
-		if s.N == 1 {
-			s.Min, s.Max = x, x
-		} else {
-			if x < s.Min {
-				s.Min = x
-			}
-			if x > s.Max {
-				s.Max = x
-			}
-		}
-		delta := x - s.Mean
-		s.Mean += delta / float64(s.N)
-		m2 += delta * (x - s.Mean)
+		a.Add(x)
 	}
-	if s.N > 0 {
-		s.Variance = m2 / float64(s.N)
-	}
-	return s
+	return a.Summary()
 }
 
 // DispersionFromBalance computes an index of dispersion of xs after

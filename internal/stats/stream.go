@@ -1,0 +1,107 @@
+package stats
+
+import "math"
+
+// Accumulator is a streaming (single-pass, Welford-style) accumulator of
+// descriptive statistics: it maintains count, sum, extrema, mean and the
+// centered second moment incrementally, so callers can fold values in one
+// at a time — the primitive live monitoring (internal/monitor) uses to
+// track event-duration statistics without retaining the samples.
+//
+// The zero value is an empty accumulator ready for use. Accumulator is a
+// small value type; copying it snapshots the statistics so far. It is not
+// safe for concurrent mutation.
+type Accumulator struct {
+	n         int
+	min, max  float64
+	mean, sum float64
+	m2        float64
+}
+
+// Add folds one value into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	a.sum += x
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// Merge folds another accumulator into a, as if every value added to b had
+// been added to a (Chan et al.'s parallel combination of the moments).
+// Merging preserves the exact count, sum and extrema and the mean/variance
+// up to floating-point rounding.
+func (a *Accumulator) Merge(b Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = b
+		return
+	}
+	n := float64(a.n + b.n)
+	delta := b.mean - a.mean
+	a.m2 += b.m2 + delta*delta*float64(a.n)*float64(b.n)/n
+	a.mean += delta * float64(b.n) / n
+	a.sum += b.sum
+	a.n += b.n
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+}
+
+// N returns the number of values folded in.
+func (a Accumulator) N() int { return a.n }
+
+// Sum returns the running sum.
+func (a Accumulator) Sum() float64 { return a.sum }
+
+// Min returns the smallest value seen, or 0 when empty.
+func (a Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest value seen, or 0 when empty.
+func (a Accumulator) Max() float64 { return a.max }
+
+// Mean returns the running mean, or 0 when empty.
+func (a Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the population variance, or 0 when empty.
+func (a Accumulator) Variance() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	v := a.m2 / float64(a.n)
+	if v < 0 { // guard rounding at near-constant data
+		return 0
+	}
+	return v
+}
+
+// StdDev returns the population standard deviation.
+func (a Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Summary converts the accumulated moments into a Summary, identical (up
+// to rounding) to Summarize over the same values.
+func (a Accumulator) Summary() Summary {
+	return Summary{
+		N:        a.n,
+		Min:      a.min,
+		Max:      a.max,
+		Mean:     a.mean,
+		Variance: a.Variance(),
+		Sum:      a.sum,
+	}
+}

@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// sampleStream generates a deterministic pseudo-random data set.
+func sampleStream(n int, seed uint64) []float64 {
+	out := make([]float64, n)
+	state := seed
+	for i := range out {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		out[i] = float64(state%100000)/1000 - 20
+	}
+	return out
+}
+
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		xs := sampleStream(n, 12345)
+		var a Accumulator
+		for _, x := range xs {
+			a.Add(x)
+		}
+		want := batchSummary(xs)
+		got := a.Summary()
+		compareSummaries(t, got, want, 1e-10)
+		if a.N() != n || a.Sum() != got.Sum || a.Mean() != got.Mean ||
+			a.Min() != got.Min || a.Max() != got.Max {
+			t.Errorf("n=%d: accessor/summary mismatch", n)
+		}
+		if sd := a.StdDev(); math.Abs(sd-math.Sqrt(got.Variance)) > 1e-12 {
+			t.Errorf("n=%d: StdDev = %g, want %g", n, sd, math.Sqrt(got.Variance))
+		}
+	}
+}
+
+// batchSummary is a textbook two-pass implementation, the oracle the
+// streaming accumulator is validated against.
+func batchSummary(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	for _, x := range xs {
+		s.Sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = s.Sum / float64(s.N)
+	for _, x := range xs {
+		d := x - s.Mean
+		s.Variance += d * d
+	}
+	s.Variance /= float64(s.N)
+	return s
+}
+
+func compareSummaries(t *testing.T, got, want Summary, tol float64) {
+	t.Helper()
+	if got.N != want.N {
+		t.Fatalf("N = %d, want %d", got.N, want.N)
+	}
+	checks := []struct {
+		name      string
+		got, want float64
+	}{
+		{"Min", got.Min, want.Min},
+		{"Max", got.Max, want.Max},
+		{"Mean", got.Mean, want.Mean},
+		{"Variance", got.Variance, want.Variance},
+		{"Sum", got.Sum, want.Sum},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > tol*(1+math.Abs(c.want)) {
+			t.Errorf("%s = %g, want %g", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestAccumulatorMerge(t *testing.T) {
+	xs := sampleStream(777, 99)
+	for _, split := range []int{0, 1, 300, 776, 777} {
+		var a, b Accumulator
+		for _, x := range xs[:split] {
+			a.Add(x)
+		}
+		for _, x := range xs[split:] {
+			b.Add(x)
+		}
+		a.Merge(b)
+		compareSummaries(t, a.Summary(), Summarize(xs), 1e-10)
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	s := a.Summary()
+	if s.N != 0 || s.Sum != 0 || s.Variance != 0 || s.Mean != 0 {
+		t.Fatalf("zero accumulator summary = %+v", s)
+	}
+	if a.Variance() != 0 || a.StdDev() != 0 {
+		t.Fatalf("zero accumulator variance = %g", a.Variance())
+	}
+}
+
+func TestAccumulatorConstantSeries(t *testing.T) {
+	var a Accumulator
+	for i := 0; i < 1000; i++ {
+		a.Add(3.25)
+	}
+	if v := a.Variance(); v != 0 {
+		t.Errorf("variance of constant series = %g, want 0", v)
+	}
+	if a.Min() != 3.25 || a.Max() != 3.25 || a.Mean() != 3.25 {
+		t.Errorf("constant series moments: min %g max %g mean %g", a.Min(), a.Max(), a.Mean())
+	}
+}

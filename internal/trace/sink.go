@@ -1,0 +1,34 @@
+package trace
+
+// A Sink consumes events as they are recorded, while the instrumented
+// program is still running — the incremental counterpart of collecting a
+// Log and aggregating it afterwards. Live monitoring (internal/monitor)
+// implements Sink to fold events into a streaming cube.
+//
+// Producers may call Record from many goroutines concurrently (one per
+// rank); implementations must be safe for concurrent use. Record must not
+// block for long: it sits on the instrumented program's critical path.
+type Sink interface {
+	Record(Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Event)
+
+// Record invokes the function.
+func (f SinkFunc) Record(e Event) { f(e) }
+
+// ShiftSink returns a sink that forwards every event to next with its
+// interval translated by offset virtual seconds. Daemons that run a
+// workload repeatedly use it to keep the global timeline advancing across
+// runs (each run's clocks restart at zero).
+func ShiftSink(next Sink, offset float64) Sink {
+	if offset == 0 {
+		return next
+	}
+	return SinkFunc(func(e Event) {
+		e.Start += offset
+		e.End += offset
+		next.Record(e)
+	})
+}

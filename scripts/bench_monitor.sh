@@ -1,0 +1,38 @@
+#!/bin/sh
+# Record the monitoring-overhead benchmarks into BENCH_monitor.json so the
+# perf trajectory of the collector hot path is tracked across commits.
+# The budget is < 1000 ns/op on BenchmarkCollectorRecord (see
+# EXPERIMENTS.md, "Monitoring overhead").
+#
+# Usage: scripts/bench_monitor.sh [output.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_monitor.json}"
+
+raw=$(go test -run '^$' -bench 'BenchmarkCollector|BenchmarkSnapshot' \
+	-benchmem -benchtime 1s ./internal/monitor/)
+
+printf '%s\n' "$raw" | awk -v go_version="$(go env GOVERSION)" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+	name = $1; sub(/-[0-9]+$/, "", name)
+	names[n] = name; iters[n] = $2; ns[n] = $3
+	bytes[n] = "null"; allocs[n] = "null"
+	for (i = 4; i < NF; i++) {
+		if ($(i + 1) == "B/op") bytes[n] = $i
+		if ($(i + 1) == "allocs/op") allocs[n] = $i
+	}
+	n++
+}
+END {
+	printf "{\n  \"suite\": \"monitor\",\n  \"go\": \"%s\",\n  \"benchmarks\": [\n", go_version
+	for (i = 0; i < n; i++) {
+		printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+			names[i], iters[i], ns[i], bytes[i], allocs[i], (i < n - 1 ? "," : "")
+	}
+	printf "  ]\n}\n"
+}' > "$out"
+
+echo "wrote $out:"
+cat "$out"
