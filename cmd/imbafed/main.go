@@ -1,0 +1,151 @@
+// Command imbafed federates many imbamon instances into one cluster-wide
+// imbalance view: it periodically scrapes each endpoint's /cube.json,
+// merges the cubes — ranks offset per job, regions namespaced by endpoint
+// name — and re-serves the paper's dispersion indices for the whole fleet
+// through the same exposition the per-job monitors use.
+//
+// Endpoints (see internal/federate): /metrics (federation scrape-state
+// gauges followed by the cube's Prometheus families), /cube.json (the
+// federated measurement cube), /lorenz.json and /healthz (per-endpoint
+// scrape state: last success, consecutive failures, staleness).
+//
+// Usage:
+//
+//	imbamon -addr :9190 -workload cfd &
+//	imbamon -addr :9191 -workload masterworker &
+//	imbafed -addr :9290 -endpoints cfd=http://localhost:9190,mw=http://localhost:9191
+//	curl -s localhost:9290/healthz
+//
+// Each -endpoints entry is name=url (or a bare url, named after its
+// host). An endpoint that fails -max-failures consecutive scrapes is
+// marked stale and dropped from the aggregate until it recovers; the
+// remaining endpoints keep serving a correct cluster view.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"loadimb/internal/federate"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("imbafed: ")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	d, err := parseArgs(os.Args[1:])
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.run(ctx, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// daemon holds the parsed configuration and the handles tests observe.
+type daemon struct {
+	addr        string
+	endpoints   []federate.Endpoint
+	interval    time.Duration
+	timeout     time.Duration
+	maxFailures int
+
+	fed *federate.Federator
+	// url is the served base URL, valid once started is closed.
+	url     string
+	started chan struct{}
+}
+
+func parseArgs(args []string) (*daemon, error) {
+	d := &daemon{started: make(chan struct{})}
+	var endpoints string
+	fs := flag.NewFlagSet("imbafed", flag.ContinueOnError)
+	fs.StringVar(&d.addr, "addr", ":9290", "HTTP listen address")
+	fs.StringVar(&endpoints, "endpoints", "",
+		"comma-separated imbamon endpoints, each name=url or a bare url")
+	fs.DurationVar(&d.interval, "interval", 2*time.Second, "scrape interval per endpoint")
+	fs.DurationVar(&d.timeout, "timeout", 5*time.Second, "per-scrape request timeout")
+	fs.IntVar(&d.maxFailures, "max-failures", 3,
+		"consecutive scrape failures before an endpoint is marked stale")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+	if endpoints == "" {
+		return nil, errors.New("no -endpoints to federate")
+	}
+	for _, entry := range strings.Split(endpoints, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		var ep federate.Endpoint
+		if name, url, ok := strings.Cut(entry, "="); ok {
+			ep = federate.Endpoint{Name: name, URL: url}
+		} else {
+			ep = federate.Endpoint{URL: entry}
+		}
+		d.endpoints = append(d.endpoints, ep)
+	}
+	return d, nil
+}
+
+// run starts the scrape loops and serves the federated exposition until
+// ctx is canceled. One synchronous scrape round runs before the listener
+// opens, so the first request already sees whatever endpoints are up.
+func (d *daemon) run(ctx context.Context, stdout io.Writer) error {
+	fed, err := federate.New(federate.Options{
+		Endpoints:   d.endpoints,
+		Interval:    d.interval,
+		Timeout:     d.timeout,
+		MaxFailures: d.maxFailures,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	d.fed = fed
+	fed.ScrapeAll(ctx)
+
+	ln, err := net.Listen("tcp", d.addr)
+	if err != nil {
+		return err
+	}
+	d.url = "http://" + ln.Addr().String()
+	fmt.Fprintf(stdout, "imbafed: serving on %s (federating %d endpoints every %s)\n",
+		d.url, len(d.endpoints), d.interval)
+	close(d.started)
+	srv := &http.Server{Handler: federate.Handler(fed)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	defer srv.Close()
+
+	runDone := make(chan struct{})
+	go func() { defer close(runDone); fed.Run(ctx) }()
+	<-ctx.Done()
+	<-runDone
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -19,6 +19,11 @@
 // timeline so the temporal windows keep advancing. The daemon serves
 // until SIGINT/SIGTERM; pass -exit to terminate -linger after the last
 // run completes.
+//
+// To watch a fleet of imbamon instances as one program, point imbafed
+// (cmd/imbafed) at their /cube.json endpoints: it federates the cubes
+// (rank offsetting + region namespacing) and re-serves the cluster-wide
+// indices through the same exposition.
 package main
 
 import (

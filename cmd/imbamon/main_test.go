@@ -64,9 +64,13 @@ func parseMetrics(t *testing.T, text string) map[string]float64 {
 	return out
 }
 
+// testClient bounds every test request: a hung daemon must fail the test
+// fast instead of stalling the whole CI run.
+var testClient = &http.Client{Timeout: 10 * time.Second}
+
 func httpGet(t *testing.T, url string) (int, string) {
 	t.Helper()
-	resp, err := http.Get(url)
+	resp, err := testClient.Get(url)
 	if err != nil {
 		t.Fatalf("GET %s: %v", url, err)
 	}

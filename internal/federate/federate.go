@@ -1,0 +1,362 @@
+// Package federate merges the live measurement cubes of many imbamon
+// (internal/monitor) endpoints into one federated cube, so a cluster of
+// instrumented jobs is analyzed as a single program — the way the paper
+// treats its P=16 run, scaled out to many cooperating processes.
+//
+// A Federator periodically scrapes each endpoint's /cube.json with a
+// per-request timeout. Failures are retried with exponential backoff plus
+// jitter; after MaxFailures consecutive failures an endpoint is marked
+// stale and its last cube is dropped from the aggregate instead of
+// poisoning it — the remaining endpoints keep serving a correct
+// cluster-wide view (graceful degradation), and the endpoint rejoins
+// automatically on its next successful scrape.
+//
+// The Federator implements monitor.SnapshotSource, so the existing
+// exposition handlers (monitor.MetricsHandler, CubeHandler,
+// LorenzHandler) serve the federated cube unchanged; Handler wires them
+// onto a mux together with a /healthz that lists per-endpoint scrape
+// state.
+package federate
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"loadimb/internal/monitor"
+	"loadimb/internal/trace"
+	"loadimb/internal/tracefmt"
+)
+
+// An Endpoint is one imbamon instance to scrape.
+type Endpoint struct {
+	// Name labels the endpoint; it namespaces the endpoint's code
+	// regions in the federated cube ("name/region") and identifies it in
+	// /healthz and the federation metrics. Names must be unique.
+	Name string
+	// URL is the base URL of the monitor handler set, e.g.
+	// "http://node7:9190"; the federator scrapes URL + "/cube.json".
+	URL string
+}
+
+// Options configures a Federator. Zero durations and counts fall back to
+// the documented defaults.
+type Options struct {
+	// Endpoints is the scrape target set; at least one is required.
+	Endpoints []Endpoint
+	// Interval is the poll period after a successful scrape. Default 2s.
+	Interval time.Duration
+	// Timeout bounds each scrape request. Default 5s.
+	Timeout time.Duration
+	// MaxFailures is the number of consecutive scrape failures after
+	// which an endpoint is considered stale and excluded from the
+	// aggregate. Default 3.
+	MaxFailures int
+	// BackoffBase is the retry delay after the first failure; it doubles
+	// per consecutive failure up to BackoffMax, with jitter drawn from
+	// [delay/2, delay) so a restarted cluster's endpoints do not retry
+	// in lockstep. Defaults: Interval/4 and 4*Interval.
+	BackoffBase, BackoffMax time.Duration
+	// Client overrides the HTTP client (tests inject httptest clients);
+	// the per-request Timeout is applied through the request context
+	// either way.
+	Client *http.Client
+	// Logf, when set, receives scrape state transitions (endpoint went
+	// stale, endpoint recovered).
+	Logf func(format string, args ...any)
+}
+
+// endpointState is the mutable scrape state of one endpoint, guarded by
+// Federator.mu.
+type endpointState struct {
+	Endpoint
+	cube        *trace.Cube // last successfully fetched cube, nil before
+	lastSuccess time.Time
+	lastError   string
+	consecutive int    // consecutive failures since the last success
+	scrapes     uint64 // successful scrapes
+	failures    uint64 // failed scrapes
+}
+
+// Federator scrapes a set of monitor endpoints and serves their merged
+// cube. Create one with New; it is safe for concurrent use.
+type Federator struct {
+	interval    time.Duration
+	timeout     time.Duration
+	maxFailures int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	client      *http.Client
+	logf        func(string, ...any)
+
+	mu     sync.Mutex
+	states []*endpointState
+}
+
+// New validates the options and builds a Federator. Endpoints without a
+// name are named after their URL host; names must end up unique, since
+// they namespace the federated cube's regions.
+func New(opts Options) (*Federator, error) {
+	if len(opts.Endpoints) == 0 {
+		return nil, errors.New("federate: no endpoints to scrape")
+	}
+	f := &Federator{
+		interval:    opts.Interval,
+		timeout:     opts.Timeout,
+		maxFailures: opts.MaxFailures,
+		backoffBase: opts.BackoffBase,
+		backoffMax:  opts.BackoffMax,
+		client:      opts.Client,
+		logf:        opts.Logf,
+	}
+	if f.interval <= 0 {
+		f.interval = 2 * time.Second
+	}
+	if f.timeout <= 0 {
+		f.timeout = 5 * time.Second
+	}
+	if f.maxFailures <= 0 {
+		f.maxFailures = 3
+	}
+	if f.backoffBase <= 0 {
+		f.backoffBase = f.interval / 4
+	}
+	if f.backoffMax <= 0 {
+		f.backoffMax = 4 * f.interval
+	}
+	if f.client == nil {
+		f.client = &http.Client{}
+	}
+	if f.logf == nil {
+		f.logf = func(string, ...any) {}
+	}
+	seen := make(map[string]bool, len(opts.Endpoints))
+	for i, ep := range opts.Endpoints {
+		if ep.URL == "" {
+			return nil, fmt.Errorf("federate: endpoint %d has no URL", i)
+		}
+		if ep.Name == "" {
+			u, err := url.Parse(ep.URL)
+			if err != nil || u.Host == "" {
+				return nil, fmt.Errorf("federate: endpoint %d: cannot derive a name from URL %q", i, ep.URL)
+			}
+			ep.Name = u.Host
+		}
+		if seen[ep.Name] {
+			return nil, fmt.Errorf("federate: duplicate endpoint name %q", ep.Name)
+		}
+		seen[ep.Name] = true
+		f.states = append(f.states, &endpointState{Endpoint: ep})
+	}
+	return f, nil
+}
+
+// cubeURL is the scrape target of one endpoint.
+func (s *endpointState) cubeURL() string {
+	return strings.TrimSuffix(s.URL, "/") + "/cube.json"
+}
+
+// stale reports whether the endpoint has failed too many times in a row;
+// callers hold Federator.mu.
+func (s *endpointState) stale(maxFailures int) bool {
+	return s.consecutive >= maxFailures
+}
+
+// scrapeEndpoint fetches one endpoint's cube and records the outcome.
+func (f *Federator) scrapeEndpoint(ctx context.Context, s *endpointState) error {
+	ctx, cancel := context.WithTimeout(ctx, f.timeout)
+	defer cancel()
+	cube, err := f.fetchCube(ctx, s.cubeURL())
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err != nil {
+		wasStale := s.stale(f.maxFailures)
+		s.failures++
+		s.consecutive++
+		s.lastError = err.Error()
+		if !wasStale && s.stale(f.maxFailures) {
+			f.logf("federate: endpoint %q stale after %d consecutive failures: %v",
+				s.Name, s.consecutive, err)
+		}
+		return err
+	}
+	if s.stale(f.maxFailures) {
+		f.logf("federate: endpoint %q recovered after %d consecutive failures",
+			s.Name, s.consecutive)
+	}
+	s.cube = cube
+	s.lastSuccess = time.Now()
+	s.lastError = ""
+	s.consecutive = 0
+	s.scrapes++
+	return nil
+}
+
+// fetchCube performs the HTTP GET and decodes the cube.
+func (f *Federator) fetchCube(ctx context.Context, url string) (*trace.Cube, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// Drain a little so the connection can be reused, then report.
+		_, _ = io.CopyN(io.Discard, resp.Body, 512)
+		return nil, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	cube, err := tracefmt.ReadCubeJSON(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("GET %s: %w", url, err)
+	}
+	return cube, nil
+}
+
+// backoff returns the jittered retry delay after n consecutive failures
+// (n >= 1): base doubled per failure, capped, then drawn from
+// [delay/2, delay) so synchronized failers spread out.
+func (f *Federator) backoff(n int) time.Duration {
+	d := f.backoffBase
+	for i := 1; i < n && d < f.backoffMax; i++ {
+		d *= 2
+	}
+	if d > f.backoffMax {
+		d = f.backoffMax
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// ScrapeAll scrapes every endpoint once, concurrently, and returns after
+// all scrapes finish. The daemon runs one synchronous round before
+// serving so the first request already sees data; tests use it to drive
+// the federator deterministically.
+func (f *Federator) ScrapeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, s := range f.states {
+		wg.Add(1)
+		go func(s *endpointState) {
+			defer wg.Done()
+			_ = f.scrapeEndpoint(ctx, s)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// Run polls every endpoint until ctx is canceled: each endpoint is
+// scraped on its own schedule — Interval after a success, exponential
+// backoff with jitter after failures — so one slow endpoint never delays
+// the others.
+func (f *Federator) Run(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, s := range f.states {
+		wg.Add(1)
+		go func(s *endpointState) {
+			defer wg.Done()
+			timer := time.NewTimer(0)
+			defer timer.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-timer.C:
+				}
+				delay := f.interval
+				if err := f.scrapeEndpoint(ctx, s); err != nil {
+					f.mu.Lock()
+					n := s.consecutive
+					f.mu.Unlock()
+					delay = f.backoff(n)
+				}
+				timer.Reset(delay)
+			}
+		}(s)
+	}
+	wg.Wait()
+}
+
+// Snapshot merges the most recent cubes of all live (non-stale)
+// endpoints into a federated monitor snapshot: ranks offset per job,
+// regions namespaced by endpoint name, program time the longest job
+// timeline (see trace.Federate). Endpoints that never delivered a cube
+// or have gone stale are excluded, so a dead job degrades the view
+// instead of corrupting it. The snapshot's Cube is nil while no live
+// endpoint has data, matching an empty Collector.
+func (f *Federator) Snapshot() *monitor.Snapshot {
+	f.mu.Lock()
+	var jobs []trace.JobCube
+	for _, s := range f.states {
+		if s.cube != nil && !s.stale(f.maxFailures) {
+			// Cubes are immutable once fetched; sharing the pointer
+			// outside the lock is safe.
+			jobs = append(jobs, trace.JobCube{Label: s.Name, Cube: s.cube})
+		}
+	}
+	f.mu.Unlock()
+	if len(jobs) == 0 {
+		return &monitor.Snapshot{}
+	}
+	cube, err := trace.Federate(jobs)
+	if err != nil {
+		// Shapes were validated endpoint-side and names deduplicated at
+		// New; federation of well-formed cubes cannot fail. Serve an
+		// empty snapshot rather than a torn one if it somehow does.
+		f.logf("federate: merging %d cubes: %v", len(jobs), err)
+		return &monitor.Snapshot{}
+	}
+	return &monitor.Snapshot{Cube: cube, Span: cube.ProgramTime()}
+}
+
+// EndpointHealth is one endpoint's scrape state as listed by /healthz.
+type EndpointHealth struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+	// Stale means MaxFailures or more consecutive failures: the
+	// endpoint's cube is excluded from the federated aggregate until a
+	// scrape succeeds again.
+	Stale bool `json:"stale"`
+	// HasCube reports whether any scrape ever delivered a cube.
+	HasCube             bool   `json:"has_cube"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	Scrapes             uint64 `json:"scrapes"`
+	Failures            uint64 `json:"failures"`
+	// LastSuccess is the RFC 3339 time of the last successful scrape,
+	// empty if there has been none.
+	LastSuccess string `json:"last_success,omitempty"`
+	// LastError is the most recent scrape error, empty after a success.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Health returns the per-endpoint scrape states in configuration order.
+func (f *Federator) Health() []EndpointHealth {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]EndpointHealth, len(f.states))
+	for i, s := range f.states {
+		h := EndpointHealth{
+			Name:                s.Name,
+			URL:                 s.URL,
+			Stale:               s.stale(f.maxFailures),
+			HasCube:             s.cube != nil,
+			ConsecutiveFailures: s.consecutive,
+			Scrapes:             s.scrapes,
+			Failures:            s.failures,
+			LastError:           s.lastError,
+		}
+		if !s.lastSuccess.IsZero() {
+			h.LastSuccess = s.lastSuccess.Format(time.RFC3339Nano)
+		}
+		out[i] = h
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package federate
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"loadimb/internal/trace"
+)
+
+// FuzzFederate builds a fuzzer-chosen fleet of job cubes — varying shapes,
+// overlapping or disjoint region/activity vocabularies, labeled and
+// unlabeled jobs, with and without explicit program times — and checks the
+// federation invariants the scraper relies on:
+//
+//   - processors are offset, never merged: the federated cube has exactly
+//     the sum of the jobs' processor counts;
+//   - processor-seconds are conserved: the federated instrumented total
+//     equals the sum of the jobs' instrumented totals;
+//   - the federated program time is the longest job timeline;
+//   - federating a single unlabeled job is the identity.
+func FuzzFederate(f *testing.F) {
+	f.Add([]byte{3, 2, 2, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{1, 1, 1, 200})
+	f.Add([]byte{2, 3, 1, 0, 0, 0, 0, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		// Header bytes pick the fleet shape; the rest feeds cell times.
+		nJobs := 1 + int(data[0]%4)
+		regions := []string{"init", "solve", "sweep"}[:1+int(data[1]%3)]
+		activities := []string{"comp", "comm"}[:1+int(data[2]%2)]
+		payload := data[3:]
+		next := func(i int) float64 {
+			if len(payload) == 0 {
+				return 1
+			}
+			return float64(payload[i%len(payload)]) / 8
+		}
+		var jobs []trace.JobCube
+		wantProcs := 0
+		wantTotal := 0.0
+		wantProgram := 0.0
+		k := 0
+		for j := 0; j < nJobs; j++ {
+			procs := 1 + (j+int(data[0]))%3
+			// Jobs alternate overlapping and disjoint vocabularies, and
+			// every other job goes unlabeled so shared regions merge.
+			rs := append([]string(nil), regions...)
+			if j%2 == 1 {
+				rs = append(rs, fmt.Sprintf("only%d", j))
+			}
+			cube, err := trace.NewCube(rs, activities, procs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobSecs := 0.0
+			for i := range rs {
+				for a := range activities {
+					for p := 0; p < procs; p++ {
+						v := next(k)
+						k++
+						if err := cube.Set(i, a, p, v); err != nil {
+							t.Fatal(err)
+						}
+						jobSecs += v
+					}
+				}
+			}
+			if j%2 == 0 {
+				// An explicit wall clock longer than the busy mean.
+				span := cube.RegionsTotal() + next(k)
+				k++
+				if err := cube.SetProgramTime(span); err != nil {
+					t.Fatal(err)
+				}
+			}
+			label := fmt.Sprintf("job%d", j)
+			if j%2 == 1 {
+				label = ""
+			}
+			jobs = append(jobs, trace.JobCube{Label: label, Cube: cube})
+			wantProcs += procs
+			wantTotal += jobSecs
+			if pt := cube.ProgramTime(); pt > wantProgram {
+				wantProgram = pt
+			}
+		}
+
+		fed, err := trace.Federate(jobs)
+		if err != nil {
+			t.Fatalf("federating %d well-formed jobs: %v", nJobs, err)
+		}
+		if fed.NumProcs() != wantProcs {
+			t.Fatalf("procs = %d, want %d", fed.NumProcs(), wantProcs)
+		}
+		tol := 1e-9 * (1 + wantTotal)
+		if got := fed.RegionsTotal() * float64(fed.NumProcs()); math.Abs(got-wantTotal) > tol {
+			t.Fatalf("processor-seconds = %g, want %g", got, wantTotal)
+		}
+		if math.Abs(fed.ProgramTime()-wantProgram) > tol {
+			t.Fatalf("program time = %g, want longest job timeline %g",
+				fed.ProgramTime(), wantProgram)
+		}
+		// Each job's processor block must carry exactly that job's seconds.
+		offset := 0
+		for j, job := range jobs {
+			blockWant := job.Cube.RegionsTotal() * float64(job.Cube.NumProcs())
+			block := 0.0
+			for p := 0; p < job.Cube.NumProcs(); p++ {
+				v, err := fed.ProcTotalTime(offset + p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				block += v
+			}
+			if math.Abs(block-blockWant) > tol {
+				t.Fatalf("job %d block seconds = %g, want %g", j, block, blockWant)
+			}
+			offset += job.Cube.NumProcs()
+		}
+		// Identity: one unlabeled job federates to itself.
+		solo, err := trace.Federate([]trace.JobCube{{Cube: jobs[0].Cube.Clone()}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := jobs[0].Cube
+		if jobs[0].Label != "" {
+			// Region names survive unlabeled; only compare the numbers.
+			if solo.NumProcs() != want.NumProcs() ||
+				math.Abs(solo.RegionsTotal()-want.RegionsTotal()) > tol ||
+				math.Abs(solo.ProgramTime()-want.ProgramTime()) > tol {
+				t.Fatal("single-job federation changed totals")
+			}
+		} else if !solo.EqualWithin(want, 0) {
+			t.Fatal("single-job federation is not the identity")
+		}
+	})
+}

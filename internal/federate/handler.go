@@ -1,0 +1,140 @@
+package federate
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"loadimb/internal/monitor"
+)
+
+// Federation metric families served at /metrics ahead of the cube gauges.
+const (
+	MetricEndpoints           = "loadimb_fed_endpoints"
+	MetricEndpointsStale      = "loadimb_fed_endpoints_stale"
+	MetricEndpointStale       = "loadimb_fed_endpoint_stale"
+	MetricEndpointScrapes     = "loadimb_fed_endpoint_scrapes_total"
+	MetricEndpointFailures    = "loadimb_fed_endpoint_failures_total"
+	MetricEndpointConsecutive = "loadimb_fed_endpoint_consecutive_failures"
+)
+
+// healthzPayload is the /healthz document: an overall status plus the
+// per-endpoint scrape states.
+type healthzPayload struct {
+	// Status is "ok" while every endpoint is live, "degraded" when some
+	// (but not all) are stale or still cube-less, and "down" when no
+	// endpoint contributes to the aggregate.
+	Status    string           `json:"status"`
+	Endpoints []EndpointHealth `json:"endpoints"`
+}
+
+// status summarizes the endpoint states into the /healthz status word.
+func status(eps []EndpointHealth) string {
+	live, contributing := 0, 0
+	for _, ep := range eps {
+		if !ep.Stale {
+			live++
+			if ep.HasCube {
+				contributing++
+			}
+		}
+	}
+	switch {
+	case contributing == 0:
+		return "down"
+	case live < len(eps) || contributing < live:
+		return "degraded"
+	default:
+		return "ok"
+	}
+}
+
+// Handler returns the federated exposition endpoint set:
+//
+//	/metrics      federation scrape-state gauges, then every paper index
+//	              of the federated cube (same families imbamon serves)
+//	/cube.json    the federated measurement cube (tracefmt JSON)
+//	/lorenz.json  Lorenz curve of the cluster-wide per-processor times
+//	/healthz      per-endpoint scrape state: last success, consecutive
+//	              failures, staleness (503 when no endpoint contributes)
+//	/             plain-text index
+//
+// The cube endpoints are the exact handlers imbamon uses
+// (monitor.SnapshotSource), pointed at the federated snapshot, so one
+// Prometheus scrape of an imbafed gives ID_P, ID_ij, ID_A/SID_A,
+// ID_C/SID_C and the Gini coefficient for the whole cluster.
+func Handler(f *Federator) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		eps := f.Health()
+		payload := healthzPayload{Status: status(eps), Endpoints: eps}
+		w.Header().Set("Content-Type", "application/json")
+		if payload.Status == "down" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(payload)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeFederationMetrics(w, f.Health())
+		// The snapshot's Events/Dropped counters are zero here: cube
+		// scrapes carry no event counts, and the federated exposition
+		// reports scrape state through the families above instead.
+		_ = monitor.WriteMetrics(w, f.Snapshot())
+	})
+	mux.Handle("/cube.json", monitor.CubeHandler(f))
+	mux.Handle("/lorenz.json", monitor.LorenzHandler(f))
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "loadimb federated monitor (%d endpoints)\n\n", len(f.Health()))
+		fmt.Fprintln(w, "endpoints: /metrics /cube.json /lorenz.json /healthz")
+	})
+	return mux
+}
+
+// writeFederationMetrics renders the scrape-state families in Prometheus
+// text format.
+func writeFederationMetrics(w http.ResponseWriter, eps []EndpointHealth) {
+	stale := 0
+	for _, ep := range eps {
+		if ep.Stale {
+			stale++
+		}
+	}
+	fmt.Fprintf(w, "# HELP %s Endpoints configured for federation.\n# TYPE %s gauge\n", MetricEndpoints, MetricEndpoints)
+	fmt.Fprintf(w, "%s %d\n", MetricEndpoints, len(eps))
+	fmt.Fprintf(w, "# HELP %s Endpoints currently stale (excluded from the aggregate).\n# TYPE %s gauge\n", MetricEndpointsStale, MetricEndpointsStale)
+	fmt.Fprintf(w, "%s %d\n", MetricEndpointsStale, stale)
+	families := []struct {
+		name, help, typ string
+		value           func(EndpointHealth) uint64
+	}{
+		{MetricEndpointStale, "Whether the endpoint is stale (1) or live (0).", "gauge",
+			func(ep EndpointHealth) uint64 {
+				if ep.Stale {
+					return 1
+				}
+				return 0
+			}},
+		{MetricEndpointScrapes, "Successful scrapes of the endpoint.", "counter",
+			func(ep EndpointHealth) uint64 { return ep.Scrapes }},
+		{MetricEndpointFailures, "Failed scrapes of the endpoint.", "counter",
+			func(ep EndpointHealth) uint64 { return ep.Failures }},
+		{MetricEndpointConsecutive, "Consecutive scrape failures since the last success.", "gauge",
+			func(ep EndpointHealth) uint64 { return uint64(ep.ConsecutiveFailures) }},
+	}
+	for _, fam := range families {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", fam.name, fam.help, fam.name, fam.typ)
+		for _, ep := range eps {
+			// %q escapes backslashes, quotes and newlines the way the
+			// Prometheus text format expects.
+			fmt.Fprintf(w, "%s{endpoint=%q} %d\n", fam.name, ep.Name, fam.value(ep))
+		}
+	}
+}

@@ -1,11 +1,14 @@
 package monitor
 
 import (
+	"encoding/json"
 	"math"
+	"strings"
 	"sync"
 	"testing"
 
 	"loadimb/internal/apps"
+	"loadimb/internal/stats"
 	"loadimb/internal/trace"
 )
 
@@ -105,6 +108,7 @@ func TestCollectorDropsMalformed(t *testing.T) {
 		{Rank: 0, Region: "", Activity: "a", Start: 0, End: 1},
 		{Rank: 0, Region: "r", Activity: "", Start: 0, End: 1},
 		{Rank: 0, Region: "r", Activity: "a", Start: 2, End: 1},
+		{Rank: 0, Region: "r", Activity: "a", Start: -1, End: 1},
 	}
 	for _, e := range bad {
 		c.Record(e)
@@ -134,11 +138,14 @@ func TestCollectorWindowing(t *testing.T) {
 		t.Errorf("busy = %g, %g, %g; want 2, 1, 1.25", w0.Busy, w1.Busy, w2.Busy)
 	}
 	// Window 0 is perfectly balanced; window 1 maximally imbalanced.
-	if w0.ID != 0 || w0.Gini != 0 {
-		t.Errorf("window 0 should be balanced: ID=%g gini=%g", w0.ID, w0.Gini)
+	if w0.ID == nil || *w0.ID != 0 || w0.Gini != 0 {
+		t.Errorf("window 0 should be balanced: ID=%v gini=%g", w0.ID, w0.Gini)
 	}
-	if w1.ID <= w2.ID || w1.Gini <= w2.Gini {
-		t.Errorf("window 1 (one idle rank) should be more imbalanced than window 2: ID %g vs %g", w1.ID, w2.ID)
+	if w1.ID == nil || w2.ID == nil {
+		t.Fatalf("busy windows have undefined ID: %+v", snap.Windows)
+	}
+	if *w1.ID <= *w2.ID || w1.Gini <= w2.Gini {
+		t.Errorf("window 1 (one idle rank) should be more imbalanced than window 2: ID %g vs %g", *w1.ID, *w2.ID)
 	}
 	if w0.Start != 0 || w0.End != 1 || w2.Index != 2 {
 		t.Errorf("window bounds wrong: %+v", snap.Windows)
@@ -180,6 +187,194 @@ func TestCollectorLiveWorkload(t *testing.T) {
 	}
 	if len(snap.Windows) == 0 {
 		t.Error("windowing enabled but no windows recorded")
+	}
+}
+
+// TestCollectorRejectsNegativeStart is the regression test for the
+// window-corruption bug: int(Start/window) truncates toward zero, so a
+// negative-start event used to land its entire busy time in window 0.
+// Such events must be rejected at Record like the other malformed shapes.
+func TestCollectorRejectsNegativeStart(t *testing.T) {
+	c := NewCollector(Options{Window: 1})
+	c.Record(trace.Event{Rank: 0, Region: "r", Activity: "a", Start: 0.25, End: 0.75})
+	c.Record(trace.Event{Rank: 1, Region: "r", Activity: "a", Start: -3, End: 0.5})
+	snap := c.Snapshot()
+	if snap.Dropped != 1 || snap.Events != 1 {
+		t.Fatalf("dropped=%d events=%d, want 1 and 1", snap.Dropped, snap.Events)
+	}
+	if len(snap.Windows) != 1 {
+		t.Fatalf("got %d windows, want 1", len(snap.Windows))
+	}
+	if w := snap.Windows[0]; w.Index != 0 || w.Busy != 0.5 || w.Events != 1 {
+		t.Errorf("window 0 corrupted by negative-start event: %+v", w)
+	}
+	if snap.Cube.NumProcs() != 1 {
+		t.Errorf("rejected event grew the cube to %d procs", snap.Cube.NumProcs())
+	}
+}
+
+// TestSnapshotEventsMatchCube drives recorders concurrently with
+// snapshotters and checks, for every published snapshot, that Events is
+// exactly the number of events the cube accounts for (the cell duration
+// accumulators count one Add per folded event). Before the drain-time
+// counter fix, Snapshot read the racing Record counter after draining and
+// could claim events the cube did not contain. Run with -race.
+func TestSnapshotEventsMatchCube(t *testing.T) {
+	const (
+		writers       = 4
+		eventsPerRank = 3000
+		snapshots     = 60
+	)
+	c := NewCollector(Options{Shards: 2, Window: 50})
+	var wg sync.WaitGroup
+	for rank := 0; rank < writers; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < eventsPerRank; i++ {
+				start := float64(i)
+				c.Record(trace.Event{
+					Rank:     rank,
+					Region:   "r",
+					Activity: "a",
+					Start:    start,
+					End:      start + 0.25,
+				})
+			}
+		}(rank)
+	}
+	countFolded := func(snap *Snapshot) uint64 {
+		var n uint64
+		for i := range snap.CellStats {
+			for j := range snap.CellStats[i] {
+				n += uint64(snap.CellStats[i][j].N())
+			}
+		}
+		return n
+	}
+	for i := 0; i < snapshots; i++ {
+		snap := c.Snapshot()
+		if folded := countFolded(snap); snap.Events != folded {
+			t.Fatalf("snapshot %d: Events=%d but the cube accounts for %d events",
+				i, snap.Events, folded)
+		}
+	}
+	wg.Wait()
+	snap := c.Snapshot()
+	want := uint64(writers * eventsPerRank)
+	if snap.Events != want || countFolded(snap) != want {
+		t.Fatalf("final Events=%d folded=%d, want %d", snap.Events, countFolded(snap), want)
+	}
+}
+
+// TestCollectorWindowClippingOracle asserts the live window fold against
+// the offline Log.Window oracle on the boundary shapes that matter:
+// zero-duration events (mid-window and exactly on a boundary), events
+// ending exactly on a boundary, and events spanning three or more
+// windows.
+func TestCollectorWindowClippingOracle(t *testing.T) {
+	const window = 1.0
+	events := []trace.Event{
+		{Rank: 0, Region: "r", Activity: "a", Start: 0.5, End: 0.5},   // zero-duration, mid-window
+		{Rank: 0, Region: "r", Activity: "a", Start: 1, End: 1},       // zero-duration, on a boundary: no window
+		{Rank: 0, Region: "r", Activity: "a", Start: 0.25, End: 1},    // ends exactly on a boundary
+		{Rank: 1, Region: "r", Activity: "a", Start: 1, End: 2},       // covers window 1 exactly
+		{Rank: 0, Region: "r", Activity: "a", Start: 1.5, End: 4.75},  // spans windows 1..4
+		{Rank: 2, Region: "r", Activity: "a", Start: 0, End: 3},       // spans 0..2, both ends on boundaries
+		{Rank: 1, Region: "r", Activity: "a", Start: 4.25, End: 4.25}, // zero-duration in the last window
+	}
+	c := NewCollector(Options{Window: window})
+	var lg trace.Log
+	for _, e := range events {
+		c.Record(e)
+		if err := lg.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := c.Snapshot()
+	procs := snap.Cube.NumProcs()
+	byIndex := make(map[int]WindowStat, len(snap.Windows))
+	for _, w := range snap.Windows {
+		byIndex[w.Index] = w
+	}
+	for w := 0; w < 5; w++ {
+		from, to := float64(w)*window, float64(w+1)*window
+		oracle, err := lg.Window(from, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := byIndex[w]
+		if !ok {
+			if oracle.Len() != 0 {
+				t.Errorf("window %d missing: oracle holds %d events", w, oracle.Len())
+			}
+			continue
+		}
+		if got.Events != oracle.Len() {
+			t.Errorf("window %d events = %d, oracle %d", w, got.Events, oracle.Len())
+		}
+		perRank := make([]float64, procs)
+		for _, e := range oracle.Events() {
+			perRank[e.Rank] += e.Duration()
+		}
+		busy := 0.0
+		for _, v := range perRank {
+			busy += v
+		}
+		if math.Abs(got.Busy-busy) > 1e-12 {
+			t.Errorf("window %d busy = %g, oracle %g", w, got.Busy, busy)
+		}
+		if id, err := stats.EuclideanFromBalance(perRank); err != nil {
+			if got.ID != nil {
+				t.Errorf("window %d: oracle dispersion undefined (%v) but live ID = %g", w, err, *got.ID)
+			}
+		} else if got.ID == nil || math.Abs(*got.ID-id) > 1e-12 {
+			t.Errorf("window %d ID = %v, oracle %g", w, got.ID, id)
+		}
+	}
+	// Window 3 is covered only by the middle of the long event; window 0
+	// contains the mid-window zero-duration event on top of two clipped
+	// spans. Spot-check the totals the oracle math above derived.
+	if w := byIndex[0]; w.Events != 3 || math.Abs(w.Busy-1.75) > 1e-12 {
+		t.Errorf("window 0 = %+v, want 3 events and busy 1.75", w)
+	}
+	if w := byIndex[3]; w.Events != 1 || math.Abs(w.Busy-1) > 1e-12 {
+		t.Errorf("window 3 = %+v, want 1 event and busy 1", w)
+	}
+}
+
+// TestWindowAllIdleServesNullID: a window holding only zero-duration
+// events has no busy time, so its dispersion is undefined — the snapshot
+// must carry a nil ID (JSON null) rather than a misleading "perfectly
+// balanced" zero.
+func TestWindowAllIdleServesNullID(t *testing.T) {
+	c := NewCollector(Options{Window: 1})
+	c.Record(trace.Event{Rank: 0, Region: "r", Activity: "a", Start: 0, End: 1}) // busy window 0
+	c.Record(trace.Event{Rank: 0, Region: "r", Activity: "a", Start: 2.5, End: 2.5})
+	snap := c.Snapshot()
+	if len(snap.Windows) != 2 {
+		t.Fatalf("got %d windows, want 2: %+v", len(snap.Windows), snap.Windows)
+	}
+	busy, idle := snap.Windows[0], snap.Windows[1]
+	if busy.ID == nil || *busy.ID != 0 {
+		t.Errorf("busy window ID = %v, want 0", busy.ID)
+	}
+	if idle.Index != 2 || idle.Busy != 0 || idle.Events != 1 {
+		t.Fatalf("idle window = %+v, want index 2, busy 0, 1 event", idle)
+	}
+	if idle.ID != nil {
+		t.Errorf("all-idle window ID = %g, want nil", *idle.ID)
+	}
+	if idle.Gini != 0 {
+		t.Errorf("all-idle window Gini = %g, want 0", idle.Gini)
+	}
+	// The wire form must be an explicit null.
+	data, err := json.Marshal(idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"id":null`) {
+		t.Errorf("serialized idle window %s does not carry an explicit null id", data)
 	}
 }
 

@@ -80,9 +80,12 @@ async function tick() {
     const tl = await tres.json();
     const ws = tl.windows || [];
     if (ws.length) {
-      const max = Math.max(...ws.map(w => w.id), 1e-12);
+      // id is null for all-idle windows (undefined dispersion): render
+      // them as gaps instead of pretending they are balanced.
+      const ids = ws.map(w => w.id).filter(x => x != null);
+      const max = Math.max(...ids, 1e-12);
       document.getElementById("timeline").textContent =
-        ws.map(w => BLOCKS[Math.min(7, Math.floor(w.id / max * 7.999))]).join("") +
+        ws.map(w => w.id == null ? "·" : BLOCKS[Math.min(7, Math.floor(w.id / max * 7.999))]).join("") +
         "\nwindows " + ws[0].index + "…" + ws[ws.length - 1].index +
         " (width " + tl.window + "s), peak ID " + max.toFixed(4);
     }

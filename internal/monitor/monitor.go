@@ -92,10 +92,13 @@ func NewCollector(opts Options) *Collector {
 // Record folds one event into the collector. It is safe for concurrent
 // use and sits on the instrumented program's critical path, so it only
 // appends to a sharded buffer; the aggregation happens at Snapshot.
-// Malformed events (negative rank, empty names, end before start) are
-// dropped and counted instead of corrupting the cube.
+// Malformed events (negative rank, empty names, end before start, start
+// before virtual time zero) are dropped and counted instead of corrupting
+// the cube. Negative starts in particular must never reach the window
+// fold: int(Start/window) truncates toward zero, so they would all land
+// in window 0 and inflate its busy time.
 func (c *Collector) Record(e trace.Event) {
-	if e.Rank < 0 || e.Region == "" || e.Activity == "" || e.End < e.Start {
+	if e.Rank < 0 || e.Region == "" || e.Activity == "" || e.End < e.Start || e.Start < 0 {
 		c.dropped.Add(1)
 		return
 	}
@@ -120,6 +123,12 @@ func (c *Collector) Dropped() uint64 { return c.dropped.Load() }
 func (c *Collector) Snapshot() *Snapshot {
 	c.foldMu.Lock()
 	defer c.foldMu.Unlock()
+	// Capture the drop counter before draining. The event counter is NOT
+	// read from c.events: a Record racing with the drain could already
+	// have bumped it without its event being in the drained buffers, and
+	// a published snapshot must never claim events its cube does not
+	// account for. foldState.folded counts exactly the folded events.
+	dropped := c.dropped.Load()
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
@@ -130,7 +139,7 @@ func (c *Collector) Snapshot() *Snapshot {
 			c.state.fold(e, c.window)
 		}
 	}
-	snap := c.state.build(c.window, c.events.Load(), c.dropped.Load())
+	snap := c.state.build(c.window, c.state.folded, dropped)
 	c.snap.Store(snap)
 	return snap
 }
@@ -148,6 +157,11 @@ type foldState struct {
 	rIdx, aIdx map[string]int
 	procs      int
 	span       float64
+	// folded is the number of events folded so far: exactly the events
+	// the running totals (and therefore every published cube) account
+	// for, unlike Collector.events which racing recorders may bump
+	// before their event is drainable.
+	folded uint64
 	// totals[i][j] holds the per-rank accumulated wall clock time of
 	// cell (i, j); rank slices grow on demand.
 	totals [][][]float64
@@ -202,10 +216,13 @@ func (s *foldState) activityIndex(name string) int {
 	return j
 }
 
-// fold accumulates one event into the running totals.
+// fold accumulates one event into the running totals. Record already
+// rejected malformed events, so e has a nonnegative rank and start and a
+// nonnegative duration.
 func (s *foldState) fold(e trace.Event, window float64) {
 	i := s.regionIndex(e.Region)
 	j := s.activityIndex(e.Activity)
+	s.folded++
 	if e.Rank >= s.procs {
 		s.procs = e.Rank + 1
 	}
@@ -218,11 +235,27 @@ func (s *foldState) fold(e trace.Event, window float64) {
 	d := e.End - e.Start
 	s.totals[i][j][e.Rank] += d
 	s.durs[i][j].Add(d)
-	if window <= 0 || d < 0 {
+	if window <= 0 {
 		return
 	}
 	// Clip the event onto each temporal window it overlaps, exactly as
 	// Log.Window does offline.
+	if d == 0 {
+		// A zero-duration event contributes no busy time but still
+		// counts as an event of the window strictly containing its
+		// instant; an instant exactly on a boundary belongs to neither
+		// side, matching Log.Window's half-open [from, to) clipping.
+		w := int(e.Start / window)
+		if e.Start == float64(w)*window {
+			return
+		}
+		acc := s.window(w)
+		for len(acc.procSeconds) <= e.Rank {
+			acc.procSeconds = append(acc.procSeconds, 0)
+		}
+		acc.events++
+		return
+	}
 	first := int(e.Start / window)
 	last := int(e.End / window)
 	if e.End == float64(last)*window && last > first {
@@ -239,15 +272,21 @@ func (s *foldState) fold(e trace.Event, window float64) {
 		if hi <= lo {
 			continue
 		}
-		acc, ok := s.windows[w]
-		if !ok {
-			acc = &windowAcc{}
-			s.windows[w] = acc
-		}
+		acc := s.window(w)
 		for len(acc.procSeconds) <= e.Rank {
 			acc.procSeconds = append(acc.procSeconds, 0)
 		}
 		acc.procSeconds[e.Rank] += hi - lo
 		acc.events++
 	}
+}
+
+// window returns the accumulator of window w, creating it on first use.
+func (s *foldState) window(w int) *windowAcc {
+	acc, ok := s.windows[w]
+	if !ok {
+		acc = &windowAcc{}
+		s.windows[w] = acc
+	}
+	return acc
 }

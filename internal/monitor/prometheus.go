@@ -207,7 +207,11 @@ func WriteMetrics(w io.Writer, snap *Snapshot) error {
 	if len(snap.Windows) > 0 {
 		last := snap.Windows[len(snap.Windows)-1]
 		m.header(MetricWindowID, "Dispersion of per-processor load in the latest window.", "gauge")
-		m.sample(MetricWindowID, []string{label("window", strconv.Itoa(last.Index))}, last.ID)
+		if last.ID != nil {
+			// An all-idle window has no defined dispersion; omitting the
+			// sample beats serving a misleading 0 ("perfectly balanced").
+			m.sample(MetricWindowID, []string{label("window", strconv.Itoa(last.Index))}, *last.ID)
+		}
 		m.header(MetricWindowGini, "Gini of per-processor load in the latest window.", "gauge")
 		m.sample(MetricWindowGini, []string{label("window", strconv.Itoa(last.Index))}, last.Gini)
 	}

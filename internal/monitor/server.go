@@ -9,6 +9,82 @@ import (
 	"loadimb/internal/tracefmt"
 )
 
+// A SnapshotSource yields the freshest snapshot of a live measurement:
+// the Collector is one (it folds its buffered events on demand), and the
+// federation scraper (internal/federate) is another (it merges the cubes
+// most recently fetched from many collectors). The exported handlers
+// below serve any source, so one exposition path covers both the
+// per-process and the cluster-wide view.
+type SnapshotSource interface {
+	// Snapshot returns the current snapshot; it must never return nil.
+	Snapshot() *Snapshot
+}
+
+// MetricsHandler serves the Prometheus text exposition of the source's
+// snapshot: every paper index (ID_ij, ID_A/SID_A, ID_C/SID_C, ID_P), the
+// Gini coefficient, the cube marginals and the collector counters.
+func MetricsHandler(src SnapshotSource) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		snap := src.Snapshot()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WriteMetrics(w, snap); err != nil {
+			// Headers are already sent; the scraper will see a
+			// truncated body and retry.
+			return
+		}
+	}
+}
+
+// CubeHandler serves the snapshot cube as tracefmt JSON, answering 503
+// until the first event has been folded.
+func CubeHandler(src SnapshotSource) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		snap := src.Snapshot()
+		if snap.Cube == nil {
+			http.Error(w, "no events collected yet", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = tracefmt.WriteCubeJSON(w, snap.Cube)
+	}
+}
+
+// LorenzHandler serves the Lorenz curve and Gini coefficient of the
+// snapshot's per-processor total times.
+func LorenzHandler(src SnapshotSource) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		snap := src.Snapshot()
+		totals := snap.ProcTotals()
+		if totals == nil {
+			http.Error(w, "no events collected yet", http.StatusServiceUnavailable)
+			return
+		}
+		points, err := majorize.Lorenz(totals)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, lorenzPayload{
+			Procs:  len(totals),
+			Points: points,
+			Gini:   giniOf(totals),
+		})
+	}
+}
+
+// TimelineHandler serves the windowed imbalance trajectory of the
+// snapshot; window is the configured window width echoed in the payload
+// (0 when windowing is disabled).
+func TimelineHandler(src SnapshotSource, window float64) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		snap := src.Snapshot()
+		writeJSON(w, timelinePayload{
+			Window:  window,
+			Windows: snap.Windows,
+		})
+	}
+}
+
 // NewHandler returns the monitoring endpoint set for a collector:
 //
 //	/metrics        Prometheus text exposition of every paper index
@@ -28,49 +104,10 @@ func NewHandler(c *Collector) http.Handler {
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write([]byte("ok\n"))
 	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		snap := c.Snapshot()
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := WriteMetrics(w, snap); err != nil {
-			// Headers are already sent; the scraper will see a
-			// truncated body and retry.
-			return
-		}
-	})
-	mux.HandleFunc("/cube.json", func(w http.ResponseWriter, r *http.Request) {
-		snap := c.Snapshot()
-		if snap.Cube == nil {
-			http.Error(w, "no events collected yet", http.StatusServiceUnavailable)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		_ = tracefmt.WriteCubeJSON(w, snap.Cube)
-	})
-	mux.HandleFunc("/lorenz.json", func(w http.ResponseWriter, r *http.Request) {
-		snap := c.Snapshot()
-		totals := snap.ProcTotals()
-		if totals == nil {
-			http.Error(w, "no events collected yet", http.StatusServiceUnavailable)
-			return
-		}
-		points, err := majorize.Lorenz(totals)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		writeJSON(w, lorenzPayload{
-			Procs:  len(totals),
-			Points: points,
-			Gini:   giniOf(totals),
-		})
-	})
-	mux.HandleFunc("/timeline.json", func(w http.ResponseWriter, r *http.Request) {
-		snap := c.Snapshot()
-		writeJSON(w, timelinePayload{
-			Window:  c.window,
-			Windows: snap.Windows,
-		})
-	})
+	mux.Handle("/metrics", MetricsHandler(c))
+	mux.Handle("/cube.json", CubeHandler(c))
+	mux.Handle("/lorenz.json", LorenzHandler(c))
+	mux.Handle("/timeline.json", TimelineHandler(c, c.window))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)

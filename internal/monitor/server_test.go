@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"loadimb/internal/apps"
 	"loadimb/internal/mpi"
@@ -21,9 +22,13 @@ func newTestServer(t *testing.T) (*httptest.Server, *Collector) {
 	return srv, c
 }
 
+// testClient bounds every test request: a hung server must fail the test
+// fast instead of stalling the whole CI run.
+var testClient = &http.Client{Timeout: 10 * time.Second}
+
 func get(t *testing.T, url string) (int, string, string) {
 	t.Helper()
-	resp, err := http.Get(url)
+	resp, err := testClient.Get(url)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,8 +145,11 @@ func TestServerTimeline(t *testing.T) {
 			t.Fatalf("windows out of order: %+v", payload.Windows)
 		}
 		prev = w.Index
-		if w.Busy < 0 || w.ID < 0 || w.Gini < 0 {
+		if w.Busy < 0 || (w.ID != nil && *w.ID < 0) || w.Gini < 0 {
 			t.Errorf("negative window stat: %+v", w)
+		}
+		if w.Busy > 0 && w.ID == nil {
+			t.Errorf("busy window %d served a null ID", w.Index)
 		}
 	}
 }

@@ -17,7 +17,10 @@ type Snapshot struct {
 	// Log.Aggregate of the same events would be. It is nil until the
 	// first event has been folded.
 	Cube *trace.Cube
-	// Events and Dropped are the collector's counters at fold time.
+	// Events is the number of events folded into Cube — exactly the
+	// events the cube accounts for, never including ones recorded
+	// concurrently with the snapshot. Dropped is the number of malformed
+	// events rejected up to the fold.
 	Events, Dropped uint64
 	// Span is the largest event end time seen — the live estimate of
 	// the program wall clock time.
@@ -46,8 +49,12 @@ type WindowStat struct {
 	// Busy is the total processor-seconds spent in the window.
 	Busy float64 `json:"busy"`
 	// ID is the paper's Euclidean index of dispersion of the
-	// standardized per-processor busy times within the window.
-	ID float64 `json:"id"`
+	// standardized per-processor busy times within the window. It is nil
+	// — served as an explicit JSON null — when the dispersion is
+	// undefined, i.e. when the window recorded no busy time at all (only
+	// zero-duration events): an all-idle window has no load to disperse,
+	// which is not the same thing as a perfectly balanced one.
+	ID *float64 `json:"id"`
 	// Gini is the Gini coefficient of the per-processor busy times.
 	Gini float64 `json:"gini"`
 }
@@ -107,7 +114,7 @@ func (s *foldState) build(window float64, events, dropped uint64) *Snapshot {
 			}
 			ws.Busy = stats.Sum(procSeconds)
 			if id, err := stats.EuclideanFromBalance(procSeconds); err == nil {
-				ws.ID = id
+				ws.ID = &id
 			}
 			ws.Gini = giniOf(procSeconds)
 			snap.Windows = append(snap.Windows, ws)

@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// jobLog builds a small per-job event log and aggregates it, so the
+// federation tests can compare against merging the raw logs by hand.
+func jobLog(t *testing.T, events []Event) (*Log, *Cube) {
+	t.Helper()
+	var lg Log
+	for _, e := range events {
+		if err := lg.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cube, err := lg.Aggregate(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &lg, cube
+}
+
+func TestFederateOffsetsRanksAndNamespacesRegions(t *testing.T) {
+	_, a := jobLog(t, []Event{
+		{Rank: 0, Region: "solve", Activity: "comp", Start: 0, End: 2},
+		{Rank: 1, Region: "solve", Activity: "comm", Start: 0, End: 1},
+		{Rank: 1, Region: "io", Activity: "comp", Start: 1, End: 4},
+	})
+	_, b := jobLog(t, []Event{
+		{Rank: 0, Region: "solve", Activity: "comp", Start: 0, End: 5},
+		{Rank: 2, Region: "mesh", Activity: "sync", Start: 0, End: 3},
+	})
+	fed, err := Federate([]JobCube{{Label: "jobA", Cube: a}, {Label: "jobB", Cube: b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRegions := []string{"jobA/solve", "jobA/io", "jobB/solve", "jobB/mesh"}
+	gotRegions := fed.Regions()
+	if len(gotRegions) != len(wantRegions) {
+		t.Fatalf("regions = %v, want %v", gotRegions, wantRegions)
+	}
+	for i := range wantRegions {
+		if gotRegions[i] != wantRegions[i] {
+			t.Fatalf("regions = %v, want %v", gotRegions, wantRegions)
+		}
+	}
+	wantActs := []string{"comp", "comm", "sync"}
+	gotActs := fed.Activities()
+	if len(gotActs) != len(wantActs) {
+		t.Fatalf("activities = %v, want %v", gotActs, wantActs)
+	}
+	for j := range wantActs {
+		if gotActs[j] != wantActs[j] {
+			t.Fatalf("activities = %v, want %v", gotActs, wantActs)
+		}
+	}
+	if fed.NumProcs() != a.NumProcs()+b.NumProcs() {
+		t.Fatalf("procs = %d, want %d", fed.NumProcs(), a.NumProcs()+b.NumProcs())
+	}
+	// Job B's rank 0 is federated rank 2 (offset by job A's 2 procs).
+	v, err := fed.At(fed.RegionIndex("jobB/solve"), fed.ActivityIndex("comp"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 5 {
+		t.Errorf("jobB/solve comp at offset rank = %g, want 5", v)
+	}
+	// Job A's cells stay on ranks 0..1; job B's ranks there are zero.
+	v, err = fed.At(fed.RegionIndex("jobA/solve"), fed.ActivityIndex("comp"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Errorf("jobA/solve comp rank 0 = %g, want 2", v)
+	}
+	for p := 2; p < 5; p++ {
+		v, err := fed.At(fed.RegionIndex("jobA/solve"), fed.ActivityIndex("comp"), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 0 {
+			t.Errorf("jobA cell leaked onto federated rank %d: %g", p, v)
+		}
+	}
+	// Program time: the jobs run concurrently, so the federated wall
+	// clock is the longest job timeline.
+	if got, want := fed.ProgramTime(), math.Max(a.ProgramTime(), b.ProgramTime()); got != want {
+		t.Errorf("program time = %g, want %g", got, want)
+	}
+}
+
+// TestFederateMatchesMergedLog checks the defining property: federating
+// per-job cubes equals aggregating one log whose events carry offset ranks
+// and namespaced regions.
+func TestFederateMatchesMergedLog(t *testing.T) {
+	jobA := []Event{
+		{Rank: 0, Region: "r1", Activity: "x", Start: 0, End: 1.5},
+		{Rank: 1, Region: "r1", Activity: "y", Start: 0.5, End: 2},
+		{Rank: 2, Region: "r2", Activity: "x", Start: 0, End: 7},
+	}
+	jobB := []Event{
+		{Rank: 0, Region: "r1", Activity: "x", Start: 0, End: 3},
+		{Rank: 1, Region: "r3", Activity: "z", Start: 2, End: 4},
+	}
+	_, a := jobLog(t, jobA)
+	_, b := jobLog(t, jobB)
+	fed, err := Federate([]JobCube{{Label: "a", Cube: a}, {Label: "b", Cube: b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merged Log
+	for _, e := range jobA {
+		e.Region = "a/" + e.Region
+		if err := merged.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range jobB {
+		e.Rank += a.NumProcs()
+		e.Region = "b/" + e.Region
+		if err := merged.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := merged.Aggregate(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fed.EqualWithin(want, 1e-12) {
+		t.Fatalf("federated cube differs from the merged-log aggregate\nfed T=%g want T=%g",
+			fed.ProgramTime(), want.ProgramTime())
+	}
+}
+
+func TestFederateUnlabeledSharedRegions(t *testing.T) {
+	_, a := jobLog(t, []Event{{Rank: 0, Region: "solve", Activity: "comp", Start: 0, End: 2}})
+	_, b := jobLog(t, []Event{{Rank: 0, Region: "solve", Activity: "comp", Start: 0, End: 3}})
+	fed, err := Federate([]JobCube{{Cube: a}, {Cube: b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fed.NumRegions() != 1 || fed.NumProcs() != 2 {
+		t.Fatalf("shape = %dx%d procs, want 1 region x 2 procs", fed.NumRegions(), fed.NumProcs())
+	}
+	v0, _ := fed.At(0, 0, 0)
+	v1, _ := fed.At(0, 0, 1)
+	if v0 != 2 || v1 != 3 {
+		t.Errorf("shared region times = %g, %g; want 2, 3", v0, v1)
+	}
+}
+
+func TestFederateSingleJobKeepsTotals(t *testing.T) {
+	_, a := jobLog(t, []Event{
+		{Rank: 0, Region: "r", Activity: "x", Start: 0, End: 2},
+		{Rank: 1, Region: "r", Activity: "x", Start: 0, End: 4},
+	})
+	fed, err := Federate([]JobCube{{Label: "solo", Cube: a}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fed.RegionIndex("solo/r") != 0 {
+		t.Fatalf("regions = %v, want [solo/r]", fed.Regions())
+	}
+	if fed.RegionsTotal() != a.RegionsTotal() || fed.ProgramTime() != a.ProgramTime() {
+		t.Errorf("totals changed: %g/%g vs %g/%g",
+			fed.RegionsTotal(), fed.ProgramTime(), a.RegionsTotal(), a.ProgramTime())
+	}
+}
+
+func TestFederateErrors(t *testing.T) {
+	if _, err := Federate(nil); err == nil {
+		t.Error("federating zero jobs succeeded")
+	}
+	_, a := jobLog(t, []Event{{Rank: 0, Region: "r", Activity: "x", Start: 0, End: 1}})
+	if _, err := Federate([]JobCube{{Label: "a", Cube: a}, {Label: "b"}}); err == nil {
+		t.Error("nil job cube accepted")
+	}
+}
