@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// naiveLloyd is the pre-cycle-detector main loop, verbatim: it always runs
+// out the iteration budget when the empty-cluster re-seeding cycles.
+func naiveLloyd(points [][]float64, k, maxIter int, init Init) ([]int, [][]float64, int) {
+	centroids := initialize(points, k, init)
+	assign := make([]int, len(points))
+	iters := 0
+	for iter := 0; iter < maxIter; iter++ {
+		iters = iter + 1
+		changed := assignPoints(points, centroids, assign)
+		recomputeCentroids(points, centroids, assign)
+		fixEmptyClusters(points, centroids, assign)
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	return assign, centroids, iters
+}
+
+// TestKMeansCycleDetectorTriggers pins the canonical cycling input —
+// identical points, where ties make the assignment step and the
+// empty-cluster re-seeding fight forever — and checks the detector leaves
+// the result bit-identical to running the full budget. The naive loop must
+// exhaust the budget here, or the case would not exercise the jump at all.
+func TestKMeansCycleDetectorTriggers(t *testing.T) {
+	for _, n := range []int{4, 7, 128} {
+		for _, k := range []int{2, 3} {
+			if k >= n {
+				continue
+			}
+			for _, maxIter := range []int{99, 100} {
+				t.Run(fmt.Sprintf("n%d/k%d/maxIter%d", n, k, maxIter), func(t *testing.T) {
+					points := make([][]float64, n)
+					for i := range points {
+						points[i] = []float64{0.25, 0.5, 0.25}
+					}
+					wantAssign, wantCent, wantIters := naiveLloyd(points, k, maxIter, InitFirstK)
+					if wantIters != maxIter {
+						t.Fatalf("naive loop converged in %d iterations; the case no longer cycles", wantIters)
+					}
+					res, err := KMeans(points, k, Options{Init: InitFirstK, MaxIter: maxIter})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Iterations != wantIters {
+						t.Errorf("Iterations = %d, naive %d", res.Iterations, wantIters)
+					}
+					for i := range wantAssign {
+						if res.Assign[i] != wantAssign[i] {
+							t.Fatalf("Assign[%d] = %d, naive %d", i, res.Assign[i], wantAssign[i])
+						}
+					}
+					for c := range wantCent {
+						for d := range wantCent[c] {
+							if res.Centroids[c][d] != wantCent[c][d] {
+								t.Fatalf("Centroids[%d][%d] = %g, naive %g",
+									c, d, res.Centroids[c][d], wantCent[c][d])
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestKMeansCycleJumpMatchesFullRun checks the cycle detector is
+// invisible: whatever KMeans returns must be bit-identical — assignments,
+// centroids and reported iteration count — to naively running every Lloyd
+// iteration, across random inputs, cluster counts and iteration budgets.
+// Odd and even budgets land on opposite states of a period-two cycle, so
+// both parities are exercised.
+func TestKMeansCycleJumpMatchesFullRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(60)
+		dim := 1 + rng.Intn(8)
+		k := 2 + rng.Intn(3)
+		if k > n {
+			k = n
+		}
+		points := make([][]float64, n)
+		for i := range points {
+			points[i] = make([]float64, dim)
+			for d := range points[i] {
+				points[i][d] = rng.Float64()
+			}
+		}
+		for _, maxIter := range []int{99, 100} {
+			t.Run(fmt.Sprintf("trial%d/maxIter%d", trial, maxIter), func(t *testing.T) {
+				wantAssign, wantCent, wantIters := naiveLloyd(points, k, maxIter, InitFirstK)
+				res, err := KMeans(points, k, Options{Init: InitFirstK, MaxIter: maxIter})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Iterations != wantIters {
+					t.Errorf("Iterations = %d, naive %d", res.Iterations, wantIters)
+				}
+				for i := range wantAssign {
+					if res.Assign[i] != wantAssign[i] {
+						t.Fatalf("Assign[%d] = %d, naive %d", i, res.Assign[i], wantAssign[i])
+					}
+				}
+				for c := range wantCent {
+					for d := range wantCent[c] {
+						if res.Centroids[c][d] != wantCent[c][d] {
+							t.Fatalf("Centroids[%d][%d] = %g, naive %g",
+								c, d, res.Centroids[c][d], wantCent[c][d])
+						}
+					}
+				}
+			})
+		}
+	}
+}

@@ -97,6 +97,39 @@ func validate(points [][]float64, k int) (dim int, err error) {
 	return dim, nil
 }
 
+// makeCentroidsLike allocates a centroid matrix of the same shape.
+func makeCentroidsLike(centroids [][]float64) [][]float64 {
+	out := make([][]float64, len(centroids))
+	for c := range centroids {
+		out[c] = make([]float64, len(centroids[c]))
+	}
+	return out
+}
+
+// equalAssign reports whether two assignment vectors are identical.
+func equalAssign(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// equalCentroids reports whether two centroid matrices are bitwise equal
+// (exact float comparison: the cycle detector needs identical states, not
+// merely close ones).
+func equalCentroids(a, b [][]float64) bool {
+	for c := range a {
+		for d := range a[c] {
+			if a[c][d] != b[c][d] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // sqDist returns the squared Euclidean distance between two points.
 func sqDist(a, b []float64) float64 {
 	s := 0.0
@@ -122,6 +155,18 @@ func KMeans(points [][]float64, k int, opts Options) (*Result, error) {
 	centroids := initialize(points, k, opts.Init)
 	assign := make([]int, len(points))
 	res := &Result{Assign: assign, Centroids: centroids}
+	// Lloyd's terminates when assignments stop changing, but the
+	// empty-cluster re-seeding can fight the assignment step and lock the
+	// state into a period-two cycle that would otherwise spin until
+	// maxIter. The detector keeps the previous two states and, on seeing
+	// state(t) == state(t-2), jumps straight to the state maxIter
+	// iterations would have produced: the remaining steps only alternate
+	// between the two cycle states, so the result is bit-identical to
+	// running them all.
+	prevAssign := make([]int, len(points))
+	prev2Assign := make([]int, len(points))
+	prevCent := makeCentroidsLike(centroids)
+	prev2Cent := makeCentroidsLike(centroids)
 	for iter := 0; iter < maxIter; iter++ {
 		res.Iterations = iter + 1
 		changed := assignPoints(points, centroids, assign)
@@ -129,6 +174,24 @@ func KMeans(points [][]float64, k int, opts Options) (*Result, error) {
 		fixEmptyClusters(points, centroids, assign)
 		if !changed && iter > 0 {
 			break
+		}
+		if iter >= 2 && equalAssign(assign, prev2Assign) && equalCentroids(centroids, prev2Cent) {
+			if (maxIter-1-iter)%2 == 1 {
+				// An odd number of steps remains: the final state is the
+				// other cycle state, i.e. the previous iteration's.
+				copy(assign, prevAssign)
+				for c := range centroids {
+					copy(centroids[c], prevCent[c])
+				}
+			}
+			res.Iterations = maxIter
+			break
+		}
+		prevAssign, prev2Assign = prev2Assign, prevAssign
+		copy(prevAssign, assign)
+		prevCent, prev2Cent = prev2Cent, prevCent
+		for c := range centroids {
+			copy(prevCent[c], centroids[c])
 		}
 	}
 	if opts.Refine {

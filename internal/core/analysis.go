@@ -63,11 +63,11 @@ func Analyze(cube *trace.Cube, opts AnalyzeOptions) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	acts, err := activityViewFromCells(cube, cells)
+	acts, err := ActivityViewFromCells(cube, cells)
 	if err != nil {
 		return nil, err
 	}
-	regs, err := regionViewFromCells(cube, cells)
+	regs, err := CodeRegionViewFromCells(cube, cells)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// serialCellThreshold is the cube size (N·K·P values) below which the
+// region-parallel analyses run serially: for small cubes the goroutine
+// fan-out and the cache traffic of work stealing cost more than the row
+// arithmetic saves. The value is one L2-ish worth of float64s; see the
+// README "Performance" section for the measurement behind it.
+const serialCellThreshold = 1 << 14
+
+// forEachRegion runs fn(i, w) for every region index i in [0, n). When the
+// cube holds at least serialCellThreshold values and more than one CPU is
+// available, regions are distributed over min(GOMAXPROCS, n) workers via
+// an atomic work-stealing counter; otherwise the loop runs serially on the
+// caller's goroutine. w identifies the executing worker (0 <= w <
+// GOMAXPROCS), so fn can reuse per-worker scratch buffers. fn must write
+// only to region-indexed slots of shared output; region order within a
+// worker is unspecified. The first error cancels the remaining work.
+func forEachRegion(n, cells int, fn func(i, w int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || cells < serialCellThreshold {
+		for i := 0; i < n; i++ {
+			if err := fn(i, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		mu     sync.Mutex
+		first  error
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i, w); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return first
+}

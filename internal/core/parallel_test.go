@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// bitEqual is float equality at the bit level: the parallel engine promises
+// results identical to the serial one, not merely close, and NaN payloads
+// must match too.
+func bitEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func sameCells(t *testing.T, got, want [][]CellDispersion) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("cell matrix has %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("cell row %d has %d entries, want %d", i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			g, w := got[i][j], want[i][j]
+			if g.Region != w.Region || g.Activity != w.Activity ||
+				g.Defined != w.Defined || !bitEqual(g.ID, w.ID) {
+				t.Errorf("cell (%d, %d): parallel %+v, serial %+v", i, j, g, w)
+			}
+		}
+	}
+}
+
+func sameProcessorView(t *testing.T, got, want *ProcessorView) {
+	t.Helper()
+	if len(got.ByRegion) != len(want.ByRegion) {
+		t.Fatalf("ByRegion has %d rows, want %d", len(got.ByRegion), len(want.ByRegion))
+	}
+	for i := range want.ByRegion {
+		if len(got.ByRegion[i]) != len(want.ByRegion[i]) {
+			t.Fatalf("ByRegion[%d] has %d entries, want %d", i, len(got.ByRegion[i]), len(want.ByRegion[i]))
+		}
+		for p := range want.ByRegion[i] {
+			g, w := got.ByRegion[i][p], want.ByRegion[i][p]
+			if g.Region != w.Region || g.Proc != w.Proc ||
+				g.Defined != w.Defined || !bitEqual(g.ID, w.ID) {
+				t.Errorf("ByRegion(%d, %d): parallel %+v, serial %+v", i, p, g, w)
+			}
+		}
+	}
+	if len(got.Summaries) != len(want.Summaries) {
+		t.Fatalf("Summaries has %d entries, want %d", len(got.Summaries), len(want.Summaries))
+	}
+	for p := range want.Summaries {
+		g, w := got.Summaries[p], want.Summaries[p]
+		if g.Proc != w.Proc || !bitEqual(g.ImbalancedTime, w.ImbalancedTime) {
+			t.Errorf("Summaries[%d]: parallel %+v, serial %+v", p, g, w)
+		}
+		if len(g.MostImbalancedOn) != len(w.MostImbalancedOn) {
+			t.Errorf("Summaries[%d].MostImbalancedOn: parallel %v, serial %v", p, g.MostImbalancedOn, w.MostImbalancedOn)
+			continue
+		}
+		for x := range w.MostImbalancedOn {
+			if g.MostImbalancedOn[x] != w.MostImbalancedOn[x] {
+				t.Errorf("Summaries[%d].MostImbalancedOn: parallel %v, serial %v", p, g.MostImbalancedOn, w.MostImbalancedOn)
+				break
+			}
+		}
+	}
+	if got.MostFrequentlyImbalanced != want.MostFrequentlyImbalanced {
+		t.Errorf("MostFrequentlyImbalanced: parallel %d, serial %d", got.MostFrequentlyImbalanced, want.MostFrequentlyImbalanced)
+	}
+	if got.LongestImbalanced != want.LongestImbalanced {
+		t.Errorf("LongestImbalanced: parallel %d, serial %d", got.LongestImbalanced, want.LongestImbalanced)
+	}
+}
+
+// TestParallelAnalysisMatchesSerial runs the analysis engine once with one
+// worker and once with several on cubes straddling the serial threshold;
+// the results must agree bit for bit. The single-CPU CI machine still
+// exercises the concurrent path because forEachRegion sizes its pool from
+// GOMAXPROCS, which the test raises explicitly.
+func TestParallelAnalysisMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	shapes := []struct {
+		n, k, p int
+	}{
+		{3, 2, 8},     // far below serialCellThreshold: serial either way
+		{16, 8, 128},  // exactly at the threshold (16384 cells)
+		{16, 8, 256},  // above: the worker pool engages
+		{26, 6, 1024}, // above with more regions than a pool's workers
+	}
+	for _, sh := range shapes {
+		t.Run(fmt.Sprintf("N%dxK%dxP%d", sh.n, sh.k, sh.p), func(t *testing.T) {
+			cube := randomCube(t, rng, sh.n, sh.k, sh.p)
+
+			prev := runtime.GOMAXPROCS(1)
+			serialCells, err1 := Dispersions(cube, Options{})
+			serialView, err2 := NewProcessorView(cube, Options{})
+			runtime.GOMAXPROCS(4)
+			parallelCells, err3 := Dispersions(cube, Options{})
+			parallelView, err4 := NewProcessorView(cube, Options{})
+			runtime.GOMAXPROCS(prev)
+
+			for _, err := range []error{err1, err2, err3, err4} {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			sameCells(t, parallelCells, serialCells)
+			sameProcessorView(t, parallelView, serialView)
+		})
+	}
+}
+
+// TestParallelAnalyzeMatchesSerial checks the full pipeline end to end:
+// profile, cells, views, clustering — everything Analyze returns must be
+// independent of the worker count.
+func TestParallelAnalyzeMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	cube := randomCube(t, rng, 16, 8, 192)
+
+	prev := runtime.GOMAXPROCS(1)
+	serial, errS := Analyze(cube, AnalyzeOptions{})
+	runtime.GOMAXPROCS(4)
+	parallel, errP := Analyze(cube, AnalyzeOptions{})
+	runtime.GOMAXPROCS(prev)
+	if errS != nil || errP != nil {
+		t.Fatalf("Analyze: serial err %v, parallel err %v", errS, errP)
+	}
+
+	sameCells(t, parallel.Cells, serial.Cells)
+	sameProcessorView(t, parallel.Processors, serial.Processors)
+	for j := range serial.Activities {
+		g, w := parallel.Activities[j], serial.Activities[j]
+		if g != w && !(bitEqual(g.ID, w.ID) && bitEqual(g.SID, w.SID) && bitEqual(g.Share, w.Share) &&
+			g.Activity == w.Activity && g.Name == w.Name && g.Defined == w.Defined) {
+			t.Errorf("Activities[%d]: parallel %+v, serial %+v", j, g, w)
+		}
+	}
+	for i := range serial.Regions {
+		g, w := parallel.Regions[i], serial.Regions[i]
+		if g != w && !(bitEqual(g.ID, w.ID) && bitEqual(g.SID, w.SID) && bitEqual(g.Share, w.Share) &&
+			g.Region == w.Region && g.Name == w.Name && g.Defined == w.Defined) {
+			t.Errorf("Regions[%d]: parallel %+v, serial %+v", i, g, w)
+		}
+	}
+	if len(parallel.Clusters) != len(serial.Clusters) {
+		t.Fatalf("Clusters: parallel %v, serial %v", parallel.Clusters, serial.Clusters)
+	}
+	for c := range serial.Clusters {
+		if len(parallel.Clusters[c]) != len(serial.Clusters[c]) {
+			t.Fatalf("Clusters[%d]: parallel %v, serial %v", c, parallel.Clusters[c], serial.Clusters[c])
+		}
+		for x := range serial.Clusters[c] {
+			if parallel.Clusters[c][x] != serial.Clusters[c][x] {
+				t.Fatalf("Clusters[%d]: parallel %v, serial %v", c, parallel.Clusters[c], serial.Clusters[c])
+			}
+		}
+	}
+}
+
+// TestForEachRegionPropagatesErrors checks the pool's error paths: the
+// first error wins, remaining regions are abandoned, and the serial path
+// reports errors identically.
+func TestForEachRegionPropagatesErrors(t *testing.T) {
+	wantErr := fmt.Errorf("region 3 broke")
+	// Serial path: cells below the threshold.
+	err := forEachRegion(8, 1, func(i, w int) error {
+		if i == 3 {
+			return wantErr
+		}
+		return nil
+	})
+	if err != wantErr {
+		t.Fatalf("serial forEachRegion error = %v, want %v", err, wantErr)
+	}
+	// Parallel path: force the pool with a huge cell count.
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	err = forEachRegion(64, serialCellThreshold+1, func(i, w int) error {
+		if i == 3 {
+			return wantErr
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("parallel forEachRegion returned nil, want an error")
+	}
+}
+
+// TestForEachRegionCoversAllRegions checks every region index is visited
+// exactly once and worker ids stay within the pool bounds.
+func TestForEachRegionCoversAllRegions(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	const n = 137
+	visits := make([]int32, n)
+	maxWorkers := runtime.GOMAXPROCS(0)
+	err := forEachRegion(n, serialCellThreshold+1, func(i, w int) error {
+		if w < 0 || w >= maxWorkers {
+			return fmt.Errorf("worker id %d out of range [0, %d)", w, maxWorkers)
+		}
+		visits[i]++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range visits {
+		if v != 1 {
+			t.Errorf("region %d visited %d times", i, v)
+		}
+	}
+}

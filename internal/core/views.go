@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 
 	"loadimb/internal/stats"
 	"loadimb/internal/trace"
@@ -37,35 +38,62 @@ type CellDispersion struct {
 	ID float64
 }
 
+// cellScratch is the per-worker buffer set of Dispersions: one borrow
+// buffer for the cell's processor times and one for the standardized
+// values of non-fused indices.
+type cellScratch struct {
+	times []float64
+}
+
 // Dispersions computes the matrix of indices of dispersion ID_ij: for every
 // code region i and activity j, the times spent by the P processors are
 // standardized (divided by their sum) and the index of dispersion measures
 // their spread around the balanced condition 1/P. Cells whose activity is
 // absent are marked undefined.
+//
+// Rows are independent, so large cubes are processed by a GOMAXPROCS-
+// bounded worker pool (see forEachRegion); each worker reuses a scratch
+// buffer, so the sweep allocates nothing per cell. The result is
+// deterministic regardless of scheduling: every worker writes only its
+// own region rows.
 func Dispersions(cube *trace.Cube, opts Options) ([][]CellDispersion, error) {
 	if cube == nil {
 		return nil, ErrNilCube
 	}
 	idx := opts.index()
-	out := make([][]CellDispersion, cube.NumRegions())
+	n, k, p := cube.NumRegions(), cube.NumActivities(), cube.NumProcs()
+	out := make([][]CellDispersion, n)
+	rows := make([]CellDispersion, n*k)
 	for i := range out {
-		out[i] = make([]CellDispersion, cube.NumActivities())
-		for j := range out[i] {
-			out[i][j] = CellDispersion{Region: i, Activity: j}
-			times, err := cube.ProcTimes(i, j)
+		out[i], rows = rows[:k:k], rows[k:]
+	}
+	scratch := make([]cellScratch, runtime.GOMAXPROCS(0))
+	err := forEachRegion(n, n*k*p, func(i, w int) error {
+		sc := &scratch[w]
+		row := out[i]
+		for j := 0; j < k; j++ {
+			row[j] = CellDispersion{Region: i, Activity: j}
+			times, err := cube.ProcTimesInto(i, j, sc.times)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			id, err := stats.DispersionFromBalance(idx, times)
+			sc.times = times
+			// times is a scratch copy refilled next cell, so it doubles
+			// as the standardization buffer: in-place, no second copy.
+			id, err := stats.DispersionFromBalanceInto(idx, times, times)
 			if errors.Is(err, stats.ErrZeroSum) {
 				continue // activity absent: leave undefined
 			}
 			if err != nil {
-				return nil, fmt.Errorf("core: region %d activity %d: %w", i, j, err)
+				return fmt.Errorf("core: region %d activity %d: %w", i, j, err)
 			}
-			out[i][j].Defined = true
-			out[i][j].ID = id
+			row[j].Defined = true
+			row[j].ID = id
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -99,10 +127,13 @@ func ActivityView(cube *trace.Cube, opts Options) ([]ActivitySummary, error) {
 	if err != nil {
 		return nil, err
 	}
-	return activityViewFromCells(cube, cells)
+	return ActivityViewFromCells(cube, cells)
 }
 
-func activityViewFromCells(cube *trace.Cube, cells [][]CellDispersion) ([]ActivitySummary, error) {
+// ActivityViewFromCells computes the activity view from an existing ID_ij
+// matrix, so callers that already hold the cells (Analyze, the monitor's
+// scrape path) do not recompute the dispersion sweep.
+func ActivityViewFromCells(cube *trace.Cube, cells [][]CellDispersion) ([]ActivitySummary, error) {
 	t := cube.ProgramTime()
 	names := cube.Activities()
 	out := make([]ActivitySummary, cube.NumActivities())
@@ -159,10 +190,12 @@ func CodeRegionView(cube *trace.Cube, opts Options) ([]RegionSummary, error) {
 	if err != nil {
 		return nil, err
 	}
-	return regionViewFromCells(cube, cells)
+	return CodeRegionViewFromCells(cube, cells)
 }
 
-func regionViewFromCells(cube *trace.Cube, cells [][]CellDispersion) ([]RegionSummary, error) {
+// CodeRegionViewFromCells computes the code-region view from an existing
+// ID_ij matrix, sharing the dispersion sweep with other consumers.
+func CodeRegionViewFromCells(cube *trace.Cube, cells [][]CellDispersion) ([]RegionSummary, error) {
 	t := cube.ProgramTime()
 	names := cube.Regions()
 	out := make([]RegionSummary, cube.NumRegions())
@@ -232,6 +265,16 @@ type ProcessorView struct {
 	LongestImbalanced int
 }
 
+// procScratch is the per-worker buffer set of NewProcessorView: the
+// flattened procs×k matrix of standardized activity mixes, the average
+// mix, one borrow buffer for cell rows, and the participation mask.
+type procScratch struct {
+	std []float64 // procs*k, mix of processor p at [p*k : (p+1)*k]
+	avg []float64 // k
+	row []float64 // borrow buffer for ProcTimesInto
+	sum []float64 // procs; 0 marks a processor idle in the region
+}
+
 // NewProcessorView computes the processor view (Section 3.1): for each
 // region, each processor's times across the activities are standardized
 // over the processor's total time in the region; ID_P_ip is the Euclidean
@@ -239,6 +282,11 @@ type ProcessorView struct {
 // average mix over all processors (the paper defines this view directly in
 // terms of the Euclidean distance, so Options.Index does not apply here).
 // Processors repeatedly most-imbalanced are candidates for investigation.
+//
+// Regions are independent, so large cubes fan out across a GOMAXPROCS-
+// bounded worker pool with per-worker scratch (see forEachRegion); the
+// per-processor summary aggregation runs serially afterwards in region
+// order, so the result is identical to the serial computation.
 func NewProcessorView(cube *trace.Cube, opts Options) (*ProcessorView, error) {
 	if cube == nil {
 		return nil, ErrNilCube
@@ -252,43 +300,66 @@ func NewProcessorView(cube *trace.Cube, opts Options) (*ProcessorView, error) {
 	for p := range view.Summaries {
 		view.Summaries[p].Proc = p
 	}
-	for i := 0; i < n; i++ {
-		view.ByRegion[i] = make([]ProcessorDispersion, procs)
-		// Standardize each processor's activity mix within the region.
-		std := make([][]float64, procs)
-		for p := 0; p < procs; p++ {
-			view.ByRegion[i][p] = ProcessorDispersion{Region: i, Proc: p}
-			mix := make([]float64, k)
-			for j := 0; j < k; j++ {
-				v, err := cube.At(i, j, p)
-				if err != nil {
-					return nil, err
-				}
-				mix[j] = v
-			}
-			s, err := stats.Standardize(mix)
-			if errors.Is(err, stats.ErrZeroSum) {
-				continue // processor idle in this region
-			}
-			if err != nil {
-				return nil, err
-			}
-			std[p] = s
+	rows := make([]ProcessorDispersion, n*procs)
+	for i := range view.ByRegion {
+		view.ByRegion[i], rows = rows[:procs:procs], rows[procs:]
+	}
+	// most[i] is the region's most imbalanced processor (-1 when the
+	// region is entirely idle), filled by the regional sweep and folded
+	// into the per-processor summaries serially below.
+	most := make([]int, n)
+	scratch := make([]procScratch, runtime.GOMAXPROCS(0))
+	err := forEachRegion(n, n*k*procs, func(i, w int) error {
+		sc := &scratch[w]
+		if len(sc.std) < procs*k {
+			sc.std = make([]float64, procs*k)
+			sc.avg = make([]float64, k)
+			sc.sum = make([]float64, procs)
 		}
-		// Average mix across the processors that participated.
-		avg := make([]float64, k)
+		most[i] = -1
+		// Gather the region's cell rows once each, scattering them into
+		// per-processor activity-mix vectors and accumulating each
+		// processor's total on the way: for fixed p the contributions
+		// arrive in ascending activity order, exactly the order the
+		// separate summation pass used.
+		for p := 0; p < procs; p++ {
+			sc.sum[p] = 0
+		}
+		for j := 0; j < k; j++ {
+			row, err := cube.ProcTimesInto(i, j, sc.row)
+			if err != nil {
+				return err
+			}
+			sc.row = row
+			for p := 0; p < procs; p++ {
+				sc.std[p*k+j] = row[p]
+				sc.sum[p] += row[p]
+			}
+		}
+		// Standardize each participating processor's mix in place,
+		// mirroring stats.Standardize exactly (x/sum per element), and
+		// fold the mix into the running average mix in the same pass: avg
+		// still receives contributions in ascending processor order.
+		avg := sc.avg
+		for j := range avg {
+			avg[j] = 0
+		}
 		count := 0
 		for p := 0; p < procs; p++ {
-			if std[p] == nil {
-				continue
+			view.ByRegion[i][p] = ProcessorDispersion{Region: i, Proc: p}
+			if sc.sum[p] == 0 {
+				continue // processor idle in this region
 			}
 			count++
-			for j := 0; j < k; j++ {
-				avg[j] += std[p][j]
+			sum := sc.sum[p]
+			mix := sc.std[p*k : (p+1)*k]
+			for j := range mix {
+				mix[j] /= sum
+				avg[j] += mix[j]
 			}
 		}
 		if count == 0 {
-			continue
+			return nil
 		}
 		for j := range avg {
 			avg[j] /= float64(count)
@@ -296,12 +367,13 @@ func NewProcessorView(cube *trace.Cube, opts Options) (*ProcessorView, error) {
 		// ID_P_ip: Euclidean distance between the processor's mix and
 		// the average mix.
 		for p := 0; p < procs; p++ {
-			if std[p] == nil {
+			if sc.sum[p] == 0 {
 				continue
 			}
+			mix := sc.std[p*k : (p+1)*k]
 			ss := 0.0
 			for j := 0; j < k; j++ {
-				d := std[p][j] - avg[j]
+				d := mix[j] - avg[j]
 				ss += d * d
 			}
 			view.ByRegion[i][p].Defined = true
@@ -315,14 +387,25 @@ func NewProcessorView(cube *trace.Cube, opts Options) (*ProcessorView, error) {
 				best, bestVal = p, d.ID
 			}
 		}
-		if best >= 0 {
-			view.Summaries[best].MostImbalancedOn = append(view.Summaries[best].MostImbalancedOn, i)
-			t, err := cube.ProcRegionTime(i, best)
-			if err != nil {
-				return nil, err
-			}
-			view.Summaries[best].ImbalancedTime += t
+		most[i] = best
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Fold the regional winners into the per-processor summaries in
+	// region order, exactly as the serial loop used to.
+	for i := 0; i < n; i++ {
+		best := most[i]
+		if best < 0 {
+			continue
 		}
+		view.Summaries[best].MostImbalancedOn = append(view.Summaries[best].MostImbalancedOn, i)
+		t, err := cube.ProcRegionTime(i, best)
+		if err != nil {
+			return nil, err
+		}
+		view.Summaries[best].ImbalancedTime += t
 	}
 	view.MostFrequentlyImbalanced = argmax(procs, func(p int) float64 {
 		return float64(len(view.Summaries[p].MostImbalancedOn))

@@ -1,0 +1,94 @@
+package federate
+
+import (
+	"context"
+	"testing"
+)
+
+// TestFederatorSnapshotCached checks Snapshot re-serves the same immutable
+// snapshot while no scrape changed the live-cube set, and rebuilds after a
+// scrape round lands new cubes.
+func TestFederatorSnapshotCached(t *testing.T) {
+	srv := startEndpoint(t, jobSpec{name: "job-a", procs: 4, events: jobEvents(4, 0.5)})
+	f, err := New(Options{
+		Endpoints: []Endpoint{{Name: "job-a", URL: srv.URL}},
+		Client:    testClient,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	f.ScrapeAll(ctx)
+
+	first := f.Snapshot()
+	if first.Cube == nil {
+		t.Fatal("snapshot has no cube after a successful scrape")
+	}
+	second := f.Snapshot()
+	if second != first {
+		t.Fatal("Snapshot re-federated with no scrape in between")
+	}
+	views, err := first.Views()
+	if err != nil {
+		t.Fatalf("Views: %v", err)
+	}
+	again, err := second.Views()
+	if err != nil {
+		t.Fatalf("Views (cached snapshot): %v", err)
+	}
+	if again != views {
+		t.Fatal("cached snapshot recomputed its views")
+	}
+
+	// A new scrape round delivers a fresh cube pointer: the cached merge
+	// must be discarded.
+	f.ScrapeAll(ctx)
+	third := f.Snapshot()
+	if third == first {
+		t.Fatal("Snapshot served a stale merge after a scrape")
+	}
+	if third.Gen <= first.Gen {
+		t.Fatalf("generation did not advance after a scrape: %d -> %d", first.Gen, third.Gen)
+	}
+	// The data did not change, so the analysis must not either.
+	if !third.Cube.EqualWithin(first.Cube, 0) {
+		t.Fatal("re-scraped cube differs from the first scrape of identical data")
+	}
+}
+
+// TestFederatorStaleTransitionInvalidates checks an endpoint going stale
+// advances the generation, so the next Snapshot drops its cube instead of
+// serving the cached aggregate.
+func TestFederatorStaleTransitionInvalidates(t *testing.T) {
+	srv := startEndpoint(t, jobSpec{name: "job-a", procs: 2, events: jobEvents(2, 0.5)})
+	f, err := New(Options{
+		Endpoints:   []Endpoint{{Name: "job-a", URL: srv.URL}},
+		MaxFailures: 2,
+		Client:      testClient,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	f.ScrapeAll(ctx)
+	live := f.Snapshot()
+	if live.Cube == nil {
+		t.Fatal("snapshot has no cube after a successful scrape")
+	}
+
+	// Kill the endpoint and scrape until it crosses MaxFailures.
+	srv.Close()
+	f.ScrapeAll(ctx)
+	if snap := f.Snapshot(); snap != live {
+		// One failure: not stale yet, the cached aggregate must survive.
+		t.Fatal("a single failure below MaxFailures invalidated the cache")
+	}
+	f.ScrapeAll(ctx)
+	snap := f.Snapshot()
+	if snap == live {
+		t.Fatal("stale transition did not invalidate the cached snapshot")
+	}
+	if snap.Cube != nil {
+		t.Fatal("stale endpoint's cube still served in the aggregate")
+	}
+}

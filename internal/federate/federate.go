@@ -98,6 +98,13 @@ type Federator struct {
 
 	mu     sync.Mutex
 	states []*endpointState
+	// gen counts changes to the live-cube set: it advances on every
+	// successful scrape and on every staleness transition, i.e. whenever a
+	// merge could produce a different federated cube. snap/snapGen cache
+	// the last merged snapshot so repeated scrapes between polls are O(1).
+	gen     uint64
+	snap    *monitor.Snapshot
+	snapGen uint64
 }
 
 // New validates the options and builds a Federator. Endpoints without a
@@ -185,6 +192,8 @@ func (f *Federator) scrapeEndpoint(ctx context.Context, s *endpointState) error 
 		if !wasStale && s.stale(f.maxFailures) {
 			f.logf("federate: endpoint %q stale after %d consecutive failures: %v",
 				s.Name, s.consecutive, err)
+			// The endpoint's cube just left the aggregate.
+			f.gen++
 		}
 		return err
 	}
@@ -197,6 +206,8 @@ func (f *Federator) scrapeEndpoint(ctx context.Context, s *endpointState) error 
 	s.lastError = ""
 	s.consecutive = 0
 	s.scrapes++
+	// A fresh cube entered the aggregate (or replaced its predecessor).
+	f.gen++
 	return nil
 }
 
@@ -294,6 +305,15 @@ func (f *Federator) Run(ctx context.Context) {
 // endpoint has data, matching an empty Collector.
 func (f *Federator) Snapshot() *monitor.Snapshot {
 	f.mu.Lock()
+	// No scrape result changed since the last merge: re-serve the cached
+	// immutable snapshot, so its precomputed marginals and memoized views
+	// are reused instead of re-federating per request.
+	if f.snap != nil && f.snapGen == f.gen {
+		snap := f.snap
+		f.mu.Unlock()
+		return snap
+	}
+	gen := f.gen
 	var jobs []trace.JobCube
 	for _, s := range f.states {
 		if s.cube != nil && !s.stale(f.maxFailures) {
@@ -303,18 +323,35 @@ func (f *Federator) Snapshot() *monitor.Snapshot {
 		}
 	}
 	f.mu.Unlock()
-	if len(jobs) == 0 {
-		return &monitor.Snapshot{}
+
+	snap := &monitor.Snapshot{Gen: gen}
+	if len(jobs) > 0 {
+		cube, err := trace.Federate(jobs)
+		if err != nil {
+			// Shapes were validated endpoint-side and names deduplicated at
+			// New; federation of well-formed cubes cannot fail. Serve an
+			// empty snapshot rather than a torn one if it somehow does.
+			f.logf("federate: merging %d cubes: %v", len(jobs), err)
+			cube = nil
+		}
+		if cube != nil {
+			// Marginals are computed once per merge; every handler on this
+			// snapshot then reads them O(1).
+			cube.Precompute()
+			snap.Cube = cube
+			snap.Span = cube.ProgramTime()
+		}
 	}
-	cube, err := trace.Federate(jobs)
-	if err != nil {
-		// Shapes were validated endpoint-side and names deduplicated at
-		// New; federation of well-formed cubes cannot fail. Serve an
-		// empty snapshot rather than a torn one if it somehow does.
-		f.logf("federate: merging %d cubes: %v", len(jobs), err)
-		return &monitor.Snapshot{}
+
+	f.mu.Lock()
+	// Only cache if no scrape landed while merging; a racing scrape's
+	// next Snapshot call rebuilds from the newer state either way.
+	if f.gen == gen {
+		f.snap = snap
+		f.snapGen = gen
 	}
-	return &monitor.Snapshot{Cube: cube, Span: cube.ProgramTime()}
+	f.mu.Unlock()
+	return snap
 }
 
 // EndpointHealth is one endpoint's scrape state as listed by /healthz.

@@ -58,6 +58,10 @@ type Collector struct {
 	// mutex is held longer than a buffer swap.
 	foldMu sync.Mutex
 	state  foldState
+	// gen counts published snapshot generations; it only advances when a
+	// fold actually changed the state, so an unchanged collector keeps
+	// re-serving the same immutable snapshot (and its memoized views).
+	gen uint64
 
 	snap atomic.Pointer[Snapshot]
 }
@@ -129,6 +133,7 @@ func (c *Collector) Snapshot() *Snapshot {
 	// a published snapshot must never claim events its cube does not
 	// account for. foldState.folded counts exactly the folded events.
 	dropped := c.dropped.Load()
+	drained := 0
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
@@ -138,8 +143,16 @@ func (c *Collector) Snapshot() *Snapshot {
 		for _, e := range buf {
 			c.state.fold(e, c.window)
 		}
+		drained += len(buf)
 	}
-	snap := c.state.build(c.window, c.state.folded, dropped)
+	// Nothing changed since the last fold: re-serve the previous immutable
+	// snapshot, so scrape handlers reuse its memoized analysis instead of
+	// recomputing every index for identical data.
+	if prev := c.snap.Load(); prev != nil && drained == 0 && dropped == prev.Dropped {
+		return prev
+	}
+	c.gen++
+	snap := c.state.build(c.window, c.state.folded, dropped, c.gen)
 	c.snap.Store(snap)
 	return snap
 }

@@ -6,8 +6,6 @@ import (
 	"math"
 	"strconv"
 	"strings"
-
-	"loadimb/internal/core"
 )
 
 // Metric family names served at /metrics. Every dispersion gauge carries
@@ -126,56 +124,46 @@ func WriteMetrics(w io.Writer, snap *Snapshot) error {
 		m.sample(MetricProcSeconds, []string{label("proc", strconv.Itoa(p))}, t)
 	}
 
-	// The dispersion views, by the same code paths core.Analyze uses.
-	cells, err := core.Dispersions(cube, core.Options{})
+	// The dispersion views, computed once per snapshot by the same code
+	// paths core.Analyze uses and memoized on the snapshot, so repeated
+	// scrapes of an unchanged snapshot serve cached values.
+	views, err := snap.Views()
 	if err != nil {
 		return err
 	}
 	m.header(MetricIDCell, "Index of dispersion ID_ij of cell (region, activity).", "gauge")
-	for i := range cells {
-		for j := range cells[i] {
-			if !cells[i][j].Defined {
+	for i := range views.Cells {
+		for j := range views.Cells[i] {
+			if !views.Cells[i][j].Defined {
 				continue
 			}
 			m.sample(MetricIDCell,
 				[]string{label("region", regions[i]), label("activity", activities[j])},
-				cells[i][j].ID)
+				views.Cells[i][j].ID)
 		}
-	}
-	acts, err := core.ActivityView(cube, core.Options{})
-	if err != nil {
-		return err
 	}
 	m.header(MetricIDActivity, "Activity-view index of dispersion ID_A.", "gauge")
 	m.header(MetricSIDActivity, "Scaled activity-view index SID_A.", "gauge")
-	for _, a := range acts {
+	for _, a := range views.Activities {
 		if !a.Defined {
 			continue
 		}
 		m.sample(MetricIDActivity, []string{label("activity", a.Name)}, a.ID)
 		m.sample(MetricSIDActivity, []string{label("activity", a.Name)}, a.SID)
 	}
-	regs, err := core.CodeRegionView(cube, core.Options{})
-	if err != nil {
-		return err
-	}
 	m.header(MetricIDRegion, "Code-region-view index of dispersion ID_C.", "gauge")
 	m.header(MetricSIDRegion, "Scaled code-region-view index SID_C.", "gauge")
-	for _, r := range regs {
+	for _, r := range views.Regions {
 		if !r.Defined {
 			continue
 		}
 		m.sample(MetricIDRegion, []string{label("region", r.Name)}, r.ID)
 		m.sample(MetricSIDRegion, []string{label("region", r.Name)}, r.SID)
 	}
-	procView, err := core.NewProcessorView(cube, core.Options{})
-	if err != nil {
-		return err
-	}
 	m.header(MetricIDProc, "Processor-view dispersion ID_P of (region, processor).", "gauge")
-	for i := range procView.ByRegion {
-		for p := range procView.ByRegion[i] {
-			d := procView.ByRegion[i][p]
+	for i := range views.Processors.ByRegion {
+		for p := range views.Processors.ByRegion[i] {
+			d := views.Processors.ByRegion[i][p]
 			if !d.Defined {
 				continue
 			}

@@ -3,7 +3,9 @@ package monitor
 import (
 	"fmt"
 	"sort"
+	"sync"
 
+	"loadimb/internal/core"
 	"loadimb/internal/stats"
 	"loadimb/internal/trace"
 )
@@ -32,6 +34,58 @@ type Snapshot struct {
 	// Windows is the temporal imbalance trajectory, one entry per
 	// non-empty window in time order; empty when windowing is disabled.
 	Windows []WindowStat
+	// Gen is the fold generation of the snapshot: it increases every time
+	// a publisher builds a snapshot with new content. Two snapshots from
+	// the same source with equal Gen are the same snapshot, so scrape
+	// handlers can skip recomputation entirely.
+	Gen uint64
+
+	// views memoizes the dispersion views of Cube: the first scrape of a
+	// snapshot computes them once, every later handler and endpoint reuses
+	// them. Snapshots are immutable, so the memo can never go stale.
+	viewsOnce sync.Once
+	views     *Views
+	viewsErr  error
+}
+
+// Views holds the paper's dispersion views of one snapshot cube — exactly
+// what core.Analyze computes for the same cube, shared by every scrape
+// handler of the snapshot.
+type Views struct {
+	// Cells is the ID_ij matrix (Table 2).
+	Cells [][]core.CellDispersion
+	// Activities is the activity view (Table 3).
+	Activities []core.ActivitySummary
+	// Regions is the code-region view (Table 4).
+	Regions []core.RegionSummary
+	// Processors is the processor view (Section 3.1).
+	Processors *core.ProcessorView
+}
+
+// Views returns the dispersion views of the snapshot cube, computing them
+// on the first call and memoizing the result; concurrent callers share
+// one computation. It returns (nil, nil) while the snapshot has no cube.
+func (s *Snapshot) Views() (*Views, error) {
+	s.viewsOnce.Do(func() {
+		if s.Cube == nil {
+			return
+		}
+		v := &Views{}
+		if v.Cells, s.viewsErr = core.Dispersions(s.Cube, core.Options{}); s.viewsErr != nil {
+			return
+		}
+		if v.Activities, s.viewsErr = core.ActivityViewFromCells(s.Cube, v.Cells); s.viewsErr != nil {
+			return
+		}
+		if v.Regions, s.viewsErr = core.CodeRegionViewFromCells(s.Cube, v.Cells); s.viewsErr != nil {
+			return
+		}
+		if v.Processors, s.viewsErr = core.NewProcessorView(s.Cube, core.Options{}); s.viewsErr != nil {
+			return
+		}
+		s.views = v
+	})
+	return s.views, s.viewsErr
 }
 
 // WindowStat summarizes one temporal window of the run: how busy each
@@ -60,8 +114,8 @@ type WindowStat struct {
 }
 
 // build assembles an immutable snapshot from the current fold state.
-func (s *foldState) build(window float64, events, dropped uint64) *Snapshot {
-	snap := &Snapshot{Events: events, Dropped: dropped, Span: s.span}
+func (s *foldState) build(window float64, events, dropped, gen uint64) *Snapshot {
+	snap := &Snapshot{Events: events, Dropped: dropped, Span: s.span, Gen: gen}
 	if len(s.regions) > 0 && len(s.activities) > 0 && s.procs > 0 {
 		cube, err := trace.NewCube(s.regions, s.activities, s.procs)
 		if err != nil {
@@ -86,6 +140,9 @@ func (s *foldState) build(window float64, events, dropped uint64) *Snapshot {
 				panic(fmt.Sprintf("monitor: snapshot program time: %v", err))
 			}
 		}
+		// Marginals are computed once at fold time; every scrape handler
+		// then reads them O(1) instead of rescanning the cube.
+		cube.Precompute()
 		snap.Cube = cube
 		snap.CellStats = make([][]stats.Accumulator, len(s.durs))
 		for i := range s.durs {

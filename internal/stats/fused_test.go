@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFusedEuclideanBitIdentical checks the fused OfBalance path returns
+// exactly — bit for bit — what the two-step standardize-then-measure
+// computation returns, across sizes and magnitudes.
+func TestFusedEuclideanBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(64)
+		scale := math.Pow(10, float64(rng.Intn(13)-6))
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * scale
+		}
+		if rng.Intn(4) == 0 && n > 1 {
+			xs[rng.Intn(n)] = 0 // idle processors are common
+		}
+
+		std, err := Standardize(xs)
+		if err != nil {
+			t.Fatalf("Standardize: %v", err)
+		}
+		want := Euclidean.Of(std)
+
+		b, ok := Euclidean.(BalanceIndex)
+		if !ok {
+			t.Fatal("Euclidean does not implement BalanceIndex")
+		}
+		got, err := b.OfBalance(xs)
+		if err != nil {
+			t.Fatalf("OfBalance: %v", err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("trial %d (n=%d): fused %v, two-step %v (bits %x vs %x)",
+				trial, n, got, want, math.Float64bits(got), math.Float64bits(want))
+		}
+
+		viaDispersion, err := DispersionFromBalance(Euclidean, xs)
+		if err != nil {
+			t.Fatalf("DispersionFromBalance: %v", err)
+		}
+		if math.Float64bits(viaDispersion) != math.Float64bits(want) {
+			t.Fatalf("trial %d: DispersionFromBalance %v, two-step %v", trial, viaDispersion, want)
+		}
+		scratch := make([]float64, 0, n)
+		viaInto, err := DispersionFromBalanceInto(Euclidean, xs, scratch)
+		if err != nil {
+			t.Fatalf("DispersionFromBalanceInto: %v", err)
+		}
+		if math.Float64bits(viaInto) != math.Float64bits(want) {
+			t.Fatalf("trial %d: DispersionFromBalanceInto %v, two-step %v", trial, viaInto, want)
+		}
+	}
+}
+
+// TestFusedEuclideanErrors checks the fused path reports the same error
+// classes as the two-step one.
+func TestFusedEuclideanErrors(t *testing.T) {
+	b := Euclidean.(BalanceIndex)
+	if _, err := b.OfBalance([]float64{0, 0, 0}); !errors.Is(err, ErrZeroSum) {
+		t.Errorf("OfBalance(zeros) error = %v, want ErrZeroSum", err)
+	}
+	if _, err := b.OfBalance([]float64{1, -2, 3}); !errors.Is(err, ErrNegative) {
+		t.Errorf("OfBalance(negative) error = %v, want ErrNegative", err)
+	}
+	if _, err := b.OfBalance(nil); err == nil {
+		t.Error("OfBalance(nil) succeeded, want error")
+	}
+}
+
+// TestStandardizeInto checks buffer reuse and aliasing: dst capacity is
+// reused, and standardizing a slice into itself is allowed.
+func TestStandardizeInto(t *testing.T) {
+	xs := []float64{2, 6, 12}
+	want, err := Standardize(xs)
+	if err != nil {
+		t.Fatalf("Standardize: %v", err)
+	}
+
+	dst := make([]float64, 0, 8)
+	got, err := StandardizeInto(dst, xs)
+	if err != nil {
+		t.Fatalf("StandardizeInto: %v", err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("StandardizeInto[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	if &got[0] != &dst[:1][0] {
+		t.Error("StandardizeInto did not reuse dst's capacity")
+	}
+	if xs[0] != 2 || xs[1] != 6 || xs[2] != 12 {
+		t.Errorf("StandardizeInto mutated its input: %v", xs)
+	}
+
+	// In-place: dst aliases xs.
+	alias := []float64{2, 6, 12}
+	got, err = StandardizeInto(alias, alias)
+	if err != nil {
+		t.Fatalf("StandardizeInto (aliased): %v", err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("aliased StandardizeInto[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}

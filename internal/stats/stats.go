@@ -52,24 +52,43 @@ func Mean(xs []float64) float64 {
 // result sums to one. It validates that no element is negative. The input
 // slice is not modified.
 func Standardize(xs []float64) ([]float64, error) {
+	return StandardizeInto(nil, xs)
+}
+
+// StandardizeInto is Standardize writing into dst, reusing its capacity:
+// hot loops pass a per-worker scratch buffer and standardize without
+// allocating. It returns the resulting slice of length len(xs); dst and xs
+// may be the same slice (in-place standardization).
+func StandardizeInto(dst, xs []float64) ([]float64, error) {
 	if len(xs) == 0 {
 		return nil, ErrEmpty
 	}
+	sum, err := validSum(xs)
+	if err != nil {
+		return nil, err
+	}
+	dst = append(dst[:0], xs...)
+	for i := range dst {
+		dst[i] /= sum
+	}
+	return dst, nil
+}
+
+// validSum validates that no element of xs is negative and returns the
+// sum, or ErrZeroSum when everything is zero — the shared prologue of
+// every standardization.
+func validSum(xs []float64) (float64, error) {
 	sum := 0.0
 	for i, x := range xs {
 		if x < 0 {
-			return nil, fmt.Errorf("%w: element %d is %g", ErrNegative, i, x)
+			return 0, fmt.Errorf("%w: element %d is %g", ErrNegative, i, x)
 		}
 		sum += x
 	}
 	if sum == 0 {
-		return nil, ErrZeroSum
+		return 0, ErrZeroSum
 	}
-	out := make([]float64, len(xs))
-	for i, x := range xs {
-		out[i] = x / sum
-	}
-	return out, nil
+	return sum, nil
 }
 
 // An Index is an index of dispersion: a nonnegative measure of the spread of
@@ -99,6 +118,18 @@ func (f IndexFunc) Name() string { return f.IndexName }
 // Of applies the underlying function.
 func (f IndexFunc) Of(xs []float64) float64 { return f.F(xs) }
 
+// A BalanceIndex is an index that can evaluate itself on the standardized
+// data directly from the raw values, fusing Standardize and Of into one
+// call with no intermediate slice. DispersionFromBalance takes this fast
+// path automatically. OfBalance must return exactly what
+// idx.Of(Standardize(xs)) would — same values bit for bit, same errors.
+type BalanceIndex interface {
+	Index
+	// OfBalance computes the index of the standardized xs without
+	// materializing the standardized slice.
+	OfBalance(xs []float64) (float64, error)
+}
+
 // Euclidean is the paper's index of dispersion: the Euclidean distance
 // between the data set and the vector whose every component equals the data
 // set's mean,
@@ -106,8 +137,41 @@ func (f IndexFunc) Of(xs []float64) float64 { return f.F(xs) }
 //	sqrt( sum_p (x_p - mean(x))^2 ).
 //
 // On standardized values the mean is 1/P, so the index measures the distance
-// from the perfectly balanced condition.
-var Euclidean Index = IndexFunc{"euclidean", euclidean}
+// from the perfectly balanced condition. It implements BalanceIndex, so
+// the standardize-then-measure pipeline runs fused and allocation-free.
+var Euclidean Index = euclideanIndex{}
+
+// euclideanIndex implements the paper's index with a fused balance path.
+type euclideanIndex struct{}
+
+func (euclideanIndex) Name() string            { return "euclidean" }
+func (euclideanIndex) Of(xs []float64) float64 { return euclidean(xs) }
+
+// OfBalance computes euclidean(Standardize(xs)) in three passes over the
+// raw values and zero allocations. Every arithmetic step mirrors the
+// unfused pipeline term for term — each standardized value is the same
+// x/sum division, the mean is the same left-to-right sum over those
+// quotients divided by n — so the result is bit-identical.
+func (euclideanIndex) OfBalance(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum, err := validSum(xs)
+	if err != nil {
+		return 0, err
+	}
+	norm := 0.0
+	for _, x := range xs {
+		norm += x / sum
+	}
+	m := norm / float64(len(xs))
+	ss := 0.0
+	for _, x := range xs {
+		d := x/sum - m
+		ss += d * d
+	}
+	return math.Sqrt(ss), nil
+}
 
 func euclidean(xs []float64) float64 {
 	if len(xs) == 0 {
@@ -299,8 +363,32 @@ func Summarize(xs []float64) Summary {
 // standardization. It is the paper's two-step "standardize, then measure
 // spread" operation in one call. It returns 0 with ErrZeroSum when the data
 // sums to zero (activity absent) and propagates other validation errors.
+// Indices implementing BalanceIndex (the paper's Euclidean) run fused,
+// with no intermediate allocation.
 func DispersionFromBalance(idx Index, xs []float64) (float64, error) {
+	if b, ok := idx.(BalanceIndex); ok {
+		return b.OfBalance(xs)
+	}
 	std, err := Standardize(xs)
+	if err != nil {
+		return 0, err
+	}
+	return idx.Of(std), nil
+}
+
+// DispersionFromBalanceInto is DispersionFromBalance with a caller-owned
+// scratch buffer for the standardized values, so every index runs without
+// allocating when scratch has capacity len(xs). With a buffer available
+// the materialized path beats the fused one even for BalanceIndex
+// implementations — one division per element instead of two — and
+// OfBalance's contract guarantees both return the same bits.
+func DispersionFromBalanceInto(idx Index, xs, scratch []float64) (float64, error) {
+	if cap(scratch) < len(xs) {
+		if b, ok := idx.(BalanceIndex); ok {
+			return b.OfBalance(xs)
+		}
+	}
+	std, err := StandardizeInto(scratch, xs)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,369 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomCube builds an n×k×p cube with pseudo-random times, leaving a few
+// cells exactly zero so the marginals see both branches.
+func randomCube(t *testing.T, rng *rand.Rand, n, k, p int) *Cube {
+	t.Helper()
+	regions := make([]string, n)
+	for i := range regions {
+		regions[i] = fmt.Sprintf("region-%d", i)
+	}
+	activities := make([]string, k)
+	for j := range activities {
+		activities[j] = fmt.Sprintf("activity-%d", j)
+	}
+	cube, err := NewCube(regions, activities, p)
+	if err != nil {
+		t.Fatalf("NewCube(%d, %d, %d): %v", n, k, p, err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			if rng.Float64() < 0.1 {
+				continue // leave the cell all-zero
+			}
+			for q := 0; q < p; q++ {
+				if err := cube.Set(i, j, q, rng.Float64()*10); err != nil {
+					t.Fatalf("Set(%d, %d, %d): %v", i, j, q, err)
+				}
+			}
+		}
+	}
+	return cube
+}
+
+// naiveMarginals recomputes every cached marginal directly from At, in the
+// same summation orders the pre-cache accessors used.
+type naiveMarginals struct {
+	cellSum      [][]float64
+	regionTime   []float64
+	activityTime []float64
+	procRegion   [][]float64
+	procTotal    []float64
+	regionsTotal float64
+}
+
+func naiveOf(t *testing.T, c *Cube) naiveMarginals {
+	t.Helper()
+	n, k, p := c.NumRegions(), c.NumActivities(), c.NumProcs()
+	at := func(i, j, q int) float64 {
+		v, err := c.At(i, j, q)
+		if err != nil {
+			t.Fatalf("At(%d, %d, %d): %v", i, j, q, err)
+		}
+		return v
+	}
+	m := naiveMarginals{
+		cellSum:      make([][]float64, n),
+		regionTime:   make([]float64, n),
+		activityTime: make([]float64, k),
+		procRegion:   make([][]float64, n),
+		procTotal:    make([]float64, p),
+	}
+	for i := 0; i < n; i++ {
+		m.cellSum[i] = make([]float64, k)
+		m.procRegion[i] = make([]float64, p)
+		for j := 0; j < k; j++ {
+			for q := 0; q < p; q++ {
+				m.cellSum[i][j] += at(i, j, q)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			m.regionTime[i] += m.cellSum[i][j] / float64(p)
+		}
+	}
+	for j := 0; j < k; j++ {
+		for i := 0; i < n; i++ {
+			m.activityTime[j] += m.cellSum[i][j] / float64(p)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for q := 0; q < p; q++ {
+			for j := 0; j < k; j++ {
+				m.procRegion[i][q] += at(i, j, q)
+			}
+		}
+	}
+	for q := 0; q < p; q++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				m.procTotal[q] += at(i, j, q)
+			}
+		}
+	}
+	raw := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			for q := 0; q < p; q++ {
+				raw += at(i, j, q)
+			}
+		}
+	}
+	m.regionsTotal = raw / float64(p)
+	return m
+}
+
+func closeTo(got, want float64) bool {
+	if got == want {
+		return true
+	}
+	scale := math.Max(math.Abs(got), math.Abs(want))
+	return math.Abs(got-want) <= 1e-12*math.Max(scale, 1)
+}
+
+// checkAgainstNaive compares every cached accessor of the cube with the
+// naive recomputation.
+func checkAgainstNaive(t *testing.T, c *Cube, m naiveMarginals) {
+	t.Helper()
+	n, k, p := c.NumRegions(), c.NumActivities(), c.NumProcs()
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			s, err := c.SumProcTimes(i, j)
+			if err != nil {
+				t.Fatalf("SumProcTimes(%d, %d): %v", i, j, err)
+			}
+			if !closeTo(s, m.cellSum[i][j]) {
+				t.Errorf("SumProcTimes(%d, %d) = %g, naive %g", i, j, s, m.cellSum[i][j])
+			}
+			ct, err := c.CellTime(i, j)
+			if err != nil {
+				t.Fatalf("CellTime(%d, %d): %v", i, j, err)
+			}
+			if !closeTo(ct, m.cellSum[i][j]/float64(p)) {
+				t.Errorf("CellTime(%d, %d) = %g, naive %g", i, j, ct, m.cellSum[i][j]/float64(p))
+			}
+		}
+		rt, err := c.RegionTime(i)
+		if err != nil {
+			t.Fatalf("RegionTime(%d): %v", i, err)
+		}
+		if !closeTo(rt, m.regionTime[i]) {
+			t.Errorf("RegionTime(%d) = %g, naive %g", i, rt, m.regionTime[i])
+		}
+		for q := 0; q < p; q++ {
+			pr, err := c.ProcRegionTime(i, q)
+			if err != nil {
+				t.Fatalf("ProcRegionTime(%d, %d): %v", i, q, err)
+			}
+			if !closeTo(pr, m.procRegion[i][q]) {
+				t.Errorf("ProcRegionTime(%d, %d) = %g, naive %g", i, q, pr, m.procRegion[i][q])
+			}
+		}
+	}
+	for j := 0; j < k; j++ {
+		at, err := c.ActivityTime(j)
+		if err != nil {
+			t.Fatalf("ActivityTime(%d): %v", j, err)
+		}
+		if !closeTo(at, m.activityTime[j]) {
+			t.Errorf("ActivityTime(%d) = %g, naive %g", j, at, m.activityTime[j])
+		}
+	}
+	for q := 0; q < p; q++ {
+		pt, err := c.ProcTotalTime(q)
+		if err != nil {
+			t.Fatalf("ProcTotalTime(%d): %v", q, err)
+		}
+		if !closeTo(pt, m.procTotal[q]) {
+			t.Errorf("ProcTotalTime(%d) = %g, naive %g", q, pt, m.procTotal[q])
+		}
+	}
+	if got := c.RegionsTotal(); !closeTo(got, m.regionsTotal) {
+		t.Errorf("RegionsTotal() = %g, naive %g", got, m.regionsTotal)
+	}
+}
+
+// TestMarginalCacheMatchesNaiveSums drives randomized cubes through every
+// cached accessor and cross-checks against direct recomputation from the
+// raw cells — cold cache, warm cache, and precomputed cache.
+func TestMarginalCacheMatchesNaiveSums(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	shapes := []struct{ n, k, p int }{
+		{1, 1, 1}, {2, 3, 4}, {7, 4, 16}, {13, 5, 33}, {32, 8, 64},
+	}
+	for _, sh := range shapes {
+		t.Run(fmt.Sprintf("N%dxK%dxP%d", sh.n, sh.k, sh.p), func(t *testing.T) {
+			cube := randomCube(t, rng, sh.n, sh.k, sh.p)
+			naive := naiveOf(t, cube)
+			checkAgainstNaive(t, cube, naive) // cold: first accessor fills the cache
+			checkAgainstNaive(t, cube, naive) // warm: every read is cached
+			cube.Precompute()
+			checkAgainstNaive(t, cube, naive)
+		})
+	}
+}
+
+// TestMarginalCacheInvalidation warms the cache, mutates the cube through
+// each write path, and verifies every accessor reflects the new contents.
+func TestMarginalCacheInvalidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cube := randomCube(t, rng, 5, 3, 8)
+	checkAgainstNaive(t, cube, naiveOf(t, cube)) // warm the cache
+
+	if err := cube.Set(2, 1, 3, 123.5); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	checkAgainstNaive(t, cube, naiveOf(t, cube))
+
+	if err := cube.Add(4, 0, 7, 9.25); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	checkAgainstNaive(t, cube, naiveOf(t, cube))
+
+	if err := cube.Scale(1.75); err != nil {
+		t.Fatalf("Scale: %v", err)
+	}
+	checkAgainstNaive(t, cube, naiveOf(t, cube))
+
+	// SetProgramTime must observe the post-mutation RegionsTotal and the
+	// cached total must survive it unchanged.
+	total := cube.RegionsTotal()
+	if err := cube.SetProgramTime(total * 2); err != nil {
+		t.Fatalf("SetProgramTime: %v", err)
+	}
+	if got := cube.ProgramTime(); got != total*2 {
+		t.Fatalf("ProgramTime() = %g, want %g", got, total*2)
+	}
+	checkAgainstNaive(t, cube, naiveOf(t, cube))
+
+	// Clearing the program time falls back to the cached instrumented
+	// total again.
+	if err := cube.SetProgramTime(0); err != nil {
+		t.Fatalf("SetProgramTime(0): %v", err)
+	}
+	if got := cube.ProgramTime(); !closeTo(got, total) {
+		t.Fatalf("ProgramTime() after reset = %g, want %g", got, total)
+	}
+}
+
+// TestProcTimesIntoMatchesProcTimes checks the borrow-style accessor
+// returns the same vector as the allocating one, reuses the destination's
+// capacity, and hands out a copy that cannot alias the cube.
+func TestProcTimesIntoMatchesProcTimes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cube := randomCube(t, rng, 4, 3, 16)
+	scratch := make([]float64, 0, 16)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			want, err := cube.ProcTimes(i, j)
+			if err != nil {
+				t.Fatalf("ProcTimes(%d, %d): %v", i, j, err)
+			}
+			got, err := cube.ProcTimesInto(i, j, scratch)
+			if err != nil {
+				t.Fatalf("ProcTimesInto(%d, %d): %v", i, j, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("ProcTimesInto(%d, %d) length %d, want %d", i, j, len(got), len(want))
+			}
+			for p := range want {
+				if got[p] != want[p] {
+					t.Errorf("ProcTimesInto(%d, %d)[%d] = %g, want %g", i, j, p, got[p], want[p])
+				}
+			}
+			if cap(scratch) >= 16 && &got[0] != &scratch[:1][0] {
+				t.Errorf("ProcTimesInto(%d, %d) did not reuse the scratch buffer", i, j)
+			}
+			scratch = got
+		}
+	}
+	// Writing through the returned slice must not corrupt the cube.
+	got, err := cube.ProcTimesInto(0, 0, scratch)
+	if err != nil {
+		t.Fatalf("ProcTimesInto(0, 0): %v", err)
+	}
+	before, _ := cube.At(0, 0, 0)
+	got[0] = before + 1e9
+	after, _ := cube.At(0, 0, 0)
+	if before != after {
+		t.Fatalf("writing through ProcTimesInto result changed the cube: %g -> %g", before, after)
+	}
+	if _, err := cube.ProcTimesInto(99, 0, nil); err == nil {
+		t.Fatal("ProcTimesInto(99, 0) succeeded, want out-of-range error")
+	}
+}
+
+// TestCountedNameAccessors pins the no-copy name accessors and the O(1)
+// index lookups to the slice-copy accessors.
+func TestCountedNameAccessors(t *testing.T) {
+	cube, err := NewCube([]string{"a", "b", "c"}, []string{"x", "y"}, 2)
+	if err != nil {
+		t.Fatalf("NewCube: %v", err)
+	}
+	for i, name := range cube.Regions() {
+		if got := cube.RegionName(i); got != name {
+			t.Errorf("RegionName(%d) = %q, want %q", i, got, name)
+		}
+		if got := cube.RegionIndex(name); got != i {
+			t.Errorf("RegionIndex(%q) = %d, want %d", name, got, i)
+		}
+	}
+	for j, name := range cube.Activities() {
+		if got := cube.ActivityName(j); got != name {
+			t.Errorf("ActivityName(%d) = %q, want %q", j, got, name)
+		}
+		if got := cube.ActivityIndex(name); got != j {
+			t.Errorf("ActivityIndex(%q) = %d, want %d", name, got, j)
+		}
+	}
+	if got := cube.RegionIndex("missing"); got != -1 {
+		t.Errorf("RegionIndex(missing) = %d, want -1", got)
+	}
+	if got := cube.ActivityIndex("missing"); got != -1 {
+		t.Errorf("ActivityIndex(missing) = %d, want -1", got)
+	}
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: out-of-range access did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("RegionName", func() { cube.RegionName(3) })
+	mustPanic("ActivityName", func() { cube.ActivityName(2) })
+}
+
+// TestMarginalCacheConcurrentReads hammers cold-cache reads from many
+// goroutines; run with -race this verifies the lock-free fill is sound.
+func TestMarginalCacheConcurrentReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cube := randomCube(t, rng, 8, 4, 32)
+	naive := naiveOf(t, cube)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for rep := 0; rep < 50; rep++ {
+				for i := 0; i < 8; i++ {
+					got, err := cube.RegionTime(i)
+					if err != nil {
+						done <- err
+						return
+					}
+					if !closeTo(got, naive.regionTime[i]) {
+						done <- fmt.Errorf("RegionTime(%d) = %g, naive %g", i, got, naive.regionTime[i])
+						return
+					}
+				}
+				if got := cube.RegionsTotal(); !closeTo(got, naive.regionsTotal) {
+					done <- fmt.Errorf("RegionsTotal() = %g, naive %g", got, naive.regionsTotal)
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -46,6 +46,7 @@ func Merge(a, b *Cube) (*Cube, error) {
 			}
 		}
 	}
+	out.invalidate() // times were written directly, not through Set/Add
 	total := a.ProgramTime() + b.ProgramTime()
 	if err := out.SetProgramTime(total); err != nil {
 		return nil, err
@@ -171,6 +172,7 @@ func (c *Cube) MergeRegions(order []string, groups map[string][]int) (*Cube, err
 			}
 		}
 	}
+	out.invalidate() // times were written directly, not through Set/Add
 	if c.programTime > 0 {
 		if err := out.SetProgramTime(c.programTime); err != nil {
 			return nil, err

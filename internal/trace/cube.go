@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Common cube errors.
@@ -40,13 +41,114 @@ var (
 type Cube struct {
 	regions    []string
 	activities []string
+	// rIdx and aIdx map names to cube indices; built at construction so
+	// RegionIndex/ActivityIndex are O(1) in event folding and federation.
+	rIdx, aIdx map[string]int
 	procs      int
 	// times[i][j][p]
 	times [][][]float64
 	// programTime is the wall clock time T of the whole program; zero
 	// means "use the sum of the regions".
 	programTime float64
+	// marg caches every marginal sum of the cube. It is computed lazily on
+	// the first marginal read, shared by concurrent readers through the
+	// atomic pointer, and dropped by any mutation of the times (Set, Add,
+	// Scale, in-package writers). Two goroutines racing on a cold cache may
+	// both compute it; the results are identical, so either store wins.
+	marg atomic.Pointer[marginals]
 }
+
+// marginals holds every marginal of the t_ijp cube in one structure, so
+// each Analyze consumer reads precomputed sums instead of rescanning the
+// cube. All sums are accumulated in exactly the iteration order the
+// per-call accessors historically used, so cached reads are bit-identical
+// to freshly computed ones (floating-point addition is order-sensitive).
+type marginals struct {
+	// cellSum[i][j] is sum_p t_ijp (aggregate processor-seconds of the cell).
+	cellSum [][]float64
+	// regionTime[i] is t_i = sum_j cellSum[i][j]/P.
+	regionTime []float64
+	// activityTime[j] is T_j = sum_i cellSum[i][j]/P.
+	activityTime []float64
+	// procRegion[i][p] is sum_j t_ijp.
+	procRegion [][]float64
+	// procTotal[p] is sum_i sum_j t_ijp.
+	procTotal []float64
+	// regionsTotal is (sum_ijp t_ijp)/P, the instrumented wall clock total.
+	regionsTotal float64
+}
+
+// marginals returns the cached marginal sums, computing them on first use.
+func (c *Cube) marginals() *marginals {
+	if m := c.marg.Load(); m != nil {
+		return m
+	}
+	m := c.computeMarginals()
+	c.marg.Store(m)
+	return m
+}
+
+// invalidate drops the cached marginals; every mutator of times calls it.
+func (c *Cube) invalidate() { c.marg.Store(nil) }
+
+// computeMarginals builds all marginal sums in a single pass over the
+// cube, preserving the historical per-accessor summation orders: p inside
+// j inside i. For fixed (i, j) the cell sum runs over ascending p; for
+// fixed (i, p) the region-proc sum runs over ascending j; for fixed p the
+// total runs over ascending (i, j); the raw grand total runs in (i, j, p)
+// order and is divided by P only at the end, exactly as RegionsTotal did.
+func (c *Cube) computeMarginals() *marginals {
+	n, k, procs := len(c.regions), len(c.activities), c.procs
+	m := &marginals{
+		cellSum:      make([][]float64, n),
+		regionTime:   make([]float64, n),
+		activityTime: make([]float64, k),
+		procRegion:   make([][]float64, n),
+		procTotal:    make([]float64, procs),
+	}
+	cellFlat := make([]float64, n*k)
+	procFlat := make([]float64, n*procs)
+	raw := 0.0
+	for i := 0; i < n; i++ {
+		m.cellSum[i], cellFlat = cellFlat[:k:k], cellFlat[k:]
+		m.procRegion[i], procFlat = procFlat[:procs:procs], procFlat[procs:]
+		pr := m.procRegion[i]
+		for j := 0; j < k; j++ {
+			row := c.times[i][j]
+			s := 0.0
+			for p, t := range row {
+				s += t
+				pr[p] += t
+				m.procTotal[p] += t
+				raw += t
+			}
+			m.cellSum[i][j] = s
+		}
+	}
+	fp := float64(procs)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < k; j++ {
+			s += m.cellSum[i][j] / fp
+		}
+		m.regionTime[i] = s
+	}
+	for j := 0; j < k; j++ {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += m.cellSum[i][j] / fp
+		}
+		m.activityTime[j] = s
+	}
+	m.regionsTotal = raw / fp
+	return m
+}
+
+// Precompute forces the lazy marginal caches to be built now. Publishers
+// of immutable cubes (monitor snapshots, federation merges) call it once
+// at fold time so every subsequent reader gets O(1) marginal lookups
+// without ever paying the build.
+func (c *Cube) Precompute() { c.marginals() }
 
 // NewCube creates a zero-filled cube with the given region names, activity
 // names and processor count. Names must be unique within their dimension.
@@ -60,15 +162,19 @@ func NewCube(regions, activities []string, procs int) (*Cube, error) {
 	if procs <= 0 {
 		return nil, ErrNoProcessors
 	}
-	if err := checkUnique("region", regions); err != nil {
+	rIdx, err := indexNames("region", regions)
+	if err != nil {
 		return nil, err
 	}
-	if err := checkUnique("activity", activities); err != nil {
+	aIdx, err := indexNames("activity", activities)
+	if err != nil {
 		return nil, err
 	}
 	c := &Cube{
 		regions:    append([]string(nil), regions...),
 		activities: append([]string(nil), activities...),
+		rIdx:       rIdx,
+		aIdx:       aIdx,
 		procs:      procs,
 	}
 	c.times = make([][][]float64, len(regions))
@@ -82,15 +188,17 @@ func NewCube(regions, activities []string, procs int) (*Cube, error) {
 	return c, nil
 }
 
-func checkUnique(kind string, names []string) error {
-	seen := make(map[string]bool, len(names))
-	for _, n := range names {
-		if seen[n] {
-			return fmt.Errorf("%w: %s %q", ErrDuplicateName, kind, n)
+// indexNames builds the name -> index map of one dimension, rejecting
+// duplicates in the same pass.
+func indexNames(kind string, names []string) (map[string]int, error) {
+	m := make(map[string]int, len(names))
+	for i, n := range names {
+		if _, dup := m[n]; dup {
+			return nil, fmt.Errorf("%w: %s %q", ErrDuplicateName, kind, n)
 		}
-		seen[n] = true
+		m[n] = i
 	}
-	return nil
+	return m, nil
 }
 
 // Regions returns the region names in cube order.
@@ -98,6 +206,15 @@ func (c *Cube) Regions() []string { return append([]string(nil), c.regions...) }
 
 // Activities returns the activity names in cube order.
 func (c *Cube) Activities() []string { return append([]string(nil), c.activities...) }
+
+// RegionName returns the name of region i without copying the name table;
+// per-row loops should prefer it over indexing the Regions() copy. It
+// panics when i is out of range, like a slice access.
+func (c *Cube) RegionName(i int) string { return c.regions[i] }
+
+// ActivityName returns the name of activity j without copying the name
+// table. It panics when j is out of range, like a slice access.
+func (c *Cube) ActivityName(j int) string { return c.activities[j] }
 
 // NumRegions returns N, the number of code regions.
 func (c *Cube) NumRegions() int { return len(c.regions) }
@@ -108,17 +225,20 @@ func (c *Cube) NumActivities() int { return len(c.activities) }
 // NumProcs returns P, the number of processors.
 func (c *Cube) NumProcs() int { return c.procs }
 
-// RegionIndex returns the index of the named region, or -1.
-func (c *Cube) RegionIndex(name string) int { return indexOf(c.regions, name) }
+// RegionIndex returns the index of the named region, or -1. The lookup is
+// a map hit, not a scan: event folding and the federate merge resolve
+// names per event/cell.
+func (c *Cube) RegionIndex(name string) int {
+	if i, ok := c.rIdx[name]; ok {
+		return i
+	}
+	return -1
+}
 
 // ActivityIndex returns the index of the named activity, or -1.
-func (c *Cube) ActivityIndex(name string) int { return indexOf(c.activities, name) }
-
-func indexOf(names []string, name string) int {
-	for i, n := range names {
-		if n == name {
-			return i
-		}
+func (c *Cube) ActivityIndex(name string) int {
+	if j, ok := c.aIdx[name]; ok {
+		return j
 	}
 	return -1
 }
@@ -145,6 +265,7 @@ func (c *Cube) Set(i, j, p int, t float64) error {
 		return fmt.Errorf("%w: %g at (%d, %d, %d)", ErrNegativeTime, t, i, j, p)
 	}
 	c.times[i][j][p] = t
+	c.invalidate()
 	return nil
 }
 
@@ -158,6 +279,7 @@ func (c *Cube) Add(i, j, p int, t float64) error {
 		return fmt.Errorf("%w: %g at (%d, %d, %d)", ErrNegativeTime, t, i, j, p)
 	}
 	c.times[i][j][p] += t
+	c.invalidate()
 	return nil
 }
 
@@ -178,17 +300,24 @@ func (c *Cube) ProcTimes(i, j int) ([]float64, error) {
 	return append([]float64(nil), c.times[i][j]...), nil
 }
 
+// ProcTimesInto copies the P-vector t_ij* into dst, reusing its capacity,
+// and returns the resulting slice of length P. It is the borrow-style,
+// allocation-free counterpart of ProcTimes for hot loops that sweep the
+// cube with a per-worker scratch buffer.
+func (c *Cube) ProcTimesInto(i, j int, dst []float64) ([]float64, error) {
+	if err := c.check(i, j, 0); err != nil {
+		return nil, err
+	}
+	return append(dst[:0], c.times[i][j]...), nil
+}
+
 // SumProcTimes returns the sum over processors of t_ijp for region i and
 // activity j (aggregate processor-seconds in the cell).
 func (c *Cube) SumProcTimes(i, j int) (float64, error) {
 	if err := c.check(i, j, 0); err != nil {
 		return 0, err
 	}
-	s := 0.0
-	for _, t := range c.times[i][j] {
-		s += t
-	}
-	return s, nil
+	return c.marginals().cellSum[i][j], nil
 }
 
 // CellTime returns t_ij, the wall clock time of activity j in region i. The
@@ -211,15 +340,7 @@ func (c *Cube) RegionTime(i int) (float64, error) {
 	if i < 0 || i >= len(c.regions) {
 		return 0, fmt.Errorf("%w: region %d of %d", ErrOutOfRange, i, len(c.regions))
 	}
-	s := 0.0
-	for j := range c.activities {
-		t, err := c.CellTime(i, j)
-		if err != nil {
-			return 0, err
-		}
-		s += t
-	}
-	return s, nil
+	return c.marginals().regionTime[i], nil
 }
 
 // ActivityTime returns T_j, the wall clock time of activity j: the sum over
@@ -228,15 +349,7 @@ func (c *Cube) ActivityTime(j int) (float64, error) {
 	if j < 0 || j >= len(c.activities) {
 		return 0, fmt.Errorf("%w: activity %d of %d", ErrOutOfRange, j, len(c.activities))
 	}
-	s := 0.0
-	for i := range c.regions {
-		t, err := c.CellTime(i, j)
-		if err != nil {
-			return 0, err
-		}
-		s += t
-	}
-	return s, nil
+	return c.marginals().activityTime[j], nil
 }
 
 // ProcRegionTime returns the time spent by processor p across all
@@ -246,11 +359,7 @@ func (c *Cube) ProcRegionTime(i, p int) (float64, error) {
 	if err := c.check(i, 0, p); err != nil {
 		return 0, err
 	}
-	s := 0.0
-	for j := range c.activities {
-		s += c.times[i][j][p]
-	}
-	return s, nil
+	return c.marginals().procRegion[i][p], nil
 }
 
 // ProcTotalTime returns the total instrumented time of processor p across
@@ -259,27 +368,13 @@ func (c *Cube) ProcTotalTime(p int) (float64, error) {
 	if err := c.check(0, 0, p); err != nil {
 		return 0, err
 	}
-	s := 0.0
-	for i := range c.regions {
-		for j := range c.activities {
-			s += c.times[i][j][p]
-		}
-	}
-	return s, nil
+	return c.marginals().procTotal[p], nil
 }
 
 // RegionsTotal returns the sum of the region wall clock times (the
 // instrumented part of the program, in wall-clock scale).
 func (c *Cube) RegionsTotal() float64 {
-	s := 0.0
-	for i := range c.regions {
-		for j := range c.activities {
-			for _, t := range c.times[i][j] {
-				s += t
-			}
-		}
-	}
-	return s / float64(c.procs)
+	return c.marginals().regionsTotal
 }
 
 // SetProgramTime records the wall clock time T of the whole program. The
@@ -290,8 +385,10 @@ func (c *Cube) SetProgramTime(t float64) error {
 	if t < 0 {
 		return fmt.Errorf("%w: program time %g", ErrNegativeTime, t)
 	}
-	if t != 0 && t < c.RegionsTotal()-1e-9 {
-		return fmt.Errorf("trace: program time %g smaller than instrumented total %g", t, c.RegionsTotal())
+	if t != 0 {
+		if total := c.RegionsTotal(); t < total-1e-9 {
+			return fmt.Errorf("trace: program time %g smaller than instrumented total %g", t, total)
+		}
 	}
 	c.programTime = t
 	return nil
@@ -383,6 +480,7 @@ func (c *Cube) Scale(factor float64) error {
 		}
 	}
 	c.programTime *= factor
+	c.invalidate()
 	return nil
 }
 

@@ -91,6 +91,7 @@ func Federate(jobs []JobCube) (*Cube, error) {
 		}
 		offset += c.procs
 	}
+	out.invalidate() // times were written directly, not through Set/Add
 	// Same convention as Log.Aggregate: record the wall clock only when
 	// it exceeds the instrumented total (ProgramTime falls back to the
 	// instrumented total otherwise). The longest job timeline is never

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzMarginalCache drives a cube through a fuzzer-chosen interleaving of
+// writes (Set, Add, Scale, SetProgramTime) and cached-marginal reads. The
+// invariant is that after any prefix of operations every cached accessor
+// equals a shadow recomputation from the raw cells — the cache may never
+// serve a stale or torn marginal, whatever the write/read interleaving.
+func FuzzMarginalCache(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{0x40, 1, 8, 0x80, 0, 0, 0xC0, 2, 15})
+	f.Add([]byte("interleave writes with cached reads"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n, k, p = 3, 2, 4
+		cube, err := NewCube([]string{"ra", "rb", "rc"}, []string{"x", "y"}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// shadow mirrors the raw cells; the oracle marginals are recomputed
+		// from it after every operation.
+		var shadow [n][k][p]float64
+
+		check := func() {
+			for i := 0; i < n; i++ {
+				for j := 0; j < k; j++ {
+					want := 0.0
+					for q := 0; q < p; q++ {
+						want += shadow[i][j][q]
+					}
+					got, err := cube.SumProcTimes(i, j)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if math.Abs(got-want) > 1e-9*math.Max(want, 1) {
+						t.Fatalf("SumProcTimes(%d, %d) = %g, shadow %g", i, j, got, want)
+					}
+				}
+			}
+			want := 0.0
+			for i := 0; i < n; i++ {
+				for j := 0; j < k; j++ {
+					for q := 0; q < p; q++ {
+						want += shadow[i][j][q]
+					}
+				}
+			}
+			want /= p
+			if got := cube.RegionsTotal(); math.Abs(got-want) > 1e-9*math.Max(want, 1) {
+				t.Fatalf("RegionsTotal() = %g, shadow %g", got, want)
+			}
+		}
+
+		for x := 0; x+2 < len(data); x += 3 {
+			op := int(data[x] >> 6)
+			i := int(data[x]) % n
+			j := int(data[x+1]) % k
+			q := int(data[x+1]>>4) % p
+			v := float64(data[x+2]) / 8
+			switch op {
+			case 0:
+				if err := cube.Set(i, j, q, v); err != nil {
+					t.Fatal(err)
+				}
+				shadow[i][j][q] = v
+			case 1:
+				if err := cube.Add(i, j, q, v); err != nil {
+					t.Fatal(err)
+				}
+				shadow[i][j][q] += v
+			case 2:
+				factor := 1 + v/32
+				if err := cube.Scale(factor); err != nil {
+					t.Fatal(err)
+				}
+				for a := range shadow {
+					for b := range shadow[a] {
+						for c := range shadow[a][b] {
+							shadow[a][b][c] *= factor
+						}
+					}
+				}
+			case 3:
+				// Program time above the instrumented total is always
+				// accepted; it must not disturb the cached marginals.
+				if err := cube.SetProgramTime(cube.RegionsTotal() + v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			check()
+		}
+	})
+}

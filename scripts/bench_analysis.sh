@@ -1,0 +1,40 @@
+#!/bin/sh
+# Record the analysis-engine benchmarks into BENCH_analysis.json so the
+# perf trajectory of the core methodology — the paper tables and the full
+# pipeline over growing cube sizes — is tracked across commits. The
+# acceptance floor of the marginal-cache engine is >= 3x ns/op and >= 10x
+# allocs/op on BenchmarkFullPipeline/N128xK8xP256 versus the pre-cache
+# baseline (see EXPERIMENTS.md, "Analysis engine").
+#
+# Usage: scripts/bench_analysis.sh [output.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_analysis.json}"
+
+raw=$(go test -run '^$' -bench 'FullPipeline|Table|ProcessorView' \
+	-benchmem -count 5 .)
+
+printf '%s\n' "$raw" | awk -v go_version="$(go env GOVERSION)" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+	name = $1; sub(/-[0-9]+$/, "", name)
+	names[n] = name; iters[n] = $2; ns[n] = $3
+	bytes[n] = "null"; allocs[n] = "null"
+	for (i = 4; i < NF; i++) {
+		if ($(i + 1) == "B/op") bytes[n] = $i
+		if ($(i + 1) == "allocs/op") allocs[n] = $i
+	}
+	n++
+}
+END {
+	printf "{\n  \"suite\": \"analysis\",\n  \"go\": \"%s\",\n  \"benchmarks\": [\n", go_version
+	for (i = 0; i < n; i++) {
+		printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+			names[i], iters[i], ns[i], bytes[i], allocs[i], (i < n - 1 ? "," : "")
+	}
+	printf "  ]\n}\n"
+}' > "$out"
+
+echo "wrote $out:"
+cat "$out"
