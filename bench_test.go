@@ -27,6 +27,7 @@ import (
 	"loadimb/internal/report"
 	"loadimb/internal/search"
 	"loadimb/internal/stats"
+	"loadimb/internal/temporal"
 	"loadimb/internal/trace"
 	"loadimb/internal/workload"
 )
@@ -636,6 +637,104 @@ func BenchmarkScalingStudy(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := cfd.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTemporalFold is the bench smoke for the shared windowing
+// engine: folding a full CFD event trace into per-window busy vectors is
+// the inner loop of the live collector, the federated merge, and the
+// offline trajectory, so a regression here slows all three pipelines.
+func BenchmarkTemporalFold(b *testing.B) {
+	cfg := cfd.Defaults()
+	cfg.GridX, cfg.GridY, cfg.Iterations = 128, 128, 8
+	res, err := cfd.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	window := res.Log.Span() / 64
+	ser, err := temporal.FoldLog(res.Log, temporal.Options{Window: window})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dumpOnce(b, "Temporal fold (shared windowing engine)",
+		fmt.Sprintf("%d events -> %d windows of %.3f s over %d procs\n",
+			res.Log.Len(), len(ser.Windows), window, ser.Procs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := temporal.FoldLog(res.Log, temporal.Options{Window: window}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTemporalPhases regenerates the temporal-analysis experiment:
+// segment the AMR moving-feature workload's computation trajectory into
+// phases and compare each phase's ID_P against the whole-run index — the
+// paper's Section 4 point that whole-run metrics hide the time-varying
+// imbalance the refinement feature causes.
+func BenchmarkTemporalPhases(b *testing.B) {
+	cfg := apps.DefaultAMR()
+	res, err := apps.AMR(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	window := res.Log.Span() / 48
+	opts := temporal.Options{Window: window, Activities: []string{"computation"}}
+	ser, err := temporal.FoldLog(res.Log, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	phases := temporal.Segment(ser.Stats(), 0)
+	reports, err := temporal.AnalyzePhases(res.Log, phases, core.AnalyzeOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Whole-run ID_P over per-processor totals, for contrast.
+	totals := make([]float64, res.Cube.NumProcs())
+	for p := range totals {
+		v, err := res.Cube.ProcTotalTime(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		totals[p] = v
+	}
+	wholeID, err := stats.EuclideanFromBalance(totals)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wholeA := analyze(b, res.Cube)
+	compID := func(a *core.Analysis) float64 {
+		for _, s := range a.Activities {
+			if s.Name == "computation" && s.Defined {
+				return s.ID
+			}
+		}
+		return 0
+	}
+	out := fmt.Sprintf("whole run: ID_P %.5f, computation ID_A %.5f over %d procs; %d phases (window %.3f s)\n",
+		wholeID, compID(wholeA), len(totals), len(reports), window)
+	for k, rep := range reports {
+		line := fmt.Sprintf("phase %d [%6.3f, %6.3f) %-5s mean window ID %.5f",
+			k+1, rep.Start, rep.End, rep.Label, rep.MeanID)
+		if rep.IDP != nil {
+			line += fmt.Sprintf(", ID_P %.5f", *rep.IDP)
+		}
+		if rep.Analysis != nil {
+			line += fmt.Sprintf(", computation ID_A %.5f", compID(rep.Analysis))
+		}
+		out += line + "\n"
+	}
+	dumpOnce(b, "Temporal phases: AMR per-phase ID_P vs whole-run index", out)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ser, err := temporal.FoldLog(res.Log, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		phases := temporal.Segment(ser.Stats(), 0)
+		if _, err := temporal.AnalyzePhases(res.Log, phases, core.AnalyzeOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}

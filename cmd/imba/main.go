@@ -8,6 +8,15 @@
 //	imba -in run.limb -summary       # analyze a binary tracefile
 //	imba -in run.json -table 4 -index mad
 //	imba -in run.limb -csv > out.csv
+//
+// Given an event trace instead of a cube, it can also analyze the run's
+// temporal structure: -window prints the windowed imbalance trajectory
+// (the same numbers a live imbamon serves at /timeline.json), and
+// -phases segments the trajectory into phases via penalized change-point
+// detection and runs the full index set on each phase:
+//
+//	imba -events run.events -window 0.5
+//	imba -events run.events -window 0.5 -activity computation -phases
 package main
 
 import (
@@ -22,6 +31,7 @@ import (
 	"loadimb/internal/core"
 	"loadimb/internal/report"
 	"loadimb/internal/stats"
+	"loadimb/internal/temporal"
 	"loadimb/internal/trace"
 	"loadimb/internal/tracefmt"
 	"loadimb/internal/workload"
@@ -51,12 +61,30 @@ func run(args []string, stdout io.Writer) error {
 		criterion = fs.String("candidates", "", "rank tuning candidates: max, top<K>, p<Q>, zscore or threshold:<T>")
 		indexName = fs.String("index", "euclidean", "index of dispersion (euclidean, variance, stddev, cov, mad, max, range, gini)")
 		clusterK  = fs.Int("k", 2, "number of region clusters")
+		eventsIn  = fs.String("events", "", "input event trace (JSON lines, as written by cfdsim -events)")
+		window    = fs.Float64("window", 0, "temporal window width in seconds (requires -events)")
+		phases    = fs.Bool("phases", false, "segment the trajectory into phases and analyze each (requires -window)")
+		penalty   = fs.Float64("penalty", 0, "change-point penalty for -phases (0 = automatic)")
+		activity  = fs.String("activity", "", "comma-separated activities the trajectory is restricted to (e.g. computation)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if (*window > 0 || *phases) && *eventsIn == "" {
+		return fmt.Errorf("-window and -phases need an event trace: pass -events <file> (cubes carry no time structure)")
+	}
+	if *phases && *window <= 0 {
+		return fmt.Errorf("-phases needs -window <dt> to define the trajectory")
+	}
 
-	cube, err := loadCube(*in, *usePaper)
+	var lg *trace.Log
+	if *eventsIn != "" {
+		var err error
+		if lg, err = tracefmt.OpenEvents(*eventsIn); err != nil {
+			return err
+		}
+	}
+	cube, err := loadCube(*in, *usePaper, lg)
 	if err != nil {
 		return err
 	}
@@ -81,6 +109,21 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 	printed := false
+	if *window > 0 {
+		if err := printTemporal(stdout, lg, cube, temporalSpec{
+			window:   *window,
+			phases:   *phases,
+			penalty:  *penalty,
+			activity: *activity,
+			opts: core.AnalyzeOptions{
+				Options:  core.Options{Index: idx},
+				ClusterK: *clusterK,
+			},
+		}); err != nil {
+			return err
+		}
+		printed = true
+	}
 	if *table != "" {
 		if err := printTables(stdout, analysis, *table); err != nil {
 			return err
@@ -119,16 +162,110 @@ func run(args []string, stdout io.Writer) error {
 	return nil
 }
 
-func loadCube(path string, usePaper bool) (*trace.Cube, error) {
+func loadCube(path string, usePaper bool, lg *trace.Log) (*trace.Cube, error) {
 	switch {
 	case usePaper && path != "":
 		return nil, fmt.Errorf("use either -in or -paper, not both")
 	case usePaper:
 		return workload.ReconstructCube()
-	case path == "":
-		return nil, fmt.Errorf("no input: pass -in <tracefile> or -paper")
+	case path != "":
+		return tracefmt.OpenCube(path)
+	case lg != nil:
+		// An event trace alone is a full input: aggregate it exactly as
+		// a live collector would have.
+		return lg.Aggregate(nil, nil)
 	}
-	return tracefmt.OpenCube(path)
+	return nil, fmt.Errorf("no input: pass -in <tracefile>, -events <file> or -paper")
+}
+
+// temporalSpec bundles the temporal-analysis flags.
+type temporalSpec struct {
+	window   float64
+	phases   bool
+	penalty  float64
+	activity string
+	opts     core.AnalyzeOptions
+}
+
+// printTemporal prints the windowed imbalance trajectory and, when
+// requested, the phase segmentation with the full index set per phase.
+func printTemporal(w io.Writer, lg *trace.Log, cube *trace.Cube, spec temporalSpec) error {
+	opts := temporal.Options{Window: spec.window, TrackActivities: true}
+	if spec.activity != "" {
+		for _, name := range strings.Split(spec.activity, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				opts.Activities = append(opts.Activities, name)
+			}
+		}
+	}
+	ser, err := temporal.FoldLog(lg, opts)
+	if err != nil {
+		return err
+	}
+	traj := ser.Stats()
+	scope := "all activities"
+	if len(opts.Activities) > 0 {
+		scope = strings.Join(opts.Activities, "+")
+	}
+	fmt.Fprintf(w, "imbalance trajectory (window %g s, %d procs, %s):\n", spec.window, ser.Procs, scope)
+	fmt.Fprintf(w, "  %6s %9s %9s %7s %10s %9s %8s  %s\n",
+		"window", "start", "end", "events", "busy", "ID", "gini", "dominant")
+	for _, ws := range traj {
+		id := "      -"
+		if ws.ID != nil {
+			id = fmt.Sprintf("%9.5f", *ws.ID)
+		}
+		fmt.Fprintf(w, "  %6d %9.3f %9.3f %7d %10.4f %s %8.5f  %s\n",
+			ws.Index, ws.Start, ws.End, ws.Events, ws.Busy, id, ws.Gini, ws.Dominant)
+	}
+	if !spec.phases {
+		return nil
+	}
+
+	phs := temporal.Segment(traj, spec.penalty)
+	reports, err := temporal.AnalyzePhases(lg, phs, spec.opts)
+	if err != nil {
+		return err
+	}
+	// The whole-run processor imbalance the per-phase values are compared
+	// against: what the run-wide index averages away.
+	wholeTotals := make([]float64, cube.NumProcs())
+	for p := range wholeTotals {
+		t, err := cube.ProcTotalTime(p)
+		if err != nil {
+			return err
+		}
+		wholeTotals[p] = t
+	}
+	whole := "-"
+	if id, err := stats.EuclideanFromBalance(wholeTotals); err == nil {
+		whole = fmt.Sprintf("%.5f", id)
+	}
+	fmt.Fprintf(w, "\nphases (penalized change-point segmentation; whole-run ID_P %s):\n", whole)
+	for k, rep := range reports {
+		fmt.Fprintf(w, "  phase %d [%.3f, %.3f) %-5s windows=%d mean window ID=%.5f",
+			k+1, rep.Start, rep.End, rep.Label, rep.Windows, rep.MeanID)
+		if rep.IDP != nil {
+			fmt.Fprintf(w, " ID_P=%.5f gini=%.5f", *rep.IDP, rep.Gini)
+		}
+		fmt.Fprintln(w)
+		if rep.Analysis == nil {
+			continue
+		}
+		// The phase's dominant tuning candidate: the region contributing
+		// the most absolute dispersion within the phase.
+		best, bestVal := -1, 0.0
+		for i, reg := range rep.Analysis.Regions {
+			if reg.Defined && (best == -1 || reg.SID > bestVal) {
+				best, bestVal = i, reg.SID
+			}
+		}
+		if best >= 0 {
+			fmt.Fprintf(w, "           top region by SID_C: %s (%.5f)\n",
+				rep.Analysis.Regions[best].Name, bestVal)
+		}
+	}
+	return nil
 }
 
 func printTables(w io.Writer, a *core.Analysis, which string) error {

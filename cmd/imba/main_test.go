@@ -27,13 +27,13 @@ func paperAnalysis(t *testing.T) *core.Analysis {
 }
 
 func TestLoadCube(t *testing.T) {
-	if _, err := loadCube("x.limb", true); err == nil {
+	if _, err := loadCube("x.limb", true, nil); err == nil {
 		t.Error("both -in and -paper should fail")
 	}
-	if _, err := loadCube("", false); err == nil {
+	if _, err := loadCube("", false, nil); err == nil {
 		t.Error("neither -in nor -paper should fail")
 	}
-	cube, err := loadCube("", true)
+	cube, err := loadCube("", true, nil)
 	if err != nil || cube.NumProcs() != 16 {
 		t.Fatalf("paper cube: %v, %v", cube, err)
 	}
@@ -41,11 +41,11 @@ func TestLoadCube(t *testing.T) {
 	if err := tracefmt.SaveCube(path, cube); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := loadCube(path, false)
+	loaded, err := loadCube(path, false, nil)
 	if err != nil || !cube.EqualWithin(loaded, 0) {
 		t.Errorf("file cube: %v", err)
 	}
-	if _, err := loadCube(filepath.Join(t.TempDir(), "missing.limb"), false); err == nil {
+	if _, err := loadCube(filepath.Join(t.TempDir(), "missing.limb"), false, nil); err == nil {
 		t.Error("missing file should fail")
 	}
 }
@@ -121,7 +121,7 @@ func TestLoadCubeErrorTypes(t *testing.T) {
 	if err := truncate(path, 10); err != nil {
 		t.Fatal(err)
 	}
-	_, err := loadCube(path, false)
+	_, err := loadCube(path, false, nil)
 	if err == nil || !errors.Is(err, tracefmt.ErrCorrupt) {
 		t.Errorf("corrupt err = %v", err)
 	}
@@ -235,5 +235,51 @@ func TestRunMarkdown(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "### Table 4") {
 		t.Errorf("markdown output missing:\n%s", sb.String())
+	}
+}
+
+func TestRunTemporalPhases(t *testing.T) {
+	// Balanced stretch then a rank-0-only tail: two phases with clearly
+	// different per-phase ID_P.
+	var lg trace.Log
+	for r := 0; r < 4; r++ {
+		if err := lg.Append(trace.Event{Rank: r, Region: "bulk", Activity: "computation", Start: 0, End: 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lg.Append(trace.Event{Rank: 0, Region: "tail", Activity: "computation", Start: 5, End: 10}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.events")
+	if err := tracefmt.SaveEvents(path, &lg); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := run([]string{"-events", path, "-window", "1", "-phases"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"imbalance trajectory", "phases (penalized change-point", "quiet", "hot", "ID_P"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("temporal output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The activity filter restricts the trajectory.
+	sb.Reset()
+	if err := run([]string{"-events", path, "-window", "1", "-activity", "computation"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "computation):") {
+		t.Errorf("filtered trajectory header missing:\n%s", sb.String())
+	}
+
+	// Flag validation.
+	if err := run([]string{"-window", "1"}, &sb); err == nil {
+		t.Error("-window without -events should fail")
+	}
+	if err := run([]string{"-events", path, "-phases"}, &sb); err == nil {
+		t.Error("-phases without -window should fail")
 	}
 }

@@ -2,12 +2,18 @@
 // imbalance view: it periodically scrapes each endpoint's /cube.json,
 // merges the cubes — ranks offset per job, regions namespaced by endpoint
 // name — and re-serves the paper's dispersion indices for the whole fleet
-// through the same exposition the per-job monitors use.
+// through the same exposition the per-job monitors use. Endpoints that
+// expose window series (/windows.json, collectors started with a window
+// width) additionally get their timelines merged, so the federation
+// serves a cluster-wide imbalance trajectory too.
 //
 // Endpoints (see internal/federate): /metrics (federation scrape-state
-// gauges followed by the cube's Prometheus families), /cube.json (the
-// federated measurement cube), /lorenz.json and /healthz (per-endpoint
-// scrape state: last success, consecutive failures, staleness).
+// gauges, including per-endpoint scrape latency, followed by the cube's
+// Prometheus families), /cube.json (the federated measurement cube),
+// /timeline.json and /windows.json (the merged cross-job window series;
+// 503 when no endpoint exposes windows), /lorenz.json and /healthz
+// (per-endpoint scrape state: last success, last attempt, scrape
+// latency, consecutive failures, staleness, window availability).
 //
 // Usage:
 //

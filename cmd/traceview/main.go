@@ -10,6 +10,16 @@
 //	traceview -paper -activity computation -format svg > fig1.svg
 //	traceview -paper -activity computation -format counts
 //	traceview -events run.jsonl -timeline -width 100   # Jumpshot-style lanes
+//
+// With -window the timeline is segmented into phases (penalized
+// change-point detection over the windowed imbalance trajectory):
+// -phases marks the phase boundaries above the lanes and lists the
+// phases, -phase N zooms the view into the Nth phase — the paper's
+// "methodology points first, the timeline then shows the flagged
+// window", automated:
+//
+//	traceview -events run.jsonl -timeline -window 0.5 -phases
+//	traceview -events run.jsonl -timeline -window 0.5 -phase 2
 package main
 
 import (
@@ -20,6 +30,7 @@ import (
 	"os"
 
 	"loadimb/internal/pattern"
+	"loadimb/internal/temporal"
 	"loadimb/internal/timeline"
 	"loadimb/internal/trace"
 	"loadimb/internal/tracefmt"
@@ -47,6 +58,10 @@ func run(args []string, stdout io.Writer) error {
 		width      = fs.Int("width", 100, "timeline width in columns")
 		from       = fs.Float64("from", 0, "timeline window start, seconds")
 		to         = fs.Float64("to", 0, "timeline window end, seconds (0 = full span)")
+		window     = fs.Float64("window", 0, "temporal window width for phase segmentation, seconds")
+		doPhases   = fs.Bool("phases", false, "mark phase boundaries on the timeline and list the phases (requires -window)")
+		phaseZoom  = fs.Int("phase", 0, "zoom the timeline into phase N (1-based; requires -window)")
+		penalty    = fs.Float64("penalty", 0, "change-point penalty for the segmentation (0 = automatic)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,6 +71,9 @@ func run(args []string, stdout io.Writer) error {
 		if *eventsIn == "" {
 			return fmt.Errorf("-timeline needs -events <file.jsonl>")
 		}
+		if (*doPhases || *phaseZoom > 0) && *window <= 0 {
+			return fmt.Errorf("-phases and -phase need -window <dt> to define the trajectory")
+		}
 		evs, err := tracefmt.OpenEvents(*eventsIn)
 		if err != nil {
 			return err
@@ -64,11 +82,37 @@ func run(args []string, stdout io.Writer) error {
 		if *activity != "all" {
 			opts.Activities = []string{*activity}
 		}
+		var phs []temporal.Phase
+		if *window > 0 {
+			ser, err := temporal.FoldLog(evs, temporal.Options{Window: *window, Activities: opts.Activities})
+			if err != nil {
+				return err
+			}
+			phs = temporal.Segment(ser.Stats(), *penalty)
+			if *phaseZoom > 0 {
+				if *phaseZoom > len(phs) {
+					return fmt.Errorf("phase %d of %d does not exist", *phaseZoom, len(phs))
+				}
+				ph := phs[*phaseZoom-1]
+				opts.From, opts.To = ph.Start, ph.End
+			} else if *doPhases {
+				for _, ph := range phs[1:] {
+					opts.Marks = append(opts.Marks, ph.Start)
+				}
+			}
+		}
 		tl, err := timeline.New(evs, opts)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(stdout, tl.ASCII())
+		if *doPhases {
+			fmt.Fprintln(stdout, "phases:")
+			for k, ph := range phs {
+				fmt.Fprintf(stdout, "  %d. [%.3f s, %.3f s) %-5s mean window ID %.5f (%d windows)\n",
+					k+1, ph.Start, ph.End, ph.Label, ph.MeanID, ph.Windows)
+			}
+		}
 		return nil
 	}
 

@@ -99,3 +99,49 @@ func TestRunTimeline(t *testing.T) {
 		t.Error("missing events file should fail")
 	}
 }
+
+func TestRunTimelinePhases(t *testing.T) {
+	// Balanced stretch then a one-rank tail: one boundary, two phases.
+	var l trace.Log
+	for r := 0; r < 3; r++ {
+		if err := l.Append(trace.Event{Rank: r, Region: "bulk", Activity: "comp", Start: 0, End: 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Append(trace.Event{Rank: 0, Region: "tail", Activity: "comp", Start: 4, End: 8}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ev.jsonl")
+	if err := tracefmt.SaveEvents(path, &l); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := run([]string{"-timeline", "-events", path, "-width", "16", "-window", "1", "-phases"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "phases   |") || !strings.Contains(out, "^") {
+		t.Errorf("phase marker row missing:\n%s", out)
+	}
+	if !strings.Contains(out, "phases:") || !strings.Contains(out, "1. [") {
+		t.Errorf("phase listing missing:\n%s", out)
+	}
+
+	// Zooming into phase 2 narrows the rendered window to its interval.
+	sb.Reset()
+	if err := run([]string{"-timeline", "-events", path, "-width", "16", "-window", "1", "-phase", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "timeline [4.000 s, 8.000 s]") {
+		t.Errorf("phase zoom window wrong:\n%s", sb.String())
+	}
+
+	// Flag validation.
+	if err := run([]string{"-timeline", "-events", path, "-phases"}, &sb); err == nil {
+		t.Error("-phases without -window should fail")
+	}
+	if err := run([]string{"-timeline", "-events", path, "-window", "1", "-phase", "9"}, &sb); err == nil {
+		t.Error("out-of-range -phase should fail")
+	}
+}

@@ -50,11 +50,11 @@ func main() {
 func detectPhases(logData *trace.Log) {
 	// Rank-0 computation bursts in time order.
 	var bursts []float64
-	for _, e := range logData.Events() {
+	logData.Each(func(e trace.Event) {
 		if e.Rank == 0 && e.Activity == mpi.ActComputation {
 			bursts = append(bursts, e.Duration())
 		}
-	}
+	})
 	if len(bursts) < 16 {
 		fmt.Println("too few bursts for phase detection")
 		return
@@ -70,11 +70,11 @@ func detectPhases(logData *trace.Log) {
 	// Window the first iteration of the run and aggregate it alone. The
 	// instrumented part starts after the warmup, at the first event.
 	first := logData.Span()
-	for _, e := range logData.Events() {
+	logData.Each(func(e trace.Event) {
 		if e.Start < first {
 			first = e.Start
 		}
-	}
+	})
 	iterSpan := (logData.Span() - first) / 30 // Defaults() runs 30 iterations
 	window, err := logData.Window(first, first+iterSpan*1.5)
 	if err != nil {

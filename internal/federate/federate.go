@@ -20,6 +20,7 @@ package federate
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -31,6 +32,7 @@ import (
 	"time"
 
 	"loadimb/internal/monitor"
+	"loadimb/internal/temporal"
 	"loadimb/internal/trace"
 	"loadimb/internal/tracefmt"
 )
@@ -77,8 +79,15 @@ type Options struct {
 // Federator.mu.
 type endpointState struct {
 	Endpoint
-	cube        *trace.Cube // last successfully fetched cube, nil before
+	cube *trace.Cube // last successfully fetched cube, nil before
+	// windows is the endpoint's last window series (/windows.json); nil
+	// when the endpoint has windowing disabled or the fetch failed. It is
+	// fetched best-effort alongside the cube: cube availability drives
+	// endpoint health, window availability only the timeline view.
+	windows     *temporal.Series
 	lastSuccess time.Time
+	lastAttempt time.Time
+	lastLatency time.Duration // duration of the most recent scrape attempt
 	lastError   string
 	consecutive int    // consecutive failures since the last success
 	scrapes     uint64 // successful scrapes
@@ -170,20 +179,37 @@ func (s *endpointState) cubeURL() string {
 	return strings.TrimSuffix(s.URL, "/") + "/cube.json"
 }
 
+// windowsURL is the endpoint's window-series document.
+func (s *endpointState) windowsURL() string {
+	return strings.TrimSuffix(s.URL, "/") + "/windows.json"
+}
+
 // stale reports whether the endpoint has failed too many times in a row;
 // callers hold Federator.mu.
 func (s *endpointState) stale(maxFailures int) bool {
 	return s.consecutive >= maxFailures
 }
 
-// scrapeEndpoint fetches one endpoint's cube and records the outcome.
+// scrapeEndpoint fetches one endpoint's cube (and, best-effort, its
+// window series) and records the outcome.
 func (f *Federator) scrapeEndpoint(ctx context.Context, s *endpointState) error {
 	ctx, cancel := context.WithTimeout(ctx, f.timeout)
 	defer cancel()
+	attempt := time.Now()
 	cube, err := f.fetchCube(ctx, s.cubeURL())
+	var windows *temporal.Series
+	if err == nil {
+		// The window series is optional: an endpoint with windowing
+		// disabled answers 503, an older endpoint 404. Neither makes the
+		// endpoint unhealthy — it just contributes no timeline.
+		windows, _ = f.fetchWindows(ctx, s.windowsURL())
+	}
+	latency := time.Since(attempt)
 
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	s.lastAttempt = attempt
+	s.lastLatency = latency
 	if err != nil {
 		wasStale := s.stale(f.maxFailures)
 		s.failures++
@@ -202,6 +228,7 @@ func (f *Federator) scrapeEndpoint(ctx context.Context, s *endpointState) error 
 			s.Name, s.consecutive)
 	}
 	s.cube = cube
+	s.windows = windows
 	s.lastSuccess = time.Now()
 	s.lastError = ""
 	s.consecutive = 0
@@ -232,6 +259,30 @@ func (f *Federator) fetchCube(ctx context.Context, url string) (*trace.Cube, err
 		return nil, fmt.Errorf("GET %s: %w", url, err)
 	}
 	return cube, nil
+}
+
+// fetchWindows fetches and decodes an endpoint's window series. A
+// non-200 answer (windowing disabled, older endpoint) returns (nil, nil):
+// absent windows are a capability, not a failure.
+func (f *Federator) fetchWindows(ctx context.Context, url string) (*temporal.Series, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.CopyN(io.Discard, resp.Body, 512)
+		return nil, nil
+	}
+	var ser temporal.Series
+	if err := json.NewDecoder(resp.Body).Decode(&ser); err != nil {
+		return nil, fmt.Errorf("GET %s: %w", url, err)
+	}
+	return &ser, nil
 }
 
 // backoff returns the jittered retry delay after n consecutive failures
@@ -315,11 +366,24 @@ func (f *Federator) Snapshot() *monitor.Snapshot {
 	}
 	gen := f.gen
 	var jobs []trace.JobCube
+	var winJobs []temporal.JobWindows
+	haveWindows := false
 	for _, s := range f.states {
 		if s.cube != nil && !s.stale(f.maxFailures) {
-			// Cubes are immutable once fetched; sharing the pointer
-			// outside the lock is safe.
+			// Cubes and series are immutable once fetched; sharing the
+			// pointers outside the lock is safe.
 			jobs = append(jobs, trace.JobCube{Label: s.Name, Cube: s.cube})
+			// The job's rank slots in the merged series are its cube's
+			// processors — the same offsets trace.Federate applies, so
+			// window ranks and federated cube ranks coincide. An endpoint
+			// without windows still occupies its slots.
+			winJobs = append(winJobs, temporal.JobWindows{
+				Procs:  s.cube.NumProcs(),
+				Series: s.windows,
+			})
+			if s.windows != nil {
+				haveWindows = true
+			}
 		}
 	}
 	f.mu.Unlock()
@@ -340,6 +404,18 @@ func (f *Federator) Snapshot() *monitor.Snapshot {
 			cube.Precompute()
 			snap.Cube = cube
 			snap.Span = cube.ProgramTime()
+		}
+		if haveWindows {
+			ser, err := temporal.Merge(winJobs)
+			if err != nil {
+				// Mixed window widths across endpoints: the timeline view is
+				// undefined, the cube view stays correct. Degrade just the
+				// timeline.
+				f.logf("federate: merging window series: %v", err)
+			} else {
+				snap.Series = ser
+				snap.Windows = ser.Stats()
+			}
 		}
 	}
 
@@ -363,13 +439,21 @@ type EndpointHealth struct {
 	// scrape succeeds again.
 	Stale bool `json:"stale"`
 	// HasCube reports whether any scrape ever delivered a cube.
-	HasCube             bool   `json:"has_cube"`
+	HasCube bool `json:"has_cube"`
+	// HasWindows reports whether the last successful scrape also
+	// delivered a window series (the endpoint has windowing enabled).
+	HasWindows          bool   `json:"has_windows"`
 	ConsecutiveFailures int    `json:"consecutive_failures"`
 	Scrapes             uint64 `json:"scrapes"`
 	Failures            uint64 `json:"failures"`
-	// LastSuccess is the RFC 3339 time of the last successful scrape,
-	// empty if there has been none.
+	// LastSuccess and LastAttempt are the RFC 3339 times of the last
+	// successful and the last attempted scrape, empty before any.
+	// Comparing them shows how long an endpoint has been failing.
 	LastSuccess string `json:"last_success,omitempty"`
+	LastAttempt string `json:"last_attempt,omitempty"`
+	// ScrapeMillis is the duration of the most recent scrape attempt in
+	// milliseconds — the cube fetch plus, on success, the window fetch.
+	ScrapeMillis float64 `json:"scrape_ms"`
 	// LastError is the most recent scrape error, empty after a success.
 	LastError string `json:"last_error,omitempty"`
 }
@@ -385,13 +469,18 @@ func (f *Federator) Health() []EndpointHealth {
 			URL:                 s.URL,
 			Stale:               s.stale(f.maxFailures),
 			HasCube:             s.cube != nil,
+			HasWindows:          s.windows != nil,
 			ConsecutiveFailures: s.consecutive,
 			Scrapes:             s.scrapes,
 			Failures:            s.failures,
+			ScrapeMillis:        float64(s.lastLatency) / float64(time.Millisecond),
 			LastError:           s.lastError,
 		}
 		if !s.lastSuccess.IsZero() {
 			h.LastSuccess = s.lastSuccess.Format(time.RFC3339Nano)
+		}
+		if !s.lastAttempt.IsZero() {
+			h.LastAttempt = s.lastAttempt.Format(time.RFC3339Nano)
 		}
 		out[i] = h
 	}

@@ -16,6 +16,7 @@ const (
 	MetricEndpointScrapes     = "loadimb_fed_endpoint_scrapes_total"
 	MetricEndpointFailures    = "loadimb_fed_endpoint_failures_total"
 	MetricEndpointConsecutive = "loadimb_fed_endpoint_consecutive_failures"
+	MetricEndpointLatency     = "loadimb_fed_endpoint_scrape_seconds"
 )
 
 // healthzPayload is the /healthz document: an overall status plus the
@@ -53,11 +54,16 @@ func status(eps []EndpointHealth) string {
 //
 //	/metrics      federation scrape-state gauges, then every paper index
 //	              of the federated cube (same families imbamon serves)
-//	/cube.json    the federated measurement cube (tracefmt JSON)
-//	/lorenz.json  Lorenz curve of the cluster-wide per-processor times
-//	/healthz      per-endpoint scrape state: last success, consecutive
-//	              failures, staleness (503 when no endpoint contributes)
-//	/             plain-text index
+//	/cube.json      the federated measurement cube (tracefmt JSON)
+//	/lorenz.json    Lorenz curve of the cluster-wide per-processor times
+//	/timeline.json  cluster-wide imbalance trajectory, merged from the
+//	                endpoints' window series (empty until some endpoint
+//	                serves /windows.json)
+//	/windows.json   the merged raw window series itself
+//	/healthz        per-endpoint scrape state: last success/attempt,
+//	                scrape latency, consecutive failures, staleness
+//	                (503 when no endpoint contributes)
+//	/               plain-text index
 //
 // The cube endpoints are the exact handlers imbamon uses
 // (monitor.SnapshotSource), pointed at the federated snapshot, so one
@@ -86,6 +92,10 @@ func Handler(f *Federator) http.Handler {
 	})
 	mux.Handle("/cube.json", monitor.CubeHandler(f))
 	mux.Handle("/lorenz.json", monitor.LorenzHandler(f))
+	// Window width 0: the federated width is whatever the endpoints
+	// agreed on, echoed from the merged series itself.
+	mux.Handle("/timeline.json", monitor.TimelineHandler(f, 0))
+	mux.Handle("/windows.json", monitor.WindowsHandler(f))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -93,7 +103,7 @@ func Handler(f *Federator) http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "loadimb federated monitor (%d endpoints)\n\n", len(f.Health()))
-		fmt.Fprintln(w, "endpoints: /metrics /cube.json /lorenz.json /healthz")
+		fmt.Fprintln(w, "endpoints: /metrics /cube.json /lorenz.json /timeline.json /windows.json /healthz")
 	})
 	return mux
 }
@@ -136,5 +146,9 @@ func writeFederationMetrics(w http.ResponseWriter, eps []EndpointHealth) {
 			// Prometheus text format expects.
 			fmt.Fprintf(w, "%s{endpoint=%q} %d\n", fam.name, ep.Name, fam.value(ep))
 		}
+	}
+	fmt.Fprintf(w, "# HELP %s Duration of the endpoint's most recent scrape attempt.\n# TYPE %s gauge\n", MetricEndpointLatency, MetricEndpointLatency)
+	for _, ep := range eps {
+		fmt.Fprintf(w, "%s{endpoint=%q} %g\n", MetricEndpointLatency, ep.Name, ep.ScrapeMillis/1000)
 	}
 }

@@ -1,0 +1,240 @@
+package federate
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"loadimb/internal/monitor"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// startWindowedEndpoint serves a windowed collector holding the job's
+// events through the real monitor handler set.
+func startWindowedEndpoint(t *testing.T, job jobSpec, window float64) *httptest.Server {
+	t.Helper()
+	c := monitor.NewCollector(monitor.Options{Window: window})
+	for _, e := range job.events {
+		c.Record(e)
+	}
+	srv := httptest.NewServer(monitor.NewHandler(c))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// timelineDoc mirrors the /timeline.json payload.
+type timelineDoc struct {
+	Window  float64              `json:"window"`
+	Windows []monitor.WindowStat `json:"windows"`
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := testClient.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d: %s", url, resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+}
+
+// TestFederatedTimelineAgreesWithLivePath is the acceptance property of
+// the federated timeline: scraping N endpoints' window series and
+// merging them must serve exactly the trajectory one live collector
+// folding all the events (ranks offset per job, as trace.Federate
+// numbers them) would serve.
+func TestFederatedTimelineAgreesWithLivePath(t *testing.T) {
+	const window = 0.5
+	jobs := []jobSpec{
+		{name: "jobA", procs: 4, events: jobEvents(4, 0.5)},
+		{name: "jobB", procs: 3, events: jobEvents(3, 1.25)},
+		{name: "jobC", procs: 5, events: jobEvents(5, 0)},
+	}
+	var endpoints []Endpoint
+	for _, job := range jobs {
+		srv := startWindowedEndpoint(t, job, window)
+		endpoints = append(endpoints, Endpoint{Name: job.name, URL: srv.URL})
+	}
+	f, err := New(Options{Endpoints: endpoints, Client: testClient})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ScrapeAll(context.Background())
+	fedSrv := httptest.NewServer(Handler(f))
+	defer fedSrv.Close()
+
+	var got timelineDoc
+	getJSON(t, fedSrv.URL+"/timeline.json", &got)
+	if got.Window != window {
+		t.Fatalf("federated window width = %g, want %g", got.Window, window)
+	}
+
+	// The live oracle: one collector folds every event with ranks offset
+	// by the preceding jobs' processor counts.
+	oracle := monitor.NewCollector(monitor.Options{Window: window})
+	offset := 0
+	for _, job := range jobs {
+		for _, e := range job.events {
+			e.Rank += offset
+			oracle.Record(e)
+		}
+		offset += job.procs
+	}
+	want := oracle.Snapshot().Windows
+
+	gotJSON, err := json.Marshal(got.Windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotJSON) != string(wantJSON) {
+		t.Errorf("federated timeline diverges from the live path.\ngot:\n%s\nwant:\n%s", gotJSON, wantJSON)
+	}
+}
+
+// TestFederatedTimelineGolden locks the federated /timeline.json schema.
+func TestFederatedTimelineGolden(t *testing.T) {
+	jobs := []jobSpec{
+		{name: "alpha", procs: 2, events: jobEvents(2, 0.5)},
+		{name: "beta", procs: 3, events: jobEvents(3, 1)},
+	}
+	var endpoints []Endpoint
+	for _, job := range jobs {
+		srv := startWindowedEndpoint(t, job, 0.5)
+		endpoints = append(endpoints, Endpoint{Name: job.name, URL: srv.URL})
+	}
+	f, err := New(Options{Endpoints: endpoints, Client: testClient})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ScrapeAll(context.Background())
+	fedSrv := httptest.NewServer(Handler(f))
+	defer fedSrv.Close()
+
+	resp, err := testClient.Get(fedSrv.URL + "/timeline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/timeline.json = %d", resp.StatusCode)
+	}
+	path := filepath.Join("testdata", "timeline_federated.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create it): %v", err)
+	}
+	if string(want) != string(body) {
+		t.Errorf("federated timeline drifted from golden.\ngot:\n%s\nwant:\n%s", body, want)
+	}
+}
+
+// TestFederationWithoutWindows: endpoints with windowing disabled still
+// federate their cubes; the timeline is just empty and /windows.json
+// answers 503.
+func TestFederationWithoutWindows(t *testing.T) {
+	srv := startEndpoint(t, jobSpec{name: "plain", procs: 2, events: jobEvents(2, 0.5)})
+	f, err := New(Options{Endpoints: []Endpoint{{Name: "plain", URL: srv.URL}}, Client: testClient})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ScrapeAll(context.Background())
+	snap := f.Snapshot()
+	if snap.Cube == nil {
+		t.Fatal("cube missing")
+	}
+	if snap.Series != nil || snap.Windows != nil {
+		t.Errorf("windowless endpoints produced a timeline: %+v", snap.Windows)
+	}
+	fedSrv := httptest.NewServer(Handler(f))
+	defer fedSrv.Close()
+	resp, err := testClient.Get(fedSrv.URL + "/windows.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/windows.json = %d, want 503", resp.StatusCode)
+	}
+	eps := f.Health()
+	if eps[0].HasWindows {
+		t.Error("health claims windows for a windowless endpoint")
+	}
+}
+
+// TestHealthzScrapeTimings: /healthz reports last-attempt and
+// last-success times plus the scrape latency.
+func TestHealthzScrapeTimings(t *testing.T) {
+	srv := startWindowedEndpoint(t, jobSpec{name: "j", procs: 2, events: jobEvents(2, 0.5)}, 0.5)
+	f, err := New(Options{Endpoints: []Endpoint{{Name: "j", URL: srv.URL}}, Client: testClient})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ScrapeAll(context.Background())
+	fedSrv := httptest.NewServer(Handler(f))
+	defer fedSrv.Close()
+
+	var payload struct {
+		Status    string           `json:"status"`
+		Endpoints []EndpointHealth `json:"endpoints"`
+	}
+	getJSON(t, fedSrv.URL+"/healthz", &payload)
+	if payload.Status != "ok" {
+		t.Fatalf("status %q, want ok", payload.Status)
+	}
+	ep := payload.Endpoints[0]
+	if ep.LastAttempt == "" || ep.LastSuccess == "" {
+		t.Errorf("missing scrape times: %+v", ep)
+	}
+	if ep.ScrapeMillis <= 0 {
+		t.Errorf("scrape latency %g ms, want > 0", ep.ScrapeMillis)
+	}
+	if !ep.HasWindows {
+		t.Error("health does not report the endpoint's window series")
+	}
+
+	// A failing endpoint keeps updating last_attempt while last_success
+	// stays put.
+	srv.Close()
+	f.ScrapeAll(context.Background())
+	eps := f.Health()
+	if eps[0].LastAttempt == ep.LastAttempt {
+		t.Errorf("last_attempt did not advance past %q", ep.LastAttempt)
+	}
+	if eps[0].LastSuccess != ep.LastSuccess {
+		t.Errorf("last_success moved on a failure: %q -> %q", ep.LastSuccess, eps[0].LastSuccess)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"loadimb/internal/stats"
+	"loadimb/internal/temporal"
 	"loadimb/internal/trace"
 )
 
@@ -90,6 +91,12 @@ func NewCollector(opts Options) *Collector {
 		shards: make([]shard, pow),
 	}
 	c.state.init(opts.Regions, opts.Activities)
+	if opts.Window > 0 {
+		// The windowing itself lives in internal/temporal — the one
+		// implementation of the clipping semantics, shared with the
+		// offline and federated pipelines.
+		c.state.tw = temporal.NewFold(temporal.Options{Window: opts.Window})
+	}
 	return c
 }
 
@@ -98,9 +105,10 @@ func NewCollector(opts Options) *Collector {
 // appends to a sharded buffer; the aggregation happens at Snapshot.
 // Malformed events (negative rank, empty names, end before start, start
 // before virtual time zero) are dropped and counted instead of corrupting
-// the cube. Negative starts in particular must never reach the window
-// fold: int(Start/window) truncates toward zero, so they would all land
-// in window 0 and inflate its busy time.
+// the cube. A live run's virtual clock starts at zero, so a negative
+// start can only be an instrumentation bug; the shared window fold would
+// handle it (it floors into negative-index windows), but the live wire
+// format has no place for windows before the run began.
 func (c *Collector) Record(e trace.Event) {
 	if e.Rank < 0 || e.Region == "" || e.Activity == "" || e.End < e.Start || e.Start < 0 {
 		c.dropped.Add(1)
@@ -141,7 +149,7 @@ func (c *Collector) Snapshot() *Snapshot {
 		s.buf = nil
 		s.mu.Unlock()
 		for _, e := range buf {
-			c.state.fold(e, c.window)
+			c.state.fold(e)
 		}
 		drained += len(buf)
 	}
@@ -152,7 +160,7 @@ func (c *Collector) Snapshot() *Snapshot {
 		return prev
 	}
 	c.gen++
-	snap := c.state.build(c.window, c.state.folded, dropped, c.gen)
+	snap := c.state.build(c.state.folded, dropped, c.gen)
 	c.snap.Store(snap)
 	return snap
 }
@@ -181,19 +189,15 @@ type foldState struct {
 	// durs[i][j] is the streaming event-duration accumulator of the
 	// cell.
 	durs [][]stats.Accumulator
-	// windows maps window index -> per-rank busy time within it.
-	windows map[int]*windowAcc
-}
-
-type windowAcc struct {
-	procSeconds []float64
-	events      int
+	// tw is the shared windowing engine accumulating the per-window
+	// per-rank busy times (internal/temporal owns the clipping
+	// semantics); nil when windowing is disabled.
+	tw *temporal.Fold
 }
 
 func (s *foldState) init(regions, activities []string) {
 	s.rIdx = make(map[string]int)
 	s.aIdx = make(map[string]int)
-	s.windows = make(map[int]*windowAcc)
 	for _, r := range regions {
 		s.regionIndex(r)
 	}
@@ -232,7 +236,7 @@ func (s *foldState) activityIndex(name string) int {
 // fold accumulates one event into the running totals. Record already
 // rejected malformed events, so e has a nonnegative rank and start and a
 // nonnegative duration.
-func (s *foldState) fold(e trace.Event, window float64) {
+func (s *foldState) fold(e trace.Event) {
 	i := s.regionIndex(e.Region)
 	j := s.activityIndex(e.Activity)
 	s.folded++
@@ -248,58 +252,7 @@ func (s *foldState) fold(e trace.Event, window float64) {
 	d := e.End - e.Start
 	s.totals[i][j][e.Rank] += d
 	s.durs[i][j].Add(d)
-	if window <= 0 {
-		return
+	if s.tw != nil {
+		s.tw.Add(e)
 	}
-	// Clip the event onto each temporal window it overlaps, exactly as
-	// Log.Window does offline.
-	if d == 0 {
-		// A zero-duration event contributes no busy time but still
-		// counts as an event of the window strictly containing its
-		// instant; an instant exactly on a boundary belongs to neither
-		// side, matching Log.Window's half-open [from, to) clipping.
-		w := int(e.Start / window)
-		if e.Start == float64(w)*window {
-			return
-		}
-		acc := s.window(w)
-		for len(acc.procSeconds) <= e.Rank {
-			acc.procSeconds = append(acc.procSeconds, 0)
-		}
-		acc.events++
-		return
-	}
-	first := int(e.Start / window)
-	last := int(e.End / window)
-	if e.End == float64(last)*window && last > first {
-		last-- // end exactly on a boundary belongs to the previous window
-	}
-	for w := first; w <= last; w++ {
-		lo, hi := float64(w)*window, float64(w+1)*window
-		if e.Start > lo {
-			lo = e.Start
-		}
-		if e.End < hi {
-			hi = e.End
-		}
-		if hi <= lo {
-			continue
-		}
-		acc := s.window(w)
-		for len(acc.procSeconds) <= e.Rank {
-			acc.procSeconds = append(acc.procSeconds, 0)
-		}
-		acc.procSeconds[e.Rank] += hi - lo
-		acc.events++
-	}
-}
-
-// window returns the accumulator of window w, creating it on first use.
-func (s *foldState) window(w int) *windowAcc {
-	acc, ok := s.windows[w]
-	if !ok {
-		acc = &windowAcc{}
-		s.windows[w] = acc
-	}
-	return acc
 }

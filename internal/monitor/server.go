@@ -74,14 +74,35 @@ func LorenzHandler(src SnapshotSource) http.HandlerFunc {
 
 // TimelineHandler serves the windowed imbalance trajectory of the
 // snapshot; window is the configured window width echoed in the payload
-// (0 when windowing is disabled).
+// (0 when windowing is disabled). A source whose width is only known at
+// scrape time — the federation merger inherits it from its endpoints —
+// passes 0 and the snapshot's own series width is echoed instead.
 func TimelineHandler(src SnapshotSource, window float64) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		snap := src.Snapshot()
+		if window == 0 && snap.Series != nil {
+			window = snap.Series.Window
+		}
 		writeJSON(w, timelinePayload{
 			Window:  window,
 			Windows: snap.Windows,
 		})
+	}
+}
+
+// WindowsHandler serves the snapshot's raw window series — per-window
+// per-processor busy vectors rather than summaries. This is the document
+// the federation layer scrapes and merges: summaries cannot be combined
+// across jobs, busy vectors can, so cluster-wide per-window indices come
+// out exact. It answers 503 while windowing is disabled.
+func WindowsHandler(src SnapshotSource) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		snap := src.Snapshot()
+		if snap.Series == nil {
+			http.Error(w, "windowing disabled", http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, snap.Series)
 	}
 }
 
@@ -91,6 +112,7 @@ func TimelineHandler(src SnapshotSource, window float64) http.HandlerFunc {
 //	/cube.json      the live measurement cube (tracefmt JSON)
 //	/lorenz.json    Lorenz curve of the per-processor total times
 //	/timeline.json  windowed imbalance trajectory (temporal analysis)
+//	/windows.json   raw per-window busy vectors (federation merge input)
 //	/healthz        liveness probe (always 200)
 //	/               embedded live dashboard
 //	/debug/pprof/   Go runtime profiles of the monitored process
@@ -108,6 +130,7 @@ func NewHandler(c *Collector) http.Handler {
 	mux.Handle("/cube.json", CubeHandler(c))
 	mux.Handle("/lorenz.json", LorenzHandler(c))
 	mux.Handle("/timeline.json", TimelineHandler(c, c.window))
+	mux.Handle("/windows.json", WindowsHandler(c))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)

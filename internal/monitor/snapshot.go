@@ -2,11 +2,11 @@ package monitor
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"loadimb/internal/core"
 	"loadimb/internal/stats"
+	"loadimb/internal/temporal"
 	"loadimb/internal/trace"
 )
 
@@ -34,6 +34,11 @@ type Snapshot struct {
 	// Windows is the temporal imbalance trajectory, one entry per
 	// non-empty window in time order; empty when windowing is disabled.
 	Windows []WindowStat
+	// Series holds the raw per-window per-processor busy vectors the
+	// trajectory was computed from — the mergeable document served at
+	// /windows.json, which the federation layer combines across
+	// endpoints. It is nil when windowing is disabled.
+	Series *temporal.Series
 	// Gen is the fold generation of the snapshot: it increases every time
 	// a publisher builds a snapshot with new content. Two snapshots from
 	// the same source with equal Gen are the same snapshot, so scrape
@@ -88,33 +93,13 @@ func (s *Snapshot) Views() (*Views, error) {
 	return s.views, s.viewsErr
 }
 
-// WindowStat summarizes one temporal window of the run: how busy each
-// processor was within it and how dispersed those busy times are. A
-// rising ID across windows is temporal imbalance the whole-run indices
-// average away.
-type WindowStat struct {
-	// Index is the window number; the window covers virtual time
-	// [Start, End).
-	Index int     `json:"index"`
-	Start float64 `json:"start"`
-	End   float64 `json:"end"`
-	// Events is the number of (possibly clipped) events in the window.
-	Events int `json:"events"`
-	// Busy is the total processor-seconds spent in the window.
-	Busy float64 `json:"busy"`
-	// ID is the paper's Euclidean index of dispersion of the
-	// standardized per-processor busy times within the window. It is nil
-	// — served as an explicit JSON null — when the dispersion is
-	// undefined, i.e. when the window recorded no busy time at all (only
-	// zero-duration events): an all-idle window has no load to disperse,
-	// which is not the same thing as a perfectly balanced one.
-	ID *float64 `json:"id"`
-	// Gini is the Gini coefficient of the per-processor busy times.
-	Gini float64 `json:"gini"`
-}
+// WindowStat summarizes one temporal window of the run; it is the
+// shared windowing engine's summary type, re-exported so existing
+// consumers of the monitor API keep compiling unchanged.
+type WindowStat = temporal.WindowStat
 
 // build assembles an immutable snapshot from the current fold state.
-func (s *foldState) build(window float64, events, dropped, gen uint64) *Snapshot {
+func (s *foldState) build(events, dropped, gen uint64) *Snapshot {
 	snap := &Snapshot{Events: events, Dropped: dropped, Span: s.span, Gen: gen}
 	if len(s.regions) > 0 && len(s.activities) > 0 && s.procs > 0 {
 		cube, err := trace.NewCube(s.regions, s.activities, s.procs)
@@ -149,47 +134,16 @@ func (s *foldState) build(window float64, events, dropped, gen uint64) *Snapshot
 			snap.CellStats[i] = append([]stats.Accumulator(nil), s.durs[i]...)
 		}
 	}
-	if window > 0 && len(s.windows) > 0 {
-		idxs := make([]int, 0, len(s.windows))
-		for w := range s.windows {
-			idxs = append(idxs, w)
-		}
-		sort.Ints(idxs)
-		for _, w := range idxs {
-			acc := s.windows[w]
-			ws := WindowStat{
-				Index:  w,
-				Start:  float64(w) * window,
-				End:    float64(w+1) * window,
-				Events: acc.events,
-			}
-			// Ranks idle for the whole window count as zeros: an idle
-			// processor is the imbalance, not missing data.
-			procSeconds := append([]float64(nil), acc.procSeconds...)
-			for len(procSeconds) < s.procs {
-				procSeconds = append(procSeconds, 0)
-			}
-			ws.Busy = stats.Sum(procSeconds)
-			if id, err := stats.EuclideanFromBalance(procSeconds); err == nil {
-				ws.ID = &id
-			}
-			ws.Gini = giniOf(procSeconds)
-			snap.Windows = append(snap.Windows, ws)
-		}
+	if s.tw != nil {
+		snap.Series = s.tw.Series()
+		snap.Windows = snap.Series.Stats()
 	}
 	return snap
 }
 
-// giniOf is stats.Gini.Of with tiny negative cancellation noise clamped:
-// perfectly balanced loads can come out as -1e-16, and a served Gini
-// coefficient must stay in [0, 1).
-func giniOf(vals []float64) float64 {
-	g := stats.Gini.Of(vals)
-	if g < 0 {
-		return 0
-	}
-	return g
-}
+// giniOf is stats.Gini.Of with tiny negative cancellation noise clamped;
+// the clamp lives with the shared windowing engine.
+func giniOf(vals []float64) float64 { return temporal.GiniOf(vals) }
 
 // ProcTotals returns the per-processor total instrumented times of the
 // snapshot cube — the vector whose Lorenz curve and Gini coefficient the

@@ -1,0 +1,238 @@
+// Package temporal is the repository's single windowed-analysis engine:
+// it folds event traces into per-window per-processor busy-time vectors,
+// summarizes them into imbalance trajectories (the /timeline.json the
+// live monitor serves), merges the window series of federated endpoints,
+// and segments trajectories into phases with PELT-style change-point
+// detection.
+//
+// Before this package existed the windowing semantics lived in two
+// divergent copies — the monitor's incremental fold and the offline
+// trace.Log.Window clipping — and the offline toolchain had none at all.
+// Fold is now the one implementation; Log.Window survives as the
+// per-phase slicing oracle its property tests compare against.
+//
+// The clipping semantics, shared by every consumer:
+//
+//   - An event overlapping several windows contributes to each the exact
+//     overlap of its interval with the half-open window [w·dt, (w+1)·dt).
+//   - An event ending exactly on a window boundary belongs to the window
+//     it fills, not the empty one it touches.
+//   - A zero-duration event contributes no busy time but counts as an
+//     event of the window strictly containing its instant; an instant
+//     exactly on a boundary belongs to neither side.
+package temporal
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"loadimb/internal/trace"
+)
+
+// Options configures a Fold.
+type Options struct {
+	// Window is the window width in virtual seconds; it must be
+	// positive.
+	Window float64
+	// Procs is the minimum processor count of the produced series:
+	// trajectories divide load over every processor of the run, so ranks
+	// that never produce a matching event still count as zeros. 0 means
+	// the maximum rank seen plus one.
+	Procs int
+	// Activities, when non-empty, restricts the busy-time accumulation
+	// to the named activities. The live monitor folds everything; the
+	// offline toolchain uses the filter to compute, say, the trajectory
+	// of computation time alone — in synchronized message-passing runs
+	// the all-activity busy time is uniform by construction (waiting is
+	// instrumented too), and the imbalance signal lives in how the
+	// activity mix is divided.
+	Activities []string
+	// TrackActivities records per-window per-activity busy time so the
+	// series can report each window's dominant activity. The live
+	// monitor leaves it off (its wire format predates the field); the
+	// offline trajectory turns it on.
+	TrackActivities bool
+}
+
+// Fold incrementally accumulates events into per-window busy vectors. It
+// is not concurrency-safe; the monitor serializes Add calls under its
+// fold mutex, offline callers fold a log single-threaded.
+type Fold struct {
+	window  float64
+	procs   int
+	track   bool
+	filter  map[string]bool
+	windows map[int]*windowAcc
+}
+
+// windowAcc is one window's running accumulation.
+type windowAcc struct {
+	procSeconds []float64
+	events      int
+	actSeconds  map[string]float64
+}
+
+// NewFold creates a fold. It panics on a non-positive window width —
+// a programming error, not data-dependent.
+func NewFold(opts Options) *Fold {
+	if opts.Window <= 0 {
+		panic(fmt.Sprintf("temporal: window width %g must be positive", opts.Window))
+	}
+	f := &Fold{
+		window:  opts.Window,
+		procs:   opts.Procs,
+		track:   opts.TrackActivities,
+		windows: make(map[int]*windowAcc),
+	}
+	if len(opts.Activities) > 0 {
+		f.filter = make(map[string]bool, len(opts.Activities))
+		for _, a := range opts.Activities {
+			f.filter[a] = true
+		}
+	}
+	return f
+}
+
+// Window returns the configured window width.
+func (f *Fold) Window() float64 { return f.window }
+
+// Procs returns the processor count seen so far: the maximum event rank
+// plus one, at least Options.Procs.
+func (f *Fold) Procs() int { return f.procs }
+
+// Add folds one event. The event must be well formed (trace.Event
+// Validate semantics: nonnegative rank, nonnegative duration); events
+// filtered out by Options.Activities still grow the processor count,
+// since an idle processor is the imbalance, not missing data. Negative
+// start times are handled by flooring, so an event reaching into
+// negative virtual time lands in the negative-index windows covering it
+// rather than corrupting window zero.
+func (f *Fold) Add(e trace.Event) {
+	if e.Rank >= f.procs {
+		f.procs = e.Rank + 1
+	}
+	if f.filter != nil && !f.filter[e.Activity] {
+		return
+	}
+	d := e.End - e.Start
+	if d == 0 {
+		// A zero-duration event contributes no busy time but still
+		// counts as an event of the window strictly containing its
+		// instant; an instant exactly on a boundary belongs to neither
+		// side, matching Log.Window's half-open [from, to) clipping.
+		w := int(math.Floor(e.Start / f.window))
+		if e.Start == float64(w)*f.window {
+			return
+		}
+		acc := f.acc(w)
+		acc.grow(e.Rank)
+		acc.events++
+		return
+	}
+	first := int(math.Floor(e.Start / f.window))
+	last := int(math.Floor(e.End / f.window))
+	if e.End == float64(last)*f.window && last > first {
+		last-- // end exactly on a boundary belongs to the previous window
+	}
+	for w := first; w <= last; w++ {
+		lo, hi := float64(w)*f.window, float64(w+1)*f.window
+		if e.Start > lo {
+			lo = e.Start
+		}
+		if e.End < hi {
+			hi = e.End
+		}
+		if hi <= lo {
+			continue
+		}
+		acc := f.acc(w)
+		acc.grow(e.Rank)
+		acc.procSeconds[e.Rank] += hi - lo
+		acc.events++
+		if acc.actSeconds != nil {
+			acc.actSeconds[e.Activity] += hi - lo
+		}
+	}
+}
+
+// acc returns the accumulator of window w, creating it on first use.
+func (f *Fold) acc(w int) *windowAcc {
+	acc, ok := f.windows[w]
+	if !ok {
+		acc = &windowAcc{}
+		if f.track {
+			acc.actSeconds = make(map[string]float64)
+		}
+		f.windows[w] = acc
+	}
+	return acc
+}
+
+// grow extends the busy vector to cover rank.
+func (a *windowAcc) grow(rank int) {
+	for len(a.procSeconds) <= rank {
+		a.procSeconds = append(a.procSeconds, 0)
+	}
+}
+
+// Series snapshots the fold into an immutable window series: one entry
+// per non-empty window in time order, busy vectors padded to Procs so
+// ranks idle for a whole window count as zeros. The fold can keep
+// accumulating afterwards; the series does not alias its buffers.
+func (f *Fold) Series() *Series {
+	s := &Series{Window: f.window, Procs: f.procs}
+	if len(f.windows) == 0 {
+		return s
+	}
+	idxs := make([]int, 0, len(f.windows))
+	for w := range f.windows {
+		idxs = append(idxs, w)
+	}
+	sort.Ints(idxs)
+	s.Windows = make([]WindowVector, 0, len(idxs))
+	for _, w := range idxs {
+		acc := f.windows[w]
+		v := WindowVector{
+			Index:       w,
+			Events:      acc.events,
+			ProcSeconds: append([]float64(nil), acc.procSeconds...),
+		}
+		for len(v.ProcSeconds) < f.procs {
+			v.ProcSeconds = append(v.ProcSeconds, 0)
+		}
+		v.Dominant = dominant(acc.actSeconds)
+		s.Windows = append(s.Windows, v)
+	}
+	return s
+}
+
+// dominant returns the activity with the largest busy time, breaking
+// ties by name so the result is deterministic; "" when nothing was
+// tracked.
+func dominant(actSeconds map[string]float64) string {
+	best, bestT := "", 0.0
+	for a, t := range actSeconds {
+		if t > bestT || (t == bestT && t > 0 && a < best) {
+			best, bestT = a, t
+		}
+	}
+	return best
+}
+
+// FoldLog folds a whole event log and returns its window series — the
+// offline equivalent of the monitor's incremental windowing. The
+// processor count is the log's rank count (or Options.Procs if larger),
+// so filtered trajectories still standardize over every processor of
+// the run.
+func FoldLog(lg *trace.Log, opts Options) (*Series, error) {
+	if lg == nil {
+		return nil, fmt.Errorf("temporal: nil log")
+	}
+	if opts.Window <= 0 {
+		return nil, fmt.Errorf("temporal: window width %g must be positive", opts.Window)
+	}
+	f := NewFold(opts)
+	lg.Each(f.Add)
+	return f.Series(), nil
+}

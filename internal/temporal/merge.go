@@ -1,0 +1,105 @@
+package temporal
+
+import (
+	"fmt"
+	"sort"
+)
+
+// JobWindows is one job's contribution to a federated window series.
+type JobWindows struct {
+	// Procs is the job's processor count in the merged rank space; 0
+	// means Series.Procs. The federation layer passes each job's cube
+	// processor count so window ranks line up with the rank offsets
+	// trace.Federate applies to the cubes.
+	Procs int
+	// Series is the job's window series. A nil series, or one with
+	// windowing disabled (zero width), contributes no windows but still
+	// advances the rank offset, keeping later jobs aligned with the
+	// federated cube.
+	Series *Series
+}
+
+// Merge combines the window series of several concurrently running jobs
+// into one cluster-wide series, the timeline counterpart of
+// trace.Federate: processor ranks are offset job by job (never added),
+// windows align by index, and each merged window's busy vector is the
+// concatenation of the jobs' vectors in job order. All contributing
+// series must share one window width — windows of different widths
+// cover different intervals and cannot be aligned.
+func Merge(jobs []JobWindows) (*Series, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("temporal: no window series to merge")
+	}
+	window := 0.0
+	total := 0
+	for k, job := range jobs {
+		procs := job.Procs
+		if procs == 0 && job.Series != nil {
+			procs = job.Series.Procs
+		}
+		if procs < 0 {
+			return nil, fmt.Errorf("temporal: merged job %d has negative processor count %d", k, procs)
+		}
+		total += procs
+		if job.Series == nil || job.Series.Window <= 0 {
+			continue
+		}
+		if window == 0 {
+			window = job.Series.Window
+		} else if job.Series.Window != window {
+			return nil, fmt.Errorf("temporal: window widths differ across jobs (%g vs %g)",
+				window, job.Series.Window)
+		}
+	}
+	out := &Series{Window: window, Procs: total}
+	if window == 0 {
+		return out, nil
+	}
+	type mergedWin struct {
+		events int
+		busy   []float64
+	}
+	merged := make(map[int]*mergedWin)
+	offset := 0
+	for _, job := range jobs {
+		procs := job.Procs
+		if procs == 0 && job.Series != nil {
+			procs = job.Series.Procs
+		}
+		if job.Series != nil && job.Series.Window > 0 {
+			for _, v := range job.Series.Windows {
+				m, ok := merged[v.Index]
+				if !ok {
+					m = &mergedWin{busy: make([]float64, total)}
+					merged[v.Index] = m
+				}
+				m.events += v.Events
+				for p, t := range v.ProcSeconds {
+					// An explicit Procs below the vector length clips the
+					// vector: spilling into the next job's rank space
+					// would corrupt its processors.
+					if p >= procs {
+						break
+					}
+					m.busy[offset+p] += t
+				}
+			}
+		}
+		offset += procs
+	}
+	idxs := make([]int, 0, len(merged))
+	for w := range merged {
+		idxs = append(idxs, w)
+	}
+	sort.Ints(idxs)
+	out.Windows = make([]WindowVector, 0, len(idxs))
+	for _, w := range idxs {
+		m := merged[w]
+		out.Windows = append(out.Windows, WindowVector{
+			Index:       w,
+			Events:      m.events,
+			ProcSeconds: m.busy,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,193 @@
+package temporal
+
+import (
+	"math"
+	"testing"
+
+	"loadimb/internal/trace"
+)
+
+func TestMergeOffsetsRanks(t *testing.T) {
+	a := &Series{Window: 1, Procs: 2, Windows: []WindowVector{
+		{Index: 0, Events: 2, ProcSeconds: []float64{0.5, 0.25}},
+		{Index: 2, Events: 1, ProcSeconds: []float64{0, 0.75}},
+	}}
+	b := &Series{Window: 1, Procs: 3, Windows: []WindowVector{
+		{Index: 0, Events: 1, ProcSeconds: []float64{0.1, 0.2, 0.3}},
+	}}
+	got, err := Merge([]JobWindows{{Series: a}, {Series: b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Procs != 5 || got.Window != 1 {
+		t.Fatalf("merged procs=%d window=%g, want 5 and 1", got.Procs, got.Window)
+	}
+	if len(got.Windows) != 2 {
+		t.Fatalf("%d windows, want 2", len(got.Windows))
+	}
+	w0 := got.Windows[0]
+	if w0.Index != 0 || w0.Events != 3 {
+		t.Errorf("window 0 = %+v", w0)
+	}
+	wantBusy := []float64{0.5, 0.25, 0.1, 0.2, 0.3}
+	for p, v := range w0.ProcSeconds {
+		if v != wantBusy[p] {
+			t.Errorf("window 0 rank %d = %g, want %g", p, v, wantBusy[p])
+		}
+	}
+	w2 := got.Windows[1]
+	if w2.Index != 2 || w2.Events != 1 {
+		t.Errorf("window 2 = %+v", w2)
+	}
+	if w2.ProcSeconds[1] != 0.75 || w2.ProcSeconds[4] != 0 {
+		t.Errorf("window 2 busy = %v", w2.ProcSeconds)
+	}
+}
+
+func TestMergeRejectsMixedWidths(t *testing.T) {
+	a := &Series{Window: 1, Procs: 1}
+	b := &Series{Window: 0.5, Procs: 1}
+	if _, err := Merge([]JobWindows{{Series: a}, {Series: b}}); err == nil {
+		t.Error("mixed window widths accepted")
+	}
+	if _, err := Merge(nil); err == nil {
+		t.Error("empty job list accepted")
+	}
+}
+
+// TestMergeNilSeriesAdvancesOffset: a job whose windows could not be
+// scraped still occupies its rank slots, keeping later jobs aligned with
+// the rank offsets trace.Federate applies to the cubes.
+func TestMergeNilSeriesAdvancesOffset(t *testing.T) {
+	b := &Series{Window: 1, Procs: 2, Windows: []WindowVector{
+		{Index: 0, Events: 1, ProcSeconds: []float64{0.5, 0.5}},
+	}}
+	got, err := Merge([]JobWindows{{Procs: 3}, {Procs: 2, Series: b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Procs != 5 {
+		t.Fatalf("merged procs = %d, want 5", got.Procs)
+	}
+	w := got.Windows[0]
+	want := []float64{0, 0, 0, 0.5, 0.5}
+	for p, v := range w.ProcSeconds {
+		if v != want[p] {
+			t.Errorf("rank %d = %g, want %g", p, v, want[p])
+		}
+	}
+}
+
+// TestMergeClipsOverlongVectors: an explicit Procs below the vector
+// length must clip rather than spill into the next job's rank space.
+func TestMergeClipsOverlongVectors(t *testing.T) {
+	a := &Series{Window: 1, Procs: 3, Windows: []WindowVector{
+		{Index: 0, Events: 1, ProcSeconds: []float64{1, 2, 3}},
+	}}
+	b := &Series{Window: 1, Procs: 1, Windows: []WindowVector{
+		{Index: 0, Events: 1, ProcSeconds: []float64{9}},
+	}}
+	got, err := Merge([]JobWindows{{Procs: 2, Series: a}, {Series: b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Procs != 3 {
+		t.Fatalf("merged procs = %d, want 3", got.Procs)
+	}
+	want := []float64{1, 2, 9}
+	for p, v := range got.Windows[0].ProcSeconds {
+		if v != want[p] {
+			t.Errorf("rank %d = %g, want %g", p, v, want[p])
+		}
+	}
+}
+
+// TestMergeAgreesWithWholeLogFold is the federation agreement property:
+// splitting a run's log by rank prefix into per-"job" logs, folding each
+// with its own rank space re-based to zero, and merging the series must
+// reproduce the whole-log fold exactly — the same guarantee the
+// federated /timeline.json makes against the live path.
+func TestMergeAgreesWithWholeLogFold(t *testing.T) {
+	var whole trace.Log
+	events := []trace.Event{
+		{Rank: 0, Region: "r", Activity: "a", Start: 0, End: 1.3},
+		{Rank: 1, Region: "r", Activity: "b", Start: 0.4, End: 2.0},
+		{Rank: 2, Region: "r", Activity: "a", Start: 0.2, End: 0.2},
+		{Rank: 2, Region: "r", Activity: "a", Start: 1.1, End: 3.05},
+		{Rank: 3, Region: "r", Activity: "b", Start: 2.5, End: 2.5},
+		{Rank: 4, Region: "r", Activity: "a", Start: 0.9, End: 2.7},
+	}
+	for _, e := range events {
+		if err := whole.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const window = 0.7
+	want, err := FoldLog(&whole, Options{Window: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Split ranks {0,1} to job A, {2,3,4} to job B, each re-based to its
+	// own rank zero, exactly how independent jobs would record them.
+	var jobA, jobB trace.Log
+	for _, e := range events {
+		if e.Rank < 2 {
+			if err := jobA.Append(e); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			e.Rank -= 2
+			if err := jobB.Append(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	serA, err := FoldLog(&jobA, Options{Window: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serB, err := FoldLog(&jobB, Options{Window: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Merge([]JobWindows{
+		{Procs: 2, Series: serA},
+		{Procs: 3, Series: serB},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Procs != want.Procs || got.Window != want.Window {
+		t.Fatalf("merged procs=%d window=%g, want %d and %g",
+			got.Procs, got.Window, want.Procs, want.Window)
+	}
+	if len(got.Windows) != len(want.Windows) {
+		t.Fatalf("%d windows, want %d", len(got.Windows), len(want.Windows))
+	}
+	for i, gw := range got.Windows {
+		ww := want.Windows[i]
+		if gw.Index != ww.Index || gw.Events != ww.Events {
+			t.Errorf("window %d = idx %d events %d, want idx %d events %d",
+				i, gw.Index, gw.Events, ww.Index, ww.Events)
+		}
+		for p, v := range gw.ProcSeconds {
+			if v != ww.ProcSeconds[p] { // identical, not approximately
+				t.Errorf("window %d rank %d = %g, want %g", gw.Index, p, v, ww.ProcSeconds[p])
+			}
+		}
+	}
+
+	// The trajectories computed from both series agree too.
+	gs, ws := got.Stats(), want.Stats()
+	for i := range gs {
+		gID, wID := gs[i].ID, ws[i].ID
+		switch {
+		case (gID == nil) != (wID == nil):
+			t.Errorf("window %d ID nilness differs", gs[i].Index)
+		case gID != nil && math.Abs(*gID-*wID) > 1e-12:
+			t.Errorf("window %d ID = %g, want %g", gs[i].Index, *gID, *wID)
+		}
+	}
+}

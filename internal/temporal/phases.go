@@ -1,0 +1,113 @@
+package temporal
+
+import (
+	"fmt"
+
+	"loadimb/internal/core"
+	"loadimb/internal/stats"
+	"loadimb/internal/trace"
+)
+
+// PhaseReport is one phase of a run together with the paper's full
+// index set computed over just that phase: the same cube-and-analysis
+// pair the whole-run toolchain produces, so every downstream consumer —
+// tables, drill-down, tuning-candidate ranking — runs per phase
+// unchanged.
+type PhaseReport struct {
+	Phase
+	// Cube is the phase's measurement cube: the run's events clipped to
+	// [Start, End) and re-based to the phase start, so the phase's
+	// program time is its own duration, not the run's.
+	Cube *trace.Cube
+	// Analysis is the complete methodology run on Cube.
+	Analysis *core.Analysis
+	// IDP is the phase's overall processor imbalance: the ID of the
+	// per-processor total instrumented times within the phase. It is
+	// nil when the phase has no instrumented time. Comparing it against
+	// the run-wide value shows what the whole-run index averages away.
+	IDP *float64
+	// Gini is the Gini coefficient of the same per-processor totals.
+	Gini float64
+}
+
+// AnalyzePhases runs the full methodology on each phase of a log: the
+// phase's events are sliced out with the Log.Window clipping oracle,
+// re-based to the phase start and aggregated with the whole log's
+// region and activity orders, so tables from different phases share one
+// layout. The cluster count of opts applies per phase; clustering is
+// skipped automatically for phases visiting fewer regions.
+func AnalyzePhases(lg *trace.Log, phases []Phase, opts core.AnalyzeOptions) ([]PhaseReport, error) {
+	if lg == nil {
+		return nil, fmt.Errorf("temporal: nil log")
+	}
+	// One stable dimension order and rank space across phases: tables
+	// from different phases line up, and a processor idle for a whole
+	// phase counts as zeros instead of vanishing.
+	var regions, activities []string
+	seenR := make(map[string]bool)
+	seenA := make(map[string]bool)
+	lg.Each(func(e trace.Event) {
+		if !seenR[e.Region] {
+			seenR[e.Region] = true
+			regions = append(regions, e.Region)
+		}
+		if !seenA[e.Activity] {
+			seenA[e.Activity] = true
+			activities = append(activities, e.Activity)
+		}
+	})
+	ranks := lg.Ranks()
+	out := make([]PhaseReport, 0, len(phases))
+	for _, ph := range phases {
+		rep := PhaseReport{Phase: ph}
+		win, err := lg.Window(ph.Start, ph.End)
+		if err != nil {
+			return nil, fmt.Errorf("temporal: phase [%g, %g): %w", ph.Start, ph.End, err)
+		}
+		if win.Len() == 0 {
+			// A phase of all-idle windows (only zero-duration events)
+			// can slice to nothing; report it without a cube.
+			out = append(out, rep)
+			continue
+		}
+		// Re-base to the phase start: the phase's wall clock is its own
+		// duration, and shares t_i/T must be relative to it.
+		var rebased trace.Log
+		var appendErr error
+		win.Each(func(e trace.Event) {
+			if appendErr != nil {
+				return
+			}
+			e.Start -= ph.Start
+			e.End -= ph.Start
+			appendErr = rebased.Append(e)
+		})
+		if appendErr != nil {
+			return nil, fmt.Errorf("temporal: phase [%g, %g): %w", ph.Start, ph.End, appendErr)
+		}
+		cube, err := rebased.AggregateProcs(regions, activities, ranks)
+		if err != nil {
+			return nil, fmt.Errorf("temporal: phase [%g, %g): %w", ph.Start, ph.End, err)
+		}
+		analysis, err := core.Analyze(cube, opts)
+		if err != nil {
+			return nil, fmt.Errorf("temporal: phase [%g, %g): %w", ph.Start, ph.End, err)
+		}
+		rep.Cube = cube
+		rep.Analysis = analysis
+		totals := make([]float64, cube.NumProcs())
+		for p := range totals {
+			t, err := cube.ProcTotalTime(p)
+			if err != nil {
+				return nil, err
+			}
+			totals[p] = t
+		}
+		if id, err := stats.EuclideanFromBalance(totals); err == nil {
+			rep.IDP = &id
+		}
+		rep.Gini = GiniOf(totals)
+		out = append(out, rep)
+	}
+	return out, nil
+}

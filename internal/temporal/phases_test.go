@@ -1,0 +1,149 @@
+package temporal
+
+import (
+	"math"
+	"testing"
+
+	"loadimb/internal/core"
+	"loadimb/internal/stats"
+	"loadimb/internal/trace"
+)
+
+// twoRegimeLog builds a 4-rank run with a balanced first stretch (every
+// rank computes 0..5 equally, then one more balanced second 5..6) and an
+// imbalanced tail where only rank 0 keeps computing 6..10. Waiting is
+// deliberately not instrumented: per-processor totals should carry the
+// imbalance, as in a busy-time-only measurement.
+func twoRegimeLog(t *testing.T) *trace.Log {
+	t.Helper()
+	var lg trace.Log
+	add := func(rank int, region, activity string, start, end float64) {
+		t.Helper()
+		if err := lg.Append(trace.Event{Rank: rank, Region: region, Activity: activity, Start: start, End: end}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < 4; r++ {
+		add(r, "bulk", "computation", 0, 5)
+	}
+	add(0, "tail", "computation", 5, 10)
+	for r := 1; r < 4; r++ {
+		add(r, "tail", "computation", 5, 6)
+	}
+	return &lg
+}
+
+func TestAnalyzePhasesSeparatesRegimes(t *testing.T) {
+	lg := twoRegimeLog(t)
+	ser, err := FoldLog(lg, Options{Window: 1, Activities: []string{"computation"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := Segment(ser.Stats(), 0)
+	if len(phases) != 2 {
+		t.Fatalf("%d phases, want 2: %+v", len(phases), phases)
+	}
+	if phases[0].Label != LabelQuiet || phases[1].Label != LabelHot {
+		t.Errorf("labels = %q, %q, want quiet then hot", phases[0].Label, phases[1].Label)
+	}
+	// Window 5 ([5, 6)) still has every rank computing; the regime shift
+	// is at window 6.
+	if phases[0].End != 6 || phases[1].Start != 6 {
+		t.Errorf("phase boundary at %g/%g, want 6", phases[0].End, phases[1].Start)
+	}
+
+	reports, err := AnalyzePhases(lg, phases, core.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("%d reports, want 2", len(reports))
+	}
+	for i, rep := range reports {
+		if rep.Cube == nil || rep.Analysis == nil {
+			t.Fatalf("report %d missing cube or analysis", i)
+		}
+		// One stable rank space across phases.
+		if rep.Cube.NumProcs() != 4 {
+			t.Errorf("report %d procs = %d, want 4", i, rep.Cube.NumProcs())
+		}
+		if rep.IDP == nil {
+			t.Fatalf("report %d ID_P undefined", i)
+		}
+	}
+	// The balanced phase is (near-)perfectly even once waiting counts as
+	// instrumented time is excluded... here every rank spends 5s, ID_P 0.
+	if *reports[0].IDP > 1e-9 {
+		t.Errorf("balanced phase ID_P = %g, want ~0", *reports[0].IDP)
+	}
+	if *reports[1].IDP <= *reports[0].IDP {
+		t.Errorf("imbalanced phase ID_P = %g, not above balanced %g",
+			*reports[1].IDP, *reports[0].IDP)
+	}
+
+	// Whole-run ID_P sits between the phase values: the average the
+	// per-phase view un-dilutes.
+	cube, err := lg.Aggregate(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := make([]float64, cube.NumProcs())
+	for p := range totals {
+		tt, err := cube.ProcTotalTime(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totals[p] = tt
+	}
+	whole, err := stats.EuclideanFromBalance(totals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(whole < *reports[1].IDP) {
+		t.Errorf("whole-run ID_P %g not below hot-phase ID_P %g", whole, *reports[1].IDP)
+	}
+}
+
+func TestAnalyzePhasesRebasesTime(t *testing.T) {
+	lg := twoRegimeLog(t)
+	phases := []Phase{{FirstWindow: 6, LastWindow: 9, Start: 5, End: 10, Windows: 4, Label: LabelHot}}
+	reports, err := AnalyzePhases(lg, phases, core.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The phase cube's program time is the phase duration, not the run's.
+	if pt := reports[0].Cube.ProgramTime(); math.Abs(pt-5) > 1e-12 {
+		t.Errorf("phase program time = %g, want 5", pt)
+	}
+}
+
+func TestAnalyzePhasesEmptyPhase(t *testing.T) {
+	var lg trace.Log
+	if err := lg.Append(trace.Event{Rank: 0, Region: "r", Activity: "a", Start: 0.5, End: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	// A phase holding only a zero-duration event still slices to a (zero)
+	// cube, but its ID_P is undefined: no load to disperse.
+	reports, err := AnalyzePhases(&lg, []Phase{{Start: 0, End: 1, Windows: 1, Label: LabelIdle}}, core.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 {
+		t.Fatalf("%d reports, want 1", len(reports))
+	}
+	if reports[0].Cube == nil {
+		t.Fatal("zero-duration phase lost its cube")
+	}
+	if reports[0].IDP != nil || reports[0].Gini != 0 {
+		t.Errorf("all-idle phase reported dispersion: %+v", reports[0])
+	}
+
+	// A phase covering no events at all reports without a cube.
+	reports, err = AnalyzePhases(&lg, []Phase{{Start: 2, End: 3, Windows: 0, Label: LabelIdle}}, core.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports[0].Cube != nil || reports[0].Analysis != nil {
+		t.Errorf("eventless phase produced a cube: %+v", reports[0])
+	}
+}

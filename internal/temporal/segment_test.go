@@ -1,0 +1,190 @@
+package temporal
+
+import (
+	"math"
+	"testing"
+)
+
+// statsFromIDs builds a WindowStat trajectory with the given ID values
+// in consecutive unit windows; a NaN marks an all-idle window (null ID,
+// zero busy).
+func statsFromIDs(ids []float64) []WindowStat {
+	out := make([]WindowStat, 0, len(ids))
+	for i, v := range ids {
+		w := WindowStat{Index: i, Start: float64(i), End: float64(i + 1), Events: 1, Busy: 1}
+		if math.IsNaN(v) {
+			w.Busy = 0
+		} else {
+			id := v
+			w.ID = &id
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+func TestSegmentConstantTrajectoryIsOnePhase(t *testing.T) {
+	ids := make([]float64, 40)
+	for i := range ids {
+		ids[i] = 0.25
+	}
+	phases := Segment(statsFromIDs(ids), 0)
+	if len(phases) != 1 {
+		t.Fatalf("%d phases, want 1: %+v", len(phases), phases)
+	}
+	ph := phases[0]
+	if ph.FirstWindow != 0 || ph.LastWindow != 39 || ph.Windows != 40 {
+		t.Errorf("phase bounds = %+v", ph)
+	}
+	if ph.Start != 0 || ph.End != 40 {
+		t.Errorf("phase time bounds [%g, %g), want [0, 40)", ph.Start, ph.End)
+	}
+	if math.Abs(ph.MeanID-0.25) > 1e-12 {
+		t.Errorf("mean ID = %g, want 0.25", ph.MeanID)
+	}
+	// A one-phase trajectory's phase sits exactly at the overall mean.
+	if ph.Label != LabelHot {
+		t.Errorf("label = %q, want %q", ph.Label, LabelHot)
+	}
+}
+
+func TestSegmentRecoversPiecewiseConstantLevels(t *testing.T) {
+	// Three clean regimes with mild deterministic ripple: balanced,
+	// imbalanced, balanced again — the alternation the AMR workload
+	// shows between bulk phases and refinement tails.
+	var ids []float64
+	ripple := []float64{0.003, -0.002, 0.001, -0.003, 0.002}
+	addLevel := func(level float64, n int) {
+		for i := 0; i < n; i++ {
+			ids = append(ids, level+ripple[i%len(ripple)])
+		}
+	}
+	addLevel(0.05, 15)
+	addLevel(0.60, 10)
+	addLevel(0.08, 15)
+	phases := Segment(statsFromIDs(ids), 0)
+	if len(phases) != 3 {
+		t.Fatalf("%d phases, want 3: %+v", len(phases), phases)
+	}
+	wantFirst := []int{0, 15, 25}
+	wantLast := []int{14, 24, 39}
+	wantLabel := []string{LabelQuiet, LabelHot, LabelQuiet}
+	wantMean := []float64{0.05, 0.60, 0.08}
+	for i, ph := range phases {
+		if ph.FirstWindow != wantFirst[i] || ph.LastWindow != wantLast[i] {
+			t.Errorf("phase %d = windows [%d, %d], want [%d, %d]",
+				i, ph.FirstWindow, ph.LastWindow, wantFirst[i], wantLast[i])
+		}
+		if ph.Label != wantLabel[i] {
+			t.Errorf("phase %d label = %q, want %q", i, ph.Label, wantLabel[i])
+		}
+		if math.Abs(ph.MeanID-wantMean[i]) > 0.01 {
+			t.Errorf("phase %d mean ID = %g, want ~%g", i, ph.MeanID, wantMean[i])
+		}
+	}
+}
+
+func TestSegmentExplicitPenaltySuppressesSplits(t *testing.T) {
+	var ids []float64
+	for i := 0; i < 10; i++ {
+		ids = append(ids, 0.1)
+	}
+	for i := 0; i < 10; i++ {
+		ids = append(ids, 0.5)
+	}
+	// The auto penalty splits the level shift…
+	if got := len(Segment(statsFromIDs(ids), 0)); got != 2 {
+		t.Errorf("auto penalty: %d phases, want 2", got)
+	}
+	// …a huge explicit penalty forbids any change point.
+	if got := len(Segment(statsFromIDs(ids), 1e6)); got != 1 {
+		t.Errorf("penalty 1e6: %d phases, want 1", got)
+	}
+}
+
+func TestSegmentLabelsIdlePhases(t *testing.T) {
+	nan := math.NaN()
+	ids := []float64{0.3, 0.3, 0.3, 0.3, nan, nan, nan, nan, 0.3, 0.3, 0.3, 0.3}
+	phases := Segment(statsFromIDs(ids), 0)
+	if len(phases) != 3 {
+		t.Fatalf("%d phases, want 3: %+v", len(phases), phases)
+	}
+	if phases[1].Label != LabelIdle {
+		t.Errorf("middle phase label = %q, want %q", phases[1].Label, LabelIdle)
+	}
+	if phases[1].MeanID != 0 {
+		t.Errorf("idle phase mean ID = %g, want 0", phases[1].MeanID)
+	}
+	if phases[0].Label != LabelHot || phases[2].Label != LabelHot {
+		t.Errorf("busy phase labels = %q, %q, want %q", phases[0].Label, phases[2].Label, LabelHot)
+	}
+}
+
+func TestSegmentEmptyAndSingle(t *testing.T) {
+	if got := Segment(nil, 0); got != nil {
+		t.Errorf("Segment(nil) = %+v, want nil", got)
+	}
+	phases := Segment(statsFromIDs([]float64{0.4}), 0)
+	if len(phases) != 1 {
+		t.Fatalf("%d phases, want 1", len(phases))
+	}
+	if phases[0].Windows != 1 || phases[0].MeanID != 0.4 {
+		t.Errorf("phase = %+v", phases[0])
+	}
+}
+
+// TestSegmentOptimalityBruteForce checks pelt against an exhaustive
+// search over all segmentations of short trajectories: PELT's pruning
+// must never change the optimum, only skip work.
+func TestSegmentOptimalityBruteForce(t *testing.T) {
+	cases := [][]float64{
+		{0.1, 0.1, 0.9, 0.9, 0.1},
+		{0.5, 0.5, 0.5, 0.5, 0.5, 0.5},
+		{0, 1, 0, 1, 0, 1},
+		{0.2, 0.21, 0.19, 0.8, 0.82, 0.78, 0.2, 0.18},
+	}
+	for _, x := range cases {
+		for _, beta := range []float64{0.001, 0.01, 0.1, 1} {
+			got := peltCost(x, pelt(x, beta), beta)
+			best := math.Inf(1)
+			n := len(x)
+			// Enumerate segmentations as bitmasks of interior boundaries.
+			for mask := 0; mask < 1<<(n-1); mask++ {
+				var bounds []int
+				for i := 0; i < n-1; i++ {
+					if mask&(1<<i) != 0 {
+						bounds = append(bounds, i+1)
+					}
+				}
+				bounds = append(bounds, n)
+				if c := peltCost(x, bounds, beta); c < best {
+					best = c
+				}
+			}
+			if math.Abs(got-best) > 1e-9 {
+				t.Errorf("x=%v beta=%g: pelt cost %g, brute force %g", x, beta, got, best)
+			}
+		}
+	}
+}
+
+// peltCost evaluates a segmentation's penalized cost under the same L2
+// objective pelt minimizes.
+func peltCost(x []float64, bounds []int, beta float64) float64 {
+	total := 0.0
+	prev := 0
+	for _, b := range bounds {
+		mean := 0.0
+		for i := prev; i < b; i++ {
+			mean += x[i]
+		}
+		mean /= float64(b - prev)
+		for i := prev; i < b; i++ {
+			d := x[i] - mean
+			total += d * d
+		}
+		total += beta
+		prev = b
+	}
+	return total - beta // pelt charges beta per change point, not per segment
+}

@@ -1,0 +1,103 @@
+package temporal
+
+import (
+	"loadimb/internal/stats"
+)
+
+// Series is the windowed decomposition of a run: one busy vector per
+// non-empty window, in time order. It is the wire document the monitor
+// serves at /windows.json and the unit the federation layer merges —
+// unlike WindowStat it keeps the per-processor vectors, so merged
+// cluster-wide indices can be computed exactly instead of being
+// approximated from per-job summaries.
+type Series struct {
+	// Window is the window width in virtual seconds.
+	Window float64 `json:"window"`
+	// Procs is the processor count; every busy vector has this length.
+	Procs int `json:"procs"`
+	// Windows holds the non-empty windows in ascending index order.
+	Windows []WindowVector `json:"windows"`
+}
+
+// WindowVector is one window's raw accumulation.
+type WindowVector struct {
+	// Index is the window number; the window covers virtual time
+	// [Index·dt, (Index+1)·dt).
+	Index int `json:"index"`
+	// Events is the number of (possibly clipped) events in the window.
+	Events int `json:"events"`
+	// ProcSeconds[p] is processor p's busy time within the window.
+	ProcSeconds []float64 `json:"busy"`
+	// Dominant is the activity with the largest busy time in the
+	// window, when the fold tracked activities; "" otherwise.
+	Dominant string `json:"dominant,omitempty"`
+}
+
+// WindowStat summarizes one temporal window of the run: how busy each
+// processor was within it and how dispersed those busy times are. A
+// rising ID across windows is temporal imbalance the whole-run indices
+// average away.
+type WindowStat struct {
+	// Index is the window number; the window covers virtual time
+	// [Start, End).
+	Index int     `json:"index"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	// Events is the number of (possibly clipped) events in the window.
+	Events int `json:"events"`
+	// Busy is the total processor-seconds spent in the window.
+	Busy float64 `json:"busy"`
+	// ID is the paper's Euclidean index of dispersion of the
+	// standardized per-processor busy times within the window. It is nil
+	// — served as an explicit JSON null — when the dispersion is
+	// undefined, i.e. when the window recorded no busy time at all (only
+	// zero-duration events): an all-idle window has no load to disperse,
+	// which is not the same thing as a perfectly balanced one.
+	ID *float64 `json:"id"`
+	// Gini is the Gini coefficient of the per-processor busy times.
+	Gini float64 `json:"gini"`
+	// Dominant is the window's dominant activity when the fold tracked
+	// activities; omitted from the JSON otherwise, keeping the live
+	// monitor's wire format unchanged.
+	Dominant string `json:"dominant,omitempty"`
+}
+
+// Stats computes the imbalance trajectory of the series: per window the
+// total busy time, the ID of the per-processor busy vector (null for
+// all-idle windows), the Gini coefficient, and the dominant activity
+// when tracked.
+func (s *Series) Stats() []WindowStat {
+	if s == nil || len(s.Windows) == 0 {
+		return nil
+	}
+	out := make([]WindowStat, 0, len(s.Windows))
+	for _, v := range s.Windows {
+		ws := WindowStat{
+			Index:    v.Index,
+			Start:    float64(v.Index) * s.Window,
+			End:      float64(v.Index+1) * s.Window,
+			Events:   v.Events,
+			Dominant: v.Dominant,
+		}
+		ws.Busy = stats.Sum(v.ProcSeconds)
+		// Ranks idle for the whole window count as zeros: an idle
+		// processor is the imbalance, not missing data.
+		if id, err := stats.EuclideanFromBalance(v.ProcSeconds); err == nil {
+			ws.ID = &id
+		}
+		ws.Gini = GiniOf(v.ProcSeconds)
+		out = append(out, ws)
+	}
+	return out
+}
+
+// GiniOf is stats.Gini.Of with tiny negative cancellation noise clamped:
+// perfectly balanced loads can come out as -1e-16, and a served Gini
+// coefficient must stay in [0, 1).
+func GiniOf(vals []float64) float64 {
+	g := stats.Gini.Of(vals)
+	if g < 0 {
+		return 0
+	}
+	return g
+}

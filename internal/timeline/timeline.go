@@ -26,6 +26,10 @@ type Options struct {
 	// Activities restricts rendering to the named activities (nil means
 	// all).
 	Activities []string
+	// Marks are virtual times to flag with a marker column — phase
+	// boundaries from the temporal segmentation, say. Marks outside the
+	// rendered window are ignored.
+	Marks []float64
 }
 
 // Timeline is a rendered view of a log.
@@ -39,6 +43,8 @@ type Timeline struct {
 	Lanes [][]int
 	// ActivityNames indexes the activity letters.
 	ActivityNames []string
+	// Marks are the flagged times within [From, To], in ascending order.
+	Marks []float64
 }
 
 // letters are the lane glyphs per activity index.
@@ -68,21 +74,27 @@ func New(log *trace.Log, opts Options) (*Timeline, error) {
 	for _, a := range opts.Activities {
 		allowed[a] = true
 	}
-	events := log.Events()
-	// Stable activity order: first appearance.
+	// Stable activity order: first appearance. Two Each passes instead of
+	// one Events() call: renderers are called repeatedly over large logs,
+	// and Events copies the whole backing slice per call.
 	var names []string
+	var tooMany error
 	nameIdx := map[string]int{}
-	for _, e := range events {
+	log.Each(func(e trace.Event) {
 		if len(allowed) > 0 && !allowed[e.Activity] {
-			continue
+			return
 		}
 		if _, ok := nameIdx[e.Activity]; !ok {
 			if len(names) >= len(letters) {
-				return nil, fmt.Errorf("timeline: more than %d activities", len(letters))
+				tooMany = fmt.Errorf("timeline: more than %d activities", len(letters))
+				return
 			}
 			nameIdx[e.Activity] = len(names)
 			names = append(names, e.Activity)
 		}
+	})
+	if tooMany != nil {
+		return nil, tooMany
 	}
 	if len(names) == 0 {
 		return nil, errors.New("timeline: no events match the activity filter")
@@ -97,14 +109,14 @@ func New(log *trace.Log, opts Options) (*Timeline, error) {
 		}
 	}
 	colWidth := (to - from) / float64(width)
-	for _, e := range events {
+	log.Each(func(e trace.Event) {
 		if len(allowed) > 0 && !allowed[e.Activity] {
-			continue
+			return
 		}
 		j := nameIdx[e.Activity]
 		start, end := e.Start, e.End
 		if end <= from || start >= to {
-			continue
+			return
 		}
 		if start < from {
 			start = from
@@ -125,7 +137,7 @@ func New(log *trace.Log, opts Options) (*Timeline, error) {
 				occupancy[e.Rank][c][j] += overlap
 			}
 		}
-	}
+	})
 	t := &Timeline{
 		Ranks:         ranks,
 		From:          from,
@@ -133,6 +145,12 @@ func New(log *trace.Log, opts Options) (*Timeline, error) {
 		ActivityNames: names,
 		Lanes:         make([][]int, ranks),
 	}
+	for _, m := range opts.Marks {
+		if m > from && m < to {
+			t.Marks = append(t.Marks, m)
+		}
+	}
+	sort.Float64s(t.Marks)
 	for r := range t.Lanes {
 		t.Lanes[r] = make([]int, width)
 		for c := 0; c < width; c++ {
@@ -167,6 +185,24 @@ func maxF(a, b float64) float64 {
 func (t *Timeline) ASCII() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "timeline [%.3f s, %.3f s]\n", t.From, t.To)
+	if len(t.Marks) > 0 && len(t.Lanes) > 0 {
+		// A ruler row with one caret per mark — phase boundaries sit
+		// above the lanes instead of clobbering them.
+		width := len(t.Lanes[0])
+		colWidth := (t.To - t.From) / float64(width)
+		ruler := make([]byte, width)
+		for i := range ruler {
+			ruler[i] = ' '
+		}
+		for _, m := range t.Marks {
+			c := int((m - t.From) / colWidth)
+			if c >= width {
+				c = width - 1
+			}
+			ruler[c] = '^'
+		}
+		fmt.Fprintf(&sb, "phases   |%s|\n", ruler)
+	}
 	for r, lane := range t.Lanes {
 		fmt.Fprintf(&sb, "rank %3d |", r)
 		for _, j := range lane {

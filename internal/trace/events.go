@@ -54,8 +54,26 @@ func (l *Log) Append(e Event) error {
 // Len returns the number of recorded events.
 func (l *Log) Len() int { return len(l.events) }
 
-// Events returns a copy of the recorded events.
+// Events returns a copy of the recorded events. External callers get a
+// slice they may mutate freely; hot internal consumers that only read
+// should use Each or EventsInto instead, which skip the per-call copy.
 func (l *Log) Events() []Event { return append([]Event(nil), l.events...) }
+
+// Each calls fn for every recorded event in log order without copying
+// the backing slice. fn must not append to the log.
+func (l *Log) Each(fn func(Event)) {
+	for _, e := range l.events {
+		fn(e)
+	}
+}
+
+// EventsInto appends the recorded events to dst and returns the result,
+// reusing dst's capacity. Callers that repeatedly materialize the events
+// (renderers, repeated folds) amortize one buffer instead of paying a
+// fresh copy per Events call.
+func (l *Log) EventsInto(dst []Event) []Event {
+	return append(dst, l.events...)
+}
 
 // Ranks returns the number of distinct ranks that appear in the log,
 // computed as 1 + the maximum rank (ranks are assumed dense from zero).
@@ -89,12 +107,24 @@ func (l *Log) Span() float64 {
 // kept so table layouts stay stable even when an activity never occurs).
 // The cube's program time is set to the log's span.
 func (l *Log) Aggregate(regionOrder, activityOrder []string) (*Cube, error) {
+	return l.AggregateProcs(regionOrder, activityOrder, 0)
+}
+
+// AggregateProcs is Aggregate with an explicit minimum processor count:
+// the cube gets max(procs, Ranks()) processors, so a slice of a larger
+// run (a temporal phase, say) keeps the full rank space and processors
+// idle for the whole slice count as zeros — an idle processor is the
+// imbalance, not missing data. procs 0 behaves exactly like Aggregate.
+func (l *Log) AggregateProcs(regionOrder, activityOrder []string, procs int) (*Cube, error) {
 	if len(l.events) == 0 {
 		return nil, fmt.Errorf("trace: cannot aggregate empty log")
 	}
+	if r := l.Ranks(); r > procs {
+		procs = r
+	}
 	regions := orderedNames(regionOrder, l.events, func(e Event) string { return e.Region })
 	activities := orderedNames(activityOrder, l.events, func(e Event) string { return e.Activity })
-	cube, err := NewCube(regions, activities, l.Ranks())
+	cube, err := NewCube(regions, activities, procs)
 	if err != nil {
 		return nil, err
 	}

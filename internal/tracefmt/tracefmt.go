@@ -283,11 +283,16 @@ func WriteEvents(w io.Writer, log *trace.Log) error {
 	}
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	for _, e := range log.Events() {
-		je := jsonEvent{Rank: e.Rank, Region: e.Region, Activity: e.Activity, Start: e.Start, End: e.End}
-		if err := enc.Encode(je); err != nil {
-			return err
+	var encErr error
+	log.Each(func(e trace.Event) {
+		if encErr != nil {
+			return
 		}
+		je := jsonEvent{Rank: e.Rank, Region: e.Region, Activity: e.Activity, Start: e.Start, End: e.End}
+		encErr = enc.Encode(je)
+	})
+	if encErr != nil {
+		return encErr
 	}
 	return bw.Flush()
 }

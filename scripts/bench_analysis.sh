@@ -12,7 +12,7 @@ set -eu
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_analysis.json}"
 
-raw=$(go test -run '^$' -bench 'FullPipeline|Table|ProcessorView' \
+raw=$(go test -run '^$' -bench 'FullPipeline|Table|ProcessorView|TemporalFold' \
 	-benchmem -count 5 .)
 
 printf '%s\n' "$raw" | awk -v go_version="$(go env GOVERSION)" '
