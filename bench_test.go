@@ -739,3 +739,56 @@ func BenchmarkTemporalPhases(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkStreamSegment measures the live monitor's incremental phase
+// detection: one iteration is one appended window, with the segmentation
+// queried every 64 windows (a scrape interval's worth). The fixed-penalty
+// variant is the amortized-constant hot path; the automatic-penalty
+// variant re-derives the penalty per query and re-runs the pruned DP when
+// it moves, so it bounds the cost of the default configuration.
+func BenchmarkStreamSegment(b *testing.B) {
+	// A phase-structured trajectory with ripple: alternating quiet and hot
+	// levels every 128 windows, the shape the collector feeds the
+	// segmenter on a long-running workload.
+	const windows = 2048
+	traj := make([]temporal.WindowStat, windows)
+	for i := range traj {
+		level := 0.1
+		if (i/128)%2 == 1 {
+			level = 0.5
+		}
+		id := level + 0.004*float64(i%7)
+		traj[i] = temporal.WindowStat{Index: i, Start: float64(i), End: float64(i + 1),
+			Events: 1, Busy: 1, ID: &id}
+	}
+	seg := temporal.NewStreamSegmenter(0)
+	for _, ws := range traj {
+		seg.Append(ws)
+	}
+	dumpOnce(b, "Streaming segmentation (live monitor hot path)",
+		fmt.Sprintf("%d windows -> %d phases (auto penalty)\n", windows, len(seg.Phases())))
+	for _, bc := range []struct {
+		name    string
+		penalty float64
+	}{
+		{"append-fixed", 0.05},
+		{"append-auto", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			seg := temporal.NewStreamSegmenter(bc.penalty)
+			fed := 0
+			for i := 0; i < b.N; i++ {
+				if fed == windows {
+					seg = temporal.NewStreamSegmenter(bc.penalty)
+					fed = 0
+				}
+				seg.Append(traj[fed])
+				fed++
+				if fed%64 == 0 && len(seg.Phases()) == 0 {
+					b.Fatal("no phases on a non-empty trajectory")
+				}
+			}
+		})
+	}
+}

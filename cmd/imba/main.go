@@ -17,6 +17,7 @@
 //
 //	imba -events run.events -window 0.5
 //	imba -events run.events -window 0.5 -activity computation -phases
+//	imba -events run.events -window 0.5 -per-activity
 package main
 
 import (
@@ -64,17 +65,21 @@ func run(args []string, stdout io.Writer) error {
 		eventsIn  = fs.String("events", "", "input event trace (JSON lines, as written by cfdsim -events)")
 		window    = fs.Float64("window", 0, "temporal window width in seconds (requires -events)")
 		phases    = fs.Bool("phases", false, "segment the trajectory into phases and analyze each (requires -window)")
+		perAct    = fs.Bool("per-activity", false, "segment each activity's own trajectory (requires -window)")
 		penalty   = fs.Float64("penalty", 0, "change-point penalty for -phases (0 = automatic)")
 		activity  = fs.String("activity", "", "comma-separated activities the trajectory is restricted to (e.g. computation)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if (*window > 0 || *phases) && *eventsIn == "" {
+	if (*window > 0 || *phases || *perAct) && *eventsIn == "" {
 		return fmt.Errorf("-window and -phases need an event trace: pass -events <file> (cubes carry no time structure)")
 	}
 	if *phases && *window <= 0 {
 		return fmt.Errorf("-phases needs -window <dt> to define the trajectory")
+	}
+	if *perAct && *window <= 0 {
+		return fmt.Errorf("-per-activity needs -window <dt> to define the trajectories")
 	}
 
 	var lg *trace.Log
@@ -113,6 +118,7 @@ func run(args []string, stdout io.Writer) error {
 		if err := printTemporal(stdout, lg, cube, temporalSpec{
 			window:   *window,
 			phases:   *phases,
+			perAct:   *perAct,
 			penalty:  *penalty,
 			activity: *activity,
 			opts: core.AnalyzeOptions{
@@ -182,6 +188,7 @@ func loadCube(path string, usePaper bool, lg *trace.Log) (*trace.Cube, error) {
 type temporalSpec struct {
 	window   float64
 	phases   bool
+	perAct   bool
 	penalty  float64
 	activity string
 	opts     core.AnalyzeOptions
@@ -190,7 +197,7 @@ type temporalSpec struct {
 // printTemporal prints the windowed imbalance trajectory and, when
 // requested, the phase segmentation with the full index set per phase.
 func printTemporal(w io.Writer, lg *trace.Log, cube *trace.Cube, spec temporalSpec) error {
-	opts := temporal.Options{Window: spec.window, TrackActivities: true}
+	opts := temporal.Options{Window: spec.window, TrackActivities: true, PerActivity: spec.perAct}
 	if spec.activity != "" {
 		for _, name := range strings.Split(spec.activity, ",") {
 			if name = strings.TrimSpace(name); name != "" {
@@ -217,6 +224,9 @@ func printTemporal(w io.Writer, lg *trace.Log, cube *trace.Cube, spec temporalSp
 		}
 		fmt.Fprintf(w, "  %6d %9.3f %9.3f %7d %10.4f %s %8.5f  %s\n",
 			ws.Index, ws.Start, ws.End, ws.Events, ws.Busy, id, ws.Gini, ws.Dominant)
+	}
+	if spec.perAct {
+		printPerActivity(w, ser, spec.penalty)
 	}
 	if !spec.phases {
 		return nil
@@ -266,6 +276,27 @@ func printTemporal(w io.Writer, lg *trace.Log, cube *trace.Cube, spec temporalSp
 		}
 	}
 	return nil
+}
+
+// printPerActivity segments each activity's own trajectory — a phase
+// boundary in the aggregate trajectory often belongs to a single
+// activity, and an activity can change phase without moving the
+// aggregate at all.
+func printPerActivity(w io.Writer, ser *temporal.Series, penalty float64) {
+	names := ser.ActivityNames()
+	if len(names) == 0 {
+		fmt.Fprintln(w, "\nper-activity segmentation: the series carries no per-activity vectors")
+		return
+	}
+	fmt.Fprintln(w, "\nper-activity segmentation (each activity's own window trajectory):")
+	for _, name := range names {
+		phs := temporal.Segment(ser.ActivitySeries(name).Stats(), penalty)
+		fmt.Fprintf(w, "  %s: %d phases\n", name, len(phs))
+		for k, ph := range phs {
+			fmt.Fprintf(w, "    phase %d [%.3f, %.3f) %-5s windows %d..%d mean window ID=%.5f\n",
+				k+1, ph.Start, ph.End, ph.Label, ph.FirstWindow, ph.LastWindow, ph.MeanID)
+		}
+	}
 }
 
 func printTables(w io.Writer, a *core.Analysis, which string) error {

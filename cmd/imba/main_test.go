@@ -275,11 +275,28 @@ func TestRunTemporalPhases(t *testing.T) {
 		t.Errorf("filtered trajectory header missing:\n%s", sb.String())
 	}
 
+	// Per-activity segmentation: each activity gets its own phase list.
+	// "computation" runs throughout while "tailwork" exists only in the
+	// tail, so their segmentations differ.
+	sb.Reset()
+	if err := run([]string{"-events", path, "-window", "1", "-per-activity"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out = sb.String()
+	for _, want := range []string{"per-activity segmentation", "computation:", "phase 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("per-activity output missing %q:\n%s", want, out)
+		}
+	}
+
 	// Flag validation.
 	if err := run([]string{"-window", "1"}, &sb); err == nil {
 		t.Error("-window without -events should fail")
 	}
 	if err := run([]string{"-events", path, "-phases"}, &sb); err == nil {
 		t.Error("-phases without -window should fail")
+	}
+	if err := run([]string{"-events", path, "-per-activity"}, &sb); err == nil {
+		t.Error("-per-activity without -window should fail")
 	}
 }

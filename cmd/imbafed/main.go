@@ -11,7 +11,9 @@
 // gauges, including per-endpoint scrape latency, followed by the cube's
 // Prometheus families), /cube.json (the federated measurement cube),
 // /timeline.json and /windows.json (the merged cross-job window series;
-// 503 when no endpoint exposes windows), /lorenz.json and /healthz
+// 503 when no endpoint exposes windows), /phases.json (phase detection
+// over the cluster-wide trajectory, the same segmentation each
+// endpoint's own /phases.json runs), /lorenz.json and /healthz
 // (per-endpoint scrape state: last success, last attempt, scrape
 // latency, consecutive failures, staleness, window availability).
 //

@@ -5,8 +5,9 @@
 //
 // Endpoints (see internal/monitor): /metrics (Prometheus text format),
 // /cube.json (live measurement cube), /lorenz.json, /timeline.json
-// (windowed temporal imbalance), /healthz, / (embedded dashboard) and
-// /debug/pprof/.
+// (windowed temporal imbalance), /phases.json (streaming phase
+// detection over the window trajectory), /healthz, / (embedded
+// dashboard) and /debug/pprof/.
 //
 // Usage:
 //
@@ -73,6 +74,7 @@ type daemon struct {
 	phases    int
 	imbalance float64
 	window    float64
+	penalty   float64
 	repeat    int
 	exit      bool
 	linger    time.Duration
@@ -98,6 +100,7 @@ func parseArgs(args []string) (*daemon, error) {
 	fs.IntVar(&d.phases, "phases", 6, "refinement phases (amr)")
 	fs.Float64Var(&d.imbalance, "imbalance", 0.2, "decomposition skew in [0, 1] (cfd)")
 	fs.Float64Var(&d.window, "window", 5, "temporal window width in virtual seconds (0 = off)")
+	fs.Float64Var(&d.penalty, "phase-penalty", 0, "segmentation penalty for live phase detection (<= 0 = automatic)")
 	fs.IntVar(&d.repeat, "repeat", 1, "workload repetitions (0 = loop until interrupted)")
 	fs.BoolVar(&d.exit, "exit", false, "terminate after the last run instead of serving forever")
 	fs.DurationVar(&d.linger, "linger", 0, "with -exit, keep serving this long after the last run")
@@ -186,9 +189,10 @@ func (d *daemon) runOnce(sink trace.Sink) (float64, error) {
 // shuts down -linger after the last run).
 func (d *daemon) run(ctx context.Context, stdout io.Writer) error {
 	d.col = monitor.NewCollector(monitor.Options{
-		Window:     d.window,
-		Regions:    d.regionOrder(),
-		Activities: mpi.Activities(),
+		Window:       d.window,
+		PhasePenalty: d.penalty,
+		Regions:      d.regionOrder(),
+		Activities:   mpi.Activities(),
 	})
 	ln, err := net.Listen("tcp", d.addr)
 	if err != nil {
@@ -250,6 +254,11 @@ func (d *daemon) printSummary(stdout io.Writer, snap *monitor.Snapshot) {
 	}
 	fmt.Fprintf(stdout, "imbamon: %d events, T=%.3f s over %d windows\n",
 		snap.Events, snap.Cube.ProgramTime(), len(snap.Windows))
+	if n := len(snap.Phases); n > 0 {
+		cur := snap.Phases[n-1]
+		fmt.Fprintf(stdout, "imbamon: %d phases detected (%d changes), current %q since t=%.3f s\n",
+			n, n-1, cur.Label, cur.Start)
+	}
 	regs, err := core.CodeRegionView(snap.Cube, core.Options{})
 	if err != nil {
 		fmt.Fprintf(stdout, "imbamon: region view: %v\n", err)

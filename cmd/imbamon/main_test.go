@@ -226,12 +226,34 @@ workload:
 		t.Error("no window ID gauge exposed despite -window 2")
 	}
 
+	// Live phase detection rides on the same window series: /phases.json
+	// must answer with at least one phase and the scrape must carry the
+	// phase gauges for the finished run.
+	code, phasesBody := httpGet(t, d.url+"/phases.json")
+	if code != http.StatusOK {
+		t.Fatalf("/phases.json = %d", code)
+	}
+	if !strings.Contains(phasesBody, `"phases"`) || !strings.Contains(phasesBody, `"label"`) {
+		t.Errorf("phases payload lacks phase list: %s", phasesBody)
+	}
+	if _, ok := got[scrapeKey(monitor.MetricPhaseChanges)]; !ok {
+		t.Errorf("metric %s not exposed despite windowing", monitor.MetricPhaseChanges)
+	}
+	currentSum := 0.0
+	for _, l := range []string{"idle", "quiet", "hot"} {
+		currentSum += got[scrapeKey(monitor.MetricPhaseCurrent, "label", l)]
+	}
+	if currentSum != 1 {
+		t.Errorf("phase_current gauges sum to %g, want exactly one label set", currentSum)
+	}
+
 	cancel()
 	if err := <-runErr; err != nil {
 		t.Fatalf("daemon exited with error: %v", err)
 	}
 	if out := buf.String(); !strings.Contains(out, "serving on http://") ||
-		!strings.Contains(out, "most imbalanced region") {
+		!strings.Contains(out, "most imbalanced region") ||
+		!strings.Contains(out, "phases detected") {
 		t.Errorf("unexpected daemon output:\n%s", out)
 	}
 }

@@ -20,6 +20,13 @@
 //
 //	traceview -events run.jsonl -timeline -window 0.5 -phases
 //	traceview -events run.jsonl -timeline -window 0.5 -phase 2
+//
+// -stream additionally replays the trajectory through the streaming
+// segmenter the live monitor runs (querying it after every window, as a
+// scrape would) and reports when each boundary of the final segmentation
+// was first flagged — the online detection latency:
+//
+//	traceview -events run.jsonl -timeline -window 0.5 -phases -stream
 package main
 
 import (
@@ -61,6 +68,7 @@ func run(args []string, stdout io.Writer) error {
 		window     = fs.Float64("window", 0, "temporal window width for phase segmentation, seconds")
 		doPhases   = fs.Bool("phases", false, "mark phase boundaries on the timeline and list the phases (requires -window)")
 		phaseZoom  = fs.Int("phase", 0, "zoom the timeline into phase N (1-based; requires -window)")
+		doStream   = fs.Bool("stream", false, "replay the trajectory through the streaming segmenter and report detection latencies (requires -window)")
 		penalty    = fs.Float64("penalty", 0, "change-point penalty for the segmentation (0 = automatic)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -71,8 +79,8 @@ func run(args []string, stdout io.Writer) error {
 		if *eventsIn == "" {
 			return fmt.Errorf("-timeline needs -events <file.jsonl>")
 		}
-		if (*doPhases || *phaseZoom > 0) && *window <= 0 {
-			return fmt.Errorf("-phases and -phase need -window <dt> to define the trajectory")
+		if (*doPhases || *phaseZoom > 0 || *doStream) && *window <= 0 {
+			return fmt.Errorf("-phases, -phase and -stream need -window <dt> to define the trajectory")
 		}
 		evs, err := tracefmt.OpenEvents(*eventsIn)
 		if err != nil {
@@ -83,12 +91,14 @@ func run(args []string, stdout io.Writer) error {
 			opts.Activities = []string{*activity}
 		}
 		var phs []temporal.Phase
+		var traj []temporal.WindowStat
 		if *window > 0 {
 			ser, err := temporal.FoldLog(evs, temporal.Options{Window: *window, Activities: opts.Activities})
 			if err != nil {
 				return err
 			}
-			phs = temporal.Segment(ser.Stats(), *penalty)
+			traj = ser.Stats()
+			phs = temporal.Segment(traj, *penalty)
 			if *phaseZoom > 0 {
 				if *phaseZoom > len(phs) {
 					return fmt.Errorf("phase %d of %d does not exist", *phaseZoom, len(phs))
@@ -112,6 +122,9 @@ func run(args []string, stdout io.Writer) error {
 				fmt.Fprintf(stdout, "  %d. [%.3f s, %.3f s) %-5s mean window ID %.5f (%d windows)\n",
 					k+1, ph.Start, ph.End, ph.Label, ph.MeanID, ph.Windows)
 			}
+		}
+		if *doStream {
+			streamReport(stdout, traj, *penalty)
 		}
 		return nil
 	}
@@ -141,6 +154,42 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// streamReport replays the trajectory through the streaming segmenter
+// the live monitor runs, querying after every window exactly as a
+// scrape would, and reports when each boundary of the final
+// segmentation was first flagged. A boundary's latency is how many
+// windows beyond it had to arrive before the online optimum committed
+// to it — the cost of monitoring live instead of post-mortem.
+func streamReport(w io.Writer, traj []temporal.WindowStat, penalty float64) {
+	seg := temporal.NewStreamSegmenter(penalty)
+	firstSeen := map[int]int{} // boundary position -> windows fed when first flagged
+	for i, ws := range traj {
+		seg.Append(ws)
+		bounds := seg.Boundaries()
+		for _, b := range bounds[:len(bounds)-1] {
+			if _, ok := firstSeen[b]; !ok {
+				firstSeen[b] = i + 1
+			}
+		}
+	}
+	fmt.Fprintln(w, "streaming detection (live segmenter replay, queried after every window):")
+	final := seg.Boundaries()
+	if len(final) <= 1 {
+		fmt.Fprintln(w, "  no phase boundaries detected")
+		return
+	}
+	for _, b := range final[:len(final)-1] {
+		fed, ok := firstSeen[b]
+		if !ok {
+			// Committed only once the trajectory was complete (e.g. the
+			// automatic penalty settled late).
+			fed = len(traj)
+		}
+		fmt.Fprintf(w, "  boundary at window %d (t=%.3f s): first flagged after window %d (latency %d windows)\n",
+			b, traj[b].Start, fed-1, fed-b)
+	}
 }
 
 func loadCube(path string, usePaper bool) (*trace.Cube, error) {

@@ -137,9 +137,25 @@ func TestRunTimelinePhases(t *testing.T) {
 		t.Errorf("phase zoom window wrong:\n%s", sb.String())
 	}
 
+	// The streaming replay reports the boundary at window 4 (t=4.000 s)
+	// with its online detection latency.
+	sb.Reset()
+	if err := run([]string{"-timeline", "-events", path, "-width", "16", "-window", "1", "-stream"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out = sb.String()
+	if !strings.Contains(out, "streaming detection") ||
+		!strings.Contains(out, "boundary at window 4 (t=4.000 s)") ||
+		!strings.Contains(out, "latency") {
+		t.Errorf("stream replay report missing:\n%s", out)
+	}
+
 	// Flag validation.
 	if err := run([]string{"-timeline", "-events", path, "-phases"}, &sb); err == nil {
 		t.Error("-phases without -window should fail")
+	}
+	if err := run([]string{"-timeline", "-events", path, "-stream"}, &sb); err == nil {
+		t.Error("-stream without -window should fail")
 	}
 	if err := run([]string{"-timeline", "-events", path, "-window", "1", "-phase", "9"}, &sb); err == nil {
 		t.Error("out-of-range -phase should fail")

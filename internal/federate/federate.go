@@ -408,13 +408,21 @@ func (f *Federator) Snapshot() *monitor.Snapshot {
 		if haveWindows {
 			ser, err := temporal.Merge(winJobs)
 			if err != nil {
-				// Mixed window widths across endpoints: the timeline view is
+				// Mixed window widths or an endpoint reporting busy time
+				// beyond its declared processors: the timeline view is
 				// undefined, the cube view stays correct. Degrade just the
 				// timeline.
 				f.logf("federate: merging window series: %v", err)
 			} else {
 				snap.Series = ser
 				snap.Windows = ser.Stats()
+				// Federated phase detection runs the offline segmentation on
+				// the merged trajectory: Snapshot() may run concurrently, so
+				// the stateless Segment beats sharing an incremental
+				// segmenter here, and the merged series is rebuilt per poll
+				// anyway. The automatic penalty matches what each endpoint's
+				// own /phases.json uses.
+				snap.Phases = temporal.SummarizePhases(ser, temporal.Segment(snap.Windows, 0))
 			}
 		}
 	}

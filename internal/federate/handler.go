@@ -60,6 +60,9 @@ func status(eps []EndpointHealth) string {
 //	                endpoints' window series (empty until some endpoint
 //	                serves /windows.json)
 //	/windows.json   the merged raw window series itself
+//	/phases.json    phase detection over the cluster-wide trajectory
+//	                (the same segmentation each endpoint's own
+//	                /phases.json runs, on the merged windows)
 //	/healthz        per-endpoint scrape state: last success/attempt,
 //	                scrape latency, consecutive failures, staleness
 //	                (503 when no endpoint contributes)
@@ -96,6 +99,7 @@ func Handler(f *Federator) http.Handler {
 	// agreed on, echoed from the merged series itself.
 	mux.Handle("/timeline.json", monitor.TimelineHandler(f, 0))
 	mux.Handle("/windows.json", monitor.WindowsHandler(f))
+	mux.Handle("/phases.json", monitor.PhasesHandler(f))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -103,7 +107,7 @@ func Handler(f *Federator) http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "loadimb federated monitor (%d endpoints)\n\n", len(f.Health()))
-		fmt.Fprintln(w, "endpoints: /metrics /cube.json /lorenz.json /timeline.json /windows.json /healthz")
+		fmt.Fprintln(w, "endpoints: /metrics /cube.json /lorenz.json /timeline.json /windows.json /phases.json /healthz")
 	})
 	return mux
 }

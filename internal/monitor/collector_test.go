@@ -22,7 +22,7 @@ func syntheticEvents() []trace.Event {
 		{Rank: 0, Region: "r2", Activity: "comp", Start: 1.25, End: 2},
 		{Rank: 1, Region: "r2", Activity: "comm", Start: 2.5, End: 4},
 		{Rank: 0, Region: "r1", Activity: "comp", Start: 2, End: 2.75}, // second visit folds in
-		{Rank: 2, Region: "r2", Activity: "comp", Start: 0, End: 9},   // straggler sets the span
+		{Rank: 2, Region: "r2", Activity: "comp", Start: 0, End: 9},    // straggler sets the span
 	}
 }
 

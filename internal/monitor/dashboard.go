@@ -28,14 +28,16 @@ const dashboardHTML = `<!DOCTYPE html>
   <span id="summary">waiting for data…</span><span id="err"></span><br>
   raw: <a href="/metrics">/metrics</a> · <a href="/cube.json">/cube.json</a> ·
   <a href="/lorenz.json">/lorenz.json</a> · <a href="/timeline.json">/timeline.json</a> ·
-  <a href="/debug/pprof/">pprof</a>
+  <a href="/phases.json">/phases.json</a> · <a href="/debug/pprof/">pprof</a>
 </p>
 <h2>code regions (SID_C = share × ID_C)</h2>
 <table id="regions"><tbody></tbody></table>
 <h2>activities (SID_A)</h2>
 <table id="activities"><tbody></tbody></table>
-<h2>imbalance over time (window ID)</h2>
+<h2>imbalance over time (window ID; ^ marks a live-detected phase boundary)</h2>
 <pre id="timeline" class="bar"></pre>
+<h2>phases (streaming change-point detection)</h2>
+<pre id="phases"></pre>
 <script>
 const BLOCKS = "▁▂▃▄▅▆▇█";
 function bar(frac, width) {
@@ -66,7 +68,8 @@ function fill(tableId, rows, key) {
 }
 async function tick() {
   try {
-    const [mres, tres] = await Promise.all([fetch("/metrics"), fetch("/timeline.json")]);
+    const [mres, tres, pres] =
+      await Promise.all([fetch("/metrics"), fetch("/timeline.json"), fetch("/phases.json")]);
     const metrics = parseMetrics(await mres.text());
     const pick = n => metrics.filter(s => s.name === n);
     const one = n => { const s = pick(n)[0]; return s ? s.value : NaN; };
@@ -78,16 +81,40 @@ async function tick() {
     fill("#regions", pick("loadimb_sid_c"), "region");
     fill("#activities", pick("loadimb_sid_a"), "activity");
     const tl = await tres.json();
+    // /phases.json answers 503 while windowing is off; the sparkline and
+    // phase list simply stay empty then.
+    const phases = pres.ok ? (await pres.json()).phases || [] : [];
     const ws = tl.windows || [];
     if (ws.length) {
       // id is null for all-idle windows (undefined dispersion): render
       // them as gaps instead of pretending they are balanced.
       const ids = ws.map(w => w.id).filter(x => x != null);
       const max = Math.max(...ids, 1e-12);
-      document.getElementById("timeline").textContent =
-        ws.map(w => w.id == null ? "·" : BLOCKS[Math.min(7, Math.floor(w.id / max * 7.999))]).join("") +
+      let text =
+        ws.map(w => w.id == null ? "·" : BLOCKS[Math.min(7, Math.floor(w.id / max * 7.999))]).join("");
+      if (phases.length > 1) {
+        // Align a ^ under the first window of every phase after the first:
+        // the boundaries the streaming segmenter has committed to so far.
+        const row = new Array(ws.length).fill(" ");
+        for (const ph of phases.slice(1)) {
+          const p = ph.first_window - ws[0].index;
+          if (p >= 0 && p < row.length) row[p] = "^";
+        }
+        text += "\n" + row.join("");
+      }
+      document.getElementById("timeline").textContent = text +
         "\nwindows " + ws[0].index + "…" + ws[ws.length - 1].index +
         " (width " + tl.window + "s), peak ID " + max.toFixed(4);
+    }
+    if (phases.length) {
+      const cur = phases[phases.length - 1];
+      document.getElementById("phases").textContent =
+        "current: " + cur.label + " since t=" + cur.start.toFixed(2) + "s" +
+        " (" + (phases.length - 1) + " changes so far)\n" +
+        phases.map((ph, k) =>
+          (k + 1) + ". [" + ph.start.toFixed(2) + "s, " + ph.end.toFixed(2) + "s) " + ph.label +
+          (ph.id != null ? "  ID_P=" + ph.id.toFixed(4) : "") +
+          (ph.hot_activities ? "  hot: " + ph.hot_activities.join(", ") : "")).join("\n");
     }
     document.getElementById("err").textContent = "";
   } catch (e) {

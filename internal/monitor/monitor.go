@@ -44,6 +44,12 @@ type Options struct {
 	// aggregation using the same orders. Names not listed are appended
 	// in order of first appearance.
 	Regions, Activities []string
+	// PhasePenalty is the change-point penalty of the streaming phase
+	// detection run over the window trajectory (served at /phases.json);
+	// <= 0 selects the automatic default, matching what an offline
+	// `imba -phases` finds on the same trace. Phase detection is only
+	// active when Window is set.
+	PhasePenalty float64
 }
 
 // Collector is a live, concurrency-safe event collector implementing
@@ -94,8 +100,12 @@ func NewCollector(opts Options) *Collector {
 	if opts.Window > 0 {
 		// The windowing itself lives in internal/temporal — the one
 		// implementation of the clipping semantics, shared with the
-		// offline and federated pipelines.
-		c.state.tw = temporal.NewFold(temporal.Options{Window: opts.Window})
+		// offline and federated pipelines. PerActivity keeps per-window
+		// per-activity busy vectors so /phases.json can name each phase's
+		// hot activities (TrackActivities stays off: /timeline.json's
+		// wire format has no Dominant field).
+		c.state.tw = temporal.NewFold(temporal.Options{Window: opts.Window, PerActivity: true})
+		c.state.seg = temporal.NewStreamSegmenter(opts.PhasePenalty)
 	}
 	return c
 }
@@ -193,6 +203,13 @@ type foldState struct {
 	// per-rank busy times (internal/temporal owns the clipping
 	// semantics); nil when windowing is disabled.
 	tw *temporal.Fold
+	// seg maintains the PELT phase optimum incrementally across
+	// snapshots: each build syncs it with the fresh trajectory (the
+	// still-growing tail window rewinds, the settled prefix's DP state is
+	// reused) so live phase detection costs amortized-constant work per
+	// window instead of a full segmentation per scrape. nil when
+	// windowing is disabled.
+	seg *temporal.StreamSegmenter
 }
 
 func (s *foldState) init(regions, activities []string) {

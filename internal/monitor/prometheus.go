@@ -6,32 +6,37 @@ import (
 	"math"
 	"strconv"
 	"strings"
+
+	"loadimb/internal/temporal"
 )
 
 // Metric family names served at /metrics. Every dispersion gauge carries
 // the value the offline analysis (core.Analyze) computes for the same
 // cube.
 const (
-	MetricEventsTotal    = "loadimb_events_total"
-	MetricDroppedTotal   = "loadimb_events_dropped_total"
-	MetricProcs          = "loadimb_procs"
-	MetricProgramTime    = "loadimb_program_time_seconds"
-	MetricInstrumented   = "loadimb_instrumented_seconds"
-	MetricRegionSeconds  = "loadimb_region_seconds"
-	MetricActSeconds     = "loadimb_activity_seconds"
-	MetricProcSeconds    = "loadimb_proc_seconds"
-	MetricIDCell         = "loadimb_id_ij"
-	MetricIDActivity     = "loadimb_id_a"
-	MetricSIDActivity    = "loadimb_sid_a"
-	MetricIDRegion       = "loadimb_id_c"
-	MetricSIDRegion      = "loadimb_sid_c"
-	MetricIDProc         = "loadimb_id_p"
-	MetricGini           = "loadimb_gini"
-	MetricCellEvents     = "loadimb_cell_events_total"
-	MetricCellDurMean    = "loadimb_event_duration_seconds_mean"
-	MetricCellDurStddev  = "loadimb_event_duration_seconds_stddev"
-	MetricWindowID       = "loadimb_window_id"
-	MetricWindowGini     = "loadimb_window_gini"
+	MetricEventsTotal   = "loadimb_events_total"
+	MetricDroppedTotal  = "loadimb_events_dropped_total"
+	MetricProcs         = "loadimb_procs"
+	MetricProgramTime   = "loadimb_program_time_seconds"
+	MetricInstrumented  = "loadimb_instrumented_seconds"
+	MetricRegionSeconds = "loadimb_region_seconds"
+	MetricActSeconds    = "loadimb_activity_seconds"
+	MetricProcSeconds   = "loadimb_proc_seconds"
+	MetricIDCell        = "loadimb_id_ij"
+	MetricIDActivity    = "loadimb_id_a"
+	MetricSIDActivity   = "loadimb_sid_a"
+	MetricIDRegion      = "loadimb_id_c"
+	MetricSIDRegion     = "loadimb_sid_c"
+	MetricIDProc        = "loadimb_id_p"
+	MetricGini          = "loadimb_gini"
+	MetricCellEvents    = "loadimb_cell_events_total"
+	MetricCellDurMean   = "loadimb_event_duration_seconds_mean"
+	MetricCellDurStddev = "loadimb_event_duration_seconds_stddev"
+	MetricWindowID      = "loadimb_window_id"
+	MetricWindowGini    = "loadimb_window_gini"
+	MetricPhaseCurrent  = "loadimb_phase_current"
+	MetricPhaseChanges  = "loadimb_phase_changes_total"
+	MetricPhaseSeconds  = "loadimb_phase_seconds"
 )
 
 // writer accumulates Prometheus text-format lines, remembering the first
@@ -202,6 +207,32 @@ func WriteMetrics(w io.Writer, snap *Snapshot) error {
 		}
 		m.header(MetricWindowGini, "Gini of per-processor load in the latest window.", "gauge")
 		m.sample(MetricWindowGini, []string{label("window", strconv.Itoa(last.Index))}, last.Gini)
+	}
+
+	// Live phase detection: the streaming PELT segmentation of the window
+	// trajectory (see /phases.json for the full boundary history).
+	if len(snap.Phases) > 0 {
+		current := snap.Phases[len(snap.Phases)-1]
+		m.header(MetricPhaseCurrent, "1 for the label of the phase the run is currently in, 0 for the others.", "gauge")
+		for _, l := range []string{temporal.LabelIdle, temporal.LabelQuiet, temporal.LabelHot} {
+			v := 0.0
+			if l == current.Label {
+				v = 1
+			}
+			m.sample(MetricPhaseCurrent, []string{label("label", l)}, v)
+		}
+		m.header(MetricPhaseChanges, "Phase boundaries detected in the trajectory so far.", "counter")
+		m.sample(MetricPhaseChanges, nil, float64(len(snap.Phases)-1))
+		m.header(MetricPhaseSeconds, "Virtual time spent in phases of each label so far.", "gauge")
+		bylabel := map[string]float64{}
+		for _, ph := range snap.Phases {
+			bylabel[ph.Label] += ph.End - ph.Start
+		}
+		for _, l := range []string{temporal.LabelIdle, temporal.LabelQuiet, temporal.LabelHot} {
+			if t, ok := bylabel[l]; ok {
+				m.sample(MetricPhaseSeconds, []string{label("label", l)}, t)
+			}
+		}
 	}
 	return m.err
 }

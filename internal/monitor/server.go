@@ -6,6 +6,7 @@ import (
 	"net/http/pprof"
 
 	"loadimb/internal/majorize"
+	"loadimb/internal/temporal"
 	"loadimb/internal/tracefmt"
 )
 
@@ -106,6 +107,33 @@ func WindowsHandler(src SnapshotSource) http.HandlerFunc {
 	}
 }
 
+// PhasesHandler serves the live phase segmentation of the snapshot's
+// window trajectory: every detected phase with its time bounds, label,
+// per-phase dispersion indices and hot activities, plus the phase the
+// run is currently in. The phases are the exact PELT optimum of the
+// trajectory so far — the same segmentation `imba -phases` finds on the
+// saved trace — maintained incrementally by the collector. It answers
+// 503 while windowing is disabled and an empty phase list before the
+// first non-empty window.
+func PhasesHandler(src SnapshotSource) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		snap := src.Snapshot()
+		if snap.Series == nil {
+			http.Error(w, "windowing disabled", http.StatusServiceUnavailable)
+			return
+		}
+		p := phasesPayload{
+			Window: snap.Series.Window,
+			Phases: snap.Phases,
+		}
+		if n := len(snap.Phases); n > 0 {
+			p.Current = &snap.Phases[n-1]
+			p.Changes = n - 1
+		}
+		writeJSON(w, p)
+	}
+}
+
 // NewHandler returns the monitoring endpoint set for a collector:
 //
 //	/metrics        Prometheus text exposition of every paper index
@@ -113,6 +141,7 @@ func WindowsHandler(src SnapshotSource) http.HandlerFunc {
 //	/lorenz.json    Lorenz curve of the per-processor total times
 //	/timeline.json  windowed imbalance trajectory (temporal analysis)
 //	/windows.json   raw per-window busy vectors (federation merge input)
+//	/phases.json    live phase detection over the window trajectory
 //	/healthz        liveness probe (always 200)
 //	/               embedded live dashboard
 //	/debug/pprof/   Go runtime profiles of the monitored process
@@ -131,6 +160,7 @@ func NewHandler(c *Collector) http.Handler {
 	mux.Handle("/lorenz.json", LorenzHandler(c))
 	mux.Handle("/timeline.json", TimelineHandler(c, c.window))
 	mux.Handle("/windows.json", WindowsHandler(c))
+	mux.Handle("/phases.json", PhasesHandler(c))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -167,6 +197,20 @@ type timelinePayload struct {
 	Window float64 `json:"window"`
 	// Windows is the per-window imbalance trajectory.
 	Windows []WindowStat `json:"windows"`
+}
+
+// phasesPayload is the /phases.json document.
+type phasesPayload struct {
+	// Window is the window width in virtual seconds.
+	Window float64 `json:"window"`
+	// Current is the phase the run is in right now — the last detected
+	// phase; null before the first non-empty window.
+	Current *temporal.PhaseSummary `json:"current"`
+	// Changes is the number of phase boundaries detected so far.
+	Changes int `json:"changes"`
+	// Phases is the full segmentation of the trajectory so far, in time
+	// order — the boundary history.
+	Phases []temporal.PhaseSummary `json:"phases"`
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -39,6 +39,12 @@ type Snapshot struct {
 	// /windows.json, which the federation layer combines across
 	// endpoints. It is nil when windowing is disabled.
 	Series *temporal.Series
+	// Phases is the live phase segmentation of the trajectory — the
+	// streaming PELT optimum over Windows, identical to what the offline
+	// Segment finds on the same trajectory — enriched with per-phase
+	// dispersion indices and hot activities (served at /phases.json).
+	// Empty when windowing is disabled or no window is non-empty.
+	Phases []temporal.PhaseSummary
 	// Gen is the fold generation of the snapshot: it increases every time
 	// a publisher builds a snapshot with new content. Two snapshots from
 	// the same source with equal Gen are the same snapshot, so scrape
@@ -137,6 +143,14 @@ func (s *foldState) build(events, dropped, gen uint64) *Snapshot {
 	if s.tw != nil {
 		snap.Series = s.tw.Series()
 		snap.Windows = snap.Series.Stats()
+		if s.seg != nil {
+			// Sync rewinds the incremental segmenter only past the windows
+			// that actually changed since the last snapshot (usually just
+			// the still-growing tail), then the pruned DP extends over the
+			// new suffix.
+			s.seg.Sync(snap.Windows)
+			snap.Phases = temporal.SummarizePhases(snap.Series, s.seg.Phases())
+		}
 	}
 	return snap
 }

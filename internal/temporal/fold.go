@@ -53,6 +53,13 @@ type Options struct {
 	// monitor leaves it off (its wire format predates the field); the
 	// offline trajectory turns it on.
 	TrackActivities bool
+	// PerActivity records per-window per-activity busy *vectors* (one
+	// busy time per processor per activity), so a trajectory — and its
+	// phase segmentation — can be computed for each activity separately.
+	// It is independent of TrackActivities: the live monitor turns on
+	// PerActivity alone, keeping /timeline.json's wire format (which has
+	// no Dominant field) byte-identical.
+	PerActivity bool
 }
 
 // Fold incrementally accumulates events into per-window busy vectors. It
@@ -62,6 +69,7 @@ type Fold struct {
 	window  float64
 	procs   int
 	track   bool
+	perAct  bool
 	filter  map[string]bool
 	windows map[int]*windowAcc
 }
@@ -71,6 +79,7 @@ type windowAcc struct {
 	procSeconds []float64
 	events      int
 	actSeconds  map[string]float64
+	actProc     map[string][]float64
 }
 
 // NewFold creates a fold. It panics on a non-positive window width —
@@ -83,6 +92,7 @@ func NewFold(opts Options) *Fold {
 		window:  opts.Window,
 		procs:   opts.Procs,
 		track:   opts.TrackActivities,
+		perAct:  opts.PerActivity,
 		windows: make(map[int]*windowAcc),
 	}
 	if len(opts.Activities) > 0 {
@@ -153,6 +163,14 @@ func (f *Fold) Add(e trace.Event) {
 		if acc.actSeconds != nil {
 			acc.actSeconds[e.Activity] += hi - lo
 		}
+		if acc.actProc != nil {
+			vec := acc.actProc[e.Activity]
+			for len(vec) <= e.Rank {
+				vec = append(vec, 0)
+			}
+			vec[e.Rank] += hi - lo
+			acc.actProc[e.Activity] = vec
+		}
 	}
 }
 
@@ -163,6 +181,9 @@ func (f *Fold) acc(w int) *windowAcc {
 		acc = &windowAcc{}
 		if f.track {
 			acc.actSeconds = make(map[string]float64)
+		}
+		if f.perAct {
+			acc.actProc = make(map[string][]float64)
 		}
 		f.windows[w] = acc
 	}
@@ -202,6 +223,16 @@ func (f *Fold) Series() *Series {
 			v.ProcSeconds = append(v.ProcSeconds, 0)
 		}
 		v.Dominant = dominant(acc.actSeconds)
+		if len(acc.actProc) > 0 {
+			v.PerActivity = make(map[string][]float64, len(acc.actProc))
+			for a, vec := range acc.actProc {
+				padded := append([]float64(nil), vec...)
+				for len(padded) < f.procs {
+					padded = append(padded, 0)
+				}
+				v.PerActivity[a] = padded
+			}
+		}
 		s.Windows = append(s.Windows, v)
 	}
 	return s

@@ -58,16 +58,32 @@ func Merge(jobs []JobWindows) (*Series, error) {
 	type mergedWin struct {
 		events int
 		busy   []float64
+		act    map[string][]float64
 	}
 	merged := make(map[int]*mergedWin)
 	offset := 0
-	for _, job := range jobs {
+	anyAct := false
+	for k, job := range jobs {
 		procs := job.Procs
 		if procs == 0 && job.Series != nil {
 			procs = job.Series.Procs
 		}
 		if job.Series != nil && job.Series.Window > 0 {
 			for _, v := range job.Series.Windows {
+				// An explicit Procs below the vector length cannot be
+				// honored by clipping: spilling into the next job's rank
+				// space would corrupt its processors, and silently
+				// dropping the tail would discard busy time without a
+				// trace. A tail of exact zeros is mere padding and is
+				// trimmed; any nonzero dropped time is an error naming
+				// the inconsistency.
+				for p := procs; p < len(v.ProcSeconds); p++ {
+					if t := v.ProcSeconds[p]; t != 0 {
+						return nil, fmt.Errorf(
+							"temporal: merged job %d window %d has busy time on rank %d (%g s) beyond its declared %d processors",
+							k, v.Index, p, t, procs)
+					}
+				}
 				m, ok := merged[v.Index]
 				if !ok {
 					m = &mergedWin{busy: make([]float64, total)}
@@ -75,13 +91,34 @@ func Merge(jobs []JobWindows) (*Series, error) {
 				}
 				m.events += v.Events
 				for p, t := range v.ProcSeconds {
-					// An explicit Procs below the vector length clips the
-					// vector: spilling into the next job's rank space
-					// would corrupt its processors.
 					if p >= procs {
-						break
+						break // verified zero padding above
 					}
 					m.busy[offset+p] += t
+				}
+				for a, vec := range v.PerActivity {
+					for p := procs; p < len(vec); p++ {
+						if t := vec[p]; t != 0 {
+							return nil, fmt.Errorf(
+								"temporal: merged job %d window %d activity %q has busy time on rank %d (%g s) beyond its declared %d processors",
+								k, v.Index, a, p, t, procs)
+						}
+					}
+					if m.act == nil {
+						m.act = make(map[string][]float64)
+					}
+					mv := m.act[a]
+					if mv == nil {
+						mv = make([]float64, total)
+						m.act[a] = mv
+					}
+					for p, t := range vec {
+						if p >= procs {
+							break
+						}
+						mv[offset+p] += t
+					}
+					anyAct = true
 				}
 			}
 		}
@@ -95,11 +132,15 @@ func Merge(jobs []JobWindows) (*Series, error) {
 	out.Windows = make([]WindowVector, 0, len(idxs))
 	for _, w := range idxs {
 		m := merged[w]
-		out.Windows = append(out.Windows, WindowVector{
+		v := WindowVector{
 			Index:       w,
 			Events:      m.events,
 			ProcSeconds: m.busy,
-		})
+		}
+		if anyAct {
+			v.PerActivity = m.act
+		}
+		out.Windows = append(out.Windows, v)
 	}
 	return out, nil
 }

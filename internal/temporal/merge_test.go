@@ -78,15 +78,25 @@ func TestMergeNilSeriesAdvancesOffset(t *testing.T) {
 	}
 }
 
-// TestMergeClipsOverlongVectors: an explicit Procs below the vector
-// length must clip rather than spill into the next job's rank space.
-func TestMergeClipsOverlongVectors(t *testing.T) {
+// TestMergeRejectsOverlongVectors: an explicit Procs below the vector
+// length used to clip the vector silently, discarding rank 2's 3 busy
+// seconds here without a trace. Inconsistent endpoint data must surface
+// as an error instead — spilling into the next job's rank space would
+// corrupt its processors, and dropping load would understate the very
+// imbalance being measured.
+func TestMergeRejectsOverlongVectors(t *testing.T) {
 	a := &Series{Window: 1, Procs: 3, Windows: []WindowVector{
 		{Index: 0, Events: 1, ProcSeconds: []float64{1, 2, 3}},
 	}}
 	b := &Series{Window: 1, Procs: 1, Windows: []WindowVector{
 		{Index: 0, Events: 1, ProcSeconds: []float64{9}},
 	}}
+	if _, err := Merge([]JobWindows{{Procs: 2, Series: a}, {Series: b}}); err == nil {
+		t.Fatal("nonzero busy time beyond the declared processor count merged without error")
+	}
+	// A tail of exact zeros is mere padding, not dropped load: trimming
+	// it is safe and keeps a job that over-allocated its vectors mergeable.
+	a.Windows[0].ProcSeconds[2] = 0
 	got, err := Merge([]JobWindows{{Procs: 2, Series: a}, {Series: b}})
 	if err != nil {
 		t.Fatal(err)

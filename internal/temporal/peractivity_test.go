@@ -1,0 +1,201 @@
+package temporal
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"loadimb/internal/stats"
+	"loadimb/internal/trace"
+)
+
+// perActivityLog is a two-activity, two-rank log with a compute-heavy
+// first half and a wait-heavy second half, unit windows.
+func perActivityLog(t *testing.T) *trace.Log {
+	t.Helper()
+	var lg trace.Log
+	events := []trace.Event{
+		{Rank: 0, Region: "r", Activity: "compute", Start: 0, End: 2},
+		{Rank: 1, Region: "r", Activity: "compute", Start: 0, End: 1},
+		{Rank: 1, Region: "r", Activity: "wait", Start: 1, End: 2},
+		{Rank: 0, Region: "r", Activity: "wait", Start: 2, End: 4},
+		{Rank: 1, Region: "r", Activity: "compute", Start: 2, End: 2.5},
+		{Rank: 1, Region: "r", Activity: "wait", Start: 2.5, End: 4},
+	}
+	for _, e := range events {
+		if err := lg.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &lg
+}
+
+func TestFoldPerActivityVectors(t *testing.T) {
+	ser, err := FoldLog(perActivityLog(t), Options{Window: 1, PerActivity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ser.ActivityNames(); !reflect.DeepEqual(got, []string{"compute", "wait"}) {
+		t.Fatalf("ActivityNames = %v", got)
+	}
+	want := []map[string][]float64{
+		{"compute": {1, 1}},
+		{"compute": {1, 0}, "wait": {0, 1}},
+		{"compute": {0, 0.5}, "wait": {1, 0.5}},
+		{"wait": {1, 1}},
+	}
+	if len(ser.Windows) != len(want) {
+		t.Fatalf("%d windows, want %d", len(ser.Windows), len(want))
+	}
+	for i, v := range ser.Windows {
+		if !reflect.DeepEqual(v.PerActivity, want[i]) {
+			t.Errorf("window %d per-activity = %v, want %v", i, v.PerActivity, want[i])
+		}
+		// The aggregate vector is the sum of the activity vectors.
+		for p := range v.ProcSeconds {
+			sum := 0.0
+			for _, vec := range v.PerActivity {
+				sum += vec[p]
+			}
+			if math.Abs(sum-v.ProcSeconds[p]) > 1e-12 {
+				t.Errorf("window %d rank %d: activities sum to %g, aggregate %g",
+					i, p, sum, v.ProcSeconds[p])
+			}
+		}
+		// Dominant stays empty: PerActivity must not leak into the
+		// monitor's /timeline.json wire format.
+		if v.Dominant != "" {
+			t.Errorf("window %d dominant = %q, want empty", i, v.Dominant)
+		}
+	}
+}
+
+func TestActivitySeriesProjection(t *testing.T) {
+	ser, err := FoldLog(perActivityLog(t), Options{Window: 1, PerActivity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := ser.ActivitySeries("compute")
+	if comp.Procs != 2 || len(comp.Windows) != 4 {
+		t.Fatalf("projection = procs %d, %d windows", comp.Procs, len(comp.Windows))
+	}
+	st := comp.Stats()
+	// Window 3 has no compute at all: zero vector, null ID — the idle
+	// semantics, keeping the projected trajectory aligned with the
+	// aggregate one.
+	if st[3].ID != nil || st[3].Busy != 0 {
+		t.Errorf("compute-free window stat = %+v, want null ID, zero busy", st[3])
+	}
+	// Window 1 is perfectly imbalanced for compute: rank 0 does all of it.
+	if st[1].ID == nil || *st[1].ID <= 0 {
+		t.Errorf("window 1 compute ID = %v, want > 0", st[1].ID)
+	}
+	if got := len(ser.ActivitySeries("nope").Windows); got != 4 {
+		t.Errorf("unknown activity projection has %d windows, want 4 (all zero)", got)
+	}
+}
+
+// TestMergePerActivityAgreesWithWholeLogFold extends the federation
+// agreement property to the per-activity vectors: splitting by rank,
+// folding per job with PerActivity on, and merging must reproduce the
+// whole-log per-activity fold exactly.
+func TestMergePerActivityAgreesWithWholeLogFold(t *testing.T) {
+	lg := perActivityLog(t)
+	want, err := FoldLog(lg, Options{Window: 1, PerActivity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobA, jobB trace.Log
+	lg.Each(func(e trace.Event) {
+		if e.Rank == 0 {
+			jobA.Append(e)
+		} else {
+			e.Rank = 0
+			jobB.Append(e)
+		}
+	})
+	serA, err := FoldLog(&jobA, Options{Window: 1, PerActivity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serB, err := FoldLog(&jobB, Options{Window: 1, PerActivity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Merge([]JobWindows{{Procs: 1, Series: serA}, {Procs: 1, Series: serB}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, gw := range got.Windows {
+		if !reflect.DeepEqual(gw.PerActivity, want.Windows[i].PerActivity) {
+			t.Errorf("window %d per-activity = %v, want %v",
+				gw.Index, gw.PerActivity, want.Windows[i].PerActivity)
+		}
+	}
+	// And an activity vector spilling past the declared processor count
+	// is an error, like the aggregate case.
+	serA.Windows[0].PerActivity["compute"] = []float64{1, 7}
+	if _, err := Merge([]JobWindows{{Procs: 1, Series: serA}, {Procs: 1, Series: serB}}); err == nil {
+		t.Error("overlong per-activity vector merged without error")
+	}
+}
+
+func TestSummarizePhases(t *testing.T) {
+	ser, err := FoldLog(perActivityLog(t), Options{Window: 1, PerActivity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := Segment(ser.Stats(), 0)
+	sums := SummarizePhases(ser, phases)
+	if len(sums) != len(phases) {
+		t.Fatalf("%d summaries for %d phases", len(sums), len(phases))
+	}
+	totalWindows := 0
+	for i, sum := range sums {
+		ph := phases[i]
+		if sum.FirstWindow != ph.FirstWindow || sum.LastWindow != ph.LastWindow ||
+			sum.Label != ph.Label || sum.MeanID != ph.MeanID {
+			t.Errorf("summary %d = %+v does not match phase %+v", i, sum, ph)
+		}
+		totalWindows += sum.Windows
+		// Per-phase ID: recompute from the summed busy vectors by hand.
+		busy := make([]float64, ser.Procs)
+		for _, v := range ser.Windows {
+			if v.Index >= ph.FirstWindow && v.Index <= ph.LastWindow {
+				for p, tm := range v.ProcSeconds {
+					busy[p] += tm
+				}
+			}
+		}
+		wantID, idErr := stats.EuclideanFromBalance(busy)
+		switch {
+		case (sum.ID == nil) != (idErr != nil):
+			t.Errorf("summary %d ID nilness wrong: %+v", i, sum)
+		case sum.ID != nil && *sum.ID != wantID:
+			t.Errorf("summary %d ID = %g, want %g", i, *sum.ID, wantID)
+		}
+	}
+	if totalWindows != len(ser.Windows) {
+		t.Errorf("summaries cover %d windows, series has %d", totalWindows, len(ser.Windows))
+	}
+	// The whole-run compute trajectory means: compute is elevated early,
+	// wait late — each phase's hot activities must be a subset of the
+	// tracked names.
+	for _, sum := range sums {
+		for _, a := range sum.HotActivities {
+			if a != "compute" && a != "wait" {
+				t.Errorf("unknown hot activity %q", a)
+			}
+		}
+	}
+	// A series without per-activity vectors yields no hot activities.
+	plain, err := FoldLog(perActivityLog(t), Options{Window: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sum := range SummarizePhases(plain, Segment(plain.Stats(), 0)) {
+		if sum.HotActivities != nil {
+			t.Errorf("plain series summary has hot activities: %+v", sum)
+		}
+	}
+}

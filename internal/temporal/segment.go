@@ -61,12 +61,27 @@ func Segment(stats []WindowStat, penalty float64) []Phase {
 			x[i] = *w.ID
 		}
 	}
-	bounds := pelt(x, penalty)
-	overall := 0.0
-	for _, v := range x {
-		overall += v
+	return phasesFromBounds(stats, x, pelt(x, penalty))
+}
+
+// phasesFromBounds turns a segmentation's exclusive end positions into
+// labeled phases; it is shared by the offline Segment and the streaming
+// StreamSegmenter so both paths label identically. The hot/quiet
+// threshold is the mean ID over the windows whose ID is defined: an
+// all-idle window has no load to disperse, and averaging it in as zero
+// would deflate the threshold on idle-heavy runs until balanced stretches
+// read as hot.
+func phasesFromBounds(stats []WindowStat, x []float64, bounds []int) []Phase {
+	overall, defined := 0.0, 0
+	for i, w := range stats {
+		if w.ID != nil {
+			overall += x[i]
+			defined++
+		}
 	}
-	overall /= float64(n)
+	if defined > 0 {
+		overall /= float64(defined)
+	}
 	phases := make([]Phase, 0, len(bounds))
 	prev := 0
 	for _, b := range bounds {
@@ -121,7 +136,7 @@ func pelt(x []float64, penalty float64) []int {
 	}
 	beta := penalty
 	if beta <= 0 {
-		beta = defaultPenalty(x)
+		beta = defaultPenalty(sortedAbsDiffs(x), s1[n], s2[n], n)
 	}
 	// F[t] is the optimal penalized cost of x[:t]; cands holds the
 	// change-point candidates PELT has not pruned.
@@ -157,26 +172,60 @@ func pelt(x []float64, penalty float64) []int {
 	return bounds
 }
 
+// sortedAbsDiffs returns the absolute first differences of x in
+// ascending order — the multiset the automatic penalty estimates its
+// noise scale from.
+func sortedAbsDiffs(x []float64) []float64 {
+	if len(x) < 2 {
+		return nil
+	}
+	diffs := make([]float64, 0, len(x)-1)
+	for i := 1; i < len(x); i++ {
+		diffs = append(diffs, math.Abs(x[i]-x[i-1]))
+	}
+	sort.Float64s(diffs)
+	return diffs
+}
+
+// varPenaltyFraction scales the variance-based penalty floor used when
+// the median absolute difference is zero. In that regime the signal is
+// piecewise constant, a k-cut segmentation fits it exactly, and the
+// split-vs-merge decision reduces to k·c ≶ n (gain n·var against cost
+// k·c·var): noise blips of density ρ need ~2ρn cuts and are absorbed
+// when c > 1/(2ρ), while genuine level shifts need only one cut per
+// regime and split whenever regimes average more than c windows. c = 4
+// absorbs blips down to ~12% density and still resolves phases as short
+// as a handful of windows.
+const varPenaltyFraction = 4.0
+
 // defaultPenalty is the BIC-style 2·σ̂²·log n with the noise variance
 // estimated from first differences: under a piecewise-constant signal
 // the differences are pure noise (variance 2σ²) except at the few
 // change points, which the median absolute difference shrugs off.
-func defaultPenalty(x []float64) float64 {
-	n := len(x)
+//
+// When the median absolute difference is zero — any trajectory where
+// more than half the windows repeat their neighbour's value, common for
+// constant or idle-heavy stretches — the MAD estimate degenerates and a
+// near-zero penalty would cut a phase at every noise blip. The fallback
+// is a scale-aware floor, a fraction of the trajectory's variance
+// (computed from the DP's own prefix sums s1n = Σx, s2n = Σx², so the
+// offline and streaming paths agree bit for bit).
+func defaultPenalty(diffs []float64, s1n, s2n float64, n int) float64 {
 	if n < 2 {
 		return 1e-12
 	}
-	diffs := make([]float64, 0, n-1)
-	for i := 1; i < n; i++ {
-		diffs = append(diffs, math.Abs(x[i]-x[i-1]))
-	}
-	sort.Float64s(diffs)
 	mad := diffs[len(diffs)/2]
-	// σ ≈ MAD / (Φ⁻¹(3/4)·√2) for Gaussian differences.
-	sigma := mad / (0.6744897501960817 * math.Sqrt2)
-	beta := 2 * sigma * sigma * math.Log(float64(n))
-	if beta <= 0 {
+	if mad > 0 {
+		// σ ≈ MAD / (Φ⁻¹(3/4)·√2) for Gaussian differences.
+		sigma := mad / (0.6744897501960817 * math.Sqrt2)
+		if beta := 2 * sigma * sigma * math.Log(float64(n)); beta > 0 {
+			return beta
+		}
 		return 1e-12
 	}
-	return beta
+	variance := (s2n - s1n*s1n/float64(n)) / float64(n)
+	if beta := varPenaltyFraction * variance; beta > 0 {
+		return beta
+	}
+	return 1e-12
 }

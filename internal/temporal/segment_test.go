@@ -120,6 +120,70 @@ func TestSegmentLabelsIdlePhases(t *testing.T) {
 	}
 }
 
+// TestSegmentMostlyConstantAbsorbsBlips is the defaultPenalty
+// degeneracy regression: a trajectory where most windows repeat their
+// neighbour's value has a zero median absolute difference, and the old
+// fallback penalty of 1e-12 cut a phase at every blip — this trajectory
+// exploded into a phase per blip. The variance-scaled floor absorbs
+// the blips: one phase.
+func TestSegmentMostlyConstantAbsorbsBlips(t *testing.T) {
+	ids := make([]float64, 30)
+	for i := range ids {
+		ids[i] = 0.2
+		if i%5 == 4 && i < 28 {
+			ids[i] = 0.21 // isolated measurement blip, not a regime
+		}
+	}
+	phases := Segment(statsFromIDs(ids), 0)
+	if len(phases) != 1 {
+		t.Fatalf("%d phases, want 1: %+v", len(phases), phases)
+	}
+	// The floor is a fraction of the variance, not an absolute value:
+	// genuine level shifts in the same zero-MAD regime must still split.
+	shift := make([]float64, 24)
+	for i := range shift {
+		shift[i] = 0.2
+		if i >= 12 {
+			shift[i] = 0.5
+		}
+	}
+	if got := len(Segment(statsFromIDs(shift), 0)); got != 2 {
+		t.Errorf("clean level shift: %d phases, want 2", got)
+	}
+}
+
+// TestSegmentIdleHeavyHotTail is the hot/quiet-threshold regression:
+// all-idle windows used to enter the trajectory mean as zeros, deflating
+// the threshold until every busy phase of an idle-heavy run read as
+// "hot". The threshold is now the mean over defined-ID windows only, so
+// a genuinely balanced stretch after a long idle gap stays quiet and
+// only the truly elevated tail is hot.
+func TestSegmentIdleHeavyHotTail(t *testing.T) {
+	nan := math.NaN()
+	var ids []float64
+	for i := 0; i < 20; i++ {
+		ids = append(ids, nan)
+	}
+	for i := 0; i < 10; i++ {
+		ids = append(ids, 0.2)
+	}
+	for i := 0; i < 10; i++ {
+		ids = append(ids, 0.4)
+	}
+	phases := Segment(statsFromIDs(ids), 0)
+	if len(phases) != 3 {
+		t.Fatalf("%d phases, want 3: %+v", len(phases), phases)
+	}
+	wantLabels := []string{LabelIdle, LabelQuiet, LabelHot}
+	for i, ph := range phases {
+		if ph.Label != wantLabels[i] {
+			// Pre-fix the threshold was (10·0.2+10·0.4)/40 = 0.15 and the
+			// 0.2 stretch came out hot.
+			t.Errorf("phase %d label = %q, want %q (%+v)", i, ph.Label, wantLabels[i], ph)
+		}
+	}
+}
+
 func TestSegmentEmptyAndSingle(t *testing.T) {
 	if got := Segment(nil, 0); got != nil {
 		t.Errorf("Segment(nil) = %+v, want nil", got)

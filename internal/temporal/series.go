@@ -1,6 +1,8 @@
 package temporal
 
 import (
+	"sort"
+
 	"loadimb/internal/stats"
 )
 
@@ -31,6 +33,11 @@ type WindowVector struct {
 	// Dominant is the activity with the largest busy time in the
 	// window, when the fold tracked activities; "" otherwise.
 	Dominant string `json:"dominant,omitempty"`
+	// PerActivity[a][p] is processor p's busy time spent in activity a
+	// within the window, when the fold recorded per-activity vectors
+	// (Options.PerActivity); absent otherwise. Vectors have the series'
+	// processor count, like ProcSeconds.
+	PerActivity map[string][]float64 `json:"per_activity,omitempty"`
 }
 
 // WindowStat summarizes one temporal window of the run: how busy each
@@ -87,6 +94,57 @@ func (s *Series) Stats() []WindowStat {
 		}
 		ws.Gini = GiniOf(v.ProcSeconds)
 		out = append(out, ws)
+	}
+	return out
+}
+
+// ActivityNames returns the sorted names of every activity any window
+// recorded a per-activity vector for; nil when the fold did not track
+// them.
+func (s *Series) ActivityNames() []string {
+	if s == nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	for _, v := range s.Windows {
+		for a := range v.PerActivity {
+			seen[a] = true
+		}
+	}
+	if len(seen) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(seen))
+	for a := range seen {
+		names = append(names, a)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ActivitySeries projects the series onto one activity: the same windows
+// in the same order, each busy vector replaced by the activity's busy
+// vector (all zeros for windows where the activity never ran, so its
+// trajectory stays aligned with the aggregate one — a window the
+// activity sat out gets a null ID, the idle semantics). The projection
+// is what per-activity phase segmentation runs on.
+func (s *Series) ActivitySeries(name string) *Series {
+	if s == nil {
+		return nil
+	}
+	out := &Series{Window: s.Window, Procs: s.Procs}
+	out.Windows = make([]WindowVector, 0, len(s.Windows))
+	for _, v := range s.Windows {
+		w := WindowVector{Index: v.Index, Events: v.Events}
+		if vec, ok := v.PerActivity[name]; ok {
+			w.ProcSeconds = append([]float64(nil), vec...)
+		} else {
+			w.ProcSeconds = make([]float64, s.Procs)
+		}
+		for len(w.ProcSeconds) < s.Procs {
+			w.ProcSeconds = append(w.ProcSeconds, 0)
+		}
+		out.Windows = append(out.Windows, w)
 	}
 	return out
 }

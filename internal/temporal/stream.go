@@ -1,0 +1,235 @@
+package temporal
+
+import (
+	"math"
+	"sort"
+)
+
+// StreamSegmenter maintains the PELT change-point optimum of a growing
+// trajectory incrementally, so the live monitor can flag a phase change
+// while the run executes instead of only in post-mortem segmentation.
+// Its result is exactly the offline optimum: after feeding any prefix of
+// a trajectory, Phases returns what Segment would return for that prefix
+// (bit for bit — the property tests and the fuzz harness assert it).
+//
+// The dynamic program is the same pruned recursion Segment runs, kept
+// resumable: appending window n+1 re-runs the minimization only over the
+// un-pruned candidate set, which PELT keeps effectively constant-size,
+// so with an explicit penalty the cost per appended window is amortized
+// constant. With the automatic penalty (penalty <= 0) the BIC-style
+// scale estimate is re-derived from the full trajectory at every query;
+// when it moves, the pruned DP is re-run from scratch — one effectively
+// linear pass per query, amortized over however many windows arrived
+// since. The DP is evaluated lazily at Phases/Boundaries time either
+// way, so a burst of Appends between two scrapes costs one pass, not
+// one per window.
+//
+// A StreamSegmenter is not concurrency-safe; the monitor drives it under
+// its fold mutex.
+type StreamSegmenter struct {
+	// penalty is the configured change-point penalty; <= 0 selects the
+	// automatic default (re-estimated per query, exactly as Segment
+	// estimates it for the fed prefix).
+	penalty float64
+	// beta is the penalty the current DP arrays were computed under.
+	beta float64
+
+	stats []WindowStat // fed windows, in order
+	x     []float64    // ID values (null IDs as 0), parallel to stats
+	s1    []float64    // prefix sums of x, len(x)+1
+	s2    []float64    // prefix sums of x², len(x)+1
+	diffs []float64    // sorted |first differences| of x, for the auto penalty
+
+	// The resumable DP state: f and last cover steps 0..clean, cands is
+	// the un-pruned candidate set entering step clean+1, and candsAt[t]
+	// snapshots the candidate set after step t so Truncate can rewind
+	// without re-running the prefix.
+	f       []float64
+	last    []int
+	cands   []int
+	candsAt [][]int
+	clean   int
+}
+
+// NewStreamSegmenter creates a streaming segmenter. penalty > 0 fixes
+// the change-point penalty (the amortized-constant hot path); penalty
+// <= 0 selects the automatic default, matching Segment(stats, 0) on
+// every prefix.
+func NewStreamSegmenter(penalty float64) *StreamSegmenter {
+	return &StreamSegmenter{
+		penalty: penalty,
+		beta:    -1, // no DP computed yet; first ensure() resets
+		s1:      []float64{0},
+		s2:      []float64{0},
+		f:       []float64{0},
+		last:    []int{0},
+		cands:   []int{0},
+		candsAt: [][]int{{0}},
+	}
+}
+
+// Len returns the number of windows fed so far.
+func (s *StreamSegmenter) Len() int { return len(s.stats) }
+
+// Append feeds the next window of the trajectory. Windows must arrive in
+// ascending order, exactly as Series.Stats returns them; the DP work is
+// deferred to the next Phases or Boundaries call.
+func (s *StreamSegmenter) Append(w WindowStat) {
+	v := 0.0
+	if w.ID != nil {
+		v = *w.ID
+	}
+	if n := len(s.x); n > 0 {
+		d := math.Abs(v - s.x[n-1])
+		i := sort.SearchFloat64s(s.diffs, d)
+		s.diffs = append(s.diffs, 0)
+		copy(s.diffs[i+1:], s.diffs[i:])
+		s.diffs[i] = d
+	}
+	s.stats = append(s.stats, w)
+	s.x = append(s.x, v)
+	s.s1 = append(s.s1, s.s1[len(s.s1)-1]+v)
+	s.s2 = append(s.s2, s.s2[len(s.s2)-1]+v*v)
+}
+
+// Truncate discards every window from position n on, rewinding the DP to
+// the kept prefix. The monitor uses it when a window it already fed
+// changes retroactively — the still-growing tail window, or a late event
+// landing in an older one.
+func (s *StreamSegmenter) Truncate(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n >= len(s.stats) {
+		return
+	}
+	s.stats = s.stats[:n]
+	s.x = s.x[:n]
+	s.s1 = s.s1[:n+1]
+	s.s2 = s.s2[:n+1]
+	s.diffs = s.diffs[:0]
+	for i := 1; i < n; i++ {
+		s.diffs = append(s.diffs, math.Abs(s.x[i]-s.x[i-1]))
+	}
+	sort.Float64s(s.diffs)
+	if s.clean > n {
+		s.clean = n
+		s.f = s.f[:n+1]
+		s.last = s.last[:n+1]
+		s.candsAt = s.candsAt[:n+1]
+		s.cands = append(s.cands[:0], s.candsAt[n]...)
+	}
+}
+
+// Sync reconciles the segmenter with a freshly computed trajectory: the
+// longest common prefix is kept (its DP state is reused), everything
+// after it is rewound and re-fed. It returns the number of windows
+// reused. This is the one call sites need per snapshot — append-only
+// growth reduces to appending the new suffix, and a retroactive change
+// (late event, growing tail window) rewinds exactly to the divergence.
+func (s *StreamSegmenter) Sync(stats []WindowStat) int {
+	p := 0
+	for p < len(s.stats) && p < len(stats) && sameWindowStat(s.stats[p], stats[p]) {
+		p++
+	}
+	s.Truncate(p)
+	for _, w := range stats[p:] {
+		s.Append(w)
+	}
+	return p
+}
+
+// sameWindowStat reports whether two window summaries are identical —
+// the equality Sync uses to find the reusable prefix.
+func sameWindowStat(a, b WindowStat) bool {
+	if (a.ID == nil) != (b.ID == nil) || (a.ID != nil && *a.ID != *b.ID) {
+		return false
+	}
+	return a.Index == b.Index && a.Start == b.Start && a.End == b.End &&
+		a.Events == b.Events && a.Busy == b.Busy && a.Gini == b.Gini &&
+		a.Dominant == b.Dominant
+}
+
+// ensure brings the DP up to date with the fed trajectory: it re-derives
+// the effective penalty, restarts the recursion if the penalty moved,
+// and then runs the pruned steps for every window not yet incorporated.
+func (s *StreamSegmenter) ensure() {
+	n := len(s.x)
+	beta := s.penalty
+	if beta <= 0 {
+		beta = defaultPenalty(s.diffs, s.s1[n], s.s2[n], n)
+	}
+	if beta != s.beta {
+		s.beta = beta
+		s.f = append(s.f[:0], -beta)
+		s.last = append(s.last[:0], 0)
+		s.cands = append(s.cands[:0], 0)
+		s.candsAt = append(s.candsAt[:0], []int{0})
+		s.clean = 0
+	}
+	for t := s.clean + 1; t <= n; t++ {
+		s.step(t)
+	}
+	s.clean = n
+}
+
+// cost is the within-segment squared deviation of x[a:b] from its mean,
+// via the prefix sums — the same O(1) evaluation pelt uses.
+func (s *StreamSegmenter) cost(a, b int) float64 {
+	m := float64(b - a)
+	d := s.s1[b] - s.s1[a]
+	c := s.s2[b] - s.s2[a] - d*d/m
+	if c < 0 {
+		return 0 // cancellation noise on constant stretches
+	}
+	return c
+}
+
+// step runs one iteration of the pruned DP — the body of pelt's loop,
+// kept float-for-float identical so the streaming optimum matches the
+// offline one exactly.
+func (s *StreamSegmenter) step(t int) {
+	best, arg := math.Inf(1), 0
+	for _, c := range s.cands {
+		if v := s.f[c] + s.cost(c, t) + s.beta; v < best {
+			best, arg = v, c
+		}
+	}
+	s.f = append(s.f, best)
+	s.last = append(s.last, arg)
+	keep := s.cands[:0]
+	for _, c := range s.cands {
+		// Standard PELT pruning: a candidate whose cost already exceeds
+		// the optimum can never participate in a future optimum.
+		if s.f[c]+s.cost(c, t) <= best {
+			keep = append(keep, c)
+		}
+	}
+	s.cands = append(keep, t)
+	s.candsAt = append(s.candsAt, append([]int(nil), s.cands...))
+}
+
+// Boundaries returns the exclusive end positions of the current optimal
+// segments — the same positions pelt would return for the fed prefix.
+func (s *StreamSegmenter) Boundaries() []int {
+	n := len(s.x)
+	if n == 0 {
+		return nil
+	}
+	s.ensure()
+	var bounds []int
+	for t := n; t > 0; t = s.last[t] {
+		bounds = append(bounds, t)
+	}
+	sort.Ints(bounds)
+	return bounds
+}
+
+// Phases returns the current phase segmentation of the fed trajectory —
+// exactly Segment(fed windows, penalty), maintained incrementally.
+func (s *StreamSegmenter) Phases() []Phase {
+	if len(s.stats) == 0 {
+		return nil
+	}
+	return phasesFromBounds(s.stats, s.x, s.Boundaries())
+}

@@ -1,0 +1,190 @@
+package temporal
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// streamTrajectory is a workload-shaped trajectory for the streaming
+// tests: quiet ramp-up with ripple, a hot plateau, an idle gap (NaN =
+// all-idle window), and a quiet tail.
+func streamTrajectory() []float64 {
+	nan := math.NaN()
+	var ids []float64
+	ripple := []float64{0.004, -0.003, 0.001, -0.002, 0.005}
+	for i := 0; i < 12; i++ {
+		ids = append(ids, 0.07+ripple[i%len(ripple)])
+	}
+	for i := 0; i < 9; i++ {
+		ids = append(ids, 0.55+ripple[(i+2)%len(ripple)])
+	}
+	ids = append(ids, nan, nan, nan)
+	for i := 0; i < 10; i++ {
+		ids = append(ids, 0.12+ripple[i%len(ripple)])
+	}
+	return ids
+}
+
+// TestStreamSegmenterMatchesOfflineOnEveryPrefix is the tentpole
+// property: after feeding any prefix, the streaming segmenter's phases
+// equal the offline Segment of that prefix — boundaries, labels, and
+// float fields bit for bit — under both the automatic and an explicit
+// penalty.
+func TestStreamSegmenterMatchesOfflineOnEveryPrefix(t *testing.T) {
+	stats := statsFromIDs(streamTrajectory())
+	for _, penalty := range []float64{0, 0.05, 1e-6} {
+		seg := NewStreamSegmenter(penalty)
+		for i := range stats {
+			seg.Append(stats[i])
+			got := seg.Phases()
+			want := Segment(stats[:i+1], penalty)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("penalty %g prefix %d:\nstream  %+v\noffline %+v",
+					penalty, i+1, got, want)
+			}
+		}
+		if seg.Len() != len(stats) {
+			t.Errorf("penalty %g: Len = %d, want %d", penalty, seg.Len(), len(stats))
+		}
+	}
+}
+
+// TestStreamSegmenterQueriesAreIdempotent: querying twice without an
+// Append must return the same phases, and interleaving queries at
+// different densities must not change any answer (the lazy DP must not
+// depend on when it is forced).
+func TestStreamSegmenterQueriesAreIdempotent(t *testing.T) {
+	stats := statsFromIDs(streamTrajectory())
+	sparse := NewStreamSegmenter(0)
+	dense := NewStreamSegmenter(0)
+	for i := range stats {
+		sparse.Append(stats[i])
+		dense.Append(stats[i])
+		a := dense.Phases()
+		b := dense.Phases()
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("prefix %d: repeated query differs", i+1)
+		}
+	}
+	// The sparse segmenter is queried once at the end; it must agree with
+	// the one queried at every step.
+	if !reflect.DeepEqual(sparse.Phases(), dense.Phases()) {
+		t.Error("query density changed the segmentation")
+	}
+}
+
+// TestStreamSegmenterSync models the monitor's snapshot loop: the last
+// window keeps growing between snapshots, and a late event occasionally
+// rewrites an older window. Sync must rewind exactly to the divergence
+// and the result must equal the offline segmentation of every synced
+// trajectory.
+func TestStreamSegmenterSync(t *testing.T) {
+	base := streamTrajectory()
+	seg := NewStreamSegmenter(0)
+	snapshot := func(upTo int, tailID float64, rewriteAt int, rewriteID float64) []WindowStat {
+		ids := append([]float64(nil), base[:upTo]...)
+		if upTo > 0 {
+			ids[upTo-1] = tailID
+		}
+		if rewriteAt >= 0 && rewriteAt < upTo {
+			ids[rewriteAt] = rewriteID
+		}
+		return statsFromIDs(ids)
+	}
+
+	// Growing tail: each snapshot extends the trajectory by one window
+	// and moves the tail window's ID as more events land in it.
+	prev := 0
+	for upTo := 1; upTo <= len(base); upTo++ {
+		stats := snapshot(upTo, base[upTo-1]*0.5, -1, 0)
+		reused := seg.Sync(stats)
+		if reused < prev-1 {
+			t.Errorf("snapshot %d reused %d windows, want >= %d (only the tail changed)",
+				upTo, reused, prev-1)
+		}
+		prev = upTo
+		if want := Segment(stats, 0); !reflect.DeepEqual(seg.Phases(), want) {
+			t.Fatalf("snapshot %d: stream %+v\noffline %+v", upTo, seg.Phases(), want)
+		}
+	}
+
+	// A late event rewrites window 5: Sync must rewind deep and still
+	// agree with offline.
+	stats := snapshot(len(base), base[len(base)-1]*0.5, 5, 0.9)
+	if reused := seg.Sync(stats); reused > 5 {
+		t.Errorf("deep rewrite reused %d windows, want <= 5", reused)
+	}
+	if want := Segment(stats, 0); !reflect.DeepEqual(seg.Phases(), want) {
+		t.Fatalf("after deep rewrite: stream %+v\noffline %+v", seg.Phases(), want)
+	}
+
+	// Shrinking trajectories (fewer windows than fed) must truncate.
+	short := snapshot(7, base[6], -1, 0)
+	seg.Sync(short)
+	if seg.Len() != 7 {
+		t.Fatalf("after shrink Len = %d, want 7", seg.Len())
+	}
+	if want := Segment(short, 0); !reflect.DeepEqual(seg.Phases(), want) {
+		t.Fatalf("after shrink: stream %+v\noffline %+v", seg.Phases(), want)
+	}
+}
+
+// TestStreamSegmenterEmpty: no windows, no phases, no panic.
+func TestStreamSegmenterEmpty(t *testing.T) {
+	seg := NewStreamSegmenter(0)
+	if got := seg.Phases(); got != nil {
+		t.Errorf("empty Phases = %+v, want nil", got)
+	}
+	if got := seg.Boundaries(); got != nil {
+		t.Errorf("empty Boundaries = %+v, want nil", got)
+	}
+	seg.Sync(nil)
+	seg.Truncate(0)
+	if seg.Len() != 0 {
+		t.Errorf("Len = %d, want 0", seg.Len())
+	}
+}
+
+// FuzzStreamSegment fuzzes the prefix-equality property: an arbitrary
+// byte string decodes into a trajectory (values, idle windows, and a
+// penalty selector) and the streaming boundaries must equal the offline
+// ones on every prefix.
+func FuzzStreamSegment(f *testing.F) {
+	f.Add([]byte{0x10, 0x80, 0xFF, 0x00, 0x42})
+	f.Add([]byte{0x00, 0x00, 0x00, 0xF0, 0xF0, 0xF0, 0x00, 0x00})
+	f.Add([]byte{0xAA, 0x55, 0xAA, 0x55, 0xAA, 0x55, 0xAA, 0x55, 0x13})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 96 {
+			t.Skip()
+		}
+		// First byte selects the penalty; the rest are windows. 0xFF
+		// marks an all-idle window, anything else an ID in [0, 1).
+		penalty := 0.0
+		if data[0]%3 == 1 {
+			penalty = float64(data[0]) / 256
+		}
+		ids := make([]float64, 0, len(data)-1)
+		for _, b := range data[1:] {
+			if b == 0xFF {
+				ids = append(ids, math.NaN())
+			} else {
+				ids = append(ids, float64(b)/256)
+			}
+		}
+		if len(ids) == 0 {
+			t.Skip()
+		}
+		stats := statsFromIDs(ids)
+		seg := NewStreamSegmenter(penalty)
+		for i := range stats {
+			seg.Append(stats[i])
+			got := seg.Phases()
+			want := Segment(stats[:i+1], penalty)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("penalty %g prefix %d of %v:\nstream  %+v\noffline %+v",
+					penalty, i+1, ids, got, want)
+			}
+		}
+	})
+}

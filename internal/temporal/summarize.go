@@ -1,0 +1,121 @@
+package temporal
+
+import (
+	"sort"
+
+	"loadimb/internal/stats"
+)
+
+// PhaseSummary is one detected phase enriched with the per-phase
+// dispersion indices — the wire document the monitor and the federator
+// serve at /phases.json. Unlike PhaseReport it is computed from the
+// window series alone (no event log or cube required), so the live and
+// federated paths can produce it from what they already hold.
+type PhaseSummary struct {
+	// FirstWindow and LastWindow are the phase's first and last member
+	// window indices (inclusive); Start and End its virtual-time bounds.
+	FirstWindow int     `json:"first_window"`
+	LastWindow  int     `json:"last_window"`
+	Start       float64 `json:"start"`
+	End         float64 `json:"end"`
+	// Windows is the number of non-empty member windows.
+	Windows int `json:"windows"`
+	// MeanID is the mean of the member windows' IDs (null IDs as zero) —
+	// the level the change-point fit segmented on.
+	MeanID float64 `json:"mean_id"`
+	// Label is the phase's classification: idle, quiet or hot.
+	Label string `json:"label"`
+	// ID is the Euclidean index of dispersion of the per-processor busy
+	// time summed over the phase — the paper's ID_P restricted to the
+	// phase. Null when the phase recorded no busy time.
+	ID *float64 `json:"id"`
+	// Gini is the Gini coefficient of the same per-phase busy vector.
+	Gini float64 `json:"gini"`
+	// HotActivities lists the activities whose within-phase mean window
+	// ID is at or above that activity's whole-trajectory mean — the
+	// activities this phase is a hot stretch *for*. Present only when
+	// the series carries per-activity vectors.
+	HotActivities []string `json:"hot_activities,omitempty"`
+}
+
+// SummarizePhases enriches a segmentation of ser's trajectory with
+// per-phase dispersion indices computed from the series' busy vectors,
+// and — when the series carries per-activity vectors — each phase's hot
+// activities. phases must be a segmentation of ser's own trajectory
+// (Segment or StreamSegmenter output over ser.Stats()).
+func SummarizePhases(ser *Series, phases []Phase) []PhaseSummary {
+	if ser == nil || len(phases) == 0 {
+		return nil
+	}
+	// Per-activity window trajectories and their defined-window means,
+	// shared across phases.
+	actNames := ser.ActivityNames()
+	actStats := make(map[string][]WindowStat, len(actNames))
+	actMean := make(map[string]float64, len(actNames))
+	for _, a := range actNames {
+		st := ser.ActivitySeries(a).Stats()
+		actStats[a] = st
+		sum, defined := 0.0, 0
+		for _, w := range st {
+			if w.ID != nil {
+				sum += *w.ID
+				defined++
+			}
+		}
+		if defined > 0 {
+			actMean[a] = sum / float64(defined)
+		}
+	}
+	out := make([]PhaseSummary, 0, len(phases))
+	pos := 0
+	for _, ph := range phases {
+		sum := PhaseSummary{
+			FirstWindow: ph.FirstWindow,
+			LastWindow:  ph.LastWindow,
+			Start:       ph.Start,
+			End:         ph.End,
+			Windows:     ph.Windows,
+			MeanID:      ph.MeanID,
+			Label:       ph.Label,
+		}
+		// Member windows are contiguous in the series: phases partition
+		// the window sequence in order.
+		for pos < len(ser.Windows) && ser.Windows[pos].Index < ph.FirstWindow {
+			pos++
+		}
+		first := pos
+		busy := make([]float64, ser.Procs)
+		for pos < len(ser.Windows) && ser.Windows[pos].Index <= ph.LastWindow {
+			for p, t := range ser.Windows[pos].ProcSeconds {
+				if p < len(busy) {
+					busy[p] += t
+				}
+			}
+			pos++
+		}
+		if id, err := stats.EuclideanFromBalance(busy); err == nil {
+			sum.ID = &id
+		}
+		sum.Gini = GiniOf(busy)
+		for _, a := range actNames {
+			st := actStats[a]
+			mean, defined := 0.0, 0
+			for i := first; i < pos && i < len(st); i++ {
+				if st[i].ID != nil {
+					mean += *st[i].ID
+					defined++
+				}
+			}
+			if defined == 0 {
+				continue
+			}
+			mean /= float64(defined)
+			if mean >= actMean[a] && mean > 0 {
+				sum.HotActivities = append(sum.HotActivities, a)
+			}
+		}
+		sort.Strings(sum.HotActivities)
+		out = append(out, sum)
+	}
+	return out
+}

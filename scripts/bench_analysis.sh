@@ -4,7 +4,10 @@
 # pipeline over growing cube sizes — is tracked across commits. The
 # acceptance floor of the marginal-cache engine is >= 3x ns/op and >= 10x
 # allocs/op on BenchmarkFullPipeline/N128xK8xP256 versus the pre-cache
-# baseline (see EXPERIMENTS.md, "Analysis engine").
+# baseline (see EXPERIMENTS.md, "Analysis engine"). BenchmarkStreamSegment
+# tracks the live monitor's incremental segmentation: ns/op is the
+# amortized cost per appended window and must stay effectively constant
+# on the fixed-penalty path.
 #
 # Usage: scripts/bench_analysis.sh [output.json]
 set -eu
@@ -12,7 +15,7 @@ set -eu
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_analysis.json}"
 
-raw=$(go test -run '^$' -bench 'FullPipeline|Table|ProcessorView|TemporalFold' \
+raw=$(go test -run '^$' -bench 'FullPipeline|Table|ProcessorView|TemporalFold|StreamSegment' \
 	-benchmem -count 5 .)
 
 printf '%s\n' "$raw" | awk -v go_version="$(go env GOVERSION)" '
