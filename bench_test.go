@@ -20,6 +20,7 @@ import (
 	"loadimb/internal/cfd"
 	"loadimb/internal/cluster"
 	"loadimb/internal/core"
+	"loadimb/internal/diagnose"
 	"loadimb/internal/fit"
 	"loadimb/internal/paper"
 	"loadimb/internal/pattern"
@@ -790,5 +791,167 @@ func BenchmarkStreamSegment(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkDiagnose measures the automatic diagnosis engine on a
+// 256-rank, 8-phase synthetic series — a federated-scale input — from
+// fingerprinting through clustering to scored findings. The live monitor
+// recomputes the report once per fold generation (memoized on the
+// snapshot), so one iteration here bounds the marginal cost a scrape of
+// /diagnose.json can add; it must stay well under a scrape interval.
+func BenchmarkDiagnose(b *testing.B) {
+	const (
+		procs        = 256
+		phaseCount   = 8
+		winsPerPhase = 16
+		activities   = 4
+		regions      = 6
+	)
+	actNames := make([]string, activities)
+	for a := range actNames {
+		actNames[a] = fmt.Sprintf("act%d", a)
+	}
+	regNames := make([]string, regions)
+	for r := range regNames {
+		regNames[r] = fmt.Sprintf("reg%d", r)
+	}
+	ser := &temporal.Series{Window: 1, Procs: procs}
+	var phases []temporal.Phase
+	for ph := 0; ph < phaseCount; ph++ {
+		first := ph * winsPerPhase
+		for w := 0; w < winsPerPhase; w++ {
+			v := temporal.WindowVector{
+				Index:       first + w,
+				Events:      procs,
+				ProcSeconds: make([]float64, procs),
+				PerActivity: make(map[string][]float64, activities),
+				PerRegion:   make(map[string][]float64, regions),
+			}
+			for _, name := range actNames {
+				v.PerActivity[name] = make([]float64, procs)
+			}
+			for _, name := range regNames {
+				v.PerRegion[name] = make([]float64, procs)
+			}
+			for p := 0; p < procs; p++ {
+				// Deterministic utilization with phase-dependent mix and
+				// two individually diverged stragglers: each overworks a
+				// different magnitude, so they end up isolated rather
+				// than forming a straggler cohort of their own.
+				base := 0.1 + 0.01*float64((p+ph)%7)
+				extra := 0.0
+				if ph%2 == 1 {
+					switch p {
+					case 17:
+						extra = 0.4
+					case 123:
+						extra = 0.7
+					}
+				}
+				v.ProcSeconds[p] = float64(activities)*base + extra
+				for a, name := range actNames {
+					t := base
+					if a == ph%activities {
+						t += extra
+					}
+					v.PerActivity[name][p] = t
+				}
+				for r, name := range regNames {
+					if r == (p+ph)%regions {
+						v.PerRegion[name][p] = v.ProcSeconds[p]
+					}
+				}
+			}
+			ser.Windows = append(ser.Windows, v)
+		}
+		phases = append(phases, temporal.Phase{
+			FirstWindow: first, LastWindow: first + winsPerPhase - 1,
+			Start: float64(first), End: float64(first + winsPerPhase),
+			Windows: winsPerPhase, Label: temporal.LabelHot,
+		})
+	}
+	rep := diagnose.Diagnose(ser, phases, diagnose.Options{})
+	dumpOnce(b, "Automatic diagnosis (256 ranks, 8 phases)",
+		fmt.Sprintf("%d dimensions, %d findings, top: %s\n",
+			len(rep.Dimensions), len(rep.Findings), rep.Findings[0].Summary))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := diagnose.Diagnose(ser, phases, diagnose.Options{})
+		if len(rep.Findings) == 0 {
+			b.Fatal("no findings on the straggler-banded series")
+		}
+	}
+}
+
+// BenchmarkStragglerDiagnosis regenerates the injected-straggler study
+// of EXPERIMENTS.md ("Automatic diagnosis"): an AMR run with one rank
+// persistently slowed, where whole-run ID_P reads zero (barriers
+// equalize totals) and the divergence ranking must still name the
+// culprit first.
+func BenchmarkStragglerDiagnosis(b *testing.B) {
+	cfg := apps.DefaultAMR()
+	cfg.Straggler = 2
+	cfg.StragglerFactor = 6
+	res, err := apps.AMR(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := temporal.Options{
+		Window:      res.Log.Span() / 48,
+		PerActivity: true,
+		PerRegion:   true,
+	}
+	ser, err := temporal.FoldLog(res.Log, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	phases := temporal.Segment(ser.Stats(), 0)
+	rep := diagnose.Diagnose(ser, phases, diagnose.Options{})
+	if len(rep.Findings) == 0 {
+		b.Fatal("no findings on the straggler AMR run")
+	}
+	totals := make([]float64, res.Cube.NumProcs())
+	for p := range totals {
+		v, err := res.Cube.ProcTotalTime(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		totals[p] = v
+	}
+	wholeID, err := stats.EuclideanFromBalance(totals)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := fmt.Sprintf("whole run: ID_P %.5f over %d procs (straggler rank %d at %gx); %d findings\n",
+		wholeID, len(totals), cfg.Straggler, cfg.StragglerFactor, len(rep.Findings))
+	for i, f := range rep.Findings {
+		if i == 3 {
+			out += fmt.Sprintf("  ... (%d more)\n", len(rep.Findings)-i)
+			break
+		}
+		out += "  " + f.Summary + "\n"
+	}
+	culprit := 0
+	for _, f := range rep.Findings {
+		if f.Rank == cfg.Straggler {
+			culprit++
+		}
+	}
+	out += fmt.Sprintf("straggler rank %d holds finding #1 (score %.1f) and %d of %d findings\n",
+		cfg.Straggler, rep.Findings[0].Score, culprit, len(rep.Findings))
+	dumpOnce(b, "Straggler diagnosis: AMR with one slowed rank", out)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ser, err := temporal.FoldLog(res.Log, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		phases := temporal.Segment(ser.Stats(), 0)
+		if rep := diagnose.Diagnose(ser, phases, diagnose.Options{}); len(rep.Findings) == 0 {
+			b.Fatal("no findings on the straggler AMR run")
+		}
 	}
 }

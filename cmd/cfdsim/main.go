@@ -8,6 +8,8 @@
 //	cfdsim -procs 32 -imbalance 0.5 -out run.json
 //	cfdsim -events run.jsonl -out run.limb -summary
 //	cfdsim -serve 127.0.0.1:9190 -linger 1m    # live /metrics during the run
+//	cfdsim -slow-rank 5 -slow-factor 3 -events run.jsonl   # inject a straggler
+//	                                           # (imba -diagnose names it)
 package main
 
 import (
@@ -49,6 +51,8 @@ func run(args []string, stdout io.Writer) error {
 		imbalance = fs.Float64("imbalance", 0.2, "row-decomposition skew in [0, 1]")
 		warmup    = fs.Float64("warmup", 5.2, "uninstrumented startup seconds")
 		summary   = fs.Bool("summary", false, "print the analysis summary of the run")
+		slowRank  = fs.Int("slow-rank", 0, "rank slowed by -slow-factor (a persistent straggler)")
+		slowFac   = fs.Float64("slow-factor", 0, "computation multiplier of -slow-rank; 0 disables the injection")
 		serve     = fs.String("serve", "", "serve live /metrics on this address during the run")
 		window    = fs.Float64("window", 5, "temporal window width for -serve (virtual seconds)")
 		linger    = fs.Duration("linger", 0, "keep the -serve endpoints up this long after the run")
@@ -64,6 +68,8 @@ func run(args []string, stdout io.Writer) error {
 	cfg.Iterations = *iters
 	cfg.Imbalance = *imbalance
 	cfg.InitWarmup = *warmup
+	cfg.SlowRank = *slowRank
+	cfg.SlowFactor = *slowFac
 
 	var srv *http.Server
 	if *serve != "" {

@@ -18,9 +18,19 @@
 //	imba -events run.events -window 0.5
 //	imba -events run.events -window 0.5 -activity computation -phases
 //	imba -events run.events -window 0.5 -per-activity
+//
+// -diagnose runs the automatic performance diagnosis on the trace: ranks
+// are fingerprinted per detected phase, clustered into cohorts, and the
+// diverged ones reported with the activity or region the divergence went
+// to — the same report a live imbamon serves at /diagnose.json. -json
+// prints the raw report document instead of text:
+//
+//	imba -events run.events -window 0.5 -diagnose
+//	imba -events run.events -window 0.5 -diagnose -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +40,7 @@ import (
 	"strings"
 
 	"loadimb/internal/core"
+	"loadimb/internal/diagnose"
 	"loadimb/internal/report"
 	"loadimb/internal/stats"
 	"loadimb/internal/temporal"
@@ -68,11 +79,13 @@ func run(args []string, stdout io.Writer) error {
 		perAct    = fs.Bool("per-activity", false, "segment each activity's own trajectory (requires -window)")
 		penalty   = fs.Float64("penalty", 0, "change-point penalty for -phases (0 = automatic)")
 		activity  = fs.String("activity", "", "comma-separated activities the trajectory is restricted to (e.g. computation)")
+		diag      = fs.Bool("diagnose", false, "run the automatic diagnosis: cluster ranks per phase and report diverged ones (requires -events and -window)")
+		jsonOut   = fs.Bool("json", false, "with -diagnose, print the raw report as JSON instead of text")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if (*window > 0 || *phases || *perAct) && *eventsIn == "" {
+	if (*window > 0 || *phases || *perAct || *diag) && *eventsIn == "" {
 		return fmt.Errorf("-window and -phases need an event trace: pass -events <file> (cubes carry no time structure)")
 	}
 	if *phases && *window <= 0 {
@@ -81,6 +94,9 @@ func run(args []string, stdout io.Writer) error {
 	if *perAct && *window <= 0 {
 		return fmt.Errorf("-per-activity needs -window <dt> to define the trajectories")
 	}
+	if *diag && *window <= 0 {
+		return fmt.Errorf("-diagnose needs -window <dt> to define the fingerprint windows")
+	}
 
 	var lg *trace.Log
 	if *eventsIn != "" {
@@ -88,6 +104,11 @@ func run(args []string, stdout io.Writer) error {
 		if lg, err = tracefmt.OpenEvents(*eventsIn); err != nil {
 			return err
 		}
+	}
+	if *diag {
+		// Diagnosis is a dedicated mode: it works on the event trace
+		// alone and prints exactly what /diagnose.json serves.
+		return printDiagnose(stdout, lg, *window, *penalty, *jsonOut)
 	}
 	cube, err := loadCube(*in, *usePaper, lg)
 	if err != nil {
@@ -297,6 +318,79 @@ func printPerActivity(w io.Writer, ser *temporal.Series, penalty float64) {
 				k+1, ph.Start, ph.End, ph.Label, ph.FirstWindow, ph.LastWindow, ph.MeanID)
 		}
 	}
+}
+
+// printDiagnose runs the offline automatic diagnosis: the same fold
+// (per-activity and per-region vectors), segmentation and clustering the
+// live /diagnose.json endpoint performs, on the saved trace.
+func printDiagnose(w io.Writer, lg *trace.Log, window, penalty float64, asJSON bool) error {
+	ser, err := temporal.FoldLog(lg, temporal.Options{
+		Window: window, PerActivity: true, PerRegion: true,
+	})
+	if err != nil {
+		return err
+	}
+	rep := diagnose.Diagnose(ser, temporal.Segment(ser.Stats(), penalty), diagnose.Options{})
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Fprintf(w, "automatic diagnosis (window %g s, %d procs, %d fingerprint dimensions):\n",
+		rep.Window, rep.Procs, len(rep.Dimensions))
+	for _, pd := range rep.Phases {
+		fmt.Fprintf(w, "  phase %d [%.3f, %.3f) %-5s cohorts=%d silhouette=%.3f scale=%.2g\n",
+			pd.Phase, pd.Start, pd.End, pd.Label, len(pd.Cohorts), pd.Silhouette, pd.Scale)
+		for c, co := range pd.Cohorts {
+			fmt.Fprintf(w, "    cohort %d: %d ranks %s\n", c+1, len(co.Ranks), rankRanges(co.Ranks))
+		}
+	}
+	if len(rep.Findings) == 0 {
+		fmt.Fprintln(w, "no diverged ranks: every rank behaves like its cohort")
+		return nil
+	}
+	fmt.Fprintf(w, "findings (%d diverged rank-phases, by score):\n", len(rep.Findings))
+	for k, f := range rep.Findings {
+		fmt.Fprintf(w, "  %d. %s\n", k+1, f.Summary)
+		for _, c := range f.Dominant {
+			dim := c.Dimension
+			if c.Kind == diagnose.KindRegion {
+				dim = fmt.Sprintf("region %q", c.Dimension)
+			}
+			pct := ""
+			if c.Percent != nil {
+				pct = fmt.Sprintf(" (%+.0f%% of cohort)", *c.Percent)
+			}
+			fmt.Fprintf(w, "     %-24s Δ%+.4f util%s\n", dim, c.Delta, pct)
+		}
+	}
+	return nil
+}
+
+// rankRanges renders a sorted rank list compactly: [0-4 6 9-11].
+func rankRanges(ranks []int) string {
+	if len(ranks) == 0 {
+		return "[]"
+	}
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i := 0; i < len(ranks); {
+		j := i
+		for j+1 < len(ranks) && ranks[j+1] == ranks[j]+1 {
+			j++
+		}
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		if j > i {
+			fmt.Fprintf(&sb, "%d-%d", ranks[i], ranks[j])
+		} else {
+			fmt.Fprintf(&sb, "%d", ranks[i])
+		}
+		i = j + 1
+	}
+	sb.WriteByte(']')
+	return sb.String()
 }
 
 func printTables(w io.Writer, a *core.Analysis, which string) error {

@@ -300,3 +300,67 @@ func TestRunTemporalPhases(t *testing.T) {
 		t.Error("-per-activity without -window should fail")
 	}
 }
+
+func TestRunDiagnose(t *testing.T) {
+	// Four ranks, one of which (rank 2) does triple computation in the
+	// solve region: the diagnosis must name it and the dominant activity.
+	var lg trace.Log
+	for r := 0; r < 4; r++ {
+		end := 4.0
+		if r == 2 {
+			end = 12.0
+		}
+		if err := lg.Append(trace.Event{Rank: r, Region: "solve", Activity: "computation", Start: 0, End: end}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "run.events")
+	if err := tracefmt.SaveEvents(path, &lg); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := run([]string{"-events", path, "-window", "1", "-diagnose"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"automatic diagnosis", "cohort", "rank 2", "computation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diagnose output missing %q:\n%s", want, out)
+		}
+	}
+
+	// JSON mode emits the raw report document.
+	sb.Reset()
+	if err := run([]string{"-events", path, "-window", "1", "-diagnose", "-json"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"findings"`) || !strings.Contains(sb.String(), `"rank": 2`) {
+		t.Errorf("diagnose -json output wrong:\n%s", sb.String())
+	}
+
+	// Flag validation.
+	if err := run([]string{"-events", path, "-diagnose"}, &sb); err == nil {
+		t.Error("-diagnose without -window should fail")
+	}
+	if err := run([]string{"-diagnose", "-window", "1"}, &sb); err == nil {
+		t.Error("-diagnose without -events should fail")
+	}
+}
+
+func TestRankRanges(t *testing.T) {
+	cases := []struct {
+		in   []int
+		want string
+	}{
+		{nil, "[]"},
+		{[]int{3}, "[3]"},
+		{[]int{0, 1, 2, 3}, "[0-3]"},
+		{[]int{0, 1, 2, 4, 6, 7}, "[0-2 4 6-7]"},
+	}
+	for _, c := range cases {
+		if got := rankRanges(c.in); got != c.want {
+			t.Errorf("rankRanges(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -13,7 +13,9 @@
 // /timeline.json and /windows.json (the merged cross-job window series;
 // 503 when no endpoint exposes windows), /phases.json (phase detection
 // over the cluster-wide trajectory, the same segmentation each
-// endpoint's own /phases.json runs), /lorenz.json and /healthz
+// endpoint's own /phases.json runs), /diagnose.json (automatic
+// diagnosis over the merged windows, findings naming ranks job-locally
+// as "job/3"), /lorenz.json and /healthz
 // (per-endpoint scrape state: last success, last attempt, scrape
 // latency, consecutive failures, staleness, window availability).
 //

@@ -6,8 +6,9 @@
 // Endpoints (see internal/monitor): /metrics (Prometheus text format),
 // /cube.json (live measurement cube), /lorenz.json, /timeline.json
 // (windowed temporal imbalance), /phases.json (streaming phase
-// detection over the window trajectory), /healthz, / (embedded
-// dashboard) and /debug/pprof/.
+// detection over the window trajectory), /diagnose.json (automatic
+// diagnosis: rank cohorts and divergence findings), /healthz, /
+// (embedded dashboard) and /debug/pprof/.
 //
 // Usage:
 //
@@ -75,6 +76,8 @@ type daemon struct {
 	imbalance float64
 	window    float64
 	penalty   float64
+	slowRank  int
+	slowFac   float64
 	repeat    int
 	exit      bool
 	linger    time.Duration
@@ -99,6 +102,8 @@ func parseArgs(args []string) (*daemon, error) {
 	fs.IntVar(&d.sweeps, "sweeps", 20, "sweep pairs (wavefront)")
 	fs.IntVar(&d.phases, "phases", 6, "refinement phases (amr)")
 	fs.Float64Var(&d.imbalance, "imbalance", 0.2, "decomposition skew in [0, 1] (cfd)")
+	fs.IntVar(&d.slowRank, "slow-rank", 0, "rank slowed by -slow-factor (cfd and amr): a persistent straggler the diagnosis names")
+	fs.Float64Var(&d.slowFac, "slow-factor", 0, "computation multiplier of -slow-rank; 0 disables the injection")
 	fs.Float64Var(&d.window, "window", 5, "temporal window width in virtual seconds (0 = off)")
 	fs.Float64Var(&d.penalty, "phase-penalty", 0, "segmentation penalty for live phase detection (<= 0 = automatic)")
 	fs.IntVar(&d.repeat, "repeat", 1, "workload repetitions (0 = loop until interrupted)")
@@ -144,6 +149,8 @@ func (d *daemon) runOnce(sink trace.Sink) (float64, error) {
 		cfg.Procs = d.procs
 		cfg.Iterations = d.iters
 		cfg.Imbalance = d.imbalance
+		cfg.SlowRank = d.slowRank
+		cfg.SlowFactor = d.slowFac
 		cfg.Sink = sink
 		res, err := cfd.Run(cfg)
 		if err != nil {
@@ -174,6 +181,8 @@ func (d *daemon) runOnce(sink trace.Sink) (float64, error) {
 		cfg := apps.DefaultAMR()
 		cfg.Procs = d.procs
 		cfg.Phases = d.phases
+		cfg.Straggler = d.slowRank
+		cfg.StragglerFactor = d.slowFac
 		cfg.Sink = sink
 		res, err := apps.AMR(cfg)
 		if err != nil {
@@ -258,6 +267,10 @@ func (d *daemon) printSummary(stdout io.Writer, snap *monitor.Snapshot) {
 		cur := snap.Phases[n-1]
 		fmt.Fprintf(stdout, "imbamon: %d phases detected (%d changes), current %q since t=%.3f s\n",
 			n, n-1, cur.Label, cur.Start)
+	}
+	if rep := snap.Diagnosis(); rep != nil && len(rep.Findings) > 0 {
+		fmt.Fprintf(stdout, "imbamon: diagnosis: %s (%d findings total)\n",
+			rep.Findings[0].Summary, len(rep.Findings))
 	}
 	regs, err := core.CodeRegionView(snap.Cube, core.Options{})
 	if err != nil {

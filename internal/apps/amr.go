@@ -33,6 +33,14 @@ type AMRConfig struct {
 	// Sink, when non-nil, receives every instrumented event live while
 	// the run executes; it must be concurrency-safe.
 	Sink trace.Sink
+	// Straggler and StragglerFactor inject a persistent straggler: when
+	// StragglerFactor > 0, rank Straggler's computation is multiplied by
+	// the factor in every phase, on top of any refinement. Unlike the
+	// moving feature, the slowdown sticks to one rank for the whole run —
+	// the localized fault rank-similarity diagnosis names while whole-run
+	// ID_P only reports that imbalance exists. 0 disables the injection.
+	Straggler       int
+	StragglerFactor float64
 }
 
 // DefaultAMR returns a 16-rank run with 6 phases and a 3-rank feature
@@ -61,14 +69,20 @@ func featureCenter(phase, phases, procs int) int {
 	return phase * (procs - 1) / (phases - 1)
 }
 
-// amrWork returns rank's computation for the phase.
+// amrWork returns rank's computation for the phase. ExpectedAMRWork sums
+// the same function, so the analytic checksum tracks every injection
+// automatically.
 func amrWork(cfg AMRConfig, phase, rank int) float64 {
 	center := featureCenter(phase, cfg.Phases, cfg.Procs)
 	dist := int(math.Abs(float64(rank - center)))
+	work := cfg.BaseWork
 	if dist <= cfg.FeatureWidth/2 {
-		return cfg.BaseWork * cfg.RefineFactor
+		work *= cfg.RefineFactor
 	}
-	return cfg.BaseWork
+	if cfg.StragglerFactor > 0 && rank == cfg.Straggler {
+		work *= cfg.StragglerFactor
+	}
+	return work
 }
 
 // AMR runs the application and returns its measurements. The checksum is
@@ -88,6 +102,12 @@ func AMR(cfg AMRConfig) (*Result, error) {
 	}
 	if cfg.FaceBytes < 0 {
 		return nil, fmt.Errorf("apps: negative face bytes %d", cfg.FaceBytes)
+	}
+	if cfg.StragglerFactor < 0 {
+		return nil, fmt.Errorf("apps: negative straggler factor %g", cfg.StragglerFactor)
+	}
+	if cfg.StragglerFactor > 0 && (cfg.Straggler < 0 || cfg.Straggler >= cfg.Procs) {
+		return nil, fmt.Errorf("apps: straggler rank %d out of [0, %d)", cfg.Straggler, cfg.Procs)
 	}
 	if cfg.Cost == (mpi.CostModel{}) {
 		cfg.Cost = mpi.DefaultCostModel()

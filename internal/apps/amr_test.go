@@ -27,6 +27,9 @@ func TestAMRValidation(t *testing.T) {
 		{"width zero", func(c *AMRConfig) { c.FeatureWidth = 0 }},
 		{"width huge", func(c *AMRConfig) { c.FeatureWidth = 99 }},
 		{"bytes", func(c *AMRConfig) { c.FaceBytes = -1 }},
+		{"straggler factor", func(c *AMRConfig) { c.StragglerFactor = -1 }},
+		{"straggler rank", func(c *AMRConfig) { c.StragglerFactor = 4; c.Straggler = -1 }},
+		{"straggler rank high", func(c *AMRConfig) { c.StragglerFactor = 4; c.Straggler = c.Procs }},
 	}
 	for _, c := range cases {
 		cfg := fastAMR()
@@ -46,6 +49,49 @@ func TestAMRChecksum(t *testing.T) {
 	want := ExpectedAMRWork(cfg)
 	if math.Abs(res.Checksum-want) > 1e-9 {
 		t.Errorf("checksum = %g, want %g", res.Checksum, want)
+	}
+}
+
+func TestAMRStragglerChecksumAndWork(t *testing.T) {
+	cfg := fastAMR()
+	cfg.Straggler = 2
+	cfg.StragglerFactor = 6
+	res, err := AMR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ExpectedAMRWork sums the same amrWork the run charges, so the
+	// analytic checksum tracks the injection automatically.
+	want := ExpectedAMRWork(cfg)
+	if math.Abs(res.Checksum-want) > 1e-9 {
+		t.Errorf("checksum = %g, want %g", res.Checksum, want)
+	}
+	base := fastAMR()
+	if got, plain := want, ExpectedAMRWork(base); got <= plain {
+		t.Errorf("straggler run work %g not above baseline %g", got, plain)
+	}
+	// The straggler's whole-run computation exceeds every other rank's:
+	// the moving feature refines different ranks in different phases, but
+	// the injected slowdown sticks to one rank — the persistent signature
+	// the diagnosis keys on.
+	j := res.Cube.ActivityIndex("computation")
+	if j < 0 {
+		t.Fatalf("no computation activity in %v", res.Cube.Activities())
+	}
+	totals := make([]float64, res.Cube.NumProcs())
+	for i := 0; i < res.Cube.NumRegions(); i++ {
+		for p := range totals {
+			v, err := res.Cube.At(i, j, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			totals[p] += v
+		}
+	}
+	for p, v := range totals {
+		if p != cfg.Straggler && totals[cfg.Straggler] <= v {
+			t.Fatalf("straggler computation %g not above rank %d's %g", totals[cfg.Straggler], p, v)
+		}
 	}
 }
 

@@ -115,6 +115,13 @@ type Config struct {
 	// measured loops, reproducing the gap between the program wall clock
 	// time and the instrumented total.
 	InitWarmup float64
+	// SlowRank and SlowFactor inject a straggler: when SlowFactor > 0,
+	// rank SlowRank's computation times are multiplied by SlowFactor in
+	// every loop — a contended node or a thermally throttled core, the
+	// localized fault the automatic diagnosis is meant to name. 0
+	// disables the injection; factors below 1 speed the rank up instead.
+	SlowRank   int
+	SlowFactor float64
 	// Sink, when non-nil, receives every instrumented event live while
 	// the run executes (see trace.Sink); it must be concurrency-safe.
 	Sink trace.Sink
@@ -150,6 +157,12 @@ func (cfg *Config) normalize() error {
 	}
 	if cfg.InitWarmup < 0 {
 		return fmt.Errorf("cfd: negative warmup %g", cfg.InitWarmup)
+	}
+	if cfg.SlowFactor < 0 {
+		return fmt.Errorf("cfd: negative slow factor %g", cfg.SlowFactor)
+	}
+	if cfg.SlowFactor > 0 && (cfg.SlowRank < 0 || cfg.SlowRank >= cfg.Procs) {
+		return fmt.Errorf("cfd: slow rank %d out of [0, %d)", cfg.SlowRank, cfg.Procs)
 	}
 	if cfg.Cost == (mpi.CostModel{}) {
 		cfg.Cost = mpi.DefaultCostModel()
@@ -208,6 +221,9 @@ func Run(cfg Config) (*Result, error) {
 			return err
 		}
 		s := newSolver(c, cfg.Loops, rows, cfg.GridX, totalRows)
+		if cfg.SlowFactor > 0 && c.Rank() == cfg.SlowRank {
+			s.slowdown = cfg.SlowFactor
+		}
 		for iter := 0; iter < cfg.Iterations; iter++ {
 			res, err := s.iteration(iter)
 			if err != nil {

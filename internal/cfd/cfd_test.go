@@ -29,6 +29,8 @@ func TestConfigValidation(t *testing.T) {
 		{"imbalance high", func(c *Config) { c.Imbalance = 1.5 }},
 		{"warmup", func(c *Config) { c.InitWarmup = -1 }},
 		{"loops", func(c *Config) { c.Loops = []LoopSpec{} }},
+		{"slow factor", func(c *Config) { c.SlowFactor = -2 }},
+		{"slow rank", func(c *Config) { c.SlowFactor = 2; c.SlowRank = c.Procs }},
 	}
 	for _, c := range cases {
 		cfg := fastConfig()
@@ -36,6 +38,54 @@ func TestConfigValidation(t *testing.T) {
 		if _, err := Run(cfg); err == nil {
 			t.Errorf("%s: expected error", c.name)
 		}
+	}
+}
+
+func TestSlowRankDominatesComputation(t *testing.T) {
+	cfg := fastConfig()
+	cfg.SlowRank = 5
+	cfg.SlowFactor = 3
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube := res.Cube
+	j := cube.ActivityIndex("computation")
+	if j < 0 {
+		t.Fatalf("no computation activity in %v", cube.Activities())
+	}
+	comp := make([]float64, cube.NumProcs())
+	for i := 0; i < cube.NumRegions(); i++ {
+		for p := range comp {
+			v, err := cube.At(i, j, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			comp[p] += v
+		}
+	}
+	for p, v := range comp {
+		if p != cfg.SlowRank && comp[cfg.SlowRank] <= v {
+			t.Fatalf("slow rank %d computation %g not above rank %d's %g",
+				cfg.SlowRank, comp[cfg.SlowRank], p, v)
+		}
+	}
+	// The injection must be a pure compute multiplier: the baseline run's
+	// computation total times the factor, on the slowed rank only.
+	base, err := Run(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseComp := 0.0
+	for i := 0; i < cube.NumRegions(); i++ {
+		v, err := base.Cube.At(i, j, cfg.SlowRank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseComp += v
+	}
+	if got, want := comp[cfg.SlowRank], baseComp*cfg.SlowFactor; math.Abs(got-want) > 1e-9*want {
+		t.Errorf("slow rank computation = %g, want %g (baseline x factor)", got, want)
 	}
 }
 

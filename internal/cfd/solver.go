@@ -27,6 +27,11 @@ type solver struct {
 	// processors, and the partial cancellation keeps straggler waits
 	// from piling up across loops, as the paper's measurements show.
 	shares []float64
+	// slowdown multiplies this rank's computation times when positive —
+	// the injected straggler of Config.SlowRank/SlowFactor. Unlike the
+	// rotated decomposition shares it sticks to one rank across all
+	// loops, which is what makes it localizable by rank similarity.
+	slowdown float64
 }
 
 func newSolver(c *mpi.Comm, spec []LoopSpec, allRows []int, cols, totalRows int) *solver {
@@ -75,7 +80,11 @@ func makeGrid(rows, cols int) [][]float64 {
 // balanced per-iteration time scaled by the rank's (loop-rotated) share.
 func (s *solver) compute(li int, spec LoopSpec) error {
 	share := s.shares[(s.comm.Rank()+li*7)%len(s.shares)]
-	return s.comm.Compute(spec.ComputePerIter * share)
+	t := spec.ComputePerIter * share
+	if s.slowdown > 0 {
+		t *= s.slowdown
+	}
+	return s.comm.Compute(t)
 }
 
 // sweep performs one Jacobi relaxation over the interior rows and returns

@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Distances returns each point's Euclidean distance to its assigned
+// centroid. Every assignment must index a centroid; a singleton cluster
+// is fine — its member sits on its own centroid at distance zero, never
+// NaN.
+func Distances(points, centroids [][]float64, assign []int) ([]float64, error) {
+	if len(points) == 0 {
+		return nil, ErrNoPoints
+	}
+	if len(assign) != len(points) {
+		return nil, fmt.Errorf("cluster: %d assignments for %d points", len(assign), len(points))
+	}
+	out := make([]float64, len(points))
+	for i, p := range points {
+		c := assign[i]
+		if c < 0 || c >= len(centroids) {
+			return nil, fmt.Errorf("cluster: point %d assigned to cluster %d of %d", i, c, len(centroids))
+		}
+		if len(centroids[c]) != len(p) {
+			return nil, fmt.Errorf("%w: point %d has %d dims, centroid %d has %d", ErrRagged, i, len(p), c, len(centroids[c]))
+		}
+		out[i] = math.Sqrt(sqDist(p, centroids[c]))
+	}
+	return out, nil
+}
+
+// SpreadByCluster returns the root-mean-square member-to-centroid
+// distance of each of k clusters — the cohort tightness a divergence
+// score is read against. Dividing by the member count (not count-1, the
+// sample-variance convention that would make a single-member cohort NaN)
+// keeps every value finite: empty and singleton clusters spread to
+// exactly 0 and a lone diverged rank stays reportable.
+func SpreadByCluster(dists []float64, assign []int, k int) ([]float64, error) {
+	if len(assign) != len(dists) {
+		return nil, fmt.Errorf("cluster: %d assignments for %d distances", len(assign), len(dists))
+	}
+	sums := make([]float64, k)
+	counts := make([]int, k)
+	for i, d := range dists {
+		c := assign[i]
+		if c < 0 || c >= k {
+			return nil, fmt.Errorf("cluster: point %d assigned to cluster %d of %d", i, c, k)
+		}
+		sums[c] += d * d
+		counts[c]++
+	}
+	out := make([]float64, k)
+	for c := range out {
+		if counts[c] > 0 {
+			out[c] = math.Sqrt(sums[c] / float64(counts[c]))
+		}
+	}
+	return out, nil
+}
+
+// NearestOther returns the index of the centroid nearest to p other than
+// own, or -1 when no other centroid exists. A point stranded in a
+// singleton cluster is scored against this neighbour cohort instead of
+// its own zero-distance centroid.
+func NearestOther(p []float64, centroids [][]float64, own int) int {
+	best, bestDist := -1, math.Inf(1)
+	for c, cent := range centroids {
+		if c == own {
+			continue
+		}
+		if dd := sqDist(p, cent); dd < bestDist {
+			best, bestDist = c, dd
+		}
+	}
+	return best
+}

@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+// straggler16 is a 16-point set where point 13 sits far from the tight
+// cohort at the origin — the lone-diverged-rank shape the diagnosis
+// layer feeds these helpers.
+func straggler16() [][]float64 {
+	points := make([][]float64, 16)
+	for i := range points {
+		points[i] = []float64{0.5, 0.1}
+	}
+	points[13] = []float64{2.5, 0.1}
+	return points
+}
+
+func TestDistancesSingletonClusterIsZeroNotNaN(t *testing.T) {
+	points := straggler16()
+	res, k, err := BestK(points, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 2 {
+		t.Fatalf("BestK chose k=%d, want 2 (cohort + singleton)", k)
+	}
+	dists, err := Distances(points, res.Centroids, res.Assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range dists {
+		if math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
+			t.Fatalf("distance[%d] = %v", i, d)
+		}
+	}
+	if dists[13] != 0 {
+		t.Errorf("singleton member's own-centroid distance = %g, want 0", dists[13])
+	}
+}
+
+func TestSpreadByClusterSingletonAndEmpty(t *testing.T) {
+	// Cluster 0 has two members at distances 3 and 4 (RMS √12.5), cluster
+	// 1 is a singleton, cluster 2 is empty: both must be 0, never NaN.
+	spread, err := SpreadByCluster([]float64{3, 4, 0}, []int{0, 0, 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Sqrt(12.5); math.Abs(spread[0]-want) > 1e-12 {
+		t.Errorf("spread[0] = %g, want %g", spread[0], want)
+	}
+	for c := 1; c < 3; c++ {
+		if spread[c] != 0 || math.IsNaN(spread[c]) {
+			t.Errorf("spread[%d] = %v, want exactly 0", c, spread[c])
+		}
+	}
+}
+
+func TestSpreadByClusterValidates(t *testing.T) {
+	if _, err := SpreadByCluster([]float64{1}, []int{0, 1}, 2); err == nil {
+		t.Error("length mismatch not rejected")
+	}
+	if _, err := SpreadByCluster([]float64{1}, []int{5}, 2); err == nil {
+		t.Error("out-of-range assignment not rejected")
+	}
+}
+
+func TestNearestOther(t *testing.T) {
+	cents := [][]float64{{0, 0}, {1, 0}, {10, 0}}
+	if got := NearestOther([]float64{0.9, 0}, cents, 1); got != 0 {
+		t.Errorf("NearestOther = %d, want 0", got)
+	}
+	if got := NearestOther([]float64{9, 0}, cents, 2); got != 1 {
+		t.Errorf("NearestOther = %d, want 1", got)
+	}
+	if got := NearestOther([]float64{0, 0}, [][]float64{{0, 0}}, 0); got != -1 {
+		t.Errorf("NearestOther with a single centroid = %d, want -1", got)
+	}
+}
+
+func TestSilhouetteSingletonClusterFinite(t *testing.T) {
+	// Regression: a partition with a singleton cluster must score finite
+	// (singleton members contribute 0 by convention), so BestK can pick a
+	// cohort+outlier split instead of dropping it to a NaN comparison.
+	points := straggler16()
+	assign := make([]int, 16)
+	assign[13] = 1
+	s, err := Silhouette(points, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(s) || math.IsInf(s, 0) {
+		t.Fatalf("silhouette = %v", s)
+	}
+	if s <= 0 {
+		t.Errorf("silhouette = %g, want > 0 for a tight cohort + far outlier", s)
+	}
+	// Identical points in one cluster plus a singleton: all a/b terms
+	// degenerate, still no NaN.
+	flat := make([][]float64, 3)
+	for i := range flat {
+		flat[i] = []float64{1, 1}
+	}
+	s, err = Silhouette(flat, []int{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(s) {
+		t.Fatal("silhouette NaN on identical points with a singleton cluster")
+	}
+}
+
+func TestDistancesValidates(t *testing.T) {
+	if _, err := Distances(nil, nil, nil); err == nil {
+		t.Error("empty input not rejected")
+	}
+	if _, err := Distances([][]float64{{1}}, [][]float64{{1}}, []int{0, 0}); err == nil {
+		t.Error("length mismatch not rejected")
+	}
+	if _, err := Distances([][]float64{{1}}, [][]float64{{1}}, []int{3}); err == nil {
+		t.Error("out-of-range assignment not rejected")
+	}
+	if _, err := Distances([][]float64{{1, 2}}, [][]float64{{1}}, []int{0}); err == nil {
+		t.Error("ragged centroid not rejected")
+	}
+}

@@ -367,6 +367,7 @@ func (f *Federator) Snapshot() *monitor.Snapshot {
 	gen := f.gen
 	var jobs []trace.JobCube
 	var winJobs []temporal.JobWindows
+	var rankLabels []string
 	haveWindows := false
 	for _, s := range f.states {
 		if s.cube != nil && !s.stale(f.maxFailures) {
@@ -376,11 +377,19 @@ func (f *Federator) Snapshot() *monitor.Snapshot {
 			// The job's rank slots in the merged series are its cube's
 			// processors — the same offsets trace.Federate applies, so
 			// window ranks and federated cube ranks coincide. An endpoint
-			// without windows still occupies its slots.
+			// without windows still occupies its slots. The Label
+			// namespaces the job's per-region keys in the merged series
+			// the way trace.Federate namespaces its cube regions.
 			winJobs = append(winJobs, temporal.JobWindows{
 				Procs:  s.cube.NumProcs(),
 				Series: s.windows,
+				Label:  s.Name,
 			})
+			// Diagnosis findings name ranks in the merged rank space;
+			// job-local labels ("name/3") keep them attributable.
+			for r := 0; r < s.cube.NumProcs(); r++ {
+				rankLabels = append(rankLabels, fmt.Sprintf("%s/%d", s.Name, r))
+			}
 			if s.windows != nil {
 				haveWindows = true
 			}
@@ -416,6 +425,7 @@ func (f *Federator) Snapshot() *monitor.Snapshot {
 			} else {
 				snap.Series = ser
 				snap.Windows = ser.Stats()
+				snap.RankLabels = rankLabels
 				// Federated phase detection runs the offline segmentation on
 				// the merged trajectory: Snapshot() may run concurrently, so
 				// the stateless Segment beats sharing an incremental

@@ -63,6 +63,9 @@ func status(eps []EndpointHealth) string {
 //	/phases.json    phase detection over the cluster-wide trajectory
 //	                (the same segmentation each endpoint's own
 //	                /phases.json runs, on the merged windows)
+//	/diagnose.json  automatic diagnosis over the merged windows: rank
+//	                cohorts and divergence findings with job-namespaced
+//	                rank labels ("job/3") and region dimensions
 //	/healthz        per-endpoint scrape state: last success/attempt,
 //	                scrape latency, consecutive failures, staleness
 //	                (503 when no endpoint contributes)
@@ -100,6 +103,7 @@ func Handler(f *Federator) http.Handler {
 	mux.Handle("/timeline.json", monitor.TimelineHandler(f, 0))
 	mux.Handle("/windows.json", monitor.WindowsHandler(f))
 	mux.Handle("/phases.json", monitor.PhasesHandler(f))
+	mux.Handle("/diagnose.json", monitor.DiagnoseHandler(f))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -107,7 +111,7 @@ func Handler(f *Federator) http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "loadimb federated monitor (%d endpoints)\n\n", len(f.Health()))
-		fmt.Fprintln(w, "endpoints: /metrics /cube.json /lorenz.json /timeline.json /windows.json /phases.json /healthz")
+		fmt.Fprintln(w, "endpoints: /metrics /cube.json /lorenz.json /timeline.json /windows.json /phases.json /diagnose.json /healthz")
 	})
 	return mux
 }

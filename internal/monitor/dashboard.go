@@ -28,7 +28,8 @@ const dashboardHTML = `<!DOCTYPE html>
   <span id="summary">waiting for data…</span><span id="err"></span><br>
   raw: <a href="/metrics">/metrics</a> · <a href="/cube.json">/cube.json</a> ·
   <a href="/lorenz.json">/lorenz.json</a> · <a href="/timeline.json">/timeline.json</a> ·
-  <a href="/phases.json">/phases.json</a> · <a href="/debug/pprof/">pprof</a>
+  <a href="/phases.json">/phases.json</a> · <a href="/diagnose.json">/diagnose.json</a> ·
+  <a href="/debug/pprof/">pprof</a>
 </p>
 <h2>code regions (SID_C = share × ID_C)</h2>
 <table id="regions"><tbody></tbody></table>
@@ -38,6 +39,8 @@ const dashboardHTML = `<!DOCTYPE html>
 <pre id="timeline" class="bar"></pre>
 <h2>phases (streaming change-point detection)</h2>
 <pre id="phases"></pre>
+<h2>findings (automatic diagnosis — diverged ranks)</h2>
+<pre id="findings" class="dim"></pre>
 <script>
 const BLOCKS = "▁▂▃▄▅▆▇█";
 function bar(frac, width) {
@@ -68,8 +71,9 @@ function fill(tableId, rows, key) {
 }
 async function tick() {
   try {
-    const [mres, tres, pres] =
-      await Promise.all([fetch("/metrics"), fetch("/timeline.json"), fetch("/phases.json")]);
+    const [mres, tres, pres, dres] =
+      await Promise.all([fetch("/metrics"), fetch("/timeline.json"),
+                         fetch("/phases.json"), fetch("/diagnose.json")]);
     const metrics = parseMetrics(await mres.text());
     const pick = n => metrics.filter(s => s.name === n);
     const one = n => { const s = pick(n)[0]; return s ? s.value : NaN; };
@@ -115,6 +119,17 @@ async function tick() {
           (k + 1) + ". [" + ph.start.toFixed(2) + "s, " + ph.end.toFixed(2) + "s) " + ph.label +
           (ph.id != null ? "  ID_P=" + ph.id.toFixed(4) : "") +
           (ph.hot_activities ? "  hot: " + ph.hot_activities.join(", ") : "")).join("\n");
+    }
+    // /diagnose.json answers 503 while windowing is off.
+    const diag = dres.ok ? await dres.json() : null;
+    const findings = (diag && diag.findings) || [];
+    if (findings.length) {
+      document.getElementById("findings").textContent =
+        findings.map(f => "‣ " + f.summary).join("\n");
+    } else if (diag) {
+      const cohorts = (diag.phases || []).map(p => (p.cohorts || []).length);
+      document.getElementById("findings").textContent =
+        "no diverged ranks — cohorts per phase: " + (cohorts.join(", ") || "n/a");
     }
     document.getElementById("err").textContent = "";
   } catch (e) {

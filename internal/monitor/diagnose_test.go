@@ -1,0 +1,308 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+
+	"loadimb/internal/cfd"
+	"loadimb/internal/diagnose"
+	"loadimb/internal/temporal"
+	"loadimb/internal/trace"
+)
+
+func TestServerDiagnose(t *testing.T) {
+	srv, c := newTestServer(t)
+	runWorkloadInto(t, c)
+	code, body, ctype := get(t, srv.URL+"/diagnose.json")
+	if code != http.StatusOK || ctype != "application/json" {
+		t.Fatalf("/diagnose.json = %d %q", code, ctype)
+	}
+	var rep diagnose.Report
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Procs != 4 || rep.Window != 0.25 {
+		t.Errorf("report shape: procs=%d window=%g", rep.Procs, rep.Window)
+	}
+	if len(rep.Dimensions) == 0 || len(rep.Phases) == 0 {
+		t.Fatalf("empty report on a finished workload: %+v", rep)
+	}
+	for _, pd := range rep.Phases {
+		covered := 0
+		for _, co := range pd.Cohorts {
+			covered += len(co.Ranks)
+			if len(co.Centroid) != len(rep.Dimensions) {
+				t.Errorf("phase %d: centroid dims %d, report dims %d",
+					pd.Phase, len(co.Centroid), len(rep.Dimensions))
+			}
+		}
+		if covered != rep.Procs {
+			t.Errorf("phase %d cohorts cover %d of %d ranks", pd.Phase, covered, rep.Procs)
+		}
+	}
+}
+
+func TestServerDiagnoseWindowingDisabled(t *testing.T) {
+	c := NewCollector(Options{})
+	srv := httptest.NewServer(DiagnoseHandler(c))
+	t.Cleanup(srv.Close)
+	if code, _, _ := get(t, srv.URL); code != http.StatusServiceUnavailable {
+		t.Errorf("/diagnose.json without windowing = %d, want 503", code)
+	}
+}
+
+// TestDiagnoseGolden locks the live /diagnose.json document over the
+// deterministic wavefront run: any change to the fingerprinting,
+// clustering, scoring or wire format shows up in the golden bytes.
+func TestDiagnoseGolden(t *testing.T) {
+	c := goldenWorkload(t)
+	srv := httptest.NewServer(NewHandler(c))
+	defer srv.Close()
+	code, body, ctype := get(t, srv.URL+"/diagnose.json")
+	if code != http.StatusOK {
+		t.Fatalf("/diagnose.json = %d", code)
+	}
+	if ctype != "application/json" {
+		t.Fatalf("content type %q", ctype)
+	}
+	checkGolden(t, filepath.Join("testdata", "diagnose_live.golden.json"), []byte(body))
+}
+
+// closeEnough compares floats the way the phase property test does: the
+// live fold sums events in drain order, so values can differ from the
+// offline pipeline's in the last bits.
+func closeEnough(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+// sameReport checks the live report against the offline one: discrete
+// structure (dimensions, cohort membership, finding ranks) exactly,
+// floats to close tolerance.
+func sameReport(t *testing.T, live, want *diagnose.Report) {
+	t.Helper()
+	if live.Procs != want.Procs || live.Window != want.Window {
+		t.Fatalf("report head: live procs=%d window=%g, offline procs=%d window=%g",
+			live.Procs, live.Window, want.Procs, want.Window)
+	}
+	if fmt.Sprint(live.Dimensions) != fmt.Sprint(want.Dimensions) {
+		t.Fatalf("dimensions: live %v, offline %v", live.Dimensions, want.Dimensions)
+	}
+	if len(live.Phases) != len(want.Phases) {
+		t.Fatalf("live %d phases, offline %d", len(live.Phases), len(want.Phases))
+	}
+	for i, lp := range live.Phases {
+		wp := want.Phases[i]
+		if lp.Phase != wp.Phase || lp.Label != wp.Label {
+			t.Errorf("phase %d: live (%d, %q), offline (%d, %q)", i, lp.Phase, lp.Label, wp.Phase, wp.Label)
+		}
+		if !closeEnough(lp.Start, wp.Start) || !closeEnough(lp.End, wp.End) ||
+			!closeEnough(lp.Scale, wp.Scale) || !closeEnough(lp.Silhouette, wp.Silhouette) {
+			t.Errorf("phase %d floats: live %+v, offline %+v", i, lp, wp)
+		}
+		if len(lp.Cohorts) != len(wp.Cohorts) {
+			t.Fatalf("phase %d: live %d cohorts, offline %d", i, len(lp.Cohorts), len(wp.Cohorts))
+		}
+		for c, lc := range lp.Cohorts {
+			wc := wp.Cohorts[c]
+			if fmt.Sprint(lc.Ranks) != fmt.Sprint(wc.Ranks) {
+				t.Errorf("phase %d cohort %d ranks: live %v, offline %v", i, c, lc.Ranks, wc.Ranks)
+			}
+			if !closeEnough(lc.Spread, wc.Spread) {
+				t.Errorf("phase %d cohort %d spread: live %g, offline %g", i, c, lc.Spread, wc.Spread)
+			}
+			for d := range lc.Centroid {
+				if !closeEnough(lc.Centroid[d], wc.Centroid[d]) {
+					t.Errorf("phase %d cohort %d centroid[%d]: live %g, offline %g",
+						i, c, d, lc.Centroid[d], wc.Centroid[d])
+				}
+			}
+		}
+	}
+	if len(live.Findings) != len(want.Findings) {
+		t.Fatalf("live %d findings, offline %d:\nlive    %+v\noffline %+v",
+			len(live.Findings), len(want.Findings), live.Findings, want.Findings)
+	}
+	for i, lf := range live.Findings {
+		wf := want.Findings[i]
+		if lf.Rank != wf.Rank || lf.Phase != wf.Phase || lf.Cohort != wf.Cohort ||
+			lf.CohortSize != wf.CohortSize || lf.Lone != wf.Lone {
+			t.Errorf("finding %d: live %+v, offline %+v", i, lf, wf)
+		}
+		if !closeEnough(lf.Distance, wf.Distance) || !closeEnough(lf.Score, wf.Score) {
+			t.Errorf("finding %d score: live (%g, %g), offline (%g, %g)",
+				i, lf.Distance, lf.Score, wf.Distance, wf.Score)
+		}
+		if lf.Summary != wf.Summary {
+			t.Errorf("finding %d summary:\nlive    %q\noffline %q", i, lf.Summary, wf.Summary)
+		}
+	}
+}
+
+// TestDiagnoseMatchesOfflineCfd is the acceptance property: on a cfdsim
+// run with one injected straggler, the live /diagnose.json equals the
+// offline pipeline (`imba -diagnose` over the saved trace: FoldLog +
+// Segment + Diagnose), and both name the slowed rank as the top finding
+// with computation the dominant dimension.
+func TestDiagnoseMatchesOfflineCfd(t *testing.T) {
+	const window = 1.0
+	c := NewCollector(Options{Window: window})
+	srv := httptest.NewServer(NewHandler(c))
+	t.Cleanup(srv.Close)
+
+	cfg := cfd.Defaults()
+	cfg.Procs = 8
+	cfg.GridX = 128
+	cfg.GridY = 128
+	cfg.Iterations = 8
+	cfg.SlowRank = 5
+	cfg.SlowFactor = 3
+	cfg.Sink = c
+	res, err := cfd.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	code, body, _ := get(t, srv.URL+"/diagnose.json")
+	if code != http.StatusOK {
+		t.Fatalf("/diagnose.json = %d", code)
+	}
+	var live diagnose.Report
+	if err := json.Unmarshal([]byte(body), &live); err != nil {
+		t.Fatal(err)
+	}
+
+	ser, err := temporal.FoldLog(res.Log, temporal.Options{Window: window, PerActivity: true, PerRegion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := diagnose.Diagnose(ser, temporal.Segment(ser.Stats(), 0), diagnose.Options{})
+	sameReport(t, &live, want)
+
+	// Both pipelines localize the injected fault: top finding names the
+	// slowed rank and attributes the divergence to computation.
+	for name, rep := range map[string]*diagnose.Report{"live": &live, "offline": want} {
+		if len(rep.Findings) == 0 {
+			t.Fatalf("%s: no findings on a run with a 3x straggler", name)
+		}
+		top := rep.Findings[0]
+		if top.Rank != cfg.SlowRank {
+			t.Errorf("%s: top finding names rank %d, want %d: %q", name, top.Rank, cfg.SlowRank, top.Summary)
+		}
+		if len(top.Dominant) == 0 || top.Dominant[0].Dimension != "computation" {
+			t.Errorf("%s: top finding dominant = %+v, want computation", name, top.Dominant)
+		}
+		if top.Dominant[0].Delta <= 0 {
+			t.Errorf("%s: straggler's computation delta = %g, want positive", name, top.Dominant[0].Delta)
+		}
+	}
+}
+
+// TestServerMetricsDiagFamilies checks the diagnosis metric families on
+// the same straggler run: the outlier gauge flags the slowed rank and the
+// per-phase cohort counts cover every diagnosed phase.
+func TestServerMetricsDiagFamilies(t *testing.T) {
+	c := NewCollector(Options{Window: 1.0})
+	srv := httptest.NewServer(NewHandler(c))
+	t.Cleanup(srv.Close)
+	cfg := cfd.Defaults()
+	cfg.Procs = 8
+	cfg.GridX = 128
+	cfg.GridY = 128
+	cfg.Iterations = 6
+	cfg.SlowRank = 2
+	cfg.SlowFactor = 3
+	cfg.Sink = c
+	if _, err := cfd.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	code, body, _ := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	samples := parseExposition(t, body)
+	idx := indexSamples(samples)
+	outliers, ok := idx[sample{name: MetricDiagOutliers, labels: map[string]string{}}.key()]
+	if !ok || outliers < 1 {
+		t.Errorf("%s = %g, want >= 1 on a straggler run", MetricDiagOutliers, outliers)
+	}
+	rep := c.Snapshot().Diagnosis()
+	if rep == nil {
+		t.Fatal("nil diagnosis with windowing enabled")
+	}
+	for _, pd := range rep.Phases {
+		key := sample{name: MetricDiagCohorts, labels: map[string]string{"phase": strconv.Itoa(pd.Phase)}}.key()
+		if got, ok := idx[key]; !ok || got != float64(len(pd.Cohorts)) {
+			t.Errorf("%s{phase=%d} = %g, want %d", MetricDiagCohorts, pd.Phase, got, len(pd.Cohorts))
+		}
+	}
+	found := false
+	for _, s := range samples {
+		if s.name == MetricDiagScore && s.labels["rank"] == strconv.Itoa(cfg.SlowRank) {
+			found = true
+			if s.value < 1 {
+				t.Errorf("straggler score gauge = %g, want >= 1", s.value)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no %s sample for the slowed rank %d", MetricDiagScore, cfg.SlowRank)
+	}
+}
+
+// TestConcurrentRecordDiagnose hammers the collector with concurrent
+// recorders and /diagnose.json scrapes; under -race this verifies the
+// memoized diagnosis is computed once per snapshot and the published
+// report is immutable.
+func TestConcurrentRecordDiagnose(t *testing.T) {
+	c := NewCollector(Options{Window: 1})
+	handler := DiagnoseHandler(c)
+	var wg sync.WaitGroup
+	const (
+		recorders = 4
+		scrapers  = 3
+		rounds    = 50
+	)
+	errs := make(chan error, scrapers)
+	for g := 0; g < recorders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				start := float64(r) * 0.3
+				c.Record(trace.Event{Rank: g, Region: "loop0", Activity: "comp",
+					Start: start, End: start + 0.3 + float64(g)*0.01})
+			}
+		}(g)
+	}
+	for g := 0; g < scrapers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				rec := httptest.NewRecorder()
+				handler(rec, httptest.NewRequest("GET", "/diagnose.json", nil))
+				if rec.Code != http.StatusOK {
+					errs <- fmt.Errorf("scrape = %d", rec.Code)
+					return
+				}
+				var rep diagnose.Report
+				if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

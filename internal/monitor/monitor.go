@@ -103,8 +103,10 @@ func NewCollector(opts Options) *Collector {
 		// offline and federated pipelines. PerActivity keeps per-window
 		// per-activity busy vectors so /phases.json can name each phase's
 		// hot activities (TrackActivities stays off: /timeline.json's
-		// wire format has no Dominant field).
-		c.state.tw = temporal.NewFold(temporal.Options{Window: opts.Window, PerActivity: true})
+		// wire format has no Dominant field); PerRegion adds the region
+		// split so /diagnose.json can attribute a rank's divergence to
+		// the code region the extra time went to.
+		c.state.tw = temporal.NewFold(temporal.Options{Window: opts.Window, PerActivity: true, PerRegion: true})
 		c.state.seg = temporal.NewStreamSegmenter(opts.PhasePenalty)
 	}
 	return c

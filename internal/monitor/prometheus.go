@@ -37,6 +37,9 @@ const (
 	MetricPhaseCurrent  = "loadimb_phase_current"
 	MetricPhaseChanges  = "loadimb_phase_changes_total"
 	MetricPhaseSeconds  = "loadimb_phase_seconds"
+	MetricDiagOutliers  = "loadimb_diag_outlier_ranks"
+	MetricDiagCohorts   = "loadimb_diag_cohorts"
+	MetricDiagScore     = "loadimb_diag_score"
 )
 
 // writer accumulates Prometheus text-format lines, remembering the first
@@ -232,6 +235,33 @@ func WriteMetrics(w io.Writer, snap *Snapshot) error {
 			if t, ok := bylabel[l]; ok {
 				m.sample(MetricPhaseSeconds, []string{label("label", l)}, t)
 			}
+		}
+	}
+
+	// Automatic diagnosis: the rank-similarity findings, memoized per
+	// fold generation like the views above.
+	if rep := snap.Diagnosis(); rep != nil {
+		m.header(MetricDiagOutliers, "Distinct ranks currently flagged as diverged from their cohort.", "gauge")
+		distinct := map[int]bool{}
+		for _, f := range rep.Findings {
+			distinct[f.Rank] = true
+		}
+		m.sample(MetricDiagOutliers, nil, float64(len(distinct)))
+		m.header(MetricDiagCohorts, "Rank-similarity cohorts detected in each phase.", "gauge")
+		for _, pd := range rep.Phases {
+			m.sample(MetricDiagCohorts, []string{label("phase", strconv.Itoa(pd.Phase))}, float64(len(pd.Cohorts)))
+		}
+		m.header(MetricDiagScore, "Divergence score (pooled-scatter units) of each finding.", "gauge")
+		for _, f := range rep.Findings {
+			rank := strconv.Itoa(f.Rank)
+			if f.RankLabel != "" {
+				rank = f.RankLabel
+			}
+			lbls := []string{label("rank", rank), label("phase", strconv.Itoa(f.Phase))}
+			if len(f.Dominant) > 0 {
+				lbls = append(lbls, label("dominant", f.Dominant[0].Dimension))
+			}
+			m.sample(MetricDiagScore, lbls, f.Score)
 		}
 	}
 	return m.err

@@ -134,6 +134,25 @@ func PhasesHandler(src SnapshotSource) http.HandlerFunc {
 	}
 }
 
+// DiagnoseHandler serves the automatic performance diagnosis of the
+// snapshot: per-phase rank-similarity cohorts and divergence findings
+// ("rank 17 diverged from its 63-rank cohort in phase 3 ..."), the
+// programmatic root-cause layer over the phase segmentation. The report
+// is memoized per fold generation, so scraping it is as cheap as the
+// other endpoints while the run is quiet. It answers 503 while
+// windowing is disabled.
+func DiagnoseHandler(src SnapshotSource) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		snap := src.Snapshot()
+		rep := snap.Diagnosis()
+		if rep == nil {
+			http.Error(w, "windowing disabled", http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, rep)
+	}
+}
+
 // NewHandler returns the monitoring endpoint set for a collector:
 //
 //	/metrics        Prometheus text exposition of every paper index
@@ -142,6 +161,7 @@ func PhasesHandler(src SnapshotSource) http.HandlerFunc {
 //	/timeline.json  windowed imbalance trajectory (temporal analysis)
 //	/windows.json   raw per-window busy vectors (federation merge input)
 //	/phases.json    live phase detection over the window trajectory
+//	/diagnose.json  automatic diagnosis (rank cohorts + divergence findings)
 //	/healthz        liveness probe (always 200)
 //	/               embedded live dashboard
 //	/debug/pprof/   Go runtime profiles of the monitored process
@@ -161,6 +181,7 @@ func NewHandler(c *Collector) http.Handler {
 	mux.Handle("/timeline.json", TimelineHandler(c, c.window))
 	mux.Handle("/windows.json", WindowsHandler(c))
 	mux.Handle("/phases.json", PhasesHandler(c))
+	mux.Handle("/diagnose.json", DiagnoseHandler(c))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"loadimb/internal/core"
+	"loadimb/internal/diagnose"
 	"loadimb/internal/stats"
 	"loadimb/internal/temporal"
 	"loadimb/internal/trace"
@@ -50,6 +51,11 @@ type Snapshot struct {
 	// the same source with equal Gen are the same snapshot, so scrape
 	// handlers can skip recomputation entirely.
 	Gen uint64
+	// RankLabels optionally names each rank for display in diagnosis
+	// findings. The collector leaves it nil (ranks are just numbers); the
+	// federation layer sets job-namespaced labels ("job/3") before
+	// publishing, matching the merged cube's rank space.
+	RankLabels []string
 
 	// views memoizes the dispersion views of Cube: the first scrape of a
 	// snapshot computes them once, every later handler and endpoint reuses
@@ -57,6 +63,13 @@ type Snapshot struct {
 	viewsOnce sync.Once
 	views     *Views
 	viewsErr  error
+
+	// diag memoizes the snapshot's diagnosis the same way: the collector
+	// re-serves the identical Snapshot pointer while its Gen is unchanged,
+	// so the diagnosis is recomputed only when the fold content actually
+	// moved — the amortization the live endpoints rely on.
+	diagOnce sync.Once
+	diag     *diagnose.Report
 }
 
 // Views holds the paper's dispersion views of one snapshot cube — exactly
@@ -97,6 +110,27 @@ func (s *Snapshot) Views() (*Views, error) {
 		s.views = v
 	})
 	return s.views, s.viewsErr
+}
+
+// Diagnosis returns the automatic performance diagnosis of the snapshot
+// — per-phase rank cohorts and divergence findings over the window
+// series — computing it on the first call and memoizing the result, the
+// same amortization as Views: while the fold generation is unchanged the
+// collector re-serves this very snapshot, so concurrent scrapes of
+// /diagnose.json, /metrics and the dashboard share one computation per
+// Gen. It returns nil when windowing is disabled.
+func (s *Snapshot) Diagnosis() *diagnose.Report {
+	s.diagOnce.Do(func() {
+		if s.Series == nil {
+			return
+		}
+		phases := make([]temporal.Phase, len(s.Phases))
+		for i, ps := range s.Phases {
+			phases[i] = ps.Phase()
+		}
+		s.diag = diagnose.Diagnose(s.Series, phases, diagnose.Options{RankLabels: s.RankLabels})
+	})
+	return s.diag
 }
 
 // WindowStat summarizes one temporal window of the run; it is the

@@ -60,6 +60,11 @@ type Options struct {
 	// PerActivity alone, keeping /timeline.json's wire format (which has
 	// no Dominant field) byte-identical.
 	PerActivity bool
+	// PerRegion records per-window per-region busy vectors, the code-region
+	// counterpart of PerActivity: a diagnosis can then attribute a rank's
+	// divergence to the region it spent the extra time in, not just the
+	// activity class.
+	PerRegion bool
 }
 
 // Fold incrementally accumulates events into per-window busy vectors. It
@@ -70,6 +75,7 @@ type Fold struct {
 	procs   int
 	track   bool
 	perAct  bool
+	perReg  bool
 	filter  map[string]bool
 	windows map[int]*windowAcc
 }
@@ -80,6 +86,7 @@ type windowAcc struct {
 	events      int
 	actSeconds  map[string]float64
 	actProc     map[string][]float64
+	regProc     map[string][]float64
 }
 
 // NewFold creates a fold. It panics on a non-positive window width —
@@ -93,6 +100,7 @@ func NewFold(opts Options) *Fold {
 		procs:   opts.Procs,
 		track:   opts.TrackActivities,
 		perAct:  opts.PerActivity,
+		perReg:  opts.PerRegion,
 		windows: make(map[int]*windowAcc),
 	}
 	if len(opts.Activities) > 0 {
@@ -171,6 +179,14 @@ func (f *Fold) Add(e trace.Event) {
 			vec[e.Rank] += hi - lo
 			acc.actProc[e.Activity] = vec
 		}
+		if acc.regProc != nil {
+			vec := acc.regProc[e.Region]
+			for len(vec) <= e.Rank {
+				vec = append(vec, 0)
+			}
+			vec[e.Rank] += hi - lo
+			acc.regProc[e.Region] = vec
+		}
 	}
 }
 
@@ -184,6 +200,9 @@ func (f *Fold) acc(w int) *windowAcc {
 		}
 		if f.perAct {
 			acc.actProc = make(map[string][]float64)
+		}
+		if f.perReg {
+			acc.regProc = make(map[string][]float64)
 		}
 		f.windows[w] = acc
 	}
@@ -231,6 +250,16 @@ func (f *Fold) Series() *Series {
 					padded = append(padded, 0)
 				}
 				v.PerActivity[a] = padded
+			}
+		}
+		if len(acc.regProc) > 0 {
+			v.PerRegion = make(map[string][]float64, len(acc.regProc))
+			for r, vec := range acc.regProc {
+				padded := append([]float64(nil), vec...)
+				for len(padded) < f.procs {
+					padded = append(padded, 0)
+				}
+				v.PerRegion[r] = padded
 			}
 		}
 		s.Windows = append(s.Windows, v)

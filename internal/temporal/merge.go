@@ -17,6 +17,12 @@ type JobWindows struct {
 	// advances the rank offset, keeping later jobs aligned with the
 	// federated cube.
 	Series *Series
+	// Label, when non-empty, namespaces the job's per-region keys in the
+	// merged series as "label/region" — the same convention trace.Federate
+	// applies to the merged cube, so a diagnosis over the merged windows
+	// names regions exactly as the cube does. Activities are deliberately
+	// left un-namespaced: they are a shared vocabulary across jobs.
+	Label string
 }
 
 // Merge combines the window series of several concurrently running jobs
@@ -59,10 +65,11 @@ func Merge(jobs []JobWindows) (*Series, error) {
 		events int
 		busy   []float64
 		act    map[string][]float64
+		reg    map[string][]float64
 	}
 	merged := make(map[int]*mergedWin)
 	offset := 0
-	anyAct := false
+	anyAct, anyReg := false, false
 	for k, job := range jobs {
 		procs := job.Procs
 		if procs == 0 && job.Series != nil {
@@ -120,6 +127,33 @@ func Merge(jobs []JobWindows) (*Series, error) {
 					}
 					anyAct = true
 				}
+				for r, vec := range v.PerRegion {
+					for p := procs; p < len(vec); p++ {
+						if t := vec[p]; t != 0 {
+							return nil, fmt.Errorf(
+								"temporal: merged job %d window %d region %q has busy time on rank %d (%g s) beyond its declared %d processors",
+								k, v.Index, r, p, t, procs)
+						}
+					}
+					if job.Label != "" {
+						r = job.Label + "/" + r
+					}
+					if m.reg == nil {
+						m.reg = make(map[string][]float64)
+					}
+					mv := m.reg[r]
+					if mv == nil {
+						mv = make([]float64, total)
+						m.reg[r] = mv
+					}
+					for p, t := range vec {
+						if p >= procs {
+							break
+						}
+						mv[offset+p] += t
+					}
+					anyReg = true
+				}
 			}
 		}
 		offset += procs
@@ -139,6 +173,9 @@ func Merge(jobs []JobWindows) (*Series, error) {
 		}
 		if anyAct {
 			v.PerActivity = m.act
+		}
+		if anyReg {
+			v.PerRegion = m.reg
 		}
 		out.Windows = append(out.Windows, v)
 	}

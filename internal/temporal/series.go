@@ -38,6 +38,11 @@ type WindowVector struct {
 	// (Options.PerActivity); absent otherwise. Vectors have the series'
 	// processor count, like ProcSeconds.
 	PerActivity map[string][]float64 `json:"per_activity,omitempty"`
+	// PerRegion[r][p] is processor p's busy time spent in code region r
+	// within the window, when the fold recorded per-region vectors
+	// (Options.PerRegion); absent otherwise. In a federated series the
+	// keys are job-namespaced ("job/region"), matching the merged cube.
+	PerRegion map[string][]float64 `json:"per_region,omitempty"`
 }
 
 // WindowStat summarizes one temporal window of the run: how busy each
@@ -102,21 +107,34 @@ func (s *Series) Stats() []WindowStat {
 // recorded a per-activity vector for; nil when the fold did not track
 // them.
 func (s *Series) ActivityNames() []string {
+	return s.dimNames(func(v *WindowVector) map[string][]float64 { return v.PerActivity })
+}
+
+// RegionNames returns the sorted names of every code region any window
+// recorded a per-region vector for; nil when the fold did not track
+// them.
+func (s *Series) RegionNames() []string {
+	return s.dimNames(func(v *WindowVector) map[string][]float64 { return v.PerRegion })
+}
+
+// dimNames collects the sorted key set of one of the window vectors'
+// per-dimension maps.
+func (s *Series) dimNames(get func(*WindowVector) map[string][]float64) []string {
 	if s == nil {
 		return nil
 	}
 	seen := make(map[string]bool)
-	for _, v := range s.Windows {
-		for a := range v.PerActivity {
-			seen[a] = true
+	for i := range s.Windows {
+		for d := range get(&s.Windows[i]) {
+			seen[d] = true
 		}
 	}
 	if len(seen) == 0 {
 		return nil
 	}
 	names := make([]string, 0, len(seen))
-	for a := range seen {
-		names = append(names, a)
+	for d := range seen {
+		names = append(names, d)
 	}
 	sort.Strings(names)
 	return names
@@ -129,14 +147,27 @@ func (s *Series) ActivityNames() []string {
 // activity sat out gets a null ID, the idle semantics). The projection
 // is what per-activity phase segmentation runs on.
 func (s *Series) ActivitySeries(name string) *Series {
+	return s.project(name, func(v *WindowVector) map[string][]float64 { return v.PerActivity })
+}
+
+// RegionSeries projects the series onto one code region, with the same
+// alignment semantics as ActivitySeries.
+func (s *Series) RegionSeries(name string) *Series {
+	return s.project(name, func(v *WindowVector) map[string][]float64 { return v.PerRegion })
+}
+
+// project builds the single-dimension projection shared by
+// ActivitySeries and RegionSeries.
+func (s *Series) project(name string, get func(*WindowVector) map[string][]float64) *Series {
 	if s == nil {
 		return nil
 	}
 	out := &Series{Window: s.Window, Procs: s.Procs}
 	out.Windows = make([]WindowVector, 0, len(s.Windows))
-	for _, v := range s.Windows {
+	for i := range s.Windows {
+		v := &s.Windows[i]
 		w := WindowVector{Index: v.Index, Events: v.Events}
-		if vec, ok := v.PerActivity[name]; ok {
+		if vec, ok := get(v)[name]; ok {
 			w.ProcSeconds = append([]float64(nil), vec...)
 		} else {
 			w.ProcSeconds = make([]float64, s.Procs)

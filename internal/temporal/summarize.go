@@ -38,6 +38,22 @@ type PhaseSummary struct {
 	HotActivities []string `json:"hot_activities,omitempty"`
 }
 
+// Phase returns the bare segmentation phase the summary enriched — the
+// form Diagnose-style consumers that only need boundaries and labels
+// take, letting the live path reuse its already-summarized phases
+// without re-running the segmenter.
+func (s PhaseSummary) Phase() Phase {
+	return Phase{
+		FirstWindow: s.FirstWindow,
+		LastWindow:  s.LastWindow,
+		Start:       s.Start,
+		End:         s.End,
+		Windows:     s.Windows,
+		MeanID:      s.MeanID,
+		Label:       s.Label,
+	}
+}
+
 // SummarizePhases enriches a segmentation of ser's trajectory with
 // per-phase dispersion indices computed from the series' busy vectors,
 // and — when the series carries per-activity vectors — each phase's hot

@@ -7,7 +7,10 @@
 # baseline (see EXPERIMENTS.md, "Analysis engine"). BenchmarkStreamSegment
 # tracks the live monitor's incremental segmentation: ns/op is the
 # amortized cost per appended window and must stay effectively constant
-# on the fixed-penalty path.
+# on the fixed-penalty path. BenchmarkDiagnose tracks the automatic
+# diagnosis (fingerprint -> cluster -> score, 256 ranks x 8 phases); one
+# report must stay well under a scrape interval, since the monitor
+# recomputes it once per fold generation.
 #
 # Usage: scripts/bench_analysis.sh [output.json]
 set -eu
@@ -15,7 +18,7 @@ set -eu
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_analysis.json}"
 
-raw=$(go test -run '^$' -bench 'FullPipeline|Table|ProcessorView|TemporalFold|StreamSegment' \
+raw=$(go test -run '^$' -bench 'FullPipeline|Table|ProcessorView|TemporalFold|StreamSegment|Diagnose' \
 	-benchmem -count 5 .)
 
 printf '%s\n' "$raw" | awk -v go_version="$(go env GOVERSION)" '
