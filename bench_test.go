@@ -22,6 +22,7 @@ import (
 	"loadimb/internal/core"
 	"loadimb/internal/diagnose"
 	"loadimb/internal/fit"
+	"loadimb/internal/monitor"
 	"loadimb/internal/paper"
 	"loadimb/internal/pattern"
 	"loadimb/internal/repair"
@@ -667,6 +668,46 @@ func BenchmarkTemporalFold(b *testing.B) {
 		if _, err := temporal.FoldLog(res.Log, temporal.Options{Window: window}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkBoundedScrapeLongRun measures the live monitor's per-scrape
+// cost after a short (10k windows) and a very long (1M windows) looping
+// run. With the default window cap the two must be within a small factor
+// of each other — the bounded-retention guarantee that scraping a
+// forever-looping workload stays O(cap) in time and memory no matter how
+// long it has been running. Before the cap, the 1M case held a hundred
+// times the state and every scrape's segmenter pass walked all of it.
+func BenchmarkBoundedScrapeLongRun(b *testing.B) {
+	const window = 0.001
+	for _, n := range []int{10_000, 1_000_000} {
+		b.Run(fmt.Sprintf("N%d", n), func(b *testing.B) {
+			col := monitor.NewCollector(monitor.Options{Window: window})
+			// Preload the run history, snapshotting periodically the way a
+			// scraper would, so retention and the streaming segmenter are in
+			// steady state when measurement starts.
+			for w := 0; w < n; w++ {
+				t0 := float64(w) * window
+				col.Record(trace.Event{
+					Rank: w % 4, Region: "loop", Activity: "comp",
+					Start: t0, End: t0 + window*0.4,
+				})
+				if (w+1)%10_000 == 0 {
+					col.Snapshot()
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// One incremental scrape: one new window's events arrive,
+				// then the collector folds and republish-es.
+				t0 := float64(n+i) * window
+				col.Record(trace.Event{
+					Rank: i % 4, Region: "loop", Activity: "comp",
+					Start: t0, End: t0 + window*0.4,
+				})
+				col.Snapshot()
+			}
+		})
 	}
 }
 

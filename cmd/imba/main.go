@@ -75,6 +75,7 @@ func run(args []string, stdout io.Writer) error {
 		clusterK  = fs.Int("k", 2, "number of region clusters")
 		eventsIn  = fs.String("events", "", "input event trace (JSON lines, as written by cfdsim -events)")
 		window    = fs.Float64("window", 0, "temporal window width in seconds (requires -events)")
+		windowCap = fs.Int("window-cap", 0, "max full-resolution windows retained; older ones decimate into a coarse tail (0 = unbounded, the offline default)")
 		phases    = fs.Bool("phases", false, "segment the trajectory into phases and analyze each (requires -window)")
 		perAct    = fs.Bool("per-activity", false, "segment each activity's own trajectory (requires -window)")
 		penalty   = fs.Float64("penalty", 0, "change-point penalty for -phases (0 = automatic)")
@@ -137,11 +138,12 @@ func run(args []string, stdout io.Writer) error {
 	printed := false
 	if *window > 0 {
 		if err := printTemporal(stdout, lg, cube, temporalSpec{
-			window:   *window,
-			phases:   *phases,
-			perAct:   *perAct,
-			penalty:  *penalty,
-			activity: *activity,
+			window:    *window,
+			windowCap: *windowCap,
+			phases:    *phases,
+			perAct:    *perAct,
+			penalty:   *penalty,
+			activity:  *activity,
 			opts: core.AnalyzeOptions{
 				Options:  core.Options{Index: idx},
 				ClusterK: *clusterK,
@@ -207,18 +209,24 @@ func loadCube(path string, usePaper bool, lg *trace.Log) (*trace.Cube, error) {
 
 // temporalSpec bundles the temporal-analysis flags.
 type temporalSpec struct {
-	window   float64
-	phases   bool
-	perAct   bool
-	penalty  float64
-	activity string
-	opts     core.AnalyzeOptions
+	window    float64
+	windowCap int
+	phases    bool
+	perAct    bool
+	penalty   float64
+	activity  string
+	opts      core.AnalyzeOptions
 }
 
 // printTemporal prints the windowed imbalance trajectory and, when
 // requested, the phase segmentation with the full index set per phase.
 func printTemporal(w io.Writer, lg *trace.Log, cube *trace.Cube, spec temporalSpec) error {
-	opts := temporal.Options{Window: spec.window, TrackActivities: true, PerActivity: spec.perAct}
+	opts := temporal.Options{
+		Window:          spec.window,
+		WindowCap:       spec.windowCap,
+		TrackActivities: true,
+		PerActivity:     spec.perAct,
+	}
 	if spec.activity != "" {
 		for _, name := range strings.Split(spec.activity, ",") {
 			if name = strings.TrimSpace(name); name != "" {
@@ -238,14 +246,25 @@ func printTemporal(w io.Writer, lg *trace.Log, cube *trace.Cube, spec temporalSp
 	fmt.Fprintf(w, "imbalance trajectory (window %g s, %d procs, %s):\n", spec.window, ser.Procs, scope)
 	fmt.Fprintf(w, "  %6s %9s %9s %7s %10s %9s %8s  %s\n",
 		"window", "start", "end", "events", "busy", "ID", "gini", "dominant")
-	for _, ws := range traj {
-		id := "      -"
-		if ws.ID != nil {
-			id = fmt.Sprintf("%9.5f", *ws.ID)
+	printTraj := func(stats []temporal.WindowStat) {
+		for _, ws := range stats {
+			id := "      -"
+			if ws.ID != nil {
+				id = fmt.Sprintf("%9.5f", *ws.ID)
+			}
+			fmt.Fprintf(w, "  %6d %9.3f %9.3f %7d %10.4f %s %8.5f  %s\n",
+				ws.Index, ws.Start, ws.End, ws.Events, ws.Busy, id, ws.Gini, ws.Dominant)
 		}
-		fmt.Fprintf(w, "  %6d %9.3f %9.3f %7d %10.4f %s %8.5f  %s\n",
-			ws.Index, ws.Start, ws.End, ws.Events, ws.Busy, id, ws.Gini, ws.Dominant)
 	}
+	if coarse := ser.CoarseStats(); len(coarse) > 0 {
+		// A bounded fold decimated the early run: print the coarse tail
+		// first (it covers the older time range), then mark the resolution
+		// break before the full-resolution ring.
+		fmt.Fprintf(w, "  decimated history (coarse window %g s, cap %d):\n", ser.CoarseWindow, spec.windowCap)
+		printTraj(coarse)
+		fmt.Fprintf(w, "  --- full resolution from window %d ---\n", ser.RingStart)
+	}
+	printTraj(traj)
 	if spec.perAct {
 		printPerActivity(w, ser, spec.penalty)
 	}

@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"loadimb/internal/federate"
+	"loadimb/internal/temporal"
 )
 
 func main() {
@@ -71,6 +72,7 @@ type daemon struct {
 	interval    time.Duration
 	timeout     time.Duration
 	maxFailures int
+	windowCap   int
 
 	fed *federate.Federator
 	// url is the served base URL, valid once started is closed.
@@ -89,6 +91,8 @@ func parseArgs(args []string) (*daemon, error) {
 	fs.DurationVar(&d.timeout, "timeout", 5*time.Second, "per-scrape request timeout")
 	fs.IntVar(&d.maxFailures, "max-failures", 3,
 		"consecutive scrape failures before an endpoint is marked stale")
+	fs.IntVar(&d.windowCap, "window-cap", temporal.DefaultWindowCap,
+		"max full-resolution windows in the merged series; older windows decimate into a coarse tail (<= 0 = unbounded)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -118,11 +122,16 @@ func parseArgs(args []string) (*daemon, error) {
 // ctx is canceled. One synchronous scrape round runs before the listener
 // opens, so the first request already sees whatever endpoints are up.
 func (d *daemon) run(ctx context.Context, stdout io.Writer) error {
+	winCap := d.windowCap
+	if winCap <= 0 {
+		winCap = -1 // flag <= 0 means unbounded; federate.Options uses < 0
+	}
 	fed, err := federate.New(federate.Options{
 		Endpoints:   d.endpoints,
 		Interval:    d.interval,
 		Timeout:     d.timeout,
 		MaxFailures: d.maxFailures,
+		WindowCap:   winCap,
 		Logf:        log.Printf,
 	})
 	if err != nil {

@@ -47,6 +47,7 @@ import (
 	"loadimb/internal/core"
 	"loadimb/internal/monitor"
 	"loadimb/internal/mpi"
+	"loadimb/internal/temporal"
 	"loadimb/internal/trace"
 )
 
@@ -75,6 +76,7 @@ type daemon struct {
 	phases    int
 	imbalance float64
 	window    float64
+	windowCap int
 	penalty   float64
 	slowRank  int
 	slowFac   float64
@@ -105,6 +107,8 @@ func parseArgs(args []string) (*daemon, error) {
 	fs.IntVar(&d.slowRank, "slow-rank", 0, "rank slowed by -slow-factor (cfd and amr): a persistent straggler the diagnosis names")
 	fs.Float64Var(&d.slowFac, "slow-factor", 0, "computation multiplier of -slow-rank; 0 disables the injection")
 	fs.Float64Var(&d.window, "window", 5, "temporal window width in virtual seconds (0 = off)")
+	fs.IntVar(&d.windowCap, "window-cap", temporal.DefaultWindowCap,
+		"max full-resolution windows retained; older windows decimate 2:1 into a coarse tail (<= 0 = unbounded)")
 	fs.Float64Var(&d.penalty, "phase-penalty", 0, "segmentation penalty for live phase detection (<= 0 = automatic)")
 	fs.IntVar(&d.repeat, "repeat", 1, "workload repetitions (0 = loop until interrupted)")
 	fs.BoolVar(&d.exit, "exit", false, "terminate after the last run instead of serving forever")
@@ -197,8 +201,13 @@ func (d *daemon) runOnce(sink trace.Sink) (float64, error) {
 // schedule, then keeps serving until ctx is canceled (or, with -exit,
 // shuts down -linger after the last run).
 func (d *daemon) run(ctx context.Context, stdout io.Writer) error {
+	winCap := d.windowCap
+	if winCap <= 0 {
+		winCap = -1 // flag <= 0 means unbounded; monitor.Options uses < 0
+	}
 	d.col = monitor.NewCollector(monitor.Options{
 		Window:       d.window,
+		WindowCap:    winCap,
 		PhasePenalty: d.penalty,
 		Regions:      d.regionOrder(),
 		Activities:   mpi.Activities(),

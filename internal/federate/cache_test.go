@@ -3,13 +3,16 @@ package federate
 import (
 	"context"
 	"testing"
+
+	"loadimb/internal/trace"
 )
 
 // TestFederatorSnapshotCached checks Snapshot re-serves the same immutable
-// snapshot while no scrape changed the live-cube set, and rebuilds after a
-// scrape round lands new cubes.
+// snapshot while no scrape changed the live-cube set — including across a
+// scrape round whose endpoint answered 304 Not Modified — and rebuilds
+// once a scrape lands new data.
 func TestFederatorSnapshotCached(t *testing.T) {
-	srv := startEndpoint(t, jobSpec{name: "job-a", procs: 4, events: jobEvents(4, 0.5)})
+	srv, col := startEndpointCollector(t, jobSpec{name: "job-a", procs: 4, events: jobEvents(4, 0.5)})
 	f, err := New(Options{
 		Endpoints: []Endpoint{{Name: "job-a", URL: srv.URL}},
 		Client:    testClient,
@@ -40,19 +43,29 @@ func TestFederatorSnapshotCached(t *testing.T) {
 		t.Fatal("cached snapshot recomputed its views")
 	}
 
-	// A new scrape round delivers a fresh cube pointer: the cached merge
-	// must be discarded.
+	// A scrape round against an unchanged endpoint answers 304: the
+	// cached merge stays valid and must be re-served, not rebuilt — the
+	// incremental-scrape property that keeps polling an idle cluster O(1).
+	f.ScrapeAll(ctx)
+	unchanged := f.Snapshot()
+	if unchanged != first {
+		t.Fatal("Snapshot re-federated although the endpoint answered 304")
+	}
+
+	// New data lands at the endpoint: the next scrape refetches and the
+	// cached merge must be discarded.
+	col.Record(trace.Event{Rank: 0, Region: "solve", Activity: "comp", Start: 5, End: 6})
 	f.ScrapeAll(ctx)
 	third := f.Snapshot()
 	if third == first {
-		t.Fatal("Snapshot served a stale merge after a scrape")
+		t.Fatal("Snapshot served a stale merge after new data arrived")
 	}
 	if third.Gen <= first.Gen {
 		t.Fatalf("generation did not advance after a scrape: %d -> %d", first.Gen, third.Gen)
 	}
-	// The data did not change, so the analysis must not either.
-	if !third.Cube.EqualWithin(first.Cube, 0) {
-		t.Fatal("re-scraped cube differs from the first scrape of identical data")
+	// The new event must be in the federated cube.
+	if third.Cube.EqualWithin(first.Cube, 0) {
+		t.Fatal("re-scraped cube ignores the new event")
 	}
 }
 

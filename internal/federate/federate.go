@@ -66,6 +66,15 @@ type Options struct {
 	// [delay/2, delay) so a restarted cluster's endpoints do not retry
 	// in lockstep. Defaults: Interval/4 and 4*Interval.
 	BackoffBase, BackoffMax time.Duration
+	// WindowCap bounds the merged window series the same way the
+	// collectors bound theirs: at most WindowCap ring windows at full
+	// resolution plus a decimated coarse tail of at most WindowCap
+	// windows. Endpoints usually arrive pre-bounded (their own caps), but
+	// a merged ring can still outgrow any one endpoint's — endpoints
+	// decimate at different times — and unbounded endpoints must not make
+	// the federator unbounded. 0 means temporal.DefaultWindowCap;
+	// negative disables the cap.
+	WindowCap int
 	// Client overrides the HTTP client (tests inject httptest clients);
 	// the per-request Timeout is applied through the request context
 	// either way.
@@ -84,7 +93,14 @@ type endpointState struct {
 	// when the endpoint has windowing disabled or the fetch failed. It is
 	// fetched best-effort alongside the cube: cube availability drives
 	// endpoint health, window availability only the timeline view.
-	windows     *temporal.Series
+	windows *temporal.Series
+	// etag is the snapshot entity tag the cube was fetched under
+	// (monitor.Snapshot.ETag: the endpoint's boot nonce and fold
+	// generation). The next scrape sends it as If-None-Match; an
+	// unchanged endpoint answers 304 and the scrape costs a header
+	// exchange instead of a full document transfer and re-merge. Empty
+	// for endpoints that do not serve ETags.
+	etag        string
 	lastSuccess time.Time
 	lastAttempt time.Time
 	lastLatency time.Duration // duration of the most recent scrape attempt
@@ -100,10 +116,15 @@ type Federator struct {
 	interval    time.Duration
 	timeout     time.Duration
 	maxFailures int
+	windowCap   int
 	backoffBase time.Duration
 	backoffMax  time.Duration
 	client      *http.Client
 	logf        func(string, ...any)
+	// boot is this federator incarnation's nonce: a federator is itself a
+	// snapshot publisher (another federator may scrape it), so its
+	// snapshots carry a Boot like a collector's.
+	boot uint64
 
 	mu     sync.Mutex
 	states []*endpointState
@@ -127,10 +148,18 @@ func New(opts Options) (*Federator, error) {
 		interval:    opts.Interval,
 		timeout:     opts.Timeout,
 		maxFailures: opts.MaxFailures,
+		windowCap:   opts.WindowCap,
 		backoffBase: opts.BackoffBase,
 		backoffMax:  opts.BackoffMax,
 		client:      opts.Client,
 		logf:        opts.Logf,
+		boot:        monitor.BootNonce(),
+	}
+	if f.windowCap == 0 {
+		f.windowCap = temporal.DefaultWindowCap
+	}
+	if f.windowCap < 0 {
+		f.windowCap = 0 // explicit opt-out: unbounded
 	}
 	if f.interval <= 0 {
 		f.interval = 2 * time.Second
@@ -191,17 +220,26 @@ func (s *endpointState) stale(maxFailures int) bool {
 }
 
 // scrapeEndpoint fetches one endpoint's cube (and, best-effort, its
-// window series) and records the outcome.
+// window series) and records the outcome. The fetch is conditional: it
+// presents the ETag of the previous scrape, and an endpoint whose
+// snapshot has not changed answers 304 — the cached cube and windows are
+// reused and the merge generation does not advance, so scraping an idle
+// endpoint costs a header exchange end to end.
 func (f *Federator) scrapeEndpoint(ctx context.Context, s *endpointState) error {
 	ctx, cancel := context.WithTimeout(ctx, f.timeout)
 	defer cancel()
 	attempt := time.Now()
-	cube, err := f.fetchCube(ctx, s.cubeURL())
+	f.mu.Lock()
+	prevETag := s.etag
+	f.mu.Unlock()
+	cube, etag, unchanged, err := f.fetchCube(ctx, s.cubeURL(), prevETag)
 	var windows *temporal.Series
-	if err == nil {
+	if err == nil && !unchanged {
 		// The window series is optional: an endpoint with windowing
 		// disabled answers 503, an older endpoint 404. Neither makes the
-		// endpoint unhealthy — it just contributes no timeline.
+		// endpoint unhealthy — it just contributes no timeline. On 304 the
+		// fetch is skipped entirely: the snapshot ETag covers both
+		// documents, an unchanged snapshot means unchanged windows.
 		windows, _ = f.fetchWindows(ctx, s.windowsURL())
 	}
 	latency := time.Since(attempt)
@@ -223,42 +261,86 @@ func (f *Federator) scrapeEndpoint(ctx context.Context, s *endpointState) error 
 		}
 		return err
 	}
-	if s.stale(f.maxFailures) {
+	wasStale := s.stale(f.maxFailures)
+	if wasStale {
 		f.logf("federate: endpoint %q recovered after %d consecutive failures",
 			s.Name, s.consecutive)
 	}
-	s.cube = cube
-	s.windows = windows
 	s.lastSuccess = time.Now()
 	s.lastError = ""
 	s.consecutive = 0
 	s.scrapes++
+	if unchanged {
+		// 304: the cached cube and windows are still this endpoint's
+		// current snapshot, so the merged view built from them stays valid
+		// and the merge generation must not advance — unless the endpoint
+		// had gone stale, in which case its (unchanged) cube just
+		// re-entered the aggregate.
+		if wasStale {
+			f.gen++
+		}
+		return nil
+	}
+	// A collector restart resets Snapshot.Gen, so a generation that goes
+	// backwards (or a boot nonce that changed) is a new incarnation, not
+	// new data from the old one. The refetched cube replaces the cached
+	// one below either way; the log makes the restart visible, and the
+	// generation bump guarantees the cached merged view is invalidated
+	// rather than re-served.
+	if ob, og, ok := parseETag(prevETag); ok {
+		if nb, ng, ok2 := parseETag(etag); ok2 && (nb != ob || ng < og) {
+			f.logf("federate: endpoint %q restarted (snapshot generation %d after %d); invalidating its cached view",
+				s.Name, ng, og)
+		}
+	}
+	s.cube = cube
+	s.windows = windows
+	s.etag = etag
 	// A fresh cube entered the aggregate (or replaced its predecessor).
 	f.gen++
 	return nil
 }
 
-// fetchCube performs the HTTP GET and decodes the cube.
-func (f *Federator) fetchCube(ctx context.Context, url string) (*trace.Cube, error) {
+// parseETag decodes a monitor snapshot entity tag ("b<boot>-g<gen>",
+// quoted) into its boot nonce and fold generation.
+func parseETag(tag string) (boot, gen uint64, ok bool) {
+	if _, err := fmt.Sscanf(tag, "\"b%x-g%d\"", &boot, &gen); err != nil {
+		return 0, 0, false
+	}
+	return boot, gen, true
+}
+
+// fetchCube performs the HTTP GET and decodes the cube. etag, when
+// non-empty, makes the request conditional (If-None-Match); a 304 answer
+// returns unchanged=true with a nil cube, meaning the caller's cached
+// cube is still current.
+func (f *Federator) fetchCube(ctx context.Context, url, etag string) (cube *trace.Cube, newETag string, unchanged bool, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return nil, err
+		return nil, "", false, err
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
 	}
 	resp, err := f.client.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, "", false, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotModified {
+		_, _ = io.CopyN(io.Discard, resp.Body, 512)
+		return nil, etag, true, nil
+	}
 	if resp.StatusCode != http.StatusOK {
 		// Drain a little so the connection can be reused, then report.
 		_, _ = io.CopyN(io.Discard, resp.Body, 512)
-		return nil, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+		return nil, "", false, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
 	}
-	cube, err := tracefmt.ReadCubeJSON(resp.Body)
+	cube, err = tracefmt.ReadCubeJSON(resp.Body)
 	if err != nil {
-		return nil, fmt.Errorf("GET %s: %w", url, err)
+		return nil, "", false, fmt.Errorf("GET %s: %w", url, err)
 	}
-	return cube, nil
+	return cube, resp.Header.Get("ETag"), false, nil
 }
 
 // fetchWindows fetches and decodes an endpoint's window series. A
@@ -397,7 +479,7 @@ func (f *Federator) Snapshot() *monitor.Snapshot {
 	}
 	f.mu.Unlock()
 
-	snap := &monitor.Snapshot{Gen: gen}
+	snap := &monitor.Snapshot{Gen: gen, Boot: f.boot}
 	if len(jobs) > 0 {
 		cube, err := trace.Federate(jobs)
 		if err != nil {
@@ -423,8 +505,14 @@ func (f *Federator) Snapshot() *monitor.Snapshot {
 				// timeline.
 				f.logf("federate: merging window series: %v", err)
 			} else {
+				// The endpoints bound their own series, but the merged ring
+				// can still outgrow any one endpoint's cap (endpoints
+				// decimate at different times), and an unbounded endpoint
+				// must not make the federator unbounded.
+				ser = temporal.BoundSeries(ser, f.windowCap)
 				snap.Series = ser
 				snap.Windows = ser.Stats()
+				snap.Coarse = ser.CoarseStats()
 				snap.RankLabels = rankLabels
 				// Federated phase detection runs the offline segmentation on
 				// the merged trajectory: Snapshot() may run concurrently, so

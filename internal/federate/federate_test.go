@@ -50,13 +50,21 @@ func jobEvents(procs int, skew float64) []trace.Event {
 // real monitor handler set.
 func startEndpoint(t *testing.T, job jobSpec) *httptest.Server {
 	t.Helper()
+	srv, _ := startEndpointCollector(t, job)
+	return srv
+}
+
+// startEndpointCollector is startEndpoint exposing the collector too, for
+// tests that push more events between scrape rounds.
+func startEndpointCollector(t *testing.T, job jobSpec) (*httptest.Server, *monitor.Collector) {
+	t.Helper()
 	c := monitor.NewCollector(monitor.Options{})
 	for _, e := range job.events {
 		c.Record(e)
 	}
 	srv := httptest.NewServer(monitor.NewHandler(c))
 	t.Cleanup(srv.Close)
-	return srv
+	return srv, c
 }
 
 // mergedOracle merges the jobs' raw event logs offline the same way

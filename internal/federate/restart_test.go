@@ -1,0 +1,150 @@
+package federate
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"loadimb/internal/monitor"
+	"loadimb/internal/trace"
+)
+
+// TestFederatorEndpointRestart simulates a collector restart behind a
+// stable URL: the replacement process publishes a fresh boot nonce and a
+// fold generation that restarts from one — i.e. the endpoint's Gen goes
+// backwards. The federator must treat that as new data (invalidate its
+// cached merged view and serve the new incarnation's cube), never as
+// "unchanged", and must log the restart.
+func TestFederatorEndpointRestart(t *testing.T) {
+	var handler atomic.Value // http.Handler
+	c1 := monitor.NewCollector(monitor.Options{Window: 0.5})
+	for _, e := range jobEvents(4, 0.5) {
+		c1.Record(e)
+	}
+	handler.Store(monitor.NewHandler(c1))
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler.Load().(http.Handler).ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	var logMu sync.Mutex
+	var logs []string
+	f, err := New(Options{
+		Endpoints: []Endpoint{{Name: "job-a", URL: srv.URL}},
+		Client:    testClient,
+		Logf: func(format string, args ...any) {
+			logMu.Lock()
+			logs = append(logs, fmt.Sprintf(format, args...))
+			logMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Drive the first incarnation's fold generation past one, so the
+	// restarted incarnation's generation is observably lower.
+	f.ScrapeAll(ctx)
+	c1.Record(trace.Event{Rank: 0, Region: "solve", Activity: "comp", Start: 3, End: 4})
+	f.ScrapeAll(ctx)
+	before := f.Snapshot()
+	if before.Cube == nil {
+		t.Fatal("no cube before the restart")
+	}
+	if before.Cube.NumProcs() != 4 {
+		t.Fatalf("pre-restart cube has %d procs, want 4", before.Cube.NumProcs())
+	}
+
+	// Restart: a brand-new collector (fresh boot nonce, Gen back at one)
+	// with different content takes over the URL.
+	c2 := monitor.NewCollector(monitor.Options{Window: 0.5})
+	for _, e := range jobEvents(2, 1.0) {
+		c2.Record(e)
+	}
+	handler.Store(monitor.NewHandler(c2))
+
+	f.ScrapeAll(ctx)
+	after := f.Snapshot()
+	if after == before {
+		t.Fatal("restarted endpoint was treated as unchanged: stale merged view re-served")
+	}
+	if after.Cube == nil || after.Cube.NumProcs() != 2 {
+		t.Fatalf("post-restart snapshot does not reflect the new incarnation: %+v", after.Cube)
+	}
+	if after.Gen <= before.Gen {
+		t.Fatalf("merge generation did not advance across the restart: %d -> %d", before.Gen, after.Gen)
+	}
+
+	logMu.Lock()
+	defer logMu.Unlock()
+	found := false
+	for _, l := range logs {
+		if strings.Contains(l, "restarted") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("restart was not logged; logs: %q", logs)
+	}
+}
+
+// TestFederatorRecoveryAfter304: an endpoint that went stale and then
+// answers 304 (its content never changed, only its reachability did)
+// must re-enter the aggregate — the recovery must advance the merge
+// generation even though no document body was transferred.
+func TestFederatorRecoveryAfter304(t *testing.T) {
+	var reject atomic.Bool
+	c := monitor.NewCollector(monitor.Options{})
+	for _, e := range jobEvents(3, 0.5) {
+		c.Record(e)
+	}
+	inner := monitor.NewHandler(c)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if reject.Load() {
+			http.Error(w, "transient outage", http.StatusBadGateway)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	f, err := New(Options{
+		Endpoints:   []Endpoint{{Name: "job-a", URL: srv.URL}},
+		MaxFailures: 2,
+		Client:      testClient,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	f.ScrapeAll(ctx)
+	live := f.Snapshot()
+	if live.Cube == nil {
+		t.Fatal("no cube after the first scrape")
+	}
+
+	reject.Store(true)
+	f.ScrapeAll(ctx)
+	f.ScrapeAll(ctx) // crosses MaxFailures: endpoint goes stale
+	if down := f.Snapshot(); down.Cube != nil {
+		t.Fatal("stale endpoint's cube still served")
+	}
+
+	reject.Store(false)
+	// The collector content never changed, so this scrape answers 304 —
+	// and must still bring the endpoint back into the aggregate.
+	f.ScrapeAll(ctx)
+	back := f.Snapshot()
+	if back.Cube == nil {
+		t.Fatal("endpoint did not rejoin the aggregate after recovering via 304")
+	}
+	if !back.Cube.EqualWithin(live.Cube, 0) {
+		t.Fatal("recovered cube differs from the pre-outage cube")
+	}
+}

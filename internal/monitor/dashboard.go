@@ -89,13 +89,19 @@ async function tick() {
     // phase list simply stay empty then.
     const phases = pres.ok ? (await pres.json()).phases || [] : [];
     const ws = tl.windows || [];
+    // A bounded run that outgrew its window cap carries its older
+    // trajectory decimated to a coarser width: render it before the
+    // full-resolution ring, separated by a ┆ resolution break.
+    const coarse = tl.coarse || [];
     if (ws.length) {
       // id is null for all-idle windows (undefined dispersion): render
       // them as gaps instead of pretending they are balanced.
-      const ids = ws.map(w => w.id).filter(x => x != null);
+      const ids = ws.concat(coarse).map(w => w.id).filter(x => x != null);
       const max = Math.max(...ids, 1e-12);
-      let text =
-        ws.map(w => w.id == null ? "·" : BLOCKS[Math.min(7, Math.floor(w.id / max * 7.999))]).join("");
+      const spark = a =>
+        a.map(w => w.id == null ? "·" : BLOCKS[Math.min(7, Math.floor(w.id / max * 7.999))]).join("");
+      const prefix = coarse.length ? spark(coarse) + "┆" : "";
+      let text = prefix + spark(ws);
       if (phases.length > 1) {
         // Align a ^ under the first window of every phase after the first:
         // the boundaries the streaming segmenter has committed to so far.
@@ -104,11 +110,13 @@ async function tick() {
           const p = ph.first_window - ws[0].index;
           if (p >= 0 && p < row.length) row[p] = "^";
         }
-        text += "\n" + row.join("");
+        text += "\n" + " ".repeat(prefix.length) + row.join("");
       }
       document.getElementById("timeline").textContent = text +
         "\nwindows " + ws[0].index + "…" + ws[ws.length - 1].index +
-        " (width " + tl.window + "s), peak ID " + max.toFixed(4);
+        " (width " + tl.window + "s), peak ID " + max.toFixed(4) +
+        (coarse.length ? "\ndecimated history before window " + tl.ring_start +
+          ": " + coarse.length + " windows at " + tl.coarse_window + "s" : "");
     }
     if (phases.length) {
       const cur = phases[phases.length - 1];

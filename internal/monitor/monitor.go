@@ -23,6 +23,7 @@ package monitor
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"loadimb/internal/stats"
 	"loadimb/internal/temporal"
@@ -50,6 +51,15 @@ type Options struct {
 	// `imba -phases` finds on the same trace. Phase detection is only
 	// active when Window is set.
 	PhasePenalty float64
+	// WindowCap bounds the temporal state: the fold keeps the most recent
+	// WindowCap windows at full resolution and decimates older ones 2:1
+	// into a coarse tail of at most WindowCap windows, so a forever-running
+	// workload holds O(WindowCap) state instead of growing without bound.
+	// 0 means temporal.DefaultWindowCap — the live path is bounded by
+	// default, since it is exactly the path that cannot assume the run
+	// ends. Negative disables the cap (the pre-retention unbounded
+	// behavior, for runs known to be short).
+	WindowCap int
 }
 
 // Collector is a live, concurrency-safe event collector implementing
@@ -57,6 +67,7 @@ type Options struct {
 type Collector struct {
 	window  float64
 	mask    uint64
+	boot    uint64
 	shards  []shard
 	events  atomic.Uint64
 	dropped atomic.Uint64
@@ -95,6 +106,7 @@ func NewCollector(opts Options) *Collector {
 		window: opts.Window,
 		mask:   uint64(pow - 1),
 		shards: make([]shard, pow),
+		boot:   BootNonce(),
 	}
 	c.state.init(opts.Regions, opts.Activities)
 	if opts.Window > 0 {
@@ -106,11 +118,38 @@ func NewCollector(opts Options) *Collector {
 		// wire format has no Dominant field); PerRegion adds the region
 		// split so /diagnose.json can attribute a rank's divergence to
 		// the code region the extra time went to.
-		c.state.tw = temporal.NewFold(temporal.Options{Window: opts.Window, PerActivity: true, PerRegion: true})
+		winCap := opts.WindowCap
+		if winCap == 0 {
+			winCap = temporal.DefaultWindowCap
+		}
+		if winCap < 0 {
+			winCap = 0 // explicit opt-out: unbounded
+		}
+		c.state.tw = temporal.NewFold(temporal.Options{
+			Window:      opts.Window,
+			PerActivity: true,
+			PerRegion:   true,
+			WindowCap:   winCap,
+		})
 		c.state.seg = temporal.NewStreamSegmenter(opts.PhasePenalty)
 	}
 	return c
 }
+
+// BootNonce returns a value distinguishing one snapshot-publisher
+// incarnation from any other, so a scraper comparing snapshot ETags
+// never mistakes a restarted publisher (whose Gen restarted from zero)
+// for an unchanged one. Collectors take one per NewCollector; the
+// federation layer takes one per Federator, since a federator is itself
+// a snapshot publisher that downstream federators may scrape.
+// Wall-clock nanoseconds shifted to make room for a process-local
+// counter: distinct within a process by the counter, across processes by
+// the clock.
+func BootNonce() uint64 {
+	return uint64(time.Now().UnixNano())<<10 | (bootSeq.Add(1) & 0x3ff)
+}
+
+var bootSeq atomic.Uint64
 
 // Record folds one event into the collector. It is safe for concurrent
 // use and sits on the instrumented program's critical path, so it only
@@ -173,6 +212,7 @@ func (c *Collector) Snapshot() *Snapshot {
 	}
 	c.gen++
 	snap := c.state.build(c.state.folded, dropped, c.gen)
+	snap.Boot = c.boot
 	c.snap.Store(snap)
 	return snap
 }

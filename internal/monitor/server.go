@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 
@@ -19,6 +20,37 @@ import (
 type SnapshotSource interface {
 	// Snapshot returns the current snapshot; it must never return nil.
 	Snapshot() *Snapshot
+}
+
+// ETag returns the snapshot's entity tag: the (boot, generation) pair
+// that identifies its content. Gen alone would be ambiguous — it
+// restarts from zero with the publishing process — so the boot nonce is
+// part of the tag; a scraper that caches on the ETag therefore refetches
+// after a restart instead of treating the reset as "unchanged". Empty
+// for snapshots without a boot nonce (hand-built test literals).
+func (s *Snapshot) ETag() string {
+	if s.Boot == 0 {
+		return ""
+	}
+	return fmt.Sprintf("\"b%x-g%d\"", s.Boot, s.Gen)
+}
+
+// serveCached stamps the snapshot's ETag on the response and, when the
+// request's If-None-Match already names it, answers 304 Not Modified and
+// reports true — the incremental-scrape fast path: a federation poll of
+// an idle endpoint costs a header exchange, not a reserialization of the
+// whole document.
+func serveCached(w http.ResponseWriter, r *http.Request, snap *Snapshot) bool {
+	tag := snap.ETag()
+	if tag == "" {
+		return false
+	}
+	w.Header().Set("ETag", tag)
+	if r.Header.Get("If-None-Match") == tag {
+		w.WriteHeader(http.StatusNotModified)
+		return true
+	}
+	return false
 }
 
 // MetricsHandler serves the Prometheus text exposition of the source's
@@ -43,6 +75,9 @@ func CubeHandler(src SnapshotSource) http.HandlerFunc {
 		snap := src.Snapshot()
 		if snap.Cube == nil {
 			http.Error(w, "no events collected yet", http.StatusServiceUnavailable)
+			return
+		}
+		if serveCached(w, r, snap) {
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -84,10 +119,19 @@ func TimelineHandler(src SnapshotSource, window float64) http.HandlerFunc {
 		if window == 0 && snap.Series != nil {
 			window = snap.Series.Window
 		}
-		writeJSON(w, timelinePayload{
+		if serveCached(w, r, snap) {
+			return
+		}
+		p := timelinePayload{
 			Window:  window,
 			Windows: snap.Windows,
-		})
+		}
+		if snap.Series != nil && snap.Series.CoarseWindow > 0 {
+			p.CoarseWindow = snap.Series.CoarseWindow
+			p.RingStart = snap.Series.RingStart
+			p.Coarse = snap.Coarse
+		}
+		writeJSON(w, p)
 	}
 }
 
@@ -101,6 +145,9 @@ func WindowsHandler(src SnapshotSource) http.HandlerFunc {
 		snap := src.Snapshot()
 		if snap.Series == nil {
 			http.Error(w, "windowing disabled", http.StatusServiceUnavailable)
+			return
+		}
+		if serveCached(w, r, snap) {
 			return
 		}
 		writeJSON(w, snap.Series)
@@ -120,6 +167,9 @@ func PhasesHandler(src SnapshotSource) http.HandlerFunc {
 		snap := src.Snapshot()
 		if snap.Series == nil {
 			http.Error(w, "windowing disabled", http.StatusServiceUnavailable)
+			return
+		}
+		if serveCached(w, r, snap) {
 			return
 		}
 		p := phasesPayload{
@@ -144,12 +194,14 @@ func PhasesHandler(src SnapshotSource) http.HandlerFunc {
 func DiagnoseHandler(src SnapshotSource) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		snap := src.Snapshot()
-		rep := snap.Diagnosis()
-		if rep == nil {
+		if snap.Series == nil {
 			http.Error(w, "windowing disabled", http.StatusServiceUnavailable)
 			return
 		}
-		writeJSON(w, rep)
+		if serveCached(w, r, snap) {
+			return
+		}
+		writeJSON(w, snap.Diagnosis())
 	}
 }
 
@@ -216,8 +268,19 @@ type timelinePayload struct {
 	// Window is the configured window width in virtual seconds; 0 when
 	// windowing is disabled.
 	Window float64 `json:"window"`
-	// Windows is the per-window imbalance trajectory.
+	// Windows is the per-window imbalance trajectory. For a bounded run
+	// that outgrew its window cap this is the retained full-resolution
+	// ring; the fields below carry the decimated history. They are
+	// omitted while nothing has been decimated, keeping the wire format
+	// byte-identical to the pre-retention one for bounded-fit runs.
 	Windows []WindowStat `json:"windows"`
+	// CoarseWindow is the decimated tail's window width in virtual
+	// seconds; 0 while nothing has been decimated.
+	CoarseWindow float64 `json:"coarse_window,omitempty"`
+	// RingStart is the base window index where full resolution begins.
+	RingStart int `json:"ring_start,omitempty"`
+	// Coarse is the pre-ring trajectory at CoarseWindow resolution.
+	Coarse []WindowStat `json:"coarse,omitempty"`
 }
 
 // phasesPayload is the /phases.json document.

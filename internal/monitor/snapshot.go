@@ -34,7 +34,13 @@ type Snapshot struct {
 	CellStats [][]stats.Accumulator
 	// Windows is the temporal imbalance trajectory, one entry per
 	// non-empty window in time order; empty when windowing is disabled.
+	// For a bounded (decimated) series this is the retained
+	// full-resolution ring; Coarse carries the older trajectory.
 	Windows []WindowStat
+	// Coarse is the trajectory of the decimated tail of a bounded window
+	// series — the pre-ring history at Series.CoarseWindow resolution.
+	// Nil until the run outgrows the window cap.
+	Coarse []WindowStat
 	// Series holds the raw per-window per-processor busy vectors the
 	// trajectory was computed from — the mergeable document served at
 	// /windows.json, which the federation layer combines across
@@ -51,6 +57,11 @@ type Snapshot struct {
 	// the same source with equal Gen are the same snapshot, so scrape
 	// handlers can skip recomputation entirely.
 	Gen uint64
+	// Boot distinguishes the publishing process incarnation: Gen restarts
+	// from zero when a collector restarts, so scrapers cache on the
+	// (Boot, Gen) pair — the snapshot ETag — never on Gen alone. 0 for
+	// snapshots built outside a publisher (tests constructing literals).
+	Boot uint64
 	// RankLabels optionally names each rank for display in diagnosis
 	// findings. The collector leaves it nil (ranks are just numbers); the
 	// federation layer sets job-namespaced labels ("job/3") before
@@ -177,6 +188,7 @@ func (s *foldState) build(events, dropped, gen uint64) *Snapshot {
 	if s.tw != nil {
 		snap.Series = s.tw.Series()
 		snap.Windows = snap.Series.Stats()
+		snap.Coarse = snap.Series.CoarseStats()
 		if s.seg != nil {
 			// Sync rewinds the incremental segmenter only past the windows
 			// that actually changed since the last snapshot (usually just

@@ -1,0 +1,107 @@
+package monitor
+
+import (
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"loadimb/internal/temporal"
+	"loadimb/internal/trace"
+)
+
+// TestCollectorLongRunSoak is the regression test for the unbounded
+// window-series blowup: a looping workload at a tiny window used to
+// accumulate one WindowVector per window forever, and every scrape's
+// segmenter pass walked all of them — the observer eventually killed the
+// observed run. With the default window cap the collector must hold
+// O(cap) temporal state and O(cap) scrape cost no matter how long the
+// run loops. This drives >= 100k windows through a collector and asserts:
+//
+//   - the retained series stays within the cap (ring and coarse tail);
+//   - the heap stays under a fixed ceiling (runtime.ReadMemStats);
+//   - late scrapes cost no more than a small multiple of early ones;
+//   - the served phases still match the offline segmenter over the
+//     retained ring — what /phases.json promises.
+func TestCollectorLongRunSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-run soak skipped in -short")
+	}
+	const (
+		window  = 0.001
+		procs   = 4
+		nWin    = 120_000 // windows the looping workload spans
+		perStep = 5_000   // windows folded between scrapes
+	)
+	c := NewCollector(Options{Window: window}) // default window cap
+	var scrapeTimes []time.Duration
+	var snap *Snapshot
+	for w := 0; w < nWin; w++ {
+		t0 := float64(w) * window
+		for p := 0; p < procs; p++ {
+			// A skewed, phase-shifting load so windows differ and the
+			// segmenter has structure to chew on.
+			d := window * (0.3 + 0.1*float64(p) + 0.2*float64((w/20_000)%3))
+			c.Record(trace.Event{
+				Rank: p, Region: "loop", Activity: "comp",
+				Start: t0, End: t0 + d,
+			})
+		}
+		if (w+1)%perStep == 0 {
+			start := time.Now()
+			snap = c.Snapshot()
+			scrapeTimes = append(scrapeTimes, time.Since(start))
+		}
+	}
+
+	if snap.Series == nil {
+		t.Fatal("no window series")
+	}
+	if n := len(snap.Series.Windows); n > temporal.DefaultWindowCap {
+		t.Errorf("ring holds %d windows, cap is %d", n, temporal.DefaultWindowCap)
+	}
+	if n := len(snap.Series.Coarse); n == 0 || n > temporal.DefaultWindowCap {
+		t.Errorf("coarse tail holds %d windows, want 1..%d", n, temporal.DefaultWindowCap)
+	}
+	if snap.Series.CoarseWindow <= 0 {
+		t.Error("a 120k-window run at cap 4096 must have decimated")
+	}
+
+	// Heap ceiling: the unbounded path held every window of the run; the
+	// bounded one holds O(cap) vectors plus the cube — far under 128 MiB
+	// regardless of run length.
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > 128<<20 {
+		t.Errorf("heap after 120k windows: %d MiB, ceiling 128 MiB", ms.HeapAlloc>>20)
+	}
+
+	// Scrape-cost boundedness: the median of the last scrapes must stay
+	// within a small factor of the median of the first ones. Medians and
+	// a generous factor keep scheduler noise from flaking the test; an
+	// unbounded segmenter re-walk would be 10x+ by the end.
+	median := func(ds []time.Duration) time.Duration {
+		s := append([]time.Duration(nil), ds...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		return s[len(s)/2]
+	}
+	k := len(scrapeTimes) / 3
+	early, late := median(scrapeTimes[:k]), median(scrapeTimes[len(scrapeTimes)-k:])
+	if late > 5*early {
+		t.Errorf("scrape cost grew with run length: early median %v, late median %v", early, late)
+	}
+
+	// The live phases must equal the offline segmentation of the retained
+	// ring — the /phases.json contract after decimation.
+	offline := temporal.SummarizePhases(snap.Series, temporal.Segment(snap.Windows, 0))
+	if len(offline) != len(snap.Phases) {
+		t.Fatalf("live phases %d, offline %d", len(snap.Phases), len(offline))
+	}
+	for i := range offline {
+		a, b := snap.Phases[i], offline[i]
+		if a.FirstWindow != b.FirstWindow || a.LastWindow != b.LastWindow || a.Label != b.Label {
+			t.Errorf("phase %d: live %+v != offline %+v", i, a, b)
+		}
+	}
+}

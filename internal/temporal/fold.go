@@ -65,7 +65,23 @@ type Options struct {
 	// divergence to the region it spent the extra time in, not just the
 	// activity class.
 	PerRegion bool
+	// WindowCap bounds the fold's retained state: at most WindowCap
+	// non-empty windows are kept at full resolution (the ring of the most
+	// recent ones); older windows are decimated 2:1 into coarser vectors,
+	// and the coarse tail itself re-decimates (doubling its width) when it
+	// outgrows the cap, so total state is O(WindowCap) regardless of run
+	// length while the full-run trajectory stays queryable at reduced
+	// resolution (Series.Coarse). 0 means unbounded — the offline
+	// toolchain folds finite traces and keeps exact windows; the live
+	// monitor, which must survive forever-looping workloads, sets a cap.
+	WindowCap int
 }
+
+// DefaultWindowCap is the live monitor's default window cap: small enough
+// that per-scrape state and fold cost stay modest (a few MB at typical
+// processor counts), large enough that the full-resolution ring spans
+// thousands of windows of recent history.
+const DefaultWindowCap = 4096
 
 // Fold incrementally accumulates events into per-window busy vectors. It
 // is not concurrency-safe; the monitor serializes Add calls under its
@@ -78,15 +94,34 @@ type Fold struct {
 	perReg  bool
 	filter  map[string]bool
 	windows map[int]*windowAcc
+
+	// Retention state (cap > 0). sealed flips on the first decimation;
+	// from then on every base window below ringStart lives folded into
+	// coarse (keyed by base index divided by factor), and ring windows
+	// keep full resolution. factor is the current decimation ratio —
+	// 2 at first, doubling whenever the coarse tail outgrows the cap.
+	cap       int
+	sealed    bool
+	ringStart int
+	factor    int
+	coarse    map[int]*windowAcc
 }
 
-// windowAcc is one window's running accumulation.
+// windowAcc is one window's running accumulation. built caches the
+// immutable WindowVector of the last Series build (padded to builtProcs),
+// so an unchanged window costs a header copy per snapshot instead of a
+// vector copy — the copy-on-write that makes scrape cost proportional to
+// the windows that changed since the last snapshot, not to the retained
+// count.
 type windowAcc struct {
 	procSeconds []float64
 	events      int
 	actSeconds  map[string]float64
 	actProc     map[string][]float64
 	regProc     map[string][]float64
+
+	built      *WindowVector
+	builtProcs int
 }
 
 // NewFold creates a fold. It panics on a non-positive window width —
@@ -101,6 +136,8 @@ func NewFold(opts Options) *Fold {
 		track:   opts.TrackActivities,
 		perAct:  opts.PerActivity,
 		perReg:  opts.PerRegion,
+		cap:     opts.WindowCap,
+		factor:  2,
 		windows: make(map[int]*windowAcc),
 	}
 	if len(opts.Activities) > 0 {
@@ -143,9 +180,12 @@ func (f *Fold) Add(e trace.Event) {
 		if e.Start == float64(w)*f.window {
 			return
 		}
-		acc := f.acc(w)
+		acc := f.accFor(w)
 		acc.grow(e.Rank)
 		acc.events++
+		if f.cap > 0 && len(f.windows) > f.cap {
+			f.compact()
+		}
 		return
 	}
 	first := int(math.Floor(e.Start / f.window))
@@ -164,7 +204,7 @@ func (f *Fold) Add(e trace.Event) {
 		if hi <= lo {
 			continue
 		}
-		acc := f.acc(w)
+		acc := f.accFor(w)
 		acc.grow(e.Rank)
 		acc.procSeconds[e.Rank] += hi - lo
 		acc.events++
@@ -188,23 +228,59 @@ func (f *Fold) Add(e trace.Event) {
 			acc.regProc[e.Region] = vec
 		}
 	}
+	// The compaction runs after the clip loop, never inside it: sealing
+	// mid-event could decimate the very window the loop still holds an
+	// accumulator for.
+	if f.cap > 0 && len(f.windows) > f.cap {
+		f.compact()
+	}
 }
 
-// acc returns the accumulator of window w, creating it on first use.
+// accFor returns the mutable accumulator the base window w folds into: a
+// ring window at full resolution, or — for a late event landing below the
+// retention boundary — the coarse window covering it.
+func (f *Fold) accFor(w int) *windowAcc {
+	if f.sealed && w < f.ringStart {
+		acc := f.coarseAcc(floorDiv(w, f.factor))
+		acc.built = nil
+		return acc
+	}
+	acc := f.acc(w)
+	acc.built = nil
+	return acc
+}
+
+// acc returns the ring accumulator of window w, creating it on first use.
 func (f *Fold) acc(w int) *windowAcc {
 	acc, ok := f.windows[w]
 	if !ok {
-		acc = &windowAcc{}
-		if f.track {
-			acc.actSeconds = make(map[string]float64)
-		}
-		if f.perAct {
-			acc.actProc = make(map[string][]float64)
-		}
-		if f.perReg {
-			acc.regProc = make(map[string][]float64)
-		}
+		acc = f.newAcc()
 		f.windows[w] = acc
+	}
+	return acc
+}
+
+// coarseAcc returns the coarse accumulator of decimated window c,
+// creating it on first use.
+func (f *Fold) coarseAcc(c int) *windowAcc {
+	acc, ok := f.coarse[c]
+	if !ok {
+		acc = f.newAcc()
+		f.coarse[c] = acc
+	}
+	return acc
+}
+
+func (f *Fold) newAcc() *windowAcc {
+	acc := &windowAcc{}
+	if f.track {
+		acc.actSeconds = make(map[string]float64)
+	}
+	if f.perAct {
+		acc.actProc = make(map[string][]float64)
+	}
+	if f.perReg {
+		acc.regProc = make(map[string][]float64)
 	}
 	return acc
 }
@@ -216,55 +292,187 @@ func (a *windowAcc) grow(rank int) {
 	}
 }
 
-// Series snapshots the fold into an immutable window series: one entry
-// per non-empty window in time order, busy vectors padded to Procs so
-// ranks idle for a whole window count as zeros. The fold can keep
-// accumulating afterwards; the series does not alias its buffers.
-func (f *Fold) Series() *Series {
-	s := &Series{Window: f.window, Procs: f.procs}
-	if len(f.windows) == 0 {
-		return s
-	}
+// compact enforces the window cap: the oldest quarter of the ring is
+// decimated into the coarse tail (in ascending index order, so repeated
+// runs over the same events produce identical sums), and the coarse tail
+// re-decimates 2:1 — doubling its width — until it fits the cap too.
+// Quarter-at-a-time hysteresis amortizes the sort: one compaction per
+// cap/4 appended windows, O(log cap) per window.
+func (f *Fold) compact() {
 	idxs := make([]int, 0, len(f.windows))
 	for w := range f.windows {
 		idxs = append(idxs, w)
 	}
 	sort.Ints(idxs)
-	s.Windows = make([]WindowVector, 0, len(idxs))
-	for _, w := range idxs {
-		acc := f.windows[w]
-		v := WindowVector{
-			Index:       w,
-			Events:      acc.events,
-			ProcSeconds: append([]float64(nil), acc.procSeconds...),
+	keep := f.cap - f.cap/4
+	if keep < 1 {
+		keep = 1
+	}
+	seal := idxs[:len(idxs)-keep]
+	if len(seal) == 0 {
+		return
+	}
+	if f.coarse == nil {
+		f.coarse = make(map[int]*windowAcc)
+	}
+	for _, w := range seal {
+		dst := f.coarseAcc(floorDiv(w, f.factor))
+		dst.mergeFrom(f.windows[w])
+		delete(f.windows, w)
+	}
+	f.ringStart = idxs[len(idxs)-keep]
+	f.sealed = true
+	for len(f.coarse) > f.cap {
+		f.factor *= 2
+		old := f.coarse
+		cIdxs := make([]int, 0, len(old))
+		for c := range old {
+			cIdxs = append(cIdxs, c)
 		}
-		for len(v.ProcSeconds) < f.procs {
-			v.ProcSeconds = append(v.ProcSeconds, 0)
-		}
-		v.Dominant = dominant(acc.actSeconds)
-		if len(acc.actProc) > 0 {
-			v.PerActivity = make(map[string][]float64, len(acc.actProc))
-			for a, vec := range acc.actProc {
-				padded := append([]float64(nil), vec...)
-				for len(padded) < f.procs {
-					padded = append(padded, 0)
-				}
-				v.PerActivity[a] = padded
+		sort.Ints(cIdxs)
+		f.coarse = make(map[int]*windowAcc, len(old)/2+1)
+		for _, c := range cIdxs {
+			nc := floorDiv(c, 2)
+			if dst, ok := f.coarse[nc]; ok {
+				dst.mergeFrom(old[c])
+			} else {
+				old[c].built = nil
+				f.coarse[nc] = old[c]
 			}
 		}
-		if len(acc.regProc) > 0 {
-			v.PerRegion = make(map[string][]float64, len(acc.regProc))
-			for r, vec := range acc.regProc {
-				padded := append([]float64(nil), vec...)
-				for len(padded) < f.procs {
-					padded = append(padded, 0)
-				}
-				v.PerRegion[r] = padded
-			}
+	}
+}
+
+// mergeFrom folds src's accumulation into a: the 2:1 decimation step.
+// Busy time is additive over window unions, so the merged vectors equal
+// the exact windows resampled to the coarser width.
+func (a *windowAcc) mergeFrom(src *windowAcc) {
+	a.built = nil
+	a.grow(len(src.procSeconds) - 1)
+	for p, t := range src.procSeconds {
+		a.procSeconds[p] += t
+	}
+	a.events += src.events
+	for act, t := range src.actSeconds {
+		if a.actSeconds == nil {
+			a.actSeconds = make(map[string]float64)
 		}
-		s.Windows = append(s.Windows, v)
+		a.actSeconds[act] += t
+	}
+	a.actProc = mergeVecMap(a.actProc, src.actProc)
+	a.regProc = mergeVecMap(a.regProc, src.regProc)
+}
+
+// mergeVecMap sums src's per-dimension vectors into dst elementwise.
+func mergeVecMap(dst, src map[string][]float64) map[string][]float64 {
+	if len(src) == 0 {
+		return dst
+	}
+	if dst == nil {
+		dst = make(map[string][]float64, len(src))
+	}
+	for k, vec := range src {
+		d := dst[k]
+		for len(d) < len(vec) {
+			d = append(d, 0)
+		}
+		for p, t := range vec {
+			d[p] += t
+		}
+		dst[k] = d
+	}
+	return dst
+}
+
+// floorDiv is floored integer division: the quotient rounds toward
+// negative infinity, so negative window indices decimate into the coarse
+// window covering them rather than the one above.
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// Series snapshots the fold into an immutable window series: one entry
+// per non-empty window in time order, busy vectors padded to Procs so
+// ranks idle for a whole window count as zeros. The fold can keep
+// accumulating afterwards; the series does not alias its mutable buffers
+// — windows unchanged since the previous Series call share their built
+// immutable vectors, so the snapshot costs O(retained) header copies plus
+// vector copies only for the windows that actually changed.
+//
+// With a WindowCap set, Windows is the full-resolution ring and the
+// decimated prefix is published through the series' Coarse fields.
+func (f *Fold) Series() *Series {
+	s := &Series{Window: f.window, Procs: f.procs}
+	s.Windows = f.buildList(f.windows)
+	if f.sealed {
+		s.CoarseWindow = f.window * float64(f.factor)
+		s.RingStart = f.ringStart
+		s.Coarse = f.buildList(f.coarse)
 	}
 	return s
+}
+
+// buildList renders one accumulator map as sorted immutable vectors,
+// reusing each accumulator's cached build when neither it nor the
+// processor count changed.
+func (f *Fold) buildList(accs map[int]*windowAcc) []WindowVector {
+	if len(accs) == 0 {
+		return nil
+	}
+	idxs := make([]int, 0, len(accs))
+	for w := range accs {
+		idxs = append(idxs, w)
+	}
+	sort.Ints(idxs)
+	out := make([]WindowVector, 0, len(idxs))
+	for _, w := range idxs {
+		out = append(out, *accs[w].build(w, f.procs))
+	}
+	return out
+}
+
+// build returns the accumulator's immutable vector at the given index,
+// padded to procs, rebuilding only when the accumulation changed or the
+// processor count grew since the cached build.
+func (a *windowAcc) build(index, procs int) *WindowVector {
+	if a.built != nil && a.builtProcs == procs && a.built.Index == index {
+		return a.built
+	}
+	v := &WindowVector{
+		Index:       index,
+		Events:      a.events,
+		ProcSeconds: append([]float64(nil), a.procSeconds...),
+	}
+	for len(v.ProcSeconds) < procs {
+		v.ProcSeconds = append(v.ProcSeconds, 0)
+	}
+	v.Dominant = dominant(a.actSeconds)
+	if len(a.actProc) > 0 {
+		v.PerActivity = make(map[string][]float64, len(a.actProc))
+		for act, vec := range a.actProc {
+			padded := append([]float64(nil), vec...)
+			for len(padded) < procs {
+				padded = append(padded, 0)
+			}
+			v.PerActivity[act] = padded
+		}
+	}
+	if len(a.regProc) > 0 {
+		v.PerRegion = make(map[string][]float64, len(a.regProc))
+		for r, vec := range a.regProc {
+			padded := append([]float64(nil), vec...)
+			for len(padded) < procs {
+				padded = append(padded, 0)
+			}
+			v.PerRegion[r] = padded
+		}
+	}
+	a.built, a.builtProcs = v, procs
+	return v
 }
 
 // dominant returns the activity with the largest busy time, breaking

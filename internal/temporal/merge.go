@@ -2,6 +2,7 @@ package temporal
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -25,18 +26,90 @@ type JobWindows struct {
 	Label string
 }
 
+// maxWidthMultiple bounds the search for a common window width: two
+// widths whose least common multiple exceeds maxWidthMultiple times the
+// larger one are treated as non-commensurable. Real deployments pick
+// round window widths (1s vs 2s, 0.5s vs 2s), whose common multiple is a
+// handful of the larger width away.
+const maxWidthMultiple = 4096
+
+// CommonWindow returns the coarsest-common-multiple window width of the
+// given widths: the smallest W that every width divides to an integer
+// (within 1e-9 relative tolerance, absorbing float division noise).
+// Windows of commensurable widths can be aligned by resampling each
+// series to W — busy time is additive over window unions — while
+// non-commensurable widths cover incompatible intervals and return an
+// error.
+func CommonWindow(widths []float64) (float64, error) {
+	if len(widths) == 0 {
+		return 0, fmt.Errorf("temporal: no window widths")
+	}
+	maxw := 0.0
+	for _, w := range widths {
+		if w <= 0 {
+			return 0, fmt.Errorf("temporal: non-positive window width %g", w)
+		}
+		if w > maxw {
+			maxw = w
+		}
+	}
+	for k := 1; k <= maxWidthMultiple; k++ {
+		W := maxw * float64(k)
+		ok := true
+		for _, w := range widths {
+			if !dividesEvenly(W, w) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return W, nil
+		}
+	}
+	return 0, fmt.Errorf("temporal: window widths %v are not commensurable (no common multiple up to %d x %g)",
+		widths, maxWidthMultiple, maxw)
+}
+
+// dividesEvenly reports whether w divides W to an integer within
+// tolerance.
+func dividesEvenly(W, w float64) bool {
+	r := W / w
+	n := math.Round(r)
+	return n >= 1 && math.Abs(r-n) <= 1e-9*n
+}
+
+// widthFactor returns the integer ratio W/w for commensurable widths.
+func widthFactor(W, w float64) int {
+	return int(math.Round(W / w))
+}
+
+// ceilDiv is ceiling integer division.
+func ceilDiv(a, b int) int { return -floorDiv(-a, b) }
+
 // Merge combines the window series of several concurrently running jobs
 // into one cluster-wide series, the timeline counterpart of
 // trace.Federate: processor ranks are offset job by job (never added),
-// windows align by index, and each merged window's busy vector is the
-// concatenation of the jobs' vectors in job order. All contributing
-// series must share one window width — windows of different widths
-// cover different intervals and cannot be aligned.
+// windows align by interval, and each merged window's busy vector is the
+// concatenation of the jobs' vectors in job order.
+//
+// Contributing series need not share one window width: the merged series
+// uses the coarsest common multiple of the jobs' widths, and each job's
+// windows are resampled onto it (several narrow windows summing into one
+// merged window). Only genuinely non-commensurable widths — no common
+// multiple — are an error, so a federation tree survives mixed -window
+// configurations. When every job uses the same width the resampling is
+// the identity and the merge is unchanged.
+//
+// Bounded (decimated) contributions merge too: the merged ring begins at
+// the latest ring start of any decimated job, and everything older — the
+// jobs' coarse tails plus any exact windows below that boundary — is
+// resampled onto a common coarse width and served as the merged series'
+// own coarse tail.
 func Merge(jobs []JobWindows) (*Series, error) {
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("temporal: no window series to merge")
 	}
-	window := 0.0
+	var ringWidths, coarseWidths []float64
 	total := 0
 	for k, job := range jobs {
 		procs := job.Procs
@@ -50,134 +123,210 @@ func Merge(jobs []JobWindows) (*Series, error) {
 		if job.Series == nil || job.Series.Window <= 0 {
 			continue
 		}
-		if window == 0 {
-			window = job.Series.Window
-		} else if job.Series.Window != window {
-			return nil, fmt.Errorf("temporal: window widths differ across jobs (%g vs %g)",
-				window, job.Series.Window)
+		ringWidths = append(ringWidths, job.Series.Window)
+		if job.Series.CoarseWindow > 0 {
+			coarseWidths = append(coarseWidths, job.Series.CoarseWindow)
 		}
 	}
-	out := &Series{Window: window, Procs: total}
-	if window == 0 {
-		return out, nil
+	if len(ringWidths) == 0 {
+		return &Series{Procs: total}, nil
 	}
+	W, err := CommonWindow(ringWidths)
+	if err != nil {
+		return nil, err
+	}
+
+	// The merged ring starts where every decimated job still has full
+	// resolution; everything older goes to the merged coarse tail, at the
+	// common multiple of the merged ring width and every contributing
+	// coarse width.
+	haveCoarse := len(coarseWidths) > 0
+	ringStart := math.MinInt
+	Wc := 0.0
+	if haveCoarse {
+		for _, job := range jobs {
+			s := job.Series
+			if s == nil || s.Window <= 0 || s.CoarseWindow <= 0 {
+				continue
+			}
+			if rs := ceilDiv(s.RingStart, widthFactor(W, s.Window)); rs > ringStart {
+				ringStart = rs
+			}
+		}
+		if Wc, err = CommonWindow(append(coarseWidths, W)); err != nil {
+			return nil, err
+		}
+	}
+
 	type mergedWin struct {
 		events int
 		busy   []float64
 		act    map[string][]float64
 		reg    map[string][]float64
 	}
-	merged := make(map[int]*mergedWin)
+	ring := make(map[int]*mergedWin)
+	coarse := make(map[int]*mergedWin)
+	accInto := func(m map[int]*mergedWin, idx int, v *WindowVector, k, procs, offset int, label string) error {
+		// An explicit Procs below the vector length cannot be honored by
+		// clipping: spilling into the next job's rank space would corrupt
+		// its processors, and silently dropping the tail would discard
+		// busy time without a trace. A tail of exact zeros is mere padding
+		// and is trimmed; any nonzero dropped time is an error naming the
+		// inconsistency.
+		for p := procs; p < len(v.ProcSeconds); p++ {
+			if t := v.ProcSeconds[p]; t != 0 {
+				return fmt.Errorf(
+					"temporal: merged job %d window %d has busy time on rank %d (%g s) beyond its declared %d processors",
+					k, v.Index, p, t, procs)
+			}
+		}
+		w, ok := m[idx]
+		if !ok {
+			w = &mergedWin{busy: make([]float64, total)}
+			m[idx] = w
+		}
+		w.events += v.Events
+		for p, t := range v.ProcSeconds {
+			if p >= procs {
+				break // verified zero padding above
+			}
+			w.busy[offset+p] += t
+		}
+		for a, vec := range v.PerActivity {
+			for p := procs; p < len(vec); p++ {
+				if t := vec[p]; t != 0 {
+					return fmt.Errorf(
+						"temporal: merged job %d window %d activity %q has busy time on rank %d (%g s) beyond its declared %d processors",
+						k, v.Index, a, p, t, procs)
+				}
+			}
+			if w.act == nil {
+				w.act = make(map[string][]float64)
+			}
+			mv := w.act[a]
+			if mv == nil {
+				mv = make([]float64, total)
+				w.act[a] = mv
+			}
+			for p, t := range vec {
+				if p >= procs {
+					break
+				}
+				mv[offset+p] += t
+			}
+		}
+		for r, vec := range v.PerRegion {
+			for p := procs; p < len(vec); p++ {
+				if t := vec[p]; t != 0 {
+					return fmt.Errorf(
+						"temporal: merged job %d window %d region %q has busy time on rank %d (%g s) beyond its declared %d processors",
+						k, v.Index, r, p, t, procs)
+				}
+			}
+			if label != "" {
+				r = label + "/" + r
+			}
+			if w.reg == nil {
+				w.reg = make(map[string][]float64)
+			}
+			mv := w.reg[r]
+			if mv == nil {
+				mv = make([]float64, total)
+				w.reg[r] = mv
+			}
+			for p, t := range vec {
+				if p >= procs {
+					break
+				}
+				mv[offset+p] += t
+			}
+		}
+		return nil
+	}
+
 	offset := 0
-	anyAct, anyReg := false, false
 	for k, job := range jobs {
 		procs := job.Procs
 		if procs == 0 && job.Series != nil {
 			procs = job.Series.Procs
 		}
-		if job.Series != nil && job.Series.Window > 0 {
-			for _, v := range job.Series.Windows {
-				// An explicit Procs below the vector length cannot be
-				// honored by clipping: spilling into the next job's rank
-				// space would corrupt its processors, and silently
-				// dropping the tail would discard busy time without a
-				// trace. A tail of exact zeros is mere padding and is
-				// trimmed; any nonzero dropped time is an error naming
-				// the inconsistency.
-				for p := procs; p < len(v.ProcSeconds); p++ {
-					if t := v.ProcSeconds[p]; t != 0 {
-						return nil, fmt.Errorf(
-							"temporal: merged job %d window %d has busy time on rank %d (%g s) beyond its declared %d processors",
-							k, v.Index, p, t, procs)
+		if s := job.Series; s != nil && s.Window > 0 {
+			m := widthFactor(W, s.Window)
+			if s.CoarseWindow > 0 {
+				mc := widthFactor(Wc, s.CoarseWindow)
+				for i := range s.Coarse {
+					v := &s.Coarse[i]
+					if err := accInto(coarse, floorDiv(v.Index, mc), v, k, procs, offset, job.Label); err != nil {
+						return nil, err
 					}
 				}
-				m, ok := merged[v.Index]
-				if !ok {
-					m = &mergedWin{busy: make([]float64, total)}
-					merged[v.Index] = m
+			}
+			for i := range s.Windows {
+				v := &s.Windows[i]
+				idx := floorDiv(v.Index, m)
+				if haveCoarse && idx < ringStart {
+					// An exact window older than the merged ring boundary
+					// (another job already decimated that stretch) joins
+					// the coarse tail instead.
+					mC := widthFactor(Wc, s.Window)
+					if err := accInto(coarse, floorDiv(v.Index, mC), v, k, procs, offset, job.Label); err != nil {
+						return nil, err
+					}
+					continue
 				}
-				m.events += v.Events
-				for p, t := range v.ProcSeconds {
-					if p >= procs {
-						break // verified zero padding above
-					}
-					m.busy[offset+p] += t
-				}
-				for a, vec := range v.PerActivity {
-					for p := procs; p < len(vec); p++ {
-						if t := vec[p]; t != 0 {
-							return nil, fmt.Errorf(
-								"temporal: merged job %d window %d activity %q has busy time on rank %d (%g s) beyond its declared %d processors",
-								k, v.Index, a, p, t, procs)
-						}
-					}
-					if m.act == nil {
-						m.act = make(map[string][]float64)
-					}
-					mv := m.act[a]
-					if mv == nil {
-						mv = make([]float64, total)
-						m.act[a] = mv
-					}
-					for p, t := range vec {
-						if p >= procs {
-							break
-						}
-						mv[offset+p] += t
-					}
-					anyAct = true
-				}
-				for r, vec := range v.PerRegion {
-					for p := procs; p < len(vec); p++ {
-						if t := vec[p]; t != 0 {
-							return nil, fmt.Errorf(
-								"temporal: merged job %d window %d region %q has busy time on rank %d (%g s) beyond its declared %d processors",
-								k, v.Index, r, p, t, procs)
-						}
-					}
-					if job.Label != "" {
-						r = job.Label + "/" + r
-					}
-					if m.reg == nil {
-						m.reg = make(map[string][]float64)
-					}
-					mv := m.reg[r]
-					if mv == nil {
-						mv = make([]float64, total)
-						m.reg[r] = mv
-					}
-					for p, t := range vec {
-						if p >= procs {
-							break
-						}
-						mv[offset+p] += t
-					}
-					anyReg = true
+				if err := accInto(ring, idx, v, k, procs, offset, job.Label); err != nil {
+					return nil, err
 				}
 			}
 		}
 		offset += procs
 	}
-	idxs := make([]int, 0, len(merged))
-	for w := range merged {
-		idxs = append(idxs, w)
+
+	anyDims := func(m map[int]*mergedWin) (act, reg bool) {
+		for _, w := range m {
+			if w.act != nil {
+				act = true
+			}
+			if w.reg != nil {
+				reg = true
+			}
+		}
+		return act, reg
 	}
-	sort.Ints(idxs)
-	out.Windows = make([]WindowVector, 0, len(idxs))
-	for _, w := range idxs {
-		m := merged[w]
-		v := WindowVector{
-			Index:       w,
-			Events:      m.events,
-			ProcSeconds: m.busy,
+	render := func(m map[int]*mergedWin) []WindowVector {
+		if len(m) == 0 {
+			return nil
 		}
-		if anyAct {
-			v.PerActivity = m.act
+		idxs := make([]int, 0, len(m))
+		for w := range m {
+			idxs = append(idxs, w)
 		}
-		if anyReg {
-			v.PerRegion = m.reg
+		sort.Ints(idxs)
+		anyAct, anyReg := anyDims(m)
+		out := make([]WindowVector, 0, len(idxs))
+		for _, wIdx := range idxs {
+			w := m[wIdx]
+			v := WindowVector{
+				Index:       wIdx,
+				Events:      w.events,
+				ProcSeconds: w.busy,
+			}
+			if anyAct {
+				v.PerActivity = w.act
+			}
+			if anyReg {
+				v.PerRegion = w.reg
+			}
+			out = append(out, v)
 		}
-		out.Windows = append(out.Windows, v)
+		return out
+	}
+
+	out := &Series{Window: W, Procs: total, Windows: render(ring)}
+	if haveCoarse {
+		out.CoarseWindow = Wc
+		out.RingStart = ringStart
+		out.Coarse = render(coarse)
 	}
 	return out, nil
 }

@@ -44,14 +44,91 @@ func TestMergeOffsetsRanks(t *testing.T) {
 	}
 }
 
-func TestMergeRejectsMixedWidths(t *testing.T) {
+// TestMergeResamplesMixedWidths: jobs configured with different -window
+// values used to make the whole federation tree error out. Commensurable
+// widths now merge at their coarsest common multiple — each narrow
+// window summing into the merged window covering it — so here the
+// 0.5s-window job's windows 0..3 fold pairwise into 1s windows 0..1 and
+// align with the 1s-window job.
+func TestMergeResamplesMixedWidths(t *testing.T) {
+	a := &Series{Window: 1, Procs: 1, Windows: []WindowVector{
+		{Index: 0, Events: 1, ProcSeconds: []float64{1}},
+		{Index: 1, Events: 1, ProcSeconds: []float64{2}},
+	}}
+	b := &Series{Window: 0.5, Procs: 1, Windows: []WindowVector{
+		{Index: 0, Events: 1, ProcSeconds: []float64{0.1}},
+		{Index: 1, Events: 1, ProcSeconds: []float64{0.2}},
+		{Index: 2, Events: 1, ProcSeconds: []float64{0.3}},
+		{Index: 3, Events: 1, ProcSeconds: []float64{0.4}},
+	}}
+	got, err := Merge([]JobWindows{{Series: a}, {Series: b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Window != 1 || got.Procs != 2 {
+		t.Fatalf("merged window=%g procs=%d, want 1 and 2", got.Window, got.Procs)
+	}
+	if len(got.Windows) != 2 {
+		t.Fatalf("%d windows, want 2", len(got.Windows))
+	}
+	w0, w1 := got.Windows[0], got.Windows[1]
+	if w0.Index != 0 || w0.Events != 3 || w0.ProcSeconds[0] != 1 || math.Abs(w0.ProcSeconds[1]-0.3) > 1e-12 {
+		t.Errorf("window 0 = %+v", w0)
+	}
+	if w1.Index != 1 || w1.Events != 3 || w1.ProcSeconds[0] != 2 || math.Abs(w1.ProcSeconds[1]-0.7) > 1e-12 {
+		t.Errorf("window 1 = %+v", w1)
+	}
+}
+
+// TestMergeRejectsNonCommensurableWidths: widths with no common multiple
+// cover incompatible intervals; resampling cannot align them, and the
+// merge must still say so rather than fabricate a timeline.
+func TestMergeRejectsNonCommensurableWidths(t *testing.T) {
 	a := &Series{Window: 1, Procs: 1}
-	b := &Series{Window: 0.5, Procs: 1}
+	b := &Series{Window: math.Sqrt2, Procs: 1}
 	if _, err := Merge([]JobWindows{{Series: a}, {Series: b}}); err == nil {
-		t.Error("mixed window widths accepted")
+		t.Error("non-commensurable window widths accepted")
 	}
 	if _, err := Merge(nil); err == nil {
 		t.Error("empty job list accepted")
+	}
+}
+
+// TestMergeResampleAgreesWithCoarseFold is the resampling oracle: fold
+// the same log twice, at 0.25s and at 1s, merge the fine series with a
+// procless placeholder, and the fine series resampled by Merge must
+// agree with the directly folded coarse series window by window.
+func TestMergeResampleAgreesWithCoarseFold(t *testing.T) {
+	log := synthLog(4, 600, 12345)
+	fine := foldLog(t, log, Options{Window: 0.25, PerActivity: true, PerRegion: true})
+	coarse := foldLog(t, log, Options{Window: 1, PerActivity: true, PerRegion: true})
+	got, err := Merge([]JobWindows{
+		{Series: fine},
+		{Series: &Series{Window: 1, Procs: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Window != 1 {
+		t.Fatalf("merged window = %g, want 1", got.Window)
+	}
+	if len(got.Windows) != len(coarse.Windows) {
+		t.Fatalf("%d merged windows, want %d", len(got.Windows), len(coarse.Windows))
+	}
+	for i := range got.Windows {
+		g, w := got.Windows[i], coarse.Windows[i]
+		// Events is not compared: the fold clips events at window
+		// boundaries, so an event spanning three fine windows counts three
+		// times in the fine series but once in the direct coarse fold.
+		// Busy time is what resampling preserves exactly.
+		if g.Index != w.Index {
+			t.Fatalf("window %d: got index=%d, want index=%d", i, g.Index, w.Index)
+		}
+		for p := range w.ProcSeconds {
+			if math.Abs(g.ProcSeconds[p]-w.ProcSeconds[p]) > 1e-9 {
+				t.Errorf("window %d rank %d: %g vs %g", g.Index, p, g.ProcSeconds[p], w.ProcSeconds[p])
+			}
+		}
 	}
 }
 

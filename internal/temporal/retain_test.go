@@ -1,0 +1,383 @@
+package temporal
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"loadimb/internal/trace"
+)
+
+// synthLog builds a deterministic pseudo-random event log over procs
+// ranks spanning roughly span virtual seconds, with a handful of
+// activities and regions so the per-dimension vectors are exercised too.
+// An xorshift generator keeps it reproducible without math/rand.
+func synthLog(procs int, span float64, seed uint64) *trace.Log {
+	activities := []string{"compute", "comm", "io"}
+	regions := []string{"solve", "exchange", "dump"}
+	rng := seed
+	next := func() float64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return float64(rng%1_000_000) / 1_000_000
+	}
+	var lg trace.Log
+	for t := 0.0; t < span; {
+		for r := 0; r < procs; r++ {
+			d := next() * 0.9 * (1 + float64(r)/float64(procs))
+			e := trace.Event{
+				Rank:     r,
+				Activity: activities[int(rng>>5)%len(activities)],
+				Region:   regions[int(rng>>9)%len(regions)],
+				Start:    t + next()*0.3,
+			}
+			e.End = e.Start + d
+			if err := lg.Append(e); err != nil {
+				panic(err)
+			}
+		}
+		t += 0.5 + next()
+	}
+	return &lg
+}
+
+// foldLog folds a log, failing the test on error.
+func foldLog(t *testing.T, lg *trace.Log, opts Options) *Series {
+	t.Helper()
+	s, err := FoldLog(lg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// resample folds a series' exact windows to a coarser width (an integer
+// multiple of the base width), clipped to indices strictly below limit —
+// the oracle the decimated tail is tested against.
+func resample(s *Series, factor int, limit int) map[int]*WindowVector {
+	out := make(map[int]*WindowVector)
+	for i := range s.Windows {
+		v := &s.Windows[i]
+		if v.Index >= limit {
+			continue
+		}
+		c := floorDiv(v.Index, factor)
+		if dst, ok := out[c]; ok {
+			addVector(dst, v)
+		} else {
+			nv := cloneVector(v)
+			nv.Index = c
+			nv.Dominant = ""
+			out[c] = nv
+		}
+	}
+	return out
+}
+
+// TestBoundedRingBitIdentical is the tentpole's core property: within
+// the retained ring, the bounded fold must be bit-identical to the
+// unbounded fold of the same events — same indices, same vectors, same
+// dominants, byte for byte once serialized. The live monitor's wire
+// documents over the ring zone are identical to the pre-cap path because
+// of this.
+func TestBoundedRingBitIdentical(t *testing.T) {
+	lg := synthLog(6, 400, 99)
+	opts := Options{Window: 0.25, PerActivity: true, PerRegion: true}
+	free := foldLog(t, lg, opts)
+	for _, cap := range []int{8, 32, 100} {
+		opts.WindowCap = cap
+		bounded := foldLog(t, lg, opts)
+		if len(bounded.Windows) > cap {
+			t.Fatalf("cap %d: ring holds %d windows", cap, len(bounded.Windows))
+		}
+		if len(bounded.Coarse) > cap {
+			t.Fatalf("cap %d: coarse tail holds %d windows", cap, len(bounded.Coarse))
+		}
+		if bounded.CoarseWindow <= 0 {
+			t.Fatalf("cap %d: run long enough to decimate, but no coarse tail", cap)
+		}
+		exact := make(map[int]*WindowVector, len(free.Windows))
+		for i := range free.Windows {
+			exact[free.Windows[i].Index] = &free.Windows[i]
+		}
+		for i := range bounded.Windows {
+			v := &bounded.Windows[i]
+			if v.Index < bounded.RingStart {
+				t.Fatalf("cap %d: ring window %d below ring start %d", cap, v.Index, bounded.RingStart)
+			}
+			want, ok := exact[v.Index]
+			if !ok {
+				t.Fatalf("cap %d: ring window %d absent from unbounded fold", cap, v.Index)
+			}
+			if !reflect.DeepEqual(v, want) {
+				t.Fatalf("cap %d: ring window %d differs from unbounded fold:\n got %+v\nwant %+v",
+					cap, v.Index, v, want)
+			}
+		}
+		// Every unbounded window at or after the ring start must be in the
+		// bounded ring too — the ring is the unbounded suffix, not a sample.
+		for idx := range exact {
+			if idx < bounded.RingStart {
+				continue
+			}
+			found := false
+			for i := range bounded.Windows {
+				if bounded.Windows[i].Index == idx {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("cap %d: unbounded window %d missing from bounded ring", cap, idx)
+			}
+		}
+	}
+}
+
+// TestCoarseMatchesResampledExact: each decimated window must equal the
+// exact windows of its span resampled to the coarse width. Equality is
+// modulo float-addition association (the decimation may have summed in a
+// different order than a one-shot resample), hence the 1e-9 tolerance
+// rather than bit identity.
+func TestCoarseMatchesResampledExact(t *testing.T) {
+	lg := synthLog(5, 300, 7)
+	opts := Options{Window: 0.25, PerActivity: true, PerRegion: true}
+	free := foldLog(t, lg, opts)
+	opts.WindowCap = 16
+	bounded := foldLog(t, lg, opts)
+	if bounded.CoarseWindow <= 0 || len(bounded.Coarse) == 0 {
+		t.Fatal("run long enough to decimate, but no coarse tail")
+	}
+	factor := int(math.Round(bounded.CoarseWindow / bounded.Window))
+	if factor < 2 || factor&(factor-1) != 0 {
+		t.Fatalf("decimation factor %d is not a power of two >= 2", factor)
+	}
+	want := resample(free, factor, bounded.RingStart)
+	if len(want) != len(bounded.Coarse) {
+		t.Fatalf("%d coarse windows, oracle has %d", len(bounded.Coarse), len(want))
+	}
+	for i := range bounded.Coarse {
+		g := &bounded.Coarse[i]
+		w, ok := want[g.Index]
+		if !ok {
+			t.Fatalf("coarse window %d absent from resampled oracle", g.Index)
+		}
+		if g.Events != w.Events {
+			t.Errorf("coarse window %d events = %d, oracle %d", g.Index, g.Events, w.Events)
+		}
+		assertVecClose(t, "busy", g.Index, g.ProcSeconds, w.ProcSeconds)
+		assertMapClose(t, "activity", g.Index, g.PerActivity, w.PerActivity)
+		assertMapClose(t, "region", g.Index, g.PerRegion, w.PerRegion)
+	}
+	// And the trajectory indices over the decimated tail equal the same
+	// indices over the resampled exact windows.
+	coarseStats := bounded.CoarseStats()
+	oracle := &Series{Window: bounded.CoarseWindow, Procs: free.Procs}
+	for _, c := range sortedVecIdxs(want) {
+		oracle.Windows = append(oracle.Windows, *want[c])
+	}
+	oracleStats := oracle.Stats()
+	for i := range coarseStats {
+		g, w := coarseStats[i], oracleStats[i]
+		if g.Index != w.Index || math.Abs(g.Busy-w.Busy) > 1e-9 || math.Abs(g.Gini-w.Gini) > 1e-9 {
+			t.Errorf("coarse stat %d: got %+v, want %+v", i, g, w)
+		}
+		switch {
+		case (g.ID == nil) != (w.ID == nil):
+			t.Errorf("coarse stat %d: ID nullness differs", i)
+		case g.ID != nil && math.Abs(*g.ID-*w.ID) > 1e-9:
+			t.Errorf("coarse stat %d: ID %g, want %g", i, *g.ID, *w.ID)
+		}
+	}
+}
+
+func assertVecClose(t *testing.T, what string, idx int, got, want []float64) {
+	t.Helper()
+	if len(got) < len(want) {
+		padded := make([]float64, len(want))
+		copy(padded, got)
+		got = padded
+	}
+	for p := range want {
+		if math.Abs(got[p]-want[p]) > 1e-9 {
+			t.Errorf("coarse window %d %s rank %d = %g, oracle %g", idx, what, p, got[p], want[p])
+		}
+	}
+	for p := len(want); p < len(got); p++ {
+		if got[p] != 0 {
+			t.Errorf("coarse window %d %s rank %d = %g beyond oracle", idx, what, p, got[p])
+		}
+	}
+}
+
+func assertMapClose(t *testing.T, what string, idx int, got, want map[string][]float64) {
+	t.Helper()
+	for k, wv := range want {
+		assertVecClose(t, what+" "+k, idx, got[k], wv)
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			t.Errorf("coarse window %d has unexpected %s %q", idx, what, k)
+		}
+	}
+}
+
+// TestBoundedConservesBusyTime: decimation moves busy time, it must
+// never lose any — the ring plus the coarse tail hold exactly the
+// unbounded fold's total processor-seconds and event count.
+func TestBoundedConservesBusyTime(t *testing.T) {
+	lg := synthLog(4, 500, 3)
+	opts := Options{Window: 0.1, PerActivity: true, PerRegion: true}
+	free := foldLog(t, lg, opts)
+	opts.WindowCap = 12
+	bounded := foldLog(t, lg, opts)
+	sum := func(ws []WindowVector) (busy float64, events int) {
+		for i := range ws {
+			for _, v := range ws[i].ProcSeconds {
+				busy += v
+			}
+			events += ws[i].Events
+		}
+		return
+	}
+	fb, fe := sum(free.Windows)
+	rb, re := sum(bounded.Windows)
+	cb, ce := sum(bounded.Coarse)
+	if re+ce != fe {
+		t.Errorf("events: ring %d + coarse %d != unbounded %d", re, ce, fe)
+	}
+	if math.Abs(rb+cb-fb) > 1e-6*fb {
+		t.Errorf("busy: ring %g + coarse %g != unbounded %g", rb, cb, fb)
+	}
+}
+
+// TestBoundSeriesMatchesFoldRetention: the one-shot BoundSeries used by
+// the federator must agree with the fold's own incremental retention on
+// the ring zone — same suffix, bit-identical — and keep its own state
+// within the cap.
+func TestBoundSeriesMatchesFoldRetention(t *testing.T) {
+	lg := synthLog(4, 300, 11)
+	opts := Options{Window: 0.25, PerActivity: true, PerRegion: true}
+	free := foldLog(t, lg, opts)
+	const cap = 24
+	bounded := BoundSeries(free, cap)
+	if bounded == free {
+		t.Fatal("series above cap returned unbounded")
+	}
+	if len(bounded.Windows) != cap {
+		t.Fatalf("ring holds %d windows, want %d", len(bounded.Windows), cap)
+	}
+	if len(bounded.Coarse) == 0 || len(bounded.Coarse) > cap {
+		t.Fatalf("coarse tail holds %d windows", len(bounded.Coarse))
+	}
+	want := free.Windows[len(free.Windows)-cap:]
+	if !reflect.DeepEqual(bounded.Windows, want) {
+		t.Fatal("BoundSeries ring differs from the unbounded suffix")
+	}
+	if bounded.RingStart != want[0].Index {
+		t.Fatalf("ring start %d, want %d", bounded.RingStart, want[0].Index)
+	}
+	// The input must not be mutated.
+	free2 := foldLog(t, lg, opts)
+	if !reflect.DeepEqual(free, free2) {
+		t.Fatal("BoundSeries mutated its input series")
+	}
+	// A series already within the cap passes through untouched.
+	if got := BoundSeries(bounded, cap); got != bounded {
+		t.Fatal("series within cap was rebuilt")
+	}
+}
+
+// TestMergeDecimatedSeries: two bounded endpoints merge into one bounded
+// series — ring zone where both still have full resolution, coarse tail
+// below, nothing dropped.
+func TestMergeDecimatedSeries(t *testing.T) {
+	lg := synthLog(6, 200, 21)
+	var la, lb trace.Log
+	lg.Each(func(e trace.Event) {
+		if e.Rank < 3 {
+			if err := la.Append(e); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			e.Rank -= 3
+			if err := lb.Append(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	opts := Options{Window: 0.25, PerActivity: true, PerRegion: true, WindowCap: 32}
+	sa := foldLog(t, &la, opts)
+	opts.WindowCap = 16
+	sb := foldLog(t, &lb, opts)
+	if sa.CoarseWindow <= 0 || sb.CoarseWindow <= 0 {
+		t.Fatal("both endpoints should have decimated")
+	}
+	got, err := Merge([]JobWindows{{Series: sa, Label: "a"}, {Series: sb, Label: "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Procs != 6 || got.Window != 0.25 {
+		t.Fatalf("merged procs=%d window=%g", got.Procs, got.Window)
+	}
+	if got.CoarseWindow <= 0 || len(got.Coarse) == 0 {
+		t.Fatal("merged series lost the coarse tails")
+	}
+	wantStart := sa.RingStart
+	if sb.RingStart > wantStart {
+		wantStart = sb.RingStart
+	}
+	if got.RingStart != wantStart {
+		t.Fatalf("merged ring start %d, want %d", got.RingStart, wantStart)
+	}
+	for i := range got.Windows {
+		if got.Windows[i].Index < got.RingStart {
+			t.Fatalf("merged ring window %d below ring start %d", got.Windows[i].Index, got.RingStart)
+		}
+	}
+	// Conservation across the merge: nothing decimated is dropped.
+	sum := func(ws []WindowVector) (busy float64) {
+		for i := range ws {
+			for _, v := range ws[i].ProcSeconds {
+				busy += v
+			}
+		}
+		return
+	}
+	want := sum(sa.Windows) + sum(sa.Coarse) + sum(sb.Windows) + sum(sb.Coarse)
+	if total := sum(got.Windows) + sum(got.Coarse); math.Abs(total-want) > 1e-6*want {
+		t.Errorf("merged busy %g, endpoints hold %g", total, want)
+	}
+	// In the merged ring zone both endpoints contribute at full
+	// resolution: each merged ring window equals the endpoints' exact
+	// windows concatenated.
+	ringOf := func(s *Series, idx int) *WindowVector {
+		for i := range s.Windows {
+			if s.Windows[i].Index == idx {
+				return &s.Windows[i]
+			}
+		}
+		return nil
+	}
+	for i := range got.Windows {
+		v := &got.Windows[i]
+		wa, wb := ringOf(sa, v.Index), ringOf(sb, v.Index)
+		for p := 0; p < 3; p++ {
+			want := 0.0
+			if wa != nil && p < len(wa.ProcSeconds) {
+				want = wa.ProcSeconds[p]
+			}
+			if v.ProcSeconds[p] != want {
+				t.Fatalf("merged window %d rank %d = %g, endpoint a has %g", v.Index, p, v.ProcSeconds[p], want)
+			}
+			want = 0.0
+			if wb != nil && p < len(wb.ProcSeconds) {
+				want = wb.ProcSeconds[p]
+			}
+			if v.ProcSeconds[3+p] != want {
+				t.Fatalf("merged window %d rank %d = %g, endpoint b has %g", v.Index, 3+p, v.ProcSeconds[3+p], want)
+			}
+		}
+	}
+}

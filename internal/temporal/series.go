@@ -17,8 +17,32 @@ type Series struct {
 	Window float64 `json:"window"`
 	// Procs is the processor count; every busy vector has this length.
 	Procs int `json:"procs"`
-	// Windows holds the non-empty windows in ascending index order.
+	// Windows holds the non-empty windows in ascending index order. When
+	// the series is bounded (CoarseWindow > 0) these are the retained
+	// ring: the most recent windows at full resolution, bit-identical to
+	// what an unbounded fold of the same events would hold for them.
 	Windows []WindowVector `json:"windows"`
+
+	// The retention fields below are only set for a bounded series whose
+	// history exceeded its window cap; an unbounded (or not yet
+	// decimated) series omits them, keeping the wire format unchanged.
+
+	// CoarseWindow is the width, in virtual seconds, of the decimated
+	// windows in Coarse: Window times a power of two, doubling every time
+	// the coarse tail itself outgrows the cap. 0 while nothing has been
+	// decimated.
+	CoarseWindow float64 `json:"coarse_window,omitempty"`
+	// Coarse holds the pre-ring trajectory at CoarseWindow resolution:
+	// every base window older than RingStart folded 2:1 (repeatedly) into
+	// coarser vectors. Each coarse window equals the exact windows of its
+	// span resampled to the coarser width — busy time is additive over
+	// window unions — except the last one, which may cover only the part
+	// of its span below RingStart (the rest is still in the ring).
+	Coarse []WindowVector `json:"coarse,omitempty"`
+	// RingStart is the base window index where full resolution begins:
+	// windows at or after it are exact ring members, everything before it
+	// lives in Coarse. Meaningful only when CoarseWindow > 0.
+	RingStart int `json:"ring_start,omitempty"`
 }
 
 // WindowVector is one window's raw accumulation.
@@ -77,17 +101,39 @@ type WindowStat struct {
 // Stats computes the imbalance trajectory of the series: per window the
 // total busy time, the ID of the per-processor busy vector (null for
 // all-idle windows), the Gini coefficient, and the dominant activity
-// when tracked.
+// when tracked. For a bounded series this is the trajectory of the
+// retained full-resolution ring; CoarseStats covers the decimated tail.
 func (s *Series) Stats() []WindowStat {
-	if s == nil || len(s.Windows) == 0 {
+	if s == nil {
 		return nil
 	}
-	out := make([]WindowStat, 0, len(s.Windows))
-	for _, v := range s.Windows {
+	return statsOf(s.Windows, s.Window)
+}
+
+// CoarseStats computes the trajectory of the decimated tail of a bounded
+// series, at CoarseWindow resolution; nil while nothing has been
+// decimated. Within each coarse window the indices are computed over the
+// summed busy vectors — exactly the indices of the underlying exact
+// windows resampled to the coarser width.
+func (s *Series) CoarseStats() []WindowStat {
+	if s == nil || s.CoarseWindow <= 0 {
+		return nil
+	}
+	return statsOf(s.Coarse, s.CoarseWindow)
+}
+
+// statsOf summarizes one window sequence at the given width — the shared
+// body of Stats and CoarseStats.
+func statsOf(windows []WindowVector, width float64) []WindowStat {
+	if len(windows) == 0 {
+		return nil
+	}
+	out := make([]WindowStat, 0, len(windows))
+	for _, v := range windows {
 		ws := WindowStat{
 			Index:    v.Index,
-			Start:    float64(v.Index) * s.Window,
-			End:      float64(v.Index+1) * s.Window,
+			Start:    float64(v.Index) * width,
+			End:      float64(v.Index+1) * width,
 			Events:   v.Events,
 			Dominant: v.Dominant,
 		}

@@ -10,7 +10,10 @@
 # on the fixed-penalty path. BenchmarkDiagnose tracks the automatic
 # diagnosis (fingerprint -> cluster -> score, 256 ranks x 8 phases); one
 # report must stay well under a scrape interval, since the monitor
-# recomputes it once per fold generation.
+# recomputes it once per fold generation. BenchmarkBoundedScrapeLongRun
+# tracks the bounded-retention guarantee: the per-scrape cost after 1M
+# accumulated windows must stay within 2x of the cost after 10k — scrape
+# time independent of run length (see ISSUE 7).
 #
 # Usage: scripts/bench_analysis.sh [output.json]
 set -eu
@@ -18,7 +21,7 @@ set -eu
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_analysis.json}"
 
-raw=$(go test -run '^$' -bench 'FullPipeline|Table|ProcessorView|TemporalFold|StreamSegment|Diagnose' \
+raw=$(go test -run '^$' -bench 'FullPipeline|Table|ProcessorView|TemporalFold|StreamSegment|Diagnose|BoundedScrapeLongRun' \
 	-benchmem -count 5 .)
 
 printf '%s\n' "$raw" | awk -v go_version="$(go env GOVERSION)" '
