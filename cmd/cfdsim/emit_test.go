@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"loadimb/internal/monitor"
+	"loadimb/internal/tracefmt"
+)
+
+// TestRunEmit: -emit streams the run's events to a remote collector, and
+// the remote fold sees exactly the events the local trace file records.
+func TestRunEmit(t *testing.T) {
+	col := monitor.NewCollector(monitor.Options{})
+	srv := monitor.NewIngestServer(col, monitor.IngestOptions{})
+	defer srv.Close()
+	sock := filepath.Join(t.TempDir(), "emit.sock")
+	if _, err := srv.Listen("unix:" + sock); err != nil {
+		t.Fatal(err)
+	}
+
+	eventsFile := filepath.Join(t.TempDir(), "run.jsonl")
+	var out bytes.Buffer
+	err := run([]string{
+		"-procs", "4", "-gridx", "64", "-gridy", "64", "-iters", "3",
+		"-events", eventsFile,
+		"-emit", "unix:" + sock,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "streaming events to") {
+		t.Errorf("output missing the -emit line:\n%s", out.String())
+	}
+
+	log, err := tracefmt.OpenEvents(eventsFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(log.Len())
+	deadline := time.Now().Add(10 * time.Second)
+	for col.Events() < want && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := col.Snapshot().Events; got != want {
+		t.Fatalf("remote collector folded %d events, want the run's %d", got, want)
+	}
+}
+
+// TestRunEmitBadSpec: a malformed -emit spec fails fast, before the
+// simulation runs.
+func TestRunEmitBadSpec(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-emit", "carrier-pigeon"}, &out); err == nil {
+		t.Fatal("malformed -emit spec accepted")
+	}
+}

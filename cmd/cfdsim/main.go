@@ -8,6 +8,7 @@
 //	cfdsim -procs 32 -imbalance 0.5 -out run.json
 //	cfdsim -events run.jsonl -out run.limb -summary
 //	cfdsim -serve 127.0.0.1:9190 -linger 1m    # live /metrics during the run
+//	cfdsim -emit unix:/tmp/loadimb.sock        # stream events to imbamon -ingest
 //	cfdsim -slow-rank 5 -slow-factor 3 -events run.jsonl   # inject a straggler
 //	                                           # (imba -diagnose names it)
 package main
@@ -27,6 +28,7 @@ import (
 	"loadimb/internal/monitor"
 	"loadimb/internal/mpi"
 	"loadimb/internal/report"
+	"loadimb/internal/trace"
 	"loadimb/internal/tracefmt"
 )
 
@@ -56,6 +58,7 @@ func run(args []string, stdout io.Writer) error {
 		serve     = fs.String("serve", "", "serve live /metrics on this address during the run")
 		window    = fs.Float64("window", 5, "temporal window width for -serve (virtual seconds)")
 		linger    = fs.Duration("linger", 0, "keep the -serve endpoints up this long after the run")
+		emit      = fs.String("emit", "", "stream events to a remote collector (unix:PATH or tcp:HOST:PORT, see imbamon -ingest)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,6 +74,7 @@ func run(args []string, stdout io.Writer) error {
 	cfg.SlowRank = *slowRank
 	cfg.SlowFactor = *slowFac
 
+	var sinks []trace.Sink
 	var srv *http.Server
 	if *serve != "" {
 		col := monitor.NewCollector(monitor.Options{
@@ -78,7 +82,7 @@ func run(args []string, stdout io.Writer) error {
 			Regions:    cfd.LoopNames,
 			Activities: mpi.Activities(),
 		})
-		cfg.Sink = col
+		sinks = append(sinks, col)
 		ln, err := net.Listen("tcp", *serve)
 		if err != nil {
 			return err
@@ -87,6 +91,26 @@ func run(args []string, stdout io.Writer) error {
 		srv = &http.Server{Handler: monitor.NewHandler(col)}
 		go srv.Serve(ln)
 		defer srv.Close()
+	}
+	if *emit != "" {
+		cl, err := monitor.DialIngest(*emit, monitor.ClientOptions{})
+		if err != nil {
+			return fmt.Errorf("dialing -emit collector: %w", err)
+		}
+		fmt.Fprintf(stdout, "streaming events to %s\n", *emit)
+		sinks = append(sinks, cl)
+		defer func() {
+			if err := cl.Close(); err != nil {
+				fmt.Fprintf(stdout, "emit stream error: %v\n", err)
+			}
+		}()
+	}
+	switch len(sinks) {
+	case 0:
+	case 1:
+		cfg.Sink = sinks[0]
+	default:
+		cfg.Sink = teeSink(sinks)
 	}
 
 	res, err := cfd.Run(cfg)
@@ -127,4 +151,20 @@ func run(args []string, stdout io.Writer) error {
 		time.Sleep(*linger)
 	}
 	return nil
+}
+
+// teeSink fans every event (and batch) out to multiple sinks: -serve and
+// -emit can observe the same run at once.
+type teeSink []trace.Sink
+
+func (t teeSink) Record(e trace.Event) {
+	for _, s := range t {
+		s.Record(e)
+	}
+}
+
+func (t teeSink) RecordBatch(events []trace.Event) {
+	for _, s := range t {
+		trace.RecordBatch(s, events)
+	}
 }

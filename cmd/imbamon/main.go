@@ -14,7 +14,16 @@
 //
 //	imbamon -addr :9190 -workload cfd -window 5
 //	imbamon -workload masterworker -procs 16 -tasks 200 -repeat 0   # loop forever
+//	imbamon -workload none -ingest unix:/tmp/loadimb.sock,tcp::9191 # ingest-only
 //	curl -s localhost:9190/metrics | grep loadimb_sid_c
+//
+// With -ingest the daemon also accepts the binary event wire protocol
+// (internal/tracefmt) on the listed unix:PATH / tcp:HOST:PORT listeners:
+// remote instrumented programs stream their events through an ingest
+// client (cfdsim -emit, tracegen -emit, or monitor.DialIngest) and the
+// daemon folds them into the same live cube, exposing per-connection
+// loadimb_ingest_* counters on /metrics. Workload "none" turns the
+// daemon into a pure aggregator for remote events.
 //
 // With -repeat N the workload is run N times back to back (0 = until
 // interrupted), each run's events shifted onto a continuous virtual
@@ -39,6 +48,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -67,8 +77,10 @@ func main() {
 
 // daemon holds the parsed configuration and the handles tests observe.
 type daemon struct {
-	addr      string
-	workload  string
+	addr       string
+	ingest     string
+	ingestDrop bool
+	workload   string
 	procs     int
 	tasks     int
 	iters     int
@@ -97,7 +109,9 @@ func parseArgs(args []string) (*daemon, error) {
 	d := &daemon{started: make(chan struct{}), workloadDone: make(chan struct{})}
 	fs := flag.NewFlagSet("imbamon", flag.ContinueOnError)
 	fs.StringVar(&d.addr, "addr", ":9190", "HTTP listen address")
-	fs.StringVar(&d.workload, "workload", "cfd", "workload: cfd, masterworker, wavefront or amr")
+	fs.StringVar(&d.ingest, "ingest", "", "comma-separated event ingest listeners (unix:PATH or tcp:HOST:PORT); remote producers stream binary event frames here")
+	fs.BoolVar(&d.ingestDrop, "ingest-drop", false, "drop events when an ingest connection's ring is full instead of applying backpressure")
+	fs.StringVar(&d.workload, "workload", "cfd", "workload: cfd, masterworker, wavefront, amr, or none (ingest-only daemon)")
 	fs.IntVar(&d.procs, "procs", 16, "simulated processors")
 	fs.IntVar(&d.tasks, "tasks", 120, "tasks (masterworker)")
 	fs.IntVar(&d.iters, "iters", 30, "solver iterations (cfd)")
@@ -121,8 +135,12 @@ func parseArgs(args []string) (*daemon, error) {
 	}
 	switch d.workload {
 	case "cfd", "masterworker", "wavefront", "amr":
+	case "none":
+		if d.ingest == "" {
+			return nil, fmt.Errorf("workload none needs -ingest: there would be no event source at all")
+		}
 	default:
-		return nil, fmt.Errorf("unknown workload %q (want cfd, masterworker, wavefront or amr)", d.workload)
+		return nil, fmt.Errorf("unknown workload %q (want cfd, masterworker, wavefront, amr or none)", d.workload)
 	}
 	return d, nil
 }
@@ -216,17 +234,31 @@ func (d *daemon) run(ctx context.Context, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var handlerOpts []monitor.HandlerOption
+	if d.ingest != "" {
+		ing := monitor.NewIngestServer(d.col, monitor.IngestOptions{DropOnFull: d.ingestDrop})
+		defer ing.Close()
+		for _, spec := range strings.Split(d.ingest, ",") {
+			addr, err := ing.Listen(strings.TrimSpace(spec))
+			if err != nil {
+				ln.Close()
+				return err
+			}
+			fmt.Fprintf(stdout, "imbamon: ingesting events on %s (%s)\n", addr, addr.Network())
+		}
+		handlerOpts = append(handlerOpts, monitor.WithIngest(ing))
+	}
 	d.url = "http://" + ln.Addr().String()
 	fmt.Fprintf(stdout, "imbamon: serving on %s (workload %s, P=%d)\n", d.url, d.workload, d.procs)
 	close(d.started)
-	srv := &http.Server{Handler: monitor.NewHandler(d.col)}
+	srv := &http.Server{Handler: monitor.NewHandler(d.col, handlerOpts...)}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	defer srv.Close()
 
 	offset := 0.0
 	var runErr error
-	for r := 0; d.repeat <= 0 || r < d.repeat; r++ {
+	for r := 0; d.workload != "none" && (d.repeat <= 0 || r < d.repeat); r++ {
 		if ctx.Err() != nil {
 			break
 		}
@@ -237,8 +269,11 @@ func (d *daemon) run(ctx context.Context, stdout io.Writer) error {
 		}
 		offset += span
 	}
-	snap := d.col.Snapshot()
-	d.printSummary(stdout, snap)
+	// An ingest-only daemon has no workload run to summarize up front; its
+	// summary is the final state of the remote stream, printed at shutdown.
+	if d.workload != "none" {
+		d.printSummary(stdout, d.col.Snapshot())
+	}
 	close(d.workloadDone)
 	if runErr != nil {
 		return runErr
@@ -251,6 +286,9 @@ func (d *daemon) run(ctx context.Context, stdout io.Writer) error {
 		}
 	} else {
 		<-ctx.Done()
+	}
+	if d.workload == "none" {
+		d.printSummary(stdout, d.col.Snapshot())
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"loadimb/internal/monitor"
+	"loadimb/internal/trace"
+	"loadimb/internal/tracefmt"
+)
+
+// emitCollector starts an ingest server on a temp socket for the -emit
+// tests.
+func emitCollector(t *testing.T) (*monitor.Collector, string) {
+	t.Helper()
+	col := monitor.NewCollector(monitor.Options{})
+	srv := monitor.NewIngestServer(col, monitor.IngestOptions{})
+	t.Cleanup(func() { srv.Close() })
+	sock := filepath.Join(t.TempDir(), "emit.sock")
+	if _, err := srv.Listen("unix:" + sock); err != nil {
+		t.Fatal(err)
+	}
+	return col, "unix:" + sock
+}
+
+func waitEvents(t *testing.T, col *monitor.Collector, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for col.Events() < want && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := col.Events(); got != want {
+		t.Fatalf("collector folded %d events, want %d", got, want)
+	}
+}
+
+// TestEmitSynthesized: -emit with no -events synthesizes a stream from
+// the generated cube whose remote aggregation reproduces the cube's
+// totals.
+func TestEmitSynthesized(t *testing.T) {
+	col, spec := emitCollector(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-regions", "3", "-activities", "2", "-procs", "4",
+		"-profile", "linear", "-severity", "0.5",
+		"-emit", spec, "-emit-iters", "5",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "events/sec") {
+		t.Errorf("output missing the rate report:\n%s", out.String())
+	}
+
+	cube, err := build(false, 3, 2, 4, "linear", 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want uint64
+	for i := 0; i < cube.NumRegions(); i++ {
+		for j := 0; j < cube.NumActivities(); j++ {
+			for p := 0; p < cube.NumProcs(); p++ {
+				if v, _ := cube.At(i, j, p); v > 0 {
+					want += 5 // one event per -emit-iters slice
+				}
+			}
+		}
+	}
+	waitEvents(t, col, want)
+	snap := col.Snapshot()
+	for i := 0; i < cube.NumRegions(); i++ {
+		for j := 0; j < cube.NumActivities(); j++ {
+			for p := 0; p < cube.NumProcs(); p++ {
+				v, _ := cube.At(i, j, p)
+				g, _ := snap.Cube.At(i, j, p)
+				if math.Abs(g-v) > 1e-9 {
+					t.Fatalf("cell (%d,%d,%d): remote aggregation %v, cube %v", i, j, p, g, v)
+				}
+			}
+		}
+	}
+}
+
+// TestEmitReplayLoop: -events replays a recorded trace, and -loop shifts
+// each pass onto a continuous timeline.
+func TestEmitReplayLoop(t *testing.T) {
+	col, spec := emitCollector(t)
+	log := &trace.Log{}
+	span := 0.0
+	for i := 0; i < 40; i++ {
+		s := float64(i) * 0.1
+		if err := log.Append(trace.Event{Rank: i % 2, Region: "r", Activity: "a", Start: s, End: s + 0.1}); err != nil {
+			t.Fatal(err)
+		}
+		span = s + 0.1
+	}
+	file := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := tracefmt.SaveEvents(file, log); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-emit", spec, "-events", file, "-loop", "3"}, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	waitEvents(t, col, uint64(3*log.Len()))
+	if got := col.Snapshot().Span; math.Abs(got-3*span) > 1e-9 {
+		t.Fatalf("snapshot span %v, want the 3 passes laid end to end (%v)", got, 3*span)
+	}
+}
+
+// TestEmitErrors: bad specs and empty sources fail cleanly.
+func TestEmitErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-emit", "smoke-signal:foo"}, &out); err == nil {
+		t.Error("malformed -emit spec accepted")
+	}
+	if err := run([]string{"-emit", "unix:/nonexistent-dir-zz/x.sock"}, &out); err == nil {
+		t.Error("dial to a nonexistent socket succeeded")
+	}
+}

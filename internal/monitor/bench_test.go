@@ -1,9 +1,12 @@
 package monitor
 
 import (
+	"path/filepath"
+	"runtime"
 	"sync/atomic"
 	"testing"
 
+	"loadimb/internal/cfd"
 	"loadimb/internal/trace"
 )
 
@@ -55,6 +58,139 @@ func BenchmarkCollectorRecordWindowed(b *testing.B) {
 			c.Snapshot()
 		}
 	}
+}
+
+// BenchmarkRecordBatch measures the zero-alloc batched publish path: one
+// SPSC producer streaming 512-event batches. Each iteration is one event,
+// so ns/op compares directly against BenchmarkCollectorRecord — the
+// acceptance floor is a >= 5x improvement with 0 allocs/op (the alloc
+// guard proper is TestProducerRecordBatchAllocs). The periodic ring drain
+// runs off the timer: like the Record baseline, this isolates the
+// producer-side publish cost.
+func BenchmarkRecordBatch(b *testing.B) {
+	c := NewCollector(Options{Shards: 1})
+	p := c.Producer(ProducerOptions{Ring: 1 << 16})
+	batch := make([]trace.Event, 512)
+	for i := range batch {
+		batch[i] = trace.Event{Rank: 3, Region: "loop 1", Activity: "computation", Start: 1, End: 2}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; {
+		k := len(batch)
+		if rem := b.N - n; k > rem {
+			k = rem
+		}
+		p.RecordBatch(batch[:k])
+		n += k
+		if p.Pending() > 1<<15 {
+			b.StopTimer()
+			c.Fold()
+			b.StartTimer()
+		}
+	}
+	b.StopTimer()
+	c.Fold()
+	if c.Events() != uint64(b.N) {
+		b.Fatal("lost events")
+	}
+}
+
+// BenchmarkIngestWire measures the full remote ingest pipeline over a
+// Unix domain socket: client-side frame encoding, the socket, server-side
+// decoding into a producer ring and the background fold, pipelined across
+// goroutines. Each iteration is one event, so the sustained wire rate is
+// 1e9/ns_per_op events/sec; the acceptance floor is 10M events/sec (see
+// BENCH_ingest.json).
+func BenchmarkIngestWire(b *testing.B) {
+	c := NewCollector(Options{Shards: 1})
+	srv := NewIngestServer(c, IngestOptions{})
+	sock := filepath.Join(b.TempDir(), "bench.sock")
+	if _, err := srv.Listen("unix:" + sock); err != nil {
+		b.Fatal(err)
+	}
+	cl, err := DialIngest("unix:"+sock, ClientOptions{Batch: 4096, FlushInterval: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([]trace.Event, 4096)
+	for i := range batch {
+		s := float64(i) * 0.001
+		batch[i] = trace.Event{Rank: i % 16, Region: "loop 1", Activity: "computation", Start: s, End: s + 0.001}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; {
+		k := len(batch)
+		if rem := b.N - n; k > rem {
+			k = rem
+		}
+		cl.RecordBatch(batch[:k])
+		n += k
+	}
+	if err := cl.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	// The pipeline is only done when the collector has folded every event.
+	for c.Events() < uint64(b.N) {
+		runtime.Gosched()
+	}
+	b.StopTimer()
+	if err := cl.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSelfInterference measures how much attaching the observer
+// slows the observed program: one cfd run per iteration with (a) no sink,
+// (b) an in-process collector, (c) the wire client streaming to a local
+// ingest daemon. The interference ratio attached/detached (and
+// wire/detached) is the self-interference figure recorded in
+// BENCH_ingest.json — the cost of observation, in units of the
+// uninstrumented run.
+func BenchmarkSelfInterference(b *testing.B) {
+	cfg := cfd.Defaults()
+	cfg.Procs = 8
+	cfg.GridX, cfg.GridY = 128, 128
+	cfg.Iterations = 5
+	runWith := func(b *testing.B, sink trace.Sink) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := cfg
+			c.Sink = sink
+			if _, err := cfd.Run(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("detached", func(b *testing.B) { runWith(b, nil) })
+	b.Run("attached", func(b *testing.B) {
+		col := NewCollector(Options{Shards: 8})
+		runWith(b, col)
+	})
+	b.Run("wire", func(b *testing.B) {
+		col := NewCollector(Options{Shards: 8})
+		srv := NewIngestServer(col, IngestOptions{})
+		sock := filepath.Join(b.TempDir(), "interf.sock")
+		if _, err := srv.Listen("unix:" + sock); err != nil {
+			b.Fatal(err)
+		}
+		cl, err := DialIngest("unix:"+sock, ClientOptions{Batch: 4096, FlushInterval: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		runWith(b, cl)
+		b.StopTimer()
+		if err := cl.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if err := srv.Close(); err != nil {
+			b.Fatal(err)
+		}
+	})
 }
 
 // BenchmarkSnapshot measures a full fold + publish on a paper-shaped cube

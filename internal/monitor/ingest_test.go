@@ -1,0 +1,264 @@
+package monitor
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"loadimb/internal/trace"
+)
+
+// ingestSpecs returns the listener specs the end-to-end tests cover: a
+// Unix domain socket and a loopback TCP port.
+func ingestSpecs(t *testing.T) []string {
+	t.Helper()
+	sock := filepath.Join(t.TempDir(), "ingest.sock")
+	return []string{"unix:" + sock, "tcp:127.0.0.1:0"}
+}
+
+// TestIngestEndToEnd: events shipped through the wire protocol (over UDS
+// and TCP) land in the collector bit-identically to recording them
+// in-process — the full producer→encoder→socket→decoder→ring→fold loop.
+func TestIngestEndToEnd(t *testing.T) {
+	for _, spec := range ingestSpecs(t) {
+		t.Run(strings.SplitN(spec, ":", 2)[0], func(t *testing.T) {
+			events := batchEvents(rand.New(rand.NewSource(21)), 5000, 6, false)
+			ref := NewCollector(Options{Shards: 1, Window: 0.25})
+			for _, e := range events {
+				ref.Record(e)
+			}
+
+			c := NewCollector(Options{Shards: 1, Window: 0.25})
+			srv := NewIngestServer(c, IngestOptions{})
+			addr, err := srv.Listen(spec)
+			if err != nil {
+				t.Fatalf("listen %s: %v", spec, err)
+			}
+			dial := spec
+			if strings.HasPrefix(spec, "tcp:") {
+				dial = "tcp:" + addr.String() // resolve the :0 port
+			}
+			cl, err := DialIngest(dial, ClientOptions{Batch: 256})
+			if err != nil {
+				t.Fatalf("dial %s: %v", dial, err)
+			}
+			var sink trace.Sink = cl // the client is a plain sink to its users
+			rest := events
+			for len(rest) > 0 {
+				n := 700
+				if n > len(rest) {
+					n = len(rest)
+				}
+				trace.RecordBatch(sink, rest[:n])
+				rest = rest[n:]
+			}
+			if err := cl.Close(); err != nil {
+				t.Fatalf("closing client: %v", err)
+			}
+			// The server folds asynchronously; wait for the last event.
+			deadline := time.Now().Add(5 * time.Second)
+			for c.Events() < uint64(len(events)) && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			if err := srv.Close(); err != nil {
+				t.Fatalf("closing server: %v", err)
+			}
+			if got := srv.Events(); got != uint64(len(events)) {
+				t.Fatalf("server decoded %d events, want %d", got, len(events))
+			}
+			// One connection, one stream: the remote fold order equals the
+			// in-process record order, so the snapshots are bit-identical.
+			sameSnapshot(t, c.Snapshot(), ref.Snapshot())
+		})
+	}
+}
+
+// TestIngestMetrics: the handler built WithIngest exposes the
+// loadimb_ingest_* counters, and they account for the shipped stream.
+func TestIngestMetrics(t *testing.T) {
+	c := NewCollector(Options{})
+	srv := NewIngestServer(c, IngestOptions{})
+	defer srv.Close()
+	sock := filepath.Join(t.TempDir(), "m.sock")
+	if _, err := srv.Listen("unix:" + sock); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := DialIngest("unix:"+sock, ClientOptions{Batch: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := batchEvents(rand.New(rand.NewSource(3)), 640, 4, false)
+	cl.RecordBatch(events)
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Events() < uint64(len(events)) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	h := NewHandler(c, WithIngest(srv))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		MetricIngestConnsTotal + " 1",
+		MetricIngestConnsActive + " 1",
+		fmt.Sprintf("%s %d", MetricIngestEventsTotal, len(events)),
+		fmt.Sprintf("%s %d", MetricIngestBatchesTotal, len(events)/64),
+		MetricIngestDroppedTotal + " 0",
+		MetricIngestConnEvents + "{conn=\"1\"",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if !strings.Contains(body, MetricEventsTotal) {
+		t.Error("/metrics lost the collector families")
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIngestDropOnFull: in drop mode a deliberately tiny ring with the
+// folder effectively stalled loses events but never blocks the socket,
+// and the losses are counted.
+func TestIngestDropOnFull(t *testing.T) {
+	c := NewCollector(Options{})
+	srv := NewIngestServer(c, IngestOptions{
+		Ring:       64,
+		DropOnFull: true,
+		FoldIdle:   time.Hour, // first idle nap parks the folder for good
+	})
+	defer srv.Close()
+	sock := filepath.Join(t.TempDir(), "drop.sock")
+	if _, err := srv.Listen("unix:" + sock); err != nil {
+		t.Fatal(err)
+	}
+	// Give the folder time to hit the empty fold and park.
+	time.Sleep(10 * time.Millisecond)
+	cl, err := DialIngest("unix:"+sock, ClientOptions{Batch: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := batchEvents(rand.New(rand.NewSource(4)), 4096, 2, false)
+	cl.RecordBatch(events)
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Events() < uint64(len(events)) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := srv.Events(); got != uint64(len(events)) {
+		t.Fatalf("server decoded %d events, want %d", got, len(events))
+	}
+	if srv.Dropped() == 0 {
+		t.Fatal("expected ring-overflow drops with a parked folder and a 64-event ring")
+	}
+}
+
+// TestIngestCorruptStream: garbage after a valid prefix terminates only
+// that connection, counts a decode error, and keeps the prefix.
+func TestIngestCorruptStream(t *testing.T) {
+	c := NewCollector(Options{})
+	srv := NewIngestServer(c, IngestOptions{})
+	defer srv.Close()
+	sock := filepath.Join(t.TempDir(), "bad.sock")
+	if _, err := srv.Listen("unix:" + sock); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := DialIngest("unix:"+sock, ClientOptions{Batch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := batchEvents(rand.New(rand.NewSource(5)), 8, 1, false)
+	cl.RecordBatch(good)
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Shove raw junk down the same socket: a frame the decoder must
+	// reject.
+	if _, err := cl.conn.Write([]byte{0x05, 0xff, 0xff, 0xff, 0xff, 0xff}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.decodeErrors.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if srv.decodeErrors.Load() != 1 {
+		t.Fatalf("decode errors = %d, want 1", srv.decodeErrors.Load())
+	}
+	if got := c.Snapshot().Events; got != uint64(len(good)) {
+		t.Fatalf("collector kept %d events, want the %d sent before the corruption", got, len(good))
+	}
+	_ = cl.Close()
+}
+
+// TestIngestManyConnections: concurrent clients over one listener all
+// land, and closed connections fold their loss counters into the totals.
+func TestIngestManyConnections(t *testing.T) {
+	c := NewCollector(Options{Shards: 8})
+	srv := NewIngestServer(c, IngestOptions{})
+	sock := filepath.Join(t.TempDir(), "many.sock")
+	if _, err := srv.Listen("unix:" + sock); err != nil {
+		t.Fatal(err)
+	}
+	const clients = 8
+	const perClient = 2000
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl, err := DialIngest("unix:"+sock, ClientOptions{Batch: 128})
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			events := batchEvents(rand.New(rand.NewSource(int64(i))), perClient, 4, false)
+			for _, e := range events {
+				cl.Record(e)
+			}
+			if err := cl.Close(); err != nil {
+				t.Errorf("client %d close: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Events() < clients*perClient && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Snapshot().Events; got != clients*perClient {
+		t.Fatalf("collector folded %d events, want %d", got, clients*perClient)
+	}
+	if total := srv.connSeq.Load(); total != clients {
+		t.Fatalf("accepted %d connections, want %d", total, clients)
+	}
+}
+
+// TestParseIngestSpec covers the spec syntax and its errors.
+func TestParseIngestSpec(t *testing.T) {
+	if n, a, err := ParseIngestSpec("unix:/tmp/x.sock"); err != nil || n != "unix" || a != "/tmp/x.sock" {
+		t.Fatalf("unix spec: %q %q %v", n, a, err)
+	}
+	if n, a, err := ParseIngestSpec("tcp:127.0.0.1:9999"); err != nil || n != "tcp" || a != "127.0.0.1:9999" {
+		t.Fatalf("tcp spec: %q %q %v", n, a, err)
+	}
+	if _, _, err := ParseIngestSpec("udp:1.2.3.4:1"); err == nil {
+		t.Fatal("bad scheme accepted")
+	}
+	if _, err := DialIngest("bogus", ClientOptions{}); err == nil {
+		t.Fatal("bogus dial spec accepted")
+	}
+}

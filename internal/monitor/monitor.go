@@ -12,10 +12,18 @@
 //   - Record appends the event to a sharded buffer under a per-shard
 //     mutex — a few dozen nanoseconds, far below the sub-microsecond
 //     budget of instrumentation (see BenchmarkCollectorRecord).
-//   - Snapshot drains the shards, folds the drained events into the
-//     running totals (per-cell wall clock sums, Welford event-duration
-//     accumulators from internal/stats, per-window processor loads) and
-//     publishes an immutable *Snapshot through an atomic pointer.
+//   - RecordBatch amortizes those costs over whole batches (one lock
+//     acquisition per same-shard run, one counter bump per batch), and a
+//     Producer handle removes the locks entirely: a per-source SPSC ring
+//     whose steady-state publish path performs zero heap allocations (see
+//     ring.go and BenchmarkRecordBatch). The network ingest listener
+//     (ingest.go) feeds one Producer per connection.
+//   - Snapshot drains the shards and the producer rings, folds the
+//     drained events into the running totals (per-cell wall clock sums,
+//     Welford event-duration accumulators from internal/stats, per-window
+//     processor loads) and publishes an immutable *Snapshot through an
+//     atomic pointer. Drained buffers are recycled, so steady-state
+//     collection reaches an allocation fixpoint.
 //   - Latest returns the most recently published snapshot without taking
 //     any lock, so readers never block writers and vice versa.
 package monitor
@@ -72,6 +80,19 @@ type Collector struct {
 	events  atomic.Uint64
 	dropped atomic.Uint64
 
+	// spare holds, per shard, the previously drained buffer awaiting
+	// reuse: the drain hands it (emptied) to the shard it came from at the
+	// next swap, so a steady Record-between-scrapes cycle recirculates two
+	// buffers per shard instead of reallocating from zero every scrape.
+	// Only the fold path touches it (under foldMu).
+	spare [][]trace.Event
+
+	// prodMu guards the SPSC producer registry; registration is rare, so
+	// the fold copies the list under the lock and drains outside it.
+	prodMu      sync.Mutex
+	producers   []*Producer
+	prodScratch []*Producer
+
 	// foldMu serializes snapshotters; it is never held while a shard
 	// mutex is held longer than a buffer swap.
 	foldMu sync.Mutex
@@ -106,6 +127,7 @@ func NewCollector(opts Options) *Collector {
 		window: opts.Window,
 		mask:   uint64(pow - 1),
 		shards: make([]shard, pow),
+		spare:  make([][]trace.Event, pow),
 		boot:   BootNonce(),
 	}
 	c.state.init(opts.Regions, opts.Activities)
@@ -161,7 +183,7 @@ var bootSeq atomic.Uint64
 // handle it (it floors into negative-index windows), but the live wire
 // format has no place for windows before the run began.
 func (c *Collector) Record(e trace.Event) {
-	if e.Rank < 0 || e.Region == "" || e.Activity == "" || e.End < e.Start || e.Start < 0 {
+	if malformedEvent(e) {
 		c.dropped.Add(1)
 		return
 	}
@@ -170,6 +192,49 @@ func (c *Collector) Record(e trace.Event) {
 	s.buf = append(s.buf, e)
 	s.mu.Unlock()
 	c.events.Add(1)
+}
+
+// malformedEvent is the validity test of Record, shared by every intake
+// path so the batched and wire paths drop exactly what Record drops.
+func malformedEvent(e trace.Event) bool {
+	return e.Rank < 0 || e.Region == "" || e.Activity == "" || e.End < e.Start || e.Start < 0
+}
+
+// RecordBatch folds a whole batch with batch-granular costs: events are
+// appended to the sharded buffers in runs (one lock acquisition per run
+// of same-shard events instead of one per event) and the counters are
+// bumped once per batch instead of once per event. The result is
+// bit-for-bit identical to calling Record on each event in order — same
+// drops, same per-shard order, therefore the same fold. The batch slice
+// is not retained. For the highest rates, prefer a Producer ring, which
+// removes the locks entirely.
+func (c *Collector) RecordBatch(events []trace.Event) {
+	var recorded, malformed uint64
+	i := 0
+	for i < len(events) {
+		if malformedEvent(events[i]) {
+			malformed++
+			i++
+			continue
+		}
+		sh := uint64(events[i].Rank) & c.mask
+		j := i + 1
+		for j < len(events) && !malformedEvent(events[j]) && uint64(events[j].Rank)&c.mask == sh {
+			j++
+		}
+		s := &c.shards[sh]
+		s.mu.Lock()
+		s.buf = append(s.buf, events[i:j]...)
+		s.mu.Unlock()
+		recorded += uint64(j - i)
+		i = j
+	}
+	if recorded > 0 {
+		c.events.Add(recorded)
+	}
+	if malformed > 0 {
+		c.dropped.Add(malformed)
+	}
 }
 
 // Events returns the number of events recorded so far (including ones
@@ -192,22 +257,14 @@ func (c *Collector) Snapshot() *Snapshot {
 	// a published snapshot must never claim events its cube does not
 	// account for. foldState.folded counts exactly the folded events.
 	dropped := c.dropped.Load()
-	drained := 0
-	for i := range c.shards {
-		s := &c.shards[i]
-		s.mu.Lock()
-		buf := s.buf
-		s.buf = nil
-		s.mu.Unlock()
-		for _, e := range buf {
-			c.state.fold(e)
-		}
-		drained += len(buf)
-	}
-	// Nothing changed since the last fold: re-serve the previous immutable
+	c.foldPending()
+	// Nothing changed since the last build: re-serve the previous immutable
 	// snapshot, so scrape handlers reuse its memoized analysis instead of
-	// recomputing every index for identical data.
-	if prev := c.snap.Load(); prev != nil && drained == 0 && dropped == prev.Dropped {
+	// recomputing every index for identical data. The folded count — not
+	// the drain count of this call — is what the comparison must use: a
+	// background Fold between two snapshots advances the state while
+	// leaving this call's drain empty.
+	if prev := c.snap.Load(); prev != nil && c.state.folded == prev.Events && dropped == prev.Dropped {
 		return prev
 	}
 	c.gen++
@@ -221,6 +278,77 @@ func (c *Collector) Snapshot() *Snapshot {
 // the buffers or taking any lock; it returns nil before the first
 // Snapshot call.
 func (c *Collector) Latest() *Snapshot { return c.snap.Load() }
+
+// Fold drains every pending event — sharded buffers and producer rings —
+// into the running aggregation without building or publishing a snapshot,
+// and reports how many events it folded. Background folders (the ingest
+// listener runs one) call it between scrapes so producer rings stay
+// shallow at high event rates; the next Snapshot then only folds the
+// tail. Also note that a fold changes no observable snapshot state: Gen
+// advances only when a snapshot is actually built over new content.
+func (c *Collector) Fold() int {
+	c.foldMu.Lock()
+	defer c.foldMu.Unlock()
+	return c.foldPending()
+}
+
+// foldPending drains the sharded buffers and the producer rings into the
+// fold state, returning the number of events folded. The caller holds
+// foldMu. Drained shard buffers are recycled: each shard gets its
+// previously drained (now empty) buffer back at the swap, so steady-state
+// recording reallocates nothing — the fix for the drain-alloc churn where
+// every Record-between-scrapes cycle regrew the buffers from nil.
+func (c *Collector) foldPending() int {
+	drained := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		buf := s.buf
+		s.buf = c.spare[i]
+		s.mu.Unlock()
+		c.spare[i] = nil
+		for _, e := range buf {
+			c.state.fold(e)
+		}
+		drained += len(buf)
+		if cap(buf) <= maxRecycledSlab {
+			c.spare[i] = buf[:0]
+		}
+	}
+	// Drain the SPSC rings. The registry is copied under its own lock so
+	// a connection registering mid-fold neither blocks nor is missed for
+	// longer than one fold; drain order is registration order, keeping
+	// the fold deterministic for a fixed set of producers.
+	c.prodMu.Lock()
+	prods := append(c.prodScratch[:0], c.producers...)
+	c.prodScratch = prods
+	c.prodMu.Unlock()
+	pruned := false
+	for _, p := range prods {
+		drained += p.drain(&c.state)
+		if p.closed.Load() && p.head.Load() == p.tail.Load() {
+			pruned = true
+		}
+	}
+	if pruned {
+		// Unregister closed, fully drained producers so connection churn
+		// does not accumulate dead rings.
+		c.prodMu.Lock()
+		kept := c.producers[:0]
+		for _, p := range c.producers {
+			if p.closed.Load() && p.head.Load() == p.tail.Load() {
+				continue
+			}
+			kept = append(kept, p)
+		}
+		for i := len(kept); i < len(c.producers); i++ {
+			c.producers[i] = nil
+		}
+		c.producers = kept
+		c.prodMu.Unlock()
+	}
+	return drained
+}
 
 // foldState is the running aggregation the snapshots are built from. It
 // is only touched under Collector.foldMu.
@@ -252,6 +380,17 @@ type foldState struct {
 	// window instead of a full segmentation per scrape. nil when
 	// windowing is disabled.
 	seg *temporal.StreamSegmenter
+
+	// lastRegion/lastActivity memoize the previous event's names and cube
+	// indices: event streams repeat names in long runs, so the per-event
+	// cost of the fold drops to a string comparison instead of two map
+	// lookups. Indices never move once assigned, so the memo cannot go
+	// stale. The empty string never matches — malformed events (empty
+	// names) are rejected before the fold.
+	lastRegion   string
+	lastRegionI  int
+	lastActivity string
+	lastActJ     int
 }
 
 func (s *foldState) init(regions, activities []string) {
@@ -296,8 +435,15 @@ func (s *foldState) activityIndex(name string) int {
 // rejected malformed events, so e has a nonnegative rank and start and a
 // nonnegative duration.
 func (s *foldState) fold(e trace.Event) {
-	i := s.regionIndex(e.Region)
-	j := s.activityIndex(e.Activity)
+	if e.Region != s.lastRegion {
+		s.lastRegionI = s.regionIndex(e.Region)
+		s.lastRegion = e.Region
+	}
+	if e.Activity != s.lastActivity {
+		s.lastActJ = s.activityIndex(e.Activity)
+		s.lastActivity = e.Activity
+	}
+	i, j := s.lastRegionI, s.lastActJ
 	s.folded++
 	if e.Rank >= s.procs {
 		s.procs = e.Rank + 1

@@ -205,6 +205,19 @@ func DiagnoseHandler(src SnapshotSource) http.HandlerFunc {
 	}
 }
 
+// A HandlerOption customizes the endpoint set NewHandler builds.
+type HandlerOption func(*handlerConfig)
+
+type handlerConfig struct {
+	ingest *IngestServer
+}
+
+// WithIngest attaches an ingest server's counters to the handler's
+// /metrics exposition (the loadimb_ingest_* families).
+func WithIngest(s *IngestServer) HandlerOption {
+	return func(cfg *handlerConfig) { cfg.ingest = s }
+}
+
 // NewHandler returns the monitoring endpoint set for a collector:
 //
 //	/metrics        Prometheus text exposition of every paper index
@@ -220,14 +233,30 @@ func DiagnoseHandler(src SnapshotSource) http.HandlerFunc {
 //
 // Every data endpoint folds the freshest events before answering, so a
 // scrape always reflects the run up to the moment of the request.
-func NewHandler(c *Collector) http.Handler {
+func NewHandler(c *Collector, opts ...HandlerOption) http.Handler {
+	var cfg handlerConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write([]byte("ok\n"))
 	})
-	mux.Handle("/metrics", MetricsHandler(c))
+	if cfg.ingest != nil {
+		ing := cfg.ingest
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			snap := c.Snapshot()
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := WriteMetrics(w, snap); err != nil {
+				return
+			}
+			_ = ing.WriteMetrics(w)
+		})
+	} else {
+		mux.Handle("/metrics", MetricsHandler(c))
+	}
 	mux.Handle("/cube.json", CubeHandler(c))
 	mux.Handle("/lorenz.json", LorenzHandler(c))
 	mux.Handle("/timeline.json", TimelineHandler(c, c.window))

@@ -1,5 +1,7 @@
 package trace
 
+import "sync"
+
 // A Sink consumes events as they are recorded, while the instrumented
 // program is still running — the incremental counterpart of collecting a
 // Log and aggregating it afterwards. Live monitoring (internal/monitor)
@@ -12,6 +14,32 @@ type Sink interface {
 	Record(Event)
 }
 
+// A BatchSink additionally accepts whole event batches in one call. High-
+// rate producers (the network ingest path, replay tools) prefer it: a
+// batched implementation pays its synchronization and counter costs once
+// per batch instead of once per event. RecordBatch must be equivalent to
+// calling Record on each event in order, must be safe for concurrent use,
+// and must not retain the slice after returning (callers reuse batch
+// buffers).
+type BatchSink interface {
+	Sink
+	RecordBatch([]Event)
+}
+
+// RecordBatch delivers a batch to any sink: natively when the sink
+// implements BatchSink, as a per-event loop otherwise. Call sites that
+// hold batches should use this instead of looping themselves, so they
+// transparently pick up the fast path.
+func RecordBatch(s Sink, events []Event) {
+	if bs, ok := s.(BatchSink); ok {
+		bs.RecordBatch(events)
+		return
+	}
+	for _, e := range events {
+		s.Record(e)
+	}
+}
+
 // SinkFunc adapts a function to the Sink interface.
 type SinkFunc func(Event)
 
@@ -21,14 +49,60 @@ func (f SinkFunc) Record(e Event) { f(e) }
 // ShiftSink returns a sink that forwards every event to next with its
 // interval translated by offset virtual seconds. Daemons that run a
 // workload repeatedly use it to keep the global timeline advancing across
-// runs (each run's clocks restart at zero).
+// runs (each run's clocks restart at zero). The returned sink forwards
+// batches to a BatchSink next without per-event calls (the shifted copy
+// lives in a pooled scratch buffer, so the steady state does not allocate).
 func ShiftSink(next Sink, offset float64) Sink {
 	if offset == 0 {
 		return next
 	}
-	return SinkFunc(func(e Event) {
-		e.Start += offset
-		e.End += offset
-		next.Record(e)
-	})
+	return &shiftSink{next: next, offset: offset}
+}
+
+type shiftSink struct {
+	next   Sink
+	offset float64
+}
+
+func (s *shiftSink) Record(e Event) {
+	e.Start += s.offset
+	e.End += s.offset
+	s.next.Record(e)
+}
+
+// shiftScratch pools the translated-batch buffers of every shiftSink;
+// RecordBatch must not mutate the caller's slice, so the shifted copy
+// needs its own storage.
+var shiftScratch = sync.Pool{New: func() any {
+	s := make([]Event, 0, 1024)
+	return &s
+}}
+
+func (s *shiftSink) RecordBatch(events []Event) {
+	bs, ok := s.next.(BatchSink)
+	if !ok {
+		for _, e := range events {
+			s.Record(e)
+		}
+		return
+	}
+	p := shiftScratch.Get().(*[]Event)
+	buf := (*p)[:0]
+	for len(events) > 0 {
+		n := len(events)
+		if max := cap(buf); n > max && max > 0 {
+			n = max
+		}
+		buf = buf[:n]
+		for i := 0; i < n; i++ {
+			e := events[i]
+			e.Start += s.offset
+			e.End += s.offset
+			buf[i] = e
+		}
+		bs.RecordBatch(buf)
+		events = events[n:]
+	}
+	*p = buf[:0]
+	shiftScratch.Put(p)
 }

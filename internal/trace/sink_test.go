@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+// captureSink records everything it sees, tagging batch deliveries.
+type captureSink struct {
+	events  []Event
+	batches int
+	records int
+}
+
+func (c *captureSink) Record(e Event) {
+	c.records++
+	c.events = append(c.events, e)
+}
+
+func (c *captureSink) RecordBatch(events []Event) {
+	c.batches++
+	c.events = append(c.events, events...)
+}
+
+func TestRecordBatchPrefersBatchSink(t *testing.T) {
+	events := []Event{
+		{Rank: 0, Region: "r", Activity: "a", Start: 0, End: 1},
+		{Rank: 1, Region: "r", Activity: "a", Start: 1, End: 2},
+	}
+	batched := &captureSink{}
+	RecordBatch(batched, events)
+	if batched.batches != 1 || batched.records != 0 {
+		t.Fatalf("batch sink got %d batches, %d records; want 1, 0", batched.batches, batched.records)
+	}
+	if !reflect.DeepEqual(batched.events, events) {
+		t.Fatalf("batch sink saw %+v, want %+v", batched.events, events)
+	}
+
+	var plainEvents []Event
+	plain := SinkFunc(func(e Event) { plainEvents = append(plainEvents, e) })
+	RecordBatch(plain, events)
+	if !reflect.DeepEqual(plainEvents, events) {
+		t.Fatalf("plain sink saw %+v, want %+v", plainEvents, events)
+	}
+}
+
+func TestShiftSinkBatches(t *testing.T) {
+	events := make([]Event, 2500) // crosses the pooled scratch capacity
+	for i := range events {
+		events[i] = Event{Rank: i % 4, Region: "r", Activity: "a", Start: float64(i), End: float64(i) + 0.5}
+	}
+	want := make([]Event, len(events))
+	for i, e := range events {
+		e.Start += 10
+		e.End += 10
+		want[i] = e
+	}
+	orig := append([]Event(nil), events...)
+
+	next := &captureSink{}
+	shift := ShiftSink(next, 10)
+	RecordBatch(shift, events)
+	if !reflect.DeepEqual(next.events, want) {
+		t.Fatalf("shifted batch mismatch: got %d events, first %+v", len(next.events), next.events[0])
+	}
+	if next.batches == 0 {
+		t.Fatal("shift sink fell back to per-event Record for a BatchSink target")
+	}
+	if !reflect.DeepEqual(events, orig) {
+		t.Fatal("ShiftSink mutated the caller's batch")
+	}
+
+	// Non-batch target: falls back to per-event delivery, same result.
+	var got []Event
+	plain := SinkFunc(func(e Event) { got = append(got, e) })
+	RecordBatch(ShiftSink(plain, 10), events)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("per-event fallback mismatch: got %d events", len(got))
+	}
+
+	// Zero offset is the identity: the sink itself is returned.
+	if s := ShiftSink(next, 0); s != Sink(next) {
+		t.Fatal("zero-offset ShiftSink should return the sink unchanged")
+	}
+}

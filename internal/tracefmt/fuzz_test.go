@@ -2,9 +2,12 @@ package tracefmt
 
 import (
 	"bytes"
+	"io"
+	"math"
 	"strings"
 	"testing"
 
+	"loadimb/internal/trace"
 	"loadimb/internal/workload"
 )
 
@@ -59,6 +62,81 @@ func FuzzReadEvents(f *testing.F) {
 		for _, e := range log.Events() {
 			if err := e.Validate(); err != nil {
 				t.Fatalf("decoder admitted invalid event: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzIngestDecode hardens the event wire-protocol decoder against
+// arbitrary bytes: it must never panic, never allocate unbounded state,
+// and any stream it fully accepts must re-encode and re-decode to the
+// identical event sequence (valid round trips are the identity).
+func FuzzIngestDecode(f *testing.F) {
+	seed := func(events []trace.Event) []byte {
+		var buf bytes.Buffer
+		enc := NewWireEncoder(&buf)
+		if err := enc.EncodeBatch(events); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(seed([]trace.Event{{Rank: 0, Region: "loop 1", Activity: "computation", Start: 0, End: 1}}))
+	f.Add(seed([]trace.Event{
+		{Rank: 3, Region: "a", Activity: "x", Start: 1.5, End: 2.25},
+		{Rank: 3, Region: "a", Activity: "x", Start: 2.25, End: 2.5},
+		{Rank: 4, Region: "b", Activity: "y", Start: 0, End: 0.125},
+	}))
+	f.Add([]byte(WireMagic))
+	f.Add([]byte("LIWP\x01\x01\x01"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewWireDecoder(bytes.NewReader(data))
+		var events []trace.Event
+		clean := false
+		for {
+			var err error
+			events, err = dec.DecodeBatch(events)
+			if err == io.EOF {
+				clean = true
+				break
+			}
+			if err != nil {
+				break
+			}
+		}
+		if !clean || len(events) == 0 {
+			return
+		}
+		// The stream decoded cleanly: re-encoding the events and decoding
+		// again must reproduce them bit for bit.
+		var buf bytes.Buffer
+		if err := NewWireEncoder(&buf).EncodeBatch(events); err != nil {
+			// Re-encoding may legitimately refuse pathological inputs the
+			// decoder tolerated (e.g. table overflow across many frames
+			// versus one); it must still be a clean error.
+			return
+		}
+		redec := NewWireDecoder(&buf)
+		var got []trace.Event
+		for {
+			var err error
+			got, err = redec.DecodeBatch(got)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("re-decoding re-encoded stream: %v", err)
+			}
+		}
+		if len(got) != len(events) {
+			t.Fatalf("round trip changed event count: %d -> %d", len(events), len(got))
+		}
+		for i := range events {
+			if got[i].Rank != events[i].Rank || got[i].Region != events[i].Region ||
+				got[i].Activity != events[i].Activity ||
+				math.Float64bits(got[i].Start) != math.Float64bits(events[i].Start) ||
+				math.Float64bits(got[i].End) != math.Float64bits(events[i].End) {
+				t.Fatalf("round trip changed event %d: %+v -> %+v", i, events[i], got[i])
 			}
 		}
 	})

@@ -1,0 +1,426 @@
+package tracefmt
+
+// This file defines the binary event *wire* protocol: the format producers
+// (instrumented programs, possibly not written in Go) use to stream trace
+// events over a socket into a live collector (internal/monitor's ingest
+// listener). It is a streaming format — unlike the LIMB cube file, which
+// holds a finished aggregation, a wire stream carries raw events in
+// arrival order and never ends until the connection closes.
+//
+// # Stream layout
+//
+// A stream opens with a fixed handshake and then carries frames until the
+// writer closes the connection:
+//
+//	handshake := "LIWP" uvarint(version)
+//	stream    := handshake frame*
+//
+// The version is currently 1; a decoder must reject versions it does not
+// speak (ErrBadVersion) so both sides fail loudly instead of trading
+// garbage. All varints are the unsigned (uvarint) and zigzag-signed
+// (varint) encodings of encoding/binary.
+//
+// # Frames
+//
+// Each frame is length-prefixed so a decoder can bound its reads and a
+// relay can skip frames without parsing them:
+//
+//	frame := uvarint(len(body)) body          // 1 <= len <= MaxWireFrame
+//	body  := frameType(1 byte) payload
+//
+// The only frame type is FrameEvents (0x01): a batch of events.
+//
+//	payload := uvarint(count) event*          // 1 <= count <= MaxWireBatch
+//	event   := varint(rank - prevRank)
+//	           stringRef(region)
+//	           stringRef(activity)
+//	           varint(bits(start) - bits(prevStart))   // signed delta of the
+//	           varint(bits(end)   - bits(start))       // IEEE-754 bit patterns
+//
+// # Timestamps
+//
+// Timestamps are float64 virtual seconds. Sending raw floats would cost 8
+// bytes each; sending decimal deltas would lose bits. The wire instead
+// delta-encodes the *IEEE-754 bit patterns* (interpreted as int64,
+// Gorilla-style): consecutive timestamps of a monotone stream share sign,
+// exponent and high mantissa bits, so the signed bit-pattern delta is
+// small and varints compress it to 1-4 bytes — while the round trip stays
+// exact to the last bit, which the equivalence guarantee (a wire-fed
+// collector folds bit-identically to an in-process one) depends on.
+// prevStart is the previous event's start in the same stream (an implicit
+// 0.0 before the first event); each event's end is encoded relative to
+// its own start, i.e. as a compressed duration.
+//
+// # String interning
+//
+// Region and activity names repeat constantly, so each stream direction
+// maintains two append-only string tables (regions, activities) shared by
+// all frames of the connection:
+//
+//	stringRef := uvarint(0) uvarint(len) bytes   // new: append to table
+//	           | uvarint(index+1)                // known: table reference
+//
+// A name is transmitted once and referenced by index (1 byte for the
+// first 127 names) afterwards. Tables are bounded (MaxWireStrings entries,
+// maxWireTableBytes total) so a hostile stream cannot grow decoder state
+// without limit; an encoder that overflows the table errors out, which in
+// practice means the producer is generating unbounded distinct names.
+//
+// # Rank deltas
+//
+// The rank is zigzag-delta encoded against the previous event's rank in
+// the stream. A connection typically carries one rank (one producer
+// thread), making the delta a single 0x00 byte.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"loadimb/internal/trace"
+)
+
+// Wire protocol constants.
+const (
+	// WireMagic opens every event wire stream.
+	WireMagic = "LIWP"
+	// WireVersion is the protocol version this package speaks.
+	WireVersion = 1
+	// FrameEvents is the frame type carrying a batch of events.
+	FrameEvents = 0x01
+	// MaxWireFrame bounds a frame body; larger declared lengths are
+	// rejected before any allocation.
+	MaxWireFrame = 1 << 22
+	// MaxWireBatch bounds the event count of one frame.
+	MaxWireBatch = 1 << 16
+	// MaxWireStrings bounds each intern table of a connection.
+	MaxWireStrings = 1 << 16
+	// maxWireTableBytes bounds the total interned name bytes per table, so
+	// a hostile stream cannot balloon decoder memory with maximum-length
+	// names.
+	maxWireTableBytes = 1 << 24
+)
+
+// ErrWire is wrapped by every wire-protocol corruption error, so callers
+// can distinguish a malformed stream from an I/O failure.
+var ErrWire = errors.New("tracefmt: corrupt wire stream")
+
+// zigzag maps a signed delta onto the unsigned varint space.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// WireEncoder encodes event batches as wire frames. It is not safe for
+// concurrent use; a connection has one encoder. The zero cost path is the
+// steady state: after names are interned, EncodeBatch performs no heap
+// allocations (the frame is assembled in a reused scratch buffer).
+//
+// A write error leaves the stream state (intern tables, deltas)
+// unsynchronized with whatever the receiver got; the error is sticky and
+// the connection must be abandoned.
+type WireEncoder struct {
+	w          io.Writer
+	started    bool
+	err        error
+	regions    map[string]uint64
+	activities map[string]uint64
+	prevRank   int64
+	prevStart  uint64 // IEEE-754 bits of the previous event's start
+	scratch    []byte // frame body assembly buffer
+	hdr        []byte // frame header assembly buffer
+
+	// lastRegion/lastActivity memoize the previous event's name and its
+	// wire reference: real streams repeat the same names in long runs, so
+	// the hot path is a string comparison (usually a pointer equality)
+	// instead of a map lookup. A zero ref marks the memo invalid — 0 is
+	// never a table reference (references are index+1).
+	lastRegion      string
+	lastRegionRef   uint64
+	lastActivity    string
+	lastActivityRef uint64
+}
+
+// NewWireEncoder returns an encoder writing the wire protocol to w. The
+// handshake is emitted in front of the first frame.
+func NewWireEncoder(w io.Writer) *WireEncoder {
+	return &WireEncoder{
+		w:          w,
+		regions:    make(map[string]uint64),
+		activities: make(map[string]uint64),
+	}
+}
+
+// EncodeBatch writes one or more event frames carrying the batch, in
+// order. An empty batch writes nothing. Events are passed through
+// verbatim — validation (and malformed-event accounting) is the
+// receiving collector's job, exactly as for in-process recording.
+func (enc *WireEncoder) EncodeBatch(events []trace.Event) error {
+	if enc.err != nil {
+		return enc.err
+	}
+	if len(events) == 0 {
+		return nil
+	}
+	if !enc.started {
+		hs := append(enc.hdr[:0], WireMagic...)
+		hs = binary.AppendUvarint(hs, WireVersion)
+		if _, err := enc.w.Write(hs); err != nil {
+			enc.err = err
+			return err
+		}
+		enc.hdr = hs[:0]
+		enc.started = true
+	}
+	for len(events) > 0 {
+		n := len(events)
+		if n > MaxWireBatch {
+			n = MaxWireBatch
+		}
+		if err := enc.encodeFrame(events[:n]); err != nil {
+			return err
+		}
+		events = events[n:]
+	}
+	return nil
+}
+
+func (enc *WireEncoder) encodeFrame(events []trace.Event) error {
+	body := enc.scratch[:0]
+	body = append(body, FrameEvents)
+	body = binary.AppendUvarint(body, uint64(len(events)))
+	for _, e := range events {
+		rank := int64(e.Rank)
+		body = binary.AppendUvarint(body, zigzag(rank-enc.prevRank))
+		enc.prevRank = rank
+		var err error
+		if body, err = enc.ref(body, enc.regions, e.Region, &enc.lastRegion, &enc.lastRegionRef); err != nil {
+			enc.err = err
+			return err
+		}
+		if body, err = enc.ref(body, enc.activities, e.Activity, &enc.lastActivity, &enc.lastActivityRef); err != nil {
+			enc.err = err
+			return err
+		}
+		start := math.Float64bits(e.Start)
+		end := math.Float64bits(e.End)
+		body = binary.AppendUvarint(body, zigzag(int64(start)-int64(enc.prevStart)))
+		body = binary.AppendUvarint(body, zigzag(int64(end)-int64(start)))
+		enc.prevStart = start
+	}
+	enc.scratch = body // keep the grown buffer for the next frame
+	if len(body) > MaxWireFrame {
+		// Cannot happen with the batch and name bounds above, but guard
+		// the invariant the decoder relies on.
+		enc.err = fmt.Errorf("%w: frame body %d bytes exceeds %d", ErrWire, len(body), MaxWireFrame)
+		return enc.err
+	}
+	hdr := binary.AppendUvarint(enc.hdr[:0], uint64(len(body)))
+	enc.hdr = hdr[:0]
+	if _, err := enc.w.Write(hdr); err != nil {
+		enc.err = err
+		return err
+	}
+	if _, err := enc.w.Write(body); err != nil {
+		enc.err = err
+		return err
+	}
+	return nil
+}
+
+// ref appends the string reference for name, interning it in table on
+// first use and keeping the (last, lastRef) memo current.
+func (enc *WireEncoder) ref(dst []byte, table map[string]uint64, name string, last *string, lastRef *uint64) ([]byte, error) {
+	if *lastRef != 0 && name == *last {
+		return binary.AppendUvarint(dst, *lastRef), nil
+	}
+	if idx, ok := table[name]; ok {
+		*last, *lastRef = name, idx+1
+		return binary.AppendUvarint(dst, idx+1), nil
+	}
+	if len(name) > maxNameLen {
+		return dst, fmt.Errorf("%w: name %d bytes exceeds %d", ErrWire, len(name), maxNameLen)
+	}
+	if len(table) >= MaxWireStrings {
+		return dst, fmt.Errorf("%w: string table full (%d names)", ErrWire, MaxWireStrings)
+	}
+	idx := uint64(len(table))
+	table[name] = idx
+	*last, *lastRef = name, idx+1
+	dst = binary.AppendUvarint(dst, 0)
+	dst = binary.AppendUvarint(dst, uint64(len(name)))
+	return append(dst, name...), nil
+}
+
+// WireDecoder decodes an event wire stream. It is not safe for concurrent
+// use; a connection has one decoder. Arbitrary input never panics: every
+// structural violation returns an error wrapping ErrWire (or ErrBadMagic /
+// ErrBadVersion for handshake failures), and decoder memory is bounded by
+// the frame and table limits regardless of input.
+type WireDecoder struct {
+	br         *bufio.Reader
+	started    bool
+	version    uint64
+	regions    []string
+	activities []string
+	tableBytes [2]int
+	prevRank   int64
+	prevStart  uint64
+	frame      []byte // reused frame body buffer
+}
+
+// NewWireDecoder returns a decoder reading the wire protocol from r.
+func NewWireDecoder(r io.Reader) *WireDecoder {
+	return &WireDecoder{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Version reports the negotiated protocol version; 0 before the handshake
+// has been read.
+func (d *WireDecoder) Version() uint64 { return d.version }
+
+// DecodeBatch reads the next event frame and appends its events to dst,
+// returning the extended slice. It returns io.EOF when the stream ends
+// cleanly at a frame boundary (including the empty stream), and an error
+// wrapping ErrWire / ErrBadMagic / ErrBadVersion on malformed input. A
+// decoder that returned an error must not be used again.
+func (d *WireDecoder) DecodeBatch(dst []trace.Event) ([]trace.Event, error) {
+	if !d.started {
+		if err := d.handshake(); err != nil {
+			return dst, err
+		}
+		d.started = true
+	}
+	bodyLen, err := binary.ReadUvarint(d.br)
+	if err == io.EOF {
+		return dst, io.EOF // clean end between frames
+	}
+	if err != nil {
+		return dst, fmt.Errorf("%w: frame length: %v", ErrWire, err)
+	}
+	if bodyLen == 0 || bodyLen > MaxWireFrame {
+		return dst, fmt.Errorf("%w: frame length %d", ErrWire, bodyLen)
+	}
+	if cap(d.frame) < int(bodyLen) {
+		d.frame = make([]byte, bodyLen)
+	}
+	body := d.frame[:bodyLen]
+	if _, err := io.ReadFull(d.br, body); err != nil {
+		return dst, fmt.Errorf("%w: frame body: %v", ErrWire, err)
+	}
+	return d.decodeFrame(dst, body)
+}
+
+func (d *WireDecoder) handshake() error {
+	magic := make([]byte, len(WireMagic))
+	if _, err := io.ReadFull(d.br, magic); err != nil {
+		if err == io.EOF {
+			// An empty stream is a connection that opened and closed
+			// without sending anything: an empty trace, not corruption.
+			return io.EOF
+		}
+		return fmt.Errorf("%w: handshake: %v", ErrBadMagic, err)
+	}
+	if string(magic) != WireMagic {
+		return fmt.Errorf("%w: got %q, want %q", ErrBadMagic, magic, WireMagic)
+	}
+	v, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return fmt.Errorf("%w: handshake version: %v", ErrWire, err)
+	}
+	if v != WireVersion {
+		return fmt.Errorf("%w: wire version %d (decoder speaks %d)", ErrBadVersion, v, WireVersion)
+	}
+	d.version = v
+	return nil
+}
+
+func (d *WireDecoder) decodeFrame(dst []trace.Event, body []byte) ([]trace.Event, error) {
+	if body[0] != FrameEvents {
+		return dst, fmt.Errorf("%w: unknown frame type 0x%02x", ErrWire, body[0])
+	}
+	body = body[1:]
+	count, body, err := takeUvarint(body)
+	if err != nil {
+		return dst, fmt.Errorf("%w: event count: %v", ErrWire, err)
+	}
+	if count == 0 || count > MaxWireBatch {
+		return dst, fmt.Errorf("%w: event count %d", ErrWire, count)
+	}
+	for n := uint64(0); n < count; n++ {
+		var e trace.Event
+		var u uint64
+		if u, body, err = takeUvarint(body); err != nil {
+			return dst, fmt.Errorf("%w: rank delta: %v", ErrWire, err)
+		}
+		d.prevRank += unzigzag(u)
+		e.Rank = int(d.prevRank)
+		if e.Region, body, err = d.takeRef(body, &d.regions, 0); err != nil {
+			return dst, err
+		}
+		if e.Activity, body, err = d.takeRef(body, &d.activities, 1); err != nil {
+			return dst, err
+		}
+		if u, body, err = takeUvarint(body); err != nil {
+			return dst, fmt.Errorf("%w: start delta: %v", ErrWire, err)
+		}
+		start := uint64(int64(d.prevStart) + unzigzag(u))
+		e.Start = math.Float64frombits(start)
+		d.prevStart = start
+		if u, body, err = takeUvarint(body); err != nil {
+			return dst, fmt.Errorf("%w: end delta: %v", ErrWire, err)
+		}
+		e.End = math.Float64frombits(uint64(int64(start) + unzigzag(u)))
+		dst = append(dst, e)
+	}
+	if len(body) != 0 {
+		return dst, fmt.Errorf("%w: %d trailing bytes in frame", ErrWire, len(body))
+	}
+	return dst, nil
+}
+
+// takeRef decodes one string reference against the given intern table
+// (which == 0 selects the region byte budget, 1 the activity one).
+func (d *WireDecoder) takeRef(body []byte, table *[]string, which int) (string, []byte, error) {
+	ref, body, err := takeUvarint(body)
+	if err != nil {
+		return "", body, fmt.Errorf("%w: string ref: %v", ErrWire, err)
+	}
+	if ref > 0 {
+		if ref > uint64(len(*table)) {
+			return "", body, fmt.Errorf("%w: string ref %d beyond table of %d", ErrWire, ref, len(*table))
+		}
+		return (*table)[ref-1], body, nil
+	}
+	n, body, err := takeUvarint(body)
+	if err != nil {
+		return "", body, fmt.Errorf("%w: string length: %v", ErrWire, err)
+	}
+	if n > maxNameLen {
+		return "", body, fmt.Errorf("%w: string length %d", ErrWire, n)
+	}
+	if uint64(len(body)) < n {
+		return "", body, fmt.Errorf("%w: string body truncated", ErrWire)
+	}
+	if len(*table) >= MaxWireStrings {
+		return "", body, fmt.Errorf("%w: string table full", ErrWire)
+	}
+	if d.tableBytes[which]+int(n) > maxWireTableBytes {
+		return "", body, fmt.Errorf("%w: string table byte budget exceeded", ErrWire)
+	}
+	s := string(body[:n])
+	*table = append(*table, s)
+	d.tableBytes[which] += int(n)
+	return s, body[n:], nil
+}
+
+// takeUvarint reads one uvarint from the front of body.
+func takeUvarint(body []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(body)
+	if n <= 0 {
+		return 0, body, errors.New("truncated or overlong varint")
+	}
+	return v, body[n:], nil
+}

@@ -1,0 +1,67 @@
+#!/bin/sh
+# Record the batched-ingest benchmarks into BENCH_ingest.json so the perf
+# trajectory of the zero-alloc publish path and the binary wire protocol
+# is tracked across commits (see ISSUE 8 and EXPERIMENTS.md, "Ingest
+# throughput & self-interference"). Acceptance floors:
+#
+#   - BenchmarkRecordBatch must be >= 5x faster per event than
+#     BenchmarkCollectorRecord, at 0 allocs/op (derived field
+#     record_batch_speedup).
+#   - BenchmarkIngestWire must sustain >= 10M events/sec over the Unix
+#     socket, end to end through decode and fold (derived field
+#     wire_events_per_sec).
+#
+# BenchmarkSelfInterference runs the cfd workload detached / with an
+# in-process collector / streaming over the wire to a local ingest
+# daemon; the derived ratios (>= 1.0, lower is better) are the cost of
+# observation in units of the uninstrumented run.
+#
+# Usage: scripts/bench_ingest.sh [output.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_ingest.json}"
+
+raw=$(go test -run '^$' \
+	-bench 'BenchmarkCollectorRecord$|BenchmarkRecordBatch$|BenchmarkIngestWire$|BenchmarkSelfInterference' \
+	-benchmem -count 3 ./internal/monitor/)
+
+printf '%s\n' "$raw" | awk -v go_version="$(go env GOVERSION)" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+	name = $1; sub(/-[0-9]+$/, "", name)
+	# -count N repeats each benchmark; keep the best (min ns/op) run.
+	if (name in best) {
+		if ($3 + 0 < best[name] + 0) { best[name] = $3; iters[name] = $2 }
+	} else {
+		names[n++] = name; best[name] = $3; iters[name] = $2
+		bytes[name] = "null"; allocs[name] = "null"
+	}
+	for (i = 4; i < NF; i++) {
+		if ($(i + 1) == "B/op") bytes[name] = $i
+		if ($(i + 1) == "allocs/op") allocs[name] = $i
+	}
+}
+END {
+	printf "{\n  \"suite\": \"ingest\",\n  \"go\": \"%s\",\n  \"benchmarks\": [\n", go_version
+	for (i = 0; i < n; i++) {
+		name = names[i]
+		printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+			name, iters[name], best[name], bytes[name], allocs[name], (i < n - 1 ? "," : "")
+	}
+	printf "  ],\n  \"derived\": {\n"
+	rec = best["BenchmarkCollectorRecord"]
+	bat = best["BenchmarkRecordBatch"]
+	wire = best["BenchmarkIngestWire"]
+	det = best["BenchmarkSelfInterference/detached"]
+	att = best["BenchmarkSelfInterference/attached"]
+	wat = best["BenchmarkSelfInterference/wire"]
+	printf "    \"record_batch_speedup\": %.1f,\n", rec / bat
+	printf "    \"wire_events_per_sec\": %d,\n", 1e9 / wire
+	printf "    \"self_interference_attached\": %.4f,\n", att / det
+	printf "    \"self_interference_wire\": %.4f\n", wat / det
+	printf "  }\n}\n"
+}' > "$out"
+
+echo "wrote $out:"
+cat "$out"
