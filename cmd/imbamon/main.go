@@ -80,6 +80,7 @@ type daemon struct {
 	addr       string
 	ingest     string
 	ingestDrop bool
+	maxRank    int
 	workload   string
 	procs     int
 	tasks     int
@@ -111,6 +112,7 @@ func parseArgs(args []string) (*daemon, error) {
 	fs.StringVar(&d.addr, "addr", ":9190", "HTTP listen address")
 	fs.StringVar(&d.ingest, "ingest", "", "comma-separated event ingest listeners (unix:PATH or tcp:HOST:PORT); remote producers stream binary event frames here")
 	fs.BoolVar(&d.ingestDrop, "ingest-drop", false, "drop events when an ingest connection's ring is full instead of applying backpressure")
+	fs.IntVar(&d.maxRank, "max-rank", 0, "largest event rank accepted; higher ranks are dropped as malformed, bounding the memory one wire frame can force (0 = default 2^20, < 0 = unbounded, only safe without -ingest)")
 	fs.StringVar(&d.workload, "workload", "cfd", "workload: cfd, masterworker, wavefront, amr, or none (ingest-only daemon)")
 	fs.IntVar(&d.procs, "procs", 16, "simulated processors")
 	fs.IntVar(&d.tasks, "tasks", 120, "tasks (masterworker)")
@@ -227,6 +229,7 @@ func (d *daemon) run(ctx context.Context, stdout io.Writer) error {
 		Window:       d.window,
 		WindowCap:    winCap,
 		PhasePenalty: d.penalty,
+		MaxRank:      d.maxRank,
 		Regions:      d.regionOrder(),
 		Activities:   mpi.Activities(),
 	})

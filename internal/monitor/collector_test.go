@@ -105,10 +105,15 @@ func TestCollectorDropsMalformed(t *testing.T) {
 	c := NewCollector(Options{})
 	bad := []trace.Event{
 		{Rank: -1, Region: "r", Activity: "a", Start: 0, End: 1},
+		{Rank: DefaultMaxRank + 1, Region: "r", Activity: "a", Start: 0, End: 1},
 		{Rank: 0, Region: "", Activity: "a", Start: 0, End: 1},
 		{Rank: 0, Region: "r", Activity: "", Start: 0, End: 1},
 		{Rank: 0, Region: "r", Activity: "a", Start: 2, End: 1},
 		{Rank: 0, Region: "r", Activity: "a", Start: -1, End: 1},
+		{Rank: 0, Region: "r", Activity: "a", Start: math.NaN(), End: 1},
+		{Rank: 0, Region: "r", Activity: "a", Start: 0, End: math.NaN()},
+		{Rank: 0, Region: "r", Activity: "a", Start: 0, End: math.Inf(1)},
+		{Rank: 0, Region: "r", Activity: "a", Start: math.Inf(1), End: math.Inf(1)},
 	}
 	for _, e := range bad {
 		c.Record(e)
@@ -423,5 +428,29 @@ func TestConcurrentRecordSnapshot(t *testing.T) {
 	got := snap.Cube.RegionsTotal() * float64(snap.Cube.NumProcs())
 	if math.Abs(got-wantTotal) > 1e-6 {
 		t.Fatalf("total processor-seconds = %g, want %g", got, wantTotal)
+	}
+}
+
+// TestCollectorMaxRank: the rank bound is configurable and enforced
+// before the fold, so a single wild-rank event can never force the fold
+// to allocate per-rank state for ranks no real machine has (the
+// remote-DoS shape: one ~20-byte wire frame claiming rank 2^50).
+func TestCollectorMaxRank(t *testing.T) {
+	c := NewCollector(Options{MaxRank: 7})
+	c.Record(trace.Event{Rank: 7, Region: "r", Activity: "a", Start: 0, End: 1})
+	c.Record(trace.Event{Rank: 8, Region: "r", Activity: "a", Start: 0, End: 1})
+	snap := c.Snapshot()
+	if snap.Events != 1 || snap.Dropped != 1 {
+		t.Fatalf("events=%d dropped=%d, want 1 and 1", snap.Events, snap.Dropped)
+	}
+	if snap.Cube.NumProcs() != 8 {
+		t.Errorf("cube has %d procs, want 8 (rank 7 kept, rank 8 dropped)", snap.Cube.NumProcs())
+	}
+
+	// Negative disables the bound for trusted in-process producers.
+	u := NewCollector(Options{MaxRank: -1})
+	u.Record(trace.Event{Rank: DefaultMaxRank + 1, Region: "r", Activity: "a", Start: 0, End: 1})
+	if snap := u.Snapshot(); snap.Events != 1 || snap.Dropped != 0 {
+		t.Errorf("unbounded collector: events=%d dropped=%d, want 1 and 0", snap.Events, snap.Dropped)
 	}
 }

@@ -11,7 +11,6 @@ package monitor
 // stream.
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -217,9 +216,16 @@ func (s *IngestServer) handle(conn net.Conn) {
 		id:   s.connSeq.Add(1),
 		addr: conn.RemoteAddr().String(),
 		conn: conn,
-		p:    s.c.Producer(ProducerOptions{Ring: s.opts.Ring, DropOnFull: s.opts.DropOnFull}),
 	}
 	s.mu.Lock()
+	if s.closed {
+		// Close() already swept s.conns; registering now would leave a
+		// connection it never closes, hanging connWG.Wait() until the
+		// remote peer goes away. Drop the connection instead.
+		s.mu.Unlock()
+		return
+	}
+	ic.p = s.c.Producer(ProducerOptions{Ring: s.opts.Ring, DropOnFull: s.opts.DropOnFull})
 	s.conns[ic.id] = ic
 	s.mu.Unlock()
 	s.connsActive.Add(1)
@@ -233,8 +239,10 @@ func (s *IngestServer) handle(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 
+	// No bufio here: NewWireDecoder buffers the stream itself, and a
+	// second layer would just add one more copy per byte on the hot path.
 	cr := &countingReader{r: conn, n: &s.bytes}
-	dec := tracefmt.NewWireDecoder(bufio.NewReaderSize(cr, 1<<16))
+	dec := tracefmt.NewWireDecoder(cr)
 	sp := slabPool.Get().(*[]trace.Event)
 	batch := *sp
 	for {

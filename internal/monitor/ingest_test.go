@@ -2,7 +2,9 @@ package monitor
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"net"
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
@@ -260,5 +262,75 @@ func TestParseIngestSpec(t *testing.T) {
 	}
 	if _, err := DialIngest("bogus", ClientOptions{}); err == nil {
 		t.Fatal("bogus dial spec accepted")
+	}
+}
+
+// TestIngestHostileEvents: a wire peer is untrusted, and the decoder
+// reconstructs ranks and timestamps from peer-controlled bytes. An
+// absurd rank (which would force the fold to grow per-rank state to
+// 2^50 slots — a remote OOM) and NaN timestamps (which would poison the
+// Welford accumulators permanently) must be dropped and counted like any
+// other malformed event, while the rest of the stream keeps folding.
+func TestIngestHostileEvents(t *testing.T) {
+	c := NewCollector(Options{Shards: 1})
+	srv := NewIngestServer(c, IngestOptions{})
+	addr, err := srv.Listen("tcp:127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := DialIngest("tcp:"+addr.String(), ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Record(trace.Event{Rank: 1 << 50, Region: "r", Activity: "a", Start: 0, End: 1})
+	cl.Record(trace.Event{Rank: 0, Region: "r", Activity: "a", Start: math.NaN(), End: 1})
+	cl.Record(trace.Event{Rank: 0, Region: "r", Activity: "a", Start: 0, End: math.NaN()})
+	cl.Record(trace.Event{Rank: 0, Region: "r", Activity: "a", Start: 0.5, End: 1})
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Events()+c.Dropped() < 4 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Snapshot()
+	if snap.Events != 1 || snap.Dropped != 3 {
+		t.Fatalf("events=%d dropped=%d, want 1 and 3", snap.Events, snap.Dropped)
+	}
+	if snap.Cube.NumProcs() != 1 {
+		t.Errorf("hostile rank grew the cube to %d procs", snap.Cube.NumProcs())
+	}
+	if got := snap.Cube.RegionsTotal(); got != 0.5 {
+		t.Errorf("NaN leaked into the cube: total = %g, want 0.5", got)
+	}
+}
+
+// TestIngestHandleAfterClose: a connection accepted just before Close
+// swept the registry must be dropped by handle, not registered — a late
+// registration would leave a conn nothing ever closes, hanging
+// connWG.Wait (and so Close) until the remote peer went away.
+func TestIngestHandleAfterClose(t *testing.T) {
+	c := NewCollector(Options{})
+	srv := NewIngestServer(c, IngestOptions{})
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	client, server := net.Pipe()
+	defer client.Close()
+	srv.connWG.Add(1)
+	done := make(chan struct{})
+	go func() {
+		srv.handle(server)
+		close(done)
+	}()
+	// The peer (client side) never sends and never closes: handle must
+	// still return promptly by refusing the registration.
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handle hung on a connection accepted during shutdown")
 	}
 }

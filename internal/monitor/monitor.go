@@ -29,6 +29,7 @@
 package monitor
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -68,7 +69,22 @@ type Options struct {
 	// ends. Negative disables the cap (the pre-retention unbounded
 	// behavior, for runs known to be short).
 	WindowCap int
+	// MaxRank bounds the processor rank an event may carry; events above
+	// it are dropped and counted as malformed. The fold allocates
+	// per-rank state proportional to the largest rank seen, so a wild
+	// rank — an instrumentation bug in-process, or a hostile frame on
+	// the network ingest path, where the rank is decoded from
+	// peer-controlled bytes — must be rejected before it can balloon
+	// collector memory. 0 means DefaultMaxRank; negative disables the
+	// bound (in-process trusted producers only — never with a network
+	// ingest listener attached).
+	MaxRank int
 }
+
+// DefaultMaxRank is the default bound on event ranks (Options.MaxRank):
+// generous enough for the million-core story, small enough that the
+// per-rank fold state a single event can force stays in the megabytes.
+const DefaultMaxRank = 1 << 20
 
 // Collector is a live, concurrency-safe event collector implementing
 // trace.Sink. Create one with NewCollector.
@@ -76,6 +92,7 @@ type Collector struct {
 	window  float64
 	mask    uint64
 	boot    uint64
+	maxRank int
 	shards  []shard
 	events  atomic.Uint64
 	dropped atomic.Uint64
@@ -123,12 +140,20 @@ func NewCollector(opts Options) *Collector {
 	for pow < n {
 		pow *= 2
 	}
+	maxRank := opts.MaxRank
+	switch {
+	case maxRank == 0:
+		maxRank = DefaultMaxRank
+	case maxRank < 0:
+		maxRank = math.MaxInt
+	}
 	c := &Collector{
-		window: opts.Window,
-		mask:   uint64(pow - 1),
-		shards: make([]shard, pow),
-		spare:  make([][]trace.Event, pow),
-		boot:   BootNonce(),
+		window:  opts.Window,
+		mask:    uint64(pow - 1),
+		shards:  make([]shard, pow),
+		spare:   make([][]trace.Event, pow),
+		boot:    BootNonce(),
+		maxRank: maxRank,
 	}
 	c.state.init(opts.Regions, opts.Activities)
 	if opts.Window > 0 {
@@ -176,14 +201,15 @@ var bootSeq atomic.Uint64
 // Record folds one event into the collector. It is safe for concurrent
 // use and sits on the instrumented program's critical path, so it only
 // appends to a sharded buffer; the aggregation happens at Snapshot.
-// Malformed events (negative rank, empty names, end before start, start
-// before virtual time zero) are dropped and counted instead of corrupting
-// the cube. A live run's virtual clock starts at zero, so a negative
-// start can only be an instrumentation bug; the shared window fold would
-// handle it (it floors into negative-index windows), but the live wire
-// format has no place for windows before the run began.
+// Malformed events (rank outside [0, MaxRank], empty names, end before
+// start, start before virtual time zero, non-finite timestamps) are
+// dropped and counted instead of corrupting the cube. A live run's
+// virtual clock starts at zero, so a negative start can only be an
+// instrumentation bug; the shared window fold would handle it (it floors
+// into negative-index windows), but the live wire format has no place
+// for windows before the run began.
 func (c *Collector) Record(e trace.Event) {
-	if malformedEvent(e) {
+	if c.malformed(e) {
 		c.dropped.Add(1)
 		return
 	}
@@ -194,10 +220,20 @@ func (c *Collector) Record(e trace.Event) {
 	c.events.Add(1)
 }
 
-// malformedEvent is the validity test of Record, shared by every intake
-// path so the batched and wire paths drop exactly what Record drops.
-func malformedEvent(e trace.Event) bool {
-	return e.Rank < 0 || e.Region == "" || e.Activity == "" || e.End < e.Start || e.Start < 0
+// malformed is the validity test of Record, shared by every intake path
+// so the batched and wire paths drop exactly what Record drops. The
+// timestamp tests are spelled with negated comparisons so NaN fails
+// them (every ordered comparison against NaN is false): the wire
+// decoder reconstructs timestamps from arbitrary IEEE-754 bit patterns,
+// and a NaN duration folded into a cell would poison its accumulators
+// permanently. +Inf is caught by the MaxFloat64 test (an infinite End
+// also makes the duration infinite, and an infinite Start forces an
+// infinite End). The rank bound likewise guards the fold's per-rank
+// allocations against a decoded rank no real machine has.
+func (c *Collector) malformed(e trace.Event) bool {
+	return e.Rank < 0 || e.Rank > c.maxRank ||
+		e.Region == "" || e.Activity == "" ||
+		!(e.Start >= 0) || !(e.End >= e.Start) || e.End > math.MaxFloat64
 }
 
 // RecordBatch folds a whole batch with batch-granular costs: events are
@@ -212,14 +248,14 @@ func (c *Collector) RecordBatch(events []trace.Event) {
 	var recorded, malformed uint64
 	i := 0
 	for i < len(events) {
-		if malformedEvent(events[i]) {
+		if c.malformed(events[i]) {
 			malformed++
 			i++
 			continue
 		}
 		sh := uint64(events[i].Rank) & c.mask
 		j := i + 1
-		for j < len(events) && !malformedEvent(events[j]) && uint64(events[j].Rank)&c.mask == sh {
+		for j < len(events) && !c.malformed(events[j]) && uint64(events[j].Rank)&c.mask == sh {
 			j++
 		}
 		s := &c.shards[sh]

@@ -134,7 +134,7 @@ func (p *Producer) RecordBatch(events []trace.Event) {
 				// Count the remaining well-formed events as ring drops
 				// (malformed ones were never going to be recorded).
 				for ; i < len(events); i++ {
-					if malformedEvent(events[i]) {
+					if p.c.malformed(events[i]) {
 						malformed++
 					} else {
 						lost++
@@ -151,7 +151,7 @@ func (p *Producer) RecordBatch(events []trace.Event) {
 		for free > 0 && i < len(events) {
 			e := events[i]
 			i++
-			if malformedEvent(e) {
+			if p.c.malformed(e) {
 				malformed++
 				continue
 			}

@@ -31,6 +31,13 @@ package tracefmt
 // The only frame type is FrameEvents (0x01): a batch of events.
 //
 //	payload := uvarint(count) event*          // 1 <= count <= MaxWireBatch
+//
+// The encoder splits a batch across several frames when its payload
+// would exceed MaxWireFrame (possible only for batches dense with newly
+// interned near-maximum-length names); splitting is invisible to the
+// decoder because intern tables and deltas are stream state, not frame
+// state.
+//
 //	event   := varint(rank - prevRank)
 //	           stringRef(region)
 //	           stringRef(activity)
@@ -188,43 +195,80 @@ func (enc *WireEncoder) EncodeBatch(events []trace.Event) error {
 	return nil
 }
 
+// maxEventWire is a conservative bound on one encoded event: the rank
+// delta and two timestamp deltas (≤ MaxVarintLen64 each) plus two string
+// refs, each at worst a freshly interned maximum-length name (marker +
+// length varint + bytes).
+const maxEventWire = 3*binary.MaxVarintLen64 + 2*(1+binary.MaxVarintLen64+maxNameLen)
+
+// maxFramePayload is the event-payload budget of one frame: MaxWireFrame
+// minus the frame type byte and the worst-case count varint.
+const maxFramePayload = MaxWireFrame - 1 - binary.MaxVarintLen64
+
+// encodeFrame writes the batch (already capped at MaxWireBatch events)
+// as one or more frames. A frame normally carries the whole batch, but a
+// batch dense with newly interned names — the only way events get big —
+// is split across frames so no frame body exceeds MaxWireFrame: splitting
+// is invisible to the receiver (the intern tables and deltas are stream
+// state, not frame state), whereas erroring out would kill a legitimate
+// stream.
 func (enc *WireEncoder) encodeFrame(events []trace.Event) error {
-	body := enc.scratch[:0]
-	body = append(body, FrameEvents)
-	body = binary.AppendUvarint(body, uint64(len(events)))
+	payload := enc.scratch[:0]
+	count := uint64(0)
 	for _, e := range events {
+		if count > 0 && len(payload)+maxEventWire > maxFramePayload {
+			if err := enc.flushFrame(payload, count); err != nil {
+				enc.scratch = payload[:0]
+				return err
+			}
+			payload = payload[:0]
+			count = 0
+		}
 		rank := int64(e.Rank)
-		body = binary.AppendUvarint(body, zigzag(rank-enc.prevRank))
+		payload = binary.AppendUvarint(payload, zigzag(rank-enc.prevRank))
 		enc.prevRank = rank
 		var err error
-		if body, err = enc.ref(body, enc.regions, e.Region, &enc.lastRegion, &enc.lastRegionRef); err != nil {
+		if payload, err = enc.ref(payload, enc.regions, e.Region, &enc.lastRegion, &enc.lastRegionRef); err != nil {
+			enc.scratch = payload[:0]
 			enc.err = err
 			return err
 		}
-		if body, err = enc.ref(body, enc.activities, e.Activity, &enc.lastActivity, &enc.lastActivityRef); err != nil {
+		if payload, err = enc.ref(payload, enc.activities, e.Activity, &enc.lastActivity, &enc.lastActivityRef); err != nil {
+			enc.scratch = payload[:0]
 			enc.err = err
 			return err
 		}
 		start := math.Float64bits(e.Start)
 		end := math.Float64bits(e.End)
-		body = binary.AppendUvarint(body, zigzag(int64(start)-int64(enc.prevStart)))
-		body = binary.AppendUvarint(body, zigzag(int64(end)-int64(start)))
+		payload = binary.AppendUvarint(payload, zigzag(int64(start)-int64(enc.prevStart)))
+		payload = binary.AppendUvarint(payload, zigzag(int64(end)-int64(start)))
 		enc.prevStart = start
+		count++
 	}
-	enc.scratch = body // keep the grown buffer for the next frame
-	if len(body) > MaxWireFrame {
-		// Cannot happen with the batch and name bounds above, but guard
-		// the invariant the decoder relies on.
-		enc.err = fmt.Errorf("%w: frame body %d bytes exceeds %d", ErrWire, len(body), MaxWireFrame)
-		return enc.err
+	err := enc.flushFrame(payload, count)
+	enc.scratch = payload[:0] // keep the grown buffer for the next frame
+	return err
+}
+
+// flushFrame emits one frame carrying count events whose encoded payload
+// is already assembled. The frame body is written in two parts (type +
+// count, then the payload) so the count — unknown until a split point is
+// reached — never forces re-copying the payload.
+func (enc *WireEncoder) flushFrame(payload []byte, count uint64) error {
+	if count == 0 {
+		return nil
 	}
-	hdr := binary.AppendUvarint(enc.hdr[:0], uint64(len(body)))
+	var cnt [binary.MaxVarintLen64]byte
+	cn := binary.PutUvarint(cnt[:], count)
+	hdr := binary.AppendUvarint(enc.hdr[:0], uint64(1+cn+len(payload)))
+	hdr = append(hdr, FrameEvents)
+	hdr = append(hdr, cnt[:cn]...)
 	enc.hdr = hdr[:0]
 	if _, err := enc.w.Write(hdr); err != nil {
 		enc.err = err
 		return err
 	}
-	if _, err := enc.w.Write(body); err != nil {
+	if _, err := enc.w.Write(payload); err != nil {
 		enc.err = err
 		return err
 	}

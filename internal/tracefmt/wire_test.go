@@ -236,3 +236,48 @@ func TestWireDecoderReuseAfterBatches(t *testing.T) {
 	}
 	_ = firstStream
 }
+
+// TestWireFrameSplit: a single batch dense with newly interned
+// near-maximum-length names encodes to more than MaxWireFrame bytes of
+// payload. The encoder must split it across frames instead of erroring
+// out — the stream is legitimate, just name-heavy — and the round trip
+// must stay the identity, because intern tables and timestamp/rank
+// deltas are stream state, not frame state. decodeAll doubles as the
+// frame-size check: the decoder rejects any frame above MaxWireFrame.
+func TestWireFrameSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	events := make([]trace.Event, 2048)
+	cursor := 0.0
+	for i := range events {
+		name := make([]byte, maxNameLen)
+		for j := range name {
+			name[j] = byte('a' + rng.Intn(26))
+		}
+		d := rng.Float64() * 0.1
+		events[i] = trace.Event{
+			Rank:     i % 4,
+			Region:   string(name),
+			Activity: "compute",
+			Start:    cursor,
+			End:      cursor + d,
+		}
+		cursor += d
+	}
+	var buf bytes.Buffer
+	enc := NewWireEncoder(&buf)
+	if err := enc.EncodeBatch(events); err != nil {
+		t.Fatalf("encoding a name-heavy batch: %v", err)
+	}
+	if buf.Len() <= MaxWireFrame {
+		t.Fatalf("stream is %d bytes; the test needs more than MaxWireFrame (%d) to force a split", buf.Len(), MaxWireFrame)
+	}
+	got := decodeAll(t, bytes.NewReader(buf.Bytes()))
+	if len(got) != len(events) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d corrupted across the split: got %+v, want %+v", i, got[i], events[i])
+		}
+	}
+}
