@@ -28,6 +28,7 @@ import (
 	"loadimb/internal/monitor"
 	"loadimb/internal/mpi"
 	"loadimb/internal/report"
+	lserve "loadimb/internal/serve"
 	"loadimb/internal/trace"
 	"loadimb/internal/tracefmt"
 )
@@ -88,7 +89,7 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "serving live metrics on http://%s\n", ln.Addr())
-		srv = &http.Server{Handler: monitor.NewHandler(col)}
+		srv = &http.Server{Handler: lserve.NewHandler(col)}
 		go srv.Serve(ln)
 		defer srv.Close()
 	}

@@ -30,6 +30,17 @@
 // host). An endpoint that fails -max-failures consecutive scrapes is
 // marked stale and dropped from the aggregate until it recovers; the
 // remaining endpoints keep serving a correct cluster view.
+//
+// Scrapes speak the binary /delta protocol when the endpoint supports
+// it (falling back to JSON transparently; -no-delta forces JSON), and a
+// federator serves /delta itself, so federators compose into trees: a
+// higher tier scrapes lower-tier federators with -raw, which merges
+// their cubes verbatim — the lower tier already namespaced its regions
+// and ranks:
+//
+//	imbafed -addr :9291 -endpoints rackA1=http://a1:9190,rackA2=http://a2:9190
+//	imbafed -addr :9292 -endpoints rackB1=http://b1:9190
+//	imbafed -addr :9290 -raw -endpoints http://localhost:9291,http://localhost:9292
 package main
 
 import (
@@ -67,12 +78,15 @@ func main() {
 
 // daemon holds the parsed configuration and the handles tests observe.
 type daemon struct {
-	addr        string
-	endpoints   []federate.Endpoint
-	interval    time.Duration
-	timeout     time.Duration
-	maxFailures int
-	windowCap   int
+	addr         string
+	endpoints    []federate.Endpoint
+	interval     time.Duration
+	timeout      time.Duration
+	maxFailures  int
+	windowCap    int
+	raw          bool
+	noDelta      bool
+	maxBodyBytes int64
 
 	fed *federate.Federator
 	// url is the served base URL, valid once started is closed.
@@ -93,6 +107,12 @@ func parseArgs(args []string) (*daemon, error) {
 		"consecutive scrape failures before an endpoint is marked stale")
 	fs.IntVar(&d.windowCap, "window-cap", temporal.DefaultWindowCap,
 		"max full-resolution windows in the merged series; older windows decimate into a coarse tail (<= 0 = unbounded)")
+	fs.BoolVar(&d.raw, "raw", false,
+		"endpoints are lower-tier federators: merge their cubes without re-namespacing regions or relabeling ranks")
+	fs.BoolVar(&d.noDelta, "no-delta", false,
+		"disable the binary /delta scrape path; always fetch full JSON documents")
+	fs.Int64Var(&d.maxBodyBytes, "max-body-bytes", 0,
+		"per-scrape response body limit in bytes, compressed and decompressed (0 = default 64 MiB, < 0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -113,6 +133,7 @@ func parseArgs(args []string) (*daemon, error) {
 		} else {
 			ep = federate.Endpoint{URL: entry}
 		}
+		ep.Raw = d.raw
 		d.endpoints = append(d.endpoints, ep)
 	}
 	return d, nil
@@ -127,12 +148,14 @@ func (d *daemon) run(ctx context.Context, stdout io.Writer) error {
 		winCap = -1 // flag <= 0 means unbounded; federate.Options uses < 0
 	}
 	fed, err := federate.New(federate.Options{
-		Endpoints:   d.endpoints,
-		Interval:    d.interval,
-		Timeout:     d.timeout,
-		MaxFailures: d.maxFailures,
-		WindowCap:   winCap,
-		Logf:        log.Printf,
+		Endpoints:    d.endpoints,
+		Interval:     d.interval,
+		Timeout:      d.timeout,
+		MaxFailures:  d.maxFailures,
+		WindowCap:    winCap,
+		DisableDelta: d.noDelta,
+		MaxBodyBytes: d.maxBodyBytes,
+		Logf:         log.Printf,
 	})
 	if err != nil {
 		return err

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"loadimb/internal/monitor"
+	"loadimb/internal/serve"
 	"loadimb/internal/trace"
 	"loadimb/internal/tracefmt"
 )
@@ -69,7 +70,7 @@ func TestDaemonFederates(t *testing.T) {
 				Start: 0, End: 1 + 0.5*float64(p),
 			})
 		}
-		srv := httptest.NewServer(monitor.NewHandler(c))
+		srv := httptest.NewServer(serve.NewHandler(c))
 		t.Cleanup(srv.Close)
 		return srv
 	}

@@ -57,6 +57,7 @@ import (
 	"loadimb/internal/core"
 	"loadimb/internal/monitor"
 	"loadimb/internal/mpi"
+	"loadimb/internal/serve"
 	"loadimb/internal/temporal"
 	"loadimb/internal/trace"
 )
@@ -82,20 +83,20 @@ type daemon struct {
 	ingestDrop bool
 	maxRank    int
 	workload   string
-	procs     int
-	tasks     int
-	iters     int
-	sweeps    int
-	phases    int
-	imbalance float64
-	window    float64
-	windowCap int
-	penalty   float64
-	slowRank  int
-	slowFac   float64
-	repeat    int
-	exit      bool
-	linger    time.Duration
+	procs      int
+	tasks      int
+	iters      int
+	sweeps     int
+	phases     int
+	imbalance  float64
+	window     float64
+	windowCap  int
+	penalty    float64
+	slowRank   int
+	slowFac    float64
+	repeat     int
+	exit       bool
+	linger     time.Duration
 
 	col *monitor.Collector
 	// url is the served base URL, valid once started is closed.
@@ -237,7 +238,7 @@ func (d *daemon) run(ctx context.Context, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	var handlerOpts []monitor.HandlerOption
+	var handlerOpts []serve.Option
 	if d.ingest != "" {
 		ing := monitor.NewIngestServer(d.col, monitor.IngestOptions{DropOnFull: d.ingestDrop})
 		defer ing.Close()
@@ -249,12 +250,12 @@ func (d *daemon) run(ctx context.Context, stdout io.Writer) error {
 			}
 			fmt.Fprintf(stdout, "imbamon: ingesting events on %s (%s)\n", addr, addr.Network())
 		}
-		handlerOpts = append(handlerOpts, monitor.WithIngest(ing))
+		handlerOpts = append(handlerOpts, serve.WithIngest(ing))
 	}
 	d.url = "http://" + ln.Addr().String()
 	fmt.Fprintf(stdout, "imbamon: serving on %s (workload %s, P=%d)\n", d.url, d.workload, d.procs)
 	close(d.started)
-	srv := &http.Server{Handler: monitor.NewHandler(d.col, handlerOpts...)}
+	srv := &http.Server{Handler: serve.NewHandler(d.col, handlerOpts...)}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	defer srv.Close()

@@ -18,6 +18,7 @@ import (
 	"loadimb/internal/apps"
 	"loadimb/internal/monitor"
 	"loadimb/internal/mpi"
+	"loadimb/internal/serve"
 )
 
 func main() {
@@ -35,7 +36,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &http.Server{Handler: monitor.NewHandler(col)}
+	srv := &http.Server{Handler: serve.NewHandler(col)}
 	go srv.Serve(ln)
 	defer srv.Close()
 	base := "http://" + ln.Addr().String()

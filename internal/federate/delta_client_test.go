@@ -1,0 +1,209 @@
+package federate
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"loadimb/internal/monitor"
+	"loadimb/internal/serve"
+	"loadimb/internal/trace"
+)
+
+// newTestFederator builds a federator over one endpoint with the given
+// extra options applied.
+func newTestFederator(t *testing.T, url string, mutate func(*Options)) *Federator {
+	t.Helper()
+	opts := Options{
+		Endpoints: []Endpoint{{Name: "job", URL: url}},
+		Timeout:   5 * time.Second,
+		Client:    testClient,
+	}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	f, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestScrapeDeltaSavesBytes: once a client holds a snapshot, follow-up
+// scrapes of a slightly-changed endpoint must move far fewer bytes over
+// the delta path than the same scrapes forced through full JSON — the
+// whole point of LIFP. Both federators must end up with identical cubes.
+func TestScrapeDeltaSavesBytes(t *testing.T) {
+	c := monitor.NewCollector(monitor.Options{Shards: 1, Window: 0.25})
+	for _, e := range jobEvents(16, 0.5) {
+		c.Record(e)
+	}
+	srv := httptest.NewServer(serve.NewHandler(c))
+	defer srv.Close()
+
+	delta := newTestFederator(t, srv.URL, nil)
+	full := newTestFederator(t, srv.URL, func(o *Options) { o.DisableDelta = true })
+	ctx := context.Background()
+	delta.ScrapeAll(ctx)
+	full.ScrapeAll(ctx)
+
+	dh, fh := delta.Health()[0], full.Health()[0]
+	if !dh.Delta {
+		t.Fatalf("delta federator did not use the delta protocol: %+v", dh)
+	}
+	if fh.Delta {
+		t.Fatalf("DisableDelta federator used the delta protocol: %+v", fh)
+	}
+	deltaBase, fullBase := dh.Bytes, fh.Bytes
+
+	// A small change, then rescrape: the delta carries one cell and one
+	// window, full JSON re-ships everything.
+	var deltaIncr, fullIncr uint64
+	for i := 0; i < 3; i++ {
+		c.Record(trace.Event{Rank: 3, Region: "solve", Activity: "comp",
+			Start: 20 + float64(i), End: 20.5 + float64(i)})
+		delta.ScrapeAll(ctx)
+		full.ScrapeAll(ctx)
+	}
+	deltaIncr = delta.Health()[0].Bytes - deltaBase
+	fullIncr = full.Health()[0].Bytes - fullBase
+	if deltaIncr == 0 || fullIncr == 0 {
+		t.Fatalf("no bytes moved: delta %d, full %d", deltaIncr, fullIncr)
+	}
+	if deltaIncr*4 >= fullIncr {
+		t.Fatalf("delta path saved too little: %d bytes vs %d full-JSON bytes", deltaIncr, fullIncr)
+	}
+	if !delta.Snapshot().Cube.EqualWithin(full.Snapshot().Cube, 0) {
+		t.Fatal("delta and full-JSON federators diverged")
+	}
+}
+
+// TestScrapeDeltaFallback: an endpoint without /delta (an older
+// collector build) must degrade to JSON scrapes transparently — and the
+// fallback must be sticky, not re-probed every round.
+func TestScrapeDeltaFallback(t *testing.T) {
+	c := monitor.NewCollector(monitor.Options{Shards: 1})
+	for _, e := range jobEvents(4, 0.3) {
+		c.Record(e)
+	}
+	inner := serve.NewHandler(c)
+	var deltaProbes atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/delta" {
+			deltaProbes.Add(1)
+			http.NotFound(w, r)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	f := newTestFederator(t, srv.URL, nil)
+	ctx := context.Background()
+	f.ScrapeAll(ctx)
+	f.ScrapeAll(ctx)
+	f.ScrapeAll(ctx)
+	if probes := deltaProbes.Load(); probes != 1 {
+		t.Fatalf("delta endpoint probed %d times, want exactly 1 (sticky fallback)", probes)
+	}
+	h := f.Health()[0]
+	if h.Delta {
+		t.Fatalf("health claims delta on a JSON-only endpoint: %+v", h)
+	}
+	if f.Snapshot().Cube == nil {
+		t.Fatal("JSON fallback produced no cube")
+	}
+}
+
+// TestScrapeBodyBound: a response body past MaxBodyBytes must fail the
+// scrape — a hostile or broken endpoint cannot balloon the federator —
+// and the failure must be visible in health.
+func TestScrapeBodyBound(t *testing.T) {
+	c := monitor.NewCollector(monitor.Options{Shards: 1})
+	for _, e := range jobEvents(8, 0.5) {
+		c.Record(e)
+	}
+	srv := httptest.NewServer(serve.NewHandler(c))
+	defer srv.Close()
+
+	f := newTestFederator(t, srv.URL, func(o *Options) { o.MaxBodyBytes = 64 })
+	f.ScrapeAll(context.Background())
+	h := f.Health()[0]
+	if h.HasCube || h.Failures == 0 {
+		t.Fatalf("64-byte body bound did not fail the scrape: %+v", h)
+	}
+	if f.Snapshot().Cube != nil {
+		t.Fatal("bounded-out endpoint still contributed a cube")
+	}
+}
+
+// TestFederatorRestartMidDeltaStream: a collector restart between two
+// delta scrapes changes the boot nonce, so the in-flight delta chain is
+// dead — the federator must force a full resync and end up with exactly
+// the new incarnation's state, never a merge of the two boots.
+func TestFederatorRestartMidDeltaStream(t *testing.T) {
+	var handler atomic.Value
+	c1 := monitor.NewCollector(monitor.Options{Shards: 1, Window: 0.5})
+	for _, e := range jobEvents(4, 0.5) {
+		c1.Record(e)
+	}
+	handler.Store(serve.NewHandler(c1))
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler.Load().(http.Handler).ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	f := newTestFederator(t, srv.URL, nil)
+	ctx := context.Background()
+
+	// Establish a delta chain: full doc, then an incremental.
+	f.ScrapeAll(ctx)
+	c1.Record(trace.Event{Rank: 1, Region: "solve", Activity: "comp", Start: 8, End: 9})
+	f.ScrapeAll(ctx)
+	if h := f.Health()[0]; !h.Delta {
+		t.Fatalf("delta chain not established: %+v", h)
+	}
+
+	// Restart mid-stream: new boot nonce, fresh generations, different
+	// content at the same URL.
+	c2 := monitor.NewCollector(monitor.Options{Shards: 1, Window: 0.5})
+	for _, e := range jobEvents(2, 1.0) {
+		c2.Record(e)
+	}
+	handler.Store(serve.NewHandler(c2))
+
+	f.ScrapeAll(ctx)
+	got := f.Snapshot()
+	if got.Cube == nil {
+		t.Fatal("no cube after the restart resync")
+	}
+	want := c2.Snapshot()
+	if got.Cube.NumProcs() != want.Cube.NumProcs() {
+		t.Fatalf("resynced cube has %d procs, want %d — boots were merged", got.Cube.NumProcs(), want.Cube.NumProcs())
+	}
+	// The federated cube namespaces regions; compare cell values through
+	// the names.
+	for i, r := range want.Cube.Regions() {
+		gi := -1
+		for ri, gr := range got.Cube.Regions() {
+			if gr == "job/"+r {
+				gi = ri
+			}
+		}
+		if gi < 0 {
+			t.Fatalf("region %q missing after resync: %v", r, got.Cube.Regions())
+		}
+		for j := range want.Cube.Activities() {
+			wv, _ := want.Cube.ProcTimes(i, j)
+			gv, _ := got.Cube.ProcTimes(gi, j)
+			for p := range wv {
+				if wv[p] != gv[p] {
+					t.Fatalf("cell (%q,%d,%d) = %v, want %v", r, j, p, gv[p], wv[p])
+				}
+			}
+		}
+	}
+}

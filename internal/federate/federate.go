@@ -19,11 +19,13 @@
 package federate
 
 import (
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"net/url"
@@ -44,8 +46,17 @@ type Endpoint struct {
 	// /healthz and the federation metrics. Names must be unique.
 	Name string
 	// URL is the base URL of the monitor handler set, e.g.
-	// "http://node7:9190"; the federator scrapes URL + "/cube.json".
+	// "http://node7:9190"; the federator scrapes URL + "/delta" (falling
+	// back to URL + "/cube.json" for endpoints without the binary
+	// protocol).
 	URL string
+	// Raw suppresses namespacing for this endpoint: its region names and
+	// per-region window keys enter the federated view verbatim instead of
+	// prefixed "name/". This is how federation tiers compose — a federator
+	// scraping another federator sets Raw, because the lower tier already
+	// namespaced every region by its leaf job, and re-prefixing would make
+	// the tree's root view depend on its shape. Rank offsets still apply.
+	Raw bool
 }
 
 // Options configures a Federator. Zero durations and counts fall back to
@@ -75,6 +86,17 @@ type Options struct {
 	// the federator unbounded. 0 means temporal.DefaultWindowCap;
 	// negative disables the cap.
 	WindowCap int
+	// DisableDelta turns off the binary /delta scrape path: every scrape
+	// uses the JSON documents (conditional on the ETag as before). The
+	// default — delta first, JSON fallback for endpoints that answer 404
+	// — moves only changed cells and windows on an up-to-date endpoint.
+	DisableDelta bool
+	// MaxBodyBytes bounds every scrape response body, compressed and
+	// decompressed, so a hostile or broken endpoint cannot OOM the
+	// federator. A response whose Content-Length or actual stream exceeds
+	// the bound fails the scrape. 0 means DefaultMaxBodyBytes; negative
+	// disables the bound.
+	MaxBodyBytes int64
 	// Client overrides the HTTP client (tests inject httptest clients);
 	// the per-request Timeout is applied through the request context
 	// either way.
@@ -108,6 +130,15 @@ type endpointState struct {
 	consecutive int    // consecutive failures since the last success
 	scrapes     uint64 // successful scrapes
 	failures    uint64 // failed scrapes
+	bytes       uint64 // response body bytes fetched (on the wire)
+	// jsonOnly marks an endpoint that answered /delta with 404/405: the
+	// scraper stops asking and uses the JSON documents. It resets when
+	// the endpoint's boot nonce changes — a restart may have brought a
+	// newer build that speaks the protocol.
+	jsonOnly bool
+	// usedDelta reports whether the most recent successful scrape went
+	// over the binary delta path.
+	usedDelta bool
 }
 
 // Federator scrapes a set of monitor endpoints and serves their merged
@@ -121,6 +152,8 @@ type Federator struct {
 	backoffMax  time.Duration
 	client      *http.Client
 	logf        func(string, ...any)
+	noDelta     bool
+	maxBody     int64
 	// boot is this federator incarnation's nonce: a federator is itself a
 	// snapshot publisher (another federator may scrape it), so its
 	// snapshots carry a Boot like a collector's.
@@ -153,7 +186,15 @@ func New(opts Options) (*Federator, error) {
 		backoffMax:  opts.BackoffMax,
 		client:      opts.Client,
 		logf:        opts.Logf,
+		noDelta:     opts.DisableDelta,
+		maxBody:     opts.MaxBodyBytes,
 		boot:        monitor.BootNonce(),
+	}
+	if f.maxBody == 0 {
+		f.maxBody = DefaultMaxBodyBytes
+	}
+	if f.maxBody < 0 {
+		f.maxBody = math.MaxInt64
 	}
 	if f.windowCap == 0 {
 		f.windowCap = temporal.DefaultWindowCap
@@ -203,6 +244,11 @@ func New(opts Options) (*Federator, error) {
 	return f, nil
 }
 
+// DefaultMaxBodyBytes is the default per-response body bound: far above
+// any real cube or window series document, far below what it takes to
+// hurt the federator.
+const DefaultMaxBodyBytes = 64 << 20
+
 // cubeURL is the scrape target of one endpoint.
 func (s *endpointState) cubeURL() string {
 	return strings.TrimSuffix(s.URL, "/") + "/cube.json"
@@ -213,34 +259,75 @@ func (s *endpointState) windowsURL() string {
 	return strings.TrimSuffix(s.URL, "/") + "/windows.json"
 }
 
+// deltaURL is the endpoint's binary snapshot-transfer endpoint.
+func (s *endpointState) deltaURL() string {
+	return strings.TrimSuffix(s.URL, "/") + "/delta"
+}
+
 // stale reports whether the endpoint has failed too many times in a row;
 // callers hold Federator.mu.
 func (s *endpointState) stale(maxFailures int) bool {
 	return s.consecutive >= maxFailures
 }
 
-// scrapeEndpoint fetches one endpoint's cube (and, best-effort, its
-// window series) and records the outcome. The fetch is conditional: it
-// presents the ETag of the previous scrape, and an endpoint whose
-// snapshot has not changed answers 304 — the cached cube and windows are
-// reused and the merge generation does not advance, so scraping an idle
-// endpoint costs a header exchange end to end.
+// scrapeEndpoint fetches one endpoint's state and records the outcome.
+// The preferred path is the binary /delta endpoint: the scraper names the
+// generation it holds and receives only the cells and windows that
+// changed since (or a 304 when nothing did). Endpoints that do not serve
+// /delta fall back to the JSON documents, conditional on the ETag as
+// before, so either way an idle endpoint costs a header exchange.
 func (f *Federator) scrapeEndpoint(ctx context.Context, s *endpointState) error {
 	ctx, cancel := context.WithTimeout(ctx, f.timeout)
 	defer cancel()
 	attempt := time.Now()
 	f.mu.Lock()
 	prevETag := s.etag
+	tryDelta := !f.noDelta && !s.jsonOnly
+	base := &tracefmt.DeltaState{Cube: s.cube, Series: s.windows}
+	base.Boot, base.Gen, _ = parseETag(prevETag)
 	f.mu.Unlock()
-	cube, etag, unchanged, err := f.fetchCube(ctx, s.cubeURL(), prevETag)
-	var windows *temporal.Series
-	if err == nil && !unchanged {
-		// The window series is optional: an endpoint with windowing
-		// disabled answers 503, an older endpoint 404. Neither makes the
-		// endpoint unhealthy — it just contributes no timeline. On 304 the
-		// fetch is skipped entirely: the snapshot ETag covers both
-		// documents, an unchanged snapshot means unchanged windows.
-		windows, _ = f.fetchWindows(ctx, s.windowsURL())
+
+	var (
+		cube      *trace.Cube
+		windows   *temporal.Series
+		etag      string
+		unchanged bool
+		usedDelta bool
+		fetched   int64
+		err       error
+	)
+	if tryDelta {
+		var state *tracefmt.DeltaState
+		state, unchanged, fetched, err = f.fetchDelta(ctx, s.deltaURL(), base)
+		switch {
+		case errors.Is(err, errDeltaUnsupported):
+			// The endpoint predates the protocol: remember and fall back.
+			f.mu.Lock()
+			s.jsonOnly = true
+			f.mu.Unlock()
+			err = nil
+		case err == nil:
+			usedDelta = true
+			if !unchanged {
+				cube, windows = state.Cube, state.Series
+				etag = (&monitor.Snapshot{Boot: state.Boot, Gen: state.Gen}).ETag()
+			}
+		}
+	}
+	if !usedDelta && err == nil {
+		var n int64
+		cube, etag, unchanged, n, err = f.fetchCube(ctx, s.cubeURL(), prevETag)
+		fetched += n
+		if err == nil && !unchanged {
+			// The window series is optional: an endpoint with windowing
+			// disabled answers 503, an older endpoint 404. Neither makes
+			// the endpoint unhealthy — it just contributes no timeline. On
+			// 304 the fetch is skipped entirely: the snapshot ETag covers
+			// both documents, an unchanged snapshot means unchanged
+			// windows.
+			windows, n = f.fetchWindows(ctx, s.windowsURL())
+			fetched += n
+		}
 	}
 	latency := time.Since(attempt)
 
@@ -248,6 +335,7 @@ func (f *Federator) scrapeEndpoint(ctx context.Context, s *endpointState) error 
 	defer f.mu.Unlock()
 	s.lastAttempt = attempt
 	s.lastLatency = latency
+	s.bytes += uint64(fetched)
 	if err != nil {
 		wasStale := s.stale(f.maxFailures)
 		s.failures++
@@ -270,6 +358,7 @@ func (f *Federator) scrapeEndpoint(ctx context.Context, s *endpointState) error 
 	s.lastError = ""
 	s.consecutive = 0
 	s.scrapes++
+	s.usedDelta = usedDelta
 	if unchanged {
 		// 304: the cached cube and windows are still this endpoint's
 		// current snapshot, so the merged view built from them stays valid
@@ -286,11 +375,16 @@ func (f *Federator) scrapeEndpoint(ctx context.Context, s *endpointState) error 
 	// new data from the old one. The refetched cube replaces the cached
 	// one below either way; the log makes the restart visible, and the
 	// generation bump guarantees the cached merged view is invalidated
-	// rather than re-served.
+	// rather than re-served. A boot change also re-arms the delta path
+	// for an endpoint that had fallen back to JSON: the restart may have
+	// brought a build that speaks it.
 	if ob, og, ok := parseETag(prevETag); ok {
 		if nb, ng, ok2 := parseETag(etag); ok2 && (nb != ob || ng < og) {
 			f.logf("federate: endpoint %q restarted (snapshot generation %d after %d); invalidating its cached view",
 				s.Name, ng, og)
+			if nb != ob {
+				s.jsonOnly = false
+			}
 		}
 	}
 	s.cube = cube
@@ -310,61 +404,197 @@ func parseETag(tag string) (boot, gen uint64, ok bool) {
 	return boot, gen, true
 }
 
+// errDeltaUnsupported marks an endpoint that does not serve /delta.
+var errDeltaUnsupported = errors.New("federate: endpoint does not serve /delta")
+
+// errBodyTooLarge marks a response body that exceeded MaxBodyBytes.
+var errBodyTooLarge = errors.New("federate: response body exceeds MaxBodyBytes")
+
+// countingReader counts the bytes read from the underlying stream — the
+// wire bytes, before any content decoding.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// boundedReader errors (rather than silently truncating, as
+// io.LimitReader would) once more than max bytes come through.
+type boundedReader struct {
+	r         io.Reader
+	remaining int64
+}
+
+func (b *boundedReader) Read(p []byte) (int, error) {
+	if b.remaining < 0 {
+		return 0, errBodyTooLarge
+	}
+	n, err := b.r.Read(p)
+	b.remaining -= int64(n)
+	if b.remaining < 0 {
+		return n, errBodyTooLarge
+	}
+	return n, err
+}
+
+// body wraps a response body in the byte counter and the size bound, and
+// transparently decodes a gzip content coding — bounding the decompressed
+// stream too, so a compression bomb fails at MaxBodyBytes either way.
+// It returns the reader to decode from; counter.n accumulates the bytes
+// on the wire.
+func (f *Federator) body(resp *http.Response, counter *countingReader) (io.Reader, error) {
+	if resp.ContentLength > f.maxBody {
+		return nil, fmt.Errorf("%w (Content-Length %d > %d)", errBodyTooLarge, resp.ContentLength, f.maxBody)
+	}
+	counter.r = resp.Body
+	var r io.Reader = &boundedReader{r: counter, remaining: f.maxBody}
+	if resp.Header.Get("Content-Encoding") == "gzip" {
+		gz, err := gzip.NewReader(r)
+		if err != nil {
+			return nil, err
+		}
+		r = &boundedReader{r: gz, remaining: f.maxBody}
+	}
+	return r, nil
+}
+
+// fetchDelta asks the endpoint's /delta for everything since the base
+// state the caller holds. It returns unchanged=true on 304 (the base is
+// current), a decoded state on 200, errDeltaUnsupported on 404/405 (old
+// endpoint), and bytes as counted on the wire. If the server answers
+// with a delta the client cannot apply (a race around eviction), one
+// full refetch is attempted before giving up.
+func (f *Federator) fetchDelta(ctx context.Context, url string, base *tracefmt.DeltaState) (state *tracefmt.DeltaState, unchanged bool, bytes int64, err error) {
+	get := func(since string) (*tracefmt.DeltaState, bool, int64, error) {
+		target := url
+		if since != "" {
+			target += "?since=" + since
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
+		if err != nil {
+			return nil, false, 0, err
+		}
+		resp, err := f.client.Do(req)
+		if err != nil {
+			return nil, false, 0, err
+		}
+		defer resp.Body.Close()
+		var counter countingReader
+		switch resp.StatusCode {
+		case http.StatusNotModified:
+			return nil, true, 0, nil
+		case http.StatusNotFound, http.StatusMethodNotAllowed:
+			_, _ = io.CopyN(io.Discard, resp.Body, 512)
+			return nil, false, 0, errDeltaUnsupported
+		case http.StatusOK:
+		default:
+			_, _ = io.CopyN(io.Discard, resp.Body, 512)
+			return nil, false, 0, fmt.Errorf("GET %s: status %d", target, resp.StatusCode)
+		}
+		body, err := f.body(resp, &counter)
+		if err != nil {
+			return nil, false, counter.n, fmt.Errorf("GET %s: %w", target, err)
+		}
+		doc, err := io.ReadAll(body)
+		if err != nil {
+			return nil, false, counter.n, fmt.Errorf("GET %s: %w", target, err)
+		}
+		st, err := tracefmt.DecodeSnapshot(doc, base)
+		if err != nil {
+			return nil, false, counter.n, fmt.Errorf("GET %s: %w", target, err)
+		}
+		return st, false, counter.n, nil
+	}
+	since := ""
+	if base.Boot != 0 {
+		since = fmt.Sprintf("b%x-g%d", base.Boot, base.Gen)
+	}
+	state, unchanged, bytes, err = get(since)
+	if errors.Is(err, tracefmt.ErrDeltaBase) && since != "" {
+		// The server sent a delta against a base we no longer hold (or
+		// vice versa); one unconditional fetch gets a full document.
+		var n int64
+		state, unchanged, n, err = get("")
+		bytes += n
+	}
+	return state, unchanged, bytes, err
+}
+
 // fetchCube performs the HTTP GET and decodes the cube. etag, when
 // non-empty, makes the request conditional (If-None-Match); a 304 answer
 // returns unchanged=true with a nil cube, meaning the caller's cached
-// cube is still current.
-func (f *Federator) fetchCube(ctx context.Context, url, etag string) (cube *trace.Cube, newETag string, unchanged bool, err error) {
+// cube is still current. The request negotiates a gzip content coding:
+// cube JSON is highly compressible, and the body bound applies to both
+// the wire and the decompressed stream.
+func (f *Federator) fetchCube(ctx context.Context, url, etag string) (cube *trace.Cube, newETag string, unchanged bool, bytes int64, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return nil, "", false, err
+		return nil, "", false, 0, err
 	}
 	if etag != "" {
 		req.Header.Set("If-None-Match", etag)
 	}
+	req.Header.Set("Accept-Encoding", "gzip")
 	resp, err := f.client.Do(req)
 	if err != nil {
-		return nil, "", false, err
+		return nil, "", false, 0, err
 	}
 	defer resp.Body.Close()
+	var counter countingReader
 	if resp.StatusCode == http.StatusNotModified {
 		_, _ = io.CopyN(io.Discard, resp.Body, 512)
-		return nil, etag, true, nil
+		return nil, etag, true, 0, nil
 	}
 	if resp.StatusCode != http.StatusOK {
 		// Drain a little so the connection can be reused, then report.
 		_, _ = io.CopyN(io.Discard, resp.Body, 512)
-		return nil, "", false, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+		return nil, "", false, 0, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
 	}
-	cube, err = tracefmt.ReadCubeJSON(resp.Body)
+	body, err := f.body(resp, &counter)
 	if err != nil {
-		return nil, "", false, fmt.Errorf("GET %s: %w", url, err)
+		return nil, "", false, counter.n, fmt.Errorf("GET %s: %w", url, err)
 	}
-	return cube, resp.Header.Get("ETag"), false, nil
+	cube, err = tracefmt.ReadCubeJSON(body)
+	if err != nil {
+		return nil, "", false, counter.n, fmt.Errorf("GET %s: %w", url, err)
+	}
+	return cube, resp.Header.Get("ETag"), false, counter.n, nil
 }
 
 // fetchWindows fetches and decodes an endpoint's window series. A
-// non-200 answer (windowing disabled, older endpoint) returns (nil, nil):
-// absent windows are a capability, not a failure.
-func (f *Federator) fetchWindows(ctx context.Context, url string) (*temporal.Series, error) {
+// non-200 answer (windowing disabled, older endpoint) or a decode error
+// returns a nil series: absent windows are a capability, not a failure.
+// The wire byte count is returned either way.
+func (f *Federator) fetchWindows(ctx context.Context, url string) (*temporal.Series, int64) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return nil, err
+		return nil, 0
 	}
+	req.Header.Set("Accept-Encoding", "gzip")
 	resp, err := f.client.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, 0
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		_, _ = io.CopyN(io.Discard, resp.Body, 512)
-		return nil, nil
+		return nil, 0
+	}
+	var counter countingReader
+	body, err := f.body(resp, &counter)
+	if err != nil {
+		return nil, counter.n
 	}
 	var ser temporal.Series
-	if err := json.NewDecoder(resp.Body).Decode(&ser); err != nil {
-		return nil, fmt.Errorf("GET %s: %w", url, err)
+	if err := json.NewDecoder(body).Decode(&ser); err != nil {
+		return nil, counter.n
 	}
-	return &ser, nil
+	return &ser, counter.n
 }
 
 // backoff returns the jittered retry delay after n consecutive failures
@@ -453,9 +683,17 @@ func (f *Federator) Snapshot() *monitor.Snapshot {
 	haveWindows := false
 	for _, s := range f.states {
 		if s.cube != nil && !s.stale(f.maxFailures) {
+			// A Raw endpoint (a lower federation tier) already namespaced
+			// its regions; an empty label makes trace.Federate and
+			// temporal.Merge take its names verbatim, so a tree's root
+			// view is independent of the tree's shape.
+			label := s.Name
+			if s.Raw {
+				label = ""
+			}
 			// Cubes and series are immutable once fetched; sharing the
 			// pointers outside the lock is safe.
-			jobs = append(jobs, trace.JobCube{Label: s.Name, Cube: s.cube})
+			jobs = append(jobs, trace.JobCube{Label: label, Cube: s.cube})
 			// The job's rank slots in the merged series are its cube's
 			// processors — the same offsets trace.Federate applies, so
 			// window ranks and federated cube ranks coincide. An endpoint
@@ -465,7 +703,7 @@ func (f *Federator) Snapshot() *monitor.Snapshot {
 			winJobs = append(winJobs, temporal.JobWindows{
 				Procs:  s.cube.NumProcs(),
 				Series: s.windows,
-				Label:  s.Name,
+				Label:  label,
 			})
 			// Diagnosis findings name ranks in the merged rank space;
 			// job-local labels ("name/3") keep them attributable.
@@ -560,6 +798,14 @@ type EndpointHealth struct {
 	// ScrapeMillis is the duration of the most recent scrape attempt in
 	// milliseconds — the cube fetch plus, on success, the window fetch.
 	ScrapeMillis float64 `json:"scrape_ms"`
+	// Bytes is the total response body bytes fetched from the endpoint,
+	// counted on the wire (before any content decoding). Delta scraping
+	// shows up here: mostly-unchanged endpoints cost orders of magnitude
+	// fewer bytes than full-JSON refetches.
+	Bytes uint64 `json:"bytes"`
+	// Delta reports whether the most recent successful scrape used the
+	// binary /delta protocol (false: the JSON fallback).
+	Delta bool `json:"delta"`
 	// LastError is the most recent scrape error, empty after a success.
 	LastError string `json:"last_error,omitempty"`
 }
@@ -580,6 +826,8 @@ func (f *Federator) Health() []EndpointHealth {
 			Scrapes:             s.scrapes,
 			Failures:            s.failures,
 			ScrapeMillis:        float64(s.lastLatency) / float64(time.Millisecond),
+			Bytes:               s.bytes,
+			Delta:               s.usedDelta,
 			LastError:           s.lastError,
 		}
 		if !s.lastSuccess.IsZero() {

@@ -13,6 +13,7 @@ import (
 
 	"loadimb/internal/core"
 	"loadimb/internal/monitor"
+	"loadimb/internal/serve"
 	"loadimb/internal/stats"
 	"loadimb/internal/trace"
 	"loadimb/internal/tracefmt"
@@ -62,7 +63,7 @@ func startEndpointCollector(t *testing.T, job jobSpec) (*httptest.Server, *monit
 	for _, e := range job.events {
 		c.Record(e)
 	}
-	srv := httptest.NewServer(monitor.NewHandler(c))
+	srv := httptest.NewServer(serve.NewHandler(c))
 	t.Cleanup(srv.Close)
 	return srv, c
 }
@@ -289,7 +290,7 @@ func TestFederatorKeepsLastCubeUntilStale(t *testing.T) {
 		c.Record(e)
 	}
 	failing := false
-	inner := monitor.NewHandler(c)
+	inner := serve.NewHandler(c)
 	flakySrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if failing {
 			http.Error(w, "boom", http.StatusInternalServerError)

@@ -3,9 +3,10 @@ package federate
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 
-	"loadimb/internal/monitor"
+	"loadimb/internal/serve"
 )
 
 // Federation metric families served at /metrics ahead of the cube gauges.
@@ -17,6 +18,8 @@ const (
 	MetricEndpointFailures    = "loadimb_fed_endpoint_failures_total"
 	MetricEndpointConsecutive = "loadimb_fed_endpoint_consecutive_failures"
 	MetricEndpointLatency     = "loadimb_fed_endpoint_scrape_seconds"
+	MetricEndpointBytes       = "loadimb_fed_endpoint_bytes_total"
+	MetricEndpointDelta       = "loadimb_fed_endpoint_delta"
 )
 
 // healthzPayload is the /healthz document: an overall status plus the
@@ -50,75 +53,49 @@ func status(eps []EndpointHealth) string {
 	}
 }
 
-// Handler returns the federated exposition endpoint set:
+// Handler returns the federated exposition endpoint set — the exact
+// surface imbamon serves (serve.Mux pointed at the federated snapshot),
+// so one Prometheus scrape of an imbafed gives ID_P, ID_ij, ID_A/SID_A,
+// ID_C/SID_C and the Gini coefficient for the whole cluster, and another
+// imbafed can scrape this one exactly like a leaf collector (including
+// the binary /delta path) to build a federation tree. Differences from
+// the collector surface:
 //
-//	/metrics      federation scrape-state gauges, then every paper index
-//	              of the federated cube (same families imbamon serves)
-//	/cube.json      the federated measurement cube (tracefmt JSON)
-//	/lorenz.json    Lorenz curve of the cluster-wide per-processor times
-//	/timeline.json  cluster-wide imbalance trajectory, merged from the
-//	                endpoints' window series (empty until some endpoint
-//	                serves /windows.json)
-//	/windows.json   the merged raw window series itself
-//	/phases.json    phase detection over the cluster-wide trajectory
-//	                (the same segmentation each endpoint's own
-//	                /phases.json runs, on the merged windows)
-//	/diagnose.json  automatic diagnosis over the merged windows: rank
-//	                cohorts and divergence findings with job-namespaced
-//	                rank labels ("job/3") and region dimensions
-//	/healthz        per-endpoint scrape state: last success/attempt,
-//	                scrape latency, consecutive failures, staleness
-//	                (503 when no endpoint contributes)
-//	/               plain-text index
-//
-// The cube endpoints are the exact handlers imbamon uses
-// (monitor.SnapshotSource), pointed at the federated snapshot, so one
-// Prometheus scrape of an imbafed gives ID_P, ID_ij, ID_A/SID_A,
-// ID_C/SID_C and the Gini coefficient for the whole cluster.
+//	/healthz   per-endpoint scrape state: last success/attempt, scrape
+//	           latency, bytes fetched, consecutive failures, staleness
+//	           (503 when no endpoint contributes)
+//	/metrics   federation scrape-state gauges ahead of the cube families
+//	/          plain-text index instead of the dashboard
 func Handler(f *Federator) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		eps := f.Health()
-		payload := healthzPayload{Status: status(eps), Endpoints: eps}
-		w.Header().Set("Content-Type", "application/json")
-		if payload.Status == "down" {
-			w.WriteHeader(http.StatusServiceUnavailable)
-		}
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(payload)
-	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		writeFederationMetrics(w, f.Health())
-		// The snapshot's Events/Dropped counters are zero here: cube
-		// scrapes carry no event counts, and the federated exposition
-		// reports scrape state through the families above instead.
-		_ = monitor.WriteMetrics(w, f.Snapshot())
-	})
-	mux.Handle("/cube.json", monitor.CubeHandler(f))
-	mux.Handle("/lorenz.json", monitor.LorenzHandler(f))
-	// Window width 0: the federated width is whatever the endpoints
-	// agreed on, echoed from the merged series itself.
-	mux.Handle("/timeline.json", monitor.TimelineHandler(f, 0))
-	mux.Handle("/windows.json", monitor.WindowsHandler(f))
-	mux.Handle("/phases.json", monitor.PhasesHandler(f))
-	mux.Handle("/diagnose.json", monitor.DiagnoseHandler(f))
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/" {
-			http.NotFound(w, r)
-			return
-		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintf(w, "loadimb federated monitor (%d endpoints)\n\n", len(f.Health()))
-		fmt.Fprintln(w, "endpoints: /metrics /cube.json /lorenz.json /timeline.json /windows.json /phases.json /diagnose.json /healthz")
-	})
-	return mux
+	return serve.Mux(f,
+		serve.WithHealth(func(w http.ResponseWriter, r *http.Request) {
+			eps := f.Health()
+			payload := healthzPayload{Status: status(eps), Endpoints: eps}
+			w.Header().Set("Content-Type", "application/json")
+			if payload.Status == "down" {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(payload)
+		}),
+		// The snapshot's Events/Dropped counters are zero here: scrapes
+		// carry no event counts, and the federated exposition reports
+		// scrape state through the families above instead.
+		serve.WithMetricsPrefix(func(w io.Writer) {
+			writeFederationMetrics(w, f.Health())
+		}),
+		serve.WithIndex(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintf(w, "loadimb federated monitor (%d endpoints)\n\n", len(f.Health()))
+			fmt.Fprintln(w, "endpoints: /metrics /cube.json /lorenz.json /timeline.json /windows.json /phases.json /diagnose.json /delta /healthz")
+		}),
+	)
 }
 
 // writeFederationMetrics renders the scrape-state families in Prometheus
 // text format.
-func writeFederationMetrics(w http.ResponseWriter, eps []EndpointHealth) {
+func writeFederationMetrics(w io.Writer, eps []EndpointHealth) {
 	stale := 0
 	for _, ep := range eps {
 		if ep.Stale {
@@ -146,6 +123,15 @@ func writeFederationMetrics(w http.ResponseWriter, eps []EndpointHealth) {
 			func(ep EndpointHealth) uint64 { return ep.Failures }},
 		{MetricEndpointConsecutive, "Consecutive scrape failures since the last success.", "gauge",
 			func(ep EndpointHealth) uint64 { return uint64(ep.ConsecutiveFailures) }},
+		{MetricEndpointBytes, "Response body bytes fetched from the endpoint.", "counter",
+			func(ep EndpointHealth) uint64 { return ep.Bytes }},
+		{MetricEndpointDelta, "Whether the endpoint speaks the binary delta protocol (1) or JSON (0).", "gauge",
+			func(ep EndpointHealth) uint64 {
+				if ep.Delta {
+					return 1
+				}
+				return 0
+			}},
 	}
 	for _, fam := range families {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", fam.name, fam.help, fam.name, fam.typ)

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"loadimb/internal/monitor"
+	"loadimb/internal/serve"
 	"loadimb/internal/trace"
 )
 
@@ -26,7 +27,7 @@ func TestFederatorEndpointRestart(t *testing.T) {
 	for _, e := range jobEvents(4, 0.5) {
 		c1.Record(e)
 	}
-	handler.Store(monitor.NewHandler(c1))
+	handler.Store(serve.NewHandler(c1))
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		handler.Load().(http.Handler).ServeHTTP(w, r)
 	}))
@@ -67,7 +68,7 @@ func TestFederatorEndpointRestart(t *testing.T) {
 	for _, e := range jobEvents(2, 1.0) {
 		c2.Record(e)
 	}
-	handler.Store(monitor.NewHandler(c2))
+	handler.Store(serve.NewHandler(c2))
 
 	f.ScrapeAll(ctx)
 	after := f.Snapshot()
@@ -104,7 +105,7 @@ func TestFederatorRecoveryAfter304(t *testing.T) {
 	for _, e := range jobEvents(3, 0.5) {
 		c.Record(e)
 	}
-	inner := monitor.NewHandler(c)
+	inner := serve.NewHandler(c)
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if reject.Load() {
 			http.Error(w, "transient outage", http.StatusBadGateway)

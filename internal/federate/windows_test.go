@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"loadimb/internal/monitor"
+	"loadimb/internal/serve"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
@@ -24,7 +25,7 @@ func startWindowedEndpoint(t *testing.T, job jobSpec, window float64) *httptest.
 	for _, e := range job.events {
 		c.Record(e)
 	}
-	srv := httptest.NewServer(monitor.NewHandler(c))
+	srv := httptest.NewServer(serve.NewHandler(c))
 	t.Cleanup(srv.Close)
 	return srv
 }

@@ -1,11 +1,9 @@
 package monitor
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 	"net"
-	"net/http/httptest"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -77,54 +75,6 @@ func TestIngestEndToEnd(t *testing.T) {
 			// in-process record order, so the snapshots are bit-identical.
 			sameSnapshot(t, c.Snapshot(), ref.Snapshot())
 		})
-	}
-}
-
-// TestIngestMetrics: the handler built WithIngest exposes the
-// loadimb_ingest_* counters, and they account for the shipped stream.
-func TestIngestMetrics(t *testing.T) {
-	c := NewCollector(Options{})
-	srv := NewIngestServer(c, IngestOptions{})
-	defer srv.Close()
-	sock := filepath.Join(t.TempDir(), "m.sock")
-	if _, err := srv.Listen("unix:" + sock); err != nil {
-		t.Fatal(err)
-	}
-	cl, err := DialIngest("unix:"+sock, ClientOptions{Batch: 64})
-	if err != nil {
-		t.Fatal(err)
-	}
-	events := batchEvents(rand.New(rand.NewSource(3)), 640, 4, false)
-	cl.RecordBatch(events)
-	if err := cl.Flush(); err != nil {
-		t.Fatal(err)
-	}
-	deadline := time.Now().Add(5 * time.Second)
-	for c.Events() < uint64(len(events)) && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
-
-	h := NewHandler(c, WithIngest(srv))
-	rec := httptest.NewRecorder()
-	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
-	body := rec.Body.String()
-	for _, want := range []string{
-		MetricIngestConnsTotal + " 1",
-		MetricIngestConnsActive + " 1",
-		fmt.Sprintf("%s %d", MetricIngestEventsTotal, len(events)),
-		fmt.Sprintf("%s %d", MetricIngestBatchesTotal, len(events)/64),
-		MetricIngestDroppedTotal + " 0",
-		MetricIngestConnEvents + "{conn=\"1\"",
-	} {
-		if !strings.Contains(body, want) {
-			t.Errorf("/metrics missing %q", want)
-		}
-	}
-	if !strings.Contains(body, MetricEventsTotal) {
-		t.Error("/metrics lost the collector families")
-	}
-	if err := cl.Close(); err != nil {
-		t.Fatal(err)
 	}
 }
 

@@ -280,6 +280,10 @@ func (c *Collector) Events() uint64 { return c.events.Load() }
 // Dropped returns the number of malformed events rejected so far.
 func (c *Collector) Dropped() uint64 { return c.dropped.Load() }
 
+// Window returns the configured temporal window width in virtual
+// seconds; 0 when windowing is disabled.
+func (c *Collector) Window() float64 { return c.window }
+
 // Snapshot drains the buffered events, folds them into the running
 // aggregation and publishes the resulting immutable snapshot, which it
 // also returns. Concurrent Record calls are only blocked for the length

@@ -97,6 +97,19 @@ type Views struct {
 	Processors *core.ProcessorView
 }
 
+// ETag returns the snapshot's entity tag: the (boot, generation) pair
+// that identifies its content. Gen alone would be ambiguous — it
+// restarts from zero with the publishing process — so the boot nonce is
+// part of the tag; a scraper that caches on the ETag therefore refetches
+// after a restart instead of treating the reset as "unchanged". Empty
+// for snapshots without a boot nonce (hand-built test literals).
+func (s *Snapshot) ETag() string {
+	if s.Boot == 0 {
+		return ""
+	}
+	return fmt.Sprintf("\"b%x-g%d\"", s.Boot, s.Gen)
+}
+
 // Views returns the dispersion views of the snapshot cube, computing them
 // on the first call and memoizing the result; concurrent callers share
 // one computation. It returns (nil, nil) while the snapshot has no cube.

@@ -1,4 +1,4 @@
-package monitor
+package serve
 
 // dashboardHTML is the embedded live dashboard served at "/": a single
 // self-contained page (no external assets, so it works on an air-gapped

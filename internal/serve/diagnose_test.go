@@ -1,4 +1,4 @@
-package monitor
+package serve
 
 import (
 	"encoding/json"
@@ -13,6 +13,7 @@ import (
 
 	"loadimb/internal/cfd"
 	"loadimb/internal/diagnose"
+	"loadimb/internal/monitor"
 	"loadimb/internal/temporal"
 	"loadimb/internal/trace"
 )
@@ -50,7 +51,7 @@ func TestServerDiagnose(t *testing.T) {
 }
 
 func TestServerDiagnoseWindowingDisabled(t *testing.T) {
-	c := NewCollector(Options{})
+	c := monitor.NewCollector(monitor.Options{})
 	srv := httptest.NewServer(DiagnoseHandler(c))
 	t.Cleanup(srv.Close)
 	if code, _, _ := get(t, srv.URL); code != http.StatusServiceUnavailable {
@@ -152,7 +153,7 @@ func sameReport(t *testing.T, live, want *diagnose.Report) {
 // with computation the dominant dimension.
 func TestDiagnoseMatchesOfflineCfd(t *testing.T) {
 	const window = 1.0
-	c := NewCollector(Options{Window: window})
+	c := monitor.NewCollector(monitor.Options{Window: window})
 	srv := httptest.NewServer(NewHandler(c))
 	t.Cleanup(srv.Close)
 
@@ -208,7 +209,7 @@ func TestDiagnoseMatchesOfflineCfd(t *testing.T) {
 // the same straggler run: the outlier gauge flags the slowed rank and the
 // per-phase cohort counts cover every diagnosed phase.
 func TestServerMetricsDiagFamilies(t *testing.T) {
-	c := NewCollector(Options{Window: 1.0})
+	c := monitor.NewCollector(monitor.Options{Window: 1.0})
 	srv := httptest.NewServer(NewHandler(c))
 	t.Cleanup(srv.Close)
 	cfg := cfd.Defaults()
@@ -228,23 +229,23 @@ func TestServerMetricsDiagFamilies(t *testing.T) {
 	}
 	samples := parseExposition(t, body)
 	idx := indexSamples(samples)
-	outliers, ok := idx[sample{name: MetricDiagOutliers, labels: map[string]string{}}.key()]
+	outliers, ok := idx[sample{name: monitor.MetricDiagOutliers, labels: map[string]string{}}.key()]
 	if !ok || outliers < 1 {
-		t.Errorf("%s = %g, want >= 1 on a straggler run", MetricDiagOutliers, outliers)
+		t.Errorf("%s = %g, want >= 1 on a straggler run", monitor.MetricDiagOutliers, outliers)
 	}
 	rep := c.Snapshot().Diagnosis()
 	if rep == nil {
 		t.Fatal("nil diagnosis with windowing enabled")
 	}
 	for _, pd := range rep.Phases {
-		key := sample{name: MetricDiagCohorts, labels: map[string]string{"phase": strconv.Itoa(pd.Phase)}}.key()
+		key := sample{name: monitor.MetricDiagCohorts, labels: map[string]string{"phase": strconv.Itoa(pd.Phase)}}.key()
 		if got, ok := idx[key]; !ok || got != float64(len(pd.Cohorts)) {
-			t.Errorf("%s{phase=%d} = %g, want %d", MetricDiagCohorts, pd.Phase, got, len(pd.Cohorts))
+			t.Errorf("%s{phase=%d} = %g, want %d", monitor.MetricDiagCohorts, pd.Phase, got, len(pd.Cohorts))
 		}
 	}
 	found := false
 	for _, s := range samples {
-		if s.name == MetricDiagScore && s.labels["rank"] == strconv.Itoa(cfg.SlowRank) {
+		if s.name == monitor.MetricDiagScore && s.labels["rank"] == strconv.Itoa(cfg.SlowRank) {
 			found = true
 			if s.value < 1 {
 				t.Errorf("straggler score gauge = %g, want >= 1", s.value)
@@ -252,7 +253,7 @@ func TestServerMetricsDiagFamilies(t *testing.T) {
 		}
 	}
 	if !found {
-		t.Errorf("no %s sample for the slowed rank %d", MetricDiagScore, cfg.SlowRank)
+		t.Errorf("no %s sample for the slowed rank %d", monitor.MetricDiagScore, cfg.SlowRank)
 	}
 }
 
@@ -261,7 +262,7 @@ func TestServerMetricsDiagFamilies(t *testing.T) {
 // memoized diagnosis is computed once per snapshot and the published
 // report is immutable.
 func TestConcurrentRecordDiagnose(t *testing.T) {
-	c := NewCollector(Options{Window: 1})
+	c := monitor.NewCollector(monitor.Options{Window: 1})
 	handler := DiagnoseHandler(c)
 	var wg sync.WaitGroup
 	const (

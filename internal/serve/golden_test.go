@@ -1,4 +1,4 @@
-package monitor
+package serve
 
 import (
 	"flag"
@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"loadimb/internal/apps"
+	"loadimb/internal/monitor"
 	"loadimb/internal/mpi"
 )
 
@@ -24,9 +25,9 @@ var updateGolden = flag.Bool("update", false, "rewrite golden files")
 // differ from their neighbours by single ulps (4.799999999999997 vs
 // …004, 2.22e-16 vs 0), which is the point: any change to the fold's
 // clipping or accumulation order shows up in the golden bytes.
-func goldenWorkload(t *testing.T) *Collector {
+func goldenWorkload(t *testing.T) *monitor.Collector {
 	t.Helper()
-	c := NewCollector(Options{Window: 0.3, Activities: mpi.Activities()})
+	c := monitor.NewCollector(monitor.Options{Window: 0.3, Activities: mpi.Activities()})
 	cfg := apps.DefaultWavefront()
 	cfg.Sink = c
 	if _, err := apps.Wavefront(cfg); err != nil {

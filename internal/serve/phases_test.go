@@ -1,4 +1,4 @@
-package monitor
+package serve
 
 import (
 	"encoding/json"
@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"loadimb/internal/cfd"
+	"loadimb/internal/monitor"
 	"loadimb/internal/temporal"
 	"loadimb/internal/trace"
 )
@@ -55,7 +56,7 @@ func TestServerPhases(t *testing.T) {
 }
 
 func TestServerPhasesWindowingDisabled(t *testing.T) {
-	c := NewCollector(Options{})
+	c := monitor.NewCollector(monitor.Options{})
 	srv := httptest.NewServer(PhasesHandler(c))
 	t.Cleanup(srv.Close)
 	if code, _, _ := get(t, srv.URL); code != http.StatusServiceUnavailable {
@@ -73,7 +74,7 @@ func TestServerPhasesWindowingDisabled(t *testing.T) {
 // tolerance.
 func TestPhasesMatchOfflineCfd(t *testing.T) {
 	const window = 1.0
-	c := NewCollector(Options{Window: window})
+	c := monitor.NewCollector(monitor.Options{Window: window})
 	srv := httptest.NewServer(NewHandler(c))
 	t.Cleanup(srv.Close)
 
@@ -127,7 +128,7 @@ func TestPhasesMatchOfflineCfd(t *testing.T) {
 // Segment of the same trajectory — the monitor-side counterpart of the
 // temporal package's prefix-equality property.
 func TestPhasesIncrementalMatchesOffline(t *testing.T) {
-	c := NewCollector(Options{Window: 0.5})
+	c := monitor.NewCollector(monitor.Options{Window: 0.5})
 	var lg trace.Log
 	record := func(e trace.Event) {
 		c.Record(e)
@@ -184,7 +185,7 @@ func TestPhasesIncrementalMatchesOffline(t *testing.T) {
 // streaming segmenter stays inside the fold mutex and the published
 // phases are immutable.
 func TestConcurrentRecordPhases(t *testing.T) {
-	c := NewCollector(Options{Window: 1})
+	c := monitor.NewCollector(monitor.Options{Window: 1})
 	handler := PhasesHandler(c)
 	var wg sync.WaitGroup
 	const (

@@ -1,38 +1,34 @@
-package monitor
+// Package serve is the shared HTTP exposition layer: the endpoint set a
+// live collector (imbamon) and a federator (imbafed) both mount over
+// their snapshot source. Extracting it from the monitor package makes the
+// two paths one implementation — a federator is scrapable exactly like a
+// collector, including the binary /delta endpoint, which is what lets
+// federators scrape federators and tiers compose.
+package serve
 
 import (
+	"compress/gzip"
 	"encoding/json"
-	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 
 	"loadimb/internal/majorize"
+	"loadimb/internal/monitor"
 	"loadimb/internal/temporal"
 	"loadimb/internal/tracefmt"
 )
 
-// A SnapshotSource yields the freshest snapshot of a live measurement:
-// the Collector is one (it folds its buffered events on demand), and the
-// federation scraper (internal/federate) is another (it merges the cubes
-// most recently fetched from many collectors). The exported handlers
-// below serve any source, so one exposition path covers both the
+// A Source yields the freshest snapshot of a live measurement: the
+// monitor.Collector is one (it folds its buffered events on demand), and
+// the federation scraper (internal/federate) is another (it merges the
+// states most recently fetched from many collectors). Every handler in
+// this package serves any source, so one exposition path covers both the
 // per-process and the cluster-wide view.
-type SnapshotSource interface {
+type Source interface {
 	// Snapshot returns the current snapshot; it must never return nil.
-	Snapshot() *Snapshot
-}
-
-// ETag returns the snapshot's entity tag: the (boot, generation) pair
-// that identifies its content. Gen alone would be ambiguous — it
-// restarts from zero with the publishing process — so the boot nonce is
-// part of the tag; a scraper that caches on the ETag therefore refetches
-// after a restart instead of treating the reset as "unchanged". Empty
-// for snapshots without a boot nonce (hand-built test literals).
-func (s *Snapshot) ETag() string {
-	if s.Boot == 0 {
-		return ""
-	}
-	return fmt.Sprintf("\"b%x-g%d\"", s.Boot, s.Gen)
+	Snapshot() *monitor.Snapshot
 }
 
 // serveCached stamps the snapshot's ETag on the response and, when the
@@ -40,7 +36,7 @@ func (s *Snapshot) ETag() string {
 // reports true — the incremental-scrape fast path: a federation poll of
 // an idle endpoint costs a header exchange, not a reserialization of the
 // whole document.
-func serveCached(w http.ResponseWriter, r *http.Request, snap *Snapshot) bool {
+func serveCached(w http.ResponseWriter, r *http.Request, snap *monitor.Snapshot) bool {
 	tag := snap.ETag()
 	if tag == "" {
 		return false
@@ -53,14 +49,57 @@ func serveCached(w http.ResponseWriter, r *http.Request, snap *Snapshot) bool {
 	return false
 }
 
+// acceptsGzip reports whether the request negotiates gzip content coding.
+// A plain scraper (curl, a browser devtool, the tests' default client)
+// gets identity bytes; only a client that explicitly asks pays the
+// decompression.
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		coding, params, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if strings.TrimSpace(coding) != "gzip" {
+			continue
+		}
+		q := strings.TrimSpace(params)
+		if q == "q=0" || strings.HasPrefix(q, "q=0,") || q == "q=0.0" {
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// jsonBody negotiates the response encoding for a JSON endpoint and
+// returns the writer the document should go to plus a flush func. The
+// Vary header is always set: caches must key on Accept-Encoding.
+func jsonBody(w http.ResponseWriter, r *http.Request) (io.Writer, func()) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Vary", "Accept-Encoding")
+	if !acceptsGzip(r) {
+		return w, func() {}
+	}
+	w.Header().Set("Content-Encoding", "gzip")
+	gz := gzip.NewWriter(w)
+	return gz, func() { _ = gz.Close() }
+}
+
+// writeJSON writes v as indented JSON, gzip-encoded when the client asked
+// for it.
+func writeJSON(w http.ResponseWriter, r *http.Request, v any) {
+	body, done := jsonBody(w, r)
+	defer done()
+	enc := json.NewEncoder(body)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
 // MetricsHandler serves the Prometheus text exposition of the source's
 // snapshot: every paper index (ID_ij, ID_A/SID_A, ID_C/SID_C, ID_P), the
 // Gini coefficient, the cube marginals and the collector counters.
-func MetricsHandler(src SnapshotSource) http.HandlerFunc {
+func MetricsHandler(src Source) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		snap := src.Snapshot()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := WriteMetrics(w, snap); err != nil {
+		if err := monitor.WriteMetrics(w, snap); err != nil {
 			// Headers are already sent; the scraper will see a
 			// truncated body and retry.
 			return
@@ -70,7 +109,7 @@ func MetricsHandler(src SnapshotSource) http.HandlerFunc {
 
 // CubeHandler serves the snapshot cube as tracefmt JSON, answering 503
 // until the first event has been folded.
-func CubeHandler(src SnapshotSource) http.HandlerFunc {
+func CubeHandler(src Source) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		snap := src.Snapshot()
 		if snap.Cube == nil {
@@ -80,14 +119,15 @@ func CubeHandler(src SnapshotSource) http.HandlerFunc {
 		if serveCached(w, r, snap) {
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		_ = tracefmt.WriteCubeJSON(w, snap.Cube)
+		body, done := jsonBody(w, r)
+		defer done()
+		_ = tracefmt.WriteCubeJSON(body, snap.Cube)
 	}
 }
 
 // LorenzHandler serves the Lorenz curve and Gini coefficient of the
 // snapshot's per-processor total times.
-func LorenzHandler(src SnapshotSource) http.HandlerFunc {
+func LorenzHandler(src Source) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		snap := src.Snapshot()
 		totals := snap.ProcTotals()
@@ -100,10 +140,10 @@ func LorenzHandler(src SnapshotSource) http.HandlerFunc {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		writeJSON(w, lorenzPayload{
+		writeJSON(w, r, lorenzPayload{
 			Procs:  len(totals),
 			Points: points,
-			Gini:   giniOf(totals),
+			Gini:   temporal.GiniOf(totals),
 		})
 	}
 }
@@ -113,7 +153,7 @@ func LorenzHandler(src SnapshotSource) http.HandlerFunc {
 // (0 when windowing is disabled). A source whose width is only known at
 // scrape time — the federation merger inherits it from its endpoints —
 // passes 0 and the snapshot's own series width is echoed instead.
-func TimelineHandler(src SnapshotSource, window float64) http.HandlerFunc {
+func TimelineHandler(src Source, window float64) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		snap := src.Snapshot()
 		if window == 0 && snap.Series != nil {
@@ -131,16 +171,17 @@ func TimelineHandler(src SnapshotSource, window float64) http.HandlerFunc {
 			p.RingStart = snap.Series.RingStart
 			p.Coarse = snap.Coarse
 		}
-		writeJSON(w, p)
+		writeJSON(w, r, p)
 	}
 }
 
 // WindowsHandler serves the snapshot's raw window series — per-window
 // per-processor busy vectors rather than summaries. This is the document
-// the federation layer scrapes and merges: summaries cannot be combined
-// across jobs, busy vectors can, so cluster-wide per-window indices come
-// out exact. It answers 503 while windowing is disabled.
-func WindowsHandler(src SnapshotSource) http.HandlerFunc {
+// the federation layer scrapes and merges (when the binary /delta path is
+// unavailable): summaries cannot be combined across jobs, busy vectors
+// can, so cluster-wide per-window indices come out exact. It answers 503
+// while windowing is disabled.
+func WindowsHandler(src Source) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		snap := src.Snapshot()
 		if snap.Series == nil {
@@ -150,7 +191,7 @@ func WindowsHandler(src SnapshotSource) http.HandlerFunc {
 		if serveCached(w, r, snap) {
 			return
 		}
-		writeJSON(w, snap.Series)
+		writeJSON(w, r, snap.Series)
 	}
 }
 
@@ -162,7 +203,7 @@ func WindowsHandler(src SnapshotSource) http.HandlerFunc {
 // saved trace — maintained incrementally by the collector. It answers
 // 503 while windowing is disabled and an empty phase list before the
 // first non-empty window.
-func PhasesHandler(src SnapshotSource) http.HandlerFunc {
+func PhasesHandler(src Source) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		snap := src.Snapshot()
 		if snap.Series == nil {
@@ -180,7 +221,7 @@ func PhasesHandler(src SnapshotSource) http.HandlerFunc {
 			p.Current = &snap.Phases[n-1]
 			p.Changes = n - 1
 		}
-		writeJSON(w, p)
+		writeJSON(w, r, p)
 	}
 }
 
@@ -191,7 +232,7 @@ func PhasesHandler(src SnapshotSource) http.HandlerFunc {
 // is memoized per fold generation, so scraping it is as cheap as the
 // other endpoints while the run is quiet. It answers 503 while
 // windowing is disabled.
-func DiagnoseHandler(src SnapshotSource) http.HandlerFunc {
+func DiagnoseHandler(src Source) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		snap := src.Snapshot()
 		if snap.Series == nil {
@@ -201,84 +242,147 @@ func DiagnoseHandler(src SnapshotSource) http.HandlerFunc {
 		if serveCached(w, r, snap) {
 			return
 		}
-		writeJSON(w, snap.Diagnosis())
+		writeJSON(w, r, snap.Diagnosis())
 	}
 }
 
-// A HandlerOption customizes the endpoint set NewHandler builds.
-type HandlerOption func(*handlerConfig)
+// An Option customizes the endpoint set Mux and NewHandler build.
+type Option func(*config)
 
-type handlerConfig struct {
-	ingest *IngestServer
+type config struct {
+	ingest        *monitor.IngestServer
+	window        float64
+	health        http.HandlerFunc
+	index         http.HandlerFunc
+	metricsPrefix func(w io.Writer)
+	pprof         bool
 }
 
 // WithIngest attaches an ingest server's counters to the handler's
 // /metrics exposition (the loadimb_ingest_* families).
-func WithIngest(s *IngestServer) HandlerOption {
-	return func(cfg *handlerConfig) { cfg.ingest = s }
+func WithIngest(s *monitor.IngestServer) Option {
+	return func(cfg *config) { cfg.ingest = s }
 }
 
-// NewHandler returns the monitoring endpoint set for a collector:
+// WithWindow sets the configured window width echoed by /timeline.json;
+// 0 (the default) echoes the snapshot's own series width.
+func WithWindow(w float64) Option {
+	return func(cfg *config) { cfg.window = w }
+}
+
+// WithHealth replaces the default always-200 /healthz with a custom
+// probe (the federator reports per-endpoint scrape state there).
+func WithHealth(h http.HandlerFunc) Option {
+	return func(cfg *config) { cfg.health = h }
+}
+
+// WithIndex replaces the default "/" page (the embedded dashboard).
+func WithIndex(h http.HandlerFunc) Option {
+	return func(cfg *config) { cfg.index = h }
+}
+
+// WithMetricsPrefix prepends extra Prometheus families to the /metrics
+// exposition, ahead of the snapshot's index families (the federator's
+// scrape-state gauges use this).
+func WithMetricsPrefix(f func(w io.Writer)) Option {
+	return func(cfg *config) { cfg.metricsPrefix = f }
+}
+
+// WithPprof mounts the Go runtime profile endpoints under /debug/pprof/.
+func WithPprof() Option {
+	return func(cfg *config) { cfg.pprof = true }
+}
+
+// Mux assembles the exposition endpoint set over an arbitrary source:
 //
 //	/metrics        Prometheus text exposition of every paper index
-//	/cube.json      the live measurement cube (tracefmt JSON)
+//	/cube.json      the measurement cube (tracefmt JSON)
 //	/lorenz.json    Lorenz curve of the per-processor total times
 //	/timeline.json  windowed imbalance trajectory (temporal analysis)
 //	/windows.json   raw per-window busy vectors (federation merge input)
-//	/phases.json    live phase detection over the window trajectory
+//	/phases.json    phase detection over the window trajectory
 //	/diagnose.json  automatic diagnosis (rank cohorts + divergence findings)
-//	/healthz        liveness probe (always 200)
-//	/               embedded live dashboard
-//	/debug/pprof/   Go runtime profiles of the monitored process
+//	/delta          binary LIFP snapshot transfer (incremental scrapes)
+//	/healthz        liveness probe (always 200 unless WithHealth overrides)
+//	/               index page (404-on-subpath; WithIndex overrides)
 //
-// Every data endpoint folds the freshest events before answering, so a
-// scrape always reflects the run up to the moment of the request.
-func NewHandler(c *Collector, opts ...HandlerOption) http.Handler {
-	var cfg handlerConfig
+// JSON endpoints answer 304 on a matching If-None-Match and gzip their
+// bodies when the client sends Accept-Encoding: gzip. The same mux serves
+// a live collector and a federator, which is what makes federation trees
+// compose: every tier exposes the identical surface.
+func Mux(src Source, opts ...Option) *http.ServeMux {
+	var cfg config
 	for _, o := range opts {
 		o(&cfg)
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.WriteHeader(http.StatusOK)
-		_, _ = w.Write([]byte("ok\n"))
-	})
-	if cfg.ingest != nil {
-		ing := cfg.ingest
+	health := cfg.health
+	if health == nil {
+		health = func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte("ok\n"))
+		}
+	}
+	mux.HandleFunc("/healthz", health)
+	switch {
+	case cfg.ingest == nil && cfg.metricsPrefix == nil:
+		mux.Handle("/metrics", MetricsHandler(src))
+	default:
+		ing, prefix := cfg.ingest, cfg.metricsPrefix
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-			snap := c.Snapshot()
+			snap := src.Snapshot()
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-			if err := WriteMetrics(w, snap); err != nil {
+			if prefix != nil {
+				prefix(w)
+			}
+			if err := monitor.WriteMetrics(w, snap); err != nil {
 				return
 			}
-			_ = ing.WriteMetrics(w)
+			if ing != nil {
+				_ = ing.WriteMetrics(w)
+			}
 		})
-	} else {
-		mux.Handle("/metrics", MetricsHandler(c))
 	}
-	mux.Handle("/cube.json", CubeHandler(c))
-	mux.Handle("/lorenz.json", LorenzHandler(c))
-	mux.Handle("/timeline.json", TimelineHandler(c, c.window))
-	mux.Handle("/windows.json", WindowsHandler(c))
-	mux.Handle("/phases.json", PhasesHandler(c))
-	mux.Handle("/diagnose.json", DiagnoseHandler(c))
+	mux.Handle("/cube.json", CubeHandler(src))
+	mux.Handle("/lorenz.json", LorenzHandler(src))
+	mux.Handle("/timeline.json", TimelineHandler(src, cfg.window))
+	mux.Handle("/windows.json", WindowsHandler(src))
+	mux.Handle("/phases.json", PhasesHandler(src))
+	mux.Handle("/diagnose.json", DiagnoseHandler(src))
+	mux.Handle("/delta", NewDeltaServer(src))
+	index := cfg.index
+	if index == nil {
+		index = func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/html; charset=utf-8")
+			_, _ = w.Write([]byte(dashboardHTML))
+		}
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		_, _ = w.Write([]byte(dashboardHTML))
+		index(w, r)
 	})
-	// Explicit pprof wiring: the handler set must work on any mux, not
-	// just http.DefaultServeMux.
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if cfg.pprof {
+		// Explicit pprof wiring: the handler set must work on any mux,
+		// not just http.DefaultServeMux.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// NewHandler returns the monitoring endpoint set for a live collector:
+// Mux over the collector plus the embedded dashboard at "/" and the
+// pprof profiles of the monitored process.
+func NewHandler(c *monitor.Collector, opts ...Option) http.Handler {
+	base := []Option{WithWindow(c.Window()), WithPprof()}
+	return Mux(c, append(base, opts...)...)
 }
 
 // lorenzPayload is the /lorenz.json document.
@@ -302,14 +406,14 @@ type timelinePayload struct {
 	// ring; the fields below carry the decimated history. They are
 	// omitted while nothing has been decimated, keeping the wire format
 	// byte-identical to the pre-retention one for bounded-fit runs.
-	Windows []WindowStat `json:"windows"`
+	Windows []monitor.WindowStat `json:"windows"`
 	// CoarseWindow is the decimated tail's window width in virtual
 	// seconds; 0 while nothing has been decimated.
 	CoarseWindow float64 `json:"coarse_window,omitempty"`
 	// RingStart is the base window index where full resolution begins.
 	RingStart int `json:"ring_start,omitempty"`
 	// Coarse is the pre-ring trajectory at CoarseWindow resolution.
-	Coarse []WindowStat `json:"coarse,omitempty"`
+	Coarse []monitor.WindowStat `json:"coarse,omitempty"`
 }
 
 // phasesPayload is the /phases.json document.
@@ -324,11 +428,4 @@ type phasesPayload struct {
 	// Phases is the full segmentation of the trajectory so far, in time
 	// order — the boundary history.
 	Phases []temporal.PhaseSummary `json:"phases"`
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
 }

@@ -1,4 +1,4 @@
-package monitor
+package serve
 
 import (
 	"encoding/json"
@@ -10,13 +10,14 @@ import (
 	"time"
 
 	"loadimb/internal/apps"
+	"loadimb/internal/monitor"
 	"loadimb/internal/mpi"
 	"loadimb/internal/tracefmt"
 )
 
-func newTestServer(t *testing.T) (*httptest.Server, *Collector) {
+func newTestServer(t *testing.T) (*httptest.Server, *monitor.Collector) {
 	t.Helper()
-	c := NewCollector(Options{Window: 0.25, Activities: mpi.Activities()})
+	c := monitor.NewCollector(monitor.Options{Window: 0.25, Activities: mpi.Activities()})
 	srv := httptest.NewServer(NewHandler(c))
 	t.Cleanup(srv.Close)
 	return srv, c
@@ -40,7 +41,7 @@ func get(t *testing.T, url string) (int, string, string) {
 	return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
 }
 
-func runWorkloadInto(t *testing.T, c *Collector) *apps.Result {
+func runWorkloadInto(t *testing.T, c *monitor.Collector) *apps.Result {
 	t.Helper()
 	cfg := apps.DefaultAMR()
 	cfg.Procs = 4
@@ -200,7 +201,7 @@ func TestServerMetricsDuringRun(t *testing.T) {
 	}
 	samples := parseExposition(t, body)
 	final := indexSamples(samples)
-	if final[sample{name: MetricEventsTotal, labels: map[string]string{}}.key()] == 0 {
+	if final[sample{name: monitor.MetricEventsTotal, labels: map[string]string{}}.key()] == 0 {
 		t.Error("no events after the run completed")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"loadimb/internal/temporal"
 	"loadimb/internal/trace"
 	"loadimb/internal/workload"
 )
@@ -140,6 +141,72 @@ func FuzzIngestDecode(f *testing.F) {
 			}
 		}
 	})
+}
+
+// FuzzDeltaDecode hardens the LIFP snapshot delta decoder: arbitrary
+// bytes must never panic, and any document that decodes cleanly must
+// survive a full re-encode/decode cycle as the identity.
+func FuzzDeltaDecode(f *testing.F) {
+	cube, err := trace.NewCube([]string{"solve", "halo"}, []string{"comp", "comm"}, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for p := 0; p < 3; p++ {
+		if err := cube.Set(0, 0, p, 1.5+float64(p)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	fold := NewSeedFold()
+	state := &DeltaState{Boot: 0xbeef, Gen: 4, Cube: cube, Series: fold}
+	full, err := EncodeSnapshotFull(state)
+	if err != nil {
+		f.Fatal(err)
+	}
+	next := &DeltaState{Boot: 0xbeef, Gen: 5, Cube: cube.Clone(), Series: fold}
+	if err := next.Cube.Set(1, 1, 2, 7.25); err != nil {
+		f.Fatal(err)
+	}
+	delta, err := EncodeSnapshotDelta(state, next)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(full)
+	f.Add(delta)
+	f.Add([]byte(DeltaMagic))
+	f.Add([]byte("LIFP\x01\x01\x00\x00"))
+	f.Add([]byte("LIFP\x01\x02\x00\x01\x00\x00\x00"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, base := range []*DeltaState{nil, state} {
+			got, err := DecodeSnapshot(data, base)
+			if err != nil {
+				continue
+			}
+			if got.Cube != nil {
+				if got.Cube.ProgramTime() < 0 || got.Cube.RegionsTotal() < 0 {
+					t.Fatalf("decoded invalid cube: program %g total %g",
+						got.Cube.ProgramTime(), got.Cube.RegionsTotal())
+				}
+			}
+			// Anything accepted must re-encode as a full document and
+			// decode back without error.
+			re, err := EncodeSnapshotFull(got)
+			if err != nil {
+				t.Fatalf("re-encoding accepted state: %v", err)
+			}
+			if _, err := DecodeSnapshot(re, nil); err != nil {
+				t.Fatalf("re-decoding re-encoded state: %v", err)
+			}
+		}
+	})
+}
+
+// NewSeedFold builds a tiny window series for fuzz seeds.
+func NewSeedFold() *temporal.Series {
+	fold := temporal.NewFold(temporal.Options{Window: 1.0, Procs: 3, PerActivity: true})
+	fold.Add(trace.Event{Rank: 0, Region: "solve", Activity: "comp", Start: 0, End: 2.5})
+	fold.Add(trace.Event{Rank: 2, Region: "halo", Activity: "comm", Start: 1, End: 1.75})
+	return fold.Series()
 }
 
 // FuzzReadCubeCSV hardens the CSV decoder.
