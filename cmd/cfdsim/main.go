@@ -11,6 +11,8 @@
 //	cfdsim -emit unix:/tmp/loadimb.sock        # stream events to imbamon -ingest
 //	cfdsim -slow-rank 5 -slow-factor 3 -events run.jsonl   # inject a straggler
 //	                                           # (imba -diagnose names it)
+//	cfdsim -slow-rank 5 -slow-factor 3 -rebalance reactive # close the loop:
+//	                                           # migrate rows until ID_P <= target
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"loadimb/internal/core"
 	"loadimb/internal/monitor"
 	"loadimb/internal/mpi"
+	"loadimb/internal/rebalance"
 	"loadimb/internal/report"
 	lserve "loadimb/internal/serve"
 	"loadimb/internal/trace"
@@ -60,6 +63,8 @@ func run(args []string, stdout io.Writer) error {
 		window    = fs.Float64("window", 5, "temporal window width for -serve (virtual seconds)")
 		linger    = fs.Duration("linger", 0, "keep the -serve endpoints up this long after the run")
 		emit      = fs.String("emit", "", "stream events to a remote collector (unix:PATH or tcp:HOST:PORT, see imbamon -ingest)")
+		rebPolicy = fs.String("rebalance", "", "adaptive row rebalancing policy: reactive or predictive; empty disables")
+		rebTarget = fs.Float64("rebalance-target", 0.1, "ID_P the rebalancer drives toward")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,12 +80,28 @@ func run(args []string, stdout io.Writer) error {
 	cfg.SlowRank = *slowRank
 	cfg.SlowFactor = *slowFac
 
+	var ctrl *rebalance.Controller
+	if *rebPolicy != "" {
+		var err error
+		ctrl, err = rebalance.New(*rebPolicy, rebalance.Options{Target: *rebTarget})
+		if err != nil {
+			return err
+		}
+		cfg.Rebalance = ctrl
+	}
+
 	var sinks []trace.Sink
 	var srv *http.Server
 	if *serve != "" {
+		regions := cfd.LoopNames
+		var handlerOpts []lserve.Option
+		if ctrl != nil {
+			regions = append(append([]string(nil), regions...), cfd.RebalanceRegion)
+			handlerOpts = append(handlerOpts, lserve.WithRebalance(ctrl))
+		}
 		col := monitor.NewCollector(monitor.Options{
 			Window:     *window,
-			Regions:    cfd.LoopNames,
+			Regions:    regions,
 			Activities: mpi.Activities(),
 		})
 		sinks = append(sinks, col)
@@ -89,7 +110,7 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "serving live metrics on http://%s\n", ln.Addr())
-		srv = &http.Server{Handler: lserve.NewHandler(col)}
+		srv = &http.Server{Handler: lserve.NewHandler(col, handlerOpts...)}
 		go srv.Serve(ln)
 		defer srv.Close()
 	}
@@ -121,6 +142,11 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "simulated %d iterations on %d processors: program time %.3f s, instrumented %.3f s, final residual %.3g\n",
 		cfg.Iterations, cfg.Procs, res.Cube.ProgramTime(), res.Cube.RegionsTotal(),
 		res.Residuals[len(res.Residuals)-1])
+	if ctrl != nil {
+		s := ctrl.Snapshot()
+		fmt.Fprintf(stdout, "rebalance (%s): %d rounds, %d migrations, achieved ID_P %.4f (target %g, converged %v), final rows %v\n",
+			s.Policy, s.Rounds, s.Migrations, s.AchievedID, s.Target, s.Converged, res.Rows)
+	}
 
 	if *out != "" {
 		if err := tracefmt.SaveCube(*out, res.Cube); err != nil {

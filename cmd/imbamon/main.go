@@ -57,6 +57,7 @@ import (
 	"loadimb/internal/core"
 	"loadimb/internal/monitor"
 	"loadimb/internal/mpi"
+	"loadimb/internal/rebalance"
 	"loadimb/internal/serve"
 	"loadimb/internal/temporal"
 	"loadimb/internal/trace"
@@ -97,8 +98,11 @@ type daemon struct {
 	repeat     int
 	exit       bool
 	linger     time.Duration
+	rebPolicy  string
+	rebTarget  float64
 
-	col *monitor.Collector
+	ctrl *rebalance.Controller
+	col  *monitor.Collector
 	// url is the served base URL, valid once started is closed.
 	url     string
 	started chan struct{}
@@ -127,6 +131,8 @@ func parseArgs(args []string) (*daemon, error) {
 	fs.IntVar(&d.windowCap, "window-cap", temporal.DefaultWindowCap,
 		"max full-resolution windows retained; older windows decimate 2:1 into a coarse tail (<= 0 = unbounded)")
 	fs.Float64Var(&d.penalty, "phase-penalty", 0, "segmentation penalty for live phase detection (<= 0 = automatic)")
+	fs.StringVar(&d.rebPolicy, "rebalance", "", "adaptive rebalancing policy: reactive or predictive (cfd, masterworker, amr); empty disables")
+	fs.Float64Var(&d.rebTarget, "rebalance-target", 0.1, "ID_P the rebalancer drives toward")
 	fs.IntVar(&d.repeat, "repeat", 1, "workload repetitions (0 = loop until interrupted)")
 	fs.BoolVar(&d.exit, "exit", false, "terminate after the last run instead of serving forever")
 	fs.DurationVar(&d.linger, "linger", 0, "with -exit, keep serving this long after the last run")
@@ -145,6 +151,18 @@ func parseArgs(args []string) (*daemon, error) {
 	default:
 		return nil, fmt.Errorf("unknown workload %q (want cfd, masterworker, wavefront, amr or none)", d.workload)
 	}
+	if d.rebPolicy != "" {
+		switch d.workload {
+		case "cfd", "masterworker", "amr":
+		default:
+			return nil, fmt.Errorf("-rebalance is not supported for workload %q", d.workload)
+		}
+		ctrl, err := rebalance.New(d.rebPolicy, rebalance.Options{Target: d.rebTarget})
+		if err != nil {
+			return nil, err
+		}
+		d.ctrl = ctrl
+	}
 	return d, nil
 }
 
@@ -152,17 +170,22 @@ func parseArgs(args []string) (*daemon, error) {
 // its names are known up front, so gauge label sets are stable from the
 // first scrape.
 func (d *daemon) regionOrder() []string {
+	var out []string
 	switch d.workload {
 	case "cfd":
-		return cfd.LoopNames
-	case "amr":
-		out := make([]string, d.phases)
-		for i := range out {
-			out[i] = apps.AMRRegionName(i)
+		out = append(out, cfd.LoopNames...)
+		if d.ctrl != nil {
+			out = append(out, cfd.RebalanceRegion)
 		}
-		return out
+	case "amr":
+		for i := 0; i < d.phases; i++ {
+			out = append(out, apps.AMRRegionName(i))
+		}
+		if d.ctrl != nil {
+			out = append(out, apps.AMRRebalanceRegion)
+		}
 	}
-	return nil
+	return out
 }
 
 // runOnce executes the configured workload once with the sink attached,
@@ -177,6 +200,9 @@ func (d *daemon) runOnce(sink trace.Sink) (float64, error) {
 		cfg.SlowRank = d.slowRank
 		cfg.SlowFactor = d.slowFac
 		cfg.Sink = sink
+		if d.ctrl != nil {
+			cfg.Rebalance = d.ctrl
+		}
 		res, err := cfd.Run(cfg)
 		if err != nil {
 			return 0, err
@@ -187,6 +213,9 @@ func (d *daemon) runOnce(sink trace.Sink) (float64, error) {
 		cfg.Procs = d.procs
 		cfg.Tasks = d.tasks
 		cfg.Sink = sink
+		if d.ctrl != nil {
+			cfg.Rebalance = d.ctrl
+		}
 		res, err := apps.MasterWorker(cfg)
 		if err != nil {
 			return 0, err
@@ -209,6 +238,9 @@ func (d *daemon) runOnce(sink trace.Sink) (float64, error) {
 		cfg.Straggler = d.slowRank
 		cfg.StragglerFactor = d.slowFac
 		cfg.Sink = sink
+		if d.ctrl != nil {
+			cfg.Rebalance = d.ctrl
+		}
 		res, err := apps.AMR(cfg)
 		if err != nil {
 			return 0, err
@@ -252,6 +284,9 @@ func (d *daemon) run(ctx context.Context, stdout io.Writer) error {
 		}
 		handlerOpts = append(handlerOpts, serve.WithIngest(ing))
 	}
+	if d.ctrl != nil {
+		handlerOpts = append(handlerOpts, serve.WithRebalance(d.ctrl))
+	}
 	d.url = "http://" + ln.Addr().String()
 	fmt.Fprintf(stdout, "imbamon: serving on %s (workload %s, P=%d)\n", d.url, d.workload, d.procs)
 	close(d.started)
@@ -277,6 +312,11 @@ func (d *daemon) run(ctx context.Context, stdout io.Writer) error {
 	// summary is the final state of the remote stream, printed at shutdown.
 	if d.workload != "none" {
 		d.printSummary(stdout, d.col.Snapshot())
+		if d.ctrl != nil {
+			s := d.ctrl.Snapshot()
+			fmt.Fprintf(stdout, "imbamon: rebalance (%s): %d rounds, %d migrations, achieved ID_P %.4f (target %g, converged %v)\n",
+				s.Policy, s.Rounds, s.Migrations, s.AchievedID, s.Target, s.Converged)
+		}
 	}
 	close(d.workloadDone)
 	if runErr != nil {

@@ -41,6 +41,27 @@ type AMRConfig struct {
 	// ID_P only reports that imbalance exists. 0 disables the injection.
 	Straggler       int
 	StragglerFactor float64
+	// Sweeps repeats the feature's traversal: the run executes
+	// Sweeps×Phases global phases, the feature restarting its sweep each
+	// time. A recurring trajectory is what the predictive rebalancer's
+	// phase matching anticipates. 0 means 1.
+	Sweeps int
+	// Rebalance, when non-nil, closes the loop: work is held as
+	// migratable cells (CellsPerRank per rank initially, each carrying
+	// 1/CellsPerRank of the rank's legacy work), and at every phase
+	// boundary the ranks allgather their measured compute time, ask the
+	// controller for a plan, and ship cells hottest→coldest inside the
+	// AMRRebalanceRegion region. When nil the run takes the legacy
+	// fixed-ownership path, bit-identical to previous versions.
+	Rebalance Rebalancer
+	// CellsPerRank is the migration granularity: how many equal cells
+	// each rank's per-phase work is split into. Only used when Rebalance
+	// is set; 0 means 64.
+	CellsPerRank int
+	// MigrateBytes is the wire size of one migrated cell, charging the
+	// migration's communication cost. Only used when Rebalance is set;
+	// 0 means 4 KiB.
+	MigrateBytes int
 }
 
 // DefaultAMR returns a 16-rank run with 6 phases and a 3-rank feature
@@ -59,6 +80,12 @@ func DefaultAMR() AMRConfig {
 
 // AMRRegionName returns the region name of phase i (0-based).
 func AMRRegionName(i int) string { return fmt.Sprintf("phase %d", i+1) }
+
+// AMRRebalanceRegion is the region the migration machinery (load
+// allgather, cell transfers, the boundary barrier) is attributed to when
+// rebalancing is enabled, so its overhead shows up in the cube instead
+// of hiding inside the phases.
+const AMRRebalanceRegion = "rebalance"
 
 // featureCenter returns the rank at the feature's center during phase i:
 // the feature sweeps across the ranks over the run.
@@ -85,32 +112,140 @@ func amrWork(cfg AMRConfig, phase, rank int) float64 {
 	return work
 }
 
-// AMR runs the application and returns its measurements. The checksum is
-// the total computation performed, verified against the analytic value.
-func AMR(cfg AMRConfig) (*Result, error) {
+// amrCellWork returns the machine-independent base work of one cell
+// whose home is rank home during the (in-sweep) phase: refinement
+// follows the cell's position in the domain, so a migrated cell keeps
+// its refinement wherever it executes.
+func amrCellWork(cfg AMRConfig, phase, home int) float64 {
+	center := featureCenter(phase, cfg.Phases, cfg.Procs)
+	dist := int(math.Abs(float64(home - center)))
+	w := cfg.BaseWork
+	if dist <= cfg.FeatureWidth/2 {
+		w *= cfg.RefineFactor
+	}
+	return w / float64(cfg.CellsPerRank)
+}
+
+// amrMult returns the rank's execution-speed multiplier: the straggler
+// pays StragglerFactor per unit of base work, wherever that work came
+// from.
+func amrMult(cfg AMRConfig, rank int) float64 {
+	if cfg.StragglerFactor > 0 && rank == cfg.Straggler {
+		return cfg.StragglerFactor
+	}
+	return 1
+}
+
+// cellGroup is one migrated batch: Count cells whose home is rank Home.
+type cellGroup struct {
+	Home, Count int
+}
+
+// pickCells drains up to amount load (at the sender's cost rate, using
+// the finished phase's per-cell costs) from the ownership vector,
+// hottest home first, and returns the migrated groups. The ownership is
+// updated in place.
+func pickCells(own []int, costs []float64, amount float64) []cellGroup {
+	var groups []cellGroup
+	for amount > 0 {
+		best := -1
+		for h, n := range own {
+			if n > 0 && (best < 0 || costs[h] > costs[best]) {
+				best = h
+			}
+		}
+		if best < 0 || costs[best] <= 0 {
+			break
+		}
+		k := int(amount/costs[best] + 0.5)
+		if k <= 0 {
+			break
+		}
+		if k > own[best] {
+			k = own[best]
+		}
+		own[best] -= k
+		amount -= float64(k) * costs[best]
+		groups = append(groups, cellGroup{Home: best, Count: k})
+	}
+	return groups
+}
+
+func cellCount(groups []cellGroup) int {
+	n := 0
+	for _, g := range groups {
+		n += g.Count
+	}
+	return n
+}
+
+// validateAMR normalizes defaults and rejects degenerate configurations
+// — including non-finite float parameters, which plain range comparisons
+// let through (NaN fails every <, so `BaseWork <= 0` does not catch a
+// NaN BaseWork), and which the rebalancer would otherwise iterate on
+// forever.
+func validateAMR(cfg *AMRConfig) error {
 	if cfg.Procs < 2 {
-		return nil, fmt.Errorf("apps: need at least 2 processors, got %d", cfg.Procs)
+		return fmt.Errorf("apps: need at least 2 processors, got %d", cfg.Procs)
 	}
 	if cfg.Phases < 1 {
-		return nil, fmt.Errorf("apps: need at least 1 phase, got %d", cfg.Phases)
+		return fmt.Errorf("apps: need at least 1 phase, got %d", cfg.Phases)
 	}
-	if cfg.BaseWork <= 0 || cfg.RefineFactor < 1 {
-		return nil, fmt.Errorf("apps: bad work parameters base %g refine %g", cfg.BaseWork, cfg.RefineFactor)
+	if cfg.BaseWork <= 0 || !isFinite(cfg.BaseWork) {
+		return fmt.Errorf("apps: bad base work %g", cfg.BaseWork)
+	}
+	if cfg.RefineFactor < 1 || !isFinite(cfg.RefineFactor) {
+		return fmt.Errorf("apps: bad refine factor %g", cfg.RefineFactor)
 	}
 	if cfg.FeatureWidth < 1 || cfg.FeatureWidth > cfg.Procs {
-		return nil, fmt.Errorf("apps: feature width %d out of [1, %d]", cfg.FeatureWidth, cfg.Procs)
+		return fmt.Errorf("apps: feature width %d out of [1, %d]", cfg.FeatureWidth, cfg.Procs)
 	}
 	if cfg.FaceBytes < 0 {
-		return nil, fmt.Errorf("apps: negative face bytes %d", cfg.FaceBytes)
+		return fmt.Errorf("apps: negative face bytes %d", cfg.FaceBytes)
 	}
-	if cfg.StragglerFactor < 0 {
-		return nil, fmt.Errorf("apps: negative straggler factor %g", cfg.StragglerFactor)
+	if cfg.StragglerFactor < 0 || !isFinite(cfg.StragglerFactor) {
+		return fmt.Errorf("apps: bad straggler factor %g", cfg.StragglerFactor)
 	}
 	if cfg.StragglerFactor > 0 && (cfg.Straggler < 0 || cfg.Straggler >= cfg.Procs) {
-		return nil, fmt.Errorf("apps: straggler rank %d out of [0, %d)", cfg.Straggler, cfg.Procs)
+		return fmt.Errorf("apps: straggler rank %d out of [0, %d)", cfg.Straggler, cfg.Procs)
+	}
+	if cfg.Sweeps < 0 {
+		return fmt.Errorf("apps: negative sweeps %d", cfg.Sweeps)
+	}
+	if cfg.Sweeps == 0 {
+		cfg.Sweeps = 1
+	}
+	if cfg.CellsPerRank < 0 || cfg.MigrateBytes < 0 {
+		return fmt.Errorf("apps: bad migration parameters cells %d bytes %d", cfg.CellsPerRank, cfg.MigrateBytes)
+	}
+	if cfg.Rebalance != nil {
+		if cfg.CellsPerRank == 0 {
+			cfg.CellsPerRank = 64
+		}
+		if cfg.MigrateBytes == 0 {
+			cfg.MigrateBytes = 4 << 10
+		}
 	}
 	if cfg.Cost == (mpi.CostModel{}) {
 		cfg.Cost = mpi.DefaultCostModel()
+	}
+	return nil
+}
+
+func isFinite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}
+
+// AMR runs the application and returns its measurements. The checksum is
+// the total computation performed — with rebalancing enabled, the total
+// machine-independent base work, which migration conserves — verified
+// against the analytic value by the tests.
+func AMR(cfg AMRConfig) (*Result, error) {
+	if err := validateAMR(&cfg); err != nil {
+		return nil, err
+	}
+	if cfg.Rebalance != nil || cfg.Sweeps > 1 {
+		return amrAdaptive(cfg)
 	}
 	world, err := mpi.NewWorld(cfg.Procs, cfg.Cost)
 	if err != nil {
@@ -176,6 +311,143 @@ func AMR(cfg AMRConfig) (*Result, error) {
 	return finish(world, regions, checksum)
 }
 
+// amrAdaptive is the cell-ownership path: work is held as migratable
+// cells and the Rebalance hook is consulted at every phase boundary. It
+// also serves plain multi-sweep runs (Rebalance nil, Sweeps > 1), which
+// simply never migrate.
+func amrAdaptive(cfg AMRConfig) (*Result, error) {
+	if cfg.CellsPerRank == 0 {
+		cfg.CellsPerRank = 64
+	}
+	world, err := mpi.NewWorld(cfg.Procs, cfg.Cost)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Sink != nil {
+		world.SetSink(cfg.Sink)
+	}
+	total := cfg.Sweeps * cfg.Phases
+	regions := make([]string, total, total+1)
+	for g := range regions {
+		regions[g] = AMRRegionName(g)
+	}
+	if cfg.Rebalance != nil {
+		regions = append(regions, AMRRebalanceRegion)
+	}
+	// Migration tags live above the halo tag space ([0, 2*total)); one
+	// tag per boundary is enough because mailboxes are FIFO per
+	// (src, dst, tag).
+	migTag := func(boundary int) int { return 2*total + boundary }
+	var checksum float64
+	runErr := world.Run(func(c *mpi.Comm) error {
+		// own[h] is how many cells homed at rank h this rank executes.
+		own := make([]int, cfg.Procs)
+		own[c.Rank()] = cfg.CellsPerRank
+		costs := make([]float64, cfg.Procs) // per-cell base cost, by home
+		for g := 0; g < total; g++ {
+			phase := g % cfg.Phases
+			for h := range costs {
+				costs[h] = amrCellWork(cfg, phase, h)
+			}
+			baseWork := 0.0
+			for h, n := range own {
+				baseWork += float64(n) * costs[h]
+			}
+			work := baseWork * amrMult(cfg, c.Rank())
+			if err := c.EnterRegion(regions[g]); err != nil {
+				return err
+			}
+			if err := c.Compute(work); err != nil {
+				return err
+			}
+			if c.Rank()+1 < c.Size() {
+				if err := c.Send(c.Rank()+1, g*2, cfg.FaceBytes); err != nil {
+					return err
+				}
+			}
+			if c.Rank() > 0 {
+				if err := c.Send(c.Rank()-1, g*2+1, cfg.FaceBytes); err != nil {
+					return err
+				}
+				if _, err := c.Recv(c.Rank()-1, g*2); err != nil {
+					return err
+				}
+			}
+			if c.Rank()+1 < c.Size() {
+				if _, err := c.Recv(c.Rank()+1, g*2+1); err != nil {
+					return err
+				}
+			}
+			// The checksum conserves under migration: it sums the
+			// machine-independent base work, not the straggler-inflated
+			// execution time.
+			sum, err := c.AllreduceSum(baseWork, 8)
+			if err != nil {
+				return err
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			if err := c.ExitRegion(); err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				checksum += sum
+			}
+			if cfg.Rebalance == nil {
+				continue
+			}
+			// Phase boundary: measure, decide, migrate.
+			if err := c.EnterRegion(AMRRebalanceRegion); err != nil {
+				return err
+			}
+			loads, err := c.AllgatherValues(work, 8)
+			if err != nil {
+				return err
+			}
+			plan, err := cfg.Rebalance.Decide(g, loads)
+			if err != nil {
+				return err
+			}
+			if g < total-1 { // nothing left to balance after the last phase
+				for _, m := range plan.Moves {
+					switch c.Rank() {
+					case m.From:
+						groups := pickCells(own, costs, m.Amount/amrMult(cfg, c.Rank()))
+						bytes := cellCount(groups) * cfg.MigrateBytes
+						if err := c.SendData(m.To, migTag(g), bytes, groups); err != nil {
+							return err
+						}
+					case m.To:
+						_, payload, err := c.RecvData(m.From, migTag(g))
+						if err != nil {
+							return err
+						}
+						groups, ok := payload.([]cellGroup)
+						if !ok {
+							return fmt.Errorf("apps: bad migration payload %T", payload)
+						}
+						for _, gr := range groups {
+							own[gr.Home] += gr.Count
+						}
+					}
+				}
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			if err := c.ExitRegion(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	return finish(world, regions, checksum)
+}
+
 // ExpectedAMRWork returns the analytic total computation of a run: the
 // sum over phases and ranks of the per-rank work.
 func ExpectedAMRWork(cfg AMRConfig) float64 {
@@ -186,4 +458,18 @@ func ExpectedAMRWork(cfg AMRConfig) float64 {
 		}
 	}
 	return total
+}
+
+// ExpectedAMRBaseWork returns the analytic checksum of an adaptive run:
+// the total machine-independent base work over all sweeps, which cell
+// migration conserves (a migrated cell keeps its refinement; only the
+// straggler multiplier — excluded here — depends on where it runs).
+func ExpectedAMRBaseWork(cfg AMRConfig) float64 {
+	sweeps := cfg.Sweeps
+	if sweeps == 0 {
+		sweeps = 1
+	}
+	noStraggler := cfg
+	noStraggler.StragglerFactor = 0
+	return float64(sweeps) * ExpectedAMRWork(noStraggler)
 }

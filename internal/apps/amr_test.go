@@ -6,6 +6,7 @@ import (
 
 	"loadimb/internal/core"
 	"loadimb/internal/mpi"
+	"loadimb/internal/rebalance"
 )
 
 func fastAMR() AMRConfig {
@@ -184,5 +185,144 @@ func TestAMRDeterministic(t *testing.T) {
 	}
 	if !a.Cube.EqualWithin(b.Cube, 0) {
 		t.Error("AMR runs should be deterministic")
+	}
+}
+
+func TestAMRValidationNonFinite(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	cases := []struct {
+		name string
+		mut  func(*AMRConfig)
+	}{
+		{"nan base", func(c *AMRConfig) { c.BaseWork = nan }},
+		{"inf base", func(c *AMRConfig) { c.BaseWork = inf }},
+		{"nan refine", func(c *AMRConfig) { c.RefineFactor = nan }},
+		{"nan straggler factor", func(c *AMRConfig) { c.StragglerFactor = nan }},
+		{"inf straggler factor", func(c *AMRConfig) { c.StragglerFactor = inf }},
+		{"negative sweeps", func(c *AMRConfig) { c.Sweeps = -1 }},
+		{"negative cells", func(c *AMRConfig) { c.CellsPerRank = -1 }},
+		{"negative migrate bytes", func(c *AMRConfig) { c.MigrateBytes = -1 }},
+	}
+	for _, c := range cases {
+		cfg := fastAMR()
+		c.mut(&cfg)
+		if _, err := AMR(cfg); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+// stragglerAMR is the acceptance scenario: a persistent 5x straggler and
+// no moving feature (width 1 covers only the feature rank; refinement
+// off isolates the straggler as the only imbalance source).
+func stragglerAMR(sweeps int) AMRConfig {
+	cfg := DefaultAMR()
+	cfg.Procs = 8
+	cfg.Phases = 4
+	cfg.Sweeps = sweeps
+	cfg.RefineFactor = 1
+	cfg.Straggler = 3
+	cfg.StragglerFactor = 5
+	return cfg
+}
+
+func TestAMRRebalanceConvergesOnStraggler(t *testing.T) {
+	cfg := stragglerAMR(3)
+	ctrl, err := rebalance.New(rebalance.PolicyReactive, rebalance.Options{Target: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Rebalance = ctrl
+	res, err := AMR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ctrl.Snapshot()
+	if !s.Converged {
+		t.Fatalf("reactive never reached target: %+v", s)
+	}
+	if s.AchievedID > 0.1 {
+		t.Errorf("final measured ID %g above target", s.AchievedID)
+	}
+	// The run must beat the no-rebalance baseline on makespan: the
+	// straggler sheds cells, so the critical path shortens.
+	base := stragglerAMR(3)
+	baseline, err := AMR(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan >= baseline.Makespan {
+		t.Errorf("rebalanced makespan %g not below baseline %g", res.Makespan, baseline.Makespan)
+	}
+	// Migration conserves the base-work checksum.
+	want := ExpectedAMRBaseWork(cfg)
+	if math.Abs(res.Checksum-want) > 1e-6*want {
+		t.Errorf("checksum %g, want %g", res.Checksum, want)
+	}
+	if math.Abs(baseline.Checksum-want) > 1e-6*want {
+		t.Errorf("baseline checksum %g, want %g", baseline.Checksum, want)
+	}
+}
+
+func TestAMRPredictiveNoSlowerThanReactive(t *testing.T) {
+	run := func(policy string) (rounds int, makespan float64) {
+		cfg := stragglerAMR(3)
+		ctrl, err := rebalance.New(policy, rebalance.Options{Target: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Rebalance = ctrl
+		res, err := AMR(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := ctrl.Snapshot()
+		if !s.Converged {
+			t.Fatalf("%s never reached target: %+v", policy, s)
+		}
+		return s.RoundsToTarget, res.Makespan
+	}
+	reactiveRounds, reactiveSpan := run(rebalance.PolicyReactive)
+	predictiveRounds, predictiveSpan := run(rebalance.PolicyPredictive)
+	if predictiveRounds > reactiveRounds {
+		t.Errorf("predictive took %d rounds, reactive %d", predictiveRounds, reactiveRounds)
+	}
+	// Pre-migration must never worsen the makespan vs reacting.
+	if predictiveSpan > reactiveSpan*1.001 {
+		t.Errorf("predictive makespan %g worse than reactive %g", predictiveSpan, reactiveSpan)
+	}
+}
+
+func TestAMRMultiSweepWithoutRebalance(t *testing.T) {
+	cfg := fastAMR()
+	cfg.Sweeps = 2
+	res, err := AMR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ExpectedAMRBaseWork(cfg)
+	if math.Abs(res.Checksum-want) > 1e-6*want {
+		t.Errorf("checksum %g, want %g", res.Checksum, want)
+	}
+	if got := res.Cube.Regions(); len(got) != cfg.Sweeps*cfg.Phases {
+		t.Errorf("regions = %d, want %d", len(got), cfg.Sweeps*cfg.Phases)
+	}
+}
+
+func TestAMRRebalanceCubeHasRebalanceRegion(t *testing.T) {
+	cfg := stragglerAMR(2)
+	ctrl, err := rebalance.New(rebalance.PolicyReactive, rebalance.Options{Target: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Rebalance = ctrl
+	res, err := AMR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := res.Cube.Regions()
+	if regions[len(regions)-1] != AMRRebalanceRegion {
+		t.Errorf("last region %q, want %q", regions[len(regions)-1], AMRRebalanceRegion)
 	}
 }

@@ -17,8 +17,21 @@ import (
 	"fmt"
 
 	"loadimb/internal/mpi"
+	"loadimb/internal/rebalance"
 	"loadimb/internal/trace"
 )
+
+// A Rebalancer is the work-migration hook the adaptive workloads call at
+// phase boundaries. boundary is the global phase index that just ended
+// and loads the allgathered per-rank compute seconds of that phase;
+// every rank of the SPMD program calls Decide with identical arguments
+// and must receive the identical plan (rebalance.Controller memoizes per
+// boundary to guarantee this). The workload owns the mechanism: it turns
+// each planned Move's load amount into its own work units — AMR cells,
+// queued tasks, grid rows — and ships them before the next phase starts.
+type Rebalancer interface {
+	Decide(boundary int, loads []float64) (rebalance.Plan, error)
+}
 
 // Result is a run's measurements.
 type Result struct {

@@ -2,6 +2,7 @@ package apps
 
 import (
 	"fmt"
+	"math"
 
 	"loadimb/internal/mpi"
 	"loadimb/internal/trace"
@@ -9,6 +10,10 @@ import (
 
 // Master-worker region names.
 var mwRegions = []string{"dispatch", "work", "collect"}
+
+// MWRebalanceRegion is the region the adaptive farm's boundary machinery
+// (load allgather, queue reassignment barrier) is attributed to.
+const MWRebalanceRegion = "rebalance"
 
 // Schedule selects the master-worker assignment policy.
 type Schedule int
@@ -84,6 +89,25 @@ type MasterWorkerConfig struct {
 	// Sink, when non-nil, receives every instrumented event live while
 	// the run executes; it must be concurrency-safe.
 	Sink trace.Sink
+	// Straggler and StragglerFactor inject a persistent straggler: when
+	// StragglerFactor > 0, worker rank Straggler computes each task
+	// StragglerFactor times slower. Task results (and the checksum) are
+	// unchanged — the worker is slow, not wrong. 0 disables.
+	Straggler       int
+	StragglerFactor float64
+	// Rebalance, when non-nil, runs the farm adaptively: the run splits
+	// into Rounds dispatch rounds, each dispatching an equal fraction of
+	// every worker's remaining queue; after every round the ranks
+	// allgather their measured compute time and the controller reassigns
+	// queued (not yet dispatched) tasks between workers' queues.
+	// Reassignment is free — the master simply dispatches a queued task
+	// to a different worker — which is exactly why task farms are the
+	// easiest workloads to rebalance. When nil the dispatch-all-then-
+	// collect legacy path runs, bit-identical to previous versions.
+	Rebalance Rebalancer
+	// Rounds is how many dispatch rounds the adaptive mode uses. 0
+	// means 8.
+	Rounds int
 }
 
 // DefaultMasterWorker returns a 16-rank farm with 120 heterogeneous
@@ -153,11 +177,32 @@ func MasterWorker(cfg MasterWorkerConfig) (*Result, error) {
 	if err := validateCommon(cfg.Procs, cfg.Tasks); err != nil {
 		return nil, err
 	}
-	if cfg.TaskBase <= 0 || cfg.TaskSpread < 0 {
-		return nil, fmt.Errorf("apps: bad task costs base %g spread %g", cfg.TaskBase, cfg.TaskSpread)
+	// Finiteness checks are explicit: `TaskBase <= 0` is false for NaN,
+	// which would otherwise flow into every task cost.
+	if cfg.TaskBase <= 0 || !isFinite(cfg.TaskBase) {
+		return nil, fmt.Errorf("apps: bad task base %g", cfg.TaskBase)
+	}
+	if cfg.TaskSpread < 0 || !isFinite(cfg.TaskSpread) {
+		return nil, fmt.Errorf("apps: bad task spread %g", cfg.TaskSpread)
 	}
 	if cfg.TaskBytes < 0 {
 		return nil, fmt.Errorf("apps: negative task bytes %d", cfg.TaskBytes)
+	}
+	if cfg.StragglerFactor < 0 || !isFinite(cfg.StragglerFactor) {
+		return nil, fmt.Errorf("apps: bad straggler factor %g", cfg.StragglerFactor)
+	}
+	if cfg.StragglerFactor > 0 && (cfg.Straggler < 1 || cfg.Straggler >= cfg.Procs) {
+		return nil, fmt.Errorf("apps: straggler rank %d is not a worker in [1, %d)", cfg.Straggler, cfg.Procs)
+	}
+	if cfg.Rounds < 0 {
+		return nil, fmt.Errorf("apps: negative rounds %d", cfg.Rounds)
+	}
+	workers := cfg.Procs - 1
+	// Tags are derived as (round*workers + worker)*2 (+1 for results);
+	// reject configurations whose tag space would overflow int before a
+	// silent wraparound can alias two in-flight messages.
+	if cfg.Tasks > (math.MaxInt-2*workers)/(2*workers)-1 {
+		return nil, fmt.Errorf("apps: %d tasks on %d workers exhausts the tag space", cfg.Tasks, workers)
 	}
 	if cfg.Cost == (mpi.CostModel{}) {
 		cfg.Cost = mpi.DefaultCostModel()
@@ -170,20 +215,205 @@ func MasterWorker(cfg MasterWorkerConfig) (*Result, error) {
 		world.SetSink(cfg.Sink)
 	}
 	costs := cfg.costs()
-	workers := cfg.Procs - 1
 	plan := assign(costs, workers, cfg.Schedule)
+	if cfg.Rebalance != nil {
+		return masterWorkerAdaptive(cfg, world, costs, plan)
+	}
 
 	var checksum float64
 	runErr := world.Run(func(c *mpi.Comm) error {
 		if c.Rank() == 0 {
 			return master(c, costs, plan, cfg.TaskBytes, &checksum)
 		}
-		return worker(c, cfg.TaskBytes)
+		return worker(c, cfg.TaskBytes, mwMult(cfg, c.Rank()))
 	})
 	if runErr != nil {
 		return nil, runErr
 	}
 	return finish(world, mwRegions, checksum)
+}
+
+// mwMult returns the rank's execution-speed multiplier.
+func mwMult(cfg MasterWorkerConfig, rank int) float64 {
+	if cfg.StragglerFactor > 0 && rank == cfg.Straggler {
+		return cfg.StragglerFactor
+	}
+	return 1
+}
+
+// masterWorkerAdaptive is the rebalancing farm: the run splits into
+// rounds, each dispatching 1/(rounds-left) of every worker's remaining
+// queue, and after each round every rank joins a boundary — allgather
+// the measured compute times, ask the controller for a plan, and
+// reassign queued tasks between the (SPMD-replicated) worker queues.
+// Dispatching a fraction of the queue (rather than a fixed count) is
+// what couples queue load to per-round load, so moving queued tasks
+// changes what the next measurement sees. Reassignment costs nothing on
+// the wire: a queued task has not left the master yet, it is simply
+// dispatched elsewhere next round.
+func masterWorkerAdaptive(cfg MasterWorkerConfig, world *mpi.World, costs []float64, plan [][]int) (*Result, error) {
+	workers := cfg.Procs - 1
+	rounds := cfg.Rounds
+	if rounds == 0 {
+		rounds = 8
+	}
+	regions := append(append([]string(nil), mwRegions...), MWRebalanceRegion)
+	var checksum float64
+	runErr := world.Run(func(c *mpi.Comm) error {
+		// Every rank replays the same queue bookkeeping, so dispatch
+		// counts, tags and reassignments agree without extra messages.
+		queues := make([][]int, workers)
+		remaining := 0
+		for w, tasks := range plan {
+			queues[w] = append([]int(nil), tasks...)
+			remaining += len(tasks)
+		}
+		sent := make([]int, workers) // per-worker dispatch counters, for tags
+		mult := mwMult(cfg, c.Rank())
+		total := 0.0
+		for phase := 0; remaining > 0; phase++ {
+			left := rounds - phase
+			if left < 1 {
+				left = 1
+			}
+			take := make([]int, workers)
+			for w := range queues {
+				take[w] = (len(queues[w]) + left - 1) / left
+			}
+			busy := 0.0
+			if c.Rank() == 0 {
+				if err := c.EnterRegion(mwRegions[0]); err != nil {
+					return err
+				}
+				for w, n := range take {
+					for i := 0; i < n; i++ {
+						t := queues[w][i]
+						if err := c.SendData(w+1, tagFor(workers, w, sent[w]+i), cfg.TaskBytes, costs[t]); err != nil {
+							return err
+						}
+					}
+				}
+				if err := c.ExitRegion(); err != nil {
+					return err
+				}
+				if err := c.EnterRegion(mwRegions[2]); err != nil {
+					return err
+				}
+				for w, n := range take {
+					for i := 0; i < n; i++ {
+						_, payload, err := c.RecvData(w+1, resultTag(workers, w, sent[w]+i))
+						if err != nil {
+							return err
+						}
+						v, ok := payload.(float64)
+						if !ok {
+							return fmt.Errorf("apps: bad result payload %T", payload)
+						}
+						total += v
+					}
+				}
+				if err := c.ExitRegion(); err != nil {
+					return err
+				}
+			} else {
+				w := c.Rank() - 1
+				if err := c.EnterRegion(mwRegions[1]); err != nil {
+					return err
+				}
+				for i := 0; i < take[w]; i++ {
+					_, payload, err := c.RecvData(0, tagFor(workers, w, sent[w]+i))
+					if err != nil {
+						return err
+					}
+					cost, ok := payload.(float64)
+					if !ok {
+						return fmt.Errorf("apps: bad task payload %T", payload)
+					}
+					if err := c.Compute(cost * mult); err != nil {
+						return err
+					}
+					busy += cost * mult
+					if err := c.SendData(0, resultTag(workers, w, sent[w]+i), cfg.TaskBytes, cost*2); err != nil {
+						return err
+					}
+				}
+				if err := c.ExitRegion(); err != nil {
+					return err
+				}
+			}
+			for w := range queues {
+				queues[w] = queues[w][take[w]:]
+				sent[w] += take[w]
+				remaining -= take[w]
+			}
+			// Boundary: measure, decide, reassign queued tasks.
+			if err := c.EnterRegion(MWRebalanceRegion); err != nil {
+				return err
+			}
+			loads, err := c.AllgatherValues(busy, 8)
+			if err != nil {
+				return err
+			}
+			// The master does no task work; the plan is over workers only.
+			decided, err := cfg.Rebalance.Decide(phase, loads[1:])
+			if err != nil {
+				return err
+			}
+			// A planned amount is one round's worth of load; the queue
+			// holds rounds-left more of them, so scale the queue-side
+			// transfer to change the *next* round's load by the amount.
+			if after := left - 1; after > 0 {
+				for _, m := range decided.Moves {
+					moveTasks(queues, costs, m.From, m.To, m.Amount/mwMult(cfg, m.From+1)*float64(after))
+				}
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			if err := c.ExitRegion(); err != nil {
+				return err
+			}
+		}
+		// Close the run together, as the legacy path does.
+		if err := c.EnterRegion(mwRegions[2]); err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			checksum = total
+		}
+		if _, err := c.ReduceSum(0, total, 8); err != nil {
+			return err
+		}
+		return c.ExitRegion()
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	return finish(world, regions, checksum)
+}
+
+// moveTasks reassigns queued tasks from the tail of one worker's queue
+// to another until about amount base-cost seconds have moved. Every rank
+// applies the identical reassignment, keeping the queues SPMD-coherent.
+func moveTasks(queues [][]int, costs []float64, from, to int, amount float64) {
+	if from < 0 || from >= len(queues) || to < 0 || to >= len(queues) || from == to {
+		return
+	}
+	moved := 0.0
+	for len(queues[from]) > 0 && moved < amount {
+		last := len(queues[from]) - 1
+		t := queues[from][last]
+		c := costs[t]
+		if moved+c/2 > amount {
+			break
+		}
+		queues[from] = queues[from][:last]
+		queues[to] = append(queues[to], t)
+		moved += c
+	}
 }
 
 // master dispatches each worker's task list, collects the results, and
@@ -200,13 +430,14 @@ func master(c *mpi.Comm, costs []float64, plan [][]int, bytes int, checksum *flo
 			maxTasks = len(tasks)
 		}
 	}
+	workers := len(plan)
 	for round := 0; round < maxTasks; round++ {
 		for w, tasks := range plan {
 			if round >= len(tasks) {
 				continue
 			}
 			t := tasks[round]
-			if err := c.SendData(w+1, tagFor(w, round), bytes, costs[t]); err != nil {
+			if err := c.SendData(w+1, tagFor(workers, w, round), bytes, costs[t]); err != nil {
 				return err
 			}
 		}
@@ -214,7 +445,7 @@ func master(c *mpi.Comm, costs []float64, plan [][]int, bytes int, checksum *flo
 	// Termination: an end-of-tasks marker per worker, on the tag the
 	// worker will poll right after its last task.
 	for w, tasks := range plan {
-		if err := c.SendData(w+1, tagFor(w, len(tasks)), 0, nil); err != nil {
+		if err := c.SendData(w+1, tagFor(workers, w, len(tasks)), 0, nil); err != nil {
 			return err
 		}
 	}
@@ -231,7 +462,7 @@ func master(c *mpi.Comm, costs []float64, plan [][]int, bytes int, checksum *flo
 			if round >= len(tasks) {
 				continue
 			}
-			_, payload, err := c.RecvData(w+1, resultTag(w, round))
+			_, payload, err := c.RecvData(w+1, resultTag(workers, w, round))
 			if err != nil {
 				return err
 			}
@@ -253,15 +484,16 @@ func master(c *mpi.Comm, costs []float64, plan [][]int, bytes int, checksum *flo
 	return c.ExitRegion()
 }
 
-// worker receives tasks until the termination marker, computing each and
-// returning a result.
-func worker(c *mpi.Comm, bytes int) error {
+// worker receives tasks until the termination marker, computing each
+// (mult times slower for a straggler) and returning a result.
+func worker(c *mpi.Comm, bytes int, mult float64) error {
 	w := c.Rank() - 1
+	workers := c.Size() - 1
 	if err := c.EnterRegion(mwRegions[1]); err != nil {
 		return err
 	}
 	for round := 0; ; round++ {
-		_, payload, err := c.RecvData(0, tagFor(w, round))
+		_, payload, err := c.RecvData(0, tagFor(workers, w, round))
 		if err != nil {
 			return err
 		}
@@ -269,11 +501,11 @@ func worker(c *mpi.Comm, bytes int) error {
 		if !ok { // termination marker
 			break
 		}
-		if err := c.Compute(cost); err != nil {
+		if err := c.Compute(cost * mult); err != nil {
 			return err
 		}
 		// The "result" is a deterministic function of the cost.
-		if err := c.SendData(0, resultTag(w, round), bytes, cost*2); err != nil {
+		if err := c.SendData(0, resultTag(workers, w, round), bytes, cost*2); err != nil {
 			return err
 		}
 	}
@@ -292,5 +524,17 @@ func worker(c *mpi.Comm, bytes int) error {
 	return c.ExitRegion()
 }
 
-func tagFor(worker, round int) int    { return worker*100000 + round*2 }
-func resultTag(worker, round int) int { return worker*100000 + round*2 + 1 }
+// tagFor and resultTag derive collision-free message tags from (worker,
+// round). Interleaving by round — (round*workers + worker)*2, +1 for the
+// result direction — is a bijection for 0 <= worker < workers, so no two
+// (worker, round) pairs ever share a tag. The previous scheme,
+// worker*100000 + round*2, silently aliased worker w at round 50000 with
+// worker w+1 at round 0 (and overflowed for large worker counts);
+// MasterWorker bounds Tasks so these never overflow int.
+func tagFor(workers, worker, round int) int {
+	return (round*workers + worker) * 2
+}
+
+func resultTag(workers, worker, round int) int {
+	return (round*workers+worker)*2 + 1
+}

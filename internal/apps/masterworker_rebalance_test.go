@@ -1,0 +1,195 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"loadimb/internal/rebalance"
+)
+
+// TestTagSchemeCollisionFree is the regression test for the old tag
+// derivation (worker*100000 + round*2), which aliased worker w at round
+// 50000 with worker w+1 at round 0. The old scheme fails this test; the
+// interleaved scheme is a bijection and passes.
+func TestTagSchemeCollisionFree(t *testing.T) {
+	oldTagFor := func(worker, round int) int { return worker*100000 + round*2 }
+	collides := func(tag func(worker, round int) int) bool {
+		seen := make(map[int]struct{})
+		for worker := 0; worker < 4; worker++ {
+			for _, round := range []int{0, 1, 2, 49999, 50000, 50001, 100000} {
+				k := tag(worker, round)
+				if _, dup := seen[k]; dup {
+					return true
+				}
+				seen[k] = struct{}{}
+			}
+		}
+		return false
+	}
+	if !collides(oldTagFor) {
+		t.Error("the old scheme should collide at round >= 50000 (the bug this guards against)")
+	}
+	const workers = 4
+	if collides(func(w, r int) int { return tagFor(workers, w, r) }) {
+		t.Error("tagFor collides")
+	}
+	if collides(func(w, r int) int { return resultTag(workers, w, r) }) {
+		t.Error("resultTag collides")
+	}
+	// Task and result tags must also never collide with each other.
+	for worker := 0; worker < workers; worker++ {
+		for _, round := range []int{0, 50000, 1 << 20} {
+			if tagFor(workers, worker, round)%2 != 0 || resultTag(workers, worker, round)%2 != 1 {
+				t.Fatalf("parity separation broken at worker %d round %d", worker, round)
+			}
+		}
+	}
+}
+
+func TestMasterWorkerTagSpaceBound(t *testing.T) {
+	cfg := fastMW(StaticSchedule)
+	cfg.Tasks = math.MaxInt/2 - 1
+	if _, err := MasterWorker(cfg); err == nil {
+		t.Error("tag-space overflow accepted")
+	}
+}
+
+// TestMasterWorkerManyRoundsPerWorker crosses the old scheme's collision
+// boundary structurally: with tiny messages the tag space is exercised
+// round by round; under the old derivation dispatch and results would
+// alias across workers long before the run ends.
+func TestMasterWorkerManyRoundsPerWorker(t *testing.T) {
+	cfg := fastMW(StaticSchedule)
+	cfg.Procs = 3 // 2 workers, so rounds per worker = Tasks/2
+	cfg.Tasks = 600
+	cfg.TaskBase = 1e-4
+	cfg.TaskBytes = 8
+	res, err := MasterWorker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * sum(cfg.costs())
+	if math.Abs(res.Checksum-want) > 1e-9*want {
+		t.Errorf("checksum %g, want %g", res.Checksum, want)
+	}
+}
+
+func sum(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+func TestMasterWorkerValidationNonFinite(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		mut  func(*MasterWorkerConfig)
+	}{
+		{"nan base", func(c *MasterWorkerConfig) { c.TaskBase = nan }},
+		{"inf base", func(c *MasterWorkerConfig) { c.TaskBase = math.Inf(1) }},
+		{"nan spread", func(c *MasterWorkerConfig) { c.TaskSpread = nan }},
+		{"nan straggler", func(c *MasterWorkerConfig) { c.StragglerFactor = nan }},
+		{"straggler master", func(c *MasterWorkerConfig) { c.StragglerFactor = 5; c.Straggler = 0 }},
+		{"straggler range", func(c *MasterWorkerConfig) { c.StragglerFactor = 5; c.Straggler = c.Procs }},
+		{"negative rounds", func(c *MasterWorkerConfig) { c.Rounds = -1 }},
+	}
+	for _, c := range cases {
+		cfg := fastMW(StaticSchedule)
+		c.mut(&cfg)
+		if _, err := MasterWorker(cfg); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+// stragglerMW is the farm's straggler scenario: static contiguous
+// blocks, worker rank 2 five times slower. The spread is kept modest so
+// a round's measured load reflects queue balance rather than the random
+// task-cost draw.
+func stragglerMW() MasterWorkerConfig {
+	cfg := fastMW(StaticSchedule)
+	cfg.Tasks = 280
+	cfg.TaskSpread = 1
+	cfg.Straggler = 2
+	cfg.StragglerFactor = 5
+	return cfg
+}
+
+func TestMasterWorkerStragglerChecksumUnchanged(t *testing.T) {
+	res, err := MasterWorker(stragglerMW())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * sum(stragglerMW().costs())
+	if math.Abs(res.Checksum-want) > 1e-9*want {
+		t.Errorf("checksum %g, want %g (a straggler is slow, not wrong)", res.Checksum, want)
+	}
+	clean := stragglerMW()
+	clean.StragglerFactor = 0
+	base, err := MasterWorker(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= base.Makespan {
+		t.Errorf("straggler makespan %g not above clean %g", res.Makespan, base.Makespan)
+	}
+}
+
+func TestMasterWorkerRebalanceConverges(t *testing.T) {
+	cfg := stragglerMW()
+	ctrl, err := rebalance.New(rebalance.PolicyReactive, rebalance.Options{Target: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Rebalance = ctrl
+	res, err := MasterWorker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * sum(cfg.costs())
+	if math.Abs(res.Checksum-want) > 1e-9*want {
+		t.Errorf("checksum %g, want %g (reassignment must conserve results)", res.Checksum, want)
+	}
+	s := ctrl.Snapshot()
+	if !s.Converged {
+		t.Fatalf("never reached target: %+v", s)
+	}
+	baseline, err := MasterWorker(stragglerMW())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan >= baseline.Makespan {
+		t.Errorf("rebalanced makespan %g not below baseline %g", res.Makespan, baseline.Makespan)
+	}
+	regions := res.Cube.Regions()
+	if regions[len(regions)-1] != MWRebalanceRegion {
+		t.Errorf("last region %q, want %q", regions[len(regions)-1], MWRebalanceRegion)
+	}
+}
+
+func TestMasterWorkerRebalanceDeterministic(t *testing.T) {
+	run := func() (*Result, rebalance.Stats) {
+		cfg := stragglerMW()
+		ctrl, err := rebalance.New(rebalance.PolicyPredictive, rebalance.Options{Target: 0.15})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Rebalance = ctrl
+		res, err := MasterWorker(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, ctrl.Snapshot()
+	}
+	a, sa := run()
+	b, sb := run()
+	if a.Makespan != b.Makespan || a.Checksum != b.Checksum {
+		t.Errorf("non-deterministic: %g/%g vs %g/%g", a.Makespan, a.Checksum, b.Makespan, b.Checksum)
+	}
+	if sa.Rounds != sb.Rounds || sa.Migrations != sb.Migrations {
+		t.Errorf("non-deterministic stats: %+v vs %+v", sa, sb)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"math"
 
 	"loadimb/internal/mpi"
+	"loadimb/internal/rebalance"
 	"loadimb/internal/trace"
 	"loadimb/internal/workload"
 )
@@ -35,6 +36,18 @@ import (
 // LoopNames are the region names recorded in the trace, in program order.
 var LoopNames = []string{
 	"loop 1", "loop 2", "loop 3", "loop 4", "loop 5", "loop 6", "loop 7",
+}
+
+// RebalanceRegion is the region the adaptive run's boundary machinery
+// (load allgather, row migration, halo refresh) is attributed to.
+const RebalanceRegion = "rebalance"
+
+// A Rebalancer decides work migration at iteration boundaries; it is the
+// same contract as apps.Rebalancer, satisfied by rebalance.Controller.
+// Every rank calls Decide with identical arguments and must receive the
+// identical plan.
+type Rebalancer interface {
+	Decide(boundary int, loads []float64) (rebalance.Plan, error)
 }
 
 // LoopSpec calibrates one of the seven loops: how much virtual computation
@@ -125,6 +138,13 @@ type Config struct {
 	// Sink, when non-nil, receives every instrumented event live while
 	// the run executes (see trace.Sink); it must be concurrency-safe.
 	Sink trace.Sink
+	// Rebalance, when non-nil, runs the solver adaptively: after every
+	// iteration the ranks allgather their measured compute time, ask the
+	// controller for a plan, and migrate grid rows between adjacent ranks
+	// (real row data on the wire) to follow it. Adaptive runs charge each
+	// loop by the rank's own row share — migration targets the
+	// decomposition itself — instead of the legacy loop-rotated shares.
+	Rebalance Rebalancer
 }
 
 // Defaults returns the configuration of the reproduction run: 16
@@ -152,14 +172,17 @@ func (cfg *Config) normalize() error {
 	if cfg.Iterations < 1 {
 		return errors.New("cfd: need at least 1 iteration")
 	}
-	if cfg.Imbalance < 0 || cfg.Imbalance > 1 {
+	// The range checks are written to reject NaN too: `Imbalance < 0 ||
+	// Imbalance > 1` is false for NaN, which would otherwise skew every
+	// row share.
+	if !(cfg.Imbalance >= 0 && cfg.Imbalance <= 1) {
 		return fmt.Errorf("cfd: imbalance %g out of [0, 1]", cfg.Imbalance)
 	}
-	if cfg.InitWarmup < 0 {
-		return fmt.Errorf("cfd: negative warmup %g", cfg.InitWarmup)
+	if !(cfg.InitWarmup >= 0) || math.IsInf(cfg.InitWarmup, 1) {
+		return fmt.Errorf("cfd: bad warmup %g", cfg.InitWarmup)
 	}
-	if cfg.SlowFactor < 0 {
-		return fmt.Errorf("cfd: negative slow factor %g", cfg.SlowFactor)
+	if !(cfg.SlowFactor >= 0) || math.IsInf(cfg.SlowFactor, 1) {
+		return fmt.Errorf("cfd: bad slow factor %g", cfg.SlowFactor)
 	}
 	if cfg.SlowFactor > 0 && (cfg.SlowRank < 0 || cfg.SlowRank >= cfg.Procs) {
 		return fmt.Errorf("cfd: slow rank %d out of [0, %d)", cfg.SlowRank, cfg.Procs)
@@ -172,6 +195,14 @@ func (cfg *Config) normalize() error {
 	}
 	if len(cfg.Loops) == 0 {
 		return errors.New("cfd: no loops configured")
+	}
+	for i, l := range cfg.Loops {
+		if !(l.ComputePerIter >= 0) || math.IsInf(l.ComputePerIter, 1) {
+			return fmt.Errorf("cfd: loop %d: bad compute per iteration %g", i, l.ComputePerIter)
+		}
+		if l.P2PBytes < 0 || l.CollectiveBytes < 0 {
+			return fmt.Errorf("cfd: loop %d: negative message size", i)
+		}
 	}
 	return nil
 }
@@ -190,6 +221,9 @@ type Result struct {
 	// decreases monotonically for a diffusive problem, evidencing that
 	// the simulated program computes something real.
 	Residuals []float64
+	// Rows is the final row decomposition — equal to the initial one
+	// unless the run rebalanced.
+	Rows []int
 }
 
 // Run executes the CFD program on the simulated machine and returns the
@@ -214,13 +248,16 @@ func Run(cfg Config) (*Result, error) {
 		totalRows += r
 	}
 	// Rank 0 records the per-iteration global residuals; every rank
-	// observes the same values through the allreduce.
+	// observes the same values through the allreduce. finalRows is the
+	// decomposition after any row migration, reported by rank 0.
 	residuals := make([]float64, cfg.Iterations)
+	finalRows := append([]int(nil), rows...)
 	if err := world.Run(func(c *mpi.Comm) error {
 		if err := c.Skew(cfg.InitWarmup); err != nil {
 			return err
 		}
 		s := newSolver(c, cfg.Loops, rows, cfg.GridX, totalRows)
+		s.adaptive = cfg.Rebalance != nil
 		if cfg.SlowFactor > 0 && c.Rank() == cfg.SlowRank {
 			s.slowdown = cfg.SlowFactor
 		}
@@ -232,6 +269,14 @@ func Run(cfg Config) (*Result, error) {
 			if c.Rank() == 0 {
 				residuals[iter] = res
 			}
+			if cfg.Rebalance != nil {
+				if err := s.rebalanceStep(iter, cfg.Rebalance); err != nil {
+					return err
+				}
+			}
+		}
+		if c.Rank() == 0 {
+			copy(finalRows, s.allRows)
 		}
 		return nil
 	}); err != nil {
@@ -245,6 +290,9 @@ func Run(cfg Config) (*Result, error) {
 	for i, l := range cfg.Loops {
 		names[i] = l.Name
 	}
+	if cfg.Rebalance != nil {
+		names = append(names, RebalanceRegion)
+	}
 	cube, err := log.Aggregate(names, mpi.Activities())
 	if err != nil {
 		return nil, err
@@ -253,7 +301,7 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Cube: cube, BytesCube: bytesCube, Log: log, Residuals: residuals}, nil
+	return &Result{Cube: cube, BytesCube: bytesCube, Log: log, Residuals: residuals, Rows: finalRows}, nil
 }
 
 // rowDecomposition splits gridY rows across procs ranks with a linear skew

@@ -1,0 +1,168 @@
+package cfd
+
+import (
+	"math"
+	"testing"
+
+	"loadimb/internal/rebalance"
+)
+
+// stragglerCFD is the solver's straggler scenario: rank 5 computes four
+// times slower in every loop.
+func stragglerCFD() Config {
+	cfg := fastConfig()
+	cfg.GridY = 128
+	cfg.Iterations = 12
+	cfg.SlowRank = 5
+	cfg.SlowFactor = 4
+	return cfg
+}
+
+// noopRebalancer measures but never moves: the adaptive-mode baseline.
+type noopRebalancer struct{}
+
+func (noopRebalancer) Decide(boundary int, loads []float64) (rebalance.Plan, error) {
+	id, err := rebalance.LoadID(loads)
+	if err != nil {
+		return rebalance.Plan{}, err
+	}
+	return rebalance.Plan{MeasuredID: id, PlannedID: id}, nil
+}
+
+func TestConfigValidationNonFinite(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"nan imbalance", func(c *Config) { c.Imbalance = nan }},
+		{"nan warmup", func(c *Config) { c.InitWarmup = nan }},
+		{"inf warmup", func(c *Config) { c.InitWarmup = math.Inf(1) }},
+		{"nan slow factor", func(c *Config) { c.SlowFactor = nan }},
+		{"nan loop compute", func(c *Config) {
+			c.Loops = DefaultLoops()
+			c.Loops[2].ComputePerIter = nan
+		}},
+		{"negative loop bytes", func(c *Config) {
+			c.Loops = DefaultLoops()
+			c.Loops[1].CollectiveBytes = -1
+		}},
+	}
+	for _, c := range cases {
+		cfg := fastConfig()
+		c.mut(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestCFDRebalanceConverges(t *testing.T) {
+	cfg := stragglerCFD()
+	ctrl, err := rebalance.New(rebalance.PolicyReactive, rebalance.Options{Target: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Rebalance = ctrl
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ctrl.Snapshot()
+	if !s.Converged {
+		t.Fatalf("never reached target: %+v", s)
+	}
+	if s.AchievedID > 0.1 {
+		t.Errorf("achieved ID %g above target", s.AchievedID)
+	}
+	// The decomposition stays a full, contiguous cover of the grid.
+	total := 0
+	for p, r := range res.Rows {
+		if r < 1 {
+			t.Errorf("rank %d left with %d rows", p, r)
+		}
+		total += r
+	}
+	if total != cfg.GridY {
+		t.Errorf("rows sum to %d, want %d", total, cfg.GridY)
+	}
+	if res.Rows[cfg.SlowRank] >= cfg.GridY/cfg.Procs {
+		t.Errorf("slow rank kept %d rows, want fewer than the even share %d",
+			res.Rows[cfg.SlowRank], cfg.GridY/cfg.Procs)
+	}
+	regions := res.Cube.Regions()
+	if regions[len(regions)-1] != RebalanceRegion {
+		t.Errorf("last region %q, want %q", regions[len(regions)-1], RebalanceRegion)
+	}
+
+	// Against an adaptive run that measures but never migrates, moving
+	// rows away from the straggler must shorten the run.
+	base := stragglerCFD()
+	base.Rebalance = noopRebalancer{}
+	baseline, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Log.Span() >= baseline.Log.Span() {
+		t.Errorf("rebalanced makespan %g not below baseline %g", res.Log.Span(), baseline.Log.Span())
+	}
+}
+
+// TestCFDRebalancePreservesNumerics pins the key property of row
+// migration: it moves data, not values. The residual sequence of a
+// rebalanced run matches the plain run on the same grid to floating
+// round-off (partial sums regroup across ranks).
+func TestCFDRebalancePreservesNumerics(t *testing.T) {
+	plain := stragglerCFD()
+	want, err := Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := stragglerCFD()
+	ctrl, err := rebalance.New(rebalance.PolicyReactive, rebalance.Options{Target: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Rebalance = ctrl
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Residuals) != len(want.Residuals) {
+		t.Fatalf("residual count %d != %d", len(got.Residuals), len(want.Residuals))
+	}
+	for i := range want.Residuals {
+		if diff := math.Abs(got.Residuals[i] - want.Residuals[i]); diff > 1e-9*math.Abs(want.Residuals[i]) {
+			t.Errorf("iteration %d: residual %g != %g", i, got.Residuals[i], want.Residuals[i])
+		}
+	}
+}
+
+func TestCFDRebalanceDeterministic(t *testing.T) {
+	run := func() (*Result, rebalance.Stats) {
+		cfg := stragglerCFD()
+		ctrl, err := rebalance.New(rebalance.PolicyPredictive, rebalance.Options{Target: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Rebalance = ctrl
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, ctrl.Snapshot()
+	}
+	a, sa := run()
+	b, sb := run()
+	if a.Log.Span() != b.Log.Span() {
+		t.Errorf("non-deterministic makespan: %g vs %g", a.Log.Span(), b.Log.Span())
+	}
+	for p := range a.Rows {
+		if a.Rows[p] != b.Rows[p] {
+			t.Fatalf("non-deterministic rows: %v vs %v", a.Rows, b.Rows)
+		}
+	}
+	if sa.Rounds != sb.Rounds || sa.Migrations != sb.Migrations {
+		t.Errorf("non-deterministic stats: %+v vs %+v", sa, sb)
+	}
+}

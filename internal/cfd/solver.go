@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"loadimb/internal/mpi"
+	"loadimb/internal/rebalance"
 )
 
 // solver holds one rank's share of the distributed grid: rows interior
@@ -32,6 +33,18 @@ type solver struct {
 	// rotated decomposition shares it sticks to one rank across all
 	// loops, which is what makes it localizable by rank similarity.
 	slowdown float64
+	// adaptive switches compute to the rank's own row share (no loop
+	// rotation): row migration then directly changes what the next
+	// measurement sees. Set when the run has a Rebalancer.
+	adaptive bool
+	// allRows is the current full decomposition, identical on every rank
+	// (migration flows are derived SPMD-deterministically); totalRows its
+	// sum.
+	allRows   []int
+	totalRows int
+	// busy accumulates this rank's charged compute seconds since the last
+	// rebalance boundary.
+	busy float64
 }
 
 func newSolver(c *mpi.Comm, spec []LoopSpec, allRows []int, cols, totalRows int) *solver {
@@ -49,8 +62,10 @@ func newSolver(c *mpi.Comm, spec []LoopSpec, allRows []int, cols, totalRows int)
 		// The top and bottom global boundaries are hot (1.0); interior
 		// starts cold. Rank 0's upper halo and the last rank's lower
 		// halo act as the fixed boundary.
-		scratch: makeGrid(rows+2, cols),
-		shares:  shares,
+		scratch:   makeGrid(rows+2, cols),
+		shares:    shares,
+		allRows:   append([]int(nil), allRows...),
+		totalRows: totalRows,
 	}
 	if c.Rank() == 0 {
 		for x := 0; x < cols; x++ {
@@ -77,13 +92,19 @@ func makeGrid(rows, cols int) [][]float64 {
 }
 
 // compute charges the rank's calibrated computation time for loop li: the
-// balanced per-iteration time scaled by the rank's (loop-rotated) share.
+// balanced per-iteration time scaled by the rank's (loop-rotated) share —
+// or, in adaptive runs, by the rank's own row share, so that migrating
+// rows changes the charged time.
 func (s *solver) compute(li int, spec LoopSpec) error {
 	share := s.shares[(s.comm.Rank()+li*7)%len(s.shares)]
+	if s.adaptive {
+		share = s.shares[s.comm.Rank()]
+	}
 	t := spec.ComputePerIter * share
 	if s.slowdown > 0 {
 		t *= s.slowdown
 	}
+	s.busy += t
 	return s.comm.Compute(t)
 }
 
@@ -216,4 +237,192 @@ func (s *solver) iteration(iter int) (float64, error) {
 		return 0, fmt.Errorf("cfd: residual diverged at iteration %d", iter)
 	}
 	return globalResidual, nil
+}
+
+// rebalanceStep is the adaptive run's iteration boundary: allgather the
+// measured compute seconds, ask the controller for a plan, translate the
+// plan into adjacent-rank row flows (rows only ever move between
+// neighbors, keeping the decomposition contiguous) and ship the actual
+// row data. Every rank derives the identical flows, so the transfers
+// pair up without negotiation.
+func (s *solver) rebalanceStep(iter int, reb Rebalancer) error {
+	c := s.comm
+	if err := c.EnterRegion(RebalanceRegion); err != nil {
+		return err
+	}
+	busy := s.busy
+	s.busy = 0
+	loads, err := c.AllgatherValues(busy, 8)
+	if err != nil {
+		return err
+	}
+	plan, err := reb.Decide(iter, loads)
+	if err != nil {
+		return err
+	}
+	if err := s.migrateRows(rowFlows(s.allRows, loads, plan.Moves), iter); err != nil {
+		return err
+	}
+	for p, r := range s.allRows {
+		s.shares[p] = float64(r) / float64(s.totalRows) * float64(len(s.allRows))
+	}
+	if err := c.Barrier(); err != nil {
+		return err
+	}
+	return c.ExitRegion()
+}
+
+// rowFlows converts a migration plan into per-boundary row flows.
+// flows[b] > 0 moves that many rows from rank b down to rank b+1;
+// flows[b] < 0 moves them up. The plan's load amounts are turned into
+// whole rows at the source rank's measured per-row cost, the desired
+// decomposition is clamped to keep every rank at least one row, and the
+// boundaries are then settled top-down: once boundary b-1 is done, rank
+// b's entire remaining surplus must cross boundary b.
+func rowFlows(rows []int, loads []float64, moves []rebalance.Move) []int {
+	next := append([]int(nil), rows...)
+	// Round cumulatively per source rank: a straggler's rows are
+	// expensive, so a single damped move can be worth less than one row —
+	// accumulating across its moves still releases round(total) rows.
+	running := make([]float64, len(rows))
+	given := make([]int, len(rows))
+	for _, m := range moves {
+		if m.From < 0 || m.From >= len(rows) || m.To < 0 || m.To >= len(rows) {
+			continue
+		}
+		perRow := loads[m.From] / float64(rows[m.From])
+		if !(perRow > 0) {
+			continue
+		}
+		running[m.From] += m.Amount / perRow
+		k := int(running[m.From]+0.5) - given[m.From]
+		if k > next[m.From]-1 {
+			k = next[m.From] - 1
+		}
+		if k <= 0 {
+			continue
+		}
+		given[m.From] += k
+		next[m.From] -= k
+		next[m.To] += k
+	}
+	cur := append([]int(nil), rows...)
+	flows := make([]int, len(rows)-1)
+	for b := range flows {
+		f := cur[b] - next[b]
+		if max := cur[b] - 1; f > max {
+			f = max
+		}
+		if min := -(cur[b+1] - 1); f < min {
+			f = min
+		}
+		flows[b] = f
+		cur[b] -= f
+		cur[b+1] += f
+	}
+	return flows
+}
+
+// migrateRows ships the flows' row data between adjacent ranks and
+// rebuilds the local grid. Each rank settles its upper boundary before
+// its lower one; a receive therefore only ever waits on an upper
+// neighbor that is one step ahead, so the waiting chain runs strictly
+// toward rank 0 and cannot cycle. Halos are refreshed afterwards so the
+// next sweep sees exactly the same global grid as an unmigrated run.
+func (s *solver) migrateRows(flows []int, iter int) error {
+	changed := false
+	for _, f := range flows {
+		if f != 0 {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		return nil
+	}
+	c := s.comm
+	rank := c.Rank()
+	rowBytes := s.cols * 8
+	tagDown, tagUp := iter*100+50, iter*100+51
+	rows := append([][]float64(nil), s.u[1:s.rows+1]...)
+	if rank > 0 {
+		switch f := flows[rank-1]; {
+		case f > 0: // rows arrive from above
+			in, err := s.recvRows(rank-1, tagDown, f)
+			if err != nil {
+				return err
+			}
+			rows = append(in, rows...)
+		case f < 0: // my first -f rows go up
+			k := -f
+			if err := c.SendData(rank-1, tagUp, k*rowBytes, copyRows(rows[:k])); err != nil {
+				return err
+			}
+			rows = rows[k:]
+		}
+	}
+	if rank+1 < c.Size() {
+		switch f := flows[rank]; {
+		case f > 0: // my last f rows go down
+			if err := c.SendData(rank+1, tagDown, f*rowBytes, copyRows(rows[len(rows)-f:])); err != nil {
+				return err
+			}
+			rows = rows[:len(rows)-f]
+		case f < 0: // rows arrive from below
+			in, err := s.recvRows(rank+1, tagUp, -f)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, in...)
+		}
+	}
+	for b, f := range flows {
+		s.allRows[b] -= f
+		s.allRows[b+1] += f
+	}
+	s.rows = len(rows)
+	s.u = makeGrid(s.rows+2, s.cols)
+	s.scratch = makeGrid(s.rows+2, s.cols)
+	for i, row := range rows {
+		copy(s.u[i+1], row)
+	}
+	if rank == 0 {
+		for x := 0; x < s.cols; x++ {
+			s.u[0][x] = 1
+			s.scratch[0][x] = 1
+		}
+	}
+	if rank == c.Size()-1 {
+		for x := 0; x < s.cols; x++ {
+			s.u[s.rows+1][x] = 1
+			s.scratch[s.rows+1][x] = 1
+		}
+	}
+	return s.exchangeHalo(rowBytes, iter*100+60)
+}
+
+// recvRows receives a migration payload and validates its shape.
+func (s *solver) recvRows(from, tag, want int) ([][]float64, error) {
+	_, payload, err := s.comm.RecvData(from, tag)
+	if err != nil {
+		return nil, err
+	}
+	in, ok := payload.([][]float64)
+	if !ok || len(in) != want {
+		return nil, fmt.Errorf("cfd: rank %d: bad migration payload %T (want %d rows)", s.comm.Rank(), payload, want)
+	}
+	for _, row := range in {
+		if len(row) != s.cols {
+			return nil, fmt.Errorf("cfd: rank %d: migrated row has %d cols, want %d", s.comm.Rank(), len(row), s.cols)
+		}
+	}
+	return in, nil
+}
+
+func copyRows(rows [][]float64) [][]float64 {
+	out := make([][]float64, len(rows))
+	for i, row := range rows {
+		out[i] = rowCopy(row)
+	}
+	return out
 }

@@ -53,3 +53,21 @@ func (c *Comm) Allgather(bytes int) error {
 	_, err := c.collective("allgather", ActCollective, cost, 0)
 	return err
 }
+
+// AllgatherValues is Allgather carrying one float64 of application data
+// per rank: it returns the full per-rank vector, indexed by rank. This is
+// the primitive adaptive rebalancing uses to share per-rank load
+// measurements at a phase boundary.
+func (c *Comm) AllgatherValues(value float64, bytes int) ([]float64, error) {
+	if bytes < 0 {
+		return nil, fmt.Errorf("%w: negative size %d", ErrBadArgument, bytes)
+	}
+	p := c.Size()
+	cost := float64(p-1) * (c.world.cost.Latency + c.world.cost.transfer(bytes))
+	c.addBytes(ActCollective, p*bytes)
+	res, err := c.collectiveFull("allgather", ActCollective, cost, value)
+	if err != nil {
+		return nil, err
+	}
+	return res.Values, nil
+}

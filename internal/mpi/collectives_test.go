@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 )
 
@@ -189,6 +190,57 @@ func TestBcastValidation(t *testing.T) {
 			return errorsJoin("bcast bytes", err)
 		}
 		return nil
+	})
+	if run != nil {
+		t.Fatal(run)
+	}
+}
+
+func TestAllgatherValues(t *testing.T) {
+	w, err := NewWorld(4, unitCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := w.Run(func(c *Comm) error {
+		if err := c.EnterRegion("r"); err != nil {
+			return err
+		}
+		vals, err := c.AllgatherValues(float64(c.Rank()+1)*10, 8)
+		if err != nil {
+			return err
+		}
+		for r, v := range vals {
+			if v != float64(r+1)*10 {
+				return fmt.Errorf("rank %d: vals[%d] = %g, want %g", c.Rank(), r, v, float64(r+1)*10)
+			}
+		}
+		// Same ring cost as Allgather: (P-1)*(latency + transfer) = 3*(1+8).
+		if c.Now() != 27 {
+			return fmt.Errorf("rank %d clock = %g, want 27", c.Rank(), c.Now())
+		}
+		return c.ExitRegion()
+	})
+	if run != nil {
+		t.Fatal(run)
+	}
+}
+
+func TestAllgatherValuesValidation(t *testing.T) {
+	w, err := NewWorld(2, unitCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := w.Run(func(c *Comm) error {
+		if err := c.EnterRegion("r"); err != nil {
+			return err
+		}
+		if _, err := c.AllgatherValues(1, -1); !errors.Is(err, ErrBadArgument) {
+			return fmt.Errorf("negative size err = %v", err)
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		return c.ExitRegion()
 	})
 	if run != nil {
 		t.Fatal(run)

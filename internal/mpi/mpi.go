@@ -72,10 +72,21 @@ func DefaultCostModel() CostModel {
 }
 
 func (c CostModel) validate() error {
+	// The explicit finiteness checks matter: `x < 0` is false for NaN, so
+	// without them a NaN latency would slip through and poison every
+	// virtual clock in the run.
+	if !finite(c.Latency) || !finite(c.Bandwidth) || !finite(c.SendOverhead) || !finite(c.CollectiveLatency) {
+		return fmt.Errorf("%w: non-finite cost model field in %+v", ErrBadArgument, c)
+	}
 	if c.Latency < 0 || c.Bandwidth <= 0 || c.SendOverhead < 0 || c.CollectiveLatency < 0 {
 		return fmt.Errorf("%w: cost model %+v", ErrBadArgument, c)
 	}
 	return nil
+}
+
+// finite reports whether x is neither NaN nor an infinity.
+func finite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
 }
 
 // transfer returns the wire time of a message of the given size.
@@ -243,8 +254,8 @@ func (c *Comm) record(activity string, start float64) error {
 // Compute advances the rank's clock by seconds of computation and records
 // it.
 func (c *Comm) Compute(seconds float64) error {
-	if seconds < 0 {
-		return fmt.Errorf("%w: negative compute time %g", ErrBadArgument, seconds)
+	if seconds < 0 || !finite(seconds) {
+		return fmt.Errorf("%w: compute time %g", ErrBadArgument, seconds)
 	}
 	start := c.clock
 	c.clock += seconds
@@ -327,13 +338,20 @@ func (c *Comm) SendrecvData(dst, sendBytes int, sendPayload any, src, tag int) (
 // records the rank's time in it under the activity, contributing value to
 // the round's global sum.
 func (c *Comm) collective(op, activity string, cost, value float64) (sum float64, err error) {
+	res, err := c.collectiveFull(op, activity, cost, value)
+	return res.Sum, err
+}
+
+// collectiveFull is collective returning the full rendezvous result, for
+// operations that need the per-rank vectors (allgather).
+func (c *Comm) collectiveFull(op, activity string, cost, value float64) (sim.CollectiveResult, error) {
 	start := c.clock
 	res, err := c.world.engine.Collective(c.rank, op, c.clock, value)
 	if err != nil {
-		return 0, err
+		return sim.CollectiveResult{}, err
 	}
 	c.clock = res.Max + cost
-	return res.Sum, c.record(activity, start)
+	return res, c.record(activity, start)
 }
 
 // Barrier synchronizes all ranks: everyone leaves at the time the last
@@ -416,8 +434,8 @@ func (c *Comm) Alltoall(bytes int) error {
 // loops). The paper's program spends ~7% of its wall clock time outside
 // the instrumented regions.
 func (c *Comm) Skew(seconds float64) error {
-	if seconds < 0 {
-		return fmt.Errorf("%w: negative skew %g", ErrBadArgument, seconds)
+	if seconds < 0 || !finite(seconds) {
+		return fmt.Errorf("%w: skew %g", ErrBadArgument, seconds)
 	}
 	c.clock += seconds
 	return nil

@@ -440,3 +440,42 @@ func TestDefaultCostModelSane(t *testing.T) {
 		t.Errorf("transfer(1MB) = %g", got)
 	}
 }
+
+func TestNonFiniteArgumentsRejected(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	// A NaN cost model field sails through plain range checks (x < 0 is
+	// false for NaN); validate must reject it explicitly.
+	for _, cm := range []CostModel{
+		{Latency: nan, Bandwidth: 1, CollectiveLatency: 1},
+		{Latency: 1, Bandwidth: nan, CollectiveLatency: 1},
+		{Latency: 1, Bandwidth: 1, SendOverhead: nan, CollectiveLatency: 1},
+		{Latency: 1, Bandwidth: 1, CollectiveLatency: nan},
+		{Latency: inf, Bandwidth: 1, CollectiveLatency: 1},
+	} {
+		if _, err := NewWorld(2, cm); !errors.Is(err, ErrBadArgument) {
+			t.Errorf("NewWorld(%+v) err = %v, want ErrBadArgument", cm, err)
+		}
+	}
+	w, err := NewWorld(1, unitCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := w.Run(func(c *Comm) error {
+		if err := c.EnterRegion("r"); err != nil {
+			return err
+		}
+		for _, s := range []float64{nan, inf} {
+			if err := c.Compute(s); !errors.Is(err, ErrBadArgument) {
+				return fmt.Errorf("Compute(%g) err = %v, want ErrBadArgument", s, err)
+			}
+			if err := c.Skew(s); !errors.Is(err, ErrBadArgument) {
+				return fmt.Errorf("Skew(%g) err = %v, want ErrBadArgument", s, err)
+			}
+		}
+		return c.ExitRegion()
+	})
+	if run != nil {
+		t.Fatal(run)
+	}
+}

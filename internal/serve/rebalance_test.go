@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"loadimb/internal/monitor"
+	"loadimb/internal/mpi"
+	"loadimb/internal/rebalance"
+)
+
+// TestRebalanceEndpointAndMetrics drives a controller through a few
+// boundaries and checks both surfaces: /rebalance.json mirrors
+// Controller.Snapshot and /metrics grows the loadimb_rebalance_*
+// families.
+func TestRebalanceEndpointAndMetrics(t *testing.T) {
+	ctrl, err := rebalance.New(rebalance.PolicyReactive, rebalance.Options{Target: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := []float64{10, 1, 1, 1}
+	for boundary := 0; boundary < 10; boundary++ {
+		plan, err := ctrl.Decide(boundary, loads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.MeasuredID <= 0.1 {
+			break
+		}
+		for _, m := range plan.Moves {
+			loads[m.From] -= m.Amount
+			loads[m.To] += m.Amount
+		}
+	}
+	want := ctrl.Snapshot()
+	if !want.Converged {
+		t.Fatalf("controller did not converge: %+v", want)
+	}
+
+	c := monitor.NewCollector(monitor.Options{Window: 0.25, Activities: mpi.Activities()})
+	srv := httptest.NewServer(NewHandler(c, WithRebalance(ctrl)))
+	defer srv.Close()
+
+	status, body, ctype := get(t, srv.URL+"/rebalance.json")
+	if status != 200 {
+		t.Fatalf("/rebalance.json status %d", status)
+	}
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("content type %q", ctype)
+	}
+	var got rebalance.Stats
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Policy != want.Policy || got.Rounds != want.Rounds || got.Migrations != want.Migrations ||
+		got.AchievedID != want.AchievedID || !got.Converged {
+		t.Errorf("payload %+v != snapshot %+v", got, want)
+	}
+	if len(got.History) != want.Boundaries {
+		t.Errorf("history has %d entries for %d boundaries", len(got.History), want.Boundaries)
+	}
+
+	status, metrics, _ := get(t, srv.URL+"/metrics")
+	if status != 200 {
+		t.Fatalf("/metrics status %d", status)
+	}
+	for _, family := range []string{
+		`loadimb_rebalance_rounds_total{policy="reactive"}`,
+		`loadimb_rebalance_migrations_total{policy="reactive"}`,
+		`loadimb_rebalance_migrated_seconds_total{policy="reactive"}`,
+		`loadimb_rebalance_achieved_id{policy="reactive"}`,
+		`loadimb_rebalance_target{policy="reactive"} 0.1`,
+		`loadimb_rebalance_converged{policy="reactive"} 1`,
+		`loadimb_rebalance_rounds_to_target{policy="reactive"}`,
+	} {
+		if !strings.Contains(metrics, family) {
+			t.Errorf("metrics missing %s", family)
+		}
+	}
+}
+
+// TestNoRebalanceEndpointByDefault: without WithRebalance the endpoint
+// stays absent and the exposition carries no rebalance families.
+func TestNoRebalanceEndpointByDefault(t *testing.T) {
+	srv, _ := newTestServer(t)
+	status, _, _ := get(t, srv.URL+"/rebalance.json")
+	if status != 404 {
+		t.Errorf("/rebalance.json status %d without WithRebalance, want 404", status)
+	}
+	_, metrics, _ := get(t, srv.URL+"/metrics")
+	if strings.Contains(metrics, "loadimb_rebalance_") {
+		t.Error("rebalance families exposed without WithRebalance")
+	}
+}

@@ -9,6 +9,7 @@ package serve
 import (
 	"compress/gzip"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/pprof"
@@ -16,6 +17,7 @@ import (
 
 	"loadimb/internal/majorize"
 	"loadimb/internal/monitor"
+	"loadimb/internal/rebalance"
 	"loadimb/internal/temporal"
 	"loadimb/internal/tracefmt"
 )
@@ -256,6 +258,13 @@ type config struct {
 	index         http.HandlerFunc
 	metricsPrefix func(w io.Writer)
 	pprof         bool
+	rebalance     RebalanceSource
+}
+
+// A RebalanceSource yields the live statistics of an adaptive
+// rebalancing controller; *rebalance.Controller is one.
+type RebalanceSource interface {
+	Snapshot() rebalance.Stats
 }
 
 // WithIngest attaches an ingest server's counters to the handler's
@@ -293,6 +302,53 @@ func WithPprof() Option {
 	return func(cfg *config) { cfg.pprof = true }
 }
 
+// WithRebalance mounts /rebalance.json over the controller's statistics
+// and appends the loadimb_rebalance_* families to /metrics, so the
+// closed loop (measure, decide, migrate) is observable on the same
+// surface as the imbalance it corrects.
+func WithRebalance(src RebalanceSource) Option {
+	return func(cfg *config) { cfg.rebalance = src }
+}
+
+// RebalanceHandler serves the controller's statistics — policy, per-round
+// history, migration counts and the achieved ID_P — as JSON.
+func RebalanceHandler(src RebalanceSource) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, r, src.Snapshot())
+	}
+}
+
+// writeRebalanceMetrics writes the loadimb_rebalance_* Prometheus
+// families for the controller's current statistics.
+func writeRebalanceMetrics(w io.Writer, s rebalance.Stats) {
+	label := fmt.Sprintf("{policy=%q}", s.Policy)
+	fmt.Fprintf(w, "# HELP loadimb_rebalance_rounds_total Boundaries at which the controller planned migrations.\n")
+	fmt.Fprintf(w, "# TYPE loadimb_rebalance_rounds_total counter\n")
+	fmt.Fprintf(w, "loadimb_rebalance_rounds_total%s %d\n", label, s.Rounds)
+	fmt.Fprintf(w, "# HELP loadimb_rebalance_migrations_total Individual work moves shipped by the rebalancer.\n")
+	fmt.Fprintf(w, "# TYPE loadimb_rebalance_migrations_total counter\n")
+	fmt.Fprintf(w, "loadimb_rebalance_migrations_total%s %d\n", label, s.Migrations)
+	fmt.Fprintf(w, "# HELP loadimb_rebalance_migrated_seconds_total Load shipped by the rebalancer, in virtual seconds.\n")
+	fmt.Fprintf(w, "# TYPE loadimb_rebalance_migrated_seconds_total counter\n")
+	fmt.Fprintf(w, "loadimb_rebalance_migrated_seconds_total%s %g\n", label, s.Migrated)
+	fmt.Fprintf(w, "# HELP loadimb_rebalance_achieved_id Latest measured Euclidean ID_P at a rebalancing boundary.\n")
+	fmt.Fprintf(w, "# TYPE loadimb_rebalance_achieved_id gauge\n")
+	fmt.Fprintf(w, "loadimb_rebalance_achieved_id%s %g\n", label, s.AchievedID)
+	fmt.Fprintf(w, "# HELP loadimb_rebalance_target Target ID_P the controller drives toward.\n")
+	fmt.Fprintf(w, "# TYPE loadimb_rebalance_target gauge\n")
+	fmt.Fprintf(w, "loadimb_rebalance_target%s %g\n", label, s.Target)
+	converged := 0
+	if s.Converged {
+		converged = 1
+	}
+	fmt.Fprintf(w, "# HELP loadimb_rebalance_converged Whether a boundary measurement has reached the target (1) yet.\n")
+	fmt.Fprintf(w, "# TYPE loadimb_rebalance_converged gauge\n")
+	fmt.Fprintf(w, "loadimb_rebalance_converged%s %d\n", label, converged)
+	fmt.Fprintf(w, "# HELP loadimb_rebalance_rounds_to_target Rebalancing rounds needed to first reach the target; -1 until then.\n")
+	fmt.Fprintf(w, "# TYPE loadimb_rebalance_rounds_to_target gauge\n")
+	fmt.Fprintf(w, "loadimb_rebalance_rounds_to_target%s %d\n", label, s.RoundsToTarget)
+}
+
 // Mux assembles the exposition endpoint set over an arbitrary source:
 //
 //	/metrics        Prometheus text exposition of every paper index
@@ -326,10 +382,10 @@ func Mux(src Source, opts ...Option) *http.ServeMux {
 	}
 	mux.HandleFunc("/healthz", health)
 	switch {
-	case cfg.ingest == nil && cfg.metricsPrefix == nil:
+	case cfg.ingest == nil && cfg.metricsPrefix == nil && cfg.rebalance == nil:
 		mux.Handle("/metrics", MetricsHandler(src))
 	default:
-		ing, prefix := cfg.ingest, cfg.metricsPrefix
+		ing, prefix, reb := cfg.ingest, cfg.metricsPrefix, cfg.rebalance
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 			snap := src.Snapshot()
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -339,10 +395,16 @@ func Mux(src Source, opts ...Option) *http.ServeMux {
 			if err := monitor.WriteMetrics(w, snap); err != nil {
 				return
 			}
+			if reb != nil {
+				writeRebalanceMetrics(w, reb.Snapshot())
+			}
 			if ing != nil {
 				_ = ing.WriteMetrics(w)
 			}
 		})
+	}
+	if cfg.rebalance != nil {
+		mux.Handle("/rebalance.json", RebalanceHandler(cfg.rebalance))
 	}
 	mux.Handle("/cube.json", CubeHandler(src))
 	mux.Handle("/lorenz.json", LorenzHandler(src))

@@ -117,6 +117,7 @@ type round struct {
 	done    chan struct{}
 	err     error
 	arrival []float64 // per-rank arrival times, for reductions that need them
+	values  []float64 // per-rank contributed values, for allgather-style ops
 }
 
 // Engine coordinates one simulated run.
@@ -213,6 +214,10 @@ type CollectiveResult struct {
 	Sum float64
 	// Arrivals holds each rank's arrival time, indexed by rank.
 	Arrivals []float64
+	// Values holds each rank's contributed value, indexed by rank —
+	// the payload of allgather-style collectives (e.g. per-rank load
+	// vectors for rebalancing decisions).
+	Values []float64
 }
 
 // Collective enters rank into the collective rendezvous named op at the
@@ -230,6 +235,7 @@ func (e *Engine) Collective(rank int, op string, arrival, value float64) (Collec
 			op:      op,
 			done:    make(chan struct{}),
 			arrival: make([]float64, e.procs),
+			values:  make([]float64, e.procs),
 		}
 	}
 	r := e.current
@@ -238,6 +244,7 @@ func (e *Engine) Collective(rank int, op string, arrival, value float64) (Collec
 	}
 	r.count++
 	r.arrival[rank] = arrival
+	r.values[rank] = value
 	r.sum += value
 	if arrival > r.max {
 		r.max = arrival
@@ -256,7 +263,12 @@ func (e *Engine) Collective(rank int, op string, arrival, value float64) (Collec
 	if r.err != nil {
 		return CollectiveResult{}, r.err
 	}
-	return CollectiveResult{Max: r.max, Sum: r.sum, Arrivals: append([]float64(nil), r.arrival...)}, nil
+	return CollectiveResult{
+		Max:      r.max,
+		Sum:      r.sum,
+		Arrivals: append([]float64(nil), r.arrival...),
+		Values:   append([]float64(nil), r.values...),
+	}, nil
 }
 
 // abort tears down the run, waking every blocked rank with ErrCanceled.

@@ -296,3 +296,31 @@ func TestDeterminism(t *testing.T) {
 		}
 	}
 }
+
+func TestCollectiveValues(t *testing.T) {
+	e, err := NewEngine(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := e.Run(func(rank int) error {
+		res, err := e.Collective(rank, "allgather", 0, float64(rank)*10)
+		if err != nil {
+			return err
+		}
+		if len(res.Values) != 4 {
+			return fmt.Errorf("values len = %d, want 4", len(res.Values))
+		}
+		for r, v := range res.Values {
+			if v != float64(r)*10 {
+				return fmt.Errorf("values[%d] = %g, want %g", r, v, float64(r)*10)
+			}
+		}
+		// Each participant must get its own copy: mutating one rank's
+		// slice must not be visible to the others.
+		res.Values[rank] = -1
+		return nil
+	})
+	if run != nil {
+		t.Fatal(run)
+	}
+}

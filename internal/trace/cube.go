@@ -28,9 +28,17 @@ var (
 	ErrDuplicateName = errors.New("trace: duplicate name")
 	// ErrOutOfRange is returned when an index is outside the cube.
 	ErrOutOfRange = errors.New("trace: index out of range")
-	// ErrNegativeTime is returned when a wall-clock time is negative.
+	// ErrNegativeTime is returned when a wall-clock time is negative,
+	// NaN or infinite.
 	ErrNegativeTime = errors.New("trace: negative wall-clock time")
 )
+
+// badTime reports whether t is unusable as a wall-clock duration. The
+// explicit NaN/Inf arm matters: `t < 0` alone is false for NaN, which
+// would let a NaN poison every marginal and index derived from the cube.
+func badTime(t float64) bool {
+	return t < 0 || math.IsNaN(t) || math.IsInf(t, 0)
+}
 
 // Cube is the t_ijp measurement cube: wall clock times indexed by code
 // region i, activity j and processor p. A Cube additionally records the
@@ -261,7 +269,7 @@ func (c *Cube) Set(i, j, p int, t float64) error {
 	if err := c.check(i, j, p); err != nil {
 		return err
 	}
-	if t < 0 {
+	if badTime(t) {
 		return fmt.Errorf("%w: %g at (%d, %d, %d)", ErrNegativeTime, t, i, j, p)
 	}
 	c.times[i][j][p] = t
@@ -275,7 +283,7 @@ func (c *Cube) Add(i, j, p int, t float64) error {
 	if err := c.check(i, j, p); err != nil {
 		return err
 	}
-	if t < 0 {
+	if badTime(t) {
 		return fmt.Errorf("%w: %g at (%d, %d, %d)", ErrNegativeTime, t, i, j, p)
 	}
 	c.times[i][j][p] += t
@@ -382,7 +390,7 @@ func (c *Cube) RegionsTotal() float64 {
 // should set it explicitly; passing 0 reverts to the sum of the regions. It
 // rejects negative values and values smaller than the instrumented total.
 func (c *Cube) SetProgramTime(t float64) error {
-	if t < 0 {
+	if badTime(t) {
 		return fmt.Errorf("%w: program time %g", ErrNegativeTime, t)
 	}
 	if t != 0 {

@@ -352,3 +352,24 @@ func TestSubCube(t *testing.T) {
 		t.Errorf("duplicate selection err = %v", err)
 	}
 }
+
+// TestCubeRejectsNonFiniteTimes guards the NaN hole in the time checks:
+// `t < 0` is false for NaN, so the old checks stored NaN (and +Inf)
+// times, poisoning every marginal and index downstream.
+func TestCubeRejectsNonFiniteTimes(t *testing.T) {
+	c, err := NewCube([]string{"r"}, []string{"a"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := c.Set(0, 0, 0, bad); !errors.Is(err, ErrNegativeTime) {
+			t.Errorf("Set(%g) err = %v, want ErrNegativeTime", bad, err)
+		}
+		if err := c.Add(0, 0, 0, bad); !errors.Is(err, ErrNegativeTime) {
+			t.Errorf("Add(%g) err = %v, want ErrNegativeTime", bad, err)
+		}
+		if err := c.SetProgramTime(bad); !errors.Is(err, ErrNegativeTime) {
+			t.Errorf("SetProgramTime(%g) err = %v, want ErrNegativeTime", bad, err)
+		}
+	}
+}

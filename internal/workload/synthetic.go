@@ -22,7 +22,10 @@ func checkShapeArgs(procs int, severity float64) error {
 	if procs < 1 {
 		return fmt.Errorf("workload: need at least 1 processor, got %d", procs)
 	}
-	if severity < 0 || severity > 1 {
+	// Written as a negated interval so NaN is rejected too: the naive
+	// `severity < 0 || severity > 1` is false for NaN, and a NaN severity
+	// would silently turn every share NaN.
+	if !(severity >= 0 && severity <= 1) {
 		return fmt.Errorf("workload: severity %g out of range [0, 1]", severity)
 	}
 	return nil
@@ -225,6 +228,9 @@ func Synthesize(spec Spec) (*trace.Cube, error) {
 	for i := range spec.Regions {
 		for j := range spec.Activities {
 			tij := spec.CellTime(i, j)
+			if math.IsNaN(tij) || math.IsInf(tij, 0) {
+				return nil, fmt.Errorf("workload: cell time %g at (%d, %d)", tij, i, j)
+			}
 			if tij <= 0 {
 				continue
 			}
@@ -239,6 +245,9 @@ func Synthesize(spec Spec) (*trace.Cube, error) {
 				}
 			}
 		}
+	}
+	if math.IsNaN(spec.ProgramTime) || math.IsInf(spec.ProgramTime, 0) || spec.ProgramTime < 0 {
+		return nil, fmt.Errorf("workload: bad program time %g", spec.ProgramTime)
 	}
 	if spec.ProgramTime > 0 {
 		if err := cube.SetProgramTime(spec.ProgramTime); err != nil {

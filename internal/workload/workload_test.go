@@ -366,3 +366,41 @@ func TestExpectedEuclideanProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSeverityNaNRejected is the regression test for the severity range
+// check: `severity < 0 || severity > 1` is false for NaN, so the old
+// check let a NaN severity through and every share came out NaN. Every
+// profile must reject it.
+func TestSeverityNaNRejected(t *testing.T) {
+	nan := math.NaN()
+	for _, p := range Profiles() {
+		if _, err := p.Shares(8, nan); err == nil {
+			t.Errorf("%s: NaN severity accepted", p.Name())
+		}
+		if _, err := p.Shares(8, math.Inf(1)); err == nil {
+			t.Errorf("%s: +Inf severity accepted", p.Name())
+		}
+	}
+}
+
+func TestSynthesizeRejectsNonFinite(t *testing.T) {
+	spec := Uniform(2, 2, 4)
+	spec.CellTime = func(i, j int) float64 { return math.NaN() }
+	if _, err := Synthesize(spec); err == nil {
+		t.Error("NaN cell time accepted")
+	}
+	spec = Uniform(2, 2, 4)
+	spec.ProgramTime = math.NaN()
+	if _, err := Synthesize(spec); err == nil {
+		t.Error("NaN program time accepted")
+	}
+	spec.ProgramTime = math.Inf(1)
+	if _, err := Synthesize(spec); err == nil {
+		t.Error("Inf program time accepted")
+	}
+	spec.ProgramTime = 0
+	spec.Severity = math.NaN()
+	if _, err := Synthesize(spec); err == nil {
+		t.Error("NaN severity accepted")
+	}
+}
